@@ -1,0 +1,31 @@
+"""Shared plumbing for the benchmark harness.
+
+Each benchmark regenerates one paper artifact (table or figure): it prints
+the same rows/series the paper reports and also writes them to
+``benchmarks/output/<artifact>.txt`` so EXPERIMENTS.md can reference the
+measured values. pytest-benchmark additionally times the representative
+computation of each artifact.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def emit(artifact: str, text: str) -> None:
+    """Print an artifact's reproduction and persist it to output/."""
+    banner = f"\n===== {artifact} =====\n"
+    print(banner + text)
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{artifact}.txt").write_text(text + "\n")
+
+
+def once(benchmark, fn):
+    """Time a heavyweight computation a single round and return its value.
+
+    Heavy artifact computations (dataset builds, model training over the
+    full campaign) are timed once; fast paths use plain ``benchmark``.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

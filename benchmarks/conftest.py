@@ -1,0 +1,32 @@
+"""Benchmark fixtures: the standard campaign, built once per session."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.studies import context  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def standard_dataset():
+    return context.standard_dataset()
+
+
+@pytest.fixture(scope="session")
+def split():
+    return context.standard_split()
+
+
+@pytest.fixture(scope="session")
+def index():
+    return context.network_index()
+
+
+@pytest.fixture(scope="session")
+def roster():
+    return context.standard_roster()

@@ -1,0 +1,48 @@
+"""Ablation: kernel clustering granularity.
+
+The paper merges 182 kernels into 83 regression models. This sweep shows
+the trade-off: per-kernel models (tolerance 0) maximise accuracy but cost
+one model per kernel; aggressive merging cuts the model count with a
+graceful accuracy loss, until over-merging hurts.
+"""
+
+from _shared import emit, once
+
+from repro.core import evaluate_model
+from repro.core.kernelwise import KernelWiseModel
+from repro.reporting import render_table
+
+TOLERANCES = (0.0, 0.2, 0.4, 0.8, 2.0)
+
+
+def test_ablation_clustering_tolerance(benchmark, split, index):
+    train, test = split
+    a100 = train.for_gpu("A100").filter(batch_size=512)
+
+    def sweep():
+        rows = []
+        for tolerance in TOLERANCES:
+            model = KernelWiseModel(slope_tolerance=tolerance).train(a100)
+            curve = evaluate_model(model, test, index, gpu="A100",
+                                   batch_size=512)
+            rows.append((tolerance, model.n_kernels, model.n_models,
+                         curve.mean_error))
+        return rows
+
+    rows = once(benchmark, sweep)
+    text = render_table(
+        ["slope tolerance", "kernels", "models", "mean error"],
+        [(f"{t:.1f}", k, m, f"{e:.3f}") for t, k, m, e in rows],
+        title="Ablation: clustering tolerance (paper: 182 kernels -> 83 "
+              "models with negligible accuracy loss)")
+    emit("ablation_clustering", text)
+
+    # model count decreases monotonically with tolerance
+    models = [m for _, _, m, _ in rows]
+    assert models == sorted(models, reverse=True)
+    # moderate clustering (the default 0.4) costs little accuracy
+    per_kernel_error = rows[0][3]
+    default_error = next(e for t, _, _, e in rows if t == 0.4)
+    assert default_error < per_kernel_error + 0.05
+    # extreme merging degrades accuracy
+    assert rows[-1][3] >= default_error - 0.01

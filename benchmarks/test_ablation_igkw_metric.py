@@ -1,0 +1,51 @@
+"""Ablation: the IGKW transfer metric — bandwidth vs peak FP32 TFLOPS.
+
+Section 7 ("Why FLOPs for the inter-DNN model? Why not memory
+bandwidth?") argues bandwidth is the right *inter-device* metric because
+the workloads are effectively memory-intensive. Regressing kernel rates
+against peak TFLOPS instead should transfer worse — the A40's inflated
+dual-issue FP32 rating alone breaks the trend.
+"""
+
+from _shared import emit, once
+
+from repro.core import InterGPUKernelWiseModel, evaluate_model
+from repro.gpu import IGKW_TEST_GPU, IGKW_TRAIN_GPUS, gpu
+from repro.reporting import render_table
+
+
+def test_ablation_igkw_driver_metric(benchmark, split, index):
+    train, test = split
+    train_specs = [gpu(name) for name in IGKW_TRAIN_GPUS]
+    names = set(IGKW_TRAIN_GPUS)
+    base = train.filter(batch_size=512)
+    from repro.dataset import PerformanceDataset
+    subset = PerformanceDataset(
+        kernel_rows=[r for r in base.kernel_rows if r.gpu in names],
+        layer_rows=[r for r in base.layer_rows if r.gpu in names],
+        network_rows=[r for r in base.network_rows if r.gpu in names],
+    )
+
+    def train_both():
+        out = {}
+        for metric in ("bandwidth", "tflops"):
+            model = InterGPUKernelWiseModel(driver_metric=metric)
+            model.train(subset, train_specs)
+            out[metric] = model
+        return out
+
+    models = once(benchmark, train_both)
+    rows = []
+    errors = {}
+    for metric, model in models.items():
+        curve = evaluate_model(model.for_gpu(gpu(IGKW_TEST_GPU)), test,
+                               index, gpu=IGKW_TEST_GPU, batch_size=512)
+        errors[metric] = curve.mean_error
+        rows.append((metric, f"{curve.mean_error:.3f}"))
+    text = render_table(
+        ["transfer metric", f"error on {IGKW_TEST_GPU}"], rows,
+        title="Ablation: IGKW second-level regression metric "
+              "(paper argues for memory bandwidth, per O6)")
+    emit("ablation_igkw_metric", text)
+
+    assert errors["bandwidth"] < errors["tflops"]

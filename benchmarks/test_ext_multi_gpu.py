@@ -1,0 +1,94 @@
+"""Extension benchmark: multi-GPU data-parallel training scaling.
+
+The discussion section names multi-GPU training architecture as a target
+domain for the predictor. This study combines the training-mode KW model
+with a ring all-reduce cost model and reports the classic scaling tables:
+efficiency vs GPU count per interconnect, and the interconnect bandwidth
+each model needs for 95% weak-scaling efficiency.
+"""
+
+from _shared import emit, once
+
+from repro.core import train_model
+from repro.dataset import build_dataset, train_test_split
+from repro.gpu import gpu
+from repro.reporting import render_table
+from repro.sim.links import Link
+from repro.studies.multi_gpu import bandwidth_requirement, scaling_curve
+from repro.zoo import bert, imagenet_roster, resnet50, vgg16
+
+GPU_COUNTS = (1, 2, 4, 8, 16, 32)
+INTERCONNECTS = {
+    "PCIe 3.0 x16 (16 GB/s)": Link(16, latency_us=3.0),
+    "NVLink (300 GB/s)": Link(300, latency_us=2.0),
+}
+
+
+def _training_predictor():
+    networks = imagenet_roster("medium") + [bert("base"), bert("small")]
+    data = build_dataset(networks, [gpu("A100")], batch_sizes=[4, 16, 64],
+                         training=True)
+    train, _ = train_test_split(data)
+    return train_model(train, "kw", gpu="A100", batch_size=None)
+
+
+def test_ext_scaling_efficiency(benchmark):
+    predictor = once(benchmark, _training_predictor)
+    rows = []
+    # no-overlap analysis at latency-oriented batches: the conservative
+    # bound a system architect sizes the interconnect against
+    for net, per_gpu_batch in ((resnet50(), 8), (vgg16(), 4),
+                               (bert("base"), 4)):
+        for label, link in INTERCONNECTS.items():
+            curve = scaling_curve(predictor, net, per_gpu_batch,
+                                  GPU_COUNTS, link, overlap=0.0)
+            rows.append((net.name, label)
+                        + tuple(f"{s.scaling_efficiency * 100:.0f}%"
+                                for s in curve))
+    text = render_table(
+        ["network", "interconnect"] + [f"{n} GPUs" for n in GPU_COUNTS],
+        rows,
+        title="Extension: weak-scaling efficiency of data-parallel "
+              "training (training-mode KW compute + ring all-reduce, "
+              "no compute/comm overlap)")
+    emit("ext_multi_gpu_scaling", text)
+
+    # sanity of the classic shape: NVLink scales better than PCIe, and
+    # efficiency never improves with more GPUs
+    by_key = {(r[0], r[1]): r[2:] for r in rows}
+    for net in ("resnet50", "vgg16", "bert_base"):
+        pcie = [float(v[:-1]) for v in by_key[(net,
+                                               "PCIe 3.0 x16 (16 GB/s)")]]
+        nvlink = [float(v[:-1]) for v in by_key[(net, "NVLink (300 GB/s)")]]
+        assert all(n >= p for n, p in zip(nvlink, pcie))
+        assert pcie == sorted(pcie, reverse=True)
+
+
+def test_ext_interconnect_requirements(benchmark):
+    predictor = _training_predictor()
+    bandwidths = (4, 8, 16, 32, 64, 128, 256, 512)
+
+    def sweep():
+        rows = []
+        for net, per_gpu_batch in ((resnet50(), 16), (vgg16(), 8),
+                                   (bert("base"), 8)):
+            need, _ = bandwidth_requirement(predictor, net, per_gpu_batch,
+                                            8, bandwidths)
+            grads_mb = net.total_params() * 4 / 1e6
+            rows.append((net.name, f"{grads_mb:.0f}",
+                         "unreachable" if need == float("inf")
+                         else f"{need:.0f}"))
+        return rows
+
+    rows = once(benchmark, sweep)
+    text = render_table(
+        ["network", "gradient MB", "GB/s needed for 95% eff @ 8 GPUs"],
+        rows,
+        title="Extension: interconnect bandwidth requirements "
+              "(8-way data parallel)")
+    emit("ext_multi_gpu_requirements", text)
+
+    needs = {name: value for name, _, value in rows}
+    # parameter-heavy VGG needs a beefier interconnect than ResNet
+    assert (needs["vgg16"] == "unreachable"
+            or float(needs["vgg16"]) >= float(needs["resnet50"]))

@@ -1,0 +1,51 @@
+"""Extension benchmark: model-serving latency/throughput curves.
+
+The paper's related work highlights Clockwork-style predictable serving
+as a consumer of execution-time predictors. This study drives a dynamic-
+batching serving simulator entirely from KW predictions: offered load
+sweeps produce the textbook latency hockey stick and show batching
+absorbing load.
+"""
+
+from _shared import emit, once
+
+from repro.reporting import render_table
+from repro.sim.serving import latency_throughput_curve
+from repro.studies import context
+from repro.zoo import resnet50
+
+RATES_RPS = (100, 500, 1000, 2000, 4000)
+
+
+def test_ext_serving_curve(benchmark):
+    predictor = context.trained_all_batches("kw", "A100")
+
+    curve = once(benchmark, lambda: latency_throughput_curve(
+        predictor, resnet50(), RATES_RPS, n_requests=300, max_batch=32,
+        batch_timeout_us=2000.0))
+
+    rows = []
+    for rate, result in curve:
+        rows.append((rate,
+                     f"{result.throughput_rps:.0f}",
+                     f"{result.mean_batch_size:.1f}",
+                     f"{result.mean_latency_us / 1e3:.1f}",
+                     f"{result.latency_percentile_us(99) / 1e3:.1f}"))
+    text = render_table(
+        ["offered (req/s)", "served (req/s)", "mean batch",
+         "mean latency (ms)", "p99 latency (ms)"],
+        rows,
+        title="Extension: ResNet-50 serving on A100 — dynamic batching "
+              "driven entirely by KW predictions")
+    emit("ext_serving", text)
+
+    results = [result for _, result in curve]
+    # batching absorbs load: achieved batch size grows with offered rate
+    batches = [r.mean_batch_size for r in results]
+    assert batches[-1] > batches[0]
+    # and the latency curve is the textbook hockey stick
+    latencies = [r.mean_latency_us for r in results]
+    assert latencies[-1] > latencies[0]
+    # light load is served at its offered rate
+    assert results[0].throughput_rps == \
+        __import__("pytest").approx(RATES_RPS[0], rel=0.25)

@@ -1,0 +1,64 @@
+"""Extension benchmark: KW prediction for training workloads.
+
+The paper's future work: "extending our models for more diverse workloads
+(e.g., training)". The same kernel-level machinery — mapping table,
+classification, clustered lines — applies unchanged once the dataset
+records forward+backward steps; this benchmark measures how well.
+"""
+
+from _shared import emit, once
+
+from repro.core import evaluate_model, networks_by_name, train_model
+from repro.dataset import build_dataset, train_test_split
+from repro.gpu import gpu
+from repro.reporting import render_table
+from repro.zoo import imagenet_roster
+
+
+def test_ext_training_workloads(benchmark):
+    networks = imagenet_roster("medium")
+
+    def run():
+        data = build_dataset(networks, [gpu("A100")],
+                             batch_sizes=[64, 512], training=True)
+        train, test = train_test_split(data)
+        model = train_model(train, "kw", gpu="A100")
+        curve = evaluate_model(model, test, networks_by_name(networks),
+                               gpu="A100", batch_size=512)
+        return model, curve, data
+
+    model, curve, data = once(benchmark, run)
+
+    text = curve.render(
+        f"Extension: KW model on training steps (fwd+bwd), A100, "
+        f"{len(curve.ratios)} test networks")
+    text += (f"\nmode: {model.mode}; distinct kernels incl. backward: "
+             f"{len(data.kernel_names())}")
+    emit("ext_training", text)
+
+    assert model.mode == "training"
+    assert curve.mean_error < 0.12
+
+
+def test_ext_training_vs_inference_ratio(benchmark):
+    """Training-step cost relative to inference across families."""
+    from repro.gpu import SimulatedGPU
+    from repro.zoo import densenet121, mobilenet_v2, resnet50, vgg16
+    device = SimulatedGPU(gpu("A100"))
+
+    def measure():
+        rows = []
+        for net in (resnet50(), vgg16(), densenet121(), mobilenet_v2()):
+            inference = device.run_network(net, 64).e2e_us
+            training = device.run_network(net, 64, training=True).e2e_us
+            rows.append((net.name, f"{inference / 1e3:.1f}",
+                         f"{training / 1e3:.1f}",
+                         f"{training / inference:.2f}x"))
+        return rows
+
+    rows = once(benchmark, measure)
+    emit("ext_training_ratio", render_table(
+        ["network", "inference (ms)", "training step (ms)", "ratio"],
+        rows, title="Training-step vs inference cost at BS 64 on A100"))
+    for _, _, _, ratio in rows:
+        assert 1.8 < float(ratio[:-1]) < 4.5

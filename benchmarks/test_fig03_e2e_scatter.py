@@ -1,0 +1,37 @@
+"""Figure 3: end-to-end time vs FLOPs for every network (BS >= 4).
+
+Paper: "The execution times of DNN networks are generally linearly
+correlated to FLOPs" with a band "constantly about 10 times wide".
+"""
+
+from _shared import emit, once
+
+from repro.reporting import render_scatter, render_table
+from repro.studies.observations import e2e_linearity, e2e_scatter
+
+
+def test_fig03_e2e_vs_flops(benchmark, standard_dataset):
+    points = once(benchmark,
+                  lambda: e2e_scatter(standard_dataset, "A100", min_batch=4))
+    fit = e2e_linearity(standard_dataset, "A100")
+
+    # band width: spread of time-per-GFLOP across the cloud
+    efficiencies = sorted(ms / gflops for gflops, ms, _ in points)
+    band = efficiencies[int(0.95 * len(efficiencies))] / \
+        efficiencies[int(0.05 * len(efficiencies))]
+
+    plot = render_scatter(
+        f"Figure 3: {len(points)} runs on A100, BS >= 4 | "
+        f"linear trend R2={fit.r2:.3f} | "
+        f"5th-95th pct band ~{band:.1f}x wide (paper: ~10x)",
+        {"networks": [(g, t) for g, t, _ in points]},
+        "GFLOPs", "exec time (ms)", log_x=True, log_y=True)
+    sample = points[:: max(1, len(points) // 25)]
+    table = render_table(
+        ["GFLOPs", "Exec time (ms)", "network"],
+        [(f"{g:.1f}", f"{t:.2f}", n) for g, t, n in sample],
+        title="sampled points:")
+    emit("fig03_e2e_scatter", plot + "\n\n" + table)
+
+    assert fit.r2 > 0.6, "O1: the linear trend must hold"
+    assert 4 < band < 30, "the efficiency band is roughly a decade wide"

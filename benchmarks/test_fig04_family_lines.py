@@ -1,0 +1,27 @@
+"""Figure 4: ResNet and VGG networks fall on different lines (BS 512)."""
+
+from _shared import emit, once
+
+from repro.reporting import render_table
+from repro.studies.observations import family_lines
+
+
+def test_fig04_resnet_vs_vgg_lines(benchmark, standard_dataset):
+    lines = once(benchmark,
+                 lambda: family_lines(standard_dataset, "A100", 512))
+
+    rows = []
+    for family, fit in sorted(lines.items()):
+        rows.append((family, f"{fit.slope * 1e9 / 1e3:.2f}",
+                     f"{fit.r2:.3f}", fit.n_samples))
+    ratio = lines["resnet"].slope / lines["vgg"].slope
+    text = render_table(
+        ["family", "ms per GFLOP", "R2", "networks"],
+        rows,
+        title=(f"Figure 4: per-family FLOPs->time lines at BS 512 on A100 "
+               f"(ResNet/VGG slope ratio = {ratio:.2f}; the paper shows "
+               "VGG on the flatter, more efficient line)"))
+    emit("fig04_family_lines", text)
+
+    assert ratio > 1.3, "O2: the GPU is more efficient on VGG"
+    assert lines["resnet"].r2 > 0.8 and lines["vgg"].r2 > 0.8

@@ -1,0 +1,41 @@
+"""Figure 5: execution time is linear in batch size (slopes differ).
+
+Paper sweeps BS 2..82 for ResNet-50, MobileNetV2, and VGG-16.
+"""
+
+from _shared import emit, once
+
+from repro.core.linreg import fit_line
+from repro.gpu import SimulatedGPU, gpu
+from repro.reporting import render_table
+from repro.studies.observations import batch_size_series
+from repro.zoo import mobilenet_v2, resnet50, vgg16
+
+BATCH_SIZES = [2, 10, 18, 26, 34, 42, 50, 58, 66, 74, 82]
+
+
+def test_fig05_time_linear_in_batch(benchmark):
+    device = SimulatedGPU(gpu("A100"))
+    networks = [resnet50(), mobilenet_v2(), vgg16()]
+    series = once(benchmark,
+                  lambda: batch_size_series(device, networks, BATCH_SIZES))
+
+    rows = []
+    fits = {}
+    for name, points in series.items():
+        fit = fit_line([b for b, _ in points], [t for _, t in points])
+        fits[name] = fit
+        times = " ".join(f"{t:.1f}" for _, t in points)
+        rows.append((name, f"{fit.slope:.4f}", f"{fit.r2:.4f}", times))
+    text = render_table(
+        ["network", "ms per image", "R2", f"ms at BS {BATCH_SIZES}"],
+        rows,
+        title="Figure 5: exec time (ms) vs batch size on A100 — linear, "
+              "with per-network slopes (O3)")
+    emit("fig05_batch_linear", text)
+
+    for name, fit in fits.items():
+        assert fit.r2 > 0.98, f"{name}: time must be linear in batch size"
+    # slopes differ between networks (vgg steepest: most work per image)
+    assert fits["vgg16"].slope > fits["resnet50"].slope \
+        > fits["mobilenet_v2"].slope

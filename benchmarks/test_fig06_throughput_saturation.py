@@ -1,0 +1,37 @@
+"""Figure 6: achieved TFLOPS saturates once the batch size is large."""
+
+from _shared import emit, once
+
+from repro.gpu import SimulatedGPU, gpu
+from repro.reporting import render_table
+from repro.studies.observations import throughput_series
+from repro.zoo import mobilenet_v2, resnet50, vgg16
+
+BATCH_SIZES = [8, 64, 128, 192, 256, 320, 384, 448, 512]
+
+
+def test_fig06_throughput_saturates(benchmark):
+    device = SimulatedGPU(gpu("A100"))
+    networks = [resnet50(), mobilenet_v2(), vgg16()]
+    series = once(benchmark,
+                  lambda: throughput_series(device, networks, BATCH_SIZES))
+
+    rows = []
+    for name, points in series.items():
+        rows.append((name,)
+                    + tuple(f"{tflops:.2f}" for _, tflops in points))
+    text = render_table(
+        ["network"] + [f"BS{b}" for b in BATCH_SIZES], rows,
+        title="Figure 6: achieved TFLOPS vs batch size on A100 — rises, "
+              "then steady once the GPU is fully utilised")
+    emit("fig06_throughput_saturation", text)
+
+    for name, points in series.items():
+        tflops = [t for _, t in points]
+        assert tflops[0] < tflops[-1], f"{name}: throughput must rise"
+        # steady at large batch: last three points within 10%
+        tail = tflops[-3:]
+        assert max(tail) / min(tail) < 1.1, f"{name}: must saturate"
+    # the efficiency ordering of Figure 6: VGG > ResNet > MobileNet
+    finals = {name: points[-1][1] for name, points in series.items()}
+    assert finals["vgg16"] > finals["resnet50"] > finals["mobilenet_v2"]

@@ -1,0 +1,41 @@
+"""Figure 7: different layer types fall on different linear trend lines."""
+
+from _shared import emit, once
+
+from repro.reporting import render_scatter, render_table
+from repro.studies.observations import layer_cloud_fits, layer_clouds
+
+KINDS = ("BN", "CONV", "FC", "MaxPool")
+
+
+def test_fig07_layer_type_lines(benchmark, standard_dataset):
+    fits = once(benchmark,
+                lambda: layer_cloud_fits(standard_dataset, "A100", KINDS))
+    clouds = layer_clouds(standard_dataset, "A100", KINDS)
+
+    rows = []
+    for kind in KINDS:
+        fit = fits[kind]
+        rows.append((kind, len(clouds[kind]), f"{fit.slope:.3f}",
+                     f"{fit.r2:.3f}"))
+    text = render_table(
+        ["layer type", "layers", "ms per GFLOP", "R2"],
+        rows,
+        title="Figure 7: layer time vs layer FLOPs per type on A100 — "
+              "BN/Pooling steep and near-perfectly linear, CONV/FC "
+              "efficient with a wider cloud (O4)")
+    series = {}
+    for kind in KINDS:
+        sample = clouds[kind][:: max(1, len(clouds[kind]) // 400)]
+        series[kind] = [(g, ms) for g, ms in sample if g > 0 and ms > 0]
+    plot = render_scatter("layer clouds (log-log):", series,
+                          "layer GFLOPs", "layer ms",
+                          log_x=True, log_y=True)
+    emit("fig07_layer_lines", text + "\n\n" + plot)
+
+    # BN and pooling are markedly less efficient than CONV and FC
+    assert fits["BN"].slope > 2 * fits["CONV"].slope
+    assert fits["MaxPool"].slope > fits["CONV"].slope
+    # BN's trend is near-perfect; CONV's cloud is wider (mixed algorithms)
+    assert fits["BN"].r2 > 0.97
+    assert fits["CONV"].r2 < fits["BN"].r2

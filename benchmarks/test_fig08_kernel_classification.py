@@ -1,0 +1,47 @@
+"""Figure 8: classifying kernels into input-/operation-/output-driven
+groups amplifies the linear relationship."""
+
+from collections import Counter
+
+from _shared import emit, once
+
+from repro.core.classification import classify_kernels
+from repro.reporting import render_table
+
+
+def test_fig08_classification_amplifies_linearity(benchmark,
+                                                  standard_dataset):
+    a100 = standard_dataset.for_gpu("A100")
+    classified = once(benchmark, lambda: classify_kernels(a100))
+
+    populous = {name: entry for name, entry in classified.items()
+                if entry.fit.n_samples >= 30}
+    label_counts = Counter(entry.label for entry in populous.values())
+
+    rows = []
+    for name in sorted(populous)[:40]:
+        entry = populous[name]
+        r2 = entry.r2_by_feature
+        rows.append((name, entry.label, f"{r2['input_nchw']:.3f}",
+                     f"{r2['flops']:.3f}", f"{r2['output_nchw']:.3f}"))
+    median_r2 = sorted(e.fit.r2 for e in populous.values())[
+        len(populous) // 2]
+    text = render_table(
+        ["kernel", "class", "R2(input)", "R2(flops)", "R2(output)"],
+        rows,
+        title=(f"Figure 8: kernel classification on A100 | "
+               f"{len(classified)} kernels | classes: "
+               f"{dict(label_counts)} | median winning R2={median_r2:.3f}"))
+    emit("fig08_kernel_classification", text)
+
+    # every class is populated, and the winning fits are near-perfect
+    assert set(label_counts) == {"input-driven", "operation-driven",
+                                 "output-driven"}
+    assert median_r2 > 0.95
+
+
+def test_fig08_classification_speed(benchmark, standard_dataset):
+    """Classification over the full A100 kernel table is itself fast."""
+    a100 = standard_dataset.for_gpu("A100")
+    classified = benchmark(lambda: classify_kernels(a100))
+    assert len(classified) > 50

@@ -1,0 +1,36 @@
+"""Figure 9: bandwidth efficiency is stable across GPUs; compute is not."""
+
+from _shared import emit, once
+
+from repro.gpu import gpu
+from repro.reporting import render_table
+from repro.studies.observations import efficiency_study
+from repro.zoo import resnet18
+
+#: The GPUs shown in Figure 9.
+FIG9_GPUS = ("A40", "A100", "GTX 1080 Ti", "TITAN RTX", "RTX A5000",
+             "Quadro P620")
+
+
+def test_fig09_efficiency_study(benchmark):
+    specs = [gpu(name) for name in FIG9_GPUS]
+    rows = once(benchmark,
+                lambda: efficiency_study([resnet18()], specs,
+                                         batch_size=64))
+
+    table = [(name, f"{bw * 100:.1f}%", f"{compute * 100:.1f}%")
+             for name, bw, compute in rows]
+    text = render_table(
+        ["GPU", "BW efficiency", "Compute efficiency"],
+        table,
+        title="Figure 9: ResNet-18 efficiency estimates from layer shapes "
+              "— bandwidth efficiency stays around 10% on every GPU, "
+              "compute efficiency does not (O6)")
+    emit("fig09_efficiency", text)
+
+    bw = [r[1] for r in rows]
+    compute = [r[2] for r in rows]
+    assert all(0.05 < value < 0.16 for value in bw), \
+        "bandwidth efficiency must stay around 10%"
+    assert max(compute) / min(compute) > max(bw) / min(bw), \
+        "compute efficiency must vary more than bandwidth efficiency"

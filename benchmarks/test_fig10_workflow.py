@@ -1,0 +1,54 @@
+"""Figure 10: the training/prediction workflow — and its speed.
+
+Figure 10 is the paper's workflow diagram (dataset → regression training
+→ distributable parameters → prediction). This benchmark measures the
+costs of each arrow, substantiating the abstract's "fast" claim: training
+is seconds, a prediction is microseconds-to-milliseconds, and the
+distributable model is tens of kilobytes.
+"""
+
+import json
+import time
+
+from _shared import emit, once
+
+from repro.core import model_to_dict, train_model
+from repro.reporting import render_table
+from repro.zoo import resnet50
+
+
+def test_fig10_workflow_costs(benchmark, split, index):
+    train, _ = split
+
+    def measure():
+        rows = []
+        for name in ("e2e", "lw", "kw"):
+            start = time.perf_counter()
+            model = train_model(train, name, gpu="A100")
+            train_s = time.perf_counter() - start
+
+            net = resnet50()
+            model.predict_network(net, 256)   # warm any lazy state
+            start = time.perf_counter()
+            for _ in range(100):
+                model.predict_network(net, 256)
+            predict_us = (time.perf_counter() - start) / 100 * 1e6
+
+            size_kb = len(json.dumps(model_to_dict(model))) / 1024
+            rows.append((name.upper(), f"{train_s:.2f}s",
+                         f"{predict_us:.0f}us", f"{size_kb:.0f} KiB"))
+        return rows
+
+    rows = once(benchmark, measure)
+    text = render_table(
+        ["model", "training time", "prediction (ResNet-50)",
+         "distributable size"],
+        rows,
+        title="Figure 10: workflow costs — training in seconds, "
+              "prediction in microseconds, parameters in kilobytes "
+              "(vs simulator-hours per prediction)")
+    emit("fig10_workflow", text)
+
+    for name, train_s, predict_us, _ in rows:
+        assert float(train_s[:-1]) < 60.0, name
+        assert float(predict_us[:-2]) < 100_000, name

@@ -1,0 +1,30 @@
+"""Figure 12: the Layer-Wise model's S-curve (paper: 28% average error)."""
+
+from _shared import emit, once
+
+from repro.core import evaluate_model, train_model
+from repro.studies import context
+
+
+def test_fig12_lw_model(benchmark, split, index):
+    train, test = split
+    model = once(benchmark, lambda: train_model(train, "lw", gpu="A100"))
+    curve = evaluate_model(model, test, index, gpu="A100", batch_size=512)
+
+    e2e_error = evaluate_model(context.trained("e2e", "A100"), test, index,
+                               gpu="A100", batch_size=512).mean_error
+    text = curve.render(
+        f"Figure 12: LW model on A100, {len(curve.ratios)} test networks "
+        f"(paper: mean error 0.28; E2E here: {e2e_error:.3f})")
+    text += "\nper-kind fits: " + ", ".join(model.kinds())
+    emit("fig12_lw_model", text)
+
+    # the paper's qualitative claim: a modest improvement over E2E
+    assert curve.mean_error < e2e_error
+    assert 0.10 < curve.mean_error < 0.40
+
+
+def test_fig12_lw_prediction_speed(benchmark, index):
+    model = context.trained("lw", "A100")
+    net = index["resnet50"]
+    benchmark(lambda: model.predict_network(net, 512))

@@ -1,0 +1,97 @@
+"""Figure 13 + Section 5.4: the Kernel-Wise model.
+
+Reproduces: the A100 S-curve (paper: 7% error, asymmetric — almost no
+underestimation, a small overestimation tail for under-utilising
+networks), the per-GPU error table (paper: 6% A40, 7% A100, 7.8% 1080 Ti,
+9.2% TITAN, 9.4% V100), the kernel/model counts (paper: 182 kernels → 83
+models), and the transformer extension (paper: ~4.76% on A100).
+"""
+
+from _shared import emit, once
+
+from repro.core import evaluate_model, train_model
+from repro.reporting import render_table
+from repro.studies import context
+
+
+def test_fig13_kw_model_a100(benchmark, split, index):
+    train, test = split
+    model = once(benchmark, lambda: train_model(train, "kw", gpu="A100"))
+    curve = evaluate_model(model, test, index, gpu="A100", batch_size=512)
+
+    text = curve.render(
+        f"Figure 13: KW model on A100, {len(curve.ratios)} test networks "
+        f"(paper: mean error 0.07)")
+    text += (f"\nkernels recorded: {model.n_kernels} (paper: 182), "
+             f"regression models after clustering: {model.n_models} "
+             f"(paper: 83)")
+    emit("fig13_kw_model", text)
+
+    assert curve.mean_error < 0.10, "KW error must be single-digit"
+    assert model.n_models < model.n_kernels, "clustering must merge"
+
+
+def test_fig13_kw_per_gpu_errors(benchmark, split, index):
+    train, test = split
+    paper = {"A40": 0.06, "A100": 0.07, "GTX 1080 Ti": 0.078,
+             "TITAN RTX": 0.092, "V100": 0.094}
+
+    def evaluate_all():
+        rows = []
+        for name in ("A40", "A100", "GTX 1080 Ti", "TITAN RTX", "V100"):
+            model = context.trained("kw", name)
+            curve = evaluate_model(model, test, index, gpu=name,
+                                   batch_size=512)
+            rows.append((name, curve.mean_error, paper[name]))
+        return rows
+
+    rows = once(benchmark, evaluate_all)
+    emit("fig13_kw_per_gpu", render_table(
+        ["GPU", "KW error (measured)", "KW error (paper)"],
+        [(name, f"{measured:.3f}", f"{reference:.3f}")
+         for name, measured, reference in rows],
+        title="Section 5.4: KW model error per GPU"))
+    for name, measured, _ in rows:
+        assert measured < 0.10, name
+
+
+def test_fig13_kw_overestimation_tail(benchmark, split, index):
+    """The asymmetric tail: small workloads are overestimated because
+    summed per-kernel durations double-count launch startup the real
+    pipeline hides. At batch size 8 the whole test-set distribution
+    shifts above 1, with a tail in the paper's +15%..+100% range."""
+    model = context.trained_all_batches("kw", "A100")
+    _, test = split
+
+    def small_batch_curve():
+        return evaluate_model(model, test, index, gpu="A100",
+                              batch_size=8)
+
+    curve = once(benchmark, small_batch_curve)
+    emit("fig13_small_batch_tail", curve.render(
+        "KW at batch size 8 on A100 (trained on all batch sizes) — the "
+        "distribution shifts to overestimation, paper: +15%..+100% for "
+        "under-utilising networks"))
+    assert curve.median_ratio > 1.0, "small workloads skew overestimated"
+    assert curve.at_percentile(90) > 1.15, "the tail reaches +15% or more"
+    assert curve.underestimated_fraction() < 0.5
+
+
+def test_fig13_kw_transformers(benchmark):
+    """The transformer extension (paper: ~4.76% error on A100)."""
+    train, test = context.text_split()
+    model = once(benchmark,
+                 lambda: train_model(train, "kw", gpu="A100",
+                                     batch_size=context.TEXT_BATCH_SIZE))
+    curve = evaluate_model(model, test, context.text_index(), gpu="A100",
+                           batch_size=context.TEXT_BATCH_SIZE)
+    emit("fig13_kw_transformers", curve.render(
+        f"KW on text-classification transformers, A100 "
+        f"({len(curve.ratios)} test networks; paper: mean error 0.0476)"))
+    assert curve.mean_error < 0.12
+
+
+def test_fig13_kw_prediction_speed(benchmark, index):
+    model = context.trained("kw", "A100")
+    net = index["resnet50"]
+    benchmark(lambda: model.predict_network(net, 512))

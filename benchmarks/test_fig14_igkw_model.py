@@ -1,0 +1,39 @@
+"""Figure 14: the Inter-GPU KW model predicts an unseen GPU.
+
+Trained on A100 + A40 + GTX 1080 Ti, evaluated on TITAN RTX.
+Paper: 15.2% average error, about half the networks within 10%.
+"""
+
+from _shared import emit, once
+
+from repro.core import evaluate_model, train_inter_gpu_model
+from repro.gpu import IGKW_TEST_GPU, IGKW_TRAIN_GPUS, gpu
+
+
+def test_fig14_igkw_model(benchmark, split, index):
+    train, test = split
+    model = once(benchmark, lambda: train_inter_gpu_model(
+        train, [gpu(name) for name in IGKW_TRAIN_GPUS]))
+    predictor = model.for_gpu(gpu(IGKW_TEST_GPU))
+    curve = evaluate_model(predictor, test, index, gpu=IGKW_TEST_GPU,
+                           batch_size=512)
+
+    text = curve.render(
+        f"Figure 14: IGKW model, trained on {', '.join(IGKW_TRAIN_GPUS)}, "
+        f"predicting {IGKW_TEST_GPU} (paper: mean error 0.152)")
+    text += (f"\nnetworks within 10% error: "
+             f"{curve.fraction_within(0.10) * 100:.0f}% "
+             "(paper: about half)")
+    emit("fig14_igkw_model", text)
+
+    assert 0.08 < curve.mean_error < 0.25
+    assert curve.fraction_within(0.10) > 0.3
+
+
+def test_fig14_igkw_materialisation_speed(benchmark, split):
+    """Materialising a predictor for a new GPU is cheap (per-kernel
+    line synthesis only)."""
+    train, _ = split
+    model = train_inter_gpu_model(
+        train, [gpu(name) for name in IGKW_TRAIN_GPUS])
+    benchmark(lambda: model.for_gpu(gpu(IGKW_TEST_GPU)))

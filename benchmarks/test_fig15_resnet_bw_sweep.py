@@ -1,0 +1,39 @@
+"""Figure 15: ResNet-50 on TITAN RTX with modified memory bandwidth.
+
+Case study 1: the IGKW model evaluates hypothetical GPU configurations.
+Paper: performance improves with bandwidth; the ideal range is around
+600-800 GB/s — TITAN RTX's stock 672 GB/s falls inside it.
+"""
+
+from _shared import emit, once
+
+from repro.gpu import IGKW_TRAIN_GPUS, gpu
+from repro.reporting import render_series
+from repro.studies import context
+from repro.studies.bandwidth_sweep import bandwidth_sweep
+from repro.zoo import resnet50
+
+
+def test_fig15_resnet50_bandwidth_sweep(benchmark):
+    model = context.trained_igkw(IGKW_TRAIN_GPUS)
+    base = gpu("TITAN RTX")
+    sweep = once(benchmark,
+                 lambda: bandwidth_sweep(model, resnet50(), base, 64))
+
+    points = [(b, t / 1e3) for b, t in sweep.points]
+    marginal = [(b2, (t1 - t2) / t1 * 100)
+                for (b1, t1), (b2, t2) in zip(points, points[1:])]
+    text = render_series(
+        "Figure 15: predicted ResNet-50 time (ms) on TITAN RTX vs memory "
+        "bandwidth (stock = 672 GB/s)", points, "GB/s", "ms")
+    text += "\nmarginal gain per +100 GB/s: " + " ".join(
+        f"{b:.0f}:{g:.1f}%" for b, g in marginal)
+    emit("fig15_resnet_bw_sweep", text)
+
+    assert sweep.monotonic_non_increasing(tolerance=0.05)
+    # performance improves steeply below ~600 and flattens beyond ~800:
+    # marginal gains above 800 GB/s are all under 10% per step
+    steep = [g for b, g in marginal if b <= 600]
+    flat = [g for b, g in marginal if b > 800]
+    assert max(steep) > 10.0
+    assert all(g < 10.0 for g in flat)

@@ -1,0 +1,57 @@
+"""Figure 16: DenseNet-169 on TITAN RTX with modified memory bandwidth.
+
+Paper: DenseNet-169 is less bandwidth-hungry than ResNet-50 — its optimal
+range is lower (500-700 GB/s), so a customised GPU could trade bandwidth
+for cost without losing much performance.
+"""
+
+from _shared import emit, once
+
+from repro.gpu import IGKW_TRAIN_GPUS, gpu
+from repro.reporting import render_series
+from repro.studies import context
+from repro.studies.bandwidth_sweep import bandwidth_sweep
+from repro.zoo import densenet169, resnet50
+
+
+def test_fig16_densenet169_bandwidth_sweep(benchmark):
+    model = context.trained_igkw(IGKW_TRAIN_GPUS)
+    base = gpu("TITAN RTX")
+    sweep = once(benchmark,
+                 lambda: bandwidth_sweep(model, densenet169(), base, 64))
+
+    points = [(b, t / 1e3) for b, t in sweep.points]
+    text = render_series(
+        "Figure 16: predicted DenseNet-169 time (ms) on TITAN RTX vs "
+        "memory bandwidth (stock = 672 GB/s)", points, "GB/s", "ms")
+    emit("fig16_densenet_bw_sweep", text)
+
+    assert sweep.monotonic_non_increasing(tolerance=0.05)
+
+    # reducing the stock bandwidth moderately must not hurt much: the
+    # case study's conclusion is that 500 GB/s loses little performance
+    stock = sweep.predicted_at(700)
+    reduced = sweep.predicted_at(500)
+    assert reduced / stock < 1.35
+
+
+def test_fig15_16_densenet_less_bandwidth_sensitive(benchmark):
+    """The cross-figure comparison: between 500 and 1000 GB/s, ResNet-50
+    gains more from extra bandwidth than DenseNet-169."""
+    model = context.trained_igkw(IGKW_TRAIN_GPUS)
+    base = gpu("TITAN RTX")
+
+    def gains():
+        out = {}
+        for net in (resnet50(), densenet169()):
+            sweep = bandwidth_sweep(model, net, base, 64,
+                                    bandwidths_gbs=[500, 1000])
+            out[net.name] = (sweep.predicted_at(500)
+                             / sweep.predicted_at(1000))
+        return out
+
+    ratio = once(benchmark, gains)
+    emit("fig15_16_sensitivity",
+         f"speedup from 500->1000 GB/s: resnet50 {ratio['resnet50']:.2f}x, "
+         f"densenet169 {ratio['densenet169']:.2f}x")
+    assert ratio["resnet50"] > ratio["densenet169"] * 0.98

@@ -1,0 +1,55 @@
+"""Figure 17: network bandwidth needs of memory-disaggregated GPU systems.
+
+Case study 2: the KW model supplies per-layer times to an event-driven
+system simulation (MGPUSim-style). Paper: different networks need
+different link bandwidths (ResNet needs 128 GB/s); the whole experiment
+runs in seconds on a laptop.
+"""
+
+import time
+
+from _shared import emit, once
+
+from repro.reporting import render_table
+from repro.studies import context
+from repro.studies.disaggregation import (
+    FIGURE17_BANDWIDTHS,
+    run_disaggregation_study,
+)
+from repro.zoo import disaggregation_roster
+
+
+def test_fig17_disaggregation_speedups(benchmark):
+    predictor = context.trained_all_batches("kw", "A100")
+    networks = disaggregation_roster()
+
+    start = time.perf_counter()
+    results = once(benchmark,
+                   lambda: run_disaggregation_study(predictor, networks))
+    elapsed = time.perf_counter() - start
+
+    rows = []
+    for result in results:
+        rows.append((result.network,
+                     f"{result.saturation_gbs():.0f}")
+                    + tuple(f"{result.speedup_at(b):.2f}"
+                            for b in FIGURE17_BANDWIDTHS))
+    text = render_table(
+        ["network", "saturates at (GB/s)"]
+        + [f"{b} GB/s" for b in FIGURE17_BANDWIDTHS],
+        rows,
+        title=("Figure 17: speedup over a 16 GB/s link for disaggregated-"
+               f"memory GPU systems (whole study: {elapsed:.2f}s — paper: "
+               "'less than 5 seconds on the author's laptop')"))
+    emit("fig17_disaggregation", text)
+
+    by_name = {r.network: r for r in results}
+    # the paper's headline: ResNet requires a 128 GB/s network
+    assert by_name["resnet50"].saturation_gbs() == 128
+    # different networks have different bandwidth requirements
+    saturations = {r.saturation_gbs() for r in results}
+    assert len(saturations) >= 3
+    # speedups are material (paper's bars reach ~2-2.5x)
+    assert by_name["resnet50"].speedup_at(512) > 1.5
+    # the whole experiment is fast
+    assert elapsed < 5.0

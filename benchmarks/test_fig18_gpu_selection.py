@@ -1,0 +1,45 @@
+"""Figure 18: measured vs predicted times on A40 and TITAN RTX.
+
+Case study 3, part 1: per-network GPU selection. Paper: "our performance
+model correctly selects the GPU that runs faster for all the DNNs".
+"""
+
+from _shared import emit, once
+
+from repro.gpu import gpu
+from repro.reporting import render_table
+from repro.studies import context
+from repro.studies.scheduling_study import STUDY_GPUS, run_scheduling_study
+from repro.zoo import scheduling_roster
+
+
+def test_fig18_gpu_selection(benchmark):
+    predictors = {name: context.trained_all_batches("kw", name)
+                  for name in STUDY_GPUS}
+    networks = scheduling_roster()
+    specs = [gpu(name) for name in STUDY_GPUS]
+
+    study = once(benchmark,
+                 lambda: run_scheduling_study(predictors, networks, specs))
+
+    rows = []
+    for decision in study.decisions:
+        a40_m = decision.measured_us["A40"] / 1e3
+        titan_m = decision.measured_us["TITAN RTX"] / 1e3
+        a40_p = decision.predicted_us["A40"] / 1e3
+        titan_p = decision.predicted_us["TITAN RTX"] / 1e3
+        rows.append((decision.network, f"{a40_m:.1f}", f"{a40_p:.1f}",
+                     f"{titan_m:.1f}", f"{titan_p:.1f}",
+                     decision.predicted_best,
+                     "yes" if decision.correct else "NO"))
+    text = render_table(
+        ["network", "A40 meas (ms)", "A40 pred (ms)",
+         "TITAN meas (ms)", "TITAN pred (ms)", "picked", "correct"],
+        rows,
+        title=(f"Figure 18: measured vs predicted on A40 and TITAN RTX — "
+               f"placement accuracy "
+               f"{study.placement_accuracy * 100:.0f}% (paper: 100%). "
+               "In this substrate the A40 dominates all nine networks."))
+    emit("fig18_gpu_selection", text)
+
+    assert study.placement_accuracy == 1.0

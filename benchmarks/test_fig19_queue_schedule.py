@@ -1,0 +1,40 @@
+"""Figure 19: scheduling a queue of networks across two GPUs.
+
+Case study 3, part 2: brute-force makespan minimisation driven by
+predicted times. Paper: "our model gives a near-perfect workload-balancing
+solution ... identical to the oracle execution solution".
+"""
+
+from _shared import emit, once
+
+from repro.gpu import gpu
+from repro.studies import context
+from repro.studies.scheduling_study import STUDY_GPUS, run_scheduling_study
+from repro.zoo import scheduling_roster
+
+
+def test_fig19_queue_schedule(benchmark):
+    predictors = {name: context.trained_all_batches("kw", name)
+                  for name in STUDY_GPUS}
+    networks = scheduling_roster()
+    specs = [gpu(name) for name in STUDY_GPUS]
+
+    study = once(benchmark,
+                 lambda: run_scheduling_study(predictors, networks, specs))
+
+    text = ("Figure 19: brute-force schedule of the nine-network queue\n\n"
+            "Predicted-time schedule:\n"
+            + study.predicted_schedule.render()
+            + "\n\nOracle (measured-time) schedule:\n"
+            + study.oracle_schedule.render()
+            + f"\n\nmakespan excess over oracle: "
+              f"{study.oracle_gap * 100:.2f}% (paper: identical)")
+    emit("fig19_queue_schedule", text)
+
+    # the predicted dispatching scheme matches the oracle's makespan
+    # within a few percent
+    assert study.oracle_gap < 0.05
+    # every job is assigned, and both GPUs get work (load balancing)
+    assignment = study.predicted_schedule.assignment
+    assert len(assignment) == len(networks)
+    assert len(set(assignment.values())) == 2

@@ -1,0 +1,23 @@
+"""Table 1: GPUs used in the experiments."""
+
+from _shared import emit, once
+
+from repro.gpu import GPUS
+from repro.reporting import render_table
+
+
+def test_table1_gpu_catalogue(benchmark):
+    def build_rows():
+        return [
+            (spec.name, spec.bandwidth_gbs, spec.memory_gb,
+             spec.fp32_tflops, spec.tensor_cores)
+            for spec in GPUS.values()
+        ]
+
+    rows = once(benchmark, build_rows)
+    text = render_table(
+        ["GPU", "Bandwidth (GB/s)", "Memory (GB)", "TFLOPS (FP32)",
+         "Tensor Cores"],
+        rows, title="Table 1: GPUs used in the experiments")
+    emit("table1_gpus", text)
+    assert len(rows) == 7

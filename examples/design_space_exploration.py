@@ -1,0 +1,51 @@
+"""Case study 1: exploring hypothetical GPU configurations.
+
+Train the Inter-GPU Kernel-Wise model on three measured GPUs, then:
+
+- predict execution times on a GPU that was never measured (TITAN RTX),
+- sweep the memory-bandwidth knob on that GPU to find the "ideal
+  bandwidth range" for ResNet-50 and DenseNet-169 (Figures 15 and 16).
+
+Run with::
+
+    python examples/design_space_exploration.py
+"""
+
+from repro import core, dataset, zoo
+from repro.gpu import IGKW_TEST_GPU, IGKW_TRAIN_GPUS, gpu
+from repro.reporting import render_series
+from repro.studies.bandwidth_sweep import bandwidth_sweep
+
+
+def main() -> None:
+    networks = zoo.imagenet_roster("medium")
+    train_specs = [gpu(name) for name in IGKW_TRAIN_GPUS]
+    print(f"Measuring {len(networks)} networks on "
+          f"{', '.join(IGKW_TRAIN_GPUS)} ...")
+    data = dataset.build_dataset(networks, train_specs, batch_sizes=[512])
+    train, test = dataset.train_test_split(data)
+
+    print("Training the Inter-GPU Kernel-Wise model ...\n")
+    igkw = core.train_inter_gpu_model(train, train_specs)
+
+    # predict the unseen GPU
+    target = gpu(IGKW_TEST_GPU)
+    predictor = igkw.for_gpu(target)
+    example = zoo.resnet50()
+    print(f"Predicted ResNet-50 time on the never-measured {target.name}: "
+          f"{predictor.predict_network_ms(example, 64):.1f} ms at BS 64\n")
+
+    # sweep the bandwidth knob (the OpenAI-orders-a-custom-GPU scenario)
+    for network in (zoo.resnet50(), zoo.densenet169()):
+        sweep = bandwidth_sweep(igkw, network, target, 64)
+        points = [(bandwidth, time_us / 1e3)
+                  for bandwidth, time_us in sweep.points]
+        print(render_series(
+            f"Predicted {network.name} time on {target.name} vs memory "
+            f"bandwidth (stock: {target.bandwidth_gbs:g} GB/s)",
+            points, "GB/s", "ms"))
+        print(f"  -> diminishing returns beyond ~{sweep.knee_gbs():g} GB/s\n")
+
+
+if __name__ == "__main__":
+    main()

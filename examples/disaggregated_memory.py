@@ -1,0 +1,49 @@
+"""Case study 2: sizing the network of a disaggregated-memory GPU system.
+
+A GPU with a small local memory streams weights (and spilled activations)
+from a remote memory pool. How much link bandwidth does each workload
+need? The KW model supplies per-layer times; an event-driven simulation
+(MGPUSim-style) models the prefetcher and the link (Figure 17).
+
+Run with::
+
+    python examples/disaggregated_memory.py
+"""
+
+from repro import core, dataset, zoo
+from repro.gpu import gpu
+from repro.reporting import render_table
+from repro.studies.disaggregation import (
+    FIGURE17_BANDWIDTHS,
+    run_disaggregation_study,
+)
+
+
+def main() -> None:
+    networks = zoo.imagenet_roster("medium")
+    print(f"Building the training dataset ({len(networks)} networks) ...")
+    data = dataset.build_dataset(networks, [gpu("A100")],
+                                 batch_sizes=[8, 64, 512])
+    train, _ = dataset.train_test_split(data)
+    predictor = core.train_model(train, "kw", gpu="A100", batch_size=None)
+
+    print("Simulating disaggregated-memory execution ...\n")
+    results = run_disaggregation_study(predictor,
+                                       zoo.disaggregation_roster())
+
+    rows = []
+    for result in results:
+        rows.append((result.network, f"{result.saturation_gbs():.0f}")
+                    + tuple(f"{result.speedup_at(b):.2f}x"
+                            for b in FIGURE17_BANDWIDTHS))
+    print(render_table(
+        ["network", "needs (GB/s)"]
+        + [f"{b} GB/s" for b in FIGURE17_BANDWIDTHS],
+        rows,
+        title="Speedup over a 16 GB/s link (Figure 17)"))
+    print("\nReading: a network 'needs' the smallest link bandwidth that "
+          "keeps the GPU effectively fully utilised.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Diagnostics: when should you trust a prediction?
+
+Two tools for auditing a trained Kernel-Wise model before acting on it:
+
+1. :func:`repro.core.coverage_report` — which lookup stage resolved each
+   layer (exact table hit / nearest-bucket / layer-wise fallback)? The
+   paper warns kernel-level predictions degrade for networks whose
+   kernels were never measured; this makes the degradation visible.
+2. :func:`repro.core.error_breakdown` — per-family errors and worst
+   offenders on a held-out test set.
+
+Run with::
+
+    python examples/model_diagnostics.py
+"""
+
+from repro import core, dataset, zoo
+from repro.gpu import gpu
+
+
+def main() -> None:
+    networks = zoo.imagenet_roster("medium")
+    print(f"Training a KW model on {len(networks)} networks ...")
+    data = dataset.build_dataset(networks, [gpu("A100")],
+                                 batch_sizes=[64, 512])
+    train, test = dataset.train_test_split(data)
+    model = core.train_model(train, "kw", gpu="A100")
+    index = core.networks_by_name(networks)
+
+    # 1. coverage audit: a familiar network vs an alien one ---------------
+    print("\n--- coverage audit ---")
+    familiar = zoo.resnet([3, 4, 8, 3], name="my_new_resnet")
+    print(core.coverage_report(model, familiar, 64).render())
+    print()
+    alien = zoo.bert("tiny")   # no transformer was ever profiled
+    print(core.coverage_report(model, alien, 64).render())
+
+    # 2. error breakdown on the held-out networks --------------------------
+    print("\n--- error breakdown ---")
+    breakdown = core.error_breakdown(model, test, index, gpu="A100",
+                                     batch_size=512)
+    print(breakdown.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Extension: sizing the interconnect of a data-parallel training cluster.
+
+The paper's discussion names multi-GPU training architecture research as a
+domain the predictor serves. This example trains a *training-mode* KW
+model (forward+backward steps), then answers two design questions without
+any hardware:
+
+1. how does weak-scaling efficiency degrade with GPU count on PCIe vs
+   NVLink-class interconnects?
+2. what interconnect bandwidth does each model need for 95% efficiency
+   on an 8-GPU node?
+
+Run with::
+
+    python examples/multi_gpu_training.py
+"""
+
+from repro import core, dataset, zoo
+from repro.gpu import gpu
+from repro.reporting import render_table
+from repro.sim.links import Link
+from repro.studies.multi_gpu import bandwidth_requirement, scaling_curve
+
+
+def main() -> None:
+    networks = zoo.imagenet_roster("medium") + [zoo.bert("base")]
+    print(f"Profiling {len(networks)} networks in training mode ...")
+    data = dataset.build_dataset(networks, [gpu("A100")],
+                                 batch_sizes=[4, 16, 64], training=True)
+    predictor = core.train_model(data, "kw", gpu="A100", batch_size=None)
+
+    gpu_counts = [1, 2, 4, 8, 16]
+    links = {"PCIe (16 GB/s)": Link(16, 3.0),
+             "NVLink (300 GB/s)": Link(300, 2.0)}
+
+    rows = []
+    for net, batch in ((zoo.resnet50(), 8), (zoo.vgg16(), 4),
+                       (zoo.bert("base"), 4)):
+        for label, link in links.items():
+            curve = scaling_curve(predictor, net, batch, gpu_counts, link,
+                                  overlap=0.0)
+            rows.append((net.name, label)
+                        + tuple(f"{s.scaling_efficiency * 100:.0f}%"
+                                for s in curve))
+    print(render_table(
+        ["network", "interconnect"] + [f"{n}x" for n in gpu_counts],
+        rows, title="\nWeak-scaling efficiency (no comm/compute overlap)"))
+
+    print("\nInterconnect needed for 95% efficiency at 8 GPUs:")
+    for net, batch in ((zoo.resnet50(), 8), (zoo.vgg16(), 4),
+                       (zoo.bert("base"), 4)):
+        need, _ = bandwidth_requirement(
+            predictor, net, batch, 8,
+            bandwidths_gbs=[4, 8, 16, 32, 64, 128, 256, 512],
+            overlap=0.0)
+        grads = net.total_params() * 4 / 1e6
+        label = "beyond 512 GB/s" if need == float("inf") else f"{need:g} GB/s"
+        print(f"  {net.name:<12} ({grads:5.0f} MB gradients): {label}")
+
+
+if __name__ == "__main__":
+    main()

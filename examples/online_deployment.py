@@ -1,0 +1,70 @@
+"""Online learning and model distribution: the deployed-predictor loop.
+
+Section 5.2 notes the single-batch-size protocol makes the models
+"suitable for online learning (updating the model in the deployed
+environment in real-time)", and Figure 10's workflow ends with model
+parameters being "distributed to users". This example plays both out:
+
+1. a serving fleet profiles jobs as they run; each profiled execution
+   streams into an :class:`OnlineKernelWiseModel`;
+2. at any point the stream materialises a predictor — accuracy improves
+   as coverage grows;
+3. the finalised model parameters ship to users as a small JSON file.
+
+Run with::
+
+    python examples/online_deployment.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import core, dataset, zoo
+from repro.core.online import OnlineKernelWiseModel
+from repro.gpu import SimulatedGPU, gpu
+
+
+def main() -> None:
+    networks = zoo.imagenet_roster("medium")
+    device = SimulatedGPU(gpu("A100"))
+    holdout = zoo.resnet50()
+
+    online = OnlineKernelWiseModel()
+    print("Streaming profiled executions into the online KW model ...")
+    print(f"{'jobs seen':>10} {'kernel rows':>12} {'resnet50 pred err':>18}")
+
+    measured = device.run_network(holdout, 256).e2e_us
+    for jobs_seen, network in enumerate(networks, start=1):
+        if network.name == holdout.name:
+            continue
+        result = device.run_network(network, 256)
+        kernel_rows, layer_rows, _ = dataset.rows_from_execution(result)
+        for row in kernel_rows:
+            online.observe_kernel(row)
+        for row in layer_rows:
+            online.observe_layer(row)
+
+        if jobs_seen in (3, 10, 25, len(networks) - 1):
+            predictor = online.finalize()
+            predicted = predictor.predict_network(holdout, 256)
+            error = abs(predicted / measured - 1) * 100
+            print(f"{jobs_seen:>10} {online.kernel_rows_seen:>12,} "
+                  f"{error:>17.1f}%")
+
+    # distribute the batch-trained equivalent as JSON
+    print("\nDistributing a trained model as JSON ...")
+    data = dataset.build_dataset(networks, [gpu("A100")],
+                                 batch_sizes=[256])
+    model = core.train_model(data, "kw", gpu="A100", batch_size=256)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = core.save_model(model, Path(tmp) / "kw_a100.json")
+        size_kb = path.stat().st_size / 1024
+        restored = core.load_model(path)
+        print(f"  model file: {size_kb:.0f} KiB")
+        print(f"  restored prediction for {holdout.name}: "
+              f"{restored.predict_network_ms(holdout, 256):.1f} ms "
+              f"(original: {model.predict_network_ms(holdout, 256):.1f} ms)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Profiling and dataset management: the measurement side of the paper.
+
+Shows the PyTorch-Profiler-equivalent trace (Figure 2's two tracks plus
+the layer-to-kernel mapping), the kernel classification report (Figure 8),
+and CSV export/import of the prediction dataset (the artifact's format).
+
+Run with::
+
+    python examples/profile_and_export.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import dataset, zoo
+from repro.core import classification_report, classify_kernels
+from repro.gpu import SimulatedGPU, gpu
+from repro.profiler import profile_network
+
+
+def main() -> None:
+    device = SimulatedGPU(gpu("A100"))
+
+    # 1. a linked layer/kernel trace of one batch --------------------------
+    trace = profile_network(device, zoo.resnet18(), batch_size=8)
+    print(trace.render(max_rows=14))
+    mapping = trace.layer_to_kernels()
+    conv_layer = next(e.name for e in trace.layer_events
+                      if e.kind == "CONV")
+    kernel_names = [k.name for k in mapping[conv_layer]]
+    print(f"\nLayer {conv_layer!r} launched: {kernel_names}")
+    print(f"Layer time from the trace: "
+          f"{trace.layer_duration_us(conv_layer):.1f} us\n")
+
+    # 2. build a dataset and classify its kernels ---------------------------
+    networks = zoo.imagenet_roster("small")
+    data = dataset.build_dataset(networks, [gpu("A100")],
+                                 batch_sizes=[64, 512])
+    classified = classify_kernels(data)
+    print(classification_report(classified).split("\n", 12)[0])
+    for line in classification_report(classified).splitlines()[1:12]:
+        print(line)
+    print("  ...\n")
+
+    # 3. export / import the CSV tables (artifact format) -------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = dataset.save_dataset(data, Path(tmp) / "prediction")
+        print(f"Wrote {', '.join(p.name for p in directory.iterdir())}")
+        reloaded = dataset.load_dataset(directory)
+        print(f"Reloaded {len(reloaded):,} kernel executions across "
+              f"{len(reloaded.network_names())} networks")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Quickstart: measure, train, and predict DNN execution times.
+
+The end-to-end Figure-10 workflow on a small campaign:
+
+1. collect a dataset (networks x batch sizes on a simulated A100),
+2. split it into train/test,
+3. train the three single-GPU models (E2E, LW, KW),
+4. compare their accuracy on held-out networks,
+5. predict a brand-new network's time without ever executing it.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import core, dataset, zoo
+from repro.gpu import SimulatedGPU, gpu
+
+
+def main() -> None:
+    # 1. collect the dataset ------------------------------------------------
+    networks = zoo.imagenet_roster("medium")
+    print(f"Profiling {len(networks)} networks on a simulated A100 ...")
+    data = dataset.build_dataset(networks, [gpu("A100")],
+                                 batch_sizes=[64, 512])
+    print(f"  -> {len(data):,} kernel executions, "
+          f"{len(data.kernel_names())} distinct kernels\n")
+
+    # 2. split --------------------------------------------------------------
+    train, test = dataset.train_test_split(data)
+    index = core.networks_by_name(networks)
+    print(f"Train networks: {len(train.network_names())}, "
+          f"test networks: {len(test.network_names())}\n")
+
+    # 3 + 4. train and compare the three models ------------------------------
+    print("Model accuracy on held-out networks (BS 512):")
+    for name in ("e2e", "lw", "kw"):
+        model = core.train_model(train, name, gpu="A100")
+        curve = core.evaluate_model(model, test, index, gpu="A100",
+                                    batch_size=512)
+        print(f"  {name.upper():<4} mean |pred/meas - 1| = "
+              f"{curve.mean_error:.3f}")
+    print()
+
+    # 5. predict a brand-new network from structure alone ---------------------
+    kw = core.train_model(train, "kw", gpu="A100")
+    new_network = zoo.resnet([3, 6, 12, 3], name="my_custom_resnet")
+    predicted_ms = kw.predict_network_ms(new_network, 256)
+    print(f"Predicted time for {new_network.name} at BS 256: "
+          f"{predicted_ms:.1f} ms")
+
+    # validate against the simulated hardware (normally unavailable!)
+    measured_ms = SimulatedGPU(gpu("A100")).run_network(
+        new_network, 256).e2e_us / 1e3
+    print(f"Measured on the simulated A100:        {measured_ms:.1f} ms")
+    print(f"Prediction error: "
+          f"{abs(predicted_ms / measured_ms - 1) * 100:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

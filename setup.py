@@ -1,0 +1,6 @@
+"""Legacy setup shim: enables editable installs where the environment
+lacks the ``wheel`` package (PEP 517 editable builds need bdist_wheel)."""
+
+from setuptools import setup
+
+setup()

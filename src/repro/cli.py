@@ -1,0 +1,267 @@
+"""Command-line interface: the artifact's shell workflow as one tool.
+
+Mirrors the paper artifact's ``run.sh`` steps:
+
+- ``repro build``      collect a prediction dataset into CSV files
+- ``repro train``      fit a single-GPU model and save it as JSON
+- ``repro train-igkw`` fit the inter-GPU model on several GPUs
+- ``repro predict``    predict one network's time from a saved model
+- ``repro evaluate``   score a saved model against a dataset's test split
+- ``repro list``       enumerate available networks and GPUs
+
+Example::
+
+    repro build --roster medium --gpu A100 --batch-size 512 --out data/
+    repro train --dataset data/ --model kw --gpu A100 --out kw.json
+    repro predict --model kw.json --network resnet50 --batch-size 256
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import core, dataset, zoo
+from repro.core.intergpu import InterGPUKernelWiseModel
+from repro.gpu import gpu, gpu_names
+
+
+def _add_build(subparsers) -> None:
+    p = subparsers.add_parser(
+        "build", help="profile networks and write a CSV dataset")
+    p.add_argument("--roster", default="medium",
+                   choices=["small", "medium", "full", "text"])
+    p.add_argument("--gpu", action="append", dest="gpus", required=True,
+                   help="GPU name (repeatable)")
+    p.add_argument("--batch-size", action="append", dest="batch_sizes",
+                   type=int, required=True, help="batch size (repeatable)")
+    p.add_argument("--training", action="store_true",
+                   help="measure forward+backward steps")
+    p.add_argument("--out", required=True, help="output directory")
+
+
+def _add_train(subparsers) -> None:
+    p = subparsers.add_parser(
+        "train", help="train a single-GPU model from a CSV dataset")
+    p.add_argument("--dataset", required=True)
+    p.add_argument("--model", required=True, choices=["e2e", "lw", "kw"])
+    p.add_argument("--gpu", required=True)
+    p.add_argument("--batch-size", default="512",
+                   help="training batch size, or 'all'")
+    p.add_argument("--out", required=True, help="output model JSON")
+
+
+def _add_train_igkw(subparsers) -> None:
+    p = subparsers.add_parser(
+        "train-igkw", help="train the inter-GPU model on several GPUs")
+    p.add_argument("--dataset", required=True)
+    p.add_argument("--gpu", action="append", dest="gpus", required=True)
+    p.add_argument("--batch-size", default="512")
+    p.add_argument("--out", required=True)
+
+
+def _add_predict(subparsers) -> None:
+    p = subparsers.add_parser(
+        "predict", help="predict one network's execution time")
+    p.add_argument("--model", required=True, help="saved model JSON")
+    p.add_argument("--network", required=True,
+                   help="registered network name (see 'repro list')")
+    p.add_argument("--batch-size", type=int, required=True)
+    p.add_argument("--gpu", default=None,
+                   help="target GPU (required for igkw models)")
+    p.add_argument("--bandwidth", type=float, default=None,
+                   help="override the target GPU's bandwidth (GB/s)")
+    p.add_argument("--coverage", action="store_true",
+                   help="audit which lookup stages the prediction used "
+                        "(kernel-level models only)")
+
+
+def _add_evaluate(subparsers) -> None:
+    p = subparsers.add_parser(
+        "evaluate", help="score a saved model on a dataset's test split")
+    p.add_argument("--model", required=True)
+    p.add_argument("--dataset", required=True)
+    p.add_argument("--gpu", required=True)
+    p.add_argument("--batch-size", type=int, default=512)
+    p.add_argument("--test-fraction", type=float, default=0.15)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--breakdown", action="store_true",
+                   help="also print per-family errors and worst offenders")
+
+
+def _add_list(subparsers) -> None:
+    p = subparsers.add_parser(
+        "list", help="list available networks and GPUs")
+    p.add_argument("what", choices=["networks", "gpus"])
+
+
+def _add_reproduce(subparsers) -> None:
+    p = subparsers.add_parser(
+        "reproduce",
+        help="run the headline reproduction (the artifact's run.sh)")
+    p.add_argument("--scale", default="full",
+                   choices=["small", "medium", "full"])
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--out", required=True, help="report directory")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DNN execution time prediction (MICRO 2023 repro)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_build(subparsers)
+    _add_train(subparsers)
+    _add_train_igkw(subparsers)
+    _add_predict(subparsers)
+    _add_evaluate(subparsers)
+    _add_list(subparsers)
+    _add_reproduce(subparsers)
+    return parser
+
+
+def _roster(name: str):
+    if name == "text":
+        return zoo.text_roster()
+    return zoo.imagenet_roster(name)
+
+
+def _parse_batch(value: str) -> Optional[int]:
+    return None if value == "all" else int(value)
+
+
+def _cmd_build(args) -> int:
+    networks = _roster(args.roster)
+    specs = [gpu(name) for name in args.gpus]
+    data = dataset.build_dataset(networks, specs,
+                                 batch_sizes=args.batch_sizes,
+                                 training=args.training)
+    directory = dataset.save_dataset(data, args.out)
+    print(f"wrote {len(data):,} kernel executions "
+          f"({len(data.network_names())} networks, "
+          f"{len(data.kernel_names())} kernels) to {directory}")
+    return 0
+
+
+def _cmd_train(args) -> int:
+    data = dataset.load_dataset(args.dataset)
+    model = core.train_model(data, args.model, gpu=args.gpu,
+                             batch_size=_parse_batch(args.batch_size))
+    path = core.save_model(model, args.out)
+    print(f"trained {args.model.upper()} on {args.gpu}; saved to {path}")
+    return 0
+
+
+def _cmd_train_igkw(args) -> int:
+    data = dataset.load_dataset(args.dataset)
+    model = core.train_inter_gpu_model(
+        data, [gpu(name) for name in args.gpus],
+        batch_size=_parse_batch(args.batch_size))
+    path = core.save_model(model, args.out)
+    print(f"trained IGKW on {', '.join(args.gpus)}; saved to {path}")
+    return 0
+
+
+def _cmd_predict(args) -> int:
+    model = core.load_model(args.model)
+    network = zoo.build(args.network)
+    if isinstance(model, InterGPUKernelWiseModel):
+        if args.gpu is None:
+            print("error: igkw models need --gpu", file=sys.stderr)
+            return 2
+        target = gpu(args.gpu)
+        if args.bandwidth is not None:
+            target = target.with_bandwidth(args.bandwidth)
+        predictor = model.for_gpu(target)
+        label = target.name
+    else:
+        predictor = model
+        label = "its training GPU"
+    predicted = predictor.predict_network(network, args.batch_size)
+    print(f"{args.network} at batch {args.batch_size} on {label}: "
+          f"{predicted / 1e3:.3f} ms")
+    if args.coverage:
+        from repro.core.coverage import coverage_report
+        from repro.core.kernelwise import KernelTablePredictor
+        if isinstance(predictor, KernelTablePredictor):
+            print(coverage_report(predictor, network,
+                                  args.batch_size).render())
+        else:
+            print("(coverage audit applies to kernel-level models only)")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    model = core.load_model(args.model)
+    data = dataset.load_dataset(args.dataset)
+    _, test = dataset.train_test_split(data,
+                                       test_fraction=args.test_fraction,
+                                       seed=args.seed)
+    index = {}
+    for name in test.network_names():
+        try:
+            index[name] = zoo.build(name)
+        except KeyError:
+            continue   # variant names are reconstructed below
+    # variant networks are not individually registered; rebuild rosters
+    if len(index) < len(test.network_names()):
+        for scale in ("full", "text"):
+            for network in _roster(scale):
+                if network.name in set(test.network_names()):
+                    index.setdefault(network.name, network)
+    if isinstance(model, InterGPUKernelWiseModel):
+        predictor = model.for_gpu(gpu(args.gpu))
+    else:
+        predictor = model
+    curve = core.evaluate_model(predictor, test, index, gpu=args.gpu,
+                                batch_size=args.batch_size)
+    print(curve.render(f"{args.model} on {args.gpu} "
+                       f"(BS {args.batch_size}, "
+                       f"{len(curve.ratios)} networks)"))
+    if args.breakdown:
+        breakdown = core.error_breakdown(predictor, test, index,
+                                         gpu=args.gpu,
+                                         batch_size=args.batch_size)
+        print(breakdown.render())
+    return 0
+
+
+def _cmd_list(args) -> int:
+    if args.what == "networks":
+        for name in zoo.model_names():
+            print(name)
+    else:
+        for name in gpu_names():
+            spec = gpu(name)
+            print(f"{name:<14} {spec.bandwidth_gbs:>6g} GB/s  "
+                  f"{spec.fp32_tflops:>5g} TFLOPS  {spec.memory_gb:g} GB")
+    return 0
+
+
+def _cmd_reproduce(args) -> int:
+    from repro.reproduce import main_report
+    report = main_report(args.out, scale=args.scale, seed=args.seed)
+    print(report)
+    print(f"(saved to {args.out}/reproduction.txt)")
+    return 0
+
+
+_COMMANDS = {
+    "build": _cmd_build,
+    "train": _cmd_train,
+    "train-igkw": _cmd_train_igkw,
+    "predict": _cmd_predict,
+    "evaluate": _cmd_evaluate,
+    "list": _cmd_list,
+    "reproduce": _cmd_reproduce,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,118 @@
+"""Prediction error analysis: per-family breakdowns and worst offenders.
+
+The artifact's scripts print per-model error rates; real debugging needs
+one level more: *which* networks miss, in *which* direction, and whether
+misses cluster by family (a coverage or calibration problem) or spread
+evenly (irreducible noise). :func:`error_breakdown` computes that from a
+model and a test dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.base import PerformanceModel
+from repro.dataset.builder import PerformanceDataset
+from repro.nn.graph import Network
+
+
+@dataclass(frozen=True)
+class NetworkError:
+    """One network's prediction outcome."""
+
+    network: str
+    family: str
+    predicted_us: float
+    measured_us: float
+
+    @property
+    def ratio(self) -> float:
+        return self.predicted_us / self.measured_us
+
+    @property
+    def error(self) -> float:
+        return abs(self.ratio - 1.0)
+
+
+@dataclass(frozen=True)
+class FamilyError:
+    """Aggregate outcome of one model family."""
+
+    family: str
+    count: int
+    mean_error: float
+    median_ratio: float
+
+
+@dataclass(frozen=True)
+class ErrorBreakdown:
+    """Full error analysis of one model on one test set."""
+
+    model_name: str
+    gpu: str
+    entries: Tuple[NetworkError, ...]
+
+    @property
+    def mean_error(self) -> float:
+        return sum(e.error for e in self.entries) / len(self.entries)
+
+    def by_family(self) -> List[FamilyError]:
+        grouped: Dict[str, List[NetworkError]] = {}
+        for entry in self.entries:
+            grouped.setdefault(entry.family, []).append(entry)
+        families = []
+        for family, members in sorted(grouped.items()):
+            ratios = sorted(member.ratio for member in members)
+            families.append(FamilyError(
+                family=family,
+                count=len(members),
+                mean_error=sum(m.error for m in members) / len(members),
+                median_ratio=ratios[len(ratios) // 2],
+            ))
+        families.sort(key=lambda f: -f.mean_error)
+        return families
+
+    def worst(self, n: int = 5) -> List[NetworkError]:
+        return sorted(self.entries, key=lambda e: -e.error)[:n]
+
+    def systematic_bias(self) -> float:
+        """Median ratio − 1: positive means systematic overestimation."""
+        ratios = sorted(entry.ratio for entry in self.entries)
+        return ratios[len(ratios) // 2] - 1.0
+
+    def render(self) -> str:
+        lines = [f"{self.model_name} on {self.gpu}: mean error "
+                 f"{self.mean_error:.3f}, bias "
+                 f"{self.systematic_bias() * +100:+.1f}% "
+                 f"({len(self.entries)} networks)"]
+        lines.append(f"  {'family':<14} {'n':>3} {'mean err':>9} "
+                     f"{'median ratio':>13}")
+        for family in self.by_family():
+            lines.append(f"  {family.family:<14} {family.count:>3} "
+                         f"{family.mean_error:>9.3f} "
+                         f"{family.median_ratio:>13.2f}")
+        lines.append("  worst offenders:")
+        for entry in self.worst():
+            lines.append(f"    {entry.network:<26} ratio {entry.ratio:5.2f}")
+        return "\n".join(lines)
+
+
+def error_breakdown(model: PerformanceModel, test: PerformanceDataset,
+                    networks: Mapping[str, Network], gpu: str,
+                    batch_size: Optional[int] = None) -> ErrorBreakdown:
+    """Analyse a model's errors against one GPU's measured test rows."""
+    entries: List[NetworkError] = []
+    for row in test.for_gpu(gpu).network_rows:
+        if batch_size is not None and row.batch_size != batch_size:
+            continue
+        network = networks.get(row.network)
+        if network is None:
+            continue
+        predicted = model.predict_network(network, row.batch_size)
+        entries.append(NetworkError(row.network, row.family, predicted,
+                                    row.e2e_us))
+    if not entries:
+        raise ValueError("no test rows matched the model's inputs")
+    return ErrorBreakdown(getattr(model, "name", type(model).__name__),
+                          gpu, tuple(entries))

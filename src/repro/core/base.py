@@ -1,0 +1,56 @@
+"""Shared performance-model interface (the Figure-10 prediction side).
+
+Every model consumes only network *structure* (a :class:`Network` plus a
+batch size) and returns a predicted execution time in microseconds. A
+common ``evaluate`` turns test-set predictions into the paper's S-curve.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Mapping, Optional
+
+from repro.core.metrics import SCurve, s_curve
+from repro.dataset.builder import PerformanceDataset
+from repro.nn.graph import Network
+
+
+class PerformanceModel(abc.ABC):
+    """A trained execution-time predictor."""
+
+    #: short model label ("E2E", "LW", "KW", "IGKW")
+    name: str = ""
+
+    @abc.abstractmethod
+    def predict_network(self, network: Network, batch_size: int) -> float:
+        """Predicted end-to-end execution time in microseconds."""
+
+    def predict_network_ms(self, network: Network, batch_size: int) -> float:
+        return self.predict_network(network, batch_size) / 1e3
+
+    def evaluate(self, test: PerformanceDataset,
+                 networks: Mapping[str, Network],
+                 batch_size: Optional[int] = None) -> SCurve:
+        """Score this model against measured end-to-end times.
+
+        ``test`` supplies the measured times; ``networks`` supplies the
+        structures to predict from (keyed by name). When ``batch_size``
+        is given, only that batch size's measurements count.
+        """
+        predictions = {}
+        measurements = {}
+        for row in test.network_rows:
+            if batch_size is not None and row.batch_size != batch_size:
+                continue
+            network = networks.get(row.network)
+            if network is None:
+                continue
+            predictions[row.network] = self.predict_network(
+                network, row.batch_size)
+            measurements[row.network] = row.e2e_us
+        return s_curve(predictions, measurements)
+
+
+def networks_by_name(networks) -> Mapping[str, Network]:
+    """Index a roster by network name (a common evaluate() argument)."""
+    return {network.name: network for network in networks}

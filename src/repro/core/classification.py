@@ -1,0 +1,89 @@
+"""Kernel classification by cost driver (observation O5, Figure 8).
+
+No single layer parameter correlates with every kernel's execution time.
+The paper's insight is that cuDNN kernels follow a pre-process / compute /
+post-process pattern, so each kernel's time tracks exactly one of three
+layer-level features: the input size (N*C*H*W), the layer FLOPs, or the
+output size. The classification is automated: fit a linear regression per
+candidate feature and keep the one with the highest R².
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+from repro.core.linreg import LinearFit, fit_line
+from repro.dataset.builder import PerformanceDataset
+from repro.dataset.records import KernelRow
+
+#: Candidate driver features, in the order the paper presents them.
+FEATURES: Tuple[str, ...] = ("input_nchw", "flops", "output_nchw")
+
+#: Human-readable classification labels per feature column.
+FEATURE_LABELS: Mapping[str, str] = {
+    "input_nchw": "input-driven",
+    "flops": "operation-driven",
+    "output_nchw": "output-driven",
+}
+
+
+@dataclass(frozen=True)
+class ClassifiedKernel:
+    """One kernel's chosen driver feature and per-feature fit quality."""
+
+    kernel_name: str
+    feature: str                      # winning feature column
+    fit: LinearFit                    # regression on the winning feature
+    fits_by_feature: Mapping[str, LinearFit]
+
+    @property
+    def label(self) -> str:
+        return FEATURE_LABELS[self.feature]
+
+    @property
+    def r2_by_feature(self) -> Dict[str, float]:
+        return {feature: fit.r2
+                for feature, fit in self.fits_by_feature.items()}
+
+
+def classify_kernel(kernel_name: str,
+                    rows: List[KernelRow]) -> ClassifiedKernel:
+    """Classify one kernel from its measured executions.
+
+    Ties (including the single-point degenerate case where every fit has
+    R² = 0) resolve in :data:`FEATURES` order, preferring input-driven —
+    for a kernel seen once, all three lines predict equally well anyway.
+    """
+    if not rows:
+        raise ValueError(f"kernel {kernel_name!r} has no measurements")
+    durations = [row.duration_us for row in rows]
+    fits = {
+        feature: fit_line([row.feature(feature) for row in rows], durations)
+        for feature in FEATURES
+    }
+    best = max(FEATURES, key=lambda feature: fits[feature].r2)
+    return ClassifiedKernel(kernel_name, best, fits[best], fits)
+
+
+def classify_kernels(dataset: PerformanceDataset
+                     ) -> Dict[str, ClassifiedKernel]:
+    """Classify every kernel in a (single-GPU) dataset."""
+    return {
+        name: classify_kernel(name, rows)
+        for name, rows in dataset.kernels_by_name().items()
+    }
+
+
+def classification_report(classified: Mapping[str, ClassifiedKernel]) -> str:
+    """Figure-8-style summary: per-kernel winning feature and R² values."""
+    lines = [f"{'kernel':<36} {'class':<18} "
+             f"{'R2(in)':>8} {'R2(op)':>8} {'R2(out)':>8}"]
+    for name in sorted(classified):
+        entry = classified[name]
+        r2 = entry.r2_by_feature
+        lines.append(
+            f"{name:<36} {entry.label:<18} "
+            f"{r2['input_nchw']:>8.4f} {r2['flops']:>8.4f} "
+            f"{r2['output_nchw']:>8.4f}")
+    return "\n".join(lines)

@@ -1,0 +1,103 @@
+"""Kernel clustering: merge kernels with similar linear behaviour.
+
+Section 5.4: "to avoid creating a linear regression model for every
+kernel, we combine kernels that demonstrate similar linear relationships
+and only build one model for these kernels" — 182 kernels collapse to 83
+models on A100. We reproduce this with a greedy merge: kernels sharing a
+driver feature whose fitted lines agree within a relative tolerance join
+one cluster, and the cluster's model is refit on the pooled measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+from repro.core.classification import ClassifiedKernel
+from repro.core.linreg import LinearFit, fit_line
+from repro.dataset.records import KernelRow
+
+
+@dataclass(frozen=True)
+class KernelCluster:
+    """A group of kernels sharing one regression model."""
+
+    kernel_names: Tuple[str, ...]
+    feature: str
+    fit: LinearFit
+
+    def predict(self, feature_value: float) -> float:
+        return self.fit.predict(feature_value)
+
+
+def _slopes_compatible(a: LinearFit, b: LinearFit, tolerance: float) -> bool:
+    """True when two fitted lines are close enough to share a model.
+
+    Compatibility is judged on slope (relative) with a loose intercept
+    check scaled by the larger intercept magnitude.
+    """
+    scale = max(abs(a.slope), abs(b.slope))
+    if scale == 0.0:
+        slope_ok = True
+    else:
+        slope_ok = abs(a.slope - b.slope) <= tolerance * scale
+    intercept_scale = max(abs(a.intercept), abs(b.intercept), 1e-9)
+    intercept_ok = (abs(a.intercept - b.intercept)
+                    <= max(3.0 * tolerance * intercept_scale, 2.0))
+    return slope_ok and intercept_ok
+
+
+def cluster_kernels(classified: Mapping[str, ClassifiedKernel],
+                    rows_by_kernel: Mapping[str, List[KernelRow]],
+                    slope_tolerance: float = 0.10) -> List[KernelCluster]:
+    """Greedily merge compatible kernels and refit per cluster.
+
+    Kernels are grouped by driver feature, sorted by slope, and merged
+    while each next kernel's line stays compatible with the growing
+    cluster's *first* member (anchoring avoids tolerance drift across a
+    long chain of pairwise-similar kernels).
+    """
+    if slope_tolerance < 0:
+        raise ValueError("slope_tolerance must be non-negative")
+
+    by_feature: Dict[str, List[ClassifiedKernel]] = {}
+    for entry in classified.values():
+        by_feature.setdefault(entry.feature, []).append(entry)
+
+    clusters: List[KernelCluster] = []
+    for feature, entries in sorted(by_feature.items()):
+        entries.sort(key=lambda e: (e.fit.slope, e.kernel_name))
+        group: List[ClassifiedKernel] = []
+        for entry in entries:
+            if group and not _slopes_compatible(group[0].fit, entry.fit,
+                                                slope_tolerance):
+                clusters.append(_finalise(group, feature, rows_by_kernel))
+                group = []
+            group.append(entry)
+        if group:
+            clusters.append(_finalise(group, feature, rows_by_kernel))
+    return clusters
+
+
+def _finalise(group: List[ClassifiedKernel], feature: str,
+              rows_by_kernel: Mapping[str, List[KernelRow]]) -> KernelCluster:
+    """Refit one cluster's model on its pooled measurements."""
+    xs: List[float] = []
+    ys: List[float] = []
+    names = tuple(sorted(entry.kernel_name for entry in group))
+    for name in names:
+        for row in rows_by_kernel[name]:
+            xs.append(row.feature(feature))
+            ys.append(row.duration_us)
+    return KernelCluster(names, feature, fit_line(xs, ys))
+
+
+def cluster_index(clusters: List[KernelCluster]) -> Dict[str, KernelCluster]:
+    """kernel name → owning cluster."""
+    index: Dict[str, KernelCluster] = {}
+    for cluster in clusters:
+        for name in cluster.kernel_names:
+            if name in index:
+                raise ValueError(f"kernel {name!r} assigned to two clusters")
+            index[name] = cluster
+    return index

@@ -1,0 +1,115 @@
+"""Prediction-coverage diagnostics for kernel-level models.
+
+The paper's acknowledged limitation: "If one GPU uses a very different
+kernel from all other GPUs used in the training set, we cannot predict
+the performance reliably at the kernel level. A viable solution is to
+fall back to the layer-wise model, although the error may be higher."
+
+:func:`coverage_report` makes that failure mode *visible before trusting
+a prediction*: for each layer of a network it records which lookup stage
+resolved the kernel sequence (exact table hit, nearest-bucket
+approximation, or layer-wise fallback) and how much of the predicted time
+rests on each stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.kernelwise import KernelTablePredictor, _split_bucket
+from repro.core.signature import layer_signature
+from repro.nn.graph import Network
+
+#: Lookup resolution stages, best to worst.
+EXACT = "exact"
+NEAR = "nearest-bucket"
+FALLBACK = "layer-wise-fallback"
+
+
+@dataclass(frozen=True)
+class LayerCoverage:
+    """How one layer's prediction was resolved."""
+
+    layer_name: str
+    kind: str
+    signature: str
+    stage: str               # EXACT / NEAR / FALLBACK
+    predicted_us: float
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """Coverage of one network's prediction by a kernel-level model."""
+
+    network: str
+    batch_size: int
+    layers: Tuple[LayerCoverage, ...]
+
+    @property
+    def total_us(self) -> float:
+        return sum(layer.predicted_us for layer in self.layers)
+
+    def time_share(self, stage: str) -> float:
+        """Fraction of the predicted time resolved at ``stage``."""
+        total = self.total_us
+        if total == 0:
+            return 0.0
+        return sum(layer.predicted_us for layer in self.layers
+                   if layer.stage == stage) / total
+
+    def layer_share(self, stage: str) -> float:
+        """Fraction of layers resolved at ``stage``."""
+        if not self.layers:
+            return 0.0
+        return sum(1 for layer in self.layers
+                   if layer.stage == stage) / len(self.layers)
+
+    @property
+    def trustworthy(self) -> bool:
+        """True when fallback predictions carry <10% of the time."""
+        return self.time_share(FALLBACK) < 0.10
+
+    def render(self) -> str:
+        lines = [
+            f"coverage of {self.network} at BS {self.batch_size}: "
+            f"{'trustworthy' if self.trustworthy else 'DEGRADED'}",
+        ]
+        for stage in (EXACT, NEAR, FALLBACK):
+            lines.append(
+                f"  {stage:<20} {self.layer_share(stage) * 100:5.1f}% of "
+                f"layers, {self.time_share(stage) * 100:5.1f}% of "
+                "predicted time")
+        degraded = [layer for layer in self.layers
+                    if layer.stage == FALLBACK]
+        for layer in degraded[:10]:
+            lines.append(f"    fallback: {layer.layer_name} "
+                         f"({layer.kind}) {layer.signature}")
+        if len(degraded) > 10:
+            lines.append(f"    ... {len(degraded) - 10} more")
+        return "\n".join(lines)
+
+
+def coverage_report(model: KernelTablePredictor, network: Network,
+                    batch_size: int) -> CoverageReport:
+    """Audit how a kernel-level model resolves each layer of a network."""
+    training = model.mode == "training"
+    layers: List[LayerCoverage] = []
+    for info in network.layer_infos(batch_size):
+        signature = layer_signature(info, training=training)
+        sequence = model.table.lookup(signature)
+        if sequence is None or any(name not in model.lines
+                                   for name in sequence):
+            stage = FALLBACK
+        elif model.table._table.get(signature) == sequence:
+            stage = EXACT
+        else:
+            stage = NEAR
+        layers.append(LayerCoverage(
+            layer_name=info.name,
+            kind=info.kind,
+            signature=signature,
+            stage=stage,
+            predicted_us=model.predict_layer(info),
+        ))
+    return CoverageReport(network.name, batch_size, tuple(layers))

@@ -1,0 +1,47 @@
+"""End-to-End model (Section 5.2, Figure 11).
+
+One linear regression from total theoretical FLOPs to end-to-end time,
+trained at full GPU utilisation (BS = 512). Observation O3 (time is linear
+in batch size) lets a single-batch-size fit generalise across batch sizes.
+Expected accuracy on the simulated A100: ~35% mean error, limited by the
+~10x efficiency band between network families (Figure 3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.base import PerformanceModel
+from repro.core.linreg import LinearFit, fit_line
+from repro.dataset.builder import PerformanceDataset
+from repro.nn.graph import Network
+
+
+class EndToEndModel(PerformanceModel):
+    """``e2e_time = a * total_FLOPs + b``."""
+
+    name = "E2E"
+
+    def __init__(self) -> None:
+        self.fit: Optional[LinearFit] = None
+
+    def train(self, dataset: PerformanceDataset) -> "EndToEndModel":
+        """Fit on the dataset's network rows (pre-filter to one GPU and the
+        training batch size before calling, per the paper's protocol)."""
+        rows = dataset.network_rows
+        if not rows:
+            raise ValueError("training dataset has no network rows")
+        # relative least squares: end-to-end times span orders of
+        # magnitude, and the evaluation metric is relative error
+        self.fit = fit_line([row.total_flops for row in rows],
+                            [row.e2e_us for row in rows], relative=True)
+        return self
+
+    def predict_flops(self, total_flops: float) -> float:
+        """Predict from a raw FLOP count (no network object needed)."""
+        if self.fit is None:
+            raise RuntimeError("EndToEndModel is not trained")
+        return self.fit.predict(total_flops)
+
+    def predict_network(self, network: Network, batch_size: int) -> float:
+        return self.predict_flops(network.total_flops(batch_size))

@@ -1,0 +1,114 @@
+"""Ordinary-least-squares simple linear regression (sklearn substitute).
+
+The paper deliberately avoids complex statistical machinery: every model is
+a one-variable linear regression, chosen for "simplicity, speed, and
+explainability". This module provides exactly that — a closed-form OLS fit
+with R², nothing more.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """A fitted line ``y = slope * x + intercept``."""
+
+    slope: float
+    intercept: float
+    r2: float
+    n_samples: int
+
+    def predict(self, x: float) -> float:
+        return self.slope * x + self.intercept
+
+    def predict_many(self, xs: Sequence[float]) -> List[float]:
+        return [self.predict(x) for x in xs]
+
+    @property
+    def rate(self) -> float:
+        """Reciprocal slope: the achieved work rate (e.g. FLOP/us).
+
+        Observation O6 regresses this quantity against GPU bandwidth to
+        transfer kernel models between GPUs.
+        """
+        if self.slope == 0:
+            raise ZeroDivisionError("fit has zero slope; rate undefined")
+        return 1.0 / self.slope
+
+    def __str__(self) -> str:
+        return (f"y = {self.slope:.4g} x + {self.intercept:.4g} "
+                f"(R2={self.r2:.4f}, n={self.n_samples})")
+
+
+def fit_line(xs: Iterable[float], ys: Iterable[float],
+             through_origin: bool = False,
+             relative: bool = False) -> LinearFit:
+    """Fit ``y = a*x + b`` (or ``y = a*x`` when ``through_origin``).
+
+    With ``relative=True`` the fit minimises *relative* squared residuals
+    (weights 1/y²), matching the paper's relative error metric — useful
+    when the data spans several orders of magnitude, as end-to-end times
+    do in Figure 3.
+
+    Degenerate inputs degrade gracefully: a single point or a constant
+    ``x`` column yields a flat line through the mean with R² = 0, so
+    callers never special-case tiny kernels that appear once.
+    """
+    x = np.asarray(list(xs), dtype=float)
+    y = np.asarray(list(ys), dtype=float)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("xs and ys must be equal-length 1-D sequences")
+    if x.size == 0:
+        raise ValueError("cannot fit a line to zero points")
+
+    if x.size == 1 or np.ptp(x) == 0.0:
+        if through_origin and np.all(x != 0):
+            slope = float(np.mean(y / x))
+            return LinearFit(slope, 0.0, 0.0, int(x.size))
+        return LinearFit(0.0, float(np.mean(y)), 0.0, int(x.size))
+
+    if relative:
+        weights = 1.0 / np.maximum(np.abs(y), 1e-30) ** 2
+    else:
+        weights = np.ones_like(y)
+
+    if through_origin:
+        denom = float(np.dot(weights * x, x))
+        slope = float(np.dot(weights * x, y)) / denom
+        intercept = 0.0
+    else:
+        w_sum = float(np.sum(weights))
+        x_mean = float(np.dot(weights, x) / w_sum)
+        y_mean = float(np.dot(weights, y) / w_sum)
+        dx = x - x_mean
+        denom = float(np.dot(weights * dx, dx))
+        if denom == 0.0:
+            return LinearFit(0.0, y_mean, 0.0, int(x.size))
+        slope = float(np.dot(weights * dx, y - y_mean) / denom)
+        intercept = y_mean - slope * x_mean
+
+    residuals = y - (slope * x + intercept)
+    ss_res = float(np.dot(residuals, residuals))
+    centred = y - np.mean(y)
+    ss_tot = float(np.dot(centred, centred))
+    if ss_tot == 0.0:
+        # constant y: a perfect horizontal fit, or origin-forced mismatch
+        r2 = 1.0 if ss_res == 0.0 else 0.0
+    else:
+        r2 = 1.0 - ss_res / ss_tot
+    return LinearFit(slope, intercept, r2, int(x.size))
+
+
+def fit_from_pairs(pairs: Iterable[Tuple[float, float]],
+                   through_origin: bool = False) -> LinearFit:
+    """Fit a line to (x, y) pairs."""
+    xs, ys = [], []
+    for x, y in pairs:
+        xs.append(x)
+        ys.append(y)
+    return fit_line(xs, ys, through_origin=through_origin)

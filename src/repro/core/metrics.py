@@ -1,0 +1,97 @@
+"""Error metrics and S-curve series (Figures 11-14).
+
+The paper's error for one network is ``|predicted / measured - 1|``, and a
+model's error is the mean over the test networks. The S-curve figures plot
+the sorted ``predicted / measured`` ratios against the test-set percentile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+
+def relative_error(predicted: float, measured: float) -> float:
+    """The paper's per-network error: |predicted / measured - 1|."""
+    if measured <= 0:
+        raise ValueError("measured time must be positive")
+    return abs(predicted / measured - 1.0)
+
+
+def mean_relative_error(pairs: Sequence[Tuple[float, float]]) -> float:
+    """Mean |pred/meas - 1| over (predicted, measured) pairs."""
+    if not pairs:
+        raise ValueError("no prediction pairs to score")
+    return sum(relative_error(p, m) for p, m in pairs) / len(pairs)
+
+
+@dataclass(frozen=True)
+class SCurve:
+    """Sorted predicted/measured ratios with their network labels."""
+
+    ratios: Tuple[float, ...]          # ascending
+    labels: Tuple[str, ...]            # network names, same order
+
+    def __post_init__(self) -> None:
+        if len(self.ratios) != len(self.labels):
+            raise ValueError("ratios and labels must have equal length")
+        if not self.ratios:
+            raise ValueError("an S-curve needs at least one point")
+
+    @property
+    def mean_error(self) -> float:
+        """The figure-caption 'average error'."""
+        return sum(abs(r - 1.0) for r in self.ratios) / len(self.ratios)
+
+    @property
+    def median_ratio(self) -> float:
+        return self.at_percentile(50.0)
+
+    def at_percentile(self, percentile: float) -> float:
+        """Ratio at a test-set percentile (nearest-rank)."""
+        if not 0.0 <= percentile <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        index = min(len(self.ratios) - 1,
+                    int(percentile / 100.0 * len(self.ratios)))
+        return self.ratios[index]
+
+    def fraction_within(self, tolerance: float) -> float:
+        """Fraction of networks with error below ``tolerance``."""
+        hits = sum(1 for r in self.ratios if abs(r - 1.0) < tolerance)
+        return hits / len(self.ratios)
+
+    def underestimated_fraction(self) -> float:
+        """Fraction with ratio < 1 (the KW curve is strongly asymmetric)."""
+        return sum(1 for r in self.ratios if r < 1.0) / len(self.ratios)
+
+    def series(self) -> List[Tuple[float, float]]:
+        """(percentile, ratio) points, ready for plotting/printing."""
+        n = len(self.ratios)
+        return [(100.0 * (i + 0.5) / n, ratio)
+                for i, ratio in enumerate(self.ratios)]
+
+    def render(self, title: str = "") -> str:
+        """Figure-11-style text rendering at the paper's tick percentiles."""
+        ticks = (0, 10, 25, 50, 75, 90, 100)
+        lines = [title or "S-curve", "  pct   pred/measured"]
+        for pct in ticks:
+            lines.append(f"  {pct:>3d}%  {self.at_percentile(pct):8.3f}")
+        lines.append(f"  mean error = {self.mean_error:.3f}")
+        return "\n".join(lines)
+
+
+def s_curve(predictions: Dict[str, float],
+            measurements: Dict[str, float]) -> SCurve:
+    """Build an S-curve from per-network predicted and measured times.
+
+    Only networks present in both mappings contribute; a disjoint pair of
+    mappings is an error.
+    """
+    common = sorted(set(predictions) & set(measurements))
+    if not common:
+        raise ValueError("predictions and measurements share no networks")
+    scored = sorted(
+        ((predictions[name] / measurements[name], name) for name in common))
+    ratios = tuple(ratio for ratio, _ in scored)
+    labels = tuple(name for _, name in scored)
+    return SCurve(ratios, labels)

@@ -1,0 +1,224 @@
+"""Online (streaming) model training.
+
+Section 5.2 argues that training on a single batch size "reduces the data
+to collect and makes our solutions more suitable for online learning
+(updating the model in the deployed environment in real-time)". Because
+every model is ordinary least squares, online training is exact: a handful
+of running sums reproduce the batch fit bit-for-bit, so a deployed
+predictor can ingest each profiled execution as it happens.
+
+- :class:`OnlineLinearFit` — streaming simple OLS with O(1) state;
+- :class:`OnlineEndToEndModel` — the E2E model fed one network row at a
+  time (weighted for the E2E model's relative-error objective);
+- :class:`OnlineKernelWiseModel` — the KW model fed kernel rows in
+  execution order: per-kernel regressions for all three candidate
+  features, the kernel mapping table, and the layer-wise fallback all
+  update incrementally; ``finalize()`` materialises a predictor at any
+  point in the stream.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Optional, Tuple
+
+from repro.core.base import PerformanceModel
+from repro.core.classification import FEATURES
+from repro.core.kernelwise import (
+    KernelLine,
+    KernelMappingTable,
+    KernelTablePredictor,
+)
+from repro.core.layerwise import LayerWiseModel
+from repro.core.linreg import LinearFit
+from repro.dataset.records import KernelRow, LayerRow, NetworkRow
+from repro.nn.graph import Network
+
+
+class OnlineLinearFit:
+    """Exact streaming simple linear regression.
+
+    Maintains the five sufficient statistics of OLS; ``fit()`` returns
+    the same line :func:`repro.core.linreg.fit_line` would produce on the
+    full sample (weighted variants supported via ``weight``).
+    """
+
+    __slots__ = ("n", "w_sum", "sx", "sy", "sxx", "sxy", "syy")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.w_sum = 0.0
+        self.sx = 0.0
+        self.sy = 0.0
+        self.sxx = 0.0
+        self.sxy = 0.0
+        self.syy = 0.0
+
+    def observe(self, x: float, y: float, weight: float = 1.0) -> None:
+        """Ingest one observation (optionally weighted)."""
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        self.n += 1
+        self.w_sum += weight
+        self.sx += weight * x
+        self.sy += weight * y
+        self.sxx += weight * x * x
+        self.sxy += weight * x * y
+        self.syy += weight * y * y
+
+    def merge(self, other: "OnlineLinearFit") -> None:
+        """Fold another accumulator into this one (distributed training)."""
+        self.n += other.n
+        self.w_sum += other.w_sum
+        self.sx += other.sx
+        self.sy += other.sy
+        self.sxx += other.sxx
+        self.sxy += other.sxy
+        self.syy += other.syy
+
+    def fit(self) -> LinearFit:
+        """The current least-squares line."""
+        if self.n == 0:
+            raise ValueError("no observations yet")
+        w = self.w_sum
+        var_x = self.sxx - self.sx * self.sx / w
+        # guard against floating-point residue on (near-)constant x
+        # columns: cancellation can leave var_x a hair above zero, which
+        # would otherwise produce an arbitrary slope
+        if self.n == 1 or var_x <= 1e-12 * max(self.sxx, 1.0):
+            return LinearFit(0.0, self.sy / w, 0.0, self.n)
+        cov_xy = self.sxy - self.sx * self.sy / w
+        slope = cov_xy / var_x
+        intercept = (self.sy - slope * self.sx) / w
+        var_y = self.syy - self.sy * self.sy / w
+        if var_y <= 0.0:
+            r2 = 1.0
+        else:
+            r2 = max(0.0, min(1.0, (cov_xy * cov_xy) / (var_x * var_y)))
+        return LinearFit(slope, intercept, r2, self.n)
+
+
+class OnlineEndToEndModel(PerformanceModel):
+    """The E2E model as a stream consumer of network rows."""
+
+    name = "E2E-online"
+
+    def __init__(self) -> None:
+        self._acc = OnlineLinearFit()
+
+    def observe(self, row: NetworkRow) -> None:
+        # relative least squares, matching the batch E2E model
+        weight = 1.0 / max(row.e2e_us, 1e-30) ** 2
+        self._acc.observe(row.total_flops, row.e2e_us, weight=weight)
+
+    @property
+    def n_observations(self) -> int:
+        return self._acc.n
+
+    def predict_network(self, network: Network, batch_size: int) -> float:
+        return self._acc.fit().predict(network.total_flops(batch_size))
+
+
+class OnlineKernelWiseModel:
+    """The KW model as a stream consumer of profiled executions.
+
+    Feed :meth:`observe_kernel` with kernel rows in execution order (as a
+    profiler would emit them) and :meth:`observe_layer` with layer rows;
+    call :meth:`finalize` whenever a predictor is needed. Unlike the
+    batch trainer there is no clustering pass — each kernel keeps its own
+    line, which is the natural choice when the model keeps moving.
+    """
+
+    def __init__(self, mode: str = "inference") -> None:
+        self.mode = mode
+        self._fits: Dict[str, Dict[str, OnlineLinearFit]] = {}
+        self._sequences: Dict[str, Counter] = {}
+        self._lw: Dict[str, OnlineLinearFit] = {}
+        self._lw_all = OnlineLinearFit()
+        self._current_key: Optional[Tuple[str, str, int, str]] = None
+        self._current_signature: Optional[str] = None
+        self._current_sequence: list = []
+        self.kernel_rows_seen = 0
+
+    # -- ingestion -----------------------------------------------------------
+
+    def observe_kernel(self, row: KernelRow) -> None:
+        """Ingest one kernel execution (stream order matters)."""
+        if row.mode != self.mode:
+            raise ValueError(
+                f"model is in {self.mode!r} mode, row is {row.mode!r}")
+        self.kernel_rows_seen += 1
+        per_feature = self._fits.setdefault(
+            row.kernel_name,
+            {feature: OnlineLinearFit() for feature in FEATURES})
+        for feature, acc in per_feature.items():
+            acc.observe(row.feature(feature), row.duration_us)
+
+        key = (row.network, row.gpu, row.batch_size, row.layer_name)
+        if key != self._current_key:
+            self._flush_sequence()
+            self._current_key = key
+            self._current_signature = row.signature
+        self._current_sequence.append(row.kernel_name)
+
+    def observe_layer(self, row: LayerRow) -> None:
+        """Ingest one layer execution (feeds the layer-wise fallback and
+        zero-kernel signatures)."""
+        acc = self._lw.setdefault(row.kind, OnlineLinearFit())
+        acc.observe(row.flops, row.duration_us)
+        self._lw_all.observe(row.flops, row.duration_us)
+        if row.duration_us == 0.0:
+            self._sequences.setdefault(row.signature, Counter())[()] += 1
+
+    def observe_dataset(self, data) -> None:
+        """Convenience: stream an entire dataset through the model."""
+        for row in data.kernel_rows:
+            self.observe_kernel(row)
+        for row in data.layer_rows:
+            self.observe_layer(row)
+
+    def _flush_sequence(self) -> None:
+        if self._current_key is not None and self._current_sequence:
+            counter = self._sequences.setdefault(self._current_signature,
+                                                 Counter())
+            counter[tuple(self._current_sequence)] += 1
+        self._current_sequence = []
+
+    # -- materialisation -------------------------------------------------------
+
+    def finalize(self) -> KernelTablePredictor:
+        """Materialise a predictor from the stream so far."""
+        self._flush_sequence()
+        self._current_key = None
+        if not self._fits:
+            raise ValueError("no kernel executions observed yet")
+
+        table_entries = {
+            signature: counter.most_common(1)[0][0]
+            for signature, counter in self._sequences.items()
+        }
+        kind_counters: Dict[str, Counter] = {}
+        for signature, sequence in table_entries.items():
+            kind = signature.split("|", 1)[0]
+            if kind == "T":
+                kind = signature.split("|", 2)[1]
+            kind_counters.setdefault(kind, Counter())[sequence] += 1
+        kind_majority = {kind: counter.most_common(1)[0][0]
+                         for kind, counter in kind_counters.items()}
+        table = KernelMappingTable(table_entries, kind_majority)
+
+        lines: Dict[str, KernelLine] = {}
+        for kernel_name, per_feature in self._fits.items():
+            fits = {feature: acc.fit()
+                    for feature, acc in per_feature.items()}
+            best = max(FEATURES, key=lambda feature: fits[feature].r2)
+            lines[kernel_name] = (best, fits[best])
+
+        fallback = None
+        if self._lw_all.n:
+            fallback = LayerWiseModel()
+            fallback.fits = {kind: acc.fit()
+                             for kind, acc in self._lw.items()}
+            fallback.fallback = self._lw_all.fit()
+        return KernelTablePredictor(table, lines, fallback,
+                                    name="KW-online", mode=self.mode)

@@ -1,0 +1,70 @@
+"""Launch/CPU overhead correction for small workloads.
+
+The paper's acknowledged limitation: "when the batch size or the network
+is small ... the CPU and the CPU-GPU communication can be the major
+performance bottleneck", and its future work promises "a CPU and a
+communication model so that we can also accurately predict performance
+for small workloads".
+
+The mechanism behind the KW model's overestimation tail is observable in
+the dataset itself: summed per-kernel durations *include* each kernel's
+launch/startup phase, while the measured wall time hides most of it (the
+CPU enqueues ahead, so startup pipelines behind the previous kernel's
+execution). The gap is therefore almost exactly linear in the number of
+kernel launches:
+
+``kernel_time − e2e ≈ alpha · n_kernels − beta``
+
+:class:`OverheadAwareModel` learns (alpha, beta) from the training
+networks' rows — no new profiling needed — and subtracts the predicted
+hidden overhead from the base kernel-level prediction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.base import PerformanceModel
+from repro.core.kernelwise import KernelTablePredictor
+from repro.core.linreg import LinearFit, fit_line
+from repro.dataset.builder import PerformanceDataset
+from repro.nn.graph import Network
+
+
+class OverheadAwareModel(PerformanceModel):
+    """A kernel-level predictor with a learned launch-overhead model."""
+
+    name = "KW+overhead"
+
+    def __init__(self, base: KernelTablePredictor) -> None:
+        self.base = base
+        self.overhead_fit: Optional[LinearFit] = None
+
+    def train(self, dataset: PerformanceDataset) -> "OverheadAwareModel":
+        """Learn the hidden-overhead line from network rows.
+
+        ``dataset`` should be the same (single-GPU) training data the
+        base model saw; every row contributes one
+        (n_kernels, kernel_time − e2e) observation.
+        """
+        rows = dataset.network_rows
+        if not rows:
+            raise ValueError("training dataset has no network rows")
+        self.overhead_fit = fit_line(
+            [row.n_kernels for row in rows],
+            [row.kernel_time_us - row.e2e_us for row in rows])
+        return self
+
+    def predict_network(self, network: Network, batch_size: int) -> float:
+        if self.overhead_fit is None:
+            raise RuntimeError("OverheadAwareModel is not trained")
+        kernel_sum = self.base.predict_network(network, batch_size)
+        launches = self.base.count_kernels(network, batch_size)
+        hidden = max(0.0, self.overhead_fit.predict(launches))
+        # never correct below a sanity floor: the GPU-busy time is at
+        # least the work content, which is the dominant share of the sum
+        return max(0.25 * kernel_sum, kernel_sum - hidden)
+
+    def predict_layer(self, info) -> float:
+        """Delegate per-layer predictions (system studies use these)."""
+        return self.base.predict_layer(info)

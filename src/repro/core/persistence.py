@@ -1,0 +1,243 @@
+"""Model persistence: save/load trained predictors as JSON.
+
+Figure 10's workflow ends with "the performance analytical model and its
+parameters can be distributed to users". A trained model is just linear
+regression parameters plus lookup tables, so a single JSON document
+captures any of the four predictors exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict
+
+from repro.core.classification import ClassifiedKernel
+from repro.core.clustering import KernelCluster
+from repro.core.e2e import EndToEndModel
+from repro.core.intergpu import InterGPUKernelWiseModel, KernelTransfer
+from repro.core.kernelwise import (
+    KernelMappingTable,
+    KernelTablePredictor,
+    KernelWiseModel,
+)
+from repro.core.layerwise import LayerWiseModel
+from repro.core.linreg import LinearFit
+
+#: schema version written into every document
+FORMAT_VERSION = 1
+
+
+# -- primitives ---------------------------------------------------------------
+
+def _fit_to_dict(fit: LinearFit) -> dict:
+    return {"slope": fit.slope, "intercept": fit.intercept, "r2": fit.r2,
+            "n": fit.n_samples}
+
+
+def _fit_from_dict(data: dict) -> LinearFit:
+    return LinearFit(data["slope"], data["intercept"], data["r2"],
+                     data["n"])
+
+
+def _table_to_dict(table: KernelMappingTable) -> dict:
+    return {
+        "table": {signature: list(table._table[signature])
+                  for signature in table._table},
+        "kind_majority": {kind: list(sequence)
+                          for kind, sequence
+                          in table._kind_majority.items()},
+    }
+
+
+def _table_from_dict(data: dict) -> KernelMappingTable:
+    return KernelMappingTable(
+        {signature: tuple(seq) for signature, seq in data["table"].items()},
+        {kind: tuple(seq) for kind, seq in data["kind_majority"].items()})
+
+
+def _lw_to_dict(model: LayerWiseModel) -> dict:
+    return {
+        "fits": {kind: _fit_to_dict(fit)
+                 for kind, fit in model.fits.items()},
+        "fallback": _fit_to_dict(model.fallback),
+    }
+
+
+def _lw_from_dict(data: dict) -> LayerWiseModel:
+    model = LayerWiseModel()
+    model.fits = {kind: _fit_from_dict(fit)
+                  for kind, fit in data["fits"].items()}
+    model.fallback = _fit_from_dict(data["fallback"])
+    return model
+
+
+# -- per-model serialisers ----------------------------------------------------
+
+def _e2e_to_dict(model: EndToEndModel) -> dict:
+    if model.fit is None:
+        raise ValueError("cannot save an untrained EndToEndModel")
+    return {"kind": "e2e", "fit": _fit_to_dict(model.fit)}
+
+
+def _e2e_from_dict(data: dict) -> EndToEndModel:
+    model = EndToEndModel()
+    model.fit = _fit_from_dict(data["fit"])
+    return model
+
+
+def _lw_model_to_dict(model: LayerWiseModel) -> dict:
+    if model.fallback is None:
+        raise ValueError("cannot save an untrained LayerWiseModel")
+    return {"kind": "lw", **_lw_to_dict(model)}
+
+
+def _kw_to_dict(model: KernelWiseModel) -> dict:
+    if not model._trained:
+        raise ValueError("cannot save an untrained KernelWiseModel")
+    return {
+        "kind": "kw",
+        "mode": model.mode,
+        "slope_tolerance": model.slope_tolerance,
+        "table": _table_to_dict(model.table),
+        "clusters": [
+            {"kernels": list(cluster.kernel_names),
+             "feature": cluster.feature,
+             "fit": _fit_to_dict(cluster.fit)}
+            for cluster in model.clusters
+        ],
+        "classified": {
+            name: {"feature": entry.feature,
+                   "fits": {feature: _fit_to_dict(fit)
+                            for feature, fit
+                            in entry.fits_by_feature.items()}}
+            for name, entry in model.classified.items()
+        },
+        "lw_fallback": _lw_to_dict(model.lw_fallback),
+    }
+
+
+def _kw_from_dict(data: dict) -> KernelWiseModel:
+    model = KernelWiseModel(slope_tolerance=data["slope_tolerance"])
+    model.mode = data["mode"]
+    model.table = _table_from_dict(data["table"])
+    model.clusters = [
+        KernelCluster(tuple(entry["kernels"]), entry["feature"],
+                      _fit_from_dict(entry["fit"]))
+        for entry in data["clusters"]
+    ]
+    model.classified = {
+        name: ClassifiedKernel(
+            name, entry["feature"],
+            _fit_from_dict(entry["fits"][entry["feature"]]),
+            {feature: _fit_from_dict(fit)
+             for feature, fit in entry["fits"].items()})
+        for name, entry in data["classified"].items()
+    }
+    model.lines = {
+        kernel_name: (cluster.feature, cluster.fit)
+        for cluster in model.clusters
+        for kernel_name in cluster.kernel_names
+    }
+    model.lw_fallback = _lw_from_dict(data["lw_fallback"])
+    model._trained = True
+    return model
+
+
+def _igkw_to_dict(model: InterGPUKernelWiseModel) -> dict:
+    if model.table is None:
+        raise ValueError("cannot save an untrained InterGPUKernelWiseModel")
+    return {
+        "kind": "igkw",
+        "mode": model.mode,
+        "driver_metric": model.driver_metric,
+        "table": _table_to_dict(model.table),
+        "train_gpus": [spec.name for spec in model.train_gpus],
+        "transfers": {
+            name: {
+                "feature": transfer.feature,
+                "rate_fit": _fit_to_dict(transfer.rate_fit),
+                "intercept_fit": _fit_to_dict(transfer.intercept_fit),
+                "per_gpu": {g: _fit_to_dict(fit)
+                            for g, fit in transfer.per_gpu.items()},
+                "bandwidths": dict(transfer.gpu_bandwidths),
+            }
+            for name, transfer in model.transfers.items()
+        },
+        "lw_by_gpu": {g: _lw_to_dict(lw)
+                      for g, lw in model._lw_by_gpu.items()},
+    }
+
+
+def _igkw_from_dict(data: dict) -> InterGPUKernelWiseModel:
+    from repro.gpu.specs import gpu as lookup_gpu
+    model = InterGPUKernelWiseModel(driver_metric=data["driver_metric"])
+    model.mode = data["mode"]
+    model.table = _table_from_dict(data["table"])
+    model.train_gpus = tuple(lookup_gpu(name)
+                             for name in data["train_gpus"])
+    model.transfers = {
+        name: KernelTransfer(
+            name, entry["feature"],
+            _fit_from_dict(entry["rate_fit"]),
+            _fit_from_dict(entry["intercept_fit"]),
+            {g: _fit_from_dict(fit)
+             for g, fit in entry["per_gpu"].items()},
+            dict(entry["bandwidths"]))
+        for name, entry in data["transfers"].items()
+    }
+    model._lw_by_gpu = {g: _lw_from_dict(lw)
+                        for g, lw in data["lw_by_gpu"].items()}
+    return model
+
+
+_SAVERS = {
+    EndToEndModel: _e2e_to_dict,
+    LayerWiseModel: _lw_model_to_dict,
+    KernelWiseModel: _kw_to_dict,
+    InterGPUKernelWiseModel: _igkw_to_dict,
+}
+
+_LOADERS = {
+    "e2e": _e2e_from_dict,
+    "lw": _lw_from_dict,
+    "kw": _kw_from_dict,
+    "igkw": _igkw_from_dict,
+}
+
+
+def model_to_dict(model) -> dict:
+    """Serialise any trained predictor to a JSON-compatible dictionary."""
+    saver = _SAVERS.get(type(model))
+    if saver is None:
+        raise TypeError(
+            f"cannot serialise {type(model).__name__}; supported: "
+            f"{sorted(cls.__name__ for cls in _SAVERS)}")
+    document = saver(model)
+    document["format_version"] = FORMAT_VERSION
+    return document
+
+
+def model_from_dict(document: Dict):
+    """Reconstruct a predictor from :func:`model_to_dict` output."""
+    version = document.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported model format version {version!r}")
+    kind = document.get("kind")
+    loader = _LOADERS.get(kind)
+    if loader is None:
+        raise ValueError(f"unknown model kind {kind!r}")
+    return loader(document)
+
+
+def save_model(model, path) -> Path:
+    """Write a trained predictor to a JSON file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(model_to_dict(model)))
+    return path
+
+
+def load_model(path):
+    """Read a predictor previously written by :func:`save_model`."""
+    return model_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,112 @@
+"""Layer signatures: the key of the kernel mapping table.
+
+The KW model needs to know, *before execution*, which kernels a layer will
+launch. The paper solves this with a look-up table "that maps from the
+layer type and input/output size to the kernel list". A signature encodes
+exactly the statically-known properties that determine library dispatch:
+layer kind, kernel geometry, grouping, and an octave-bucketed problem size
+(libraries switch tiled kernel variants at size thresholds).
+
+Signatures are strings so they serialise directly into dataset CSV rows.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.nn.graph import LayerInfo
+from repro.nn.layers.conv import Conv2d
+from repro.nn.layers.linear import Linear
+from repro.nn.layers.pooling import AdaptiveAvgPool2d, _Pool2d
+
+
+def size_bucket(value: float) -> int:
+    """Octave bucket of a problem size (0 for empty/degenerate sizes)."""
+    if value < 1:
+        return 0
+    return int(math.log2(value))
+
+
+def _conv_signature(info: LayerInfo) -> str:
+    layer = info.layer
+    assert isinstance(layer, Conv2d)
+    kh, kw = layer.kernel_size
+    sh, sw = layer.stride
+    if layer.is_depthwise:
+        group_class = "dw"
+    elif layer.groups > 1:
+        group_class = "grouped"
+    elif layer.is_pointwise:
+        group_class = "pw"
+    else:
+        group_class = "std"
+    wide_enough = int(layer.in_channels >= 16 and layer.out_channels >= 16)
+    fft_eligible = int(kh >= 5 and kw >= 5 and (sh, sw) == (1, 1)
+                       and layer.in_channels >= 32)
+    fused = "".join(op.lower() for op in layer.epilogue) or "none"
+    reduction = size_bucket((layer.in_channels // layer.groups) * kh * kw)
+    bucket = size_bucket(info.output_shape.numel())
+    return (f"CONV|k{kh}x{kw}|s{sh}x{sw}|{group_class}|w{wide_enough}"
+            f"|f{fft_eligible}|b{int(layer.bias)}|E{fused}"
+            f"|r{reduction}|o{bucket}")
+
+
+def _fc_signature(info: LayerInfo) -> str:
+    layer = info.layer
+    assert isinstance(layer, Linear)
+    rows = info.input_shapes[0].numel() // layer.in_features
+    skinny = int(rows == 1 or layer.out_features <= 64)
+    reduction = size_bucket(layer.in_features)
+    bucket = size_bucket(info.output_shape.numel())
+    return f"FC|skinny{skinny}|r{reduction}|o{bucket}"
+
+
+def _pool_signature(info: LayerInfo) -> str:
+    layer = info.layer
+    assert isinstance(layer, _Pool2d)
+    kh, _ = layer.kernel_size
+    sh, _ = layer.stride
+    return f"{info.kind}|k{kh}s{sh}"
+
+
+def _adaptive_pool_signature(info: LayerInfo) -> str:
+    layer = info.layer
+    assert isinstance(layer, AdaptiveAvgPool2d)
+    oh, ow = layer.output_size
+    return f"AdaptiveAvgPool|{oh}x{ow}"
+
+
+def layer_signature(info: LayerInfo, training: bool = False) -> str:
+    """Dispatch-determining signature of one layer at one batch size.
+
+    Training-mode signatures carry a ``T|`` prefix: a layer launches a
+    different kernel sequence (forward + backward) when training, so the
+    mapping table keys the two modes separately.
+    """
+    base = _layer_signature_base(info)
+    return f"T|{base}" if training else base
+
+
+def _layer_signature_base(info: LayerInfo) -> str:
+    kind = info.kind
+    if kind == "CONV":
+        return _conv_signature(info)
+    if kind == "FC":
+        return _fc_signature(info)
+    if kind in ("MaxPool", "AvgPool"):
+        return _pool_signature(info)
+    if kind == "AdaptiveAvgPool":
+        return _adaptive_pool_signature(info)
+    if kind in ("AttnScores", "AttnContext"):
+        return f"{kind}|o{size_bucket(info.output_shape.numel())}"
+    if kind == "Add":
+        return f"Add|n{len(info.input_shapes)}"
+    # element-wise and data-movement layers dispatch on kind alone
+    return kind
+
+
+def signature_kind(signature: str) -> str:
+    """Recover the layer kind from a signature string."""
+    if signature.startswith("T|"):
+        signature = signature[2:]
+    return signature.split("|", 1)[0]

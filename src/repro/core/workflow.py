@@ -1,0 +1,70 @@
+"""Figure-10 workflow façade: dataset in, trained predictor out.
+
+The paper separates *training* (dataset → regression parameters) from
+*prediction* (network structure → time) behind a simple interface so
+models are interchangeable. :func:`train_model` is that interface.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence, Union
+
+from repro.core.base import PerformanceModel, networks_by_name
+from repro.core.e2e import EndToEndModel
+from repro.core.intergpu import InterGPUKernelWiseModel
+from repro.core.kernelwise import KernelWiseModel
+from repro.core.layerwise import LayerWiseModel
+from repro.core.metrics import SCurve
+from repro.dataset.builder import TRAIN_BATCH_SIZE, PerformanceDataset
+from repro.gpu.specs import GPUSpec
+
+#: Models trainable on a single GPU's measurements.
+SINGLE_GPU_MODELS = {
+    "e2e": EndToEndModel,
+    "lw": LayerWiseModel,
+    "kw": KernelWiseModel,
+}
+
+
+def train_model(dataset: PerformanceDataset, model: str, gpu: str,
+                batch_size: Optional[int] = TRAIN_BATCH_SIZE
+                ) -> PerformanceModel:
+    """Train a single-GPU model ("e2e", "lw", or "kw").
+
+    Following Section 5.2, training uses the full-utilisation batch size
+    by default; pass ``batch_size=None`` to train on every batch size.
+    """
+    key = model.lower()
+    if key not in SINGLE_GPU_MODELS:
+        raise KeyError(
+            f"unknown model {model!r}; choose from {sorted(SINGLE_GPU_MODELS)}"
+            " (or use train_inter_gpu_model for 'igkw')")
+    subset = dataset.filter(gpu=gpu, batch_size=batch_size)
+    if not subset.network_rows:
+        raise ValueError(
+            f"no training rows for GPU {gpu!r} at batch size {batch_size}")
+    return SINGLE_GPU_MODELS[key]().train(subset)
+
+
+def train_inter_gpu_model(dataset: PerformanceDataset,
+                          train_gpus: Sequence[GPUSpec],
+                          batch_size: Optional[int] = TRAIN_BATCH_SIZE
+                          ) -> InterGPUKernelWiseModel:
+    """Train the IGKW model on several GPUs' measurements."""
+    names = {spec.name for spec in train_gpus}
+    subset = dataset.filter(batch_size=batch_size)
+    subset = PerformanceDataset(
+        kernel_rows=[r for r in subset.kernel_rows if r.gpu in names],
+        layer_rows=[r for r in subset.layer_rows if r.gpu in names],
+        network_rows=[r for r in subset.network_rows if r.gpu in names],
+    )
+    return InterGPUKernelWiseModel().train(subset, train_gpus)
+
+
+def evaluate_model(model: PerformanceModel, test: PerformanceDataset,
+                   networks, gpu: str,
+                   batch_size: Optional[int] = TRAIN_BATCH_SIZE) -> SCurve:
+    """Evaluate a trained model against one GPU's measured test rows."""
+    index: Mapping = (networks if isinstance(networks, Mapping)
+                      else networks_by_name(networks))
+    return model.evaluate(test.for_gpu(gpu), index, batch_size=batch_size)

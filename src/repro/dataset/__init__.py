@@ -1,0 +1,36 @@
+"""Data management: dataset records, builder, CSV IO, train/test split."""
+
+from repro.dataset.builder import (
+    DEFAULT_BATCH_SIZES,
+    TRAIN_BATCH_SIZE,
+    PerformanceDataset,
+    build_dataset,
+    rows_from_execution,
+)
+from repro.dataset.io import load_dataset, save_dataset
+from repro.dataset.records import KernelRow, LayerRow, NetworkRow, field_names
+from repro.dataset.split import (
+    DEFAULT_TEST_FRACTION,
+    split_networks,
+    train_test_split,
+)
+from repro.dataset.validate import ValidationReport, validate_dataset
+
+__all__ = [
+    "DEFAULT_BATCH_SIZES",
+    "DEFAULT_TEST_FRACTION",
+    "KernelRow",
+    "LayerRow",
+    "NetworkRow",
+    "PerformanceDataset",
+    "TRAIN_BATCH_SIZE",
+    "ValidationReport",
+    "build_dataset",
+    "validate_dataset",
+    "field_names",
+    "load_dataset",
+    "rows_from_execution",
+    "save_dataset",
+    "split_networks",
+    "train_test_split",
+]

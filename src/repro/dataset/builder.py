@@ -1,0 +1,201 @@
+"""Dataset construction: sweep networks x batch sizes x GPUs.
+
+:func:`build_dataset` is the data-collection campaign of Section 3: it
+profiles every (network, batch size) point on every GPU and normalises the
+measurements into the three dataset tables. The resulting
+:class:`PerformanceDataset` offers the filtering and splitting operations
+the model training workflow needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.signature import layer_signature
+from repro.dataset.records import KernelRow, LayerRow, NetworkRow
+from repro.gpu.device import SimulatedGPU
+from repro.gpu.specs import GPUSpec
+from repro.gpu.timing import DEFAULT_TIMING, TimingConfig
+from repro.nn.graph import Network
+
+#: The paper trains at full utilisation; BS=512 is its training batch size.
+TRAIN_BATCH_SIZE = 512
+
+#: Default batch-size sweep for dataset builds (memory permitting on the
+#: smallest GPUs, the paper similarly spans small-to-full utilisation).
+DEFAULT_BATCH_SIZES = (8, 64, 512)
+
+
+@dataclass
+class PerformanceDataset:
+    """The three normalised measurement tables plus provenance."""
+
+    kernel_rows: List[KernelRow] = field(default_factory=list)
+    layer_rows: List[LayerRow] = field(default_factory=list)
+    network_rows: List[NetworkRow] = field(default_factory=list)
+
+    # -- provenance views ----------------------------------------------------
+
+    def network_names(self) -> List[str]:
+        return sorted({row.network for row in self.network_rows})
+
+    def gpu_names(self) -> List[str]:
+        return sorted({row.gpu for row in self.network_rows})
+
+    def batch_sizes(self) -> List[int]:
+        return sorted({row.batch_size for row in self.network_rows})
+
+    def kernel_names(self) -> List[str]:
+        return sorted({row.kernel_name for row in self.kernel_rows})
+
+    def __len__(self) -> int:
+        """Number of kernel executions recorded (the paper's ~240k unit)."""
+        return len(self.kernel_rows)
+
+    # -- filtering -----------------------------------------------------------
+
+    def filter(self, gpu: Optional[str] = None,
+               batch_size: Optional[int] = None,
+               networks: Optional[Set[str]] = None) -> "PerformanceDataset":
+        """Subset by GPU, batch size, and/or network-name set."""
+        def keep(row) -> bool:
+            if gpu is not None and row.gpu != gpu:
+                return False
+            if batch_size is not None and row.batch_size != batch_size:
+                return False
+            if networks is not None and row.network not in networks:
+                return False
+            return True
+
+        return PerformanceDataset(
+            kernel_rows=[r for r in self.kernel_rows if keep(r)],
+            layer_rows=[r for r in self.layer_rows if keep(r)],
+            network_rows=[r for r in self.network_rows if keep(r)],
+        )
+
+    def for_gpu(self, gpu: str) -> "PerformanceDataset":
+        return self.filter(gpu=gpu)
+
+    def at_batch(self, batch_size: int) -> "PerformanceDataset":
+        return self.filter(batch_size=batch_size)
+
+    def merged_with(self, other: "PerformanceDataset") -> "PerformanceDataset":
+        return PerformanceDataset(
+            kernel_rows=self.kernel_rows + other.kernel_rows,
+            layer_rows=self.layer_rows + other.layer_rows,
+            network_rows=self.network_rows + other.network_rows,
+        )
+
+    # -- indices used by model training ---------------------------------------
+
+    def kernels_by_name(self) -> Dict[str, List[KernelRow]]:
+        grouped: Dict[str, List[KernelRow]] = {}
+        for row in self.kernel_rows:
+            grouped.setdefault(row.kernel_name, []).append(row)
+        return grouped
+
+    def layers_by_kind(self) -> Dict[str, List[LayerRow]]:
+        grouped: Dict[str, List[LayerRow]] = {}
+        for row in self.layer_rows:
+            grouped.setdefault(row.kind, []).append(row)
+        return grouped
+
+
+def rows_from_execution(result) -> Tuple[List[KernelRow], List[LayerRow],
+                                         NetworkRow]:
+    """Normalise one profiled execution into dataset rows."""
+    kernel_rows: List[KernelRow] = []
+    layer_rows: List[LayerRow] = []
+    mode = "training" if result.training else "inference"
+    for layer in result.layers:
+        info = layer.info
+        signature = layer_signature(info, training=result.training)
+        for execution in layer.kernels:
+            kernel_rows.append(KernelRow(
+                network=result.network_name,
+                family=result.family,
+                gpu=result.gpu_name,
+                batch_size=result.batch_size,
+                mode=mode,
+                layer_name=info.name,
+                layer_kind=info.kind,
+                signature=signature,
+                kernel_name=execution.kernel_name,
+                flops=float(info.flops),
+                input_nchw=float(info.input_nchw),
+                output_nchw=float(info.output_nchw),
+                duration_us=execution.duration_us,
+            ))
+        layer_rows.append(LayerRow(
+            network=result.network_name,
+            family=result.family,
+            gpu=result.gpu_name,
+            batch_size=result.batch_size,
+            mode=mode,
+            layer_name=info.name,
+            kind=info.kind,
+            signature=signature,
+            flops=float(info.flops),
+            input_nchw=float(info.input_nchw),
+            output_nchw=float(info.output_nchw),
+            params=info.params,
+            duration_us=layer.duration_us,
+        ))
+    network_row = NetworkRow(
+        network=result.network_name,
+        family=result.family,
+        gpu=result.gpu_name,
+        batch_size=result.batch_size,
+        mode=mode,
+        total_flops=float(sum(l.info.flops for l in result.layers)),
+        e2e_us=result.e2e_us,
+        kernel_time_us=result.kernel_time_us,
+        n_layers=len(result.layers),
+        n_kernels=len(result.kernel_executions),
+    )
+    return kernel_rows, layer_rows, network_row
+
+
+def build_dataset(networks: Sequence[Network],
+                  gpus: Iterable[GPUSpec],
+                  batch_sizes: Sequence[int] = DEFAULT_BATCH_SIZES,
+                  config: TimingConfig = DEFAULT_TIMING,
+                  seed: int = 0,
+                  training: bool = False) -> PerformanceDataset:
+    """Profile every (network, batch size) point on every GPU.
+
+    Points whose activations would not fit in a GPU's memory are skipped,
+    mirroring the paper's cleaning of out-of-memory runs. With
+    ``training=True`` each point measures one forward+backward step
+    instead of inference (the paper's training-workload extension).
+    """
+    dataset = PerformanceDataset()
+    memory_factor = 3.0 if training else 1.0  # grads + optimizer state
+    for spec in gpus:
+        device = SimulatedGPU(spec, config=config, seed=seed)
+        for network in networks:
+            for batch_size in batch_sizes:
+                needed = memory_factor * _estimated_memory_gb(network,
+                                                              batch_size)
+                if needed > spec.memory_gb:
+                    continue  # out-of-memory run: cleaned from the dataset
+                result = device.run_network(network, batch_size,
+                                            training=training)
+                kernel_rows, layer_rows, network_row = rows_from_execution(
+                    result)
+                dataset.kernel_rows.extend(kernel_rows)
+                dataset.layer_rows.extend(layer_rows)
+                dataset.network_rows.append(network_row)
+    return dataset
+
+
+def _estimated_memory_gb(network: Network, batch_size: int) -> float:
+    """Rough working-set estimate: weights + the two largest activations."""
+    weights = network.total_params() * 4
+    shapes = network.shapes(batch_size)
+    activation_bytes = sorted(
+        (shape.bytes() for shape in shapes.values()), reverse=True)
+    working_set = weights + sum(activation_bytes[:2])
+    # fragmentation / framework overhead headroom
+    return 1.3 * working_set / 1e9

@@ -1,0 +1,69 @@
+"""CSV persistence for the performance dataset (artifact-style files).
+
+The paper's artifact distributes the prediction dataset as CSV files; this
+module writes and reads the same three tables (``kernels.csv``,
+``layers.csv``, ``networks.csv``) so datasets can be shared without
+re-profiling.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import asdict
+from pathlib import Path
+from typing import List, Type
+
+from repro.dataset.builder import PerformanceDataset
+from repro.dataset.records import KernelRow, LayerRow, NetworkRow, field_names
+
+_TABLES = (
+    ("kernels.csv", "kernel_rows", KernelRow),
+    ("layers.csv", "layer_rows", LayerRow),
+    ("networks.csv", "network_rows", NetworkRow),
+)
+
+#: Columns parsed as int / float when reading; everything else stays str.
+_INT_FIELDS = {"batch_size", "params", "n_layers", "n_kernels"}
+_FLOAT_FIELDS = {"flops", "input_nchw", "output_nchw", "duration_us",
+                 "total_flops", "e2e_us", "kernel_time_us"}
+
+
+def save_dataset(dataset: PerformanceDataset, directory) -> Path:
+    """Write the dataset's three tables as CSV files; returns the directory."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for filename, attribute, row_type in _TABLES:
+        rows = getattr(dataset, attribute)
+        with open(directory / filename, "w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=field_names(row_type))
+            writer.writeheader()
+            for row in rows:
+                writer.writerow(asdict(row))
+    return directory
+
+
+def _parse_row(row_type: Type, raw: dict):
+    converted = {}
+    for key, value in raw.items():
+        if key in _INT_FIELDS:
+            converted[key] = int(value)
+        elif key in _FLOAT_FIELDS:
+            converted[key] = float(value)
+        else:
+            converted[key] = value
+    return row_type(**converted)
+
+
+def load_dataset(directory) -> PerformanceDataset:
+    """Read a dataset previously written by :func:`save_dataset`."""
+    directory = Path(directory)
+    dataset = PerformanceDataset()
+    for filename, attribute, row_type in _TABLES:
+        path = directory / filename
+        if not path.exists():
+            raise FileNotFoundError(f"missing dataset table {path}")
+        rows: List = getattr(dataset, attribute)
+        with open(path, newline="") as handle:
+            for raw in csv.DictReader(handle):
+                rows.append(_parse_row(row_type, raw))
+    return dataset

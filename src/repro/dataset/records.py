@@ -1,0 +1,85 @@
+"""Row schemas of the performance dataset (the paper's CSV tables).
+
+The paper's artifact ships CSV files with network structure, batch size,
+layer FLOPs, hardware information, kernel-by-kernel execution times, the
+layer-to-kernel mapping, and end-to-end times. We keep the same content in
+three normalised tables: kernel rows, layer rows, and network rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import List, Type
+
+
+@dataclass(frozen=True)
+class KernelRow:
+    """One kernel execution: the KW/IGKW models' training unit."""
+
+    network: str
+    family: str
+    gpu: str
+    batch_size: int
+    mode: str             # "inference" or "training"
+    layer_name: str
+    layer_kind: str
+    signature: str        # dispatch signature (kernel mapping table key)
+    kernel_name: str
+    flops: float          # the *layer's* theoretical FLOPs (the feature)
+    input_nchw: float     # layer input N*C*H*W
+    output_nchw: float    # layer output N*C*H*W
+    duration_us: float    # measured kernel duration
+
+    def feature(self, column: str) -> float:
+        """Fetch one of the three candidate driver features by name."""
+        if column not in ("flops", "input_nchw", "output_nchw"):
+            raise KeyError(f"unknown feature column {column!r}")
+        return getattr(self, column)
+
+
+@dataclass(frozen=True)
+class LayerRow:
+    """One layer execution: the LW model's training unit."""
+
+    network: str
+    family: str
+    gpu: str
+    batch_size: int
+    mode: str
+    layer_name: str
+    kind: str
+    signature: str
+    flops: float
+    input_nchw: float
+    output_nchw: float
+    params: int
+    duration_us: float    # sum of the layer's kernel durations
+
+
+@dataclass(frozen=True)
+class NetworkRow:
+    """One end-to-end execution: the E2E model's training unit."""
+
+    network: str
+    family: str
+    gpu: str
+    batch_size: int
+    mode: str
+    total_flops: float
+    e2e_us: float          # CUDA-event wall time per batch
+    kernel_time_us: float  # sum of kernel durations (KW prediction target)
+    n_layers: int
+    n_kernels: int
+
+    @property
+    def gflops(self) -> float:
+        return self.total_flops / 1e9
+
+    @property
+    def e2e_ms(self) -> float:
+        return self.e2e_us / 1e3
+
+
+def field_names(row_type: Type) -> List[str]:
+    """CSV header for a row dataclass."""
+    return [f.name for f in fields(row_type)]

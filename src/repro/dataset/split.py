@@ -1,0 +1,46 @@
+"""Train/test partitioning of the performance dataset.
+
+The paper holds out a randomly selected 15% of the dataset for testing.
+Because the models are evaluated on their ability to predict *new DNNs*,
+we split at network granularity: every row of a held-out network goes to
+the test set, so no structural information about a test network leaks into
+training.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Set, Tuple
+
+from repro.dataset.builder import PerformanceDataset
+
+DEFAULT_TEST_FRACTION = 0.15
+
+
+def split_networks(dataset: PerformanceDataset,
+                   test_fraction: float = DEFAULT_TEST_FRACTION,
+                   seed: int = 7) -> Tuple[Set[str], Set[str]]:
+    """Partition the dataset's network names into train/test sets."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    names = dataset.network_names()
+    if len(names) < 2:
+        raise ValueError("need at least two networks to split")
+    rng = random.Random(seed)
+    shuffled = names[:]
+    rng.shuffle(shuffled)
+    n_test = max(1, round(test_fraction * len(names)))
+    n_test = min(n_test, len(names) - 1)  # always keep a non-empty train set
+    test = set(shuffled[:n_test])
+    train = set(shuffled[n_test:])
+    return train, test
+
+
+def train_test_split(dataset: PerformanceDataset,
+                     test_fraction: float = DEFAULT_TEST_FRACTION,
+                     seed: int = 7
+                     ) -> Tuple[PerformanceDataset, PerformanceDataset]:
+    """Split the dataset by network into (train, test) datasets."""
+    train_names, test_names = split_networks(dataset, test_fraction, seed)
+    return (dataset.filter(networks=train_names),
+            dataset.filter(networks=test_names))

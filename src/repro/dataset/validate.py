@@ -1,0 +1,147 @@
+"""Dataset integrity validation.
+
+The paper "initiates an open DNNs performance database"; shared data needs
+integrity checks. :func:`validate_dataset` audits the three tables for
+internal consistency — cross-table sums, positivity, schema sanity — and
+returns a structured report rather than raising, so callers can decide
+what is fatal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.dataset.builder import PerformanceDataset
+
+#: Relative slack for cross-table duration reconciliation.
+_SUM_TOLERANCE = 1e-6
+
+_MODES = ("inference", "training")
+
+
+@dataclass
+class ValidationReport:
+    """Findings of one dataset audit."""
+
+    errors: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def render(self) -> str:
+        lines = [f"dataset audit: "
+                 f"{'OK' if self.ok else f'{len(self.errors)} error(s)'}"]
+        for key, value in sorted(self.counts.items()):
+            lines.append(f"  {key}: {value:,}")
+        for error in self.errors[:20]:
+            lines.append(f"  ERROR: {error}")
+        if len(self.errors) > 20:
+            lines.append(f"  ... {len(self.errors) - 20} more errors")
+        for warning in self.warnings[:20]:
+            lines.append(f"  warning: {warning}")
+        return "\n".join(lines)
+
+
+def validate_dataset(dataset: PerformanceDataset) -> ValidationReport:
+    """Audit a dataset's three tables for internal consistency."""
+    report = ValidationReport()
+    report.counts = {
+        "kernel rows": len(dataset.kernel_rows),
+        "layer rows": len(dataset.layer_rows),
+        "network rows": len(dataset.network_rows),
+        "distinct networks": len(dataset.network_names()),
+        "distinct kernels": len(dataset.kernel_names()),
+    }
+
+    _check_kernel_rows(dataset, report)
+    _check_layer_rows(dataset, report)
+    _check_network_rows(dataset, report)
+    _check_cross_table_sums(dataset, report)
+    return report
+
+
+def _check_kernel_rows(dataset: PerformanceDataset,
+                       report: ValidationReport) -> None:
+    for i, row in enumerate(dataset.kernel_rows):
+        where = f"kernel row {i} ({row.network}/{row.layer_name})"
+        if row.duration_us <= 0:
+            report.errors.append(f"{where}: non-positive duration")
+        if row.flops < 0 or row.input_nchw <= 0 or row.output_nchw <= 0:
+            report.errors.append(f"{where}: non-positive feature")
+        if row.batch_size <= 0:
+            report.errors.append(f"{where}: non-positive batch size")
+        if row.mode not in _MODES:
+            report.errors.append(f"{where}: unknown mode {row.mode!r}")
+        if not row.signature or not row.kernel_name:
+            report.errors.append(f"{where}: empty signature or kernel name")
+
+
+def _check_layer_rows(dataset: PerformanceDataset,
+                      report: ValidationReport) -> None:
+    for i, row in enumerate(dataset.layer_rows):
+        where = f"layer row {i} ({row.network}/{row.layer_name})"
+        if row.duration_us < 0:
+            report.errors.append(f"{where}: negative duration")
+        if row.params < 0:
+            report.errors.append(f"{where}: negative parameter count")
+        if row.mode not in _MODES:
+            report.errors.append(f"{where}: unknown mode {row.mode!r}")
+
+
+def _check_network_rows(dataset: PerformanceDataset,
+                        report: ValidationReport) -> None:
+    seen = set()
+    for i, row in enumerate(dataset.network_rows):
+        where = f"network row {i} ({row.network})"
+        key = (row.network, row.gpu, row.batch_size, row.mode)
+        if key in seen:
+            report.errors.append(f"{where}: duplicate measurement point")
+        seen.add(key)
+        if row.e2e_us <= 0 or row.total_flops <= 0:
+            report.errors.append(f"{where}: non-positive e2e or FLOPs")
+        if row.kernel_time_us < row.e2e_us:
+            # summed kernel durations include startup the wall time hides
+            report.warnings.append(
+                f"{where}: kernel time below wall time (unusual overlap)")
+        if row.n_kernels <= 0 or row.n_layers <= 0:
+            report.errors.append(f"{where}: empty execution")
+
+
+def _check_cross_table_sums(dataset: PerformanceDataset,
+                            report: ValidationReport) -> None:
+    kernel_sum: Dict[Tuple, float] = {}
+    kernel_count: Dict[Tuple, int] = {}
+    for row in dataset.kernel_rows:
+        key = (row.network, row.gpu, row.batch_size, row.mode)
+        kernel_sum[key] = kernel_sum.get(key, 0.0) + row.duration_us
+        kernel_count[key] = kernel_count.get(key, 0) + 1
+
+    layer_sum: Dict[Tuple, float] = {}
+    for row in dataset.layer_rows:
+        key = (row.network, row.gpu, row.batch_size, row.mode)
+        layer_sum[key] = layer_sum.get(key, 0.0) + row.duration_us
+
+    for row in dataset.network_rows:
+        key = (row.network, row.gpu, row.batch_size, row.mode)
+        where = f"{row.network}@{row.gpu} BS{row.batch_size} ({row.mode})"
+        recorded = row.kernel_time_us
+        from_kernels = kernel_sum.get(key, 0.0)
+        if abs(from_kernels - recorded) > _SUM_TOLERANCE * max(recorded, 1):
+            report.errors.append(
+                f"{where}: kernel rows sum to {from_kernels:.1f} us but "
+                f"the network row records {recorded:.1f} us")
+        from_layers = layer_sum.get(key)
+        if from_layers is not None and \
+                abs(from_layers - recorded) > _SUM_TOLERANCE * max(recorded,
+                                                                   1):
+            report.errors.append(
+                f"{where}: layer rows sum to {from_layers:.1f} us but "
+                f"the network row records {recorded:.1f} us")
+        if kernel_count.get(key, 0) != row.n_kernels:
+            report.errors.append(
+                f"{where}: {kernel_count.get(key, 0)} kernel rows but "
+                f"n_kernels={row.n_kernels}")

@@ -1,0 +1,70 @@
+"""GPU hardware substrate: specs, kernel selection, ground-truth timing."""
+
+from repro.gpu.cudnn import kernel_calls, supported_kinds
+from repro.gpu.device import (
+    ExecutionResult,
+    KernelExecution,
+    LayerExecution,
+    SimulatedGPU,
+)
+from repro.gpu.energy import (
+    EnergyMeasurement,
+    EnergyMeter,
+    KernelEnergy,
+    energy_dataset,
+)
+from repro.gpu.kernels import (
+    CATALOGUE,
+    Driver,
+    Kernel,
+    KernelCall,
+    KernelCatalogue,
+    KernelRole,
+)
+from repro.gpu.specs import (
+    GPUS,
+    IGKW_TEST_GPU,
+    IGKW_TRAIN_GPUS,
+    KW_EVAL_GPUS,
+    GPUSpec,
+    gpu,
+    gpu_names,
+)
+from repro.gpu.timing import (
+    DEFAULT_TIMING,
+    GroundTruthTiming,
+    TimingConfig,
+    arch_deviation,
+    size_wiggle,
+)
+
+__all__ = [
+    "CATALOGUE",
+    "DEFAULT_TIMING",
+    "Driver",
+    "EnergyMeasurement",
+    "EnergyMeter",
+    "ExecutionResult",
+    "KernelEnergy",
+    "energy_dataset",
+    "GPUS",
+    "GPUSpec",
+    "GroundTruthTiming",
+    "IGKW_TEST_GPU",
+    "IGKW_TRAIN_GPUS",
+    "KW_EVAL_GPUS",
+    "Kernel",
+    "KernelCall",
+    "KernelCatalogue",
+    "KernelExecution",
+    "KernelRole",
+    "LayerExecution",
+    "SimulatedGPU",
+    "TimingConfig",
+    "arch_deviation",
+    "gpu",
+    "gpu_names",
+    "kernel_calls",
+    "size_wiggle",
+    "supported_kinds",
+]

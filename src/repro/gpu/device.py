@@ -1,0 +1,132 @@
+"""Simulated GPU device: runs networks and produces kernel-level executions.
+
+:class:`SimulatedGPU` plays the role of the physical machine in the
+paper's methodology. ``run_network`` executes one network at one batch
+size and returns every kernel's measured duration plus the end-to-end
+wall time, exactly the observables PyTorch (profiler + ``torch.cuda.Event``)
+exposes on real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.gpu.cudnn import backward_kernel_calls, kernel_calls
+from repro.gpu.kernels import KernelCall
+from repro.gpu.specs import GPUSpec
+from repro.gpu.timing import DEFAULT_TIMING, GroundTruthTiming, TimingConfig
+from repro.nn.graph import LayerInfo, Network
+
+
+@dataclass(frozen=True)
+class KernelExecution:
+    """One measured kernel launch."""
+
+    call: KernelCall
+    duration_us: float     # averaged measured duration (includes startup)
+    work_us: float         # GPU-busy portion (excludes startup)
+
+    @property
+    def kernel_name(self) -> str:
+        return self.call.kernel.name
+
+
+@dataclass(frozen=True)
+class LayerExecution:
+    """All kernel launches attributed to one layer."""
+
+    info: LayerInfo
+    kernels: Tuple[KernelExecution, ...]
+
+    @property
+    def duration_us(self) -> float:
+        """Layer time as the profiler computes it: sum of its kernels."""
+        return sum(k.duration_us for k in self.kernels)
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """One profiled inference run of a network on a GPU."""
+
+    network_name: str
+    family: str
+    gpu_name: str
+    batch_size: int
+    layers: Tuple[LayerExecution, ...]
+    e2e_us: float          # wall-clock per batch, CUDA-event style
+    training: bool = False  # True when backward kernels are included
+
+    @property
+    def kernel_executions(self) -> List[KernelExecution]:
+        return [k for layer in self.layers for k in layer.kernels]
+
+    @property
+    def kernel_time_us(self) -> float:
+        """Sum of measured kernel durations (what a KW prediction targets)."""
+        return sum(k.duration_us for k in self.kernel_executions)
+
+
+class SimulatedGPU:
+    """A GPU plus the measurement protocol of Section 3.
+
+    ``warmup_batches`` exists for protocol fidelity: the ground truth has
+    no cold-start transient, so warm-up only documents the procedure, but
+    measured durations are averages over ``measure_batches`` samples with
+    correspondingly reduced noise.
+    """
+
+    def __init__(self, spec: GPUSpec, config: TimingConfig = DEFAULT_TIMING,
+                 seed: int = 0, warmup_batches: int = 20,
+                 measure_batches: int = 30) -> None:
+        if measure_batches < 1:
+            raise ValueError("measure_batches must be >= 1")
+        self.spec = spec
+        self.config = config
+        self.timing = GroundTruthTiming(spec, config, seed)
+        self.warmup_batches = warmup_batches
+        self.measure_batches = measure_batches
+
+    def run_network(self, network: Network, batch_size: int,
+                    training: bool = False) -> ExecutionResult:
+        """Execute one network at one batch size; return the measurements.
+
+        With ``training=True`` each layer also runs its backward-pass
+        kernels (data and weight gradients), modelling one training step
+        without the optimiser update. For modelling purposes the backward
+        kernels are attributed to their layer alongside the forward ones;
+        the physical reverse ordering does not change any per-layer or
+        end-to-end quantity the predictors consume.
+        """
+        layers: List[LayerExecution] = []
+        total_work = 0.0
+        launches = 0
+        for info in network.layer_infos(batch_size):
+            executions = []
+            calls = kernel_calls(info)
+            if training:
+                calls = calls + backward_kernel_calls(info)
+            for call in calls:
+                work = (self.timing.kernel_work_us(call)
+                        * self.timing.averaged_noise(call,
+                                                     self.measure_batches))
+                duration = work + self.spec.launch_overhead_us
+                executions.append(KernelExecution(call, duration, work))
+                total_work += work
+                launches += 1
+            layers.append(LayerExecution(info, tuple(executions)))
+
+        # End-to-end wall time: GPU busy time, plus the startup fraction
+        # the launch pipeline cannot hide, plus per-batch host sync cost.
+        visible_startup = (launches * self.spec.launch_overhead_us
+                           * (1.0 - self.config.launch_overlap))
+        e2e = total_work + visible_startup + self.config.batch_sync_us
+        return ExecutionResult(
+            network_name=network.name,
+            family=network.family,
+            gpu_name=self.spec.name,
+            batch_size=batch_size,
+            layers=tuple(layers),
+            e2e_us=e2e,
+            training=training,
+        )

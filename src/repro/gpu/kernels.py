@@ -1,0 +1,134 @@
+"""Kernel catalogue for the simulated GPU software stack.
+
+The cuDNN-like selection layer (:mod:`repro.gpu.cudnn`) decomposes each
+network layer into a sequence of *kernel calls*, following the common
+pattern the paper identifies in observation O5: pre-processing kernels
+whose cost tracks the layer input, main computation kernels whose cost
+tracks the operation count, and post-processing kernels whose cost tracks
+the layer output.
+
+A :class:`Kernel` is a catalogue entry (name, pipeline role, ground-truth
+cost driver, efficiency family). A :class:`KernelCall` is one invocation of
+a kernel with concrete work amounts (FLOPs and bytes). The ground-truth
+driver on the Kernel is **hidden state of the simulated hardware**: the
+predictors never read it — they must rediscover it from timings via the
+R²-based classification of Section 4 (we use it only to *validate* the
+classifier in tests).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+class KernelRole(enum.Enum):
+    """Where a kernel sits in cuDNN's pre/main/post pipeline."""
+
+    PRE = "pre"
+    MAIN = "main"
+    POST = "post"
+
+
+class Driver(enum.Enum):
+    """Which layer quantity a kernel's execution time tracks (O5)."""
+
+    INPUT = "input"          # layer input N*C*H*W
+    OPERATION = "operation"  # layer FLOPs
+    OUTPUT = "output"        # layer output N*C*H*W
+
+    @property
+    def column(self) -> str:
+        """Dataset column name holding this driver's feature value."""
+        return {
+            Driver.INPUT: "input_nchw",
+            Driver.OPERATION: "flops",
+            Driver.OUTPUT: "output_nchw",
+        }[self]
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """One catalogue entry of the simulated GPU library."""
+
+    name: str
+    role: KernelRole
+    driver: Driver
+    family: str            # efficiency-parameter group in the timing model
+    ai: float = 0.0        # flops/byte for OPERATION kernels (0 = data kernel)
+
+    def __post_init__(self) -> None:
+        if self.driver is Driver.OPERATION and self.ai <= 0:
+            raise ValueError(
+                f"{self.name}: operation-driven kernels need a positive ai")
+
+
+@dataclass(frozen=True)
+class KernelCall:
+    """One invocation of a kernel with concrete work amounts.
+
+    ``flops`` is the kernel's *actual* operation count (e.g. Winograd's
+    reduced multiply count), which may differ from the layer's theoretical
+    FLOPs by an algorithm-dependent constant. ``bytes_moved`` is the
+    physical memory traffic estimate used by the roofline timing model.
+    ``driver_value`` is the layer-level feature value (input NCHW, layer
+    FLOPs, or output NCHW) that the predictors will regress against.
+    """
+
+    kernel: Kernel
+    flops: float
+    bytes_moved: float
+    driver_value: float
+
+    def __post_init__(self) -> None:
+        if self.bytes_moved <= 0:
+            raise ValueError(f"{self.kernel.name}: bytes_moved must be positive")
+        if self.driver_value <= 0:
+            raise ValueError(f"{self.kernel.name}: driver_value must be positive")
+
+
+class KernelCatalogue:
+    """Interning registry: one :class:`Kernel` object per distinct name.
+
+    cuDNN exposes a fixed kernel set; interning makes identity checks and
+    per-kernel grouping trivial, and lets the dataset report how many
+    distinct kernels a build touched (the paper records ~182 per GPU).
+    """
+
+    def __init__(self) -> None:
+        self._kernels: Dict[str, Kernel] = {}
+
+    def get(self, name: str, role: KernelRole, driver: Driver, family: str,
+            ai: float = 0.0) -> Kernel:
+        """Fetch or create the catalogue entry for ``name``.
+
+        Re-registration with conflicting metadata is a programming error in
+        the selection layer and raises immediately.
+        """
+        existing = self._kernels.get(name)
+        if existing is not None:
+            candidate = Kernel(name, role, driver, family, ai)
+            if candidate != existing:
+                raise ValueError(
+                    f"kernel {name!r} re-registered with different metadata")
+            return existing
+        kernel = Kernel(name, role, driver, family, ai)
+        self._kernels[name] = kernel
+        return kernel
+
+    def __len__(self) -> int:
+        return len(self._kernels)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._kernels
+
+    def names(self) -> List[str]:
+        return sorted(self._kernels)
+
+    def kernels(self) -> List[Kernel]:
+        return [self._kernels[name] for name in self.names()]
+
+
+#: Process-wide catalogue shared by the selection layer.
+CATALOGUE = KernelCatalogue()

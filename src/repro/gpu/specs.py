@@ -1,0 +1,127 @@
+"""GPU hardware specifications (Table 1 of the paper).
+
+A :class:`GPUSpec` carries the theoretical parameters the paper treats as
+"directly known information": memory bandwidth, memory capacity, FP32
+throughput, and tensor-core count — plus the microarchitectural constants
+the ground-truth timing substrate needs (SM count, kernel launch overhead,
+per-architecture identity). Only the Table-1 columns are visible to the
+predictors; the rest belongs to the simulated hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Theoretical and microarchitectural description of one GPU."""
+
+    name: str
+    bandwidth_gbs: float     # theoretical memory bandwidth, GB/s (Table 1)
+    memory_gb: float         # device memory capacity, GB (Table 1)
+    fp32_tflops: float       # theoretical FP32 throughput, TFLOPS (Table 1)
+    tensor_cores: int        # tensor core count (Table 1)
+    architecture: str        # microarchitecture family (Ampere, Turing, ...)
+    sm_count: int            # streaming multiprocessor count
+    cuda_cores: int          # FP32 lane count (SM count x lanes per SM)
+    tdp_w: float = 250.0     # board power limit (energy extension)
+    launch_overhead_us: float = 4.0   # per-kernel launch + driver cost
+    cpu_gap_us: float = 3.0           # CPU-side scheduling gap per kernel
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbs <= 0 or self.fp32_tflops <= 0:
+            raise ValueError(f"{self.name}: bandwidth and TFLOPS must be positive")
+        if self.memory_gb <= 0 or self.sm_count <= 0:
+            raise ValueError(f"{self.name}: memory and SM count must be positive")
+        if self.tensor_cores < 0:
+            raise ValueError(f"{self.name}: tensor core count cannot be negative")
+        if self.cuda_cores <= 0:
+            raise ValueError(f"{self.name}: cuda_cores must be positive")
+
+    @property
+    def bandwidth_bytes(self) -> float:
+        """Theoretical bandwidth in bytes/second."""
+        return self.bandwidth_gbs * 1e9
+
+    @property
+    def peak_flops(self) -> float:
+        """Theoretical FP32 throughput in FLOP/s."""
+        return self.fp32_tflops * 1e12
+
+    def with_bandwidth(self, bandwidth_gbs: float) -> "GPUSpec":
+        """A hypothetical variant with modified memory bandwidth.
+
+        This is the knob case study 1 turns: "what is the optimal memory
+        bandwidth if the number of cores and the frequency are unchanged?"
+        """
+        return replace(self, name=f"{self.name}@{bandwidth_gbs:g}GB/s",
+                       bandwidth_gbs=bandwidth_gbs)
+
+    def partition(self, fraction: float, name: str = "") -> "GPUSpec":
+        """A multi-instance (MIG) slice of this GPU.
+
+        MIG partitions SMs, memory, and memory bandwidth proportionally;
+        per-kernel launch costs are unchanged (the slice still talks to
+        the same driver). The paper lists multi-instance GPUs as future
+        work — this is the hardware side of that extension.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        sm_count = max(1, round(self.sm_count * fraction))
+        cores_per_sm = self.cuda_cores // self.sm_count
+        return replace(
+            self,
+            name=name or f"{self.name} MIG {fraction:g}",
+            bandwidth_gbs=self.bandwidth_gbs * fraction,
+            memory_gb=self.memory_gb * fraction,
+            fp32_tflops=self.fp32_tflops * fraction,
+            tensor_cores=round(self.tensor_cores * fraction),
+            sm_count=sm_count,
+            cuda_cores=sm_count * cores_per_sm,
+        )
+
+
+#: Table 1 of the paper, with microarchitectural fields added for the
+#: ground-truth substrate. Launch overheads scale loosely with CPU/driver
+#: generation; the Quadro P620 machine is the slowest host.
+GPUS: Dict[str, GPUSpec] = {
+    spec.name: spec
+    for spec in (
+        GPUSpec("A100", 1555, 40, 19.5, 432, "Ampere", 108, 6912,
+                tdp_w=400, launch_overhead_us=3.5, cpu_gap_us=2.5),
+        GPUSpec("A40", 696, 48, 37.4, 336, "Ampere", 84, 10752,
+                tdp_w=300, launch_overhead_us=3.5, cpu_gap_us=2.5),
+        GPUSpec("GTX 1080 Ti", 484, 11, 11.3, 0, "Pascal", 28, 3584,
+                tdp_w=250, launch_overhead_us=5.0, cpu_gap_us=4.0),
+        GPUSpec("Quadro P620", 80, 2, 1.4, 0, "Pascal", 4, 512,
+                tdp_w=40, launch_overhead_us=6.0, cpu_gap_us=5.0),
+        GPUSpec("RTX A5000", 768, 24, 27.8, 256, "Ampere", 64, 8192,
+                tdp_w=230, launch_overhead_us=3.5, cpu_gap_us=2.5),
+        GPUSpec("TITAN RTX", 672, 24, 16.3, 576, "Turing", 72, 4608,
+                tdp_w=280, launch_overhead_us=4.0, cpu_gap_us=3.0),
+        GPUSpec("V100", 900, 16, 14.1, 640, "Volta", 80, 5120,
+                tdp_w=300, launch_overhead_us=4.5, cpu_gap_us=3.5),
+    )
+}
+
+
+def gpu(name: str) -> GPUSpec:
+    """Look up a Table-1 GPU by name."""
+    try:
+        return GPUS[name]
+    except KeyError:
+        raise KeyError(f"unknown GPU {name!r}; known: {sorted(GPUS)}") from None
+
+
+def gpu_names() -> List[str]:
+    return sorted(GPUS)
+
+
+#: The four GPUs the IGKW experiment uses (train on first three).
+IGKW_TRAIN_GPUS = ("A100", "A40", "GTX 1080 Ti")
+IGKW_TEST_GPU = "TITAN RTX"
+
+#: GPUs the KW model is evaluated on in Section 5.4.
+KW_EVAL_GPUS = ("A100", "A40", "GTX 1080 Ti", "TITAN RTX", "V100")

@@ -1,0 +1,217 @@
+"""Ground-truth kernel timing model — the simulated hardware's physics.
+
+This module substitutes for the real GPUs of Table 1. Each kernel call's
+duration comes from a roofline-style model:
+
+``work = max((bytes + saturation_bytes) / achieved_bandwidth,
+             flops / achieved_compute) * wiggle * noise``
+
+with
+
+- **achieved bandwidth** = a global efficiency fraction of the GPU's
+  theoretical bandwidth, scaled by a per-(kernel family, architecture)
+  deviation. Most kernels are bandwidth-bound by construction, matching
+  the paper's finding that bandwidth efficiency is roughly stable across
+  GPUs while compute efficiency is not (observation O6, Figure 9).
+- **saturation bytes** = an SM-count-proportional constant modelling the
+  occupancy ramp: small kernels cannot fill the GPU, so kernel time is
+  affine (not proportional) in the work size. This produces the flat
+  low-FLOPs region of Figure 7 and the batch-size throughput ramp of
+  Figure 6.
+- **wiggle** = a deterministic per-(kernel, size-bucket) factor modelling
+  tile-quantisation effects; it is systematic (identical across repeated
+  measurements), so it sets the irreducible error floor of any linear
+  model — the reason the KW model bottoms out near 7% rather than 0%.
+- **noise** = per-measurement multiplicative log-normal jitter, which the
+  warm-up/averaging protocol of Section 3 mostly removes.
+
+Everything is deterministic given (GPU, kernel, work size, seed): repeated
+dataset builds are reproducible, like re-profiling stable hardware.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+
+from repro.gpu.kernels import KernelCall
+from repro.gpu.specs import GPUSpec
+
+
+@dataclass(frozen=True)
+class TimingConfig:
+    """Calibration constants of the simulated hardware."""
+
+    bandwidth_efficiency: float = 0.35   # fraction of theoretical BW achieved
+    compute_efficiency: float = 0.70     # fraction of peak FP32 achievable
+    onchip_mbs_per_core: float = 50.0    # on-chip data-path ceiling per lane
+    saturation_kb_per_sm: float = 32.0   # occupancy-ramp constant per SM
+    arch_spread: float = 0.25            # per-(family, arch) deviation
+    arch_global_spread: float = 0.14     # whole-architecture deviation
+    kernel_spread: float = 0.15          # per-kernel-variant tuning quality
+    size_wiggle: float = 0.08            # fine tile-quantisation amplitude
+    class_wiggle: float = 0.22           # coarse size-class amplitude
+    noise_sigma: float = 0.05            # per-measurement log-normal sigma
+    launch_overlap: float = 0.75         # startup fraction hidden end-to-end
+    batch_sync_us: float = 15.0          # per-batch CPU<->GPU sync cost
+
+
+DEFAULT_TIMING = TimingConfig()
+
+#: Whole-architecture efficiency offsets: cuDNN generations are tuned
+#: unevenly across hardware generations, so an entire architecture can sit
+#: above or below the bandwidth trend. Turing's deficit is what an
+#: IGKW model trained on Ampere + Pascal cannot see — the dominant term in
+#: its ~15% error on TITAN RTX (Figure 14). Architectures not listed here
+#: (hypothetical GPUs) fall back to a hash-derived offset of amplitude
+#: ``TimingConfig.arch_global_spread``.
+ARCH_EFFICIENCY = {
+    "Ampere": 1.06,
+    "Volta": 1.02,
+    "Turing": 1.04,
+    "Pascal": 0.97,
+}
+
+
+def _unit_hash(*parts) -> float:
+    """Deterministic uniform value in [0, 1) derived from the arguments."""
+    digest = hashlib.md5("|".join(str(p) for p in parts).encode()).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+def _signed_hash(*parts) -> float:
+    """Deterministic value in [-1, 1) derived from the arguments."""
+    return 2.0 * _unit_hash(*parts) - 1.0
+
+
+def _normal_hash(*parts) -> float:
+    """Deterministic standard-normal draw via Box-Muller on two hashes."""
+    u1 = max(_unit_hash("bm1", *parts), 1e-12)
+    u2 = _unit_hash("bm2", *parts)
+    return math.sqrt(-2.0 * math.log(u1)) * math.cos(2.0 * math.pi * u2)
+
+
+def arch_deviation(family: str, architecture: str,
+                   config: TimingConfig = DEFAULT_TIMING) -> float:
+    """Per-(kernel family, GPU architecture) efficiency deviation.
+
+    Real libraries are tuned unevenly: a kernel family may run 10% above
+    trend on Ampere and 10% below on Turing, and whole architectures sit
+    above or below the bandwidth trend (driver maturity, cache sizes).
+    Both components are shared by GPUs of the same architecture, which is
+    what limits the IGKW model to ~15% error on an architecture absent
+    from its training set: the family component partially averages out
+    across a network's kernel mix, the global component does not.
+    """
+    per_family = config.arch_spread * _signed_hash("arch", family,
+                                                   architecture)
+    whole_arch = ARCH_EFFICIENCY.get(
+        architecture,
+        1.0 + config.arch_global_spread * _signed_hash("archg",
+                                                       architecture))
+    return (1.0 + per_family) * whole_arch
+
+
+def kernel_tuning(kernel_name: str,
+                  config: TimingConfig = DEFAULT_TIMING) -> float:
+    """Per-kernel-variant tuning quality, identical on every GPU.
+
+    Individual kernel implementations are unevenly optimised (a 128x64
+    tile GEMM may simply be a better piece of code than the 64x32 one).
+    The offset follows the kernel *name*, so a per-kernel regression (KW)
+    absorbs it exactly while layer- and network-level models (LW, E2E)
+    see it as unexplainable cross-network variance — the separation the
+    paper's accuracy ladder (35% → 28% → 7%) rests on.
+    """
+    return 1.0 + config.kernel_spread * _signed_hash("kern", kernel_name)
+
+
+def size_wiggle(kernel_name: str, family: str, bytes_moved: float,
+                config: TimingConfig = DEFAULT_TIMING) -> float:
+    """Systematic efficiency wiggle, at two size granularities.
+
+    The *fine* component (per kernel, half-octave size bins) models tile
+    quantisation: efficiency jumps as problem sizes cross tile boundaries.
+    The *coarse* component (per family, three-octave size classes) models
+    working-set regime changes (L2-resident vs streaming). Because one
+    network's kernels cluster in a few size classes, the coarse component
+    produces *correlated* residuals across a network — the error a summed
+    kernel-level prediction cannot average away, and the main reason the
+    KW model's error floor sits near the paper's 7% rather than near zero.
+    """
+    log_size = math.log2(max(bytes_moved, 1.0))
+    fine_bucket = int(log_size * 2.0)       # half-octave bins
+    coarse_bucket = int(log_size / 3.0)     # three-octave size classes
+    fine = config.size_wiggle * _signed_hash("wig", kernel_name, fine_bucket)
+    coarse = config.class_wiggle * _signed_hash("wigc", family, coarse_bucket)
+    return (1.0 + fine) * (1.0 + coarse)
+
+
+class GroundTruthTiming:
+    """Ground-truth execution time oracle for one GPU.
+
+    This object is the *hardware*: the profiler measures it, the predictors
+    never see inside it.
+    """
+
+    def __init__(self, gpu: GPUSpec, config: TimingConfig = DEFAULT_TIMING,
+                 seed: int = 0) -> None:
+        self.gpu = gpu
+        self.config = config
+        self.seed = seed
+        self._saturation_bytes = (config.saturation_kb_per_sm * 1024.0
+                                  * gpu.sm_count)
+        # On-chip data-path ceiling (bytes/s): shared-memory and register
+        # traffic that does not speed up with DRAM bandwidth. It bends the
+        # time-vs-bandwidth curve, giving case study 1 its diminishing-
+        # returns knee, and gives the rate-vs-bandwidth relation the
+        # positive intercept visible in the paper's O6 fits.
+        self._onchip_rate = config.onchip_mbs_per_core * 1e6 * gpu.cuda_cores
+
+    def kernel_work_us(self, call: KernelCall) -> float:
+        """Noise-free kernel execution time in microseconds."""
+        cfg = self.config
+        dev = (arch_deviation(call.kernel.family, self.gpu.architecture, cfg)
+               * kernel_tuning(call.kernel.name, cfg))
+        achieved_bw = cfg.bandwidth_efficiency * self.gpu.bandwidth_bytes * dev
+        t_dram = (call.bytes_moved + self._saturation_bytes) / achieved_bw
+        t_onchip = call.bytes_moved / (self._onchip_rate * dev)
+        t_comp = call.flops / (cfg.compute_efficiency * self.gpu.peak_flops)
+        work_s = max(t_dram + t_onchip, t_comp)
+        return work_s * 1e6 * size_wiggle(call.kernel.name,
+                                          call.kernel.family,
+                                          call.bytes_moved, cfg)
+
+    def measurement_noise(self, call: KernelCall, batch_index: int) -> float:
+        """Multiplicative log-normal noise for one measured batch."""
+        z = _normal_hash(self.seed, self.gpu.name, call.kernel.name,
+                         round(call.driver_value), batch_index)
+        return math.exp(self.config.noise_sigma * z)
+
+    def averaged_noise(self, call: KernelCall, n_batches: int) -> float:
+        """Noise factor of an ``n_batches``-sample average.
+
+        Averaging n independent log-normal draws shrinks the effective
+        sigma by sqrt(n); we sample the averaged factor directly rather
+        than drawing every batch, keeping large dataset builds fast while
+        preserving the statistics of the Section-3 protocol.
+        """
+        if n_batches < 1:
+            raise ValueError("n_batches must be >= 1")
+        z = _normal_hash(self.seed, self.gpu.name, call.kernel.name,
+                         round(call.driver_value), "avg")
+        sigma = self.config.noise_sigma / math.sqrt(n_batches)
+        return math.exp(sigma * z)
+
+    def kernel_duration_us(self, call: KernelCall, n_batches: int = 30) -> float:
+        """Measured (averaged) kernel duration, including startup cost.
+
+        Real profiler traces report GPU-side durations that include each
+        kernel's fixed startup phase; back-to-back kernels partially hide
+        that phase end-to-end, which is why summing per-kernel durations
+        overestimates small networks (the KW model's asymmetric tail in
+        Figure 13).
+        """
+        work = self.kernel_work_us(call) * self.averaged_noise(call, n_batches)
+        return work + self.gpu.launch_overhead_us

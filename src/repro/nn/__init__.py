@@ -1,0 +1,21 @@
+"""DNN graph substrate: shapes, layers, network DAGs, FLOPs counting."""
+
+from repro.nn.graph import INPUT, LayerInfo, Network, Node, sequential
+from repro.nn.layer import LAYER_REGISTRY, Layer, layer_kinds, register_layer
+from repro.nn.tensor import TensorShape
+from repro.nn.transforms import fuse_conv_bn_relu, fusion_summary
+
+__all__ = [
+    "INPUT",
+    "LAYER_REGISTRY",
+    "Layer",
+    "LayerInfo",
+    "Network",
+    "Node",
+    "TensorShape",
+    "fuse_conv_bn_relu",
+    "fusion_summary",
+    "layer_kinds",
+    "register_layer",
+    "sequential",
+]

@@ -1,0 +1,71 @@
+"""Theoretical FLOPs counting (PyTorch-OpCounter / thop substitute).
+
+The paper computes every layer's theoretical FLOPs with thop, using the
+multiply-count convention (for convolutions,
+``FLOPs = Cout * H' * W' * Cin * Kh * Kw``). Here the counting logic lives
+on each layer class; this module provides the network-level aggregation
+views the dataset builder and the models consume:
+
+- :func:`layer_flops` / :func:`network_flops` — raw totals;
+- :func:`flops_by_kind` — per-layer-type totals (Figure 7, LW model);
+- :func:`profile_flops` — a thop-style (flops, params) pair.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.nn.graph import LayerInfo, Network
+
+GIGA = 1e9
+
+
+def layer_flops(network: Network, batch_size: int) -> List[Tuple[str, int]]:
+    """Per-layer (name, FLOPs) pairs in topological order."""
+    return [(info.name, info.flops)
+            for info in network.layer_infos(batch_size)]
+
+
+def network_flops(network: Network, batch_size: int) -> int:
+    """Total theoretical FLOPs of one inference pass."""
+    return network.total_flops(batch_size)
+
+
+def network_gflops(network: Network, batch_size: int) -> float:
+    """Total FLOPs in units of 1e9 (the paper's x-axis unit)."""
+    return network_flops(network, batch_size) / GIGA
+
+
+def flops_by_kind(network: Network, batch_size: int) -> Dict[str, int]:
+    """Total FLOPs grouped by layer kind (CONV, FC, BN, ...)."""
+    totals: Dict[str, int] = {}
+    for info in network.layer_infos(batch_size):
+        totals[info.kind] = totals.get(info.kind, 0) + info.flops
+    return totals
+
+
+def profile_flops(network: Network, batch_size: int = 1) -> Tuple[int, int]:
+    """thop-style interface: return (total FLOPs, total parameters)."""
+    return network.total_flops(batch_size), network.total_params()
+
+
+def dominant_kind(network: Network, batch_size: int = 1) -> str:
+    """The layer kind contributing the most FLOPs (CONV for all CNNs)."""
+    totals = flops_by_kind(network, batch_size)
+    return max(totals, key=lambda kind: totals[kind])
+
+
+def arithmetic_intensity(info: LayerInfo) -> float:
+    """FLOPs per byte moved, estimated from layer shapes.
+
+    The discussion section argues the kernel classification groups kernels
+    into clusters of similar arithmetic intensity, which is why FLOPs alone
+    predicts both compute- and memory-bound kernels. This estimator uses
+    input + output + parameter traffic as the byte denominator.
+    """
+    moved = (sum(shape.bytes() for shape in info.input_shapes)
+             + info.output_shape.bytes()
+             + 4 * info.params)
+    if moved == 0:
+        return 0.0
+    return info.flops / moved

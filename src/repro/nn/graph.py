@@ -1,0 +1,214 @@
+"""Network graphs: DAGs of layers with shape inference.
+
+A :class:`Network` is the unit the paper's dataset and predictors operate
+on. It is a directed acyclic graph of named :class:`~repro.nn.layer.Layer`
+nodes with a single input placeholder. Nodes must be added in topological
+order (every referenced input must already exist), which keeps traversal
+trivial and guarantees acyclicity by construction.
+
+Networks store their canonical input shape with batch size 1; every query
+(:meth:`Network.shapes`, :meth:`Network.layer_infos`, ...) takes an explicit
+``batch_size``, mirroring how the paper sweeps batch sizes over a fixed
+network structure (observation O3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.nn.layer import Layer
+from repro.nn.tensor import TensorShape
+
+#: Reserved node name referring to the network's input placeholder.
+INPUT = "input"
+
+
+@dataclass(frozen=True)
+class Node:
+    """One layer instance inside a network graph."""
+
+    name: str
+    layer: Layer
+    inputs: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class LayerInfo:
+    """Everything the dataset records about one layer execution.
+
+    This is the structural row the predictors consume: layer identity and
+    kind, the input/output shapes at a given batch size, theoretical FLOPs
+    (thop convention), and the parameter count.
+    """
+
+    name: str
+    kind: str
+    input_shapes: Tuple[TensorShape, ...]
+    output_shape: TensorShape
+    flops: int
+    params: int
+    layer: Layer
+
+    @property
+    def input_nchw(self) -> int:
+        """N*C*H*W of the (first) input — the input-driven kernel feature."""
+        return self.input_shapes[0].nchw()
+
+    @property
+    def output_nchw(self) -> int:
+        """N*C*H*W of the output — the output-driven kernel feature."""
+        return self.output_shape.nchw()
+
+
+class Network:
+    """A named DAG of layers with a single input.
+
+    Parameters
+    ----------
+    name:
+        Unique network identifier (e.g. ``"resnet50"``).
+    input_shape:
+        Canonical input shape; its batch dimension is treated as a
+        placeholder and replaced by the ``batch_size`` argument of queries.
+    family:
+        Model-family label (``"resnet"``, ``"vgg"``, ...) used for
+        family-line analyses such as Figure 4.
+    """
+
+    def __init__(self, name: str, input_shape: TensorShape,
+                 family: str = "") -> None:
+        if not name:
+            raise ValueError("network name must be non-empty")
+        self.name = name
+        self.family = family or name
+        self.input_shape = input_shape.with_batch(1)
+        self._nodes: List[Node] = []
+        self._by_name: Dict[str, Node] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add(self, name: str, layer: Layer,
+            inputs: Optional[Sequence[str]] = None) -> str:
+        """Append a node; returns its name for chaining.
+
+        ``inputs`` defaults to the previously added node (or the network
+        input for the first node), which makes sequential trunks concise.
+        """
+        if name == INPUT:
+            raise ValueError(f"{INPUT!r} is a reserved node name")
+        if name in self._by_name:
+            raise ValueError(f"duplicate node name {name!r} in {self.name}")
+        if inputs is None:
+            inputs = (self._nodes[-1].name if self._nodes else INPUT,)
+        resolved = tuple(inputs)
+        if not resolved:
+            raise ValueError(f"node {name!r} needs at least one input")
+        for src in resolved:
+            if src != INPUT and src not in self._by_name:
+                raise ValueError(
+                    f"node {name!r} references unknown input {src!r} "
+                    "(nodes must be added in topological order)")
+        node = Node(name, layer, resolved)
+        self._nodes.append(node)
+        self._by_name[name] = node
+        return name
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def nodes(self) -> Tuple[Node, ...]:
+        return tuple(self._nodes)
+
+    @property
+    def output_name(self) -> str:
+        if not self._nodes:
+            raise ValueError(f"network {self.name} has no nodes")
+        return self._nodes[-1].name
+
+    def node(self, name: str) -> Node:
+        return self._by_name[name]
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    # -- shape inference ---------------------------------------------------
+
+    def shapes(self, batch_size: int) -> Dict[str, TensorShape]:
+        """Infer every node's output shape at the given batch size.
+
+        The returned mapping includes the ``"input"`` placeholder.
+        """
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        shapes: Dict[str, TensorShape] = {
+            INPUT: self.input_shape.with_batch(batch_size)
+        }
+        for node in self._nodes:
+            input_shapes = [shapes[src] for src in node.inputs]
+            shapes[node.name] = node.layer.infer_shape(input_shapes)
+        return shapes
+
+    def output_shape(self, batch_size: int) -> TensorShape:
+        return self.shapes(batch_size)[self.output_name]
+
+    def layer_infos(self, batch_size: int) -> List[LayerInfo]:
+        """Per-layer structural records at the given batch size."""
+        shapes = self.shapes(batch_size)
+        infos: List[LayerInfo] = []
+        for node in self._nodes:
+            input_shapes = tuple(shapes[src] for src in node.inputs)
+            output = shapes[node.name]
+            infos.append(LayerInfo(
+                name=node.name,
+                kind=node.layer.kind,
+                input_shapes=input_shapes,
+                output_shape=output,
+                flops=node.layer.flops(input_shapes, output),
+                params=node.layer.param_count(),
+                layer=node.layer,
+            ))
+        return infos
+
+    # -- aggregates --------------------------------------------------------
+
+    def total_flops(self, batch_size: int) -> int:
+        """Sum of theoretical layer FLOPs — the E2E model's feature."""
+        return sum(info.flops for info in self.layer_infos(batch_size))
+
+    def total_params(self) -> int:
+        return sum(node.layer.param_count() for node in self._nodes)
+
+    def kinds(self) -> List[str]:
+        """Distinct layer kinds present, sorted."""
+        return sorted({node.layer.kind for node in self._nodes})
+
+    def summary(self, batch_size: int = 1) -> str:
+        """Human-readable per-layer table (name, kind, output shape, FLOPs)."""
+        lines = [f"Network {self.name} (family={self.family}, "
+                 f"input={self.input_shape.with_batch(batch_size)})"]
+        for info in self.layer_infos(batch_size):
+            lines.append(
+                f"  {info.name:<28} {info.kind:<14} "
+                f"out={str(info.output_shape):<18} flops={info.flops:,}")
+        lines.append(
+            f"  total: {len(self)} layers, {self.total_params():,} params, "
+            f"{self.total_flops(batch_size):,} FLOPs")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"Network(name={self.name!r}, family={self.family!r}, "
+                f"layers={len(self)})")
+
+
+def sequential(name: str, input_shape: TensorShape,
+               layers: Iterable[Tuple[str, Layer]],
+               family: str = "") -> Network:
+    """Build a purely sequential network from (name, layer) pairs."""
+    net = Network(name, input_shape, family=family)
+    for layer_name, layer in layers:
+        net.add(layer_name, layer)
+    return net

@@ -1,0 +1,93 @@
+"""Layer protocol and registry for the DNN graph substrate.
+
+A :class:`Layer` is a pure structural description of one network operation:
+it knows how to infer its output shape from input shapes, how many learned
+parameters it carries, and how many theoretical floating-point operations it
+performs. It never computes values. This mirrors the level of information
+available to the paper's predictors (network structure, shapes, FLOPs) —
+everything PyTorch-OpCounter can derive statically.
+
+Layers are registered by *kind* string (``"CONV"``, ``"FC"``, ``"BN"``, ...)
+so dataset rows and kernel mapping tables can refer to them symbolically,
+matching the paper's layer-type taxonomy (Figure 7 plots BN / CONV / FC /
+Pooling clouds by exactly these labels).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Sequence, Type
+
+from repro.nn.tensor import TensorShape
+
+#: kind string -> Layer subclass, populated by @register_layer.
+LAYER_REGISTRY: Dict[str, Type["Layer"]] = {}
+
+
+def register_layer(cls: Type["Layer"]) -> Type["Layer"]:
+    """Class decorator that records a layer type under its ``kind``."""
+    kind = cls.kind
+    if not kind:
+        raise ValueError(f"{cls.__name__} must define a non-empty kind")
+    if kind in LAYER_REGISTRY and LAYER_REGISTRY[kind] is not cls:
+        raise ValueError(f"duplicate layer kind {kind!r}")
+    LAYER_REGISTRY[kind] = cls
+    return cls
+
+
+def layer_kinds() -> List[str]:
+    """All registered layer kind strings, sorted."""
+    return sorted(LAYER_REGISTRY)
+
+
+class Layer(abc.ABC):
+    """Structural description of a single network operation.
+
+    Subclasses set the class attribute ``kind`` and implement
+    :meth:`infer_shape`, :meth:`param_count`, and :meth:`flops`.
+    """
+
+    #: Layer-type label used throughout the dataset and the LW model.
+    kind: str = ""
+
+    #: Number of inputs the layer expects; None means "one or more".
+    arity: int = 1
+
+    @abc.abstractmethod
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        """Compute the output shape from the input shapes."""
+
+    @abc.abstractmethod
+    def param_count(self) -> int:
+        """Number of learned parameters (weights + biases)."""
+
+    @abc.abstractmethod
+    def flops(self, inputs: Sequence[TensorShape], output: TensorShape) -> int:
+        """Theoretical FLOPs following the thop multiply-count convention."""
+
+    # -- shared plumbing ---------------------------------------------------
+
+    def check_arity(self, inputs: Sequence[TensorShape]) -> None:
+        """Raise if the number of inputs does not match :attr:`arity`."""
+        if self.arity is not None and len(inputs) != self.arity:
+            raise ValueError(
+                f"{self.kind} layer expects {self.arity} input(s), "
+                f"got {len(inputs)}")
+        if self.arity is None and not inputs:
+            raise ValueError(f"{self.kind} layer expects at least one input")
+
+    def config(self) -> dict:
+        """Serialisable hyper-parameter dictionary (for dataset CSV rows).
+
+        The default implementation exposes public instance attributes;
+        layers with derived state can override.
+        """
+        return {
+            key: value
+            for key, value in vars(self).items()
+            if not key.startswith("_")
+        }
+
+    def __repr__(self) -> str:
+        cfg = ", ".join(f"{k}={v}" for k, v in self.config().items())
+        return f"{type(self).__name__}({cfg})"

@@ -1,0 +1,54 @@
+"""Concrete layer types for the DNN graph substrate."""
+
+from repro.nn.layers.activation import (
+    GELU,
+    HardSwish,
+    ReLU,
+    ReLU6,
+    Sigmoid,
+    SiLU,
+    Softmax,
+    Tanh,
+)
+from repro.nn.layers.attention import (
+    AttentionContext,
+    AttentionScores,
+    MultiHeadAttention,
+)
+from repro.nn.layers.conv import Conv2d, depthwise_conv2d, pointwise_conv2d
+from repro.nn.layers.elementwise import Add, Concat, Multiply
+from repro.nn.layers.embedding import Embedding
+from repro.nn.layers.linear import Linear
+from repro.nn.layers.norm import BatchNorm2d, LayerNorm
+from repro.nn.layers.pooling import AdaptiveAvgPool2d, AvgPool2d, MaxPool2d
+from repro.nn.layers.reshape import ChannelShuffle, Dropout, Flatten
+
+__all__ = [
+    "Add",
+    "AdaptiveAvgPool2d",
+    "AttentionContext",
+    "AttentionScores",
+    "AvgPool2d",
+    "BatchNorm2d",
+    "ChannelShuffle",
+    "Concat",
+    "Conv2d",
+    "Dropout",
+    "Embedding",
+    "Flatten",
+    "GELU",
+    "HardSwish",
+    "LayerNorm",
+    "Linear",
+    "MaxPool2d",
+    "MultiHeadAttention",
+    "Multiply",
+    "ReLU",
+    "ReLU6",
+    "Sigmoid",
+    "SiLU",
+    "Softmax",
+    "Tanh",
+    "depthwise_conv2d",
+    "pointwise_conv2d",
+]

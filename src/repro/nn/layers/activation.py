@@ -1,0 +1,103 @@
+"""Activation layer descriptions.
+
+All activations are element-wise, parameter-free, and shape-preserving;
+they differ only in the per-element operation cost used for FLOPs counting.
+The GPU substrate maps them all onto element-wise kernels whose time is
+driven by the input size, matching observation O5 (input-driven kernels).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.nn.layer import Layer, register_layer
+from repro.nn.tensor import TensorShape
+
+
+class _Elementwise(Layer):
+    """Base class for unary element-wise activations."""
+
+    arity = 1
+
+    #: approximate FLOPs per element (transcendentals cost more)
+    ops_per_element = 1
+
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        self.check_arity(inputs)
+        return inputs[0]
+
+    def param_count(self) -> int:
+        return 0
+
+    def flops(self, inputs: Sequence[TensorShape], output: TensorShape) -> int:
+        return self.ops_per_element * inputs[0].numel()
+
+
+@register_layer
+class ReLU(_Elementwise):
+    kind = "ReLU"
+    ops_per_element = 1
+
+
+@register_layer
+class ReLU6(_Elementwise):
+    """Clamped ReLU used by MobileNet."""
+
+    kind = "ReLU6"
+    ops_per_element = 1
+
+
+@register_layer
+class Sigmoid(_Elementwise):
+    kind = "Sigmoid"
+    ops_per_element = 4
+
+
+@register_layer
+class Tanh(_Elementwise):
+    kind = "Tanh"
+    ops_per_element = 4
+
+
+@register_layer
+class GELU(_Elementwise):
+    """Gaussian error linear unit (transformer blocks)."""
+
+    kind = "GELU"
+    ops_per_element = 8
+
+
+@register_layer
+class SiLU(_Elementwise):
+    """Sigmoid-weighted linear unit / swish (EfficientNet)."""
+
+    kind = "SiLU"
+    ops_per_element = 5
+
+
+@register_layer
+class HardSwish(_Elementwise):
+    kind = "HardSwish"
+    ops_per_element = 3
+
+
+@register_layer
+class Softmax(Layer):
+    """Softmax over the trailing dimension (classifier heads, attention)."""
+
+    kind = "Softmax"
+    arity = 1
+
+    def __init__(self, dim: int = -1):
+        self.dim = dim
+
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        self.check_arity(inputs)
+        return inputs[0]
+
+    def param_count(self) -> int:
+        return 0
+
+    def flops(self, inputs: Sequence[TensorShape], output: TensorShape) -> int:
+        # exp + sum + divide per element
+        return 5 * inputs[0].numel()

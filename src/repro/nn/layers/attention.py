@@ -1,0 +1,148 @@
+"""Multi-head self-attention layer (the paper's transformer extension).
+
+The KW-model extension in Section 5.4 applies the same kernel-level
+methodology to HuggingFace text-classification transformers. Attention on a
+GPU decomposes into projection GEMMs plus two batched score/value GEMMs and
+a softmax — all operation-driven kernels — so a single structural layer with
+accurate FLOPs is the right granularity for the substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.nn.layer import Layer, register_layer
+from repro.nn.tensor import TensorShape
+
+
+@register_layer
+class MultiHeadAttention(Layer):
+    """Self-attention over an (N, L, D) sequence with ``num_heads`` heads."""
+
+    kind = "MHA"
+    arity = 1
+
+    def __init__(self, embed_dim: int, num_heads: int):
+        if embed_dim <= 0 or num_heads <= 0:
+            raise ValueError("embed_dim and num_heads must be positive")
+        if embed_dim % num_heads:
+            raise ValueError(
+                f"embed_dim {embed_dim} not divisible by num_heads {num_heads}")
+        self.embed_dim = embed_dim
+        self.num_heads = num_heads
+
+    @property
+    def head_dim(self) -> int:
+        return self.embed_dim // self.num_heads
+
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        self.check_arity(inputs)
+        x = inputs[0]
+        if x.rank != 3:
+            raise ValueError(f"MHA expects an (N, L, D) input, got {x}")
+        if x.dims[2] != self.embed_dim:
+            raise ValueError(
+                f"MHA expects embed_dim {self.embed_dim}, got {x.dims[2]}")
+        return x
+
+    def param_count(self) -> int:
+        # Q, K, V and output projections, each D x D with bias
+        return 4 * (self.embed_dim * self.embed_dim + self.embed_dim)
+
+    def flops(self, inputs: Sequence[TensorShape], output: TensorShape) -> int:
+        n, length, d = inputs[0].dims
+        projections = 4 * n * length * d * d          # Q/K/V/out GEMMs
+        scores = n * self.num_heads * length * length * self.head_dim  # Q.K^T
+        values = n * self.num_heads * length * length * self.head_dim  # A.V
+        return projections + scores + values
+
+
+@register_layer
+class AttentionScores(Layer):
+    """Batched Q·Kᵀ score computation over a fused (N, L, 3D) QKV tensor.
+
+    The zoo's transformer blocks decompose attention into the operators the
+    PyTorch Profiler actually records (projection GEMMs, score GEMM,
+    softmax, context GEMM) so each dataset row's FLOPs exactly match its
+    kernel's work — the property that gives the KW model its low
+    transformer error in Section 5.4.
+    """
+
+    kind = "AttnScores"
+    arity = 1
+
+    def __init__(self, embed_dim: int, num_heads: int):
+        if embed_dim <= 0 or num_heads <= 0:
+            raise ValueError("embed_dim and num_heads must be positive")
+        if embed_dim % num_heads:
+            raise ValueError(
+                f"embed_dim {embed_dim} not divisible by num_heads {num_heads}")
+        self.embed_dim = embed_dim
+        self.num_heads = num_heads
+
+    @property
+    def head_dim(self) -> int:
+        return self.embed_dim // self.num_heads
+
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        self.check_arity(inputs)
+        x = inputs[0]
+        if x.rank != 3 or x.dims[2] != 3 * self.embed_dim:
+            raise ValueError(
+                f"AttnScores expects (N, L, {3 * self.embed_dim}), got {x}")
+        length = x.dims[1]
+        # per-head L x L score matrices, stacked along the row dimension
+        return TensorShape((x.batch, self.num_heads * length, length), x.dtype)
+
+    def param_count(self) -> int:
+        return 0
+
+    def flops(self, inputs: Sequence[TensorShape], output: TensorShape) -> int:
+        n, length, _ = inputs[0].dims
+        return n * self.num_heads * length * length * self.head_dim
+
+
+@register_layer
+class AttentionContext(Layer):
+    """Batched attention·V context computation.
+
+    Inputs: softmaxed scores (N, heads*L, L) and the fused QKV tensor
+    (N, L, 3D); output is the (N, L, D) context.
+    """
+
+    kind = "AttnContext"
+    arity = 2
+
+    def __init__(self, embed_dim: int, num_heads: int):
+        if embed_dim <= 0 or num_heads <= 0:
+            raise ValueError("embed_dim and num_heads must be positive")
+        if embed_dim % num_heads:
+            raise ValueError(
+                f"embed_dim {embed_dim} not divisible by num_heads {num_heads}")
+        self.embed_dim = embed_dim
+        self.num_heads = num_heads
+
+    @property
+    def head_dim(self) -> int:
+        return self.embed_dim // self.num_heads
+
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        self.check_arity(inputs)
+        scores, qkv = inputs
+        if qkv.rank != 3 or qkv.dims[2] != 3 * self.embed_dim:
+            raise ValueError(
+                f"AttnContext expects QKV (N, L, {3 * self.embed_dim}), got {qkv}")
+        length = qkv.dims[1]
+        expected_scores = (qkv.batch, self.num_heads * length, length)
+        if scores.dims != expected_scores:
+            raise ValueError(
+                f"AttnContext expects scores {expected_scores}, got {scores}")
+        return TensorShape((qkv.batch, length, self.embed_dim), qkv.dtype)
+
+    def param_count(self) -> int:
+        return 0
+
+    def flops(self, inputs: Sequence[TensorShape], output: TensorShape) -> int:
+        _, qkv = inputs
+        n, length, _ = qkv.dims
+        return n * self.num_heads * length * length * self.head_dim

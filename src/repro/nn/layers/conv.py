@@ -1,0 +1,98 @@
+"""Convolutional layer descriptions."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.nn.layer import Layer, register_layer
+from repro.nn.tensor import TensorShape, conv2d_output_hw, pair
+
+
+@register_layer
+class Conv2d(Layer):
+    """2-D convolution (Figure 1 of the paper).
+
+    FLOPs follow the paper's multiply-count convention:
+    ``Cout * H' * W' * (Cin / groups) * Kh * Kw * N``.
+    Grouped and depthwise convolutions (MobileNet, ShuffleNet) are supported
+    through ``groups``.
+    """
+
+    kind = "CONV"
+    arity = 1
+
+    #: epilogue-op FLOPs per output element (fusion transform)
+    _EPILOGUE_OPS = {"BN": 1, "ReLU": 1, "ReLU6": 1, "SiLU": 5,
+                     "HardSwish": 3, "Sigmoid": 4}
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size,
+                 stride=1, padding=0, dilation=1, groups: int = 1,
+                 bias: bool = True, epilogue: Tuple[str, ...] = ()):
+        if in_channels <= 0 or out_channels <= 0:
+            raise ValueError("channel counts must be positive")
+        if groups <= 0 or in_channels % groups or out_channels % groups:
+            raise ValueError(
+                f"groups={groups} must divide in_channels={in_channels} "
+                f"and out_channels={out_channels}")
+        for op in epilogue:
+            if op not in self._EPILOGUE_OPS:
+                raise ValueError(f"unfusable epilogue op {op!r}")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size: Tuple[int, int] = pair(kernel_size)
+        self.stride: Tuple[int, int] = pair(stride)
+        self.padding: Tuple[int, int] = pair(padding)
+        self.dilation: Tuple[int, int] = pair(dilation)
+        self.groups = groups
+        self.bias = bias
+        self.epilogue = tuple(epilogue)
+
+    @property
+    def is_depthwise(self) -> bool:
+        """True when each input channel has its own filter (MobileNet-style)."""
+        return self.groups == self.in_channels and self.groups > 1
+
+    @property
+    def is_pointwise(self) -> bool:
+        """True for 1x1 convolutions."""
+        return self.kernel_size == (1, 1)
+
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        self.check_arity(inputs)
+        x = inputs[0]
+        if x.rank != 4:
+            raise ValueError(f"CONV expects an NCHW input, got {x}")
+        if x.channels != self.in_channels:
+            raise ValueError(
+                f"CONV expects {self.in_channels} input channels, got {x.channels}")
+        out_h, out_w = conv2d_output_hw(
+            x.height, x.width, self.kernel_size, self.stride,
+            self.padding, self.dilation)
+        return TensorShape.image(x.batch, self.out_channels, out_h, out_w, x.dtype)
+
+    def param_count(self) -> int:
+        kh, kw = self.kernel_size
+        weights = self.out_channels * (self.in_channels // self.groups) * kh * kw
+        params = weights + (self.out_channels if self.bias else 0)
+        if "BN" in self.epilogue:
+            params += 2 * self.out_channels  # absorbed scale + shift
+        return params
+
+    def flops(self, inputs: Sequence[TensorShape], output: TensorShape) -> int:
+        kh, kw = self.kernel_size
+        macs_per_output = (self.in_channels // self.groups) * kh * kw
+        epilogue_ops = sum(self._EPILOGUE_OPS[op] for op in self.epilogue)
+        return output.numel() * (macs_per_output + epilogue_ops)
+
+
+def depthwise_conv2d(channels: int, kernel_size, stride=1, padding=0,
+                     bias: bool = False) -> Conv2d:
+    """Convenience constructor for depthwise convolutions."""
+    return Conv2d(channels, channels, kernel_size, stride=stride,
+                  padding=padding, groups=channels, bias=bias)
+
+
+def pointwise_conv2d(in_channels: int, out_channels: int,
+                     bias: bool = False) -> Conv2d:
+    """Convenience constructor for 1x1 (pointwise) convolutions."""
+    return Conv2d(in_channels, out_channels, 1, bias=bias)

@@ -1,0 +1,99 @@
+"""Multi-input element-wise and tensor-combination layers."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.nn.layer import Layer, register_layer
+from repro.nn.tensor import TensorShape
+
+
+@register_layer
+class Add(Layer):
+    """Element-wise addition of two or more same-shaped tensors.
+
+    This is the residual-connection join in ResNet/MobileNetV2 blocks.
+    """
+
+    kind = "Add"
+    arity = None  # one or more inputs
+
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        self.check_arity(inputs)
+        first = inputs[0]
+        for other in inputs[1:]:
+            if other.dims != first.dims:
+                raise ValueError(
+                    f"Add requires matching shapes, got {first} and {other}")
+        return first
+
+    def param_count(self) -> int:
+        return 0
+
+    def flops(self, inputs: Sequence[TensorShape], output: TensorShape) -> int:
+        return (len(inputs) - 1) * output.numel() if len(inputs) > 1 else 0
+
+
+@register_layer
+class Multiply(Layer):
+    """Element-wise (broadcast) product — squeeze-excite style gating.
+
+    The second input may have singleton spatial dimensions (N, C, 1, 1)
+    which broadcast over the first input's H and W.
+    """
+
+    kind = "Mul"
+    arity = 2
+
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        self.check_arity(inputs)
+        a, b = inputs
+        if a.dims == b.dims:
+            return a
+        broadcastable = (
+            a.rank == b.rank == 4
+            and a.batch == b.batch
+            and a.channels == b.channels
+            and b.height == 1 and b.width == 1)
+        if not broadcastable:
+            raise ValueError(f"Mul cannot broadcast {b} over {a}")
+        return a
+
+    def param_count(self) -> int:
+        return 0
+
+    def flops(self, inputs: Sequence[TensorShape], output: TensorShape) -> int:
+        return output.numel()
+
+
+@register_layer
+class Concat(Layer):
+    """Channel-dimension concatenation (DenseNet, GoogLeNet inception)."""
+
+    kind = "Concat"
+    arity = None
+
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        self.check_arity(inputs)
+        first = inputs[0]
+        if first.rank < 2:
+            raise ValueError("Concat requires at least rank-2 inputs")
+        for other in inputs[1:]:
+            same_everything_but_channels = (
+                other.rank == first.rank
+                and other.batch == first.batch
+                and other.dims[2:] == first.dims[2:])
+            if not same_everything_but_channels:
+                raise ValueError(
+                    f"Concat requires matching non-channel dims, "
+                    f"got {first} and {other}")
+        total_channels = sum(x.channels for x in inputs)
+        return TensorShape(
+            (first.batch, total_channels) + first.dims[2:], first.dtype)
+
+    def param_count(self) -> int:
+        return 0
+
+    def flops(self, inputs: Sequence[TensorShape], output: TensorShape) -> int:
+        # pure data movement; count one op per copied element
+        return output.numel()

@@ -1,0 +1,40 @@
+"""Embedding lookup layer (transformer front ends)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.nn.layer import Layer, register_layer
+from repro.nn.tensor import TensorShape
+
+
+@register_layer
+class Embedding(Layer):
+    """Token-id → dense-vector lookup.
+
+    Input is an (N, L) integer tensor of token ids; output is (N, L, D).
+    The lookup itself performs no multiplies, so FLOPs count the gather
+    data movement (one op per output element).
+    """
+
+    kind = "Embedding"
+    arity = 1
+
+    def __init__(self, num_embeddings: int, embedding_dim: int):
+        if num_embeddings <= 0 or embedding_dim <= 0:
+            raise ValueError("embedding sizes must be positive")
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        self.check_arity(inputs)
+        x = inputs[0]
+        if x.rank != 2:
+            raise ValueError(f"Embedding expects an (N, L) id tensor, got {x}")
+        return TensorShape.sequence(x.batch, x.dims[1], self.embedding_dim)
+
+    def param_count(self) -> int:
+        return self.num_embeddings * self.embedding_dim
+
+    def flops(self, inputs: Sequence[TensorShape], output: TensorShape) -> int:
+        return output.numel()

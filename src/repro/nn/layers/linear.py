@@ -1,0 +1,46 @@
+"""Fully connected (FC) layer description."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.nn.layer import Layer, register_layer
+from repro.nn.tensor import TensorShape
+
+
+@register_layer
+class Linear(Layer):
+    """Fully connected layer (``FC`` in the paper's taxonomy).
+
+    Accepts an (N, F) flat tensor or an (N, L, D) sequence tensor; in the
+    sequence case the projection applies per token, as in transformer
+    feed-forward blocks.
+    """
+
+    kind = "FC"
+    arity = 1
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True):
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("feature counts must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.bias = bias
+
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        self.check_arity(inputs)
+        x = inputs[0]
+        if x.dims[-1] != self.in_features:
+            raise ValueError(
+                f"FC expects last dimension {self.in_features}, got {x}")
+        return TensorShape(x.dims[:-1] + (self.out_features,), x.dtype)
+
+    def param_count(self) -> int:
+        return (self.in_features * self.out_features
+                + (self.out_features if self.bias else 0))
+
+    def flops(self, inputs: Sequence[TensorShape], output: TensorShape) -> int:
+        # multiply count: one MAC per (input feature, output feature) pair,
+        # repeated for every row (batch item or token) of the input.
+        rows = inputs[0].numel() // self.in_features
+        return rows * self.in_features * self.out_features

@@ -1,0 +1,73 @@
+"""Normalisation layer descriptions."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.nn.layer import Layer, register_layer
+from repro.nn.tensor import TensorShape
+
+
+@register_layer
+class BatchNorm2d(Layer):
+    """Batch normalisation over NCHW tensors (``BN`` in the paper).
+
+    In inference mode BN is a per-element scale-and-shift with folded
+    running statistics, so its cost is proportional to the element count —
+    which is why the paper observes a near-perfect linear trend for BN
+    layers in Figure 7.
+    """
+
+    kind = "BN"
+    arity = 1
+
+    def __init__(self, num_features: int):
+        if num_features <= 0:
+            raise ValueError("num_features must be positive")
+        self.num_features = num_features
+
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        self.check_arity(inputs)
+        x = inputs[0]
+        if x.rank != 4:
+            raise ValueError(f"BN expects an NCHW input, got {x}")
+        if x.channels != self.num_features:
+            raise ValueError(
+                f"BN expects {self.num_features} channels, got {x.channels}")
+        return x
+
+    def param_count(self) -> int:
+        # scale + shift (running stats are buffers, not parameters)
+        return 2 * self.num_features
+
+    def flops(self, inputs: Sequence[TensorShape], output: TensorShape) -> int:
+        # one multiply + one add per element; count the multiplies
+        return inputs[0].numel()
+
+
+@register_layer
+class LayerNorm(Layer):
+    """Layer normalisation over the trailing feature dimension (transformers)."""
+
+    kind = "LN"
+    arity = 1
+
+    def __init__(self, normalized_shape: int):
+        if normalized_shape <= 0:
+            raise ValueError("normalized_shape must be positive")
+        self.normalized_shape = normalized_shape
+
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        self.check_arity(inputs)
+        x = inputs[0]
+        if x.dims[-1] != self.normalized_shape:
+            raise ValueError(
+                f"LN expects last dimension {self.normalized_shape}, got {x}")
+        return x
+
+    def param_count(self) -> int:
+        return 2 * self.normalized_shape
+
+    def flops(self, inputs: Sequence[TensorShape], output: TensorShape) -> int:
+        # mean, variance, normalise, scale-shift: ~4 passes; count multiplies
+        return 2 * inputs[0].numel()

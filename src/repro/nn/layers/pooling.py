@@ -1,0 +1,83 @@
+"""Pooling layer descriptions."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.nn.layer import Layer, register_layer
+from repro.nn.tensor import TensorShape, pair, pool2d_output_hw
+
+
+class _Pool2d(Layer):
+    """Shared shape/parameter logic for max and average pooling."""
+
+    arity = 1
+
+    def __init__(self, kernel_size, stride=None, padding=0,
+                 ceil_mode: bool = False):
+        self.kernel_size: Tuple[int, int] = pair(kernel_size)
+        self.stride: Tuple[int, int] = pair(stride if stride is not None
+                                            else kernel_size)
+        self.padding: Tuple[int, int] = pair(padding)
+        self.ceil_mode = ceil_mode
+
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        self.check_arity(inputs)
+        x = inputs[0]
+        if x.rank != 4:
+            raise ValueError(f"{self.kind} expects an NCHW input, got {x}")
+        out_h, out_w = pool2d_output_hw(
+            x.height, x.width, self.kernel_size, self.stride, self.padding,
+            self.ceil_mode)
+        return TensorShape.image(x.batch, x.channels, out_h, out_w, x.dtype)
+
+    def param_count(self) -> int:
+        return 0
+
+    def flops(self, inputs: Sequence[TensorShape], output: TensorShape) -> int:
+        # one comparison/add per window element per output element
+        kh, kw = self.kernel_size
+        return output.numel() * kh * kw
+
+
+@register_layer
+class MaxPool2d(_Pool2d):
+    """Max pooling (``Pooling`` in the paper's taxonomy)."""
+
+    kind = "MaxPool"
+
+
+@register_layer
+class AvgPool2d(_Pool2d):
+    """Average pooling."""
+
+    kind = "AvgPool"
+
+
+@register_layer
+class AdaptiveAvgPool2d(Layer):
+    """Adaptive average pooling to a fixed output size (ResNet/DenseNet heads)."""
+
+    kind = "AdaptiveAvgPool"
+    arity = 1
+
+    def __init__(self, output_size=1):
+        self.output_size: Tuple[int, int] = pair(output_size)
+
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        self.check_arity(inputs)
+        x = inputs[0]
+        if x.rank != 4:
+            raise ValueError(f"{self.kind} expects an NCHW input, got {x}")
+        oh, ow = self.output_size
+        if oh > x.height or ow > x.width:
+            raise ValueError(
+                f"adaptive pool output {self.output_size} exceeds input {x}")
+        return TensorShape.image(x.batch, x.channels, oh, ow, x.dtype)
+
+    def param_count(self) -> int:
+        return 0
+
+    def flops(self, inputs: Sequence[TensorShape], output: TensorShape) -> int:
+        # every input element is read and accumulated exactly once
+        return inputs[0].numel()

@@ -1,0 +1,102 @@
+"""Layout-transforming layers (no arithmetic, pure data movement)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.nn.layer import Layer, register_layer
+from repro.nn.tensor import TensorShape
+
+
+@register_layer
+class Flatten(Layer):
+    """Collapse all non-batch dimensions (conv trunk → FC head boundary)."""
+
+    kind = "Flatten"
+    arity = 1
+
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        self.check_arity(inputs)
+        return inputs[0].flattened()
+
+    def param_count(self) -> int:
+        return 0
+
+    def flops(self, inputs: Sequence[TensorShape], output: TensorShape) -> int:
+        return 0  # a view, not a copy
+
+
+@register_layer
+class ChannelShuffle(Layer):
+    """ShuffleNet's channel shuffle: permute channels across groups."""
+
+    kind = "ChannelShuffle"
+    arity = 1
+
+    def __init__(self, groups: int):
+        if groups <= 0:
+            raise ValueError("groups must be positive")
+        self.groups = groups
+
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        self.check_arity(inputs)
+        x = inputs[0]
+        if x.rank != 4:
+            raise ValueError(f"ChannelShuffle expects NCHW input, got {x}")
+        if x.channels % self.groups:
+            raise ValueError(
+                f"channels {x.channels} not divisible by groups {self.groups}")
+        return x
+
+    def param_count(self) -> int:
+        return 0
+
+    def flops(self, inputs: Sequence[TensorShape], output: TensorShape) -> int:
+        # a strided copy of every element
+        return inputs[0].numel()
+
+
+@register_layer
+class ToSequence(Layer):
+    """NCHW → (N, H*W, C) patch-sequence view (ViT's patchify boundary)."""
+
+    kind = "ToSequence"
+    arity = 1
+
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        self.check_arity(inputs)
+        x = inputs[0]
+        if x.rank != 4:
+            raise ValueError(f"ToSequence expects NCHW input, got {x}")
+        return TensorShape.sequence(x.batch, x.height * x.width,
+                                    x.channels, x.dtype)
+
+    def param_count(self) -> int:
+        return 0
+
+    def flops(self, inputs: Sequence[TensorShape], output: TensorShape) -> int:
+        # a transpose-copy of every element
+        return inputs[0].numel()
+
+
+@register_layer
+class Dropout(Layer):
+    """Dropout — identity at inference time (the paper measures inference)."""
+
+    kind = "Dropout"
+    arity = 1
+
+    def __init__(self, p: float = 0.5):
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        self.check_arity(inputs)
+        return inputs[0]
+
+    def param_count(self) -> int:
+        return 0
+
+    def flops(self, inputs: Sequence[TensorShape], output: TensorShape) -> int:
+        return 0

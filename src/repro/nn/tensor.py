@@ -1,0 +1,191 @@
+"""Tensor shape arithmetic for the DNN graph substrate.
+
+The performance models in this package never materialise tensor *values* —
+they only reason about shapes, element counts, and byte volumes, exactly the
+structural information the paper's predictors consume. ``TensorShape`` is a
+small immutable value type that carries a batch dimension plus an arbitrary
+number of feature dimensions and knows how to answer the questions the rest
+of the library asks of it (how many elements? how many bytes? what is the
+N*C*H*W product used by input-/output-driven kernel models?).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+#: Bytes per element for the data types the substrate models.
+DTYPE_BYTES = {
+    "float32": 4,
+    "float16": 2,
+    "bfloat16": 2,
+    "int8": 1,
+    "int64": 8,
+}
+
+
+@dataclass(frozen=True)
+class TensorShape:
+    """An immutable tensor shape with a leading batch dimension.
+
+    Image tensors are (N, C, H, W); sequence tensors are (N, L, D);
+    flat feature tensors are (N, F). The shape does not constrain rank —
+    helpers such as :meth:`spatial` degrade gracefully for non-4D shapes.
+    """
+
+    dims: Tuple[int, ...]
+    dtype: str = "float32"
+
+    def __post_init__(self) -> None:
+        if not self.dims:
+            raise ValueError("TensorShape requires at least a batch dimension")
+        for d in self.dims:
+            if not isinstance(d, int) or d <= 0:
+                raise ValueError(f"all dimensions must be positive ints, got {self.dims}")
+        if self.dtype not in DTYPE_BYTES:
+            raise ValueError(f"unknown dtype {self.dtype!r}")
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def image(batch: int, channels: int, height: int, width: int,
+              dtype: str = "float32") -> "TensorShape":
+        """Build an NCHW image tensor shape."""
+        return TensorShape((batch, channels, height, width), dtype)
+
+    @staticmethod
+    def sequence(batch: int, length: int, features: int,
+                 dtype: str = "float32") -> "TensorShape":
+        """Build an (N, L, D) sequence tensor shape."""
+        return TensorShape((batch, length, features), dtype)
+
+    @staticmethod
+    def flat(batch: int, features: int, dtype: str = "float32") -> "TensorShape":
+        """Build an (N, F) flat feature tensor shape."""
+        return TensorShape((batch, features), dtype)
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def batch(self) -> int:
+        return self.dims[0]
+
+    @property
+    def rank(self) -> int:
+        return len(self.dims)
+
+    @property
+    def channels(self) -> int:
+        """Channel count: second dimension for rank >= 2, else 1."""
+        return self.dims[1] if self.rank >= 2 else 1
+
+    @property
+    def spatial(self) -> Tuple[int, ...]:
+        """Dimensions after batch and channel (empty for rank <= 2)."""
+        return self.dims[2:]
+
+    @property
+    def height(self) -> int:
+        if self.rank < 3:
+            return 1
+        return self.dims[2]
+
+    @property
+    def width(self) -> int:
+        if self.rank < 4:
+            return 1
+        return self.dims[3]
+
+    # -- size math ---------------------------------------------------------
+
+    def numel(self) -> int:
+        """Total number of elements, including the batch dimension."""
+        return math.prod(self.dims)
+
+    def numel_per_sample(self) -> int:
+        """Elements per batch item (the paper's C*H*W factor)."""
+        return math.prod(self.dims[1:]) if self.rank > 1 else 1
+
+    def bytes(self) -> int:
+        """Total byte volume of the tensor."""
+        return self.numel() * DTYPE_BYTES[self.dtype]
+
+    def nchw(self) -> int:
+        """The N*C*H*W product the paper uses for input/output-driven kernels.
+
+        For non-image tensors this degrades to the total element count,
+        which is the same quantity (product of all dimensions).
+        """
+        return self.numel()
+
+    # -- transforms --------------------------------------------------------
+
+    def with_batch(self, batch: int) -> "TensorShape":
+        """Return the same shape with a different batch size."""
+        return TensorShape((batch,) + self.dims[1:], self.dtype)
+
+    def with_channels(self, channels: int) -> "TensorShape":
+        if self.rank < 2:
+            raise ValueError("cannot set channels on a rank-1 shape")
+        return TensorShape((self.dims[0], channels) + self.dims[2:], self.dtype)
+
+    def flattened(self) -> "TensorShape":
+        """Collapse all non-batch dimensions into one feature dimension."""
+        return TensorShape((self.batch, self.numel_per_sample()), self.dtype)
+
+    def __str__(self) -> str:
+        return "x".join(str(d) for d in self.dims)
+
+
+def conv2d_output_hw(h: int, w: int, kernel: Tuple[int, int],
+                     stride: Tuple[int, int], padding: Tuple[int, int],
+                     dilation: Tuple[int, int] = (1, 1)) -> Tuple[int, int]:
+    """Standard convolution output-size arithmetic (floor mode).
+
+    Mirrors ``torch.nn.Conv2d``'s formula so zoo models produce the same
+    shapes the paper's dataset records.
+    """
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    dh, dw = dilation
+    out_h = (h + 2 * ph - dh * (kh - 1) - 1) // sh + 1
+    out_w = (w + 2 * pw - dw * (kw - 1) - 1) // sw + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"convolution produces empty output for input {h}x{w}, "
+            f"kernel {kernel}, stride {stride}, padding {padding}")
+    return out_h, out_w
+
+
+def pool2d_output_hw(h: int, w: int, kernel: Tuple[int, int],
+                     stride: Tuple[int, int], padding: Tuple[int, int],
+                     ceil_mode: bool = False) -> Tuple[int, int]:
+    """Pooling output-size arithmetic, with optional ceil mode."""
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    rounding = math.ceil if ceil_mode else math.floor
+    out_h = int(rounding((h + 2 * ph - kh) / sh)) + 1
+    out_w = int(rounding((w + 2 * pw - kw) / sw)) + 1
+    if ceil_mode:
+        # torch clamps so the last window starts inside the padded input
+        if (out_h - 1) * sh >= h + ph:
+            out_h -= 1
+        if (out_w - 1) * sw >= w + pw:
+            out_w -= 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"pooling produces empty output for input {h}x{w}, "
+            f"kernel {kernel}, stride {stride}, padding {padding}")
+    return out_h, out_w
+
+
+def pair(value) -> Tuple[int, int]:
+    """Normalise an int-or-pair argument to a pair, torch-style."""
+    if isinstance(value, tuple):
+        if len(value) != 2:
+            raise ValueError(f"expected a pair, got {value}")
+        return value
+    return (value, value)

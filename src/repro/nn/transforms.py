@@ -1,0 +1,117 @@
+"""Graph transforms: inference-time operator fusion.
+
+Deployment stacks (TensorRT, cuDNN fused ops) fold batch-norm and the
+following activation into the producing convolution's epilogue, removing
+two element-wise passes over the activations per conv. The related work
+the paper builds on (nn-Meter) exists largely because such fused kernels
+break naive per-operator predictors — so the fusion transform is a
+first-class citizen here: it rewrites the *graph*, and the kernel mapping
+table then learns the fused kernels like any others.
+
+:func:`fuse_conv_bn_relu` returns a new :class:`Network` in which every
+``CONV → BN [→ ReLU-family]`` chain (where each intermediate feeds only
+the next link) collapses into one convolution carrying an ``epilogue``
+tag. Shapes, parameter counts, and total theoretical FLOPs are preserved.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.nn.graph import INPUT, Network
+from repro.nn.layers.conv import Conv2d
+from repro.nn.layers.norm import BatchNorm2d
+
+#: Activation kinds fusable into a convolution epilogue.
+_FUSABLE_ACTIVATIONS = ("ReLU", "ReLU6", "SiLU", "HardSwish", "Sigmoid")
+
+
+def _consumer_counts(network: Network) -> Dict[str, int]:
+    counts: Dict[str, int] = {node.name: 0 for node in network.nodes}
+    for node in network.nodes:
+        for source in node.inputs:
+            if source != INPUT:
+                counts[source] += 1
+    return counts
+
+
+def fuse_conv_bn_relu(network: Network) -> Network:
+    """Fuse CONV→BN(→activation) chains into epilogue-tagged convolutions.
+
+    A chain fuses only when each intermediate result has exactly one
+    consumer (otherwise the unfused tensor is observable elsewhere —
+    e.g. DenseNet's concatenated feature maps).
+    """
+    consumers = _consumer_counts(network)
+    nodes = list(network.nodes)
+    by_name = {node.name: node for node in nodes}
+
+    fused_into: Dict[str, str] = {}    # absorbed node -> conv node
+    epilogues: Dict[str, List[str]] = {}
+
+    for node in nodes:
+        if not isinstance(node.layer, Conv2d):
+            continue
+        if node.layer.epilogue:
+            continue   # already fused once
+        chain_tail = node.name
+        epilogue: List[str] = []
+        # try to absorb a BN, then one activation
+        for expect_bn in (True, False):
+            if consumers[chain_tail] != 1:
+                break
+            successor = next(
+                (candidate for candidate in nodes
+                 if chain_tail in candidate.inputs
+                 and candidate.name not in fused_into), None)
+            if successor is None or len(successor.inputs) != 1:
+                break
+            if expect_bn:
+                if not isinstance(successor.layer, BatchNorm2d):
+                    break
+            else:
+                if successor.layer.kind not in _FUSABLE_ACTIVATIONS:
+                    break
+            epilogue.append(successor.layer.kind)
+            fused_into[successor.name] = node.name
+            chain_tail = successor.name
+        if epilogue:
+            epilogues[node.name] = epilogue
+
+    if not epilogues:
+        return network
+
+    # rebuild the graph: absorbed nodes disappear; references to them
+    # point at their fused convolution instead
+    def resolve(name: str) -> str:
+        while name in fused_into:
+            name = fused_into[name]
+        return name
+
+    fused = Network(f"{network.name}", network.input_shape,
+                    family=network.family)
+    for node in nodes:
+        if node.name in fused_into:
+            continue
+        inputs = tuple(resolve(source) if source != INPUT else INPUT
+                       for source in node.inputs)
+        layer = node.layer
+        if node.name in epilogues:
+            original = node.layer
+            layer = Conv2d(
+                original.in_channels, original.out_channels,
+                original.kernel_size, stride=original.stride,
+                padding=original.padding, dilation=original.dilation,
+                groups=original.groups, bias=original.bias,
+                epilogue=tuple(epilogues[node.name]))
+        fused.add(node.name, layer, inputs)
+    fused.shapes(1)   # validate the rewiring end-to-end
+    return fused
+
+
+def fusion_summary(original: Network, fused: Network) -> Tuple[int, int]:
+    """(layers removed, convolutions carrying an epilogue)."""
+    removed = len(original) - len(fused)
+    tagged = sum(1 for node in fused.nodes
+                 if isinstance(node.layer, Conv2d) and node.layer.epilogue)
+    return removed, tagged

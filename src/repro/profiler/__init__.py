@@ -1,0 +1,16 @@
+"""Measurement substrate: profiler traces and CUDA-event-style timing."""
+
+from repro.profiler.events import E2EMeasurement, batch_sweep, measure_e2e
+from repro.profiler.profiler import profile_network, trace_from_result
+from repro.profiler.trace import KernelEvent, LayerEvent, Trace
+
+__all__ = [
+    "E2EMeasurement",
+    "KernelEvent",
+    "LayerEvent",
+    "Trace",
+    "batch_sweep",
+    "measure_e2e",
+    "profile_network",
+    "trace_from_result",
+]

@@ -1,0 +1,54 @@
+"""CUDA-event-style end-to-end timing (``torch.cuda.Event`` substitute).
+
+The paper measures end-to-end time by recording events before and after
+each batch, warming up for 20 batches and averaging batches 21-50. The
+simulated device already returns a batch-averaged wall time; this module
+wraps it in the same protocol-shaped interface so the measurement code in
+examples and benchmarks reads like the original methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.gpu.device import SimulatedGPU
+from repro.nn.graph import Network
+
+
+@dataclass(frozen=True)
+class E2EMeasurement:
+    """End-to-end timing of one (network, GPU, batch size) point."""
+
+    network_name: str
+    gpu_name: str
+    batch_size: int
+    mean_us: float
+    batches_measured: int
+
+    @property
+    def mean_ms(self) -> float:
+        return self.mean_us / 1e3
+
+    @property
+    def per_image_us(self) -> float:
+        return self.mean_us / self.batch_size
+
+
+def measure_e2e(device: SimulatedGPU, network: Network,
+                batch_size: int) -> E2EMeasurement:
+    """Warm up, then measure the batch-averaged end-to-end time."""
+    result = device.run_network(network, batch_size)
+    return E2EMeasurement(
+        network_name=network.name,
+        gpu_name=device.spec.name,
+        batch_size=batch_size,
+        mean_us=result.e2e_us,
+        batches_measured=device.measure_batches,
+    )
+
+
+def batch_sweep(device: SimulatedGPU, network: Network,
+                batch_sizes: List[int]) -> List[E2EMeasurement]:
+    """Measure a network across batch sizes (Figures 5 and 6)."""
+    return [measure_e2e(device, network, bs) for bs in batch_sizes]

@@ -1,0 +1,58 @@
+"""Profiling: turn a simulated execution into a linked trace.
+
+``profile_network`` is the substitute for running a network under the
+PyTorch Profiler: it executes the network on a :class:`SimulatedGPU` and
+lays the measured kernel durations out on a timeline, attributing each
+kernel to its launching layer. Timestamps are synthesised by serial
+placement with the launch-gap model of the device, so layer times computed
+from the trace (first kernel start → last kernel end) match the device's
+accounting.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.gpu.device import ExecutionResult, SimulatedGPU
+from repro.nn.graph import Network
+from repro.profiler.trace import KernelEvent, LayerEvent, Trace
+
+
+def trace_from_result(result: ExecutionResult) -> Trace:
+    """Lay an execution's kernels out on a serial timeline."""
+    kernel_events: List[KernelEvent] = []
+    layer_events: List[LayerEvent] = []
+    clock = 0.0
+    for layer in result.layers:
+        layer_start = clock
+        for execution in layer.kernels:
+            kernel_events.append(KernelEvent(
+                name=execution.kernel_name,
+                layer_name=layer.info.name,
+                start_us=clock,
+                duration_us=execution.duration_us,
+            ))
+            clock += execution.duration_us
+        layer_events.append(LayerEvent(
+            name=layer.info.name,
+            kind=layer.info.kind,
+            start_us=layer_start,
+            end_us=clock,
+            input_shape=str(layer.info.input_shapes[0]),
+            output_shape=str(layer.info.output_shape),
+            flops=layer.info.flops,
+        ))
+    return Trace(
+        network_name=result.network_name,
+        gpu_name=result.gpu_name,
+        batch_size=result.batch_size,
+        layer_events=tuple(layer_events),
+        kernel_events=tuple(kernel_events),
+        e2e_us=result.e2e_us,
+    )
+
+
+def profile_network(device: SimulatedGPU, network: Network,
+                    batch_size: int) -> Trace:
+    """Profile one network on one device at one batch size."""
+    return trace_from_result(device.run_network(network, batch_size))

@@ -1,0 +1,135 @@
+"""Trace containers: the PyTorch-Profiler-equivalent view of an execution.
+
+The paper relies on the PyTorch Profiler because it *links* levels: network
+metrics (shapes), framework metrics (layer start/end), and hardware traces
+(kernel start/end). A :class:`Trace` carries the same linked information —
+layer events on the "CPU track", kernel events on the "GPU track", and the
+layer→kernel mapping between them (Figure 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class KernelEvent:
+    """One kernel execution on the GPU track."""
+
+    name: str
+    layer_name: str
+    start_us: float
+    duration_us: float
+
+    @property
+    def end_us(self) -> float:
+        return self.start_us + self.duration_us
+
+
+@dataclass(frozen=True)
+class LayerEvent:
+    """One layer execution on the CPU track, spanning its kernels."""
+
+    name: str
+    kind: str
+    start_us: float
+    end_us: float
+    input_shape: str
+    output_shape: str
+    flops: int
+
+    @property
+    def duration_us(self) -> float:
+        return self.end_us - self.start_us
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A linked layer/kernel trace of one profiled batch."""
+
+    network_name: str
+    gpu_name: str
+    batch_size: int
+    layer_events: Tuple[LayerEvent, ...]
+    kernel_events: Tuple[KernelEvent, ...]
+    e2e_us: float
+
+    def layer_to_kernels(self) -> Dict[str, List[KernelEvent]]:
+        """The layer→kernel mapping the KW model's table is learned from."""
+        mapping: Dict[str, List[KernelEvent]] = {
+            event.name: [] for event in self.layer_events}
+        for kernel in self.kernel_events:
+            mapping[kernel.layer_name].append(kernel)
+        return mapping
+
+    def kernel_names(self) -> List[str]:
+        """Distinct kernel names observed, sorted."""
+        return sorted({event.name for event in self.kernel_events})
+
+    def layer_duration_us(self, layer_name: str) -> float:
+        """Layer time from first kernel start to last kernel end.
+
+        This mirrors how the paper computes layer execution times from
+        the profiler trace. Layers that launch no kernels take zero time.
+        """
+        kernels = self.layer_to_kernels().get(layer_name)
+        if kernels is None:
+            raise KeyError(f"unknown layer {layer_name!r}")
+        if not kernels:
+            return 0.0
+        return max(k.end_us for k in kernels) - min(k.start_us for k in kernels)
+
+    def to_chrome_trace(self) -> List[dict]:
+        """Export as Chrome trace events (``chrome://tracing`` format).
+
+        The real PyTorch Profiler exports this same format; the two
+        tracks become two "threads" (CPU ops and GPU kernels) of one
+        process, each event a complete-duration ``"ph": "X"`` record.
+        """
+        events: List[dict] = [
+            {"name": "process_name", "ph": "M", "pid": 0,
+             "args": {"name": f"{self.network_name} on {self.gpu_name}"}},
+            {"name": "thread_name", "ph": "M", "pid": 0, "tid": 0,
+             "args": {"name": "CPU (layers)"}},
+            {"name": "thread_name", "ph": "M", "pid": 0, "tid": 1,
+             "args": {"name": "GPU (kernels)"}},
+        ]
+        for layer in self.layer_events:
+            events.append({
+                "name": layer.name, "cat": layer.kind, "ph": "X",
+                "pid": 0, "tid": 0, "ts": layer.start_us,
+                "dur": layer.duration_us,
+                "args": {"kind": layer.kind,
+                         "input_shape": layer.input_shape,
+                         "output_shape": layer.output_shape,
+                         "flops": layer.flops},
+            })
+        for kernel in self.kernel_events:
+            events.append({
+                "name": kernel.name, "cat": "kernel", "ph": "X",
+                "pid": 0, "tid": 1, "ts": kernel.start_us,
+                "dur": kernel.duration_us,
+                "args": {"layer": kernel.layer_name},
+            })
+        return events
+
+    def save_chrome_trace(self, path) -> None:
+        """Write the Chrome trace JSON to ``path``."""
+        import json
+        from pathlib import Path
+
+        Path(path).write_text(json.dumps(
+            {"traceEvents": self.to_chrome_trace()}))
+
+    def render(self, max_rows: int = 40) -> str:
+        """ASCII rendering of the two-track trace (Figure-2 style)."""
+        lines = [f"Trace {self.network_name} on {self.gpu_name} "
+                 f"(BS={self.batch_size}, e2e={self.e2e_us:.1f} us)"]
+        for event in self.kernel_events[:max_rows]:
+            lines.append(
+                f"  [{event.start_us:10.1f} - {event.end_us:10.1f}] "
+                f"{event.name:<32} <- {event.layer_name}")
+        if len(self.kernel_events) > max_rows:
+            lines.append(f"  ... {len(self.kernel_events) - max_rows} more")
+        return "\n".join(lines)

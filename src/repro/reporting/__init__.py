@@ -1,0 +1,6 @@
+"""Output rendering helpers for benchmarks and examples."""
+
+from repro.reporting.plots import render_scatter
+from repro.reporting.tables import render_series, render_table
+
+__all__ = ["render_scatter", "render_series", "render_table"]

@@ -1,0 +1,101 @@
+"""ASCII scatter plots for figure reproduction output.
+
+The paper's motivation figures are scatter plots (time vs FLOPs, layer
+clouds, S-curves). :func:`render_scatter` draws multi-series scatters in
+plain text with optional log axes, so benchmark output shows the *shape*
+of each figure, not just summary statistics.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+#: glyphs assigned to series in insertion order
+_GLYPHS = "ox+*#@%&"
+
+
+def _transform(value: float, log: bool) -> float:
+    if log:
+        if value <= 0:
+            raise ValueError("log-scale axes require positive values")
+        return math.log10(value)
+    return value
+
+
+def _axis_ticks(low: float, high: float, log: bool, count: int = 4
+                ) -> List[float]:
+    if high == low:
+        return [low]
+    return [low + (high - low) * i / (count - 1) for i in range(count)]
+
+
+def _format_tick(value: float, log: bool) -> str:
+    actual = 10 ** value if log else value
+    return f"{actual:.3g}"
+
+
+def render_scatter(title: str,
+                   series: Dict[str, Sequence[Tuple[float, float]]],
+                   x_label: str = "x", y_label: str = "y",
+                   width: int = 68, height: int = 18,
+                   log_x: bool = False, log_y: bool = False) -> str:
+    """Draw one or more point series on a character grid.
+
+    ``series`` maps a label to its (x, y) points; each series gets a
+    distinct glyph. Overlapping points from different series render as
+    ``'.'``.
+    """
+    if not series or all(not points for points in series.values()):
+        raise ValueError("nothing to plot")
+    if width < 10 or height < 4:
+        raise ValueError("plot area too small")
+
+    transformed: Dict[str, List[Tuple[float, float]]] = {}
+    for label, points in series.items():
+        transformed[label] = [(_transform(x, log_x), _transform(y, log_y))
+                              for x, y in points]
+
+    xs = [x for points in transformed.values() for x, _ in points]
+    ys = [y for points in transformed.values() for _, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, points) in enumerate(transformed.items()):
+        glyph = _GLYPHS[index % len(_GLYPHS)]
+        for x, y in points:
+            col = min(width - 1, int((x - x_low) / x_span * (width - 1)))
+            row = min(height - 1,
+                      int((y - y_low) / y_span * (height - 1)))
+            row = height - 1 - row           # y grows upward
+            cell = grid[row][col]
+            grid[row][col] = glyph if cell in (" ", glyph) else "."
+
+    lines = [title]
+    legend = "  ".join(f"{_GLYPHS[i % len(_GLYPHS)]}={label}"
+                       for i, label in enumerate(transformed))
+    lines.append(f"[{legend}]   y: {y_label}"
+                 f"{' (log)' if log_y else ''}, x: {x_label}"
+                 f"{' (log)' if log_x else ''}")
+    y_ticks = _axis_ticks(y_low, y_high, log_y, count=4)
+    tick_rows = {height - 1 - min(height - 1,
+                                  int((t - y_low) / y_span * (height - 1))):
+                 _format_tick(t, log_y)
+                 for t in y_ticks}
+    for row_index, row in enumerate(grid):
+        label = tick_rows.get(row_index, "")
+        lines.append(f"{label:>9} |" + "".join(row))
+    lines.append(" " * 10 + "+" + "-" * width)
+    x_ticks = _axis_ticks(x_low, x_high, log_x, count=4)
+    tick_line = [" "] * (width + 20)
+    for tick in x_ticks:
+        text = _format_tick(tick, log_x)
+        col = 11 + min(width - 1, int((tick - x_low) / x_span * (width - 1)))
+        col = min(col, len(tick_line) - len(text))
+        for offset, ch in enumerate(text):
+            tick_line[col + offset] = ch
+    lines.append("".join(tick_line).rstrip())
+    return "\n".join(lines)

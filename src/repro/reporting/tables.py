@@ -1,0 +1,60 @@
+"""ASCII table and series renderers for benchmark output.
+
+Benchmarks print the same rows/series the paper's tables and figures
+report; these helpers keep that output consistent and readable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str = "") -> str:
+    """Fixed-width table with right-aligned numeric columns."""
+    materialised = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i])
+                           for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialised:
+        lines.append("  ".join(cell.rjust(widths[i]) if _numeric(cell)
+                               else cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_series(title: str, points: Sequence[Tuple[float, float]],
+                  x_label: str = "x", y_label: str = "y",
+                  width: int = 40) -> str:
+    """A series as aligned rows with a proportional bar chart."""
+    if not points:
+        raise ValueError("no points to render")
+    y_max = max(abs(y) for _, y in points) or 1.0
+    lines = [title, f"  {x_label:>12}  {y_label:>12}"]
+    for x, y in points:
+        bar = "#" * max(0, round(width * y / y_max))
+        lines.append(f"  {x:>12.4g}  {y:>12.4g}  {bar}")
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _numeric(cell: str) -> bool:
+    try:
+        float(cell)
+        return True
+    except ValueError:
+        return False

@@ -1,0 +1,23 @@
+"""Predicted-time-driven GPU selection and queue scheduling (case study 3)."""
+
+from repro.scheduling.placement import (
+    PlacementDecision,
+    place_networks,
+    placement_accuracy,
+)
+from repro.scheduling.scheduler import (
+    Schedule,
+    brute_force_schedule,
+    greedy_schedule,
+    oracle_gap,
+)
+
+__all__ = [
+    "PlacementDecision",
+    "Schedule",
+    "brute_force_schedule",
+    "greedy_schedule",
+    "oracle_gap",
+    "place_networks",
+    "placement_accuracy",
+]

@@ -1,0 +1,74 @@
+"""Per-network GPU selection (case study 3, Figure 18).
+
+A machine-learning-as-a-service operator with heterogeneous GPUs asks, for
+each incoming network: which GPU runs it faster? The answer comes from the
+performance models — one trained predictor per GPU — without executing
+anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+from repro.core.base import PerformanceModel
+from repro.nn.graph import Network
+
+
+@dataclass(frozen=True)
+class PlacementDecision:
+    """Predicted (and optionally measured) times for one network."""
+
+    network: str
+    predicted_us: Mapping[str, float]        # gpu -> predicted time
+    measured_us: Mapping[str, float]         # gpu -> measured time (may be {})
+
+    @property
+    def predicted_best(self) -> str:
+        return min(self.predicted_us, key=lambda g: self.predicted_us[g])
+
+    @property
+    def measured_best(self) -> str:
+        if not self.measured_us:
+            raise ValueError(f"{self.network}: no measured times recorded")
+        return min(self.measured_us, key=lambda g: self.measured_us[g])
+
+    @property
+    def correct(self) -> bool:
+        """True when the model picks the GPU that actually runs faster."""
+        return self.predicted_best == self.measured_best
+
+
+def place_networks(networks: List[Network], batch_size: int,
+                   predictors: Mapping[str, PerformanceModel],
+                   measured: Mapping[Tuple[str, str], float] = ()
+                   ) -> List[PlacementDecision]:
+    """Choose the fastest GPU for each network.
+
+    ``predictors`` maps GPU name → trained model; ``measured`` optionally
+    maps (network, gpu) → measured time for validating the picks.
+    """
+    if not predictors:
+        raise ValueError("need at least one per-GPU predictor")
+    measured = dict(measured) if measured else {}
+    decisions = []
+    for network in networks:
+        predicted: Dict[str, float] = {
+            gpu: model.predict_network(network, batch_size)
+            for gpu, model in predictors.items()
+        }
+        observed: Dict[str, float] = {
+            gpu: measured[(network.name, gpu)]
+            for gpu in predictors
+            if (network.name, gpu) in measured
+        }
+        decisions.append(PlacementDecision(network.name, predicted, observed))
+    return decisions
+
+
+def placement_accuracy(decisions: List[PlacementDecision]) -> float:
+    """Fraction of networks whose faster GPU was picked correctly."""
+    scored = [d for d in decisions if d.measured_us]
+    if not scored:
+        raise ValueError("no decisions carry measured times")
+    return sum(1 for d in scored if d.correct) / len(scored)

@@ -1,0 +1,36 @@
+"""Event-driven simulation substrate for the disaggregated-memory study."""
+
+from repro.sim.allreduce import AllReduceCost, ring_allreduce_cost
+from repro.sim.disaggregated import (
+    DisaggregatedSystem,
+    DisaggregationResult,
+    LayerTask,
+    layer_tasks,
+    speedup_curve,
+)
+from repro.sim.engine import EventEngine
+from repro.sim.links import Link
+from repro.sim.serving import (
+    ServedRequest,
+    ServingResult,
+    ServingSimulator,
+    latency_throughput_curve,
+    poisson_arrivals,
+)
+
+__all__ = [
+    "AllReduceCost",
+    "DisaggregatedSystem",
+    "ring_allreduce_cost",
+    "DisaggregationResult",
+    "EventEngine",
+    "LayerTask",
+    "Link",
+    "ServedRequest",
+    "ServingResult",
+    "ServingSimulator",
+    "latency_throughput_curve",
+    "layer_tasks",
+    "poisson_arrivals",
+    "speedup_curve",
+]

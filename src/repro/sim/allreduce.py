@@ -1,0 +1,48 @@
+"""Ring all-reduce communication model for data-parallel training.
+
+The paper's discussion names "multi-GPU training architecture" research as
+a target use of the predictor: real hardware is inflexible, simulators too
+slow. This module supplies the communication side of that study — the
+standard ring all-reduce cost model used by NCCL-style collectives:
+
+- each of the ``2 (N-1)`` ring steps moves ``P / N`` bytes per GPU and
+  pays the link latency once;
+- total per-GPU traffic is ``2 (N-1) / N * P`` bytes;
+- bus time is traffic / link bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.links import Link
+
+
+@dataclass(frozen=True)
+class AllReduceCost:
+    """Cost breakdown of one all-reduce of ``payload_bytes``."""
+
+    payload_bytes: float
+    n_gpus: int
+    latency_us: float        # latency component (ring steps)
+    transfer_us: float       # bandwidth component
+
+    @property
+    def total_us(self) -> float:
+        return self.latency_us + self.transfer_us
+
+
+def ring_allreduce_cost(payload_bytes: float, n_gpus: int,
+                        link: Link) -> AllReduceCost:
+    """Cost of ring all-reducing ``payload_bytes`` across ``n_gpus``."""
+    if n_gpus < 1:
+        raise ValueError("need at least one GPU")
+    if payload_bytes < 0:
+        raise ValueError("payload cannot be negative")
+    if n_gpus == 1 or payload_bytes == 0:
+        return AllReduceCost(payload_bytes, n_gpus, 0.0, 0.0)
+    steps = 2 * (n_gpus - 1)
+    traffic = steps / n_gpus * payload_bytes
+    transfer_us = traffic / (link.bandwidth_gbs * 1e9) * 1e6
+    latency_us = steps * link.latency_us
+    return AllReduceCost(payload_bytes, n_gpus, latency_us, transfer_us)

@@ -1,0 +1,186 @@
+"""Disaggregated-memory system simulation (case study 2, Figure 17).
+
+System under study: a GPU with a small local memory plus a network-attached
+remote memory pool holding the model weights. A prefetcher streams each
+layer's parameters over the link while the GPU computes earlier layers; a
+layer may only start once its parameters have arrived. Limited local
+memory bounds how far ahead the prefetcher may run (``prefetch_window``).
+
+Layer compute times come from the *performance model* — this is precisely
+the paper's point: the predictor replaces hardware or a cycle-level
+simulator inside a larger event-driven system study, and "the whole
+experiment takes less than 5 seconds".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.nn.graph import Network
+from repro.sim.engine import EventEngine
+from repro.sim.links import Link
+
+_FLOAT_BYTES = 4
+
+
+@dataclass(frozen=True)
+class LayerTask:
+    """One layer's work item: compute duration and remote-memory traffic.
+
+    ``param_bytes`` is the layer's weights (always streamed from the pool);
+    ``spill_bytes`` is activation traffic that does not fit in the GPU's
+    small local memory and must round-trip through the pool — the
+    "data moved back and forth" of the case study. DenseNet-style
+    concatenation topologies generate far more spill per FLOP than plain
+    residual networks.
+    """
+
+    name: str
+    compute_us: float
+    param_bytes: float
+    spill_bytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.compute_us < 0 or self.param_bytes < 0 or self.spill_bytes < 0:
+            raise ValueError(f"{self.name}: negative compute or bytes")
+
+    @property
+    def fetch_bytes(self) -> float:
+        """Total bytes that must arrive before the layer can run."""
+        return self.param_bytes + self.spill_bytes
+
+
+@dataclass(frozen=True)
+class DisaggregationResult:
+    """Outcome of one disaggregated run."""
+
+    makespan_us: float         # total wall time
+    compute_us: float          # pure GPU busy time
+    stall_us: float            # time the GPU waited for parameters
+    transfers: int
+    bytes_moved: float
+
+    @property
+    def efficiency(self) -> float:
+        """GPU busy fraction (1.0 = never stalled)."""
+        if self.makespan_us == 0:
+            return 1.0
+        return self.compute_us / self.makespan_us
+
+
+def layer_tasks(predictor, network: Network, batch_size: int,
+                activation_budget_bytes: float = 0.0) -> List[LayerTask]:
+    """Build layer tasks from a performance model's per-layer predictions.
+
+    ``predictor`` is any object with ``predict_layer(info) -> us`` (the
+    KW-style predictors) — the model stands in for real hardware.
+
+    A positive ``activation_budget_bytes`` models the GPU's small local
+    memory: whatever part of a layer's live activations (inputs + output)
+    exceeds the budget spills over the link.
+    """
+    tasks = []
+    for info in network.layer_infos(batch_size):
+        compute = max(0.0, float(predictor.predict_layer(info)))
+        spill = 0.0
+        if activation_budget_bytes > 0.0:
+            live = (sum(shape.bytes() for shape in info.input_shapes)
+                    + info.output_shape.bytes())
+            spill = max(0.0, live - activation_budget_bytes)
+        tasks.append(LayerTask(info.name, compute,
+                               float(info.params) * _FLOAT_BYTES, spill))
+    return tasks
+
+
+class DisaggregatedSystem:
+    """Event-driven model of GPU + remote memory pool + prefetcher."""
+
+    def __init__(self, link: Link, prefetch_window: int = 8) -> None:
+        if prefetch_window < 1:
+            raise ValueError("prefetch_window must be >= 1")
+        self.link = link
+        self.prefetch_window = prefetch_window
+
+    def run(self, tasks: Sequence[LayerTask]) -> DisaggregationResult:
+        """Simulate one inference pass; returns timing breakdown."""
+        if not tasks:
+            raise ValueError("no layer tasks to execute")
+        self.link.reset()
+        engine = EventEngine()
+        n = len(tasks)
+
+        params_ready = [False] * n
+        next_fetch = 0          # next layer whose params will be requested
+        exec_index = 0          # layer the GPU is executing / waiting on
+        gpu_busy = False
+        compute_total = 0.0
+
+        def try_prefetch(eng: EventEngine) -> None:
+            nonlocal next_fetch
+            # fetch ahead while within the local-memory window
+            while (next_fetch < n
+                   and next_fetch < exec_index + self.prefetch_window):
+                index = next_fetch
+                next_fetch += 1
+                if tasks[index].fetch_bytes == 0:
+                    params_ready[index] = True
+                    continue
+                finish = self.link.transfer(tasks[index].fetch_bytes, eng.now)
+                eng.schedule_at(finish, _mark_arrived(index))
+
+        def _mark_arrived(index: int):
+            def handler(eng: EventEngine) -> None:
+                params_ready[index] = True
+                try_start(eng)
+            return handler
+
+        def try_start(eng: EventEngine) -> None:
+            nonlocal gpu_busy, compute_total
+            if gpu_busy or exec_index >= n:
+                return
+            if not params_ready[exec_index]:
+                return
+            gpu_busy = True
+            compute_total += tasks[exec_index].compute_us
+            eng.schedule(tasks[exec_index].compute_us, finish_layer)
+
+        def finish_layer(eng: EventEngine) -> None:
+            nonlocal gpu_busy, exec_index
+            gpu_busy = False
+            exec_index += 1
+            try_prefetch(eng)   # the window slid forward
+            try_start(eng)
+
+        def boot(eng: EventEngine) -> None:
+            try_prefetch(eng)
+            try_start(eng)
+
+        engine.schedule(0.0, boot)
+        makespan = engine.run()
+        if exec_index != n:
+            raise RuntimeError("simulation deadlocked before finishing")
+        return DisaggregationResult(
+            makespan_us=makespan,
+            compute_us=compute_total,
+            stall_us=makespan - compute_total,
+            transfers=self.link.transfers,
+            bytes_moved=self.link.bytes_moved,
+        )
+
+
+def speedup_curve(tasks: Sequence[LayerTask],
+                  bandwidths_gbs: Sequence[float],
+                  baseline_gbs: float = 16.0,
+                  latency_us: float = 5.0,
+                  prefetch_window: int = 8) -> List[tuple]:
+    """Figure-17 series: speedup over the baseline link bandwidth."""
+    baseline = DisaggregatedSystem(
+        Link(baseline_gbs, latency_us), prefetch_window).run(tasks)
+    points = []
+    for bandwidth in bandwidths_gbs:
+        result = DisaggregatedSystem(
+            Link(bandwidth, latency_us), prefetch_window).run(tasks)
+        points.append((bandwidth,
+                       baseline.makespan_us / result.makespan_us))
+    return points

@@ -1,0 +1,67 @@
+"""Minimal event-driven simulation engine (MGPUSim-style substrate).
+
+Case study 2 couples the performance model to "a simple network model from
+MGPUSim ... a pure event-driven simulator, allowing us to fast-forward to
+the end of each kernel without simulating cycle-by-cycle details". This
+engine provides exactly that: a time-ordered event queue whose handlers
+schedule further events; time jumps from event to event.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+#: An event handler takes the engine (to schedule more events).
+Handler = Callable[["EventEngine"], None]
+
+
+class EventEngine:
+    """A discrete-event simulator with microsecond timestamps."""
+
+    def __init__(self) -> None:
+        self._queue: List[Tuple[float, int, Handler]] = []
+        self._counter = itertools.count()  # FIFO tie-break at equal times
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in microseconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._processed
+
+    def schedule(self, delay_us: float, handler: Handler) -> None:
+        """Schedule ``handler`` to fire ``delay_us`` from now."""
+        if delay_us < 0:
+            raise ValueError("cannot schedule events in the past")
+        heapq.heappush(self._queue,
+                       (self._now + delay_us, next(self._counter), handler))
+
+    def schedule_at(self, time_us: float, handler: Handler) -> None:
+        """Schedule ``handler`` at an absolute simulation time."""
+        if time_us < self._now:
+            raise ValueError(
+                f"cannot schedule at {time_us} before now={self._now}")
+        heapq.heappush(self._queue,
+                       (time_us, next(self._counter), handler))
+
+    def run(self, until_us: Optional[float] = None) -> float:
+        """Process events (optionally up to a horizon); returns final time."""
+        while self._queue:
+            time, _, handler = self._queue[0]
+            if until_us is not None and time > until_us:
+                self._now = until_us
+                return self._now
+            heapq.heappop(self._queue)
+            self._now = time
+            self._processed += 1
+            handler(self)
+        return self._now
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)

@@ -1,0 +1,49 @@
+"""Bandwidth-limited network link model.
+
+The disaggregated-memory case study moves layer parameters from a remote
+memory pool to the GPU over a network link. A :class:`Link` serialises
+transfers FIFO: each transfer occupies the link for
+``latency + bytes / bandwidth`` and may not start before the link frees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Link:
+    """A full-duplex-agnostic, FIFO-serialised network link."""
+
+    bandwidth_gbs: float           # GB/s
+    latency_us: float = 5.0        # per-message fixed cost
+    busy_until_us: float = field(default=0.0, init=False)
+    bytes_moved: float = field(default=0.0, init=False)
+    transfers: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbs <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.latency_us < 0:
+            raise ValueError("latency cannot be negative")
+
+    def transfer_time_us(self, size_bytes: float) -> float:
+        """Occupancy of one transfer, excluding queueing."""
+        return self.latency_us + size_bytes / (self.bandwidth_gbs * 1e9) * 1e6
+
+    def transfer(self, size_bytes: float, request_time_us: float) -> float:
+        """Enqueue a transfer at ``request_time_us``; returns finish time."""
+        if size_bytes < 0:
+            raise ValueError("transfer size cannot be negative")
+        start = max(self.busy_until_us, request_time_us)
+        finish = start + self.transfer_time_us(size_bytes)
+        self.busy_until_us = finish
+        self.bytes_moved += size_bytes
+        self.transfers += 1
+        return finish
+
+    def reset(self) -> None:
+        """Clear occupancy and counters for a fresh simulation run."""
+        self.busy_until_us = 0.0
+        self.bytes_moved = 0.0
+        self.transfers = 0

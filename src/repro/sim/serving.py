@@ -1,0 +1,219 @@
+"""Inference-serving simulation: queueing + dynamic batching.
+
+The paper positions its predictor as infrastructure for systems like
+Clockwork (predictable model serving) and for the scheduling problems of
+case study 3. This module closes that loop: an event-driven model of one
+GPU serving a request stream with dynamic batching, where every batch's
+execution time comes from a performance model instead of hardware.
+
+The model:
+
+- requests arrive via a seeded synthetic arrival process;
+- the server collects waiting requests into a batch of at most
+  ``max_batch``, waiting at most ``batch_timeout_us`` for more work once
+  the first request of a batch is queued;
+- batch execution time is ``predictor.predict_network(net, batch)``;
+- per-request latency = queueing + execution.
+
+Outputs are the serving curves operators care about: throughput,
+mean/percentile latency, and achieved batch-size distribution.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.gpu.timing import _unit_hash
+from repro.nn.graph import Network
+from repro.sim.engine import EventEngine
+
+
+@dataclass(frozen=True)
+class ServedRequest:
+    """One completed request."""
+
+    arrival_us: float
+    start_us: float
+    finish_us: float
+    batch_size: int
+
+    @property
+    def latency_us(self) -> float:
+        return self.finish_us - self.arrival_us
+
+    @property
+    def queue_us(self) -> float:
+        return self.start_us - self.arrival_us
+
+
+@dataclass(frozen=True)
+class ServingResult:
+    """Aggregate statistics of one serving run."""
+
+    requests: Tuple[ServedRequest, ...]
+    makespan_us: float
+    batches: int
+
+    @property
+    def throughput_rps(self) -> float:
+        if self.makespan_us == 0:
+            return 0.0
+        return len(self.requests) / (self.makespan_us / 1e6)
+
+    @property
+    def mean_latency_us(self) -> float:
+        return (sum(r.latency_us for r in self.requests)
+                / len(self.requests))
+
+    def latency_percentile_us(self, percentile: float) -> float:
+        if not 0 <= percentile <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        ordered = sorted(r.latency_us for r in self.requests)
+        index = min(len(ordered) - 1,
+                    int(percentile / 100.0 * len(ordered)))
+        return ordered[index]
+
+    @property
+    def mean_batch_size(self) -> float:
+        return (sum(r.batch_size for r in self.requests)
+                / len(self.requests))
+
+    def batch_histogram(self) -> Dict[int, int]:
+        histogram: Dict[int, int] = {}
+        seen_starts = set()
+        for request in self.requests:
+            if request.start_us in seen_starts:
+                continue
+            seen_starts.add(request.start_us)
+            histogram[request.batch_size] = histogram.get(
+                request.batch_size, 0) + 1
+        return histogram
+
+
+def poisson_arrivals(rate_rps: float, n_requests: int,
+                     seed: int = 0) -> List[float]:
+    """Seeded synthetic Poisson arrival times in microseconds.
+
+    Inter-arrival gaps are exponential with mean ``1 / rate``; the
+    deterministic hash stream keeps runs reproducible without touching
+    global random state.
+    """
+    if rate_rps <= 0:
+        raise ValueError("arrival rate must be positive")
+    if n_requests < 1:
+        raise ValueError("need at least one request")
+    mean_gap_us = 1e6 / rate_rps
+    now = 0.0
+    arrivals = []
+    for index in range(n_requests):
+        u = max(_unit_hash("arrival", seed, index), 1e-12)
+        now += -mean_gap_us * math.log(u)
+        arrivals.append(now)
+    return arrivals
+
+
+class ServingSimulator:
+    """One GPU serving one network with dynamic batching."""
+
+    def __init__(self, predictor, network: Network, max_batch: int = 32,
+                 batch_timeout_us: float = 2000.0) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if batch_timeout_us < 0:
+            raise ValueError("batch_timeout_us cannot be negative")
+        self.predictor = predictor
+        self.network = network
+        self.max_batch = max_batch
+        self.batch_timeout_us = batch_timeout_us
+        # predicted batch-execution times are reused heavily: memoise
+        self._batch_time: Dict[int, float] = {}
+
+    def _execution_us(self, batch: int) -> float:
+        cached = self._batch_time.get(batch)
+        if cached is None:
+            cached = float(self.predictor.predict_network(self.network,
+                                                          batch))
+            self._batch_time[batch] = cached
+        return cached
+
+    def run(self, arrivals_us: Sequence[float]) -> ServingResult:
+        """Serve the given arrival times; returns per-request stats."""
+        if not arrivals_us:
+            raise ValueError("no arrivals to serve")
+        arrivals = sorted(arrivals_us)
+        engine = EventEngine()
+
+        queue: List[float] = []     # arrival times of waiting requests
+        state = {"busy": False, "deadline": None, "batches": 0}
+        served: List[ServedRequest] = []
+
+        def launch(eng: EventEngine) -> None:
+            batch = min(len(queue), self.max_batch)
+            batch_arrivals = [queue.pop(0) for _ in range(batch)]
+            state["busy"] = True
+            state["deadline"] = None
+            state["batches"] += 1
+            start = eng.now
+            duration = self._execution_us(batch)
+
+            def finish(eng2: EventEngine) -> None:
+                for arrival in batch_arrivals:
+                    served.append(ServedRequest(arrival, start,
+                                                eng2.now, batch))
+                state["busy"] = False
+                maybe_launch(eng2)
+
+            eng.schedule(duration, finish)
+
+        def maybe_launch(eng: EventEngine) -> None:
+            if state["busy"] or not queue:
+                return
+            if (len(queue) >= self.max_batch
+                    or self.batch_timeout_us == 0.0):
+                launch(eng)
+                return
+            # wait (bounded) for more requests to share the batch
+            if state["deadline"] is None:
+                deadline = eng.now + self.batch_timeout_us
+                state["deadline"] = deadline
+
+                def timeout(eng2: EventEngine) -> None:
+                    if (not state["busy"] and queue
+                            and state["deadline"] == deadline):
+                        launch(eng2)
+
+                eng.schedule(self.batch_timeout_us, timeout)
+
+        def arrive(arrival_time: float):
+            def handler(eng: EventEngine) -> None:
+                queue.append(arrival_time)
+                maybe_launch(eng)
+            return handler
+
+        for arrival in arrivals:
+            engine.schedule_at(arrival, arrive(arrival))
+        makespan = engine.run()
+        if len(served) != len(arrivals):
+            raise RuntimeError("serving simulation lost requests")
+        return ServingResult(tuple(sorted(served,
+                                          key=lambda r: r.arrival_us)),
+                             makespan, state["batches"])
+
+
+def latency_throughput_curve(predictor, network: Network,
+                             rates_rps: Sequence[float],
+                             n_requests: int = 400,
+                             max_batch: int = 32,
+                             batch_timeout_us: float = 2000.0,
+                             seed: int = 0
+                             ) -> List[Tuple[float, ServingResult]]:
+    """Sweep offered load; returns (offered rate, result) pairs."""
+    simulator = ServingSimulator(predictor, network, max_batch,
+                                 batch_timeout_us)
+    curve = []
+    for rate in rates_rps:
+        arrivals = poisson_arrivals(rate, n_requests, seed)
+        curve.append((rate, simulator.run(arrivals)))
+    return curve

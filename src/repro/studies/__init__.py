@@ -1,0 +1,75 @@
+"""Experiment drivers for every paper figure and case study."""
+
+from repro.studies.bandwidth_sweep import (
+    DEFAULT_BANDWIDTHS,
+    SweepResult,
+    bandwidth_sweep,
+)
+from repro.studies.disaggregation import (
+    FIGURE17_BANDWIDTHS,
+    DisaggregationStudyResult,
+    run_disaggregation_study,
+)
+from repro.studies.design_space import (
+    DesignPoint,
+    DesignSearchResult,
+    WorkloadTarget,
+    memory_cost_usd,
+    search_bandwidth,
+)
+from repro.studies.multi_gpu import (
+    StepBreakdown,
+    bandwidth_requirement,
+    data_parallel_step,
+    scaling_curve,
+)
+from repro.studies.observations import (
+    batch_size_series,
+    classification_summary,
+    e2e_linearity,
+    e2e_scatter,
+    efficiency_study,
+    family_lines,
+    layer_cloud_fits,
+    layer_clouds,
+    throughput_series,
+)
+from repro.studies.scheduling_study import (
+    STUDY_BATCH_SIZE,
+    STUDY_GPUS,
+    SchedulingStudyResult,
+    measure_times,
+    run_scheduling_study,
+)
+
+__all__ = [
+    "DEFAULT_BANDWIDTHS",
+    "DesignPoint",
+    "DesignSearchResult",
+    "WorkloadTarget",
+    "memory_cost_usd",
+    "search_bandwidth",
+    "DisaggregationStudyResult",
+    "FIGURE17_BANDWIDTHS",
+    "STUDY_BATCH_SIZE",
+    "STUDY_GPUS",
+    "SchedulingStudyResult",
+    "StepBreakdown",
+    "SweepResult",
+    "bandwidth_requirement",
+    "bandwidth_sweep",
+    "data_parallel_step",
+    "scaling_curve",
+    "batch_size_series",
+    "classification_summary",
+    "e2e_linearity",
+    "e2e_scatter",
+    "efficiency_study",
+    "family_lines",
+    "layer_cloud_fits",
+    "layer_clouds",
+    "measure_times",
+    "run_disaggregation_study",
+    "run_scheduling_study",
+    "throughput_series",
+]

@@ -1,0 +1,72 @@
+"""Case study 1: GPU bandwidth design-space exploration (Figures 15-16).
+
+"OpenAI may require vendors to produce GPUs with specific configurations
+— what is the optimal memory bandwidth if the number of cores and the
+frequency are kept unchanged?" The IGKW model answers by predicting a
+network's time on hypothetical variants of a base GPU with the bandwidth
+knob swept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.intergpu import InterGPUKernelWiseModel
+from repro.gpu.specs import GPUSpec
+from repro.nn.graph import Network
+
+#: The paper's Figure-15/16 sweep range (GB/s).
+DEFAULT_BANDWIDTHS: Tuple[float, ...] = (
+    200, 300, 400, 500, 600, 700, 800, 900, 1000, 1100, 1200, 1300, 1400)
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """One bandwidth sweep of one network on one base GPU."""
+
+    network: str
+    base_gpu: str
+    points: Tuple[Tuple[float, float], ...]   # (GB/s, predicted us)
+
+    def predicted_at(self, bandwidth_gbs: float) -> float:
+        for bandwidth, time in self.points:
+            if bandwidth == bandwidth_gbs:
+                return time
+        raise KeyError(f"bandwidth {bandwidth_gbs} not in sweep")
+
+    def knee_gbs(self, threshold: float = 0.10) -> float:
+        """The diminishing-returns point: the first bandwidth beyond which
+        adding 100 GB/s improves the predicted time by less than
+        ``threshold`` (relative). This is how the case study reads the
+        "ideal bandwidth range" off Figures 15 and 16."""
+        for (b_low, t_low), (b_high, t_high) in zip(self.points,
+                                                    self.points[1:]):
+            step = (b_high - b_low) / 100.0
+            gain = (t_low - t_high) / t_low / step if step > 0 else 0.0
+            if gain < threshold:
+                return b_low
+        return self.points[-1][0]
+
+    def monotonic_non_increasing(self, tolerance: float = 0.02) -> bool:
+        """Sanity property: more bandwidth never hurts (modulo tolerance)."""
+        previous = float("inf")
+        for _, time in self.points:
+            if time > previous * (1.0 + tolerance):
+                return False
+            previous = time
+        return True
+
+
+def bandwidth_sweep(model: InterGPUKernelWiseModel, network: Network,
+                    base: GPUSpec, batch_size: int,
+                    bandwidths_gbs: Sequence[float] = DEFAULT_BANDWIDTHS
+                    ) -> SweepResult:
+    """Predict ``network``'s time on ``base`` with modified bandwidth."""
+    ordered = tuple(sorted(bandwidths_gbs))
+    points = tuple(
+        (bandwidth,
+         model.for_gpu(base.with_bandwidth(bandwidth))
+         .predict_network(network, batch_size))
+        for bandwidth in ordered)
+    return SweepResult(network.name, base.name, points)

@@ -1,0 +1,110 @@
+"""Shared experiment context: the standard dataset build and trained models.
+
+Every benchmark and example regenerates paper artifacts from the same
+underlying campaign (roster x GPUs x batch sizes). Building it takes a few
+seconds, so the context is memoised per process.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Dict, List, Mapping, Tuple
+
+from repro.core import (
+    EndToEndModel,
+    InterGPUKernelWiseModel,
+    KernelWiseModel,
+    LayerWiseModel,
+    networks_by_name,
+    train_inter_gpu_model,
+    train_model,
+)
+from repro.dataset import (
+    PerformanceDataset,
+    build_dataset,
+    train_test_split,
+)
+from repro.gpu import GPUSpec, gpu
+from repro.nn.graph import Network
+from repro.zoo import imagenet_roster, text_roster
+
+#: The five GPUs Section 5.4 evaluates the KW model on.
+STANDARD_GPUS: Tuple[str, ...] = ("A100", "A40", "GTX 1080 Ti", "TITAN RTX",
+                                  "V100")
+
+#: Batch sizes of the standard campaign (small / medium / full utilisation).
+STANDARD_BATCH_SIZES: Tuple[int, ...] = (8, 64, 512)
+
+#: Transformer campaigns use a smaller full-utilisation batch size.
+TEXT_BATCH_SIZE = 64
+
+
+@functools.lru_cache(maxsize=None)
+def standard_roster() -> Tuple[Network, ...]:
+    """The image-classification roster of the standard campaign."""
+    return tuple(imagenet_roster("full"))
+
+
+@functools.lru_cache(maxsize=None)
+def standard_specs() -> Tuple[GPUSpec, ...]:
+    return tuple(gpu(name) for name in STANDARD_GPUS)
+
+
+@functools.lru_cache(maxsize=None)
+def standard_dataset() -> PerformanceDataset:
+    """The full measurement campaign (networks x GPUs x batch sizes)."""
+    return build_dataset(standard_roster(), standard_specs(),
+                         batch_sizes=STANDARD_BATCH_SIZES)
+
+
+@functools.lru_cache(maxsize=None)
+def standard_split() -> Tuple[PerformanceDataset, PerformanceDataset]:
+    return train_test_split(standard_dataset())
+
+
+@functools.lru_cache(maxsize=None)
+def network_index() -> Mapping[str, Network]:
+    return networks_by_name(standard_roster())
+
+
+@functools.lru_cache(maxsize=None)
+def trained(model: str, gpu_name: str):
+    """A trained single-GPU model ('e2e' | 'lw' | 'kw') from the train split."""
+    train, _ = standard_split()
+    return train_model(train, model, gpu=gpu_name)
+
+
+@functools.lru_cache(maxsize=None)
+def trained_all_batches(model: str, gpu_name: str):
+    """Like :func:`trained` but fitted on every batch size.
+
+    Small-batch predictions (the disaggregation study runs at BS 16)
+    extrapolate poorly from a BS-512-only fit, so batch-sensitive studies
+    train on the full sweep.
+    """
+    train, _ = standard_split()
+    return train_model(train, model, gpu=gpu_name, batch_size=None)
+
+
+@functools.lru_cache(maxsize=None)
+def trained_igkw(train_gpu_names: Tuple[str, ...]) -> InterGPUKernelWiseModel:
+    train, _ = standard_split()
+    return train_inter_gpu_model(
+        train, [gpu(name) for name in train_gpu_names])
+
+
+@functools.lru_cache(maxsize=None)
+def text_dataset() -> PerformanceDataset:
+    """Transformer campaign on A100 (the KW extension of Section 5.4)."""
+    return build_dataset(tuple(text_roster()), (gpu("A100"),),
+                         batch_sizes=(TEXT_BATCH_SIZE,))
+
+
+@functools.lru_cache(maxsize=None)
+def text_split() -> Tuple[PerformanceDataset, PerformanceDataset]:
+    return train_test_split(text_dataset())
+
+
+@functools.lru_cache(maxsize=None)
+def text_index() -> Mapping[str, Network]:
+    return networks_by_name(text_roster())

@@ -1,0 +1,118 @@
+"""Cost-aware GPU design-space search (case study 1, taken to its end).
+
+Case study 1 reads Figures 15-16 by eye: "memory bandwidth can be reduced
+to save money as reducing the memory bandwidth to 500 GB/s will not
+significantly reduce performance". This module automates that reasoning
+over a *workload mix*: given the IGKW model, a base GPU, a bandwidth cost
+curve, and per-workload latency targets, it searches the bandwidth axis
+for the cheapest configuration that meets every target, and exposes the
+full cost/performance frontier.
+
+Memory-system cost is modelled as an affine function of bandwidth
+(`base + $/GBps · bandwidth`) — the defaults are ballpark HBM pricing and
+exist to make trade-offs concrete, not to quote vendors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.intergpu import InterGPUKernelWiseModel
+from repro.gpu.specs import GPUSpec
+from repro.nn.graph import Network
+
+
+@dataclass(frozen=True)
+class WorkloadTarget:
+    """One workload with its latency budget."""
+
+    network: Network
+    batch_size: int
+    target_ms: float
+
+    def __post_init__(self) -> None:
+        if self.target_ms <= 0:
+            raise ValueError("target_ms must be positive")
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One candidate configuration on the bandwidth axis."""
+
+    bandwidth_gbs: float
+    cost_usd: float
+    predicted_ms: Mapping[str, float]     # workload name -> predicted ms
+    meets_all_targets: bool
+
+    def slack(self, targets: Sequence[WorkloadTarget]) -> float:
+        """Smallest relative margin to any target (negative = violated)."""
+        margins = []
+        for target in targets:
+            predicted = self.predicted_ms[target.network.name]
+            margins.append(1.0 - predicted / target.target_ms)
+        return min(margins)
+
+
+@dataclass(frozen=True)
+class DesignSearchResult:
+    """Outcome of one bandwidth design-space search."""
+
+    points: Tuple[DesignPoint, ...]       # ascending bandwidth
+    cheapest_feasible: Optional[DesignPoint]
+
+    def frontier(self) -> List[DesignPoint]:
+        """Pareto frontier: points no other point beats on both axes.
+
+        With ascending bandwidth and monotone cost, a point is on the
+        frontier when it is strictly faster (on the binding workload)
+        than every cheaper point.
+        """
+        frontier: List[DesignPoint] = []
+        best_worst_ms = float("inf")
+        for point in self.points:
+            worst = max(point.predicted_ms.values())
+            if worst < best_worst_ms - 1e-9:
+                frontier.append(point)
+                best_worst_ms = worst
+        return frontier
+
+
+def memory_cost_usd(bandwidth_gbs: float, base_usd: float = 2000.0,
+                    usd_per_gbps: float = 8.0) -> float:
+    """Affine memory-system cost model."""
+    if bandwidth_gbs <= 0:
+        raise ValueError("bandwidth must be positive")
+    return base_usd + usd_per_gbps * bandwidth_gbs
+
+
+def search_bandwidth(model: InterGPUKernelWiseModel, base: GPUSpec,
+                     targets: Sequence[WorkloadTarget],
+                     bandwidths_gbs: Sequence[float],
+                     base_usd: float = 2000.0,
+                     usd_per_gbps: float = 8.0) -> DesignSearchResult:
+    """Sweep the bandwidth axis; find the cheapest feasible configuration."""
+    if not targets:
+        raise ValueError("need at least one workload target")
+    points: List[DesignPoint] = []
+    cheapest: Optional[DesignPoint] = None
+    for bandwidth in sorted(bandwidths_gbs):
+        predictor = model.for_gpu(base.with_bandwidth(bandwidth))
+        predicted = {
+            target.network.name:
+                predictor.predict_network(target.network,
+                                          target.batch_size) / 1e3
+            for target in targets
+        }
+        feasible = all(predicted[t.network.name] <= t.target_ms
+                       for t in targets)
+        point = DesignPoint(
+            bandwidth_gbs=bandwidth,
+            cost_usd=memory_cost_usd(bandwidth, base_usd, usd_per_gbps),
+            predicted_ms=predicted,
+            meets_all_targets=feasible,
+        )
+        points.append(point)
+        if feasible and cheapest is None:
+            cheapest = point   # ascending bandwidth => ascending cost
+    return DesignSearchResult(tuple(points), cheapest)

@@ -1,0 +1,77 @@
+"""Case study 2 driver: network bandwidth needs of disaggregated memory.
+
+Couples the KW predictor (layer times) to the event-driven disaggregated
+system simulation and sweeps the network link bandwidth, reproducing the
+Figure-17 speedup bars. The study parameters (batch size, link latency,
+prefetch window) model a latency-sensitive serving deployment on a
+memory-poor GPU — the regime where the link matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.nn.graph import Network
+from repro.sim.disaggregated import LayerTask, layer_tasks, speedup_curve
+
+#: Figure-17 link bandwidths (GB/s); the paper also ran 8 GB/s and 1-16 TB/s
+#: off-figure ("similar insights").
+FIGURE17_BANDWIDTHS: Tuple[float, ...] = (16, 32, 64, 128, 256, 512)
+
+#: Serving-style study parameters: a latency-oriented batch size, a tight
+#: local activation budget (the "small local memory"), and a shallow
+#: prefetch window.
+STUDY_BATCH_SIZE = 16
+LINK_LATENCY_US = 2.0
+PREFETCH_WINDOW = 2
+ACTIVATION_BUDGET_BYTES = 64e6
+
+
+@dataclass(frozen=True)
+class DisaggregationStudyResult:
+    """Speedup-over-16GB/s series for one network."""
+
+    network: str
+    speedups: Tuple[Tuple[float, float], ...]   # (GB/s, speedup)
+
+    def speedup_at(self, bandwidth_gbs: float) -> float:
+        for bandwidth, speedup in self.speedups:
+            if bandwidth == bandwidth_gbs:
+                return speedup
+        raise KeyError(f"bandwidth {bandwidth_gbs} not in study")
+
+    def saturation_gbs(self, threshold: float = 0.03) -> float:
+        """Smallest link bandwidth within ``threshold`` of the best speedup
+        — "the minimum required network bandwidth" of the case study."""
+        best = max(speedup for _, speedup in self.speedups)
+        for bandwidth, speedup in self.speedups:
+            if speedup >= best * (1.0 - threshold):
+                return bandwidth
+        raise AssertionError("saturation search must terminate")
+
+
+def run_disaggregation_study(predictor, networks: Sequence[Network],
+                             bandwidths_gbs: Sequence[float]
+                             = FIGURE17_BANDWIDTHS,
+                             batch_size: int = STUDY_BATCH_SIZE,
+                             latency_us: float = LINK_LATENCY_US,
+                             prefetch_window: int = PREFETCH_WINDOW,
+                             activation_budget_bytes: float
+                             = ACTIVATION_BUDGET_BYTES
+                             ) -> List[DisaggregationStudyResult]:
+    """Run the Figure-17 sweep for every network.
+
+    ``predictor`` supplies per-layer times (``predict_layer``); the rest
+    is the event-driven system model.
+    """
+    results = []
+    for network in networks:
+        tasks = layer_tasks(predictor, network, batch_size,
+                            activation_budget_bytes)
+        curve = speedup_curve(tasks, sorted(bandwidths_gbs),
+                              baseline_gbs=min(bandwidths_gbs),
+                              latency_us=latency_us,
+                              prefetch_window=prefetch_window)
+        results.append(DisaggregationStudyResult(network.name, tuple(curve)))
+    return results

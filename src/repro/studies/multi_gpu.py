@@ -1,0 +1,114 @@
+"""Extension study: data-parallel multi-GPU training scaling.
+
+Combines a *training-mode* KW predictor (per-GPU step compute) with the
+ring all-reduce communication model to answer the questions a multi-GPU
+training architect asks before buying hardware:
+
+- how does step time scale with GPU count on a given interconnect?
+- how much interconnect bandwidth does a model need before communication
+  stops eating the scaling efficiency?
+
+Gradient all-reduce overlaps with the backward pass in real frameworks
+(bucketed reduction), captured by ``overlap``: the fraction of the
+communication that hides behind compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.nn.graph import Network
+from repro.sim.allreduce import ring_allreduce_cost
+from repro.sim.links import Link
+
+_FLOAT_BYTES = 4
+
+#: Fraction of all-reduce time hidden behind the backward pass.
+DEFAULT_OVERLAP = 0.6
+
+
+@dataclass(frozen=True)
+class StepBreakdown:
+    """One data-parallel training step on N GPUs."""
+
+    network: str
+    n_gpus: int
+    per_gpu_batch: int
+    compute_us: float        # forward+backward on one GPU
+    comm_us: float           # all-reduce cost (before overlap)
+    exposed_comm_us: float   # comm that could not hide behind compute
+    step_us: float           # compute + exposed communication
+
+    @property
+    def global_batch(self) -> int:
+        return self.n_gpus * self.per_gpu_batch
+
+    @property
+    def scaling_efficiency(self) -> float:
+        """Throughput relative to N perfectly-scaled single GPUs."""
+        return self.compute_us / self.step_us
+
+    @property
+    def images_per_second(self) -> float:
+        return self.global_batch / (self.step_us / 1e6)
+
+
+def data_parallel_step(predictor, network: Network, per_gpu_batch: int,
+                       n_gpus: int, link: Link,
+                       overlap: float = DEFAULT_OVERLAP) -> StepBreakdown:
+    """Model one synchronous data-parallel step.
+
+    ``predictor`` must be a *training-mode* model (its per-network
+    prediction covers forward + backward); the optimiser update is
+    negligible next to the gradient exchange and is folded into overlap.
+    """
+    if not 0.0 <= overlap <= 1.0:
+        raise ValueError("overlap must be in [0, 1]")
+    compute = predictor.predict_network(network, per_gpu_batch)
+    gradient_bytes = float(network.total_params()) * _FLOAT_BYTES
+    comm = ring_allreduce_cost(gradient_bytes, n_gpus, link).total_us
+    exposed = max(0.0, comm - overlap * compute)
+    return StepBreakdown(
+        network=network.name,
+        n_gpus=n_gpus,
+        per_gpu_batch=per_gpu_batch,
+        compute_us=compute,
+        comm_us=comm,
+        exposed_comm_us=exposed,
+        step_us=compute + exposed,
+    )
+
+
+def scaling_curve(predictor, network: Network, per_gpu_batch: int,
+                  gpu_counts: Sequence[int], link: Link,
+                  overlap: float = DEFAULT_OVERLAP) -> List[StepBreakdown]:
+    """Weak-scaling sweep: per-GPU batch fixed, GPU count varies."""
+    return [data_parallel_step(predictor, network, per_gpu_batch, n, link,
+                               overlap)
+            for n in gpu_counts]
+
+
+def bandwidth_requirement(predictor, network: Network, per_gpu_batch: int,
+                          n_gpus: int,
+                          bandwidths_gbs: Sequence[float],
+                          target_efficiency: float = 0.95,
+                          latency_us: float = 3.0,
+                          overlap: float = DEFAULT_OVERLAP
+                          ) -> Tuple[float, List[StepBreakdown]]:
+    """Smallest swept interconnect bandwidth hitting the efficiency target.
+
+    Returns (bandwidth, the full sweep); the bandwidth is ``inf`` when no
+    swept value reaches the target.
+    """
+    sweep = []
+    requirement = float("inf")
+    for bandwidth in sorted(bandwidths_gbs):
+        step = data_parallel_step(predictor, network, per_gpu_batch,
+                                  n_gpus, Link(bandwidth, latency_us),
+                                  overlap)
+        sweep.append(step)
+        if (step.scaling_efficiency >= target_efficiency
+                and requirement == float("inf")):
+            requirement = bandwidth
+    return requirement, sweep

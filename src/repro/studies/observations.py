@@ -1,0 +1,150 @@
+"""Data series behind the motivation figures (Section 4, Figures 3-8).
+
+Each function returns plain data (lists of points or rows) so benchmarks
+can print the same series the paper plots, and tests can assert the
+observations hold (linearity, family separation, saturation, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.classification import classify_kernels
+from repro.core.linreg import LinearFit, fit_line
+from repro.dataset.builder import PerformanceDataset
+from repro.gpu.device import SimulatedGPU
+from repro.gpu.specs import GPUSpec
+from repro.nn.graph import Network
+from repro.profiler.events import batch_sweep
+
+
+def e2e_scatter(dataset: PerformanceDataset, gpu: str,
+                min_batch: int = 4) -> List[Tuple[float, float, str]]:
+    """Figure 3: (GFLOPs, ms, network) for all runs with BS >= min_batch."""
+    points = []
+    for row in dataset.for_gpu(gpu).network_rows:
+        if row.batch_size >= min_batch:
+            points.append((row.gflops, row.e2e_ms, row.network))
+    points.sort()
+    return points
+
+
+def e2e_linearity(dataset: PerformanceDataset, gpu: str) -> LinearFit:
+    """The Figure-3 trend: log-log or plain fit of time vs FLOPs.
+
+    The paper's O1 claims general linearity; we fit the plain relation
+    on all runs (the R² quantifies how linear the cloud is).
+    """
+    points = e2e_scatter(dataset, gpu)
+    return fit_line([p[0] for p in points], [p[1] for p in points])
+
+
+def family_lines(dataset: PerformanceDataset, gpu: str, batch_size: int,
+                 families: Sequence[str] = ("resnet", "vgg")
+                 ) -> Dict[str, LinearFit]:
+    """Figure 4: per-family FLOPs→time lines at one batch size (O2)."""
+    lines: Dict[str, LinearFit] = {}
+    for family in families:
+        rows = [row for row in dataset.for_gpu(gpu).network_rows
+                if row.family == family and row.batch_size == batch_size]
+        if len(rows) < 2:
+            raise ValueError(f"need >= 2 {family} networks at BS {batch_size}")
+        lines[family] = fit_line([row.total_flops for row in rows],
+                                 [row.e2e_us for row in rows])
+    return lines
+
+
+def batch_size_series(device: SimulatedGPU, networks: Sequence[Network],
+                      batch_sizes: Sequence[int]
+                      ) -> Dict[str, List[Tuple[int, float]]]:
+    """Figure 5: (batch size, ms) per network (O3)."""
+    series: Dict[str, List[Tuple[int, float]]] = {}
+    for network in networks:
+        measurements = batch_sweep(device, network, list(batch_sizes))
+        series[network.name] = [(m.batch_size, m.mean_ms)
+                                for m in measurements]
+    return series
+
+
+def throughput_series(device: SimulatedGPU, networks: Sequence[Network],
+                      batch_sizes: Sequence[int]
+                      ) -> Dict[str, List[Tuple[int, float]]]:
+    """Figure 6: achieved TFLOPS vs batch size (GPU saturation)."""
+    series: Dict[str, List[Tuple[int, float]]] = {}
+    for network in networks:
+        points = []
+        for batch_size in batch_sizes:
+            measurement = device.run_network(network, batch_size)
+            tflops = (network.total_flops(batch_size)
+                      / measurement.e2e_us / 1e6)
+            points.append((batch_size, tflops))
+        series[network.name] = points
+    return series
+
+
+def layer_clouds(dataset: PerformanceDataset, gpu: str,
+                 kinds: Sequence[str] = ("BN", "CONV", "FC", "MaxPool")
+                 ) -> Dict[str, List[Tuple[float, float]]]:
+    """Figure 7: (layer GFLOPs, layer ms) per layer type (O4)."""
+    clouds: Dict[str, List[Tuple[float, float]]] = {kind: [] for kind in kinds}
+    for row in dataset.for_gpu(gpu).layer_rows:
+        if row.kind in clouds and row.flops > 0:
+            clouds[row.kind].append((row.flops / 1e9, row.duration_us / 1e3))
+    return clouds
+
+
+def layer_cloud_fits(dataset: PerformanceDataset, gpu: str,
+                     kinds: Sequence[str] = ("BN", "CONV", "FC", "MaxPool")
+                     ) -> Dict[str, LinearFit]:
+    """Per-kind linear fits quantifying the Figure-7 trends."""
+    fits = {}
+    for kind, points in layer_clouds(dataset, gpu, kinds).items():
+        if len(points) >= 2:
+            fits[kind] = fit_line([p[0] for p in points],
+                                  [p[1] for p in points])
+    return fits
+
+
+def classification_summary(dataset: PerformanceDataset, gpu: str
+                           ) -> List[Tuple[str, str, float, float, float]]:
+    """Figure 8: per-kernel winning class and the three R² values."""
+    classified = classify_kernels(dataset.for_gpu(gpu))
+    rows = []
+    for name in sorted(classified):
+        entry = classified[name]
+        r2 = entry.r2_by_feature
+        rows.append((name, entry.label, r2["input_nchw"], r2["flops"],
+                     r2["output_nchw"]))
+    return rows
+
+
+def efficiency_study(networks: Sequence[Network], specs: Sequence[GPUSpec],
+                     batch_size: int = 64
+                     ) -> List[Tuple[str, float, float]]:
+    """Figure 9: (GPU, bandwidth efficiency, compute efficiency).
+
+    Efficiencies are *estimates from layer shapes*, exactly as the paper
+    computes them: estimated bytes = inputs + outputs + weights; estimated
+    FLOPs = theoretical layer FLOPs. The real device moves more bytes, so
+    absolute values sit well below 1 — the point is the stability of the
+    bandwidth column across GPUs versus the volatility of compute.
+    """
+    rows = []
+    for spec in specs:
+        device = SimulatedGPU(spec)
+        bw_effs = []
+        compute_effs = []
+        for network in networks:
+            result = device.run_network(network, batch_size)
+            est_bytes = 0.0
+            for info in network.layer_infos(batch_size):
+                est_bytes += (sum(s.bytes() for s in info.input_shapes)
+                              + info.output_shape.bytes() + 4.0 * info.params)
+            seconds = result.e2e_us / 1e6
+            bw_effs.append(est_bytes / seconds / spec.bandwidth_bytes)
+            compute_effs.append(network.total_flops(batch_size)
+                                / seconds / spec.peak_flops)
+        rows.append((spec.name,
+                     sum(bw_effs) / len(bw_effs),
+                     sum(compute_effs) / len(compute_effs)))
+    return rows

@@ -1,0 +1,80 @@
+"""Case study 3 driver: GPU selection and queue scheduling (Figures 18-19).
+
+Two per-GPU KW models (A40 and TITAN RTX) predict every network's time;
+the predictions pick the faster GPU per network (Figure 18) and drive a
+brute-force schedule of the whole queue (Figure 19), validated against the
+oracle schedule computed from measured times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.core.base import PerformanceModel
+from repro.gpu.device import SimulatedGPU
+from repro.gpu.specs import GPUSpec
+from repro.nn.graph import Network
+from repro.scheduling.placement import PlacementDecision, place_networks
+from repro.scheduling.scheduler import (
+    Schedule,
+    brute_force_schedule,
+    oracle_gap,
+)
+
+#: The case study's GPU pair.
+STUDY_GPUS: Tuple[str, ...] = ("A40", "TITAN RTX")
+STUDY_BATCH_SIZE = 64
+
+
+@dataclass(frozen=True)
+class SchedulingStudyResult:
+    """Everything Figures 18 and 19 report."""
+
+    decisions: Tuple[PlacementDecision, ...]
+    predicted_schedule: Schedule
+    oracle_schedule: Schedule
+    oracle_gap: float
+
+    @property
+    def placement_accuracy(self) -> float:
+        scored = [d for d in self.decisions if d.measured_us]
+        return sum(1 for d in scored if d.correct) / len(scored)
+
+
+def measure_times(networks: Sequence[Network], specs: Sequence[GPUSpec],
+                  batch_size: int = STUDY_BATCH_SIZE
+                  ) -> Dict[Tuple[str, str], float]:
+    """Ground-truth execution times, (network, gpu) -> us."""
+    times: Dict[Tuple[str, str], float] = {}
+    for spec in specs:
+        device = SimulatedGPU(spec)
+        for network in networks:
+            times[(network.name, spec.name)] = device.run_network(
+                network, batch_size).e2e_us
+    return times
+
+
+def run_scheduling_study(predictors: Mapping[str, PerformanceModel],
+                         networks: Sequence[Network],
+                         specs: Sequence[GPUSpec],
+                         batch_size: int = STUDY_BATCH_SIZE
+                         ) -> SchedulingStudyResult:
+    """Run both halves of case study 3."""
+    measured = measure_times(networks, specs, batch_size)
+    decisions = place_networks(list(networks), batch_size, predictors,
+                               measured)
+
+    jobs = [network.name for network in networks]
+    gpu_names = [spec.name for spec in specs]
+    predicted_times = {
+        (decision.network, gpu): decision.predicted_us[gpu]
+        for decision in decisions for gpu in gpu_names
+    }
+    predicted_schedule = brute_force_schedule(jobs, gpu_names,
+                                              predicted_times)
+    oracle_schedule = brute_force_schedule(jobs, gpu_names, measured)
+    gap = oracle_gap(predicted_schedule, oracle_schedule, measured,
+                     gpu_names)
+    return SchedulingStudyResult(tuple(decisions), predicted_schedule,
+                                 oracle_schedule, gap)

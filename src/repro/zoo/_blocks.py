@@ -1,0 +1,53 @@
+"""Shared building blocks for zoo model constructors."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.nn.graph import Network
+from repro.nn.layer import Layer
+from repro.nn.layers import BatchNorm2d, Conv2d, ReLU
+from repro.nn.tensor import TensorShape
+
+#: Canonical ImageNet input shape used by the paper's image classifiers.
+IMAGENET_INPUT = TensorShape.image(1, 3, 224, 224)
+
+
+class GraphBuilder:
+    """Thin wrapper over :class:`Network` with automatic node naming.
+
+    Zoo constructors describe models as chains of ``add`` calls; the builder
+    generates unique, readable node names (``conv_3``, ``bn_3``, ...) so
+    constructors never manage counters themselves.
+    """
+
+    def __init__(self, name: str, input_shape: TensorShape,
+                 family: str = "") -> None:
+        self.net = Network(name, input_shape, family=family)
+        self._counts: Dict[str, int] = {}
+
+    def add(self, layer: Layer, inputs: Optional[Sequence[str]] = None,
+            tag: Optional[str] = None) -> str:
+        """Append a layer with an auto-generated ``<tag>_<n>`` name."""
+        base = tag or layer.kind.lower()
+        index = self._counts.get(base, 0)
+        self._counts[base] = index + 1
+        return self.net.add(f"{base}_{index}", layer, inputs)
+
+    def conv_bn_relu(self, in_channels: int, out_channels: int, kernel_size,
+                     stride=1, padding=0, groups: int = 1, relu: bool = True,
+                     inputs: Optional[Sequence[str]] = None) -> str:
+        """The ubiquitous Conv → BN → (ReLU) trio; returns the last node."""
+        name = self.add(
+            Conv2d(in_channels, out_channels, kernel_size, stride=stride,
+                   padding=padding, groups=groups, bias=False),
+            inputs=inputs)
+        name = self.add(BatchNorm2d(out_channels), inputs=(name,))
+        if relu:
+            name = self.add(ReLU(), inputs=(name,))
+        return name
+
+    def build(self) -> Network:
+        """Validate shape inference end-to-end and return the network."""
+        self.net.shapes(1)  # raises on any structural error
+        return self.net

@@ -1,0 +1,61 @@
+"""AlexNet — the small plain CNN end of the roster."""
+
+from __future__ import annotations
+
+from repro.nn.graph import Network
+from repro.nn.layers import (
+    AdaptiveAvgPool2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from repro.zoo._blocks import IMAGENET_INPUT, GraphBuilder
+
+
+def alexnet(width_mult: float = 1.0, num_classes: int = 1000,
+            name: str = "") -> Network:
+    """Construct AlexNet (TorchVision single-tower variant).
+
+    ``width_mult`` scales every channel count; the variants keep the
+    roster's only FFT-convolution user (the 5x5 stride-1 layer) from
+    being a coverage singleton.
+    """
+    if width_mult <= 0:
+        raise ValueError("width_mult must be positive")
+    name = name or ("alexnet" if width_mult == 1.0
+                    else f"alexnet_w{width_mult:g}")
+
+    def scaled(channels: int) -> int:
+        return max(32, int(round(channels * width_mult / 32)) * 32)
+
+    c1, c2, c3, c4 = scaled(64), scaled(192), scaled(384), scaled(256)
+    hidden = scaled(4096)
+
+    builder = GraphBuilder(name, IMAGENET_INPUT, family="alexnet")
+    current = builder.add(Conv2d(3, c1, 11, stride=4, padding=2))
+    current = builder.add(ReLU(), inputs=(current,))
+    current = builder.add(MaxPool2d(3, stride=2), inputs=(current,))
+    current = builder.add(Conv2d(c1, c2, 5, padding=2), inputs=(current,))
+    current = builder.add(ReLU(), inputs=(current,))
+    current = builder.add(MaxPool2d(3, stride=2), inputs=(current,))
+    current = builder.add(Conv2d(c2, c3, 3, padding=1), inputs=(current,))
+    current = builder.add(ReLU(), inputs=(current,))
+    current = builder.add(Conv2d(c3, c4, 3, padding=1), inputs=(current,))
+    current = builder.add(ReLU(), inputs=(current,))
+    current = builder.add(Conv2d(c4, c4, 3, padding=1), inputs=(current,))
+    current = builder.add(ReLU(), inputs=(current,))
+    current = builder.add(MaxPool2d(3, stride=2), inputs=(current,))
+
+    current = builder.add(AdaptiveAvgPool2d(6), inputs=(current,))
+    current = builder.add(Flatten(), inputs=(current,))
+    current = builder.add(Dropout(), inputs=(current,))
+    current = builder.add(Linear(c4 * 36, hidden), inputs=(current,))
+    current = builder.add(ReLU(), inputs=(current,))
+    current = builder.add(Dropout(), inputs=(current,))
+    current = builder.add(Linear(hidden, hidden), inputs=(current,))
+    current = builder.add(ReLU(), inputs=(current,))
+    builder.add(Linear(hidden, num_classes), inputs=(current,))
+    return builder.build()

@@ -1,0 +1,102 @@
+"""DenseNet family (121 / 161 / 169 / 201 + parametric variants).
+
+DenseNets appear throughout the paper's case studies: the bandwidth
+design-space exploration (Figure 16, DenseNet-169), the disaggregated
+memory study (Figure 17, DenseNet-121/161), and the scheduling study
+(Figure 19, DenseNet-121/161/169/201). Their many small layers and channel
+concatenations make them markedly less GPU-efficient than VGG-style
+networks, which is exactly the efficiency spread the E2E model cannot
+capture.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.nn.graph import Network
+from repro.nn.layers import (
+    AdaptiveAvgPool2d,
+    AvgPool2d,
+    BatchNorm2d,
+    Concat,
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from repro.zoo._blocks import IMAGENET_INPUT, GraphBuilder
+
+
+def _dense_layer(builder: GraphBuilder, entry: str, in_channels: int,
+                 growth_rate: int) -> str:
+    """BN → ReLU → 1x1 conv → BN → ReLU → 3x3 conv producing growth_rate maps."""
+    bottleneck_width = 4 * growth_rate
+    out = builder.add(BatchNorm2d(in_channels), inputs=(entry,))
+    out = builder.add(ReLU(), inputs=(out,))
+    out = builder.add(Conv2d(in_channels, bottleneck_width, 1, bias=False),
+                      inputs=(out,))
+    out = builder.add(BatchNorm2d(bottleneck_width), inputs=(out,))
+    out = builder.add(ReLU(), inputs=(out,))
+    out = builder.add(
+        Conv2d(bottleneck_width, growth_rate, 3, padding=1, bias=False),
+        inputs=(out,))
+    return out
+
+
+def densenet(block_config: Sequence[int], growth_rate: int = 32,
+             init_features: int = 64, num_classes: int = 1000,
+             name: str = "") -> Network:
+    """Construct a DenseNet with the given dense-block sizes."""
+    if len(block_config) != 4 or any(b < 1 for b in block_config):
+        raise ValueError(
+            f"block_config must be four positive counts, got {block_config}")
+    depth = 2 * sum(block_config) + len(block_config) + 1
+    name = name or f"densenet{depth}"
+
+    builder = GraphBuilder(name, IMAGENET_INPUT, family="densenet")
+    current = builder.conv_bn_relu(3, init_features, 7, stride=2, padding=3)
+    current = builder.add(MaxPool2d(3, stride=2, padding=1),
+                          inputs=(current,))
+
+    channels = init_features
+    for stage, layer_count in enumerate(block_config):
+        # dense block: each layer consumes the concat of all previous maps
+        for _ in range(layer_count):
+            new_features = _dense_layer(builder, current, channels,
+                                        growth_rate)
+            current = builder.add(Concat(), inputs=(current, new_features))
+            channels += growth_rate
+        if stage != len(block_config) - 1:
+            # transition: halve channels and spatial size
+            out_channels = channels // 2
+            current = builder.add(BatchNorm2d(channels), inputs=(current,))
+            current = builder.add(ReLU(), inputs=(current,))
+            current = builder.add(
+                Conv2d(channels, out_channels, 1, bias=False),
+                inputs=(current,))
+            current = builder.add(AvgPool2d(2, stride=2), inputs=(current,))
+            channels = out_channels
+
+    current = builder.add(BatchNorm2d(channels), inputs=(current,))
+    current = builder.add(ReLU(), inputs=(current,))
+    current = builder.add(AdaptiveAvgPool2d(1), inputs=(current,))
+    current = builder.add(Flatten(), inputs=(current,))
+    builder.add(Linear(channels, num_classes), inputs=(current,))
+    return builder.build()
+
+
+def densenet121() -> Network:
+    return densenet([6, 12, 24, 16])
+
+
+def densenet161() -> Network:
+    return densenet([6, 12, 36, 24], growth_rate=48, init_features=96)
+
+
+def densenet169() -> Network:
+    return densenet([6, 12, 32, 32])
+
+
+def densenet201() -> Network:
+    return densenet([6, 12, 48, 32])

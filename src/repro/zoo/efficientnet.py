@@ -1,0 +1,125 @@
+"""EfficientNet (MBConv + squeeze-excite), B0 with compound scaling.
+
+EfficientNet rounds out the roster with SiLU activations, squeeze-excite
+gating (broadcast multiplies), and 5x5 depthwise kernels — exercising
+kernel-table entries no other family produces.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.nn.graph import Network
+from repro.nn.layers import (
+    AdaptiveAvgPool2d,
+    Add,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Linear,
+    Multiply,
+    Sigmoid,
+    SiLU,
+)
+from repro.zoo._blocks import IMAGENET_INPUT, GraphBuilder
+
+#: B0 stage config: (expansion, channels, repeats, stride, kernel size)
+_B0_CONFIG = (
+    (1, 16, 1, 1, 3),
+    (6, 24, 2, 2, 3),
+    (6, 40, 2, 2, 5),
+    (6, 80, 3, 2, 3),
+    (6, 112, 3, 1, 5),
+    (6, 192, 4, 2, 5),
+    (6, 320, 1, 1, 3),
+)
+
+#: (width multiplier, depth multiplier) for B0..B5.
+_SCALING = {
+    "b0": (1.0, 1.0),
+    "b1": (1.0, 1.1),
+    "b2": (1.1, 1.2),
+    "b3": (1.2, 1.4),
+    "b4": (1.4, 1.8),
+    "b5": (1.6, 2.2),
+}
+
+
+def _round_channels(channels: float, divisor: int = 8) -> int:
+    rounded = max(divisor, int(channels + divisor / 2) // divisor * divisor)
+    if rounded < 0.9 * channels:
+        rounded += divisor
+    return rounded
+
+
+def _conv_bn_silu(builder: GraphBuilder, entry, in_channels: int,
+                  out_channels: int, kernel_size: int, stride: int = 1,
+                  groups: int = 1, act: bool = True) -> str:
+    padding = (kernel_size - 1) // 2
+    out = builder.add(
+        Conv2d(in_channels, out_channels, kernel_size, stride=stride,
+               padding=padding, groups=groups, bias=False),
+        inputs=(entry,) if entry else None)
+    out = builder.add(BatchNorm2d(out_channels), inputs=(out,))
+    if act:
+        out = builder.add(SiLU(), inputs=(out,))
+    return out
+
+
+def _squeeze_excite(builder: GraphBuilder, entry: str, channels: int,
+                    reduced: int) -> str:
+    """Global-pool → 1x1 reduce → SiLU → 1x1 expand → sigmoid → scale."""
+    pooled = builder.add(AdaptiveAvgPool2d(1), inputs=(entry,))
+    out = builder.add(Conv2d(channels, reduced, 1), inputs=(pooled,))
+    out = builder.add(SiLU(), inputs=(out,))
+    out = builder.add(Conv2d(reduced, channels, 1), inputs=(out,))
+    out = builder.add(Sigmoid(), inputs=(out,))
+    return builder.add(Multiply(), inputs=(entry, out))
+
+
+def _mbconv(builder: GraphBuilder, entry: str, in_channels: int,
+            out_channels: int, stride: int, expansion: int,
+            kernel_size: int) -> str:
+    hidden = in_channels * expansion
+    out = entry
+    if expansion != 1:
+        out = _conv_bn_silu(builder, out, in_channels, hidden, 1)
+    out = _conv_bn_silu(builder, out, hidden, hidden, kernel_size,
+                        stride=stride, groups=hidden)
+    out = _squeeze_excite(builder, out, hidden, max(1, in_channels // 4))
+    out = _conv_bn_silu(builder, out, hidden, out_channels, 1, act=False)
+    if stride == 1 and in_channels == out_channels:
+        out = builder.add(Add(), inputs=(entry, out))
+    return out
+
+
+def efficientnet(variant: str = "b0", num_classes: int = 1000) -> Network:
+    """Construct an EfficientNet-B0..B3 via compound scaling."""
+    if variant not in _SCALING:
+        raise ValueError(f"variant must be one of {sorted(_SCALING)}, "
+                         f"got {variant!r}")
+    width_mult, depth_mult = _SCALING[variant]
+    builder = GraphBuilder(f"efficientnet_{variant}", IMAGENET_INPUT,
+                           family="efficientnet")
+
+    stem = _round_channels(32 * width_mult)
+    current = _conv_bn_silu(builder, None, 3, stem, 3, stride=2)
+
+    in_channels = stem
+    for expansion, channels, repeats, first_stride, kernel in _B0_CONFIG:
+        out_channels = _round_channels(channels * width_mult)
+        scaled_repeats = int(math.ceil(repeats * depth_mult))
+        for i in range(scaled_repeats):
+            stride = first_stride if i == 0 else 1
+            current = _mbconv(builder, current, in_channels, out_channels,
+                              stride, expansion, kernel)
+            in_channels = out_channels
+
+    head = _round_channels(1280 * width_mult)
+    current = _conv_bn_silu(builder, current, in_channels, head, 1)
+    current = builder.add(AdaptiveAvgPool2d(1), inputs=(current,))
+    current = builder.add(Flatten(), inputs=(current,))
+    current = builder.add(Dropout(0.2), inputs=(current,))
+    builder.add(Linear(head, num_classes), inputs=(current,))
+    return builder.build()

@@ -1,0 +1,81 @@
+"""GoogLeNet (Inception v1) — multi-branch concatenation topology."""
+
+from __future__ import annotations
+
+from repro.nn.graph import Network
+from repro.nn.layers import (
+    AdaptiveAvgPool2d,
+    Concat,
+    Dropout,
+    Flatten,
+    Linear,
+    MaxPool2d,
+)
+from repro.zoo._blocks import IMAGENET_INPUT, GraphBuilder
+
+#: Inception block parameters: (1x1, 3x3 reduce, 3x3, 5x5 reduce, 5x5, pool proj)
+_INCEPTION_CONFIG = {
+    "3a": (192, 64, 96, 128, 16, 32, 32),
+    "3b": (256, 128, 128, 192, 32, 96, 64),
+    "4a": (480, 192, 96, 208, 16, 48, 64),
+    "4b": (512, 160, 112, 224, 24, 64, 64),
+    "4c": (512, 128, 128, 256, 24, 64, 64),
+    "4d": (512, 112, 144, 288, 32, 64, 64),
+    "4e": (528, 256, 160, 320, 32, 128, 128),
+    "5a": (832, 256, 160, 320, 32, 128, 128),
+    "5b": (832, 384, 192, 384, 48, 128, 128),
+}
+
+
+def _inception(builder: GraphBuilder, entry: str, in_channels: int,
+               ch1: int, ch3r: int, ch3: int, ch5r: int, ch5: int,
+               pool_proj: int) -> str:
+    """Four parallel branches concatenated along channels."""
+    branch1 = builder.conv_bn_relu(in_channels, ch1, 1, inputs=(entry,))
+
+    branch2 = builder.conv_bn_relu(in_channels, ch3r, 1, inputs=(entry,))
+    branch2 = builder.conv_bn_relu(ch3r, ch3, 3, padding=1, inputs=(branch2,))
+
+    branch3 = builder.conv_bn_relu(in_channels, ch5r, 1, inputs=(entry,))
+    branch3 = builder.conv_bn_relu(ch5r, ch5, 3, padding=1, inputs=(branch3,))
+
+    branch4 = builder.add(MaxPool2d(3, stride=1, padding=1, ceil_mode=True),
+                          inputs=(entry,))
+    branch4 = builder.conv_bn_relu(in_channels, pool_proj, 1,
+                                   inputs=(branch4,))
+
+    return builder.add(Concat(),
+                       inputs=(branch1, branch2, branch3, branch4))
+
+
+def googlenet(num_classes: int = 1000) -> Network:
+    """Construct GoogLeNet (BN variant, no auxiliary heads at inference)."""
+    builder = GraphBuilder("googlenet", IMAGENET_INPUT, family="googlenet")
+
+    current = builder.conv_bn_relu(3, 64, 7, stride=2, padding=3)
+    current = builder.add(MaxPool2d(3, stride=2, ceil_mode=True),
+                          inputs=(current,))
+    current = builder.conv_bn_relu(64, 64, 1, inputs=(current,))
+    current = builder.conv_bn_relu(64, 192, 3, padding=1, inputs=(current,))
+    current = builder.add(MaxPool2d(3, stride=2, ceil_mode=True),
+                          inputs=(current,))
+
+    for block in ("3a", "3b"):
+        cfg = _INCEPTION_CONFIG[block]
+        current = _inception(builder, current, *cfg)
+    current = builder.add(MaxPool2d(3, stride=2, ceil_mode=True),
+                          inputs=(current,))
+    for block in ("4a", "4b", "4c", "4d", "4e"):
+        cfg = _INCEPTION_CONFIG[block]
+        current = _inception(builder, current, *cfg)
+    current = builder.add(MaxPool2d(2, stride=2, ceil_mode=True),
+                          inputs=(current,))
+    for block in ("5a", "5b"):
+        cfg = _INCEPTION_CONFIG[block]
+        current = _inception(builder, current, *cfg)
+
+    current = builder.add(AdaptiveAvgPool2d(1), inputs=(current,))
+    current = builder.add(Flatten(), inputs=(current,))
+    current = builder.add(Dropout(0.2), inputs=(current,))
+    builder.add(Linear(1024, num_classes), inputs=(current,))
+    return builder.build()

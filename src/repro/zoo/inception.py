@@ -1,0 +1,160 @@
+"""Inception-v3 — factorised convolutions and multi-branch blocks.
+
+Inception-v3 stresses the kernel mapping table with shapes no other
+family produces: asymmetric 1x7/7x1 and 1x3/3x1 convolutions, a 299x299
+input resolution, and four-way branch concatenations at varied widths.
+"""
+
+from __future__ import annotations
+
+from repro.nn.graph import Network
+from repro.nn.layers import (
+    AdaptiveAvgPool2d,
+    AvgPool2d,
+    Concat,
+    Flatten,
+    Linear,
+    MaxPool2d,
+)
+from repro.nn.tensor import TensorShape
+from repro.zoo._blocks import GraphBuilder
+
+#: Inception-v3's native input resolution.
+INCEPTION_INPUT = TensorShape.image(1, 3, 299, 299)
+
+
+def _branch_pool(builder: GraphBuilder, entry: str, in_channels: int,
+                 out_channels: int) -> str:
+    pooled = builder.add(AvgPool2d(3, stride=1, padding=1),
+                         inputs=(entry,))
+    return builder.conv_bn_relu(in_channels, out_channels, 1,
+                                inputs=(pooled,))
+
+
+def _inception_a(builder: GraphBuilder, entry: str, in_channels: int,
+                 pool_features: int) -> str:
+    b1 = builder.conv_bn_relu(in_channels, 64, 1, inputs=(entry,))
+
+    b2 = builder.conv_bn_relu(in_channels, 48, 1, inputs=(entry,))
+    b2 = builder.conv_bn_relu(48, 64, 5, padding=2, inputs=(b2,))
+
+    b3 = builder.conv_bn_relu(in_channels, 64, 1, inputs=(entry,))
+    b3 = builder.conv_bn_relu(64, 96, 3, padding=1, inputs=(b3,))
+    b3 = builder.conv_bn_relu(96, 96, 3, padding=1, inputs=(b3,))
+
+    b4 = _branch_pool(builder, entry, in_channels, pool_features)
+    return builder.add(Concat(), inputs=(b1, b2, b3, b4))
+
+
+def _reduction_a(builder: GraphBuilder, entry: str, in_channels: int) -> str:
+    b1 = builder.conv_bn_relu(in_channels, 384, 3, stride=2,
+                              inputs=(entry,))
+    b2 = builder.conv_bn_relu(in_channels, 64, 1, inputs=(entry,))
+    b2 = builder.conv_bn_relu(64, 96, 3, padding=1, inputs=(b2,))
+    b2 = builder.conv_bn_relu(96, 96, 3, stride=2, inputs=(b2,))
+    b3 = builder.add(MaxPool2d(3, stride=2), inputs=(entry,))
+    return builder.add(Concat(), inputs=(b1, b2, b3))
+
+
+def _inception_b(builder: GraphBuilder, entry: str, in_channels: int,
+                 mid: int) -> str:
+    """Factorised 7x7 block: 1x7 and 7x1 convolutions."""
+    b1 = builder.conv_bn_relu(in_channels, 192, 1, inputs=(entry,))
+
+    b2 = builder.conv_bn_relu(in_channels, mid, 1, inputs=(entry,))
+    b2 = builder.conv_bn_relu(mid, mid, (1, 7), padding=(0, 3),
+                              inputs=(b2,))
+    b2 = builder.conv_bn_relu(mid, 192, (7, 1), padding=(3, 0),
+                              inputs=(b2,))
+
+    b3 = builder.conv_bn_relu(in_channels, mid, 1, inputs=(entry,))
+    b3 = builder.conv_bn_relu(mid, mid, (7, 1), padding=(3, 0),
+                              inputs=(b3,))
+    b3 = builder.conv_bn_relu(mid, mid, (1, 7), padding=(0, 3),
+                              inputs=(b3,))
+    b3 = builder.conv_bn_relu(mid, mid, (7, 1), padding=(3, 0),
+                              inputs=(b3,))
+    b3 = builder.conv_bn_relu(mid, 192, (1, 7), padding=(0, 3),
+                              inputs=(b3,))
+
+    b4 = _branch_pool(builder, entry, in_channels, 192)
+    return builder.add(Concat(), inputs=(b1, b2, b3, b4))
+
+
+def _reduction_b(builder: GraphBuilder, entry: str, in_channels: int) -> str:
+    b1 = builder.conv_bn_relu(in_channels, 192, 1, inputs=(entry,))
+    b1 = builder.conv_bn_relu(192, 320, 3, stride=2, inputs=(b1,))
+
+    b2 = builder.conv_bn_relu(in_channels, 192, 1, inputs=(entry,))
+    b2 = builder.conv_bn_relu(192, 192, (1, 7), padding=(0, 3),
+                              inputs=(b2,))
+    b2 = builder.conv_bn_relu(192, 192, (7, 1), padding=(3, 0),
+                              inputs=(b2,))
+    b2 = builder.conv_bn_relu(192, 192, 3, stride=2, inputs=(b2,))
+
+    b3 = builder.add(MaxPool2d(3, stride=2), inputs=(entry,))
+    return builder.add(Concat(), inputs=(b1, b2, b3))
+
+
+def _inception_c(builder: GraphBuilder, entry: str, in_channels: int) -> str:
+    """Expanded-filter block: 1x3/3x1 branches concatenated."""
+    b1 = builder.conv_bn_relu(in_channels, 320, 1, inputs=(entry,))
+
+    b2 = builder.conv_bn_relu(in_channels, 384, 1, inputs=(entry,))
+    b2a = builder.conv_bn_relu(384, 384, (1, 3), padding=(0, 1),
+                               inputs=(b2,))
+    b2b = builder.conv_bn_relu(384, 384, (3, 1), padding=(1, 0),
+                               inputs=(b2,))
+
+    b3 = builder.conv_bn_relu(in_channels, 448, 1, inputs=(entry,))
+    b3 = builder.conv_bn_relu(448, 384, 3, padding=1, inputs=(b3,))
+    b3a = builder.conv_bn_relu(384, 384, (1, 3), padding=(0, 1),
+                               inputs=(b3,))
+    b3b = builder.conv_bn_relu(384, 384, (3, 1), padding=(1, 0),
+                               inputs=(b3,))
+
+    b4 = _branch_pool(builder, entry, in_channels, 192)
+    return builder.add(Concat(), inputs=(b1, b2a, b2b, b3a, b3b, b4))
+
+
+def inception_v3(resolution: int = 299, num_classes: int = 1000,
+                 name: str = "") -> Network:
+    """Construct Inception-v3 (inference graph, no auxiliary head).
+
+    ``resolution`` variants keep the family's asymmetric-convolution
+    kernels covered when the canonical network is held out.
+    """
+    if resolution < 75:
+        raise ValueError("resolution too small for the Inception stem")
+    name = name or ("inception_v3" if resolution == 299
+                    else f"inception_v3_r{resolution}")
+    builder = GraphBuilder(
+        name, TensorShape.image(1, 3, resolution, resolution),
+        family="inception")
+
+    current = builder.conv_bn_relu(3, 32, 3, stride=2)
+    current = builder.conv_bn_relu(32, 32, 3, inputs=(current,))
+    current = builder.conv_bn_relu(32, 64, 3, padding=1, inputs=(current,))
+    current = builder.add(MaxPool2d(3, stride=2), inputs=(current,))
+    current = builder.conv_bn_relu(64, 80, 1, inputs=(current,))
+    current = builder.conv_bn_relu(80, 192, 3, inputs=(current,))
+    current = builder.add(MaxPool2d(3, stride=2), inputs=(current,))
+
+    current = _inception_a(builder, current, 192, 32)     # -> 256
+    current = _inception_a(builder, current, 256, 64)     # -> 288
+    current = _inception_a(builder, current, 288, 64)     # -> 288
+    current = _reduction_a(builder, current, 288)         # -> 768
+
+    current = _inception_b(builder, current, 768, 128)
+    current = _inception_b(builder, current, 768, 160)
+    current = _inception_b(builder, current, 768, 160)
+    current = _inception_b(builder, current, 768, 192)
+    current = _reduction_b(builder, current, 768)         # -> 1280
+
+    current = _inception_c(builder, current, 1280)        # -> 2048
+    current = _inception_c(builder, current, 2048)        # -> 2048
+
+    current = builder.add(AdaptiveAvgPool2d(1), inputs=(current,))
+    current = builder.add(Flatten(), inputs=(current,))
+    builder.add(Linear(2048, num_classes), inputs=(current,))
+    return builder.build()

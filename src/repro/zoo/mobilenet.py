@@ -1,0 +1,99 @@
+"""MobileNetV2 (inverted residual bottlenecks with depthwise convolutions).
+
+MobileNetV2 is one of the paper's three batch-size sweep subjects
+(Figures 5 and 6). Its depthwise convolutions have very low arithmetic
+intensity, so it sits on a far less efficient FLOPs-vs-time line than VGG —
+a key source of the ~10x band in Figure 3.
+"""
+
+from __future__ import annotations
+
+from repro.nn.graph import Network
+from repro.nn.layers import (
+    AdaptiveAvgPool2d,
+    Add,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Linear,
+    ReLU6,
+)
+from repro.zoo._blocks import IMAGENET_INPUT, GraphBuilder
+
+#: (expansion t, output channels c, repeats n, first stride s) per stage.
+_INVERTED_RESIDUAL_CONFIG = (
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+)
+
+
+def _make_divisible(value: float, divisor: int = 8) -> int:
+    """TorchVision's channel-rounding rule for width multipliers."""
+    rounded = max(divisor, int(value + divisor / 2) // divisor * divisor)
+    if rounded < 0.9 * value:
+        rounded += divisor
+    return rounded
+
+
+def _conv_bn_relu6(builder: GraphBuilder, entry, in_channels: int,
+                   out_channels: int, kernel_size: int, stride: int = 1,
+                   groups: int = 1, relu: bool = True) -> str:
+    padding = (kernel_size - 1) // 2
+    out = builder.add(
+        Conv2d(in_channels, out_channels, kernel_size, stride=stride,
+               padding=padding, groups=groups, bias=False),
+        inputs=(entry,) if entry else None)
+    out = builder.add(BatchNorm2d(out_channels), inputs=(out,))
+    if relu:
+        out = builder.add(ReLU6(), inputs=(out,))
+    return out
+
+
+def _inverted_residual(builder: GraphBuilder, entry: str, in_channels: int,
+                       out_channels: int, stride: int, expansion: int) -> str:
+    """Expand (1x1) → depthwise (3x3) → project (1x1), residual if same shape."""
+    hidden = in_channels * expansion
+    out = entry
+    if expansion != 1:
+        out = _conv_bn_relu6(builder, out, in_channels, hidden, 1)
+    out = _conv_bn_relu6(builder, out, hidden, hidden, 3, stride=stride,
+                         groups=hidden)
+    out = _conv_bn_relu6(builder, out, hidden, out_channels, 1, relu=False)
+    if stride == 1 and in_channels == out_channels:
+        out = builder.add(Add(), inputs=(entry, out))
+    return out
+
+
+def mobilenet_v2(width_mult: float = 1.0, num_classes: int = 1000,
+                 name: str = "") -> Network:
+    """Construct MobileNetV2 with an optional width multiplier."""
+    if width_mult <= 0:
+        raise ValueError("width_mult must be positive")
+    name = name or ("mobilenet_v2" if width_mult == 1.0
+                    else f"mobilenet_v2_w{width_mult:g}")
+
+    builder = GraphBuilder(name, IMAGENET_INPUT, family="mobilenet")
+    in_channels = _make_divisible(32 * width_mult)
+    current = _conv_bn_relu6(builder, None, 3, in_channels, 3, stride=2)
+
+    for expansion, channels, repeats, first_stride in _INVERTED_RESIDUAL_CONFIG:
+        out_channels = _make_divisible(channels * width_mult)
+        for i in range(repeats):
+            stride = first_stride if i == 0 else 1
+            current = _inverted_residual(builder, current, in_channels,
+                                         out_channels, stride, expansion)
+            in_channels = out_channels
+
+    last_channels = _make_divisible(1280 * max(1.0, width_mult))
+    current = _conv_bn_relu6(builder, current, in_channels, last_channels, 1)
+    current = builder.add(AdaptiveAvgPool2d(1), inputs=(current,))
+    current = builder.add(Flatten(), inputs=(current,))
+    current = builder.add(Dropout(0.2), inputs=(current,))
+    builder.add(Linear(last_channels, num_classes), inputs=(current,))
+    return builder.build()

@@ -1,0 +1,241 @@
+"""Model registry and dataset rosters.
+
+The paper collects 646 networks from TorchVision and HuggingFace. This
+registry exposes every named constructor plus parametric roster generators
+that enumerate width/depth variants, so dataset builds can scale from a
+handful of networks (unit tests) to several hundred (benchmark runs).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.nn.graph import Network
+from repro.zoo.alexnet import alexnet
+from repro.zoo.densenet import (
+    densenet,
+    densenet121,
+    densenet161,
+    densenet169,
+    densenet201,
+)
+from repro.zoo.efficientnet import efficientnet
+from repro.zoo.googlenet import googlenet
+from repro.zoo.inception import inception_v3
+from repro.zoo.mobilenet import mobilenet_v2
+from repro.zoo.resnet import (
+    custom_resnets,
+    resnet,
+    resnet18,
+    resnet34,
+    resnet44,
+    resnet50,
+    resnet62,
+    resnet77,
+    resnet101,
+    resnet152,
+    resnext50_32x4d,
+    resnext101_32x8d,
+    wide_resnet50_2,
+)
+from repro.zoo.shufflenet import shufflenet_v1
+from repro.zoo.squeezenet import squeezenet
+from repro.zoo.transformer import bert, text_classifier, transformer_roster
+from repro.zoo.vgg import custom_vggs, vgg, vgg11, vgg13, vgg16, vgg19
+from repro.zoo.vit import vit, vit_base, vit_small, vit_tiny
+
+#: name -> zero-argument constructor for every named model.
+MODELS: Dict[str, Callable[[], Network]] = {
+    "alexnet": alexnet,
+    "densenet121": densenet121,
+    "densenet161": densenet161,
+    "densenet169": densenet169,
+    "densenet201": densenet201,
+    "efficientnet_b0": lambda: efficientnet("b0"),
+    "efficientnet_b1": lambda: efficientnet("b1"),
+    "efficientnet_b2": lambda: efficientnet("b2"),
+    "efficientnet_b3": lambda: efficientnet("b3"),
+    "googlenet": googlenet,
+    "inception_v3": inception_v3,
+    "mobilenet_v2": mobilenet_v2,
+    "resnet18": resnet18,
+    "resnet34": resnet34,
+    "resnet44": resnet44,
+    "resnet50": resnet50,
+    "resnet62": resnet62,
+    "resnet77": resnet77,
+    "resnet101": resnet101,
+    "resnet152": resnet152,
+    "resnext50_32x4d": resnext50_32x4d,
+    "resnext101_32x8d": resnext101_32x8d,
+    "wide_resnet50_2": wide_resnet50_2,
+    "shufflenet_v1": shufflenet_v1,
+    "squeezenet1_1": squeezenet,
+    "vgg11": vgg11,
+    "vgg13": vgg13,
+    "vgg16": vgg16,
+    "vgg19": vgg19,
+    "bert_tiny": lambda: bert("tiny"),
+    "bert_mini": lambda: bert("mini"),
+    "bert_small": lambda: bert("small"),
+    "bert_base": lambda: bert("base"),
+    "vit_tiny_p16": vit_tiny,
+    "vit_small_p16": vit_small,
+    "vit_base_p16": vit_base,
+}
+
+
+def build(name: str) -> Network:
+    """Instantiate a registered model by name."""
+    try:
+        return MODELS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; known: {sorted(MODELS)}") from None
+
+
+def model_names() -> List[str]:
+    return sorted(MODELS)
+
+
+# -- rosters ----------------------------------------------------------------
+
+#: Named CNN subset used by small test datasets.
+SMALL_ROSTER = ("alexnet", "resnet18", "resnet50", "vgg11", "mobilenet_v2",
+                "squeezenet1_1", "densenet121", "shufflenet_v1")
+
+
+def _cnn_models() -> List[Network]:
+    """All named CNN constructors (no transformers)."""
+    return [MODELS[name]() for name in sorted(MODELS)
+            if not name.startswith("bert")]
+
+
+def _width_variants() -> List[Network]:
+    """Width-scaled variants that widen the FLOPs/efficiency spread."""
+    nets: List[Network] = []
+    for width in (32, 40, 48, 56, 80, 96, 128):
+        nets.append(resnet([3, 4, 6, 3], width=width,
+                           name=f"resnet50_w{width}"))
+    for width in (32, 48, 96, 128):
+        nets.append(resnet([2, 2, 2, 2], bottleneck=False, width=width,
+                           name=f"resnet18_w{width}"))
+    for width in (16, 24, 32, 48, 80, 96, 112):
+        nets.append(vgg((2, 2, 3, 3, 3), width=width,
+                        name=f"vgg16_w{width}"))
+    for width in (32, 48, 96):
+        nets.append(vgg((1, 1, 2, 2, 2), width=width,
+                        name=f"vgg11_w{width}"))
+    for mult in (0.35, 0.5, 0.75, 1.25, 1.5, 1.75, 2.0, 2.4, 2.8, 3.5, 4.0):
+        nets.append(mobilenet_v2(width_mult=mult))
+    for groups in (1, 2, 4, 8):
+        nets.append(shufflenet_v1(groups=groups))
+    for scale in (0.5, 0.75, 1.25, 1.5, 2.0, 2.5, 3.0, 4.0):
+        nets.append(shufflenet_v1(groups=3, channel_scale=scale))
+    for scale in (1.5, 2.5):
+        nets.append(shufflenet_v1(groups=8, channel_scale=scale))
+    nets.append(efficientnet("b4"))
+    nets.append(efficientnet("b5"))
+    nets.append(vit_tiny(patch=32))
+    nets.append(vit_small(patch=32))
+    nets.append(vit(512, 8, 8, name="vit_h512_d8"))
+    for growth, init in ((16, 32), (24, 48), (48, 96), (64, 96)):
+        nets.append(densenet([6, 12, 24, 16], growth_rate=growth,
+                             init_features=init,
+                             name=f"densenet121_g{growth}"))
+    return nets
+
+
+def _depth_variants() -> List[Network]:
+    """Depth-scaled variants (the paper's add/remove-blocks trick)."""
+    nets: List[Network] = []
+    nets.extend(custom_resnets())
+    nets.extend(custom_vggs())
+    for config in ((4, 8, 16, 12), (6, 12, 18, 12), (6, 12, 28, 20),
+                   (8, 16, 32, 24), (4, 6, 8, 6)):
+        nets.append(densenet(config,
+                             name="densenet_" + "_".join(map(str, config))))
+    for blocks in ((2, 2, 2, 2), (2, 3, 4, 2), (3, 6, 12, 3), (3, 8, 20, 3),
+                   (3, 4, 30, 3)):
+        nets.append(resnet(blocks, bottleneck=False,
+                           name="resnet_basic_" + "_".join(map(str, blocks))))
+    for mult in (0.5, 0.75, 1.5, 2.0):
+        nets.append(alexnet(width_mult=mult))
+    nets.append(resnet([3, 4, 4, 3], groups=32, width_per_group=4,
+                       name="resnext44_32x4d"))
+    nets.append(resnet([3, 4, 10, 3], groups=32, width_per_group=4,
+                       name="resnext62_32x4d"))
+    for mult in (0.75, 1.5, 2.0):
+        nets.append(squeezenet(width_mult=mult))
+    for resolution in (224, 260):
+        nets.append(inception_v3(resolution=resolution))
+    return nets
+
+
+def _dedupe(nets: List[Network]) -> List[Network]:
+    """Drop duplicate network names, keeping first occurrence."""
+    seen = set()
+    unique = []
+    for net in nets:
+        if net.name not in seen:
+            seen.add(net.name)
+            unique.append(net)
+    return unique
+
+
+def imagenet_roster(scale: str = "full") -> List[Network]:
+    """Image-classification roster for dataset builds.
+
+    ``scale`` is ``"small"`` (8 nets, unit tests), ``"medium"``
+    (named models + depth variants), or ``"full"`` (everything).
+    """
+    if scale == "small":
+        return [MODELS[name]() for name in SMALL_ROSTER]
+    if scale == "medium":
+        return _dedupe(_cnn_models() + _depth_variants())
+    if scale == "full":
+        return _dedupe(_cnn_models() + _depth_variants() + _width_variants())
+    raise ValueError(f"scale must be small/medium/full, got {scale!r}")
+
+
+def text_roster(scale: str = "full") -> List[Network]:
+    """Text-classification roster (KW transformer extension)."""
+    if scale == "small":
+        return [bert("tiny"), bert("mini"), bert("small")]
+    return transformer_roster()
+
+
+def scheduling_roster() -> List[Network]:
+    """The nine networks of case study 3 (Figure 19)."""
+    return [
+        resnet44(), resnet50(), resnet62(), resnet77(),
+        densenet121(), densenet161(), densenet169(), densenet201(),
+        shufflenet_v1(),
+    ]
+
+
+def disaggregation_roster() -> List[Network]:
+    """The five networks shown in the Figure-17 disaggregation study."""
+    return [resnet50(), resnet77(), densenet121(), densenet161(),
+            shufflenet_v1()]
+
+
+__all__ = [
+    "MODELS",
+    "SMALL_ROSTER",
+    "build",
+    "disaggregation_roster",
+    "imagenet_roster",
+    "model_names",
+    "scheduling_roster",
+    "text_roster",
+    # re-exported constructors
+    "alexnet", "bert", "densenet", "densenet121", "densenet161",
+    "densenet169", "densenet201", "efficientnet", "googlenet",
+    "inception_v3", "mobilenet_v2", "resnet", "resnet18", "resnet34",
+    "resnet44",
+    "resnet50", "resnet62", "resnet77", "resnet101", "resnet152",
+    "resnext50_32x4d", "resnext101_32x8d", "wide_resnet50_2",
+    "shufflenet_v1", "squeezenet", "text_classifier", "vgg", "vgg11",
+    "vgg13", "vgg16", "vgg19", "vit", "vit_base", "vit_small", "vit_tiny",
+]

@@ -1,0 +1,186 @@
+"""ResNet family, including the paper's non-standard depth variants.
+
+The paper exploits ResNet's block structure to create non-standard networks
+(ResNet-44, ResNet-62, ResNet-77 appear in the case studies) by adding and
+removing bottleneck blocks. :func:`resnet` takes an arbitrary per-stage
+block count, and the named constructors cover the standard TorchVision
+depths plus the paper's custom ones.
+
+Layer-count convention (bottleneck): depth = 3 * sum(blocks) + 2
+(stem conv + final FC), so [3, 4, 6, 3] → ResNet-50, [3, 4, 4, 3] → 44,
+[3, 4, 10, 3] → 62, [3, 4, 15, 3] → 77.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.nn.graph import Network
+from repro.nn.layers import (
+    Add,
+    AdaptiveAvgPool2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from repro.zoo._blocks import IMAGENET_INPUT, GraphBuilder
+
+#: Stage widths shared by all ImageNet ResNets.
+_STAGE_WIDTHS = (64, 128, 256, 512)
+
+
+def _basic_block(builder: GraphBuilder, entry: str, in_channels: int,
+                 channels: int, stride: int) -> str:
+    """Two 3x3 convs + identity/projection shortcut (ResNet-18/34)."""
+    out = builder.conv_bn_relu(in_channels, channels, 3, stride=stride,
+                               padding=1, inputs=(entry,))
+    out = builder.conv_bn_relu(channels, channels, 3, padding=1, relu=False,
+                               inputs=(out,))
+    shortcut = entry
+    if stride != 1 or in_channels != channels:
+        shortcut = builder.conv_bn_relu(in_channels, channels, 1,
+                                        stride=stride, relu=False,
+                                        inputs=(entry,))
+    joined = builder.add(Add(), inputs=(out, shortcut))
+    return builder.add(ReLU(), inputs=(joined,))
+
+
+def _bottleneck_block(builder: GraphBuilder, entry: str, in_channels: int,
+                      channels: int, stride: int, expansion: int = 4,
+                      groups: int = 1, width_per_group: int = 64) -> str:
+    """1x1 reduce → 3x3 → 1x1 expand bottleneck (ResNet-50 and deeper).
+
+    With ``groups > 1`` this is the ResNeXt block: the 3x3 convolution is
+    grouped ("cardinality"), and the inner width follows TorchVision's
+    ``channels * width_per_group / 64 * groups`` rule.
+    """
+    expanded = channels * expansion
+    inner = int(channels * (width_per_group / 64.0)) * groups
+    out = builder.conv_bn_relu(in_channels, inner, 1, inputs=(entry,))
+    out = builder.conv_bn_relu(inner, inner, 3, stride=stride,
+                               padding=1, groups=groups, inputs=(out,))
+    out = builder.conv_bn_relu(inner, expanded, 1, relu=False,
+                               inputs=(out,))
+    shortcut = entry
+    if stride != 1 or in_channels != expanded:
+        shortcut = builder.conv_bn_relu(in_channels, expanded, 1,
+                                        stride=stride, relu=False,
+                                        inputs=(entry,))
+    joined = builder.add(Add(), inputs=(out, shortcut))
+    return builder.add(ReLU(), inputs=(joined,))
+
+
+def resnet(blocks: Sequence[int], bottleneck: bool = True,
+           width: int = 64, num_classes: int = 1000,
+           groups: int = 1, width_per_group: int = 64,
+           name: str = "") -> Network:
+    """Construct a ResNet with the given per-stage block counts.
+
+    Parameters
+    ----------
+    blocks:
+        Number of residual blocks in each of the four stages.
+    bottleneck:
+        Use bottleneck blocks (ResNet-50 style) when True, basic blocks
+        (ResNet-18 style) otherwise.
+    width:
+        Stem width; stage widths scale proportionally (width multiplier
+        variants enlarge the roster for the dataset).
+    groups, width_per_group:
+        ResNeXt cardinality and per-group width (bottleneck nets only);
+        (32, 4) gives resnext50_32x4d.
+    """
+    if len(blocks) != 4 or any(b < 1 for b in blocks):
+        raise ValueError(f"blocks must be four positive counts, got {blocks}")
+    if groups > 1 and not bottleneck:
+        raise ValueError("grouped (ResNeXt) blocks require bottleneck=True")
+    expansion = 4 if bottleneck else 1
+    layers_per_block = 3 if bottleneck else 2
+    depth = layers_per_block * sum(blocks) + 2
+    name = name or f"resnet{depth}"
+
+    builder = GraphBuilder(name, IMAGENET_INPUT, family="resnet")
+    current = builder.conv_bn_relu(3, width, 7, stride=2, padding=3)
+    current = builder.add(MaxPool2d(3, stride=2, padding=1),
+                          inputs=(current,))
+
+    in_channels = width
+    for stage, count in enumerate(blocks):
+        channels = _STAGE_WIDTHS[stage] * width // 64
+        for block in range(count):
+            stride = 2 if stage > 0 and block == 0 else 1
+            if bottleneck:
+                current = _bottleneck_block(builder, current, in_channels,
+                                            channels, stride,
+                                            groups=groups,
+                                            width_per_group=width_per_group)
+                in_channels = channels * expansion
+            else:
+                current = _basic_block(builder, current, in_channels,
+                                       channels, stride)
+                in_channels = channels
+
+    current = builder.add(AdaptiveAvgPool2d(1), inputs=(current,))
+    current = builder.add(Flatten(), inputs=(current,))
+    builder.add(Linear(in_channels, num_classes), inputs=(current,))
+    return builder.build()
+
+
+def resnet18() -> Network:
+    return resnet([2, 2, 2, 2], bottleneck=False)
+
+
+def resnet34() -> Network:
+    return resnet([3, 4, 6, 3], bottleneck=False)
+
+
+def resnet50() -> Network:
+    return resnet([3, 4, 6, 3])
+
+
+def resnet101() -> Network:
+    return resnet([3, 4, 23, 3])
+
+
+def resnet152() -> Network:
+    return resnet([3, 8, 36, 3])
+
+
+def resnet44() -> Network:
+    """Non-standard depth used in case study 3 (two blocks fewer than 50)."""
+    return resnet([3, 4, 4, 3])
+
+
+def resnet62() -> Network:
+    """Non-standard depth used in case study 3."""
+    return resnet([3, 4, 10, 3])
+
+
+def resnet77() -> Network:
+    """Non-standard depth used in case studies 2 and 3."""
+    return resnet([3, 4, 15, 3])
+
+
+def resnext50_32x4d() -> Network:
+    """ResNeXt-50 (32x4d): grouped bottlenecks, cited by the paper [73]."""
+    return resnet([3, 4, 6, 3], groups=32, width_per_group=4,
+                  name="resnext50_32x4d")
+
+
+def resnext101_32x8d() -> Network:
+    return resnet([3, 4, 23, 3], groups=32, width_per_group=8,
+                  name="resnext101_32x8d")
+
+
+def wide_resnet50_2() -> Network:
+    """Wide ResNet-50-2: bottleneck inner width doubled."""
+    return resnet([3, 4, 6, 3], width_per_group=128,
+                  name="wide_resnet50_2")
+
+
+def custom_resnets() -> List[Network]:
+    """The paper's Figure-4 roster: standard + non-standard ResNets."""
+    stage3 = [2, 4, 6, 8, 10, 12, 15, 18, 23, 27, 31, 36]
+    return ([resnet18(), resnet34()]
+            + [resnet([3, 4, n, 3]) for n in stage3])

@@ -1,0 +1,117 @@
+"""ShuffleNet v1 (grouped pointwise convolutions + channel shuffle).
+
+ShuffleNet v1 appears in the disaggregation (Figure 17) and scheduling
+(Figures 18/19) case studies. Its grouped 1x1 convolutions and shuffle
+layers stress the kernel mapping table with kernels no other family uses.
+"""
+
+from __future__ import annotations
+
+from repro.nn.graph import Network
+from repro.nn.layers import (
+    AdaptiveAvgPool2d,
+    Add,
+    AvgPool2d,
+    BatchNorm2d,
+    ChannelShuffle,
+    Concat,
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from repro.zoo._blocks import IMAGENET_INPUT, GraphBuilder
+
+#: Per-stage output channels for each group count (from the ShuffleNet paper).
+_STAGE_CHANNELS = {
+    1: (144, 288, 576),
+    2: (200, 400, 800),
+    3: (240, 480, 960),
+    4: (272, 544, 1088),
+    8: (384, 768, 1536),
+}
+_STAGE_REPEATS = (4, 8, 4)
+
+
+def _shuffle_unit(builder: GraphBuilder, entry: str, in_channels: int,
+                  out_channels: int, groups: int, stride: int,
+                  first_unit: bool) -> str:
+    """ShuffleNet unit: GConv1x1 → shuffle → DWConv3x3 → GConv1x1.
+
+    Stride-2 units concatenate with an avg-pooled shortcut; stride-1 units
+    add the identity.
+    """
+    # the stride-2 unit's branch produces out - in channels (concat restores)
+    branch_out = out_channels - in_channels if stride == 2 else out_channels
+    bottleneck = out_channels // 4
+    # the very first unit takes a 24-channel input too thin to group
+    g_in = 1 if first_unit else groups
+
+    out = builder.add(
+        Conv2d(in_channels, bottleneck, 1, groups=g_in, bias=False),
+        inputs=(entry,))
+    out = builder.add(BatchNorm2d(bottleneck), inputs=(out,))
+    out = builder.add(ReLU(), inputs=(out,))
+    out = builder.add(ChannelShuffle(groups), inputs=(out,))
+    out = builder.add(
+        Conv2d(bottleneck, bottleneck, 3, stride=stride, padding=1,
+               groups=bottleneck, bias=False),
+        inputs=(out,))
+    out = builder.add(BatchNorm2d(bottleneck), inputs=(out,))
+    out = builder.add(
+        Conv2d(bottleneck, branch_out, 1, groups=groups, bias=False),
+        inputs=(out,))
+    out = builder.add(BatchNorm2d(branch_out), inputs=(out,))
+
+    if stride == 2:
+        shortcut = builder.add(AvgPool2d(3, stride=2, padding=1),
+                               inputs=(entry,))
+        out = builder.add(Concat(), inputs=(shortcut, out))
+    else:
+        out = builder.add(Add(), inputs=(entry, out))
+    return builder.add(ReLU(), inputs=(out,))
+
+
+def shufflenet_v1(groups: int = 3, channel_scale: float = 1.0,
+                  num_classes: int = 1000, name: str = "") -> Network:
+    """Construct ShuffleNet v1 with the given group count.
+
+    ``channel_scale`` widens every stage (rounded so grouped convolutions
+    stay divisible), producing the larger ShuffleNet variants the dataset
+    roster uses to decorrelate network size from efficiency.
+    """
+    if groups not in _STAGE_CHANNELS:
+        raise ValueError(
+            f"groups must be one of {sorted(_STAGE_CHANNELS)}, got {groups}")
+    if channel_scale <= 0:
+        raise ValueError("channel_scale must be positive")
+    if not name:
+        name = ("shufflenet_v1" if groups == 3 else f"shufflenet_v1_g{groups}")
+        if channel_scale != 1.0:
+            name += f"_x{channel_scale:g}"
+
+    builder = GraphBuilder(name, IMAGENET_INPUT, family="shufflenet")
+    current = builder.conv_bn_relu(3, 24, 3, stride=2, padding=1)
+    current = builder.add(MaxPool2d(3, stride=2, padding=1),
+                          inputs=(current,))
+
+    in_channels = 24
+    divisor = 4 * groups  # keeps bottleneck and grouped convs divisible
+    for stage, repeats in enumerate(_STAGE_REPEATS):
+        out_channels = _STAGE_CHANNELS[groups][stage]
+        if channel_scale != 1.0:
+            out_channels = max(divisor,
+                               round(out_channels * channel_scale / divisor)
+                               * divisor)
+        for unit in range(repeats):
+            stride = 2 if unit == 0 else 1
+            current = _shuffle_unit(
+                builder, current, in_channels, out_channels, groups, stride,
+                first_unit=(stage == 0 and unit == 0))
+            in_channels = out_channels
+
+    current = builder.add(AdaptiveAvgPool2d(1), inputs=(current,))
+    current = builder.add(Flatten(), inputs=(current,))
+    builder.add(Linear(in_channels, num_classes), inputs=(current,))
+    return builder.build()

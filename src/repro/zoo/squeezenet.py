@@ -1,0 +1,78 @@
+"""SqueezeNet 1.1 (fire modules: squeeze 1x1 → expand 1x1 + 3x3 concat)."""
+
+from __future__ import annotations
+
+from repro.nn.graph import Network
+from repro.nn.layers import (
+    AdaptiveAvgPool2d,
+    Concat,
+    Conv2d,
+    Dropout,
+    Flatten,
+    MaxPool2d,
+    ReLU,
+)
+from repro.zoo._blocks import IMAGENET_INPUT, GraphBuilder
+
+
+def _fire(builder: GraphBuilder, entry: str, in_channels: int,
+          squeeze: int, expand: int) -> str:
+    """Fire module: 1x1 squeeze, then parallel 1x1 and 3x3 expands."""
+    squeezed = builder.add(Conv2d(in_channels, squeeze, 1), inputs=(entry,))
+    squeezed = builder.add(ReLU(), inputs=(squeezed,))
+    expand1 = builder.add(Conv2d(squeeze, expand, 1), inputs=(squeezed,))
+    expand1 = builder.add(ReLU(), inputs=(expand1,))
+    expand3 = builder.add(Conv2d(squeeze, expand, 3, padding=1),
+                          inputs=(squeezed,))
+    expand3 = builder.add(ReLU(), inputs=(expand3,))
+    return builder.add(Concat(), inputs=(expand1, expand3))
+
+
+def squeezenet(width_mult: float = 1.0, num_classes: int = 1000,
+               name: str = "") -> Network:
+    """Construct SqueezeNet 1.1, optionally width-scaled.
+
+    Width variants keep the family's biased 1x1/3x3 convolutions from
+    being roster singletons (coverage for the kernel mapping table).
+    """
+    if width_mult <= 0:
+        raise ValueError("width_mult must be positive")
+    name = name or ("squeezenet1_1" if width_mult == 1.0
+                    else f"squeezenet1_1_w{width_mult:g}")
+
+    def scaled(channels: int) -> int:
+        return max(8, int(round(channels * width_mult / 8)) * 8)
+
+    builder = GraphBuilder(name, IMAGENET_INPUT, family="squeezenet")
+    stem = scaled(64)
+    current = builder.add(Conv2d(3, stem, 3, stride=2))
+    current = builder.add(ReLU(), inputs=(current,))
+    current = builder.add(MaxPool2d(3, stride=2, ceil_mode=True),
+                          inputs=(current,))
+    current = _fire(builder, current, stem, scaled(16), scaled(64))
+    current = _fire(builder, current, 2 * scaled(64), scaled(16),
+                    scaled(64))
+    current = builder.add(MaxPool2d(3, stride=2, ceil_mode=True),
+                          inputs=(current,))
+    current = _fire(builder, current, 2 * scaled(64), scaled(32),
+                    scaled(128))
+    current = _fire(builder, current, 2 * scaled(128), scaled(32),
+                    scaled(128))
+    current = builder.add(MaxPool2d(3, stride=2, ceil_mode=True),
+                          inputs=(current,))
+    current = _fire(builder, current, 2 * scaled(128), scaled(48),
+                    scaled(192))
+    current = _fire(builder, current, 2 * scaled(192), scaled(48),
+                    scaled(192))
+    current = _fire(builder, current, 2 * scaled(192), scaled(64),
+                    scaled(256))
+    current = _fire(builder, current, 2 * scaled(256), scaled(64),
+                    scaled(256))
+
+    current = builder.add(Dropout(), inputs=(current,))
+    current = builder.add(Conv2d(2 * scaled(256), num_classes, 1),
+                          inputs=(current,))
+    current = builder.add(ReLU(), inputs=(current,))
+    current = builder.add(AdaptiveAvgPool2d(1), inputs=(current,))
+    builder.add(Flatten(), inputs=(current,))
+    return builder.build()

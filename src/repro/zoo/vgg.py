@@ -1,0 +1,99 @@
+"""VGG family, including non-standard depth variants (Figure 4).
+
+VGG networks are plain stacks of 3x3 conv blocks separated by max-pooling.
+The paper builds non-standard VGGs by adding/removing convs per stage;
+:func:`vgg` accepts an arbitrary stage configuration to reproduce that.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.nn.graph import Network
+from repro.nn.layers import (
+    AdaptiveAvgPool2d,
+    Dropout,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from repro.zoo._blocks import IMAGENET_INPUT, GraphBuilder
+
+#: Standard per-stage conv counts (stage widths are fixed at 64..512).
+_CONFIGS = {
+    "vgg11": (1, 1, 2, 2, 2),
+    "vgg13": (2, 2, 2, 2, 2),
+    "vgg16": (2, 2, 3, 3, 3),
+    "vgg19": (2, 2, 4, 4, 4),
+}
+_STAGE_WIDTHS = (64, 128, 256, 512, 512)
+
+
+def vgg(stage_convs: Sequence[int], batch_norm: bool = True,
+        width: int = 64, num_classes: int = 1000, name: str = "") -> Network:
+    """Construct a VGG with the given number of convs per stage."""
+    if len(stage_convs) != 5 or any(c < 1 for c in stage_convs):
+        raise ValueError(f"stage_convs must be five positive counts, "
+                         f"got {stage_convs}")
+    conv_layers = sum(stage_convs)
+    name = name or f"vgg{conv_layers + 3}"
+
+    builder = GraphBuilder(name, IMAGENET_INPUT, family="vgg")
+    in_channels = 3
+    current = None
+    for stage, conv_count in enumerate(stage_convs):
+        channels = _STAGE_WIDTHS[stage] * width // 64
+        for _ in range(conv_count):
+            if batch_norm:
+                current = builder.conv_bn_relu(
+                    in_channels, channels, 3, padding=1,
+                    inputs=(current,) if current else None)
+            else:
+                from repro.nn.layers import Conv2d
+                current = builder.add(
+                    Conv2d(in_channels, channels, 3, padding=1),
+                    inputs=(current,) if current else None)
+                current = builder.add(ReLU(), inputs=(current,))
+            in_channels = channels
+        current = builder.add(MaxPool2d(2, stride=2), inputs=(current,))
+
+    current = builder.add(AdaptiveAvgPool2d(7), inputs=(current,))
+    current = builder.add(Flatten(), inputs=(current,))
+    head_width = _STAGE_WIDTHS[-1] * width // 64
+    current = builder.add(Linear(head_width * 49, 4096), inputs=(current,))
+    current = builder.add(ReLU(), inputs=(current,))
+    current = builder.add(Dropout(), inputs=(current,))
+    current = builder.add(Linear(4096, 4096), inputs=(current,))
+    current = builder.add(ReLU(), inputs=(current,))
+    current = builder.add(Dropout(), inputs=(current,))
+    builder.add(Linear(4096, num_classes), inputs=(current,))
+    return builder.build()
+
+
+def vgg11() -> Network:
+    return vgg(_CONFIGS["vgg11"])
+
+
+def vgg13() -> Network:
+    return vgg(_CONFIGS["vgg13"])
+
+
+def vgg16() -> Network:
+    return vgg(_CONFIGS["vgg16"])
+
+
+def vgg19() -> Network:
+    return vgg(_CONFIGS["vgg19"])
+
+
+def custom_vggs() -> List[Network]:
+    """Standard + non-standard VGGs for the Figure-4 family-line study."""
+    configs = [
+        (1, 1, 2, 2, 2), (2, 2, 2, 2, 2), (2, 2, 3, 3, 3), (2, 2, 4, 4, 4),
+        (1, 1, 1, 1, 1), (2, 2, 3, 3, 4), (2, 3, 4, 4, 4), (3, 3, 4, 4, 4),
+        (3, 4, 4, 4, 4), (2, 2, 5, 5, 5), (2, 2, 6, 6, 6),
+    ]
+    # name by full config to avoid depth collisions between variants
+    return [vgg(cfg, name="vgg_" + "".join(map(str, cfg)))
+            for cfg in configs]

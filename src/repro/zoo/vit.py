@@ -1,0 +1,91 @@
+"""Vision Transformers (ViT-Ti/S/B) — image classifiers built from the
+transformer machinery.
+
+ViTs extend the roster beyond CNNs and beyond text transformers: a
+patchify convolution feeds a pure encoder stack, so one network exercises
+conv kernels, transpose copies, and the full attention kernel family at
+image-classification shapes.
+"""
+
+from __future__ import annotations
+
+from repro.nn.graph import Network
+from repro.nn.layers import (
+    Add,
+    Conv2d,
+    Dropout,
+    GELU,
+    LayerNorm,
+    Linear,
+    Softmax,
+)
+from repro.nn.layers.attention import AttentionContext, AttentionScores
+from repro.nn.layers.reshape import ToSequence
+from repro.zoo._blocks import IMAGENET_INPUT, GraphBuilder
+
+#: (hidden size, depth, heads) for the standard ViT size points.
+_VIT_SIZES = {
+    "tiny": (192, 12, 3),
+    "small": (384, 12, 6),
+    "base": (768, 12, 12),
+}
+
+
+def _encoder_block(builder: GraphBuilder, entry: str, hidden: int,
+                   heads: int) -> str:
+    """Pre-LN ViT encoder block with decomposed attention."""
+    normed = builder.add(LayerNorm(hidden), inputs=(entry,))
+    qkv = builder.add(Linear(hidden, 3 * hidden), inputs=(normed,),
+                      tag="qkv")
+    scores = builder.add(AttentionScores(hidden, heads), inputs=(qkv,))
+    probs = builder.add(Softmax(), inputs=(scores,))
+    context = builder.add(AttentionContext(hidden, heads),
+                          inputs=(probs, qkv))
+    attn = builder.add(Linear(hidden, hidden), inputs=(context,),
+                       tag="attn_out")
+    joined = builder.add(Add(), inputs=(entry, attn))
+
+    normed = builder.add(LayerNorm(hidden), inputs=(joined,))
+    ffn = builder.add(Linear(hidden, 4 * hidden), inputs=(normed,))
+    ffn = builder.add(GELU(), inputs=(ffn,))
+    ffn = builder.add(Linear(4 * hidden, hidden), inputs=(ffn,))
+    return builder.add(Add(), inputs=(joined, ffn))
+
+
+def vit(hidden: int, depth: int, heads: int, patch: int = 16,
+        num_classes: int = 1000, name: str = "") -> Network:
+    """Construct a ViT with the given encoder dimensions."""
+    if hidden % heads:
+        raise ValueError(f"hidden {hidden} not divisible by heads {heads}")
+    if 224 % patch:
+        raise ValueError(f"patch size {patch} must divide 224")
+    name = name or f"vit_h{hidden}_d{depth}_p{patch}"
+
+    builder = GraphBuilder(name, IMAGENET_INPUT, family="vit")
+    # patchify: a strided convolution, then flatten patches to a sequence
+    current = builder.add(Conv2d(3, hidden, patch, stride=patch),
+                          tag="patchify")
+    current = builder.add(ToSequence(), inputs=(current,))
+    current = builder.add(Dropout(0.1), inputs=(current,))
+
+    for _ in range(depth):
+        current = _encoder_block(builder, current, hidden, heads)
+
+    current = builder.add(LayerNorm(hidden), inputs=(current,))
+    builder.add(Linear(hidden, num_classes), inputs=(current,))
+    return builder.build()
+
+
+def vit_tiny(patch: int = 16) -> Network:
+    hidden, depth, heads = _VIT_SIZES["tiny"]
+    return vit(hidden, depth, heads, patch, name=f"vit_tiny_p{patch}")
+
+
+def vit_small(patch: int = 16) -> Network:
+    hidden, depth, heads = _VIT_SIZES["small"]
+    return vit(hidden, depth, heads, patch, name=f"vit_small_p{patch}")
+
+
+def vit_base(patch: int = 16) -> Network:
+    hidden, depth, heads = _VIT_SIZES["base"]
+    return vit(hidden, depth, heads, patch, name=f"vit_base_p{patch}")

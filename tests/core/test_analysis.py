@@ -1,0 +1,75 @@
+"""Tests for prediction error analysis."""
+
+import pytest
+
+from repro.core import error_breakdown, train_model
+from repro.core.analysis import ErrorBreakdown, NetworkError
+from repro.dataset import PerformanceDataset
+
+
+def entry(name, family, predicted, measured):
+    return NetworkError(name, family, predicted, measured)
+
+
+class TestErrorBreakdownMath:
+    def make(self):
+        return ErrorBreakdown("KW", "A100", (
+            entry("a1", "alpha", 110.0, 100.0),
+            entry("a2", "alpha", 95.0, 100.0),
+            entry("b1", "beta", 200.0, 100.0),
+        ))
+
+    def test_mean_error(self):
+        assert self.make().mean_error == pytest.approx(
+            (0.1 + 0.05 + 1.0) / 3)
+
+    def test_family_ranking_worst_first(self):
+        families = self.make().by_family()
+        assert [f.family for f in families] == ["beta", "alpha"]
+        assert families[0].mean_error == pytest.approx(1.0)
+        assert families[1].count == 2
+
+    def test_worst_offenders(self):
+        worst = self.make().worst(2)
+        assert [e.network for e in worst] == ["b1", "a1"]
+
+    def test_systematic_bias_sign(self):
+        over = ErrorBreakdown("m", "g", (
+            entry("x", "f", 130.0, 100.0),
+            entry("y", "f", 120.0, 100.0),
+            entry("z", "f", 90.0, 100.0),
+        ))
+        assert over.systematic_bias() > 0
+
+    def test_render_sections(self):
+        text = self.make().render()
+        assert "mean error" in text
+        assert "beta" in text
+        assert "worst offenders" in text
+
+
+class TestAgainstRealModel:
+    def test_breakdown_matches_evaluate(self, small_split, roster_index):
+        train, test = small_split
+        model = train_model(train, "kw", gpu="A100")
+        breakdown = error_breakdown(model, test, roster_index, gpu="A100",
+                                    batch_size=512)
+        from repro.core import evaluate_model
+        curve = evaluate_model(model, test, roster_index, gpu="A100",
+                               batch_size=512)
+        assert breakdown.mean_error == pytest.approx(curve.mean_error)
+
+    def test_families_cover_test_networks(self, small_split, roster_index):
+        train, test = small_split
+        model = train_model(train, "kw", gpu="A100")
+        breakdown = error_breakdown(model, test, roster_index, gpu="A100",
+                                    batch_size=512)
+        names = {e.network for e in breakdown.entries}
+        assert names == set(test.network_names())
+
+    def test_empty_match_rejected(self, small_split, roster_index):
+        train, test = small_split
+        model = train_model(train, "kw", gpu="A100")
+        with pytest.raises(ValueError):
+            error_breakdown(model, PerformanceDataset(), roster_index,
+                            gpu="A100")

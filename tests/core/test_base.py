@@ -1,0 +1,62 @@
+"""Tests for the shared PerformanceModel interface."""
+
+import pytest
+
+from repro.core import networks_by_name, train_model
+
+
+class TestEvaluate:
+    def test_batch_filter(self, small_split, roster_index):
+        train, test = small_split
+        model = train_model(train, "e2e", gpu="A100", batch_size=None)
+        at_64 = model.evaluate(test.for_gpu("A100"), roster_index,
+                               batch_size=64)
+        at_512 = model.evaluate(test.for_gpu("A100"), roster_index,
+                                batch_size=512)
+        # same networks, different measurement points
+        assert at_64.labels != () and set(at_64.labels) == set(
+            at_512.labels)
+        assert at_64.ratios != at_512.ratios
+
+    def test_missing_networks_are_skipped(self, small_split, roster_index):
+        train, test = small_split
+        model = train_model(train, "e2e", gpu="A100")
+        partial_index = {name: net for name, net in roster_index.items()
+                         if name == "resnet50"}
+        curve = model.evaluate(test.for_gpu("A100"), partial_index,
+                               batch_size=512)
+        assert curve.labels == ("resnet50",)
+
+    def test_no_overlap_rejected(self, small_split):
+        train, test = small_split
+        model = train_model(train, "e2e", gpu="A100")
+        with pytest.raises(ValueError):
+            model.evaluate(test.for_gpu("A100"), {}, batch_size=512)
+
+    def test_predict_network_ms_scaling(self, small_split, roster_index):
+        train, _ = small_split
+        model = train_model(train, "e2e", gpu="A100")
+        net = roster_index["resnet18"]
+        assert model.predict_network_ms(net, 64) == pytest.approx(
+            model.predict_network(net, 64) / 1e3)
+
+    def test_networks_by_name_index(self, small_roster):
+        index = networks_by_name(small_roster)
+        assert len(index) == len(small_roster)
+        assert index["resnet18"].name == "resnet18"
+
+
+class TestContext:
+    def test_context_caches_are_shared(self):
+        from repro.studies import context
+        assert context.standard_roster() is context.standard_roster()
+
+    def test_text_campaign_is_transformer_only(self):
+        from repro.studies import context
+        assert all(net.family == "transformer"
+                   for net in context.text_index().values())
+
+    def test_standard_gpus_cover_paper_evaluation(self):
+        from repro.studies import context
+        assert set(context.STANDARD_GPUS) == {
+            "A100", "A40", "GTX 1080 Ti", "TITAN RTX", "V100"}

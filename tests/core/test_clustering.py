@@ -1,0 +1,112 @@
+"""Tests for kernel clustering (182 kernels -> ~83 models, Section 5.4)."""
+
+import pytest
+
+from repro.core.classification import ClassifiedKernel, classify_kernels
+from repro.core.clustering import cluster_index, cluster_kernels
+from repro.core.linreg import LinearFit
+
+
+def entry(name, feature, slope, intercept=0.0):
+    fit = LinearFit(slope, intercept, 0.99, 50)
+    return ClassifiedKernel(name, feature, fit, {feature: fit})
+
+
+def rows_for(names, slopes):
+    """Synthetic measurement rows matching each kernel's line."""
+    from repro.dataset.records import KernelRow
+    rows = {}
+    for name, slope in zip(names, slopes):
+        rows[name] = [
+            KernelRow(network="n", family="f", gpu="g", batch_size=1,
+                      mode="inference", layer_name="l", layer_kind="CONV",
+                      signature="s", kernel_name=name, flops=float(x),
+                      input_nchw=float(x), output_nchw=float(x),
+                      duration_us=slope * x)
+            for x in (10, 20, 30)
+        ]
+    return rows
+
+
+class TestSyntheticClustering:
+    def test_similar_slopes_merge(self):
+        classified = {
+            "a": entry("a", "flops", 1.00),
+            "b": entry("b", "flops", 1.05),
+            "c": entry("c", "flops", 5.00),
+        }
+        clusters = cluster_kernels(classified,
+                                   rows_for(["a", "b", "c"], [1.0, 1.05, 5.0]),
+                                   slope_tolerance=0.10)
+        assert len(clusters) == 2
+        sizes = sorted(len(c.kernel_names) for c in clusters)
+        assert sizes == [1, 2]
+
+    def test_different_features_never_merge(self):
+        classified = {
+            "a": entry("a", "flops", 1.0),
+            "b": entry("b", "input_nchw", 1.0),
+        }
+        clusters = cluster_kernels(classified,
+                                   rows_for(["a", "b"], [1.0, 1.0]),
+                                   slope_tolerance=1.0)
+        assert len(clusters) == 2
+
+    def test_zero_tolerance_keeps_kernels_separate(self):
+        classified = {
+            "a": entry("a", "flops", 1.0),
+            "b": entry("b", "flops", 1.2),
+        }
+        clusters = cluster_kernels(classified,
+                                   rows_for(["a", "b"], [1.0, 1.2]),
+                                   slope_tolerance=0.0)
+        assert len(clusters) == 2
+
+    def test_anchoring_prevents_tolerance_drift(self):
+        """A chain of pairwise-similar slopes must not all merge."""
+        names = ["k0", "k1", "k2", "k3", "k4"]
+        slopes = [1.0, 1.09, 1.19, 1.30, 1.42]   # each +9% of previous
+        classified = {n: entry(n, "flops", s)
+                      for n, s in zip(names, slopes)}
+        clusters = cluster_kernels(classified, rows_for(names, slopes),
+                                   slope_tolerance=0.10)
+        assert len(clusters) >= 2
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            cluster_kernels({}, {}, slope_tolerance=-0.1)
+
+    def test_cluster_refit_pools_measurements(self):
+        classified = {
+            "a": entry("a", "flops", 1.0),
+            "b": entry("b", "flops", 1.0),
+        }
+        clusters = cluster_kernels(classified,
+                                   rows_for(["a", "b"], [1.0, 1.0]),
+                                   slope_tolerance=0.1)
+        (cluster,) = clusters
+        assert cluster.fit.n_samples == 6
+        assert cluster.predict(100) == pytest.approx(100.0, rel=0.01)
+
+
+class TestClusterIndex:
+    def test_index_covers_all_kernels(self):
+        classified = {
+            "a": entry("a", "flops", 1.0),
+            "b": entry("b", "flops", 5.0),
+        }
+        clusters = cluster_kernels(classified,
+                                   rows_for(["a", "b"], [1.0, 5.0]))
+        index = cluster_index(clusters)
+        assert set(index) == {"a", "b"}
+
+
+class TestDatasetClustering:
+    def test_clustering_reduces_model_count(self, a100_dataset):
+        classified = classify_kernels(a100_dataset)
+        clusters = cluster_kernels(classified,
+                                   a100_dataset.kernels_by_name(),
+                                   slope_tolerance=0.4)
+        assert len(clusters) < len(classified)
+        index = cluster_index(clusters)
+        assert set(index) == set(classified)

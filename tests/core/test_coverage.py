@@ -1,0 +1,66 @@
+"""Tests for prediction-coverage diagnostics."""
+
+import pytest
+
+from repro.core import coverage_report, train_model
+from repro.core.coverage import EXACT, FALLBACK, NEAR
+from repro.zoo import resnet, resnet50, vit_tiny
+
+
+@pytest.fixture(scope="module")
+def kw(request):
+    train, _ = request.getfixturevalue("small_split")
+    return train_model(train, "kw", gpu="A100")
+
+
+class TestCoverageReport:
+    def test_training_roster_net_is_fully_exact(self, kw, roster_index):
+        report = coverage_report(kw, roster_index["resnet18"], 512)
+        assert report.layer_share(EXACT) == pytest.approx(1.0)
+        assert report.trustworthy
+
+    def test_held_out_similar_net_mostly_covered(self, kw):
+        # resnet50 is held out of the fixture's training split, but its
+        # kernels exist in training via densenet/mobilenet/resnet18
+        report = coverage_report(kw, resnet50(), 512)
+        assert report.layer_share(FALLBACK) < 0.05
+        assert report.trustworthy
+
+    def test_alien_family_flagged_as_degraded(self, kw):
+        # nothing transformer-like is in the small training roster
+        report = coverage_report(kw, vit_tiny(), 64)
+        assert report.time_share(FALLBACK) > 0.10
+        assert not report.trustworthy
+
+    def test_unseen_depth_variant_uses_nearest_buckets(self, kw):
+        # same dispatch bases as training resnets, different size buckets
+        variant = resnet([3, 4, 8, 3], width=48, name="probe_resnet")
+        report = coverage_report(kw, variant, 512)
+        assert report.layer_share(NEAR) > 0.0
+        assert report.layer_share(FALLBACK) < 0.1
+
+    def test_shares_partition(self, kw, roster_index):
+        report = coverage_report(kw, roster_index["vgg11"], 512)
+        total_layers = (report.layer_share(EXACT)
+                        + report.layer_share(NEAR)
+                        + report.layer_share(FALLBACK))
+        assert total_layers == pytest.approx(1.0)
+        total_time = (report.time_share(EXACT) + report.time_share(NEAR)
+                      + report.time_share(FALLBACK))
+        assert total_time == pytest.approx(1.0)
+
+    def test_total_matches_prediction(self, kw, roster_index):
+        net = roster_index["vgg11"]
+        report = coverage_report(kw, net, 512)
+        assert report.total_us == pytest.approx(
+            kw.predict_network(net, 512))
+
+    def test_render_shows_stages(self, kw, roster_index):
+        text = coverage_report(kw, roster_index["resnet18"], 64).render()
+        assert "exact" in text
+        assert "trustworthy" in text
+
+    def test_degraded_render_lists_fallback_layers(self, kw):
+        text = coverage_report(kw, vit_tiny(), 64).render()
+        assert "DEGRADED" in text
+        assert "fallback:" in text

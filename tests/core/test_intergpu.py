@@ -1,0 +1,88 @@
+"""Tests for the Inter-GPU Kernel-Wise model."""
+
+import pytest
+
+from repro.core import (
+    InterGPUKernelWiseModel,
+    evaluate_model,
+    train_inter_gpu_model,
+)
+from repro.gpu import gpu
+
+
+@pytest.fixture(scope="module")
+def igkw(request):
+    train, _ = request.getfixturevalue("small_split")
+    return train_inter_gpu_model(train, [gpu("A100"), gpu("TITAN RTX")])
+
+
+class TestTraining:
+    def test_needs_two_gpus(self, small_split):
+        train, _ = small_split
+        with pytest.raises(ValueError):
+            InterGPUKernelWiseModel().train(train, [gpu("A100")])
+
+    def test_rejects_missing_gpu_data(self, small_split):
+        train, _ = small_split
+        with pytest.raises(ValueError):
+            InterGPUKernelWiseModel().train(
+                train, [gpu("A100"), gpu("V100")])
+
+    def test_transfer_per_kernel(self, igkw, small_split):
+        # IGKW trains on the full-utilisation batch size by default
+        train, _ = small_split
+        kernels = set(train.at_batch(512).kernel_names())
+        assert set(igkw.transfers) == kernels
+
+    def test_untrained_rejects(self):
+        with pytest.raises(RuntimeError):
+            InterGPUKernelWiseModel().for_gpu(gpu("V100"))
+
+
+class TestPrediction:
+    def test_predicts_trained_gpus_well(self, igkw, small_split,
+                                        roster_index):
+        _, test = small_split
+        curve = evaluate_model(igkw.for_gpu(gpu("A100")), test,
+                               roster_index, gpu="A100", batch_size=512)
+        assert curve.mean_error < 0.30
+
+    def test_bandwidth_ordering(self, igkw, small_roster):
+        """Predicted times must order by bandwidth for similar GPUs."""
+        net = small_roster[0]
+        fast = igkw.for_gpu(gpu("A100")).predict_network(net, 512)
+        slow = igkw.for_gpu(gpu("GTX 1080 Ti")).predict_network(net, 512)
+        assert fast < slow
+
+    def test_hypothetical_gpu_variant(self, igkw, small_roster):
+        """Case-study-1 usage: bandwidth knob on a base GPU."""
+        base = gpu("TITAN RTX")
+        net = small_roster[0]
+        narrow = igkw.for_gpu(base.with_bandwidth(300)).predict_network(
+            net, 512)
+        wide = igkw.for_gpu(base.with_bandwidth(1200)).predict_network(
+            net, 512)
+        assert wide < narrow
+
+    def test_bandwidth_sensitivity_helper(self, igkw, small_roster):
+        points = igkw.bandwidth_sensitivity(small_roster[0], 64,
+                                            gpu("TITAN RTX"),
+                                            [400, 800, 1200])
+        assert [b for b, _ in points] == [400, 800, 1200]
+        times = [t for _, t in points]
+        assert times[0] > times[2]
+
+    def test_predict_network_convenience(self, igkw, small_roster):
+        direct = igkw.predict_network(small_roster[0], 64, gpu("V100"))
+        via_predictor = igkw.for_gpu(gpu("V100")).predict_network(
+            small_roster[0], 64)
+        assert direct == pytest.approx(via_predictor)
+
+
+class TestFallbacks:
+    def test_extreme_low_bandwidth_stays_positive(self, igkw, small_roster):
+        """Extrapolating far below the training range must not produce
+        negative rates/times (the ratio-scaling fallback)."""
+        tiny = gpu("TITAN RTX").with_bandwidth(10)
+        predicted = igkw.for_gpu(tiny).predict_network(small_roster[0], 64)
+        assert predicted > 0

@@ -1,0 +1,84 @@
+"""Tests for the OLS linear regression substrate."""
+
+import pytest
+
+from repro.core.linreg import LinearFit, fit_from_pairs, fit_line
+
+
+class TestExactFits:
+    def test_perfect_line(self):
+        fit = fit_line([1, 2, 3, 4], [3, 5, 7, 9])
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r2 == pytest.approx(1.0)
+        assert fit.n_samples == 4
+
+    def test_through_origin(self):
+        fit = fit_line([1, 2, 4], [2.1, 3.9, 8.0], through_origin=True)
+        assert fit.intercept == 0.0
+        assert fit.slope == pytest.approx(2.0, rel=0.05)
+
+    def test_predict(self):
+        fit = LinearFit(2.0, 1.0, 1.0, 4)
+        assert fit.predict(10) == 21.0
+        assert fit.predict_many([0, 1]) == [1.0, 3.0]
+
+    def test_rate_is_reciprocal_slope(self):
+        assert LinearFit(0.25, 0.0, 1.0, 2).rate == 4.0
+
+    def test_rate_of_flat_fit_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            LinearFit(0.0, 5.0, 0.0, 2).rate
+
+    def test_fit_from_pairs(self):
+        fit = fit_from_pairs([(0, 1), (1, 3), (2, 5)])
+        assert fit.slope == pytest.approx(2.0)
+
+
+class TestNoisyFits:
+    def test_r2_below_one_with_noise(self):
+        ys = [2 * x + (1 if x % 2 else -1) for x in range(20)]
+        fit = fit_line(list(range(20)), ys)
+        assert 0.9 < fit.r2 < 1.0
+
+    def test_relative_weighting_favours_small_points(self):
+        # one large outlier point: absolute LS chases it, relative LS not
+        xs = [1, 2, 3, 1000]
+        ys = [1, 2, 3, 3000]   # big point is 3x the small-point trend
+        absolute = fit_line(xs, ys)
+        relative = fit_line(xs, ys, relative=True)
+        assert abs(relative.slope - 1.0) < abs(absolute.slope - 1.0)
+
+
+class TestDegenerateInputs:
+    def test_single_point_flat_line(self):
+        fit = fit_line([5], [42])
+        assert fit.slope == 0.0
+        assert fit.intercept == 42.0
+        assert fit.r2 == 0.0
+
+    def test_single_point_through_origin(self):
+        fit = fit_line([4], [8], through_origin=True)
+        assert fit.slope == pytest.approx(2.0)
+
+    def test_constant_x_flat_line(self):
+        fit = fit_line([3, 3, 3], [1, 2, 3])
+        assert fit.slope == 0.0
+        assert fit.intercept == pytest.approx(2.0)
+
+    def test_constant_y_perfect_horizontal(self):
+        fit = fit_line([1, 2, 3], [7, 7, 7])
+        assert fit.slope == pytest.approx(0.0)
+        assert fit.r2 == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fit_line([], [])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            fit_line([1, 2], [1])
+
+    def test_str_representation(self):
+        text = str(fit_line([1, 2], [2, 4]))
+        assert "R2" in text

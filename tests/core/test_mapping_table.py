@@ -1,0 +1,104 @@
+"""Unit tests for the kernel mapping table's learning and fallback."""
+
+import pytest
+
+from repro.core.kernelwise import KernelMappingTable
+from repro.dataset.records import KernelRow, LayerRow
+
+
+def kernel_row(network, layer, signature, kernel, order_key=0):
+    return KernelRow(network=network, family="f", gpu="A100",
+                     batch_size=64, mode="inference", layer_name=layer,
+                     layer_kind=signature.split("|")[0],
+                     signature=signature, kernel_name=kernel,
+                     flops=1.0, input_nchw=1.0, output_nchw=1.0,
+                     duration_us=1.0)
+
+
+def layer_row(network, layer, signature, duration=1.0):
+    return LayerRow(network=network, family="f", gpu="A100",
+                    batch_size=64, mode="inference", layer_name=layer,
+                    kind=signature.split("|")[0], signature=signature,
+                    flops=1.0, input_nchw=1.0, output_nchw=1.0, params=0,
+                    duration_us=duration)
+
+
+class _FakeDataset:
+    def __init__(self, kernel_rows, layer_rows=()):
+        self.kernel_rows = list(kernel_rows)
+        self.layer_rows = list(layer_rows)
+
+
+class TestLearning:
+    def test_sequences_grouped_per_layer_execution(self):
+        rows = [
+            kernel_row("n1", "conv_0", "CONV|x|r3|o10", "pre"),
+            kernel_row("n1", "conv_0", "CONV|x|r3|o10", "main"),
+            kernel_row("n1", "relu_0", "ReLU", "elementwise_relu"),
+        ]
+        table = KernelMappingTable.learn(_FakeDataset(rows))
+        assert table.lookup("CONV|x|r3|o10") == ("pre", "main")
+        assert table.lookup("ReLU") == ("elementwise_relu",)
+
+    def test_majority_sequence_wins(self):
+        rows = []
+        for network in ("n1", "n2", "n3"):
+            rows.append(kernel_row(network, "conv", "CONV|x|r3|o10",
+                                   "kernel_a"))
+        rows.append(kernel_row("n4", "conv", "CONV|x|r3|o10", "kernel_b"))
+        table = KernelMappingTable.learn(_FakeDataset(rows))
+        assert table.lookup("CONV|x|r3|o10") == ("kernel_a",)
+
+    def test_zero_kernel_layers_learned_from_layer_rows(self):
+        rows = [kernel_row("n1", "conv", "CONV|x|r3|o10", "main")]
+        layers = [layer_row("n1", "flatten_0", "Flatten", duration=0.0)]
+        table = KernelMappingTable.learn(_FakeDataset(rows, layers))
+        assert table.lookup("Flatten") == ()
+
+    def test_nonzero_layer_rows_do_not_create_empty_entries(self):
+        rows = [kernel_row("n1", "conv", "CONV|x|r3|o10", "main")]
+        layers = [layer_row("n1", "bn_0", "BN", duration=5.0)]
+        table = KernelMappingTable.learn(_FakeDataset(rows, layers))
+        assert table.lookup("BN") is None or table.lookup("BN") != ()
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            KernelMappingTable.learn(_FakeDataset([]))
+
+
+class TestFallbackStages:
+    def make(self):
+        return KernelMappingTable(
+            {
+                "CONV|k3|std|r4|o10": ("a",),
+                "CONV|k3|std|r4|o20": ("b",),
+                "CONV|k3|std|r8|o20": ("c",),
+                "ReLU": ("relu",),
+            },
+            {"CONV": ("a",), "ReLU": ("relu",)})
+
+    def test_stage1_exact(self):
+        assert self.make().lookup("CONV|k3|std|r4|o10") == ("a",)
+
+    def test_stage2_nearest_output_bucket(self):
+        assert self.make().lookup("CONV|k3|std|r4|o11") == ("a",)
+        assert self.make().lookup("CONV|k3|std|r4|o19") == ("b",)
+
+    def test_stage3_nearest_reduction_and_output(self):
+        # r6 is unseen with any o; nearest (r, o) wins
+        assert self.make().lookup("CONV|k3|std|r7|o20") == ("c",)
+
+    def test_stage4_kind_majority_for_unbucketed_only(self):
+        assert self.make().lookup("ReLU") == ("relu",)
+
+    def test_stage5_none_for_alien_bucketed_base(self):
+        # a different dispatch base never borrows another branch's kernels
+        assert self.make().lookup("CONV|k7|std|r4|o10") is None
+
+    def test_unknown_kind_returns_none(self):
+        assert self.make().lookup("Quantum") is None
+
+    def test_len_and_signatures(self):
+        table = self.make()
+        assert len(table) == 4
+        assert "ReLU" in table.signatures()

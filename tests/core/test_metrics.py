@@ -1,0 +1,92 @@
+"""Tests for error metrics and S-curves."""
+
+import pytest
+
+from repro.core.metrics import (
+    SCurve,
+    mean_relative_error,
+    relative_error,
+    s_curve,
+)
+
+
+class TestRelativeError:
+    def test_exact_prediction(self):
+        assert relative_error(10.0, 10.0) == 0.0
+
+    def test_overestimate(self):
+        assert relative_error(12.0, 10.0) == pytest.approx(0.2)
+
+    def test_underestimate(self):
+        assert relative_error(8.0, 10.0) == pytest.approx(0.2)
+
+    def test_rejects_nonpositive_measured(self):
+        with pytest.raises(ValueError):
+            relative_error(1.0, 0.0)
+
+    def test_mean(self):
+        pairs = [(11, 10), (9, 10)]
+        assert mean_relative_error(pairs) == pytest.approx(0.1)
+
+    def test_mean_rejects_empty(self):
+        with pytest.raises(ValueError):
+            mean_relative_error([])
+
+
+class TestSCurve:
+    def make(self):
+        predictions = {"a": 8.0, "b": 10.0, "c": 15.0, "d": 11.0}
+        measurements = {"a": 10.0, "b": 10.0, "c": 10.0, "d": 10.0}
+        return s_curve(predictions, measurements)
+
+    def test_ratios_sorted(self):
+        curve = self.make()
+        assert curve.ratios == (0.8, 1.0, 1.1, 1.5)
+        assert curve.labels == ("a", "b", "d", "c")
+
+    def test_mean_error(self):
+        assert self.make().mean_error == pytest.approx(
+            (0.2 + 0.0 + 0.1 + 0.5) / 4)
+
+    def test_percentiles(self):
+        curve = self.make()
+        assert curve.at_percentile(0) == 0.8
+        assert curve.at_percentile(100) == 1.5
+        assert curve.at_percentile(50) == 1.1
+
+    def test_percentile_bounds(self):
+        with pytest.raises(ValueError):
+            self.make().at_percentile(101)
+
+    def test_fraction_within(self):
+        curve = self.make()
+        assert curve.fraction_within(0.15) == pytest.approx(0.5)
+        assert curve.fraction_within(0.25) == pytest.approx(0.75)
+
+    def test_underestimated_fraction(self):
+        assert self.make().underestimated_fraction() == pytest.approx(0.25)
+
+    def test_series_percentiles_ascending(self):
+        series = self.make().series()
+        percentiles = [p for p, _ in series]
+        assert percentiles == sorted(percentiles)
+        assert all(0 < p < 100 for p in percentiles)
+
+    def test_render_contains_mean(self):
+        assert "mean error" in self.make().render("title")
+
+    def test_disjoint_mappings_rejected(self):
+        with pytest.raises(ValueError):
+            s_curve({"a": 1.0}, {"b": 1.0})
+
+    def test_partial_overlap_uses_common(self):
+        curve = s_curve({"a": 1.0, "b": 2.0}, {"b": 2.0, "c": 3.0})
+        assert curve.labels == ("b",)
+
+    def test_empty_curve_rejected(self):
+        with pytest.raises(ValueError):
+            SCurve((), ())
+
+    def test_mismatched_labels_rejected(self):
+        with pytest.raises(ValueError):
+            SCurve((1.0,), ("a", "b"))

@@ -1,0 +1,152 @@
+"""Tests for the E2E, LW, and KW performance models."""
+
+import pytest
+
+from repro.core import (
+    EndToEndModel,
+    KernelWiseModel,
+    LayerWiseModel,
+    evaluate_model,
+    train_model,
+)
+from repro.dataset import PerformanceDataset
+
+
+@pytest.fixture(scope="module")
+def trained(small_split_module):
+    train, _ = small_split_module
+    return {
+        name: train_model(train, name, gpu="A100")
+        for name in ("e2e", "lw", "kw")
+    }
+
+
+@pytest.fixture(scope="module")
+def small_split_module(request):
+    return request.getfixturevalue("small_split")
+
+
+class TestEndToEnd:
+    def test_untrained_rejects_prediction(self, small_roster):
+        with pytest.raises(RuntimeError):
+            EndToEndModel().predict_network(small_roster[0], 8)
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            EndToEndModel().train(PerformanceDataset())
+
+    def test_prediction_positive_for_real_networks(self, trained,
+                                                   small_roster):
+        for net in small_roster:
+            assert trained["e2e"].predict_network(net, 512) > 0
+
+    def test_prediction_monotone_in_flops(self, trained):
+        model = trained["e2e"]
+        assert model.predict_flops(2e12) > model.predict_flops(1e11)
+
+    def test_batch_scales_prediction(self, trained, small_roster):
+        model = trained["e2e"]
+        net = small_roster[0]
+        # FLOPs are linear in batch, so predictions grow with batch
+        assert (model.predict_network(net, 512)
+                > model.predict_network(net, 64))
+
+
+class TestLayerWise:
+    def test_has_fit_per_seen_kind(self, trained, small_split_module):
+        train, _ = small_split_module
+        model = trained["lw"]
+        assert set(model.kinds()) == set(train.for_gpu("A100")
+                                         .layers_by_kind())
+
+    def test_unseen_kind_uses_fallback(self, trained):
+        model = trained["lw"]
+        value = model.predict_layer("SomethingNew", 1e9)
+        assert value == model.fallback.predict(1e9)
+
+    def test_network_prediction_is_sum_of_layers(self, trained,
+                                                 small_roster):
+        model = trained["lw"]
+        net = small_roster[0]
+        total = sum(model.predict_layer(i.kind, float(i.flops))
+                    for i in net.layer_infos(512))
+        assert model.predict_network(net, 512) == pytest.approx(total)
+
+    def test_untrained_rejects(self):
+        with pytest.raises(RuntimeError):
+            LayerWiseModel().predict_layer("CONV", 1e9)
+
+
+class TestKernelWise:
+    def test_counts_exposed(self, trained):
+        model = trained["kw"]
+        assert model.n_kernels > 10
+        assert 0 < model.n_models <= model.n_kernels
+
+    def test_prediction_positive(self, trained, small_roster):
+        for net in small_roster:
+            assert trained["kw"].predict_network(net, 512) > 0
+
+    def test_multi_gpu_training_rejected(self, small_dataset):
+        with pytest.raises(ValueError):
+            KernelWiseModel().train(small_dataset)
+
+    def test_untrained_rejects(self, small_roster):
+        with pytest.raises(RuntimeError):
+            KernelWiseModel().predict_network(small_roster[0], 8)
+
+    def test_kernel_report_lists_every_kernel(self, trained):
+        model = trained["kw"]
+        report = model.kernel_report()
+        for kernel_name in list(model.classified)[:10]:
+            assert kernel_name in report
+        assert f"{model.n_models} regression models" in report
+
+    def test_kernel_report_requires_training(self):
+        with pytest.raises(RuntimeError):
+            KernelWiseModel().kernel_report()
+
+    def test_generalises_to_unseen_similar_network(self, trained):
+        """A ResNet depth variant absent from training predicts sanely."""
+        from repro.gpu import SimulatedGPU, gpu
+        from repro.zoo import resnet
+        unseen = resnet([3, 4, 8, 3], name="resnet_unseen56")
+        predicted = trained["kw"].predict_network(unseen, 64)
+        measured = SimulatedGPU(gpu("A100")).run_network(unseen, 64).e2e_us
+        assert predicted / measured == pytest.approx(1.0, abs=0.35)
+
+
+class TestAccuracyLadder:
+    def test_kw_beats_lw_beats_nothing(self, trained, small_split_module,
+                                       roster_index):
+        """The paper's central result: model error drops with granularity.
+
+        The tiny 8-network fixture is noisy, so only the robust claim is
+        asserted: KW is the most accurate of the three.
+        """
+        _, test = small_split_module
+        errors = {
+            name: evaluate_model(model, test, roster_index, gpu="A100",
+                                 batch_size=512).mean_error
+            for name, model in trained.items()
+        }
+        assert errors["kw"] < errors["lw"]
+        assert errors["kw"] < errors["e2e"]
+        assert errors["kw"] < 0.15
+
+
+class TestWorkflow:
+    def test_unknown_model_rejected(self, small_split_module):
+        train, _ = small_split_module
+        with pytest.raises(KeyError):
+            train_model(train, "magic", gpu="A100")
+
+    def test_unknown_gpu_rejected(self, small_split_module):
+        train, _ = small_split_module
+        with pytest.raises(ValueError):
+            train_model(train, "e2e", gpu="H100")
+
+    def test_train_on_all_batches(self, small_split_module):
+        train, _ = small_split_module
+        model = train_model(train, "kw", gpu="A100", batch_size=None)
+        assert model.n_kernels > 0

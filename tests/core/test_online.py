@@ -1,0 +1,137 @@
+"""Tests for online (streaming) model training."""
+
+import pytest
+
+from repro.core import evaluate_model, train_model
+from repro.core.linreg import fit_line
+from repro.core.online import (
+    OnlineEndToEndModel,
+    OnlineKernelWiseModel,
+    OnlineLinearFit,
+)
+
+
+class TestOnlineLinearFit:
+    def test_matches_batch_fit_exactly(self):
+        xs = [1.0, 2.5, 4.0, 8.0, 16.0]
+        ys = [3.0, 6.2, 9.1, 17.5, 33.0]
+        online = OnlineLinearFit()
+        for x, y in zip(xs, ys):
+            online.observe(x, y)
+        batch = fit_line(xs, ys)
+        streamed = online.fit()
+        assert streamed.slope == pytest.approx(batch.slope)
+        assert streamed.intercept == pytest.approx(batch.intercept)
+        assert streamed.r2 == pytest.approx(batch.r2, abs=1e-9)
+        assert streamed.n_samples == batch.n_samples
+
+    def test_merge_equals_single_stream(self):
+        a, b, combined = (OnlineLinearFit(), OnlineLinearFit(),
+                          OnlineLinearFit())
+        points = [(float(i), 2.0 * i + 1.0 + (i % 3)) for i in range(20)]
+        for i, (x, y) in enumerate(points):
+            (a if i < 10 else b).observe(x, y)
+            combined.observe(x, y)
+        a.merge(b)
+        assert a.fit().slope == pytest.approx(combined.fit().slope)
+        assert a.fit().intercept == pytest.approx(combined.fit().intercept)
+
+    def test_single_point_degenerates(self):
+        acc = OnlineLinearFit()
+        acc.observe(3.0, 7.0)
+        fit = acc.fit()
+        assert fit.slope == 0.0
+        assert fit.intercept == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            OnlineLinearFit().fit()
+
+    def test_bad_weight_rejected(self):
+        with pytest.raises(ValueError):
+            OnlineLinearFit().observe(1.0, 1.0, weight=0.0)
+
+    def test_constant_y_r2_one(self):
+        acc = OnlineLinearFit()
+        for x in (1.0, 2.0, 3.0):
+            acc.observe(x, 5.0)
+        assert acc.fit().r2 == pytest.approx(1.0)
+
+
+class TestOnlineEndToEnd:
+    def test_streamed_model_matches_batch(self, small_split, roster_index):
+        train, test = small_split
+        online = OnlineEndToEndModel()
+        for row in train.for_gpu("A100").at_batch(512).network_rows:
+            online.observe(row)
+        batch = train_model(train, "e2e", gpu="A100")
+        for name in list(roster_index)[:4]:
+            net = roster_index[name]
+            assert online.predict_network(net, 512) == pytest.approx(
+                batch.predict_network(net, 512), rel=1e-6)
+
+    def test_observation_count(self, small_split):
+        train, _ = small_split
+        online = OnlineEndToEndModel()
+        rows = train.for_gpu("A100").at_batch(512).network_rows
+        for row in rows:
+            online.observe(row)
+        assert online.n_observations == len(rows)
+
+
+class TestOnlineKernelWise:
+    def test_streamed_predictor_is_accurate(self, small_split,
+                                            roster_index):
+        train, test = small_split
+        online = OnlineKernelWiseModel()
+        online.observe_dataset(train.for_gpu("A100"))
+        predictor = online.finalize()
+        curve = evaluate_model(predictor, test, roster_index, gpu="A100",
+                               batch_size=512)
+        assert curve.mean_error < 0.12
+
+    def test_incremental_refinement(self, small_split, roster_index):
+        """Finalising mid-stream works; more data can only help coverage."""
+        train, test = small_split
+        a100 = train.for_gpu("A100")
+        online = OnlineKernelWiseModel()
+        half = len(a100.kernel_rows) // 2
+        for row in a100.kernel_rows[:half]:
+            online.observe_kernel(row)
+        early = online.finalize()
+        assert early.lines                       # usable mid-stream
+        for row in a100.kernel_rows[half:]:
+            online.observe_kernel(row)
+        for row in a100.layer_rows:
+            online.observe_layer(row)
+        late = online.finalize()
+        assert len(late.lines) >= len(early.lines)
+
+    def test_mode_mismatch_rejected(self, small_split):
+        train, _ = small_split
+        online = OnlineKernelWiseModel(mode="training")
+        with pytest.raises(ValueError):
+            online.observe_kernel(train.kernel_rows[0])
+
+    def test_finalize_without_data_rejected(self):
+        with pytest.raises(ValueError):
+            OnlineKernelWiseModel().finalize()
+
+    def test_matches_unclustered_batch_lines(self, small_split):
+        """Per-kernel streamed fits equal batch per-kernel fits."""
+        train, _ = small_split
+        a100 = train.for_gpu("A100")
+        online = OnlineKernelWiseModel()
+        online.observe_dataset(a100)
+        predictor = online.finalize()
+        from repro.core.classification import classify_kernels
+        batch = classify_kernels(a100)
+        checked = 0
+        for name, (feature, fit) in predictor.lines.items():
+            entry = batch[name]
+            batch_fit = entry.fits_by_feature[feature]
+            if batch_fit.n_samples >= 5:
+                assert fit.slope == pytest.approx(batch_fit.slope,
+                                                  rel=1e-6, abs=1e-12)
+                checked += 1
+        assert checked > 10

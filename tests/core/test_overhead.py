@@ -1,0 +1,78 @@
+"""Tests for the launch-overhead-aware model (small-workload extension)."""
+
+import pytest
+
+from repro.core import evaluate_model, train_model
+from repro.core.overhead import OverheadAwareModel
+from repro.dataset import PerformanceDataset
+
+
+@pytest.fixture(scope="module")
+def models(request):
+    train, _ = request.getfixturevalue("small_split")
+    base = train_model(train, "kw", gpu="A100", batch_size=None)
+    wrapped = OverheadAwareModel(base).train(train.for_gpu("A100"))
+    return base, wrapped
+
+
+class TestTraining:
+    def test_learns_positive_per_launch_cost(self, models):
+        _, wrapped = models
+        # each launch hides a few microseconds of startup end-to-end
+        assert 0.0 < wrapped.overhead_fit.slope < 20.0
+
+    def test_untrained_rejects_prediction(self, models, roster_index):
+        base, _ = models
+        fresh = OverheadAwareModel(base)
+        with pytest.raises(RuntimeError):
+            fresh.predict_network(roster_index["resnet18"], 8)
+
+    def test_empty_dataset_rejected(self, models):
+        base, _ = models
+        with pytest.raises(ValueError):
+            OverheadAwareModel(base).train(PerformanceDataset())
+
+
+class TestPredictions:
+    def test_correction_reduces_predictions(self, models, roster_index):
+        """The wrapper subtracts hidden overhead, never adds."""
+        base, wrapped = models
+        for name in ("resnet18", "vgg11", "mobilenet_v2"):
+            net = roster_index[name]
+            for batch in (8, 64, 512):
+                assert (wrapped.predict_network(net, batch)
+                        <= base.predict_network(net, batch))
+
+    def test_correction_is_bounded(self, models, roster_index):
+        """The sanity floor prevents over-correction."""
+        base, wrapped = models
+        net = roster_index["mobilenet_v2"]
+        assert (wrapped.predict_network(net, 8)
+                >= 0.25 * base.predict_network(net, 8))
+
+    def test_large_batch_accuracy_preserved(self, models, small_split,
+                                            roster_index):
+        base, wrapped = models
+        _, test = small_split
+        base_curve = evaluate_model(base, test, roster_index, gpu="A100",
+                                    batch_size=512)
+        wrapped_curve = evaluate_model(wrapped, test, roster_index,
+                                       gpu="A100", batch_size=512)
+        assert wrapped_curve.mean_error <= base_curve.mean_error + 0.02
+
+    def test_small_batch_bias_reduced(self, models, small_split,
+                                      roster_index):
+        """The systematic small-batch overestimate must not grow."""
+        base, wrapped = models
+        _, test = small_split
+        base_curve = evaluate_model(base, test, roster_index, gpu="A100",
+                                    batch_size=64)
+        wrapped_curve = evaluate_model(wrapped, test, roster_index,
+                                       gpu="A100", batch_size=64)
+        assert (abs(wrapped_curve.median_ratio - 1.0)
+                <= abs(base_curve.median_ratio - 1.0) + 0.01)
+
+    def test_layer_predictions_delegate(self, models, roster_index):
+        base, wrapped = models
+        info = roster_index["resnet18"].layer_infos(8)[0]
+        assert wrapped.predict_layer(info) == base.predict_layer(info)

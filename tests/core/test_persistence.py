@@ -1,0 +1,81 @@
+"""Tests for model persistence (save/load JSON round-trips)."""
+
+import pytest
+
+from repro.core import (
+    load_model,
+    model_from_dict,
+    model_to_dict,
+    save_model,
+    train_inter_gpu_model,
+    train_model,
+)
+from repro.core.e2e import EndToEndModel
+from repro.gpu import gpu
+
+
+@pytest.fixture(scope="module")
+def trained_models(request):
+    train, _ = request.getfixturevalue("small_split")
+    return {
+        "e2e": train_model(train, "e2e", gpu="A100"),
+        "lw": train_model(train, "lw", gpu="A100"),
+        "kw": train_model(train, "kw", gpu="A100"),
+        "igkw": train_inter_gpu_model(train,
+                                      [gpu("A100"), gpu("TITAN RTX")]),
+    }
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("name", ["e2e", "lw", "kw"])
+    def test_single_gpu_models_round_trip(self, trained_models,
+                                          small_roster, tmp_path, name):
+        original = trained_models[name]
+        restored = load_model(save_model(original,
+                                         tmp_path / f"{name}.json"))
+        for net in small_roster[:4]:
+            assert restored.predict_network(net, 512) == pytest.approx(
+                original.predict_network(net, 512))
+
+    def test_igkw_round_trip(self, trained_models, small_roster, tmp_path):
+        original = trained_models["igkw"]
+        restored = load_model(save_model(original, tmp_path / "igkw.json"))
+        target = gpu("V100")
+        for net in small_roster[:4]:
+            assert (restored.for_gpu(target).predict_network(net, 64)
+                    == pytest.approx(
+                        original.for_gpu(target).predict_network(net, 64)))
+
+    def test_kw_metadata_preserved(self, trained_models, tmp_path):
+        original = trained_models["kw"]
+        restored = load_model(save_model(original, tmp_path / "kw.json"))
+        assert restored.mode == original.mode
+        assert restored.n_kernels == original.n_kernels
+        assert restored.n_models == original.n_models
+
+    def test_document_is_json_compatible(self, trained_models):
+        import json
+        for model in trained_models.values():
+            json.dumps(model_to_dict(model))   # must not raise
+
+
+class TestValidation:
+    def test_untrained_model_rejected(self):
+        with pytest.raises(ValueError):
+            model_to_dict(EndToEndModel())
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            model_to_dict(object())
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            model_from_dict({"format_version": 1, "kind": "magic"})
+
+    def test_version_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            model_from_dict({"format_version": 99, "kind": "e2e"})
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_model(tmp_path / "nope.json")

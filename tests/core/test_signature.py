@@ -1,0 +1,95 @@
+"""Tests for layer dispatch signatures."""
+
+import pytest
+
+from repro.core.signature import layer_signature, signature_kind, size_bucket
+from repro.nn.graph import Network
+from repro.nn.layers import (
+    AdaptiveAvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from repro.nn.tensor import TensorShape
+
+
+def info_of(layer, shape):
+    net = Network("probe", shape)
+    net.add("x", layer)
+    return net.layer_infos(shape.batch)[0]
+
+
+IMG = TensorShape.image(4, 64, 56, 56)
+
+
+class TestSizeBucket:
+    def test_octaves(self):
+        assert size_bucket(1) == 0
+        assert size_bucket(2) == 1
+        assert size_bucket(1024) == 10
+
+    def test_degenerate(self):
+        assert size_bucket(0) == 0
+        assert size_bucket(0.5) == 0
+
+
+class TestConvSignatures:
+    def test_encodes_geometry(self):
+        sig = layer_signature(info_of(Conv2d(64, 128, 3, stride=2,
+                                             padding=1, bias=False), IMG))
+        assert sig.startswith("CONV|k3x3|s2x2|std|")
+
+    def test_group_classes(self):
+        dw = layer_signature(info_of(
+            Conv2d(64, 64, 3, padding=1, groups=64), IMG))
+        pw = layer_signature(info_of(Conv2d(64, 128, 1), IMG))
+        grouped = layer_signature(info_of(
+            Conv2d(64, 128, 1, groups=4), IMG))
+        assert "|dw|" in dw
+        assert "|pw|" in pw
+        assert "|grouped|" in grouped
+
+    def test_batch_changes_bucket_not_base(self):
+        small = layer_signature(info_of(Conv2d(64, 64, 3, padding=1), IMG))
+        big = layer_signature(info_of(Conv2d(64, 64, 3, padding=1),
+                                      IMG.with_batch(512)))
+        assert small.rsplit("|o", 1)[0] == big.rsplit("|o", 1)[0]
+        assert small != big
+
+    def test_reduction_bucket_distinguishes_channels(self):
+        shallow = layer_signature(info_of(Conv2d(64, 128, 1), IMG))
+        deep = layer_signature(info_of(
+            Conv2d(2048, 128, 1), IMG.with_channels(2048)))
+        assert shallow != deep
+
+
+class TestOtherSignatures:
+    def test_fc_skinny_flag(self):
+        skinny = layer_signature(info_of(Linear(512, 10),
+                                         TensorShape.flat(4, 512)))
+        wide = layer_signature(info_of(Linear(512, 4096),
+                                       TensorShape.flat(64, 512)))
+        assert "skinny1" in skinny
+        assert "skinny0" in wide
+
+    def test_pool_encodes_geometry(self):
+        sig = layer_signature(info_of(MaxPool2d(3, stride=2, padding=1),
+                                      IMG))
+        assert sig == "MaxPool|k3s2"
+
+    def test_adaptive_pool_encodes_output(self):
+        sig = layer_signature(info_of(AdaptiveAvgPool2d(7), IMG))
+        assert sig == "AdaptiveAvgPool|7x7"
+
+    def test_elementwise_is_kind_only(self):
+        assert layer_signature(info_of(ReLU(), IMG)) == "ReLU"
+        assert layer_signature(info_of(BatchNorm2d(64), IMG)) == "BN"
+
+
+class TestSignatureKind:
+    def test_recovers_kind(self):
+        sig = layer_signature(info_of(Conv2d(64, 64, 3, padding=1), IMG))
+        assert signature_kind(sig) == "CONV"
+        assert signature_kind("ReLU") == "ReLU"

@@ -1,0 +1,64 @@
+"""Tests for the Figure-10 workflow façade."""
+
+import pytest
+
+from repro.core.workflow import (
+    SINGLE_GPU_MODELS,
+    evaluate_model,
+    train_inter_gpu_model,
+    train_model,
+)
+from repro.gpu import gpu
+
+
+class TestTrainModel:
+    def test_model_names_stable(self):
+        assert set(SINGLE_GPU_MODELS) == {"e2e", "lw", "kw"}
+
+    def test_case_insensitive_model_name(self, small_split):
+        train, _ = small_split
+        model = train_model(train, "E2E", gpu="A100")
+        assert model.name == "E2E"
+
+    def test_default_trains_at_full_utilisation(self, small_split):
+        """The default follows the paper: BS-512-only training data."""
+        train, _ = small_split
+        kw = train_model(train, "kw", gpu="A100")
+        # every mapping-table output bucket comes from BS-512 rows only
+        bs512_only = train.filter(gpu="A100", batch_size=512)
+        assert set(kw.table.signatures()) == set(
+            row.signature for row in bs512_only.kernel_rows) | {
+            row.signature for row in bs512_only.layer_rows
+            if row.duration_us == 0.0}
+
+    def test_missing_batch_size_rejected(self, small_split):
+        train, _ = small_split
+        with pytest.raises(ValueError):
+            train_model(train, "e2e", gpu="A100", batch_size=7)
+
+
+class TestEvaluateModel:
+    def test_accepts_list_or_mapping(self, small_split, small_roster,
+                                     roster_index):
+        train, test = small_split
+        model = train_model(train, "e2e", gpu="A100")
+        from_list = evaluate_model(model, test, small_roster, gpu="A100",
+                                   batch_size=512)
+        from_mapping = evaluate_model(model, test, roster_index,
+                                      gpu="A100", batch_size=512)
+        assert from_list.ratios == from_mapping.ratios
+
+
+class TestTrainInterGpu:
+    def test_filters_to_requested_gpus(self, small_split):
+        train, _ = small_split
+        model = train_inter_gpu_model(
+            train, [gpu("A100"), gpu("TITAN RTX")])
+        for transfer in model.transfers.values():
+            assert set(transfer.per_gpu) <= {"A100", "TITAN RTX"}
+
+    def test_batch_all_mode(self, small_split):
+        train, _ = small_split
+        model = train_inter_gpu_model(
+            train, [gpu("A100"), gpu("TITAN RTX")], batch_size=None)
+        assert model.transfers

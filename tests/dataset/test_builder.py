@@ -1,0 +1,95 @@
+"""Tests for dataset construction and filtering."""
+
+import pytest
+
+from repro.dataset import build_dataset, rows_from_execution
+from repro.dataset.builder import _estimated_memory_gb
+from repro.gpu import SimulatedGPU, gpu
+from repro.zoo import resnet18, vgg16
+
+
+class TestRowsFromExecution:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return SimulatedGPU(gpu("A100")).run_network(resnet18(), 8)
+
+    def test_network_row_aggregates(self, result):
+        kernel_rows, layer_rows, network_row = rows_from_execution(result)
+        assert network_row.n_kernels == len(kernel_rows)
+        assert network_row.n_layers == len(layer_rows)
+        assert network_row.e2e_us == result.e2e_us
+        assert network_row.kernel_time_us == pytest.approx(
+            sum(r.duration_us for r in kernel_rows))
+
+    def test_layer_rows_sum_kernel_durations(self, result):
+        kernel_rows, layer_rows, _ = rows_from_execution(result)
+        by_layer = {}
+        for row in kernel_rows:
+            by_layer.setdefault(row.layer_name, 0.0)
+            by_layer[row.layer_name] += row.duration_us
+        for layer in layer_rows:
+            assert layer.duration_us == pytest.approx(
+                by_layer.get(layer.layer_name, 0.0))
+
+    def test_rows_carry_signatures(self, result):
+        kernel_rows, layer_rows, _ = rows_from_execution(result)
+        assert all(row.signature for row in kernel_rows)
+        assert all(row.signature for row in layer_rows)
+
+    def test_total_flops_matches_structure(self, result):
+        _, _, network_row = rows_from_execution(result)
+        assert network_row.total_flops == resnet18().total_flops(8)
+
+
+class TestBuildDataset:
+    def test_small_build_covers_grid(self, small_dataset, small_roster):
+        assert small_dataset.gpu_names() == ["A100", "TITAN RTX"]
+        assert small_dataset.batch_sizes() == [64, 512]
+        assert (set(small_dataset.network_names())
+                == {net.name for net in small_roster})
+
+    def test_kernel_row_count_substantial(self, small_dataset):
+        # the paper records ~240k kernel executions per GPU at full scale
+        assert len(small_dataset) > 5000
+
+    def test_oom_points_are_cleaned(self):
+        tiny = gpu("Quadro P620")   # 2 GB
+        data = build_dataset([vgg16()], [tiny], batch_sizes=[512])
+        assert data.network_rows == []   # VGG-16 at BS 512 cannot fit
+
+    def test_memory_estimate_scales_with_batch(self):
+        assert (_estimated_memory_gb(vgg16(), 512)
+                > 10 * _estimated_memory_gb(vgg16(), 8))
+
+
+class TestFiltering:
+    def test_for_gpu(self, small_dataset):
+        subset = small_dataset.for_gpu("A100")
+        assert subset.gpu_names() == ["A100"]
+        assert all(r.gpu == "A100" for r in subset.kernel_rows)
+
+    def test_at_batch(self, small_dataset):
+        subset = small_dataset.at_batch(64)
+        assert subset.batch_sizes() == [64]
+
+    def test_filter_by_networks(self, small_dataset):
+        subset = small_dataset.filter(networks={"resnet18"})
+        assert subset.network_names() == ["resnet18"]
+
+    def test_combined_filter(self, small_dataset):
+        subset = small_dataset.filter(gpu="A100", batch_size=512,
+                                      networks={"resnet50"})
+        assert len(subset.network_rows) == 1
+
+    def test_merged_with(self, small_dataset):
+        a = small_dataset.for_gpu("A100")
+        b = small_dataset.for_gpu("TITAN RTX")
+        merged = a.merged_with(b)
+        assert len(merged) == len(small_dataset)
+
+    def test_indices(self, small_dataset):
+        by_name = small_dataset.kernels_by_name()
+        assert sum(len(rows) for rows in by_name.values()) == len(
+            small_dataset.kernel_rows)
+        by_kind = small_dataset.layers_by_kind()
+        assert "CONV" in by_kind

@@ -1,0 +1,37 @@
+"""Tests for CSV dataset persistence."""
+
+import pytest
+
+from repro.dataset import load_dataset, save_dataset
+
+
+class TestRoundTrip:
+    def test_save_creates_three_tables(self, small_dataset, tmp_path):
+        directory = save_dataset(small_dataset, tmp_path / "data")
+        for name in ("kernels.csv", "layers.csv", "networks.csv"):
+            assert (directory / name).exists()
+
+    def test_round_trip_preserves_rows(self, small_dataset, tmp_path):
+        directory = save_dataset(small_dataset, tmp_path / "data")
+        loaded = load_dataset(directory)
+        assert loaded.kernel_rows == small_dataset.kernel_rows
+        assert loaded.layer_rows == small_dataset.layer_rows
+        assert loaded.network_rows == small_dataset.network_rows
+
+    def test_round_trip_preserves_types(self, small_dataset, tmp_path):
+        directory = save_dataset(small_dataset, tmp_path / "data")
+        loaded = load_dataset(directory)
+        row = loaded.kernel_rows[0]
+        assert isinstance(row.batch_size, int)
+        assert isinstance(row.flops, float)
+        assert isinstance(row.duration_us, float)
+
+    def test_missing_table_rejected(self, small_dataset, tmp_path):
+        directory = save_dataset(small_dataset, tmp_path / "data")
+        (directory / "layers.csv").unlink()
+        with pytest.raises(FileNotFoundError):
+            load_dataset(directory)
+
+    def test_load_nonexistent_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_dataset(tmp_path / "nope")

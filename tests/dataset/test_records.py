@@ -1,0 +1,64 @@
+"""Unit tests for dataset row schemas."""
+
+import pytest
+
+from repro.dataset.records import (
+    KernelRow,
+    LayerRow,
+    NetworkRow,
+    field_names,
+)
+
+
+def make_kernel_row(**overrides):
+    defaults = dict(network="n", family="f", gpu="A100", batch_size=8,
+                    mode="inference", layer_name="l", layer_kind="CONV",
+                    signature="CONV|x", kernel_name="k", flops=100.0,
+                    input_nchw=10.0, output_nchw=20.0, duration_us=5.0)
+    defaults.update(overrides)
+    return KernelRow(**defaults)
+
+
+class TestKernelRow:
+    def test_feature_lookup(self):
+        row = make_kernel_row()
+        assert row.feature("flops") == 100.0
+        assert row.feature("input_nchw") == 10.0
+        assert row.feature("output_nchw") == 20.0
+
+    def test_unknown_feature_rejected(self):
+        with pytest.raises(KeyError):
+            make_kernel_row().feature("duration_us")
+        with pytest.raises(KeyError):
+            make_kernel_row().feature("bandwidth")
+
+    def test_rows_are_immutable(self):
+        row = make_kernel_row()
+        with pytest.raises(Exception):
+            row.flops = 1.0
+
+
+class TestNetworkRow:
+    def make(self):
+        return NetworkRow(network="n", family="f", gpu="A100",
+                          batch_size=8, mode="inference",
+                          total_flops=3e9, e2e_us=12_000.0,
+                          kernel_time_us=13_000.0, n_layers=10,
+                          n_kernels=20)
+
+    def test_unit_conversions(self):
+        row = self.make()
+        assert row.gflops == pytest.approx(3.0)
+        assert row.e2e_ms == pytest.approx(12.0)
+
+
+class TestFieldNames:
+    def test_headers_match_dataclass_order(self):
+        names = field_names(KernelRow)
+        assert names[0] == "network"
+        assert "signature" in names
+        assert names[-1] == "duration_us"
+
+    def test_every_row_type_has_mode_column(self):
+        for row_type in (KernelRow, LayerRow, NetworkRow):
+            assert "mode" in field_names(row_type)

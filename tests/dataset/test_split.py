@@ -1,0 +1,52 @@
+"""Tests for train/test partitioning."""
+
+import pytest
+
+from repro.dataset import split_networks, train_test_split
+
+
+class TestSplitNetworks:
+    def test_partition_is_disjoint_and_complete(self, small_dataset):
+        train, test = split_networks(small_dataset, 0.25, seed=1)
+        names = set(small_dataset.network_names())
+        assert train | test == names
+        assert train & test == set()
+
+    def test_fraction_respected(self, small_dataset):
+        _, test = split_networks(small_dataset, 0.25, seed=1)
+        assert len(test) == round(0.25 * len(
+            small_dataset.network_names()))
+
+    def test_seed_determinism(self, small_dataset):
+        a = split_networks(small_dataset, 0.25, seed=5)
+        b = split_networks(small_dataset, 0.25, seed=5)
+        assert a == b
+
+    def test_different_seeds_differ(self, small_dataset):
+        a = split_networks(small_dataset, 0.25, seed=5)
+        b = split_networks(small_dataset, 0.25, seed=6)
+        assert a != b
+
+    def test_always_keeps_train_nonempty(self, small_dataset):
+        train, _ = split_networks(small_dataset, 0.99, seed=1)
+        assert len(train) >= 1
+
+    def test_rejects_bad_fraction(self, small_dataset):
+        with pytest.raises(ValueError):
+            split_networks(small_dataset, 0.0)
+        with pytest.raises(ValueError):
+            split_networks(small_dataset, 1.0)
+
+
+class TestTrainTestSplit:
+    def test_no_leakage_across_tables(self, small_dataset):
+        train, test = train_test_split(small_dataset, 0.25, seed=2)
+        train_names = set(train.network_names())
+        test_names = set(test.network_names())
+        assert train_names & test_names == set()
+        assert all(r.network in train_names for r in train.kernel_rows)
+        assert all(r.network in test_names for r in test.kernel_rows)
+
+    def test_rows_conserved(self, small_dataset):
+        train, test = train_test_split(small_dataset, 0.25, seed=2)
+        assert len(train) + len(test) == len(small_dataset)

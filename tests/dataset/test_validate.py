@@ -1,0 +1,77 @@
+"""Tests for dataset integrity validation."""
+
+import dataclasses
+
+import pytest
+
+from repro.dataset import PerformanceDataset, validate_dataset
+
+
+class TestCleanDataset:
+    def test_built_dataset_is_valid(self, small_dataset):
+        report = validate_dataset(small_dataset)
+        assert report.ok, report.render()
+
+    def test_counts_reported(self, small_dataset):
+        report = validate_dataset(small_dataset)
+        assert report.counts["kernel rows"] == len(small_dataset)
+        assert report.counts["distinct networks"] == len(
+            small_dataset.network_names())
+
+    def test_render_mentions_status(self, small_dataset):
+        assert "OK" in validate_dataset(small_dataset).render()
+
+    def test_empty_dataset_is_trivially_valid(self):
+        assert validate_dataset(PerformanceDataset()).ok
+
+
+class TestCorruptionDetection:
+    def _corrupt(self, dataset, table, index, **changes):
+        rows = list(getattr(dataset, table))
+        rows[index] = dataclasses.replace(rows[index], **changes)
+        copy = PerformanceDataset(
+            kernel_rows=list(dataset.kernel_rows),
+            layer_rows=list(dataset.layer_rows),
+            network_rows=list(dataset.network_rows))
+        setattr(copy, table, rows)
+        return copy
+
+    def test_negative_kernel_duration_detected(self, small_dataset):
+        bad = self._corrupt(small_dataset, "kernel_rows", 0,
+                            duration_us=-1.0)
+        report = validate_dataset(bad)
+        assert not report.ok
+        assert any("duration" in e for e in report.errors)
+
+    def test_unknown_mode_detected(self, small_dataset):
+        bad = self._corrupt(small_dataset, "kernel_rows", 0, mode="magic")
+        assert not validate_dataset(bad).ok
+
+    def test_sum_mismatch_detected(self, small_dataset):
+        bad = self._corrupt(small_dataset, "network_rows", 0,
+                            kernel_time_us=1.0)
+        report = validate_dataset(bad)
+        assert any("sum to" in e for e in report.errors)
+
+    def test_kernel_count_mismatch_detected(self, small_dataset):
+        row = small_dataset.network_rows[0]
+        bad = self._corrupt(small_dataset, "network_rows", 0,
+                            n_kernels=row.n_kernels + 5)
+        report = validate_dataset(bad)
+        assert any("kernel rows but" in e for e in report.errors)
+
+    def test_duplicate_point_detected(self, small_dataset):
+        copy = PerformanceDataset(
+            kernel_rows=list(small_dataset.kernel_rows),
+            layer_rows=list(small_dataset.layer_rows),
+            network_rows=list(small_dataset.network_rows)
+            + [small_dataset.network_rows[0]])
+        report = validate_dataset(copy)
+        assert any("duplicate" in e for e in report.errors)
+
+    def test_error_rendering_truncates(self, small_dataset):
+        rows = [dataclasses.replace(r, duration_us=-1.0)
+                for r in small_dataset.kernel_rows[:40]]
+        bad = PerformanceDataset(kernel_rows=rows)
+        text = validate_dataset(bad).render()
+        assert "more errors" in text

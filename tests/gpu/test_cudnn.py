@@ -1,0 +1,174 @@
+"""Tests for the cuDNN-like kernel selection layer."""
+
+import pytest
+
+from repro.gpu.cudnn import kernel_calls, supported_kinds
+from repro.gpu.kernels import Driver, KernelRole
+from repro.nn.graph import Network
+from repro.nn.layers import (
+    Add,
+    BatchNorm2d,
+    Conv2d,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from repro.nn.tensor import TensorShape
+from repro.zoo import mobilenet_v2, resnet50, squeezenet
+
+
+def conv_info(in_channels, out_channels, kernel, stride=1, padding=0,
+              groups=1, bias=False, hw=56, batch=8):
+    net = Network("probe", TensorShape.image(1, in_channels, hw, hw))
+    net.add("conv", Conv2d(in_channels, out_channels, kernel, stride=stride,
+                           padding=padding, groups=groups, bias=bias))
+    return net.layer_infos(batch)[0]
+
+
+class TestConvAlgorithmSelection:
+    def test_3x3_stride1_uses_winograd_pipeline(self):
+        calls = kernel_calls(conv_info(64, 64, 3, padding=1))
+        names = [c.kernel.name for c in calls]
+        assert names[0] == "winograd_input_tfm_4x4_3x3"
+        assert "winograd_sgemm" in names[1]
+        assert names[2] == "winograd_output_tfm_4x4_3x3"
+
+    def test_winograd_roles_and_drivers(self):
+        calls = kernel_calls(conv_info(64, 64, 3, padding=1))
+        assert [c.kernel.role for c in calls] == [
+            KernelRole.PRE, KernelRole.MAIN, KernelRole.POST]
+        assert [c.kernel.driver for c in calls] == [
+            Driver.INPUT, Driver.OPERATION, Driver.OUTPUT]
+
+    def test_winograd_reduces_actual_flops(self):
+        info = conv_info(64, 64, 3, padding=1)
+        main = kernel_calls(info)[1]
+        assert main.flops == pytest.approx(info.flops / 2.25)
+        assert main.driver_value == info.flops   # feature stays theoretical
+
+    def test_1x1_uses_implicit_gemm_single_kernel(self):
+        calls = kernel_calls(conv_info(256, 64, 1))
+        assert len(calls) == 1
+        assert calls[0].kernel.name.startswith("implicit_sgemm_1x1")
+
+    def test_depthwise_uses_direct_kernel(self):
+        calls = kernel_calls(conv_info(64, 64, 3, padding=1, groups=64))
+        assert len(calls) == 1
+        assert calls[0].kernel.name.startswith("dw_conv_k3x3")
+        assert calls[0].kernel.family == "depthwise"
+
+    def test_grouped_uses_grouped_gemm(self):
+        calls = kernel_calls(conv_info(64, 64, 1, groups=4))
+        assert calls[0].kernel.name.startswith("grouped_sgemm")
+
+    def test_large_kernel_stride1_uses_fft(self):
+        calls = kernel_calls(conv_info(64, 64, 5, padding=2))
+        names = [c.kernel.name for c in calls]
+        assert names == ["fft_rc_input_tfm", "fft_cgemm_batched",
+                         "fft_cr_output_tfm"]
+
+    def test_asymmetric_factorised_kernels_avoid_fft(self):
+        """Inception's 1x7 / 7x1 factorisations gain nothing from a 2-D
+        FFT and must lower through the general im2col+GEMM path."""
+        for kernel, padding in (((1, 7), (0, 3)), ((7, 1), (3, 0))):
+            calls = kernel_calls(conv_info(64, 64, kernel,
+                                           padding=padding))
+            names = [c.kernel.name for c in calls]
+            assert names[0].startswith("im2col_k")
+            assert not any("fft" in name for name in names)
+
+    def test_strided_large_kernel_uses_im2col_gemm(self):
+        calls = kernel_calls(conv_info(3, 64, 7, stride=2, padding=3))
+        names = [c.kernel.name for c in calls]
+        assert names[0] == "im2col_k7x7"
+        assert names[1].startswith("sgemm_nt")
+
+    def test_bias_adds_epilogue(self):
+        with_bias = kernel_calls(conv_info(256, 64, 1, bias=True))
+        without = kernel_calls(conv_info(256, 64, 1, bias=False))
+        assert len(with_bias) == len(without) + 1
+        assert with_bias[-1].kernel.name == "bias_act_fprop"
+
+    def test_tile_variant_depends_on_size(self):
+        big = kernel_calls(conv_info(256, 256, 1, hw=56, batch=64))[0]
+        small = kernel_calls(conv_info(256, 256, 1, hw=7, batch=1))[0]
+        assert big.kernel.name != small.kernel.name
+
+    def test_k_bucket_variant_depends_on_channels(self):
+        deep = kernel_calls(conv_info(2048, 256, 1, batch=8))[0]
+        shallow = kernel_calls(conv_info(32, 256, 1, batch=8))[0]
+        assert deep.kernel.name != shallow.kernel.name
+        # deeper reductions amortise better => higher arithmetic intensity
+        assert deep.kernel.ai > shallow.kernel.ai
+
+
+class TestOtherLayers:
+    def _single_info(self, layer, shape):
+        net = Network("probe", shape)
+        net.add("x", layer)
+        return net.layer_infos(shape.batch)[0]
+
+    def test_bn_is_input_driven(self):
+        info = self._single_info(BatchNorm2d(64),
+                                 TensorShape.image(4, 64, 28, 28))
+        (call,) = kernel_calls(info)
+        assert call.kernel.driver == Driver.INPUT
+        assert call.driver_value == info.input_nchw
+
+    def test_relu_is_elementwise(self):
+        info = self._single_info(ReLU(), TensorShape.image(4, 64, 28, 28))
+        (call,) = kernel_calls(info)
+        assert call.kernel.name == "elementwise_relu"
+
+    def test_pool_is_output_driven_with_geometry_in_name(self):
+        info = self._single_info(MaxPool2d(3, stride=2, padding=1),
+                                 TensorShape.image(4, 64, 56, 56))
+        (call,) = kernel_calls(info)
+        assert call.kernel.driver == Driver.OUTPUT
+        assert call.kernel.name == "pooling_fwd_max_k3s2"
+
+    def test_fc_small_output_uses_gemv(self):
+        info = self._single_info(Linear(512, 10), TensorShape.flat(4, 512))
+        (call,) = kernel_calls(info)
+        assert call.kernel.name == "gemv_sgemm_t"
+
+    def test_fc_large_uses_gemm(self):
+        info = self._single_info(Linear(512, 4096),
+                                 TensorShape.flat(64, 512))
+        (call,) = kernel_calls(info)
+        assert call.kernel.name.startswith("sgemm_tn")
+
+    def test_flatten_launches_nothing(self):
+        from repro.nn.layers import Flatten
+        info = self._single_info(Flatten(), TensorShape.image(2, 8, 4, 4))
+        assert kernel_calls(info) == []
+
+    def test_add_is_output_driven_post_kernel(self):
+        net = Network("probe", TensorShape.image(1, 8, 4, 4))
+        net.add("r", ReLU())
+        net.add("a", Add(), inputs=("r", "r"))
+        info = net.layer_infos(2)[1]
+        (call,) = kernel_calls(info)
+        assert call.kernel.role == KernelRole.POST
+        assert call.kernel.driver == Driver.OUTPUT
+
+    def test_unknown_kind_rejected(self):
+        class FakeInfo:
+            kind = "Quantum"
+        with pytest.raises(KeyError):
+            kernel_calls(FakeInfo())
+
+
+class TestWholeNetworks:
+    @pytest.mark.parametrize("builder", [resnet50, mobilenet_v2, squeezenet])
+    def test_every_layer_lowers(self, builder):
+        net = builder()
+        for info in net.layer_infos(8):
+            for call in kernel_calls(info):
+                assert call.bytes_moved > 0
+                assert call.driver_value > 0
+
+    def test_supported_kinds_cover_zoo(self):
+        supported = set(supported_kinds())
+        for builder in (resnet50, mobilenet_v2, squeezenet):
+            assert set(builder().kinds()) <= supported

@@ -1,0 +1,85 @@
+"""Tests for the simulated GPU device."""
+
+import pytest
+
+from repro.gpu import SimulatedGPU, gpu
+from repro.zoo import resnet18, resnet50, vgg16
+
+
+@pytest.fixture(scope="module")
+def device():
+    return SimulatedGPU(gpu("A100"))
+
+
+class TestRunNetwork:
+    def test_result_metadata(self, device):
+        result = device.run_network(resnet18(), 8)
+        assert result.network_name == "resnet18"
+        assert result.gpu_name == "A100"
+        assert result.batch_size == 8
+        assert result.family == "resnet"
+
+    def test_layers_match_network(self, device):
+        net = resnet18()
+        result = device.run_network(net, 8)
+        assert len(result.layers) == len(net)
+
+    def test_e2e_positive_and_reasonable(self, device):
+        result = device.run_network(resnet18(), 8)
+        assert 100 < result.e2e_us < 1e6     # between 0.1 ms and 1 s
+
+    def test_kernel_time_exceeds_e2e(self, device):
+        """Summed kernel durations include startup the pipeline hides."""
+        result = device.run_network(resnet50(), 64)
+        assert result.kernel_time_us > result.e2e_us
+
+    def test_e2e_roughly_linear_in_batch(self, device):
+        t64 = device.run_network(vgg16(), 64).e2e_us
+        t512 = device.run_network(vgg16(), 512).e2e_us
+        assert t512 / t64 == pytest.approx(8.0, rel=0.2)
+
+    def test_determinism(self):
+        a = SimulatedGPU(gpu("A100")).run_network(resnet18(), 8)
+        b = SimulatedGPU(gpu("A100")).run_network(resnet18(), 8)
+        assert a.e2e_us == b.e2e_us
+        assert [k.duration_us for k in a.kernel_executions] == \
+               [k.duration_us for k in b.kernel_executions]
+
+    def test_seed_changes_measurements(self):
+        a = SimulatedGPU(gpu("A100"), seed=0).run_network(resnet18(), 8)
+        b = SimulatedGPU(gpu("A100"), seed=9).run_network(resnet18(), 8)
+        assert a.e2e_us != b.e2e_us
+
+    def test_layer_duration_is_sum_of_kernels(self, device):
+        result = device.run_network(resnet18(), 8)
+        for layer in result.layers:
+            assert layer.duration_us == pytest.approx(
+                sum(k.duration_us for k in layer.kernels))
+
+    def test_faster_gpu_runs_faster(self):
+        fast = SimulatedGPU(gpu("A100")).run_network(resnet50(), 64)
+        slow = SimulatedGPU(gpu("Quadro P620")).run_network(resnet50(), 64)
+        assert fast.e2e_us < slow.e2e_us
+
+    def test_invalid_measure_batches(self):
+        with pytest.raises(ValueError):
+            SimulatedGPU(gpu("A100"), measure_batches=0)
+
+
+class TestEfficiencySpread:
+    def test_vgg_more_efficient_than_shufflenet(self, device):
+        """The Figure-3 band: some families are far more GPU-efficient."""
+        from repro.zoo import shufflenet_v1
+        vgg = device.run_network(vgg16(), 512)
+        shuffle = device.run_network(shufflenet_v1(), 512)
+        vgg_eff = vgg16().total_flops(512) / vgg.e2e_us
+        shuffle_eff = shufflenet_v1().total_flops(512) / shuffle.e2e_us
+        assert vgg_eff > 5 * shuffle_eff
+
+    def test_throughput_saturates_with_batch(self, device):
+        """Figure 6: achieved TFLOPS grows then saturates."""
+        net = resnet50()
+        tflops = {bs: net.total_flops(bs)
+                  / device.run_network(net, bs).e2e_us / 1e6
+                  for bs in (8, 64, 512)}
+        assert tflops[8] < tflops[64] <= tflops[512] * 1.05

@@ -1,0 +1,72 @@
+"""Tests for the energy extension (ground truth + reused KW pipeline)."""
+
+import pytest
+
+from repro.gpu import EnergyMeter, SimulatedGPU, energy_dataset, gpu
+from repro.zoo import mobilenet_v2, resnet18, resnet50, vgg16
+
+
+@pytest.fixture(scope="module")
+def meter():
+    return EnergyMeter(SimulatedGPU(gpu("A100")))
+
+
+class TestEnergyMeasurement:
+    def test_positive_energy_per_kernel(self, meter):
+        measurement = meter.measure(resnet18(), 8)
+        assert measurement.kernels
+        assert all(k.total_uj > 0 for k in measurement.kernels)
+
+    def test_energy_scales_with_batch(self, meter):
+        small = meter.measure(resnet50(), 8).total_uj
+        large = meter.measure(resnet50(), 64).total_uj
+        assert large / small == pytest.approx(8.0, rel=0.35)
+
+    def test_average_power_within_board_limits(self, meter):
+        measurement = meter.measure(resnet50(), 64)
+        tdp = gpu("A100").tdp_w
+        assert 0.2 * tdp < measurement.average_power_w < 1.5 * tdp
+
+    def test_compute_heavy_networks_burn_more_per_image(self, meter):
+        vgg = meter.measure(vgg16(), 64)
+        mobile = meter.measure(mobilenet_v2(), 64)
+        assert vgg.per_image_mj > 3 * mobile.per_image_mj
+
+    def test_determinism(self):
+        a = EnergyMeter(SimulatedGPU(gpu("A100"))).measure(resnet18(), 8)
+        b = EnergyMeter(SimulatedGPU(gpu("A100"))).measure(resnet18(), 8)
+        assert a.total_uj == b.total_uj
+
+    def test_bigger_gpu_burns_more_static_power(self):
+        a100 = EnergyMeter(SimulatedGPU(gpu("A100"))).measure(
+            resnet18(), 8)
+        p620 = EnergyMeter(SimulatedGPU(gpu("Quadro P620"))).measure(
+            resnet18(), 8)
+        assert a100.average_power_w > p620.average_power_w
+
+
+class TestEnergyPrediction:
+    def test_kw_pipeline_predicts_energy(self, small_roster):
+        """The identical classified-regression machinery models energy."""
+        from repro import core
+        data = energy_dataset(small_roster, gpu("A100"),
+                              batch_sizes=[64, 512])
+        test_names = {"resnet50", "densenet121"}
+        train = data.filter(
+            networks=set(data.network_names()) - test_names)
+        model = core.train_model(train, "kw", gpu="A100")
+
+        meter = EnergyMeter(SimulatedGPU(gpu("A100")))
+        for name in test_names:
+            net = next(n for n in small_roster if n.name == name)
+            predicted_uj = model.predict_network(net, 512)
+            measured_uj = meter.measure(net, 512).total_uj
+            assert predicted_uj / measured_uj == pytest.approx(1.0,
+                                                               abs=0.15)
+
+    def test_energy_dataset_rows_consistent(self, small_roster):
+        data = energy_dataset(small_roster[:2], gpu("A100"),
+                              batch_sizes=[64])
+        from repro.dataset import validate_dataset
+        report = validate_dataset(data)
+        assert report.ok, report.render()

@@ -1,0 +1,64 @@
+"""Kernel-selection tests for fused (epilogue-tagged) convolutions."""
+
+import pytest
+
+from repro.gpu.cudnn import kernel_calls
+from repro.nn.graph import Network
+from repro.nn.layers import Conv2d
+from repro.nn.tensor import TensorShape
+
+
+def conv_info(epilogue, kernel=3, in_channels=64, out_channels=64,
+              groups=1, hw=28, batch=8):
+    net = Network("probe", TensorShape.image(1, in_channels, hw, hw))
+    net.add("conv", Conv2d(in_channels, out_channels, kernel,
+                           padding=kernel // 2, groups=groups, bias=False,
+                           epilogue=epilogue))
+    return net.layer_infos(batch)[0]
+
+
+class TestFusedSelection:
+    def test_fused_winograd_kernel_name(self):
+        calls = kernel_calls(conv_info(("BN", "ReLU")))
+        main = calls[1]
+        assert main.kernel.name.endswith("_bnrelu")
+
+    def test_fused_pointwise_kernel_name(self):
+        calls = kernel_calls(conv_info(("BN",), kernel=1))
+        (main,) = calls
+        assert main.kernel.name.endswith("_bn")
+
+    def test_fused_depthwise_kernel_name(self):
+        calls = kernel_calls(conv_info(("BN", "ReLU6"), groups=64))
+        (main,) = calls
+        assert main.kernel.name.startswith("dw_conv")
+        assert main.kernel.name.endswith("_bnrelu6")
+
+    def test_fused_and_unfused_are_distinct_kernels(self):
+        fused = kernel_calls(conv_info(("BN", "ReLU")))[1]
+        plain = kernel_calls(conv_info(()))[1]
+        assert fused.kernel.name != plain.kernel.name
+        assert fused.kernel.ai == plain.kernel.ai
+
+    def test_fusion_adds_no_extra_launches(self):
+        fused = kernel_calls(conv_info(("BN", "ReLU")))
+        plain = kernel_calls(conv_info(()))
+        assert len(fused) == len(plain)
+
+    def test_fused_flops_include_epilogue(self):
+        fused_info = conv_info(("BN", "ReLU"))
+        plain_info = conv_info(())
+        extra = 2 * fused_info.output_shape.numel()   # BN + ReLU
+        assert fused_info.flops == plain_info.flops + extra
+
+    def test_unknown_epilogue_op_rejected(self):
+        with pytest.raises(ValueError):
+            Conv2d(8, 8, 3, epilogue=("Softmax",))
+
+    def test_signature_distinguishes_fusion(self):
+        from repro.core.signature import layer_signature
+        fused = layer_signature(conv_info(("BN", "ReLU")))
+        plain = layer_signature(conv_info(()))
+        assert "|Ebnrelu|" in fused
+        assert "|Enone|" in plain
+        assert fused != plain

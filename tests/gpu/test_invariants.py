@@ -1,0 +1,70 @@
+"""Cross-cutting substrate invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.cudnn import _BACKWARD_HANDLERS, _HANDLERS
+from repro.gpu.specs import GPUSpec
+from repro.gpu.timing import GroundTruthTiming
+from repro.gpu.kernels import Driver, Kernel, KernelCall, KernelRole
+from repro.nn.layer import LAYER_REGISTRY
+
+
+class TestHandlerExhaustiveness:
+    def test_every_layer_kind_has_forward_handler(self):
+        """Registering a layer without a lowering rule is a wiring bug."""
+        assert set(LAYER_REGISTRY) <= set(_HANDLERS)
+
+    def test_every_layer_kind_has_backward_handler(self):
+        assert set(LAYER_REGISTRY) <= set(_BACKWARD_HANDLERS)
+
+    def test_forward_and_backward_cover_same_kinds(self):
+        assert set(_HANDLERS) == set(_BACKWARD_HANDLERS)
+
+
+@st.composite
+def gpu_specs(draw):
+    sm = draw(st.integers(min_value=1, max_value=256))
+    return GPUSpec(
+        name="prop-gpu",
+        bandwidth_gbs=draw(st.floats(min_value=10, max_value=5000)),
+        memory_gb=draw(st.floats(min_value=1, max_value=128)),
+        fp32_tflops=draw(st.floats(min_value=0.5, max_value=100)),
+        tensor_cores=draw(st.integers(min_value=0, max_value=1000)),
+        architecture=draw(st.sampled_from(
+            ["Ampere", "Turing", "Volta", "Pascal", "FutureArch"])),
+        sm_count=sm,
+        cuda_cores=sm * draw(st.sampled_from([32, 64, 128])),
+    )
+
+
+COPY = Kernel("inv_copy", KernelRole.MAIN, Driver.INPUT, "copy")
+
+
+class TestTimingOverSpecSpace:
+    @given(gpu_specs(), st.floats(min_value=1e3, max_value=1e11))
+    @settings(max_examples=150)
+    def test_any_spec_times_any_kernel(self, spec, bytes_moved):
+        timing = GroundTruthTiming(spec)
+        call = KernelCall(COPY, 0.0, bytes_moved, bytes_moved)
+        work = timing.kernel_work_us(call)
+        assert 0 < work < 1e12
+
+    @given(gpu_specs())
+    @settings(max_examples=100)
+    def test_partition_is_always_valid(self, spec):
+        for fraction in (0.1, 0.5, 1.0):
+            part = spec.partition(fraction)
+            assert part.sm_count >= 1
+            assert part.cuda_cores >= 1
+            assert part.bandwidth_gbs > 0
+
+    @given(gpu_specs(), st.floats(min_value=50, max_value=5000))
+    @settings(max_examples=100)
+    def test_with_bandwidth_monotone(self, spec, bandwidth):
+        timing_base = GroundTruthTiming(spec.with_bandwidth(bandwidth))
+        timing_fast = GroundTruthTiming(
+            spec.with_bandwidth(bandwidth * 4))
+        call = KernelCall(COPY, 0.0, 1e9, 1e9)
+        assert (timing_fast.kernel_work_us(call)
+                <= timing_base.kernel_work_us(call))

@@ -1,0 +1,63 @@
+"""Tests for the kernel catalogue."""
+
+import pytest
+
+from repro.gpu.kernels import (
+    Driver,
+    Kernel,
+    KernelCall,
+    KernelCatalogue,
+    KernelRole,
+)
+
+
+class TestKernel:
+    def test_operation_kernel_needs_ai(self):
+        with pytest.raises(ValueError):
+            Kernel("bad", KernelRole.MAIN, Driver.OPERATION, "gemm", ai=0.0)
+
+    def test_data_kernel_allows_zero_ai(self):
+        kernel = Kernel("copy", KernelRole.POST, Driver.OUTPUT, "copy")
+        assert kernel.ai == 0.0
+
+    def test_driver_columns(self):
+        assert Driver.INPUT.column == "input_nchw"
+        assert Driver.OPERATION.column == "flops"
+        assert Driver.OUTPUT.column == "output_nchw"
+
+
+class TestKernelCall:
+    def test_rejects_nonpositive_bytes(self):
+        kernel = Kernel("k", KernelRole.MAIN, Driver.INPUT, "copy")
+        with pytest.raises(ValueError):
+            KernelCall(kernel, flops=0.0, bytes_moved=0.0, driver_value=1.0)
+
+    def test_rejects_nonpositive_driver(self):
+        kernel = Kernel("k", KernelRole.MAIN, Driver.INPUT, "copy")
+        with pytest.raises(ValueError):
+            KernelCall(kernel, flops=0.0, bytes_moved=10.0, driver_value=0.0)
+
+
+class TestCatalogue:
+    def test_interning(self):
+        catalogue = KernelCatalogue()
+        a = catalogue.get("sgemm", KernelRole.MAIN, Driver.OPERATION,
+                          "gemm", ai=20.0)
+        b = catalogue.get("sgemm", KernelRole.MAIN, Driver.OPERATION,
+                          "gemm", ai=20.0)
+        assert a is b
+        assert len(catalogue) == 1
+
+    def test_conflicting_reregistration_rejected(self):
+        catalogue = KernelCatalogue()
+        catalogue.get("k", KernelRole.MAIN, Driver.INPUT, "copy")
+        with pytest.raises(ValueError):
+            catalogue.get("k", KernelRole.MAIN, Driver.OUTPUT, "copy")
+
+    def test_names_sorted(self):
+        catalogue = KernelCatalogue()
+        catalogue.get("z", KernelRole.MAIN, Driver.INPUT, "copy")
+        catalogue.get("a", KernelRole.MAIN, Driver.INPUT, "copy")
+        assert catalogue.names() == ["a", "z"]
+        assert "a" in catalogue
+        assert "q" not in catalogue

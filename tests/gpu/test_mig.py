@@ -1,0 +1,70 @@
+"""Tests for multi-instance GPU (MIG) slicing."""
+
+import pytest
+
+from repro.gpu import SimulatedGPU, gpu
+from repro.zoo import resnet18, resnet50
+
+
+class TestPartition:
+    def test_resources_scale_proportionally(self):
+        full = gpu("A100")
+        half = full.partition(0.5)
+        assert half.bandwidth_gbs == pytest.approx(full.bandwidth_gbs / 2)
+        assert half.memory_gb == pytest.approx(full.memory_gb / 2)
+        assert half.sm_count == 54
+        assert half.cuda_cores == 54 * (full.cuda_cores // full.sm_count)
+
+    def test_seventh_slice_matches_mig_1g(self):
+        """A100's smallest MIG profile: 1g.5gb ~ 1/7 of the GPU."""
+        slice_ = gpu("A100").partition(1 / 7)
+        assert slice_.memory_gb == pytest.approx(40 / 7)
+        assert 14 <= slice_.sm_count <= 16
+
+    def test_full_fraction_is_identity_in_resources(self):
+        full = gpu("A100")
+        same = full.partition(1.0)
+        assert same.bandwidth_gbs == full.bandwidth_gbs
+        assert same.sm_count == full.sm_count
+
+    def test_invalid_fractions_rejected(self):
+        with pytest.raises(ValueError):
+            gpu("A100").partition(0.0)
+        with pytest.raises(ValueError):
+            gpu("A100").partition(1.5)
+
+    def test_custom_name(self):
+        assert gpu("A100").partition(0.25, name="1g.10gb").name == "1g.10gb"
+
+
+class TestSlicedExecution:
+    def test_slice_is_slower_than_full_gpu(self):
+        net = resnet50()
+        full = SimulatedGPU(gpu("A100")).run_network(net, 64).e2e_us
+        half = SimulatedGPU(gpu("A100").partition(0.5)).run_network(
+            net, 64).e2e_us
+        assert half > 1.5 * full
+
+    def test_slowdown_saturates_sublinearly_for_small_batches(self):
+        """A small workload cannot use the whole GPU, so a slice costs
+        less than its proportional share."""
+        net = resnet18()
+        full = SimulatedGPU(gpu("A100")).run_network(net, 2).e2e_us
+        quarter = SimulatedGPU(gpu("A100").partition(0.25)).run_network(
+            net, 2).e2e_us
+        assert quarter / full < 4.0
+
+    def test_igkw_predicts_slice_performance(self, small_split,
+                                             roster_index):
+        """The IGKW model prices MIG slices via their bandwidth."""
+        from repro.core import train_inter_gpu_model
+        train, test = small_split
+        igkw = train_inter_gpu_model(train,
+                                     [gpu("A100"), gpu("TITAN RTX")])
+        half = gpu("A100").partition(0.5)
+        predictor = igkw.for_gpu(half)
+        device = SimulatedGPU(half)
+        net = roster_index["resnet50"]
+        predicted = predictor.predict_network(net, 512)
+        measured = device.run_network(net, 512).e2e_us
+        assert predicted / measured == pytest.approx(1.0, abs=0.35)

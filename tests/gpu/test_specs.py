@@ -1,0 +1,81 @@
+"""Tests for GPU specifications (Table 1)."""
+
+import pytest
+
+from repro.gpu.specs import (
+    GPUS,
+    IGKW_TEST_GPU,
+    IGKW_TRAIN_GPUS,
+    KW_EVAL_GPUS,
+    GPUSpec,
+    gpu,
+    gpu_names,
+)
+
+#: The exact Table-1 rows of the paper.
+TABLE1 = {
+    "A100": (1555, 40, 19.5, 432),
+    "A40": (696, 48, 37.4, 336),
+    "GTX 1080 Ti": (484, 11, 11.3, 0),
+    "Quadro P620": (80, 2, 1.4, 0),
+    "RTX A5000": (768, 24, 27.8, 256),
+    "TITAN RTX": (672, 24, 16.3, 576),
+    "V100": (900, 16, 14.1, 640),
+}
+
+
+class TestTable1:
+    def test_all_seven_gpus_present(self):
+        assert set(GPUS) == set(TABLE1)
+
+    @pytest.mark.parametrize("name", sorted(TABLE1))
+    def test_table1_values(self, name):
+        spec = gpu(name)
+        bandwidth, memory, tflops, tensor = TABLE1[name]
+        assert spec.bandwidth_gbs == bandwidth
+        assert spec.memory_gb == memory
+        assert spec.fp32_tflops == tflops
+        assert spec.tensor_cores == tensor
+
+    def test_unknown_gpu_rejected(self):
+        with pytest.raises(KeyError):
+            gpu("H100")
+
+    def test_gpu_names_sorted(self):
+        assert gpu_names() == sorted(gpu_names())
+
+
+class TestDerivedQuantities:
+    def test_bandwidth_bytes(self):
+        assert gpu("A100").bandwidth_bytes == 1555e9
+
+    def test_peak_flops(self):
+        assert gpu("V100").peak_flops == 14.1e12
+
+    def test_with_bandwidth_variant(self):
+        variant = gpu("TITAN RTX").with_bandwidth(1000)
+        assert variant.bandwidth_gbs == 1000
+        assert variant.fp32_tflops == 16.3       # compute unchanged
+        assert variant.sm_count == 72
+        assert "TITAN RTX" in variant.name
+
+    def test_validation_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            GPUSpec("bad", -1, 8, 10, 0, "X", 10, 1000)
+        with pytest.raises(ValueError):
+            GPUSpec("bad", 500, 8, 10, 0, "X", 0, 1000)
+        with pytest.raises(ValueError):
+            GPUSpec("bad", 500, 8, 10, -3, "X", 10, 1000)
+
+
+class TestExperimentConstants:
+    def test_igkw_train_excludes_test(self):
+        assert IGKW_TEST_GPU not in IGKW_TRAIN_GPUS
+
+    def test_igkw_gpus_exist(self):
+        for name in IGKW_TRAIN_GPUS + (IGKW_TEST_GPU,):
+            assert name in GPUS
+
+    def test_kw_eval_gpus_exist(self):
+        assert all(name in GPUS for name in KW_EVAL_GPUS)
+        assert len(KW_EVAL_GPUS) == 5

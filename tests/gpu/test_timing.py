@@ -1,0 +1,160 @@
+"""Tests for the ground-truth timing model."""
+
+import dataclasses
+
+import pytest
+
+from repro.gpu.kernels import Driver, Kernel, KernelCall, KernelRole
+from repro.gpu.specs import gpu
+from repro.gpu.timing import (
+    ARCH_EFFICIENCY,
+    DEFAULT_TIMING,
+    GroundTruthTiming,
+    TimingConfig,
+    arch_deviation,
+    kernel_tuning,
+    size_wiggle,
+)
+
+COPY = Kernel("test_copy", KernelRole.MAIN, Driver.INPUT, "copy")
+GEMM = Kernel("test_gemm", KernelRole.MAIN, Driver.OPERATION, "sgemm",
+              ai=20.0)
+
+
+def data_call(bytes_moved):
+    return KernelCall(COPY, flops=0.0, bytes_moved=bytes_moved,
+                      driver_value=bytes_moved / 4)
+
+
+def op_call(flops, ai=20.0):
+    return KernelCall(GEMM, flops=flops, bytes_moved=flops / ai,
+                      driver_value=flops)
+
+
+class TestDeterminism:
+    def test_work_time_is_reproducible(self):
+        a = GroundTruthTiming(gpu("A100"))
+        b = GroundTruthTiming(gpu("A100"))
+        call = data_call(1e8)
+        assert a.kernel_work_us(call) == b.kernel_work_us(call)
+
+    def test_seed_changes_noise_not_work(self):
+        a = GroundTruthTiming(gpu("A100"), seed=0)
+        b = GroundTruthTiming(gpu("A100"), seed=1)
+        call = data_call(1e8)
+        assert a.kernel_work_us(call) == b.kernel_work_us(call)
+        assert (a.averaged_noise(call, 30) != b.averaged_noise(call, 30))
+
+
+class TestScaling:
+    def test_time_increases_with_bytes(self):
+        timing = GroundTruthTiming(gpu("A100"))
+        assert (timing.kernel_work_us(data_call(1e9))
+                > timing.kernel_work_us(data_call(1e7)))
+
+    def test_large_kernels_approximately_linear(self):
+        """Doubling bytes roughly doubles time once saturated (O1)."""
+        timing = GroundTruthTiming(gpu("A100"))
+        t1 = timing.kernel_work_us(data_call(4e9))
+        t2 = timing.kernel_work_us(data_call(8e9))
+        assert t2 / t1 == pytest.approx(2.0, rel=0.25)
+
+    def test_small_kernels_dominated_by_occupancy_floor(self):
+        """Tiny kernels pay the saturation cost (flat region of Fig 7)."""
+        timing = GroundTruthTiming(gpu("A100"))
+        t_small = timing.kernel_work_us(data_call(1e3))
+        t_smaller = timing.kernel_work_us(data_call(1e2))
+        assert t_small == pytest.approx(t_smaller, rel=0.3)
+
+    def test_higher_bandwidth_is_faster(self):
+        fast = GroundTruthTiming(gpu("A100"))
+        slow = GroundTruthTiming(gpu("Quadro P620"))
+        call = data_call(1e9)
+        assert fast.kernel_work_us(call) < slow.kernel_work_us(call)
+
+    def test_bandwidth_variant_speeds_up_with_diminishing_returns(self):
+        base = gpu("TITAN RTX")
+        times = []
+        for bandwidth in (300, 672, 1400):
+            timing = GroundTruthTiming(base.with_bandwidth(bandwidth))
+            times.append(timing.kernel_work_us(op_call(1e10)))
+        assert times[0] > times[1] > times[2]
+        gain_low = times[0] / times[1]
+        gain_high = times[1] / times[2]
+        assert gain_low > gain_high  # on-chip ceiling bends the curve
+
+
+class TestDeviations:
+    def test_arch_deviation_bounded(self):
+        cfg = DEFAULT_TIMING
+        bound = ((1 + cfg.arch_spread)
+                 * max(ARCH_EFFICIENCY.values()) * 1.001)
+        for family in ("sgemm", "copy", "depthwise"):
+            for arch in ("Ampere", "Turing", "Pascal", "Volta"):
+                assert 0.5 < arch_deviation(family, arch, cfg) < bound
+
+    def test_unknown_arch_uses_hash_fallback(self):
+        value = arch_deviation("sgemm", "Hopper", DEFAULT_TIMING)
+        assert 0.5 < value < 1.6
+
+    def test_kernel_tuning_bounded_and_stable(self):
+        cfg = DEFAULT_TIMING
+        value = kernel_tuning("winograd_sgemm_128x128_k9", cfg)
+        assert 1 - cfg.kernel_spread <= value <= 1 + cfg.kernel_spread
+        assert value == kernel_tuning("winograd_sgemm_128x128_k9", cfg)
+
+    def test_size_wiggle_bounded(self):
+        cfg = DEFAULT_TIMING
+        bound = (1 + cfg.size_wiggle) * (1 + cfg.class_wiggle) * 1.001
+        for size in (1e3, 1e6, 1e9):
+            value = size_wiggle("sgemm_nt_64x64_k8", "sgemm", size, cfg)
+            assert 1.0 / bound < value < bound
+
+    def test_zero_spread_config_removes_deviations(self):
+        cfg = TimingConfig(arch_spread=0.0, kernel_spread=0.0,
+                           size_wiggle=0.0, class_wiggle=0.0)
+        assert size_wiggle("k", "f", 1e6, cfg) == 1.0
+        assert kernel_tuning("k", cfg) == 1.0
+
+
+class TestNoise:
+    def test_averaging_shrinks_noise(self):
+        timing = GroundTruthTiming(gpu("A100"))
+        call = data_call(1e8)
+        single = abs(timing.measurement_noise(call, 0) - 1.0)
+        # the averaged factor uses sigma/sqrt(n): bound it statistically
+        averaged = abs(timing.averaged_noise(call, 900) - 1.0)
+        assert averaged < 0.05
+
+    def test_noise_multiplicative_near_one(self):
+        timing = GroundTruthTiming(gpu("A100"))
+        noise = timing.measurement_noise(data_call(1e8), 3)
+        assert 0.7 < noise < 1.4
+
+    def test_invalid_batch_count_rejected(self):
+        timing = GroundTruthTiming(gpu("A100"))
+        with pytest.raises(ValueError):
+            timing.averaged_noise(data_call(1e8), 0)
+
+
+class TestDuration:
+    def test_duration_includes_startup(self):
+        timing = GroundTruthTiming(gpu("A100"))
+        call = data_call(1e8)
+        duration = timing.kernel_duration_us(call)
+        work = (timing.kernel_work_us(call)
+                * timing.averaged_noise(call, 30))
+        assert duration == pytest.approx(
+            work + gpu("A100").launch_overhead_us)
+
+    def test_compute_ceiling_binds_for_dense_kernels(self):
+        """A kernel with absurd arithmetic intensity hits the FP32 roof."""
+        spec = gpu("A100")
+        timing = GroundTruthTiming(spec)
+        dense = Kernel("dense", KernelRole.MAIN, Driver.OPERATION, "x",
+                       ai=1e6)
+        call = KernelCall(dense, flops=1e12, bytes_moved=1e6,
+                          driver_value=1e12)
+        floor_us = 1e12 / (DEFAULT_TIMING.compute_efficiency
+                           * spec.peak_flops) * 1e6
+        assert timing.kernel_work_us(call) >= floor_us * 0.8

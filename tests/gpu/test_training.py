@@ -1,0 +1,136 @@
+"""Tests for the training-workload extension (forward + backward)."""
+
+import pytest
+
+from repro.gpu import SimulatedGPU, gpu
+from repro.gpu.cudnn import backward_kernel_calls, kernel_calls
+from repro.nn.graph import Network
+from repro.nn.layers import BatchNorm2d, Conv2d, Linear, MaxPool2d, ReLU
+from repro.nn.tensor import TensorShape
+from repro.zoo import mobilenet_v2, resnet18, resnet50
+
+
+def info_of(layer, shape):
+    net = Network("probe", shape)
+    net.add("x", layer)
+    return net.layer_infos(shape.batch)[0]
+
+
+IMG = TensorShape.image(8, 64, 56, 56)
+
+
+class TestBackwardKernelSelection:
+    def test_conv_has_dgrad_and_wgrad(self):
+        info = info_of(Conv2d(64, 128, 3, padding=1, bias=False), IMG)
+        names = [c.kernel.name for c in backward_kernel_calls(info)]
+        assert any("dgrad" in name for name in names)
+        assert any("wgrad" in name for name in names)
+
+    def test_winograd_conv_backward_uses_winograd(self):
+        info = info_of(Conv2d(64, 64, 3, padding=1, bias=False), IMG)
+        names = [c.kernel.name for c in backward_kernel_calls(info)]
+        assert any(name.startswith("winograd_dgrad") for name in names)
+        assert any(name.startswith("winograd_wgrad") for name in names)
+
+    def test_depthwise_backward(self):
+        info = info_of(Conv2d(64, 64, 3, padding=1, groups=64), IMG)
+        names = [c.kernel.name for c in backward_kernel_calls(info)]
+        assert names[0].startswith("dw_conv_dgrad")
+        assert names[1].startswith("dw_conv_wgrad")
+
+    def test_fc_backward_two_gemms(self):
+        info = info_of(Linear(512, 1000), TensorShape.flat(64, 512))
+        calls = backward_kernel_calls(info)
+        assert len(calls) == 2
+        assert all("sgemm" in c.kernel.name for c in calls)
+
+    def test_backward_kernel_names_disjoint_from_forward(self):
+        info = info_of(Conv2d(64, 64, 3, padding=1, bias=False), IMG)
+        forward = {c.kernel.name for c in kernel_calls(info)}
+        backward = {c.kernel.name for c in backward_kernel_calls(info)}
+        assert forward.isdisjoint(backward)
+
+    def test_parameter_free_layers_have_single_backward_kernel(self):
+        for layer in (ReLU(), BatchNorm2d(64),
+                      MaxPool2d(3, stride=2, padding=1)):
+            info = info_of(layer, IMG)
+            assert len(backward_kernel_calls(info)) == 1
+
+    def test_view_layers_backward_free(self):
+        from repro.nn.layers import Flatten
+        info = info_of(Flatten(), IMG)
+        assert backward_kernel_calls(info) == []
+
+    @pytest.mark.parametrize("builder", [resnet50, mobilenet_v2])
+    def test_every_zoo_layer_has_backward(self, builder):
+        for info in builder().layer_infos(8):
+            for call in backward_kernel_calls(info):
+                assert call.bytes_moved > 0
+
+
+class TestTrainingExecution:
+    @pytest.fixture(scope="class")
+    def device(self):
+        return SimulatedGPU(gpu("A100"))
+
+    def test_training_costs_2x_to_4x_inference(self, device):
+        """The folklore ratio for a fwd+bwd step vs inference."""
+        net = resnet50()
+        inference = device.run_network(net, 64).e2e_us
+        training = device.run_network(net, 64, training=True).e2e_us
+        assert 2.0 < training / inference < 4.5
+
+    def test_training_flag_recorded(self, device):
+        result = device.run_network(resnet18(), 8, training=True)
+        assert result.training
+        assert not device.run_network(resnet18(), 8).training
+
+    def test_training_adds_kernels_per_layer(self, device):
+        inference = device.run_network(resnet18(), 8)
+        training = device.run_network(resnet18(), 8, training=True)
+        assert (len(training.kernel_executions)
+                > len(inference.kernel_executions))
+
+
+class TestTrainingModePrediction:
+    @pytest.fixture(scope="class")
+    def training_campaign(self, small_roster_class):
+        from repro import dataset
+        data = dataset.build_dataset(small_roster_class, [gpu("A100")],
+                                     batch_sizes=[64, 512], training=True)
+        test_names = {"resnet50", "densenet121"}
+        train_names = set(data.network_names()) - test_names
+        return (data.filter(networks=train_names),
+                data.filter(networks=test_names))
+
+    @pytest.fixture(scope="class")
+    def small_roster_class(self):
+        from repro import zoo
+        return zoo.imagenet_roster("small")
+
+    def test_kw_model_detects_training_mode(self, training_campaign):
+        from repro.core import train_model
+        train, _ = training_campaign
+        model = train_model(train, "kw", gpu="A100")
+        assert model.mode == "training"
+
+    def test_kw_predicts_training_time(self, training_campaign,
+                                       small_roster_class):
+        from repro.core import evaluate_model, networks_by_name, train_model
+        train, test = training_campaign
+        model = train_model(train, "kw", gpu="A100")
+        curve = evaluate_model(model, test,
+                               networks_by_name(small_roster_class),
+                               gpu="A100", batch_size=512)
+        assert curve.mean_error < 0.15
+
+    def test_mixed_mode_training_rejected(self, training_campaign,
+                                          small_roster_class):
+        from repro import dataset
+        from repro.core import train_model
+        train, _ = training_campaign
+        inference = dataset.build_dataset(small_roster_class[:1],
+                                          [gpu("A100")], batch_sizes=[64])
+        mixed = train.merged_with(inference)
+        with pytest.raises(ValueError):
+            train_model(mixed, "kw", gpu="A100", batch_size=None)

@@ -1,0 +1,71 @@
+"""Matrix coverage: every model x GPU x mode combination behaves."""
+
+import pytest
+
+from repro.core import evaluate_model, train_model
+from repro.gpu import gpu
+
+MODELS = ("e2e", "lw", "kw")
+GPUS = ("A100", "TITAN RTX")
+
+
+class TestModelGpuMatrix:
+    @pytest.mark.parametrize("model_name", MODELS)
+    @pytest.mark.parametrize("gpu_name", GPUS)
+    def test_train_and_predict(self, small_split, roster_index,
+                               model_name, gpu_name):
+        train, test = small_split
+        model = train_model(train, model_name, gpu=gpu_name)
+        for name in ("resnet50", "densenet121"):
+            prediction = model.predict_network(roster_index[name], 512)
+            assert prediction > 0
+        curve = evaluate_model(model, test, roster_index, gpu=gpu_name,
+                               batch_size=512)
+        assert curve.mean_error < 1.0
+
+    @pytest.mark.parametrize("model_name", MODELS)
+    @pytest.mark.parametrize("gpu_name", GPUS)
+    def test_persistence_round_trip(self, small_split, roster_index,
+                                    tmp_path, model_name, gpu_name):
+        from repro.core import load_model, save_model
+        train, _ = small_split
+        model = train_model(train, model_name, gpu=gpu_name)
+        restored = load_model(save_model(
+            model, tmp_path / f"{model_name}-{gpu_name}.json"))
+        net = roster_index["resnet18"]
+        assert restored.predict_network(net, 64) == pytest.approx(
+            model.predict_network(net, 64))
+
+    @pytest.mark.parametrize("gpu_name", GPUS)
+    def test_predictions_ordered_by_gpu_speed(self, small_split,
+                                              roster_index, gpu_name):
+        """Each GPU's own KW model reflects that GPU's speed: the A100
+        predicts faster times than the TITAN RTX for every network."""
+        train, _ = small_split
+        if gpu_name != "A100":
+            pytest.skip("pairwise comparison runs once")
+        fast = train_model(train, "kw", gpu="A100")
+        slow = train_model(train, "kw", gpu="TITAN RTX")
+        for name in ("resnet18", "vgg11", "mobilenet_v2"):
+            net = roster_index[name]
+            assert (fast.predict_network(net, 512)
+                    < slow.predict_network(net, 512))
+
+    def test_training_mode_matrix(self, small_roster, roster_index):
+        """Both GPUs train and predict in training mode too."""
+        from repro import dataset
+        data = dataset.build_dataset(
+            small_roster, [gpu(name) for name in GPUS],
+            batch_sizes=[64, 512], training=True)
+        test_names = {"resnet50"}
+        train = data.filter(
+            networks=set(data.network_names()) - test_names)
+        for gpu_name in GPUS:
+            model = train_model(train, "kw", gpu=gpu_name)
+            assert model.mode == "training"
+            prediction = model.predict_network(roster_index["resnet50"],
+                                               512)
+            measured = data.filter(
+                gpu=gpu_name, batch_size=512,
+                networks=test_names).network_rows[0].e2e_us
+            assert prediction / measured == pytest.approx(1.0, abs=0.2)

@@ -1,0 +1,109 @@
+"""Integration tests asserting the paper's qualitative claims hold.
+
+Each test corresponds to a numbered observation or headline result; the
+full quantitative reproduction lives in benchmarks/ (which regenerate the
+tables and figures), while these tests pin the *direction* of every claim
+on a small, fast campaign.
+"""
+
+import pytest
+
+from repro import core, dataset, zoo
+from repro.gpu import SimulatedGPU, gpu
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    """A mid-size single-seed campaign shared by the claim tests."""
+    nets = zoo.imagenet_roster("medium")
+    data = dataset.build_dataset(
+        nets, [gpu("A100"), gpu("A40"), gpu("GTX 1080 Ti"),
+               gpu("TITAN RTX")], batch_sizes=[512])
+    train, test = dataset.train_test_split(data)
+    return nets, data, train, test
+
+
+class TestObservations:
+    def test_o1_linear_trend(self, campaign):
+        """O1: e2e time linearly correlated with FLOPs."""
+        _, data, _, _ = campaign
+        from repro.studies.observations import e2e_linearity
+        assert e2e_linearity(data, "A100").r2 > 0.6
+
+    def test_o2_family_lines_differ(self, campaign):
+        """O2: ResNet and VGG nets fall on different lines."""
+        _, data, _, _ = campaign
+        from repro.studies.observations import family_lines
+        lines = family_lines(data, "A100", 512)
+        assert lines["resnet"].slope > 1.3 * lines["vgg"].slope
+
+    def test_o5_kernel_lines_nearly_perfect(self, campaign):
+        """O5: after classification, kernel fits are near-perfectly
+        linear (the Figure-8 'high correlation' panels)."""
+        _, data, _, _ = campaign
+        classified = core.classify_kernels(data.for_gpu("A100"))
+        populous = [e for e in classified.values()
+                    if e.fit.n_samples >= 50]
+        assert populous
+        median_r2 = sorted(e.fit.r2 for e in populous)[len(populous) // 2]
+        assert median_r2 > 0.95
+
+
+class TestAccuracyLadder:
+    def test_model_errors_ordered(self, campaign):
+        """Headline: E2E > LW > KW error, with KW in single digits."""
+        nets, _, train, test = campaign
+        index = core.networks_by_name(nets)
+        errors = {}
+        for name in ("e2e", "lw", "kw"):
+            model = core.train_model(train, name, gpu="A100")
+            errors[name] = core.evaluate_model(
+                model, test, index, gpu="A100", batch_size=512).mean_error
+        assert errors["kw"] < errors["lw"] < errors["e2e"]
+        assert errors["kw"] < 0.12
+
+    def test_kw_accurate_on_every_gpu(self, campaign):
+        """Section 5.4: KW error in the single digits on all GPUs."""
+        nets, _, train, test = campaign
+        index = core.networks_by_name(nets)
+        for name in ("A100", "A40", "GTX 1080 Ti", "TITAN RTX"):
+            model = core.train_model(train, "kw", gpu=name)
+            curve = core.evaluate_model(model, test, index, gpu=name,
+                                        batch_size=512)
+            assert curve.mean_error < 0.12, name
+
+    def test_igkw_predicts_unseen_gpu(self, campaign):
+        """Section 5.5: training on three GPUs predicts a fourth with
+        error well under the E2E model's."""
+        nets, _, train, test = campaign
+        index = core.networks_by_name(nets)
+        igkw = core.train_inter_gpu_model(
+            train, [gpu("A100"), gpu("A40"), gpu("GTX 1080 Ti")])
+        curve = core.evaluate_model(igkw.for_gpu(gpu("TITAN RTX")), test,
+                                    index, gpu="TITAN RTX", batch_size=512)
+        assert curve.mean_error < 0.30
+
+    def test_kw_prediction_is_fast(self, campaign):
+        """Table 2's point: KW predictions take micro- to milliseconds,
+        not simulator-hours."""
+        import time
+        nets, _, train, _ = campaign
+        model = core.train_model(train, "kw", gpu="A100")
+        net = zoo.resnet50()
+        start = time.perf_counter()
+        model.predict_network(net, 256)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 0.5   # seconds, vs hours for PKA/PKS
+
+
+class TestSmallWorkloadTail:
+    def test_kw_overestimates_small_batches(self, campaign):
+        """Figure 13's asymmetric tail: networks too small to keep the
+        GPU busy are over- (not under-) estimated."""
+        nets, _, train, _ = campaign
+        model = core.train_model(train, "kw", gpu="A100")
+        device = SimulatedGPU(gpu("A100"))
+        net = zoo.shufflenet_v1()
+        predicted = model.predict_network(net, 8)
+        measured = device.run_network(net, 8).e2e_us
+        assert predicted > measured

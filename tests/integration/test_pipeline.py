@@ -1,0 +1,91 @@
+"""End-to-end integration tests: dataset → training → prediction.
+
+These exercise the full Figure-10 workflow on a small campaign, including
+persistence round-trips and the cross-model accuracy ladder.
+"""
+
+import pytest
+
+from repro import core, dataset, zoo
+from repro.gpu import SimulatedGPU, gpu
+
+
+@pytest.fixture(scope="module")
+def pipeline(small_split, small_roster):
+    train, test = small_split
+    index = core.networks_by_name(small_roster)
+    return train, test, index
+
+
+class TestFullWorkflow:
+    def test_dataset_to_prediction(self, pipeline):
+        train, test, index = pipeline
+        model = core.train_model(train, "kw", gpu="A100")
+        curve = core.evaluate_model(model, test, index, gpu="A100",
+                                    batch_size=512)
+        assert curve.mean_error < 0.15
+
+    def test_persistence_round_trip_preserves_model_quality(
+            self, pipeline, tmp_path):
+        """Saving and reloading the dataset must train identical models."""
+        train, test, index = pipeline
+        from repro.dataset import load_dataset, save_dataset
+        reloaded = load_dataset(save_dataset(train, tmp_path / "d"))
+        direct = core.train_model(train, "e2e", gpu="A100")
+        via_csv = core.train_model(reloaded, "e2e", gpu="A100")
+        assert via_csv.fit.slope == pytest.approx(direct.fit.slope)
+        assert via_csv.fit.intercept == pytest.approx(direct.fit.intercept)
+
+    def test_prediction_without_execution(self, pipeline):
+        """The trained model predicts a brand-new network from structure
+        alone — the paper's central workflow."""
+        train, _, _ = pipeline
+        model = core.train_model(train, "kw", gpu="A100")
+        unseen = zoo.resnet34()  # not part of the small roster
+        predicted = model.predict_network(unseen, 512)
+        measured = SimulatedGPU(gpu("A100")).run_network(unseen, 512).e2e_us
+        assert predicted / measured == pytest.approx(1.0, abs=0.25)
+
+    def test_cross_batch_generalisation(self, pipeline):
+        """O3: training at full utilisation transfers to other batches."""
+        train, _, index = pipeline
+        model = core.train_model(train, "kw", gpu="A100", batch_size=512)
+        net = index["resnet50"]
+        device = SimulatedGPU(gpu("A100"))
+        for batch in (64, 256):
+            predicted = model.predict_network(net, batch)
+            measured = device.run_network(net, batch).e2e_us
+            assert predicted / measured == pytest.approx(1.0, abs=0.35)
+
+    def test_inter_gpu_workflow(self, pipeline):
+        """Train on two GPUs, predict a third via bandwidth transfer."""
+        train, test, index = pipeline
+        igkw = core.train_inter_gpu_model(
+            train, [gpu("A100"), gpu("TITAN RTX")])
+        predictor = igkw.for_gpu(gpu("TITAN RTX"))
+        curve = core.evaluate_model(predictor, test, index,
+                                    gpu="TITAN RTX", batch_size=512)
+        assert curve.mean_error < 0.3
+
+
+class TestTransformerExtension:
+    def test_kw_model_handles_transformers(self):
+        """Section 5.4's extension: the same machinery predicts BERTs."""
+        nets = zoo.text_roster()
+        data = dataset.build_dataset(nets, [gpu("A100")], batch_sizes=[64])
+        train, test = dataset.train_test_split(data, seed=1)
+        model = core.train_model(train, "kw", gpu="A100", batch_size=64)
+        curve = core.evaluate_model(model, test,
+                                    core.networks_by_name(nets),
+                                    gpu="A100", batch_size=64)
+        assert curve.mean_error < 0.25
+
+
+class TestMixedWorkload:
+    def test_single_dataset_mixes_cnns_and_transformers(self):
+        nets = [zoo.resnet18(), zoo.bert("tiny")]
+        data = dataset.build_dataset(nets, [gpu("A100")], batch_sizes=[64])
+        assert set(data.network_names()) == {"resnet18", "bert_tiny"}
+        model = core.train_model(data, "kw", gpu="A100", batch_size=64)
+        for net in nets:
+            assert model.predict_network(net, 64) > 0

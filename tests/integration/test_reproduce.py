@@ -1,0 +1,43 @@
+"""Tests for the one-shot reproduction driver."""
+
+import pytest
+
+from repro.reproduce import PAPER_ERRORS, run_reproduction
+
+
+@pytest.fixture(scope="module")
+def results(tmp_path_factory):
+    out = tmp_path_factory.mktemp("repro-run")
+    return out, run_reproduction(out, scale="small", seed=3)
+
+
+class TestRunReproduction:
+    def test_report_written(self, results):
+        out, _ = results
+        report = (out / "reproduction.txt").read_text()
+        for section in ("campaign:", "Headline error rates",
+                        "KW model per GPU", "Table 2",
+                        "total reproduction time"):
+            assert section in report
+
+    def test_all_headline_metrics_returned(self, results):
+        _, measured = results
+        assert set(PAPER_ERRORS) <= set(measured)
+        for name in ("A100", "V100"):
+            assert f"kw:{name}" in measured
+
+    def test_error_ladder_holds_even_at_small_scale(self, results):
+        _, measured = results
+        assert measured["kw"] < measured["e2e"]
+
+    def test_table2_errors_small(self, results):
+        _, measured = results
+        for batch in (64, 128, 256):
+            assert measured[f"table2:{batch}"] < 0.15
+
+    def test_cli_wrapper(self, tmp_path, capsys):
+        from repro.cli import main
+        code = main(["reproduce", "--scale", "small", "--seed", "3",
+                     "--out", str(tmp_path / "r")])
+        assert code == 0
+        assert "Headline error rates" in capsys.readouterr().out

@@ -1,0 +1,76 @@
+"""Robustness integration tests: seeds, re-profiling, and corrupt inputs."""
+
+import pytest
+
+from repro import core, dataset, zoo
+from repro.gpu import SimulatedGPU, gpu
+
+
+class TestMeasurementNoiseRobustness:
+    def test_model_transfers_across_profiling_sessions(self, small_roster,
+                                                       roster_index):
+        """A model trained on one profiling session (seed 0) predicts a
+        re-profiled session (seed 1) of the same hardware: measurement
+        noise must not be what the model learned."""
+        session_a = dataset.build_dataset(small_roster, [gpu("A100")],
+                                          batch_sizes=[512], seed=0)
+        session_b = dataset.build_dataset(small_roster, [gpu("A100")],
+                                          batch_sizes=[512], seed=1)
+        model = core.train_model(session_a, "kw", gpu="A100")
+        curve = core.evaluate_model(model, session_b, roster_index,
+                                    gpu="A100", batch_size=512)
+        assert curve.mean_error < 0.12
+
+    def test_sessions_differ_but_only_slightly(self, small_roster):
+        a = dataset.build_dataset(small_roster[:2], [gpu("A100")],
+                                  batch_sizes=[512], seed=0)
+        b = dataset.build_dataset(small_roster[:2], [gpu("A100")],
+                                  batch_sizes=[512], seed=1)
+        for row_a, row_b in zip(a.network_rows, b.network_rows):
+            assert row_a.e2e_us != row_b.e2e_us
+            assert row_a.e2e_us == pytest.approx(row_b.e2e_us, rel=0.05)
+
+
+class TestCorruptInputs:
+    def test_malformed_csv_rejected(self, tmp_path):
+        directory = tmp_path / "bad"
+        directory.mkdir()
+        for name in ("kernels.csv", "layers.csv", "networks.csv"):
+            (directory / name).write_text("not,a,real,header\n1,2,3,4\n")
+        with pytest.raises(TypeError):
+            dataset.load_dataset(directory)
+
+    def test_truncated_numeric_field_rejected(self, small_dataset,
+                                              tmp_path):
+        directory = dataset.save_dataset(small_dataset, tmp_path / "d")
+        path = directory / "networks.csv"
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1].replace(lines[1].split(",")[-4], "not_a_number")
+        path.write_text("\n".join(lines))
+        with pytest.raises(ValueError):
+            dataset.load_dataset(directory)
+
+    def test_model_json_with_wrong_kind_rejected(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text('{"format_version": 1, "kind": "alien"}')
+        with pytest.raises(ValueError):
+            core.load_model(path)
+
+
+class TestPredictionInputValidation:
+    def test_zero_batch_rejected_everywhere(self, small_split,
+                                            roster_index):
+        train, _ = small_split
+        model = core.train_model(train, "kw", gpu="A100")
+        with pytest.raises(ValueError):
+            model.predict_network(roster_index["resnet18"], 0)
+
+    def test_huge_batch_still_predicts(self, small_split, roster_index):
+        """Extrapolating far above the training range stays finite and
+        roughly linear (O3)."""
+        train, _ = small_split
+        model = core.train_model(train, "kw", gpu="A100")
+        net = roster_index["resnet18"]
+        p512 = model.predict_network(net, 512)
+        p4096 = model.predict_network(net, 4096)
+        assert p4096 / p512 == pytest.approx(8.0, rel=0.3)

@@ -1,0 +1,82 @@
+"""Unit tests for attention layers (coarse and decomposed)."""
+
+import pytest
+
+from repro.nn.layers.attention import (
+    AttentionContext,
+    AttentionScores,
+    MultiHeadAttention,
+)
+from repro.nn.tensor import TensorShape
+
+SEQ = TensorShape.sequence(2, 128, 768)
+
+
+class TestMultiHeadAttention:
+    def test_shape_preserved(self):
+        mha = MultiHeadAttention(768, 12)
+        assert mha.infer_shape([SEQ]) == SEQ
+
+    def test_head_dim(self):
+        assert MultiHeadAttention(768, 12).head_dim == 64
+
+    def test_params_four_projections(self):
+        mha = MultiHeadAttention(768, 12)
+        assert mha.param_count() == 4 * (768 * 768 + 768)
+
+    def test_flops_components(self):
+        mha = MultiHeadAttention(768, 12)
+        flops = mha.flops([SEQ], SEQ)
+        projections = 4 * 2 * 128 * 768 * 768
+        attention = 2 * 2 * 12 * 128 * 128 * 64
+        assert flops == projections + attention
+
+    def test_rejects_indivisible_heads(self):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(768, 7)
+
+    def test_rejects_wrong_embed_dim(self):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(512, 8).infer_shape([SEQ])
+
+
+class TestDecomposedAttention:
+    def test_scores_shape(self):
+        qkv = TensorShape.sequence(2, 128, 3 * 768)
+        scores = AttentionScores(768, 12).infer_shape([qkv])
+        assert scores.dims == (2, 12 * 128, 128)
+
+    def test_scores_flops(self):
+        qkv = TensorShape.sequence(2, 128, 3 * 768)
+        layer = AttentionScores(768, 12)
+        out = layer.infer_shape([qkv])
+        assert layer.flops([qkv], out) == 2 * 12 * 128 * 128 * 64
+
+    def test_scores_rejects_unfused_input(self):
+        with pytest.raises(ValueError):
+            AttentionScores(768, 12).infer_shape([SEQ])
+
+    def test_context_shape(self):
+        qkv = TensorShape.sequence(2, 128, 3 * 768)
+        scores = AttentionScores(768, 12).infer_shape([qkv])
+        context = AttentionContext(768, 12).infer_shape([scores, qkv])
+        assert context.dims == (2, 128, 768)
+
+    def test_context_rejects_bad_scores(self):
+        qkv = TensorShape.sequence(2, 128, 3 * 768)
+        bad_scores = TensorShape.sequence(2, 128, 128)
+        with pytest.raises(ValueError):
+            AttentionContext(768, 12).infer_shape([bad_scores, qkv])
+
+    def test_decomposition_flops_match_coarse_layer(self):
+        """Scores + context flops equal the coarse MHA attention part."""
+        qkv = TensorShape.sequence(2, 128, 3 * 768)
+        scores_layer = AttentionScores(768, 12)
+        context_layer = AttentionContext(768, 12)
+        scores = scores_layer.infer_shape([qkv])
+        context = context_layer.infer_shape([scores, qkv])
+        decomposed = (scores_layer.flops([qkv], scores)
+                      + context_layer.flops([scores, qkv], context))
+        mha = MultiHeadAttention(768, 12)
+        projections = 4 * 2 * 128 * 768 * 768
+        assert decomposed == mha.flops([SEQ], SEQ) - projections

@@ -1,0 +1,71 @@
+"""Unit tests for FLOPs aggregation (thop substitute)."""
+
+import pytest
+
+from repro.nn.flops import (
+    arithmetic_intensity,
+    dominant_kind,
+    flops_by_kind,
+    layer_flops,
+    network_flops,
+    network_gflops,
+    profile_flops,
+)
+from repro.zoo import resnet18, resnet50, vgg16
+
+
+@pytest.fixture(scope="module")
+def r50():
+    return resnet50()
+
+
+class TestNetworkFlops:
+    def test_resnet50_matches_published_value(self, r50):
+        # published multiply-count: ~4.1 GFLOPs at batch 1
+        assert network_gflops(r50, 1) == pytest.approx(4.1, rel=0.05)
+
+    def test_vgg16_matches_published_value(self):
+        assert network_gflops(vgg16(), 1) == pytest.approx(15.5, rel=0.05)
+
+    def test_resnet18_matches_published_value(self):
+        assert network_gflops(resnet18(), 1) == pytest.approx(1.8, rel=0.05)
+
+    def test_flops_linear_in_batch(self, r50):
+        assert network_flops(r50, 64) == 64 * network_flops(r50, 1)
+
+    def test_layer_flops_sum_to_network(self, r50):
+        per_layer = layer_flops(r50, 2)
+        assert sum(f for _, f in per_layer) == network_flops(r50, 2)
+
+    def test_profile_flops_params(self, r50):
+        flops, params = profile_flops(r50)
+        assert flops == network_flops(r50, 1)
+        assert params == pytest.approx(25.6e6, rel=0.02)
+
+
+class TestByKind:
+    def test_conv_dominates_cnns(self, r50):
+        assert dominant_kind(r50) == "CONV"
+
+    def test_kind_totals_sum_to_network(self, r50):
+        totals = flops_by_kind(r50, 1)
+        assert sum(totals.values()) == network_flops(r50, 1)
+
+    def test_kinds_present(self, r50):
+        totals = flops_by_kind(r50, 1)
+        for kind in ("CONV", "BN", "ReLU", "FC"):
+            assert kind in totals
+
+
+class TestArithmeticIntensity:
+    def test_conv_much_denser_than_bn(self, r50):
+        infos = {i.name: i for i in r50.layer_infos(8)}
+        conv_ai = max(arithmetic_intensity(i) for i in infos.values()
+                      if i.kind == "CONV")
+        bn_ai = max(arithmetic_intensity(i) for i in infos.values()
+                    if i.kind == "BN")
+        assert conv_ai > 10 * bn_ai
+
+    def test_zero_flops_layer_has_zero_intensity(self, r50):
+        flatten = next(i for i in r50.layer_infos(1) if i.kind == "Flatten")
+        assert arithmetic_intensity(flatten) == 0.0

@@ -1,0 +1,118 @@
+"""Unit tests for the network DAG."""
+
+import pytest
+
+from repro.nn.graph import INPUT, Network, sequential
+from repro.nn.layers import Add, Conv2d, Flatten, Linear, ReLU
+from repro.nn.tensor import TensorShape
+
+IMAGENET = TensorShape.image(1, 3, 224, 224)
+
+
+def tiny_net() -> Network:
+    net = Network("tiny", IMAGENET, family="test")
+    net.add("conv", Conv2d(3, 8, 3, padding=1, bias=False))
+    net.add("relu", ReLU())
+    net.add("flatten", Flatten())
+    net.add("fc", Linear(8 * 224 * 224, 10))
+    return net
+
+
+class TestConstruction:
+    def test_default_input_chains(self):
+        net = tiny_net()
+        assert net.node("relu").inputs == ("conv",)
+        assert net.node("conv").inputs == (INPUT,)
+
+    def test_explicit_multi_input(self):
+        net = Network("branch", IMAGENET)
+        net.add("a", Conv2d(3, 8, 3, padding=1))
+        net.add("b", Conv2d(8, 8, 3, padding=1), inputs=("a",))
+        net.add("join", Add(), inputs=("a", "b"))
+        assert net.output_shape(2).channels == 8
+
+    def test_rejects_duplicate_names(self):
+        net = Network("dup", IMAGENET)
+        net.add("x", ReLU())
+        with pytest.raises(ValueError):
+            net.add("x", ReLU())
+
+    def test_rejects_forward_reference(self):
+        net = Network("fwd", IMAGENET)
+        with pytest.raises(ValueError):
+            net.add("a", Add(), inputs=("later",))
+
+    def test_rejects_reserved_name(self):
+        net = Network("r", IMAGENET)
+        with pytest.raises(ValueError):
+            net.add(INPUT, ReLU())
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Network("", IMAGENET)
+
+    def test_input_batch_is_canonicalised_to_one(self):
+        net = Network("b", TensorShape.image(512, 3, 8, 8))
+        assert net.input_shape.batch == 1
+
+    def test_sequential_helper(self):
+        net = sequential("seq", IMAGENET,
+                         [("c", Conv2d(3, 4, 1)), ("r", ReLU())])
+        assert len(net) == 2
+        assert net.output_name == "r"
+
+
+class TestShapes:
+    def test_shapes_include_input(self):
+        shapes = tiny_net().shapes(4)
+        assert shapes[INPUT].dims == (4, 3, 224, 224)
+
+    def test_batch_propagates(self):
+        net = tiny_net()
+        assert net.output_shape(16).batch == 16
+        assert net.output_shape(1).batch == 1
+
+    def test_rejects_nonpositive_batch(self):
+        with pytest.raises(ValueError):
+            tiny_net().shapes(0)
+
+    def test_layer_infos_order_and_flops(self):
+        infos = tiny_net().layer_infos(2)
+        assert [i.name for i in infos] == ["conv", "relu", "flatten", "fc"]
+        conv = infos[0]
+        assert conv.flops == 2 * 8 * 224 * 224 * 3 * 9
+        assert conv.input_nchw == 2 * 3 * 224 * 224
+        assert conv.output_nchw == 2 * 8 * 224 * 224
+
+    def test_layer_info_carries_layer_object(self):
+        info = tiny_net().layer_infos(1)[0]
+        assert isinstance(info.layer, Conv2d)
+
+
+class TestAggregates:
+    def test_total_flops_scales_linearly_with_batch(self):
+        net = tiny_net()
+        assert net.total_flops(8) == 8 * net.total_flops(1)
+
+    def test_total_params_batch_independent(self):
+        net = tiny_net()
+        expected = (8 * 3 * 9) + (8 * 224 * 224 * 10 + 10)
+        assert net.total_params() == expected
+
+    def test_kinds(self):
+        assert tiny_net().kinds() == ["CONV", "FC", "Flatten", "ReLU"]
+
+    def test_summary_mentions_every_layer(self):
+        text = tiny_net().summary(2)
+        for name in ("conv", "relu", "flatten", "fc", "total"):
+            assert name in text
+
+    def test_len_and_contains(self):
+        net = tiny_net()
+        assert len(net) == 4
+        assert "conv" in net
+        assert "nope" not in net
+
+    def test_empty_network_has_no_output(self):
+        with pytest.raises(ValueError):
+            Network("empty", IMAGENET).output_name

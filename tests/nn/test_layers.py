@@ -1,0 +1,250 @@
+"""Unit tests for layer shape inference, parameters, and FLOPs."""
+
+import pytest
+
+from repro.nn.layer import LAYER_REGISTRY, Layer, layer_kinds, register_layer
+from repro.nn.layers import (
+    Add,
+    AdaptiveAvgPool2d,
+    AvgPool2d,
+    BatchNorm2d,
+    ChannelShuffle,
+    Concat,
+    Conv2d,
+    Dropout,
+    Embedding,
+    Flatten,
+    LayerNorm,
+    Linear,
+    MaxPool2d,
+    Multiply,
+    ReLU,
+    Softmax,
+    depthwise_conv2d,
+    pointwise_conv2d,
+)
+from repro.nn.tensor import TensorShape
+
+IMG = TensorShape.image(2, 64, 56, 56)
+
+
+def out_of(layer, *inputs):
+    return layer.infer_shape(list(inputs))
+
+
+class TestConv2d:
+    def test_output_shape(self):
+        conv = Conv2d(64, 128, 3, stride=2, padding=1)
+        assert out_of(conv, IMG).dims == (2, 128, 28, 28)
+
+    def test_param_count_with_bias(self):
+        conv = Conv2d(64, 128, 3, bias=True)
+        assert conv.param_count() == 128 * 64 * 9 + 128
+
+    def test_param_count_without_bias(self):
+        conv = Conv2d(64, 128, 3, bias=False)
+        assert conv.param_count() == 128 * 64 * 9
+
+    def test_flops_formula(self):
+        # paper: FLOPs = Cout * H' * W' * Cin * Kh * Kw (x batch)
+        conv = Conv2d(64, 128, 3, padding=1, bias=False)
+        out = out_of(conv, IMG)
+        assert conv.flops([IMG], out) == 2 * 128 * 56 * 56 * 64 * 9
+
+    def test_grouped_params_and_flops_divide(self):
+        full = Conv2d(64, 128, 3, padding=1, bias=False)
+        grouped = Conv2d(64, 128, 3, padding=1, groups=4, bias=False)
+        out = out_of(full, IMG)
+        assert grouped.param_count() * 4 == full.param_count()
+        assert grouped.flops([IMG], out) * 4 == full.flops([IMG], out)
+
+    def test_depthwise_helper(self):
+        conv = depthwise_conv2d(64, 3, padding=1)
+        assert conv.is_depthwise
+        assert conv.groups == 64
+        assert out_of(conv, IMG).channels == 64
+
+    def test_pointwise_helper(self):
+        conv = pointwise_conv2d(64, 256)
+        assert conv.is_pointwise
+        assert out_of(conv, IMG).dims == (2, 256, 56, 56)
+
+    def test_rejects_wrong_channels(self):
+        with pytest.raises(ValueError):
+            out_of(Conv2d(32, 64, 3), IMG)
+
+    def test_rejects_non_nchw(self):
+        with pytest.raises(ValueError):
+            out_of(Conv2d(64, 64, 3), TensorShape.flat(2, 64))
+
+    def test_rejects_bad_groups(self):
+        with pytest.raises(ValueError):
+            Conv2d(64, 128, 3, groups=5)
+
+
+class TestLinear:
+    def test_flat_shape(self):
+        fc = Linear(512, 1000)
+        assert out_of(fc, TensorShape.flat(8, 512)).dims == (8, 1000)
+
+    def test_sequence_shape(self):
+        fc = Linear(768, 3072)
+        out = out_of(fc, TensorShape.sequence(2, 128, 768))
+        assert out.dims == (2, 128, 3072)
+
+    def test_params(self):
+        assert Linear(512, 1000).param_count() == 512 * 1000 + 1000
+
+    def test_flops_per_token(self):
+        fc = Linear(768, 768)
+        seq = TensorShape.sequence(2, 128, 768)
+        assert fc.flops([seq], out_of(fc, seq)) == 2 * 128 * 768 * 768
+
+    def test_rejects_mismatched_features(self):
+        with pytest.raises(ValueError):
+            out_of(Linear(512, 10), TensorShape.flat(1, 100))
+
+
+class TestNorms:
+    def test_bn_preserves_shape(self):
+        assert out_of(BatchNorm2d(64), IMG) == IMG
+
+    def test_bn_params(self):
+        assert BatchNorm2d(64).param_count() == 128
+
+    def test_bn_rejects_wrong_channels(self):
+        with pytest.raises(ValueError):
+            out_of(BatchNorm2d(32), IMG)
+
+    def test_ln_preserves_shape(self):
+        seq = TensorShape.sequence(2, 16, 768)
+        assert out_of(LayerNorm(768), seq) == seq
+
+    def test_ln_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            out_of(LayerNorm(512), TensorShape.sequence(1, 4, 768))
+
+
+class TestPooling:
+    def test_maxpool_shape(self):
+        pool = MaxPool2d(3, stride=2, padding=1)
+        assert out_of(pool, IMG).dims == (2, 64, 28, 28)
+
+    def test_avgpool_default_stride_is_kernel(self):
+        pool = AvgPool2d(2)
+        assert out_of(pool, IMG).dims == (2, 64, 28, 28)
+
+    def test_pool_has_no_params(self):
+        assert MaxPool2d(2).param_count() == 0
+
+    def test_adaptive_pool_to_one(self):
+        assert out_of(AdaptiveAvgPool2d(1), IMG).dims == (2, 64, 1, 1)
+
+    def test_adaptive_pool_rejects_upsampling(self):
+        with pytest.raises(ValueError):
+            out_of(AdaptiveAvgPool2d(100), IMG)
+
+
+class TestElementwise:
+    def test_add_shape(self):
+        assert out_of(Add(), IMG, IMG) == IMG
+
+    def test_add_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            out_of(Add(), IMG, TensorShape.image(2, 32, 56, 56))
+
+    def test_add_flops_scale_with_inputs(self):
+        three = Add().flops([IMG, IMG, IMG], IMG)
+        two = Add().flops([IMG, IMG], IMG)
+        assert three == 2 * two
+
+    def test_multiply_broadcast(self):
+        gate = TensorShape.image(2, 64, 1, 1)
+        assert out_of(Multiply(), IMG, gate) == IMG
+
+    def test_multiply_rejects_bad_broadcast(self):
+        bad = TensorShape.image(2, 32, 1, 1)
+        with pytest.raises(ValueError):
+            out_of(Multiply(), IMG, bad)
+
+    def test_concat_channels(self):
+        other = TensorShape.image(2, 32, 56, 56)
+        assert out_of(Concat(), IMG, other).channels == 96
+
+    def test_concat_rejects_spatial_mismatch(self):
+        other = TensorShape.image(2, 64, 28, 28)
+        with pytest.raises(ValueError):
+            out_of(Concat(), IMG, other)
+
+
+class TestReshapeLayers:
+    def test_flatten(self):
+        assert out_of(Flatten(), IMG).dims == (2, 64 * 56 * 56)
+
+    def test_flatten_is_free(self):
+        assert Flatten().flops([IMG], out_of(Flatten(), IMG)) == 0
+
+    def test_channel_shuffle_preserves_shape(self):
+        assert out_of(ChannelShuffle(4), IMG) == IMG
+
+    def test_channel_shuffle_rejects_indivisible(self):
+        with pytest.raises(ValueError):
+            out_of(ChannelShuffle(5), IMG)
+
+    def test_dropout_is_identity_and_free(self):
+        drop = Dropout(0.5)
+        assert out_of(drop, IMG) == IMG
+        assert drop.flops([IMG], IMG) == 0
+
+    def test_dropout_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestEmbeddingAndSoftmax:
+    def test_embedding_shape(self):
+        ids = TensorShape((2, 128), dtype="int64")
+        out = out_of(Embedding(30000, 768), ids)
+        assert out.dims == (2, 128, 768)
+
+    def test_embedding_params(self):
+        assert Embedding(100, 8).param_count() == 800
+
+    def test_embedding_rejects_rank3(self):
+        with pytest.raises(ValueError):
+            out_of(Embedding(10, 4), TensorShape.sequence(1, 2, 3))
+
+    def test_softmax_preserves_shape(self):
+        assert out_of(Softmax(), IMG) == IMG
+
+    def test_relu_is_free_of_params(self):
+        assert ReLU().param_count() == 0
+
+
+class TestRegistry:
+    def test_common_kinds_registered(self):
+        for kind in ("CONV", "FC", "BN", "ReLU", "MaxPool", "Add", "Concat"):
+            assert kind in LAYER_REGISTRY
+
+    def test_layer_kinds_sorted(self):
+        kinds = layer_kinds()
+        assert kinds == sorted(kinds)
+
+    def test_duplicate_kind_rejected(self):
+        with pytest.raises(ValueError):
+            @register_layer
+            class FakeConv(Layer):  # noqa: F811 - intentional duplicate
+                kind = "CONV"
+
+                def infer_shape(self, inputs):
+                    return inputs[0]
+
+                def param_count(self):
+                    return 0
+
+                def flops(self, inputs, output):
+                    return 0
+
+    def test_arity_check(self):
+        with pytest.raises(ValueError):
+            out_of(BatchNorm2d(64), IMG, IMG)

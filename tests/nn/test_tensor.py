@@ -1,0 +1,143 @@
+"""Unit tests for tensor shape arithmetic."""
+
+import pytest
+
+from repro.nn.tensor import (
+    TensorShape,
+    conv2d_output_hw,
+    pair,
+    pool2d_output_hw,
+)
+
+
+class TestTensorShape:
+    def test_image_constructor(self):
+        shape = TensorShape.image(4, 3, 224, 224)
+        assert shape.dims == (4, 3, 224, 224)
+        assert shape.batch == 4
+        assert shape.channels == 3
+        assert shape.height == 224
+        assert shape.width == 224
+
+    def test_sequence_constructor(self):
+        shape = TensorShape.sequence(2, 128, 768)
+        assert shape.dims == (2, 128, 768)
+        assert shape.rank == 3
+
+    def test_flat_constructor(self):
+        shape = TensorShape.flat(8, 1000)
+        assert shape.dims == (8, 1000)
+        assert shape.numel_per_sample() == 1000
+
+    def test_numel(self):
+        assert TensorShape.image(2, 3, 4, 5).numel() == 120
+
+    def test_numel_per_sample_excludes_batch(self):
+        assert TensorShape.image(7, 3, 4, 5).numel_per_sample() == 60
+
+    def test_bytes_float32(self):
+        assert TensorShape.flat(1, 10).bytes() == 40
+
+    def test_bytes_int64(self):
+        assert TensorShape((1, 10), dtype="int64").bytes() == 80
+
+    def test_nchw_equals_numel(self):
+        shape = TensorShape.image(4, 64, 56, 56)
+        assert shape.nchw() == shape.numel()
+
+    def test_with_batch(self):
+        shape = TensorShape.image(1, 3, 224, 224).with_batch(512)
+        assert shape.batch == 512
+        assert shape.dims[1:] == (3, 224, 224)
+
+    def test_with_channels(self):
+        assert TensorShape.image(1, 3, 8, 8).with_channels(64).channels == 64
+
+    def test_with_channels_rank1_rejected(self):
+        with pytest.raises(ValueError):
+            TensorShape((4,)).with_channels(2)
+
+    def test_flattened(self):
+        assert TensorShape.image(2, 3, 4, 5).flattened().dims == (2, 60)
+
+    def test_rejects_zero_dimension(self):
+        with pytest.raises(ValueError):
+            TensorShape((1, 0, 5))
+
+    def test_rejects_negative_dimension(self):
+        with pytest.raises(ValueError):
+            TensorShape((1, -2))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            TensorShape(())
+
+    def test_rejects_unknown_dtype(self):
+        with pytest.raises(ValueError):
+            TensorShape((1, 2), dtype="float8")
+
+    def test_str(self):
+        assert str(TensorShape.image(1, 3, 8, 8)) == "1x3x8x8"
+
+    def test_height_width_degrade_for_low_rank(self):
+        flat = TensorShape.flat(2, 100)
+        assert flat.height == 1
+        assert flat.width == 1
+
+    def test_immutable(self):
+        shape = TensorShape.flat(1, 2)
+        with pytest.raises(Exception):
+            shape.dims = (3, 4)
+
+
+class TestConvArithmetic:
+    def test_same_padding_3x3(self):
+        assert conv2d_output_hw(56, 56, (3, 3), (1, 1), (1, 1)) == (56, 56)
+
+    def test_stride_2_halves(self):
+        assert conv2d_output_hw(224, 224, (7, 7), (2, 2), (3, 3)) == (112, 112)
+
+    def test_1x1(self):
+        assert conv2d_output_hw(14, 14, (1, 1), (1, 1), (0, 0)) == (14, 14)
+
+    def test_dilation(self):
+        # dilated 3x3 behaves like 5x5
+        assert (conv2d_output_hw(32, 32, (3, 3), (1, 1), (0, 0), (2, 2))
+                == conv2d_output_hw(32, 32, (5, 5), (1, 1), (0, 0)))
+
+    def test_empty_output_rejected(self):
+        with pytest.raises(ValueError):
+            conv2d_output_hw(2, 2, (5, 5), (1, 1), (0, 0))
+
+
+class TestPoolArithmetic:
+    def test_floor_mode(self):
+        assert pool2d_output_hw(112, 112, (3, 3), (2, 2), (1, 1)) == (56, 56)
+
+    def test_ceil_mode(self):
+        # 55 -> ceil((55 - 3)/2) + 1 = 27; floor gives 27 too; use odd case
+        assert pool2d_output_hw(7, 7, (2, 2), (2, 2), (0, 0),
+                                ceil_mode=True) == (4, 4)
+        assert pool2d_output_hw(7, 7, (2, 2), (2, 2), (0, 0),
+                                ceil_mode=False) == (3, 3)
+
+    def test_ceil_mode_window_clamp(self):
+        # the last window must start inside the (padded) input
+        out = pool2d_output_hw(4, 4, (2, 2), (2, 2), (1, 1), ceil_mode=True)
+        assert out == (3, 3)
+
+    def test_empty_output_rejected(self):
+        with pytest.raises(ValueError):
+            pool2d_output_hw(1, 1, (3, 3), (2, 2), (0, 0))
+
+
+class TestPair:
+    def test_int_duplicates(self):
+        assert pair(3) == (3, 3)
+
+    def test_tuple_passthrough(self):
+        assert pair((1, 2)) == (1, 2)
+
+    def test_bad_tuple_rejected(self):
+        with pytest.raises(ValueError):
+            pair((1, 2, 3))

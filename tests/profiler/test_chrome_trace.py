@@ -1,0 +1,53 @@
+"""Tests for Chrome trace export (PyTorch Profiler interchange format)."""
+
+import json
+
+import pytest
+
+from repro.gpu import SimulatedGPU, gpu
+from repro.profiler import profile_network
+from repro.zoo import resnet18
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return profile_network(SimulatedGPU(gpu("A100")), resnet18(), 8)
+
+
+class TestChromeTrace:
+    def test_event_counts(self, trace):
+        events = trace.to_chrome_trace()
+        duration_events = [e for e in events if e["ph"] == "X"]
+        assert len(duration_events) == (len(trace.layer_events)
+                                        + len(trace.kernel_events))
+
+    def test_two_named_threads(self, trace):
+        events = trace.to_chrome_trace()
+        thread_names = {e["args"]["name"] for e in events
+                        if e["name"] == "thread_name"}
+        assert thread_names == {"CPU (layers)", "GPU (kernels)"}
+
+    def test_kernels_on_gpu_thread(self, trace):
+        events = trace.to_chrome_trace()
+        kernels = [e for e in events if e.get("cat") == "kernel"]
+        assert kernels
+        assert all(e["tid"] == 1 for e in kernels)
+        assert all("layer" in e["args"] for e in kernels)
+
+    def test_layer_events_carry_shapes_and_flops(self, trace):
+        events = trace.to_chrome_trace()
+        layers = [e for e in events
+                  if e["ph"] == "X" and e["tid"] == 0]
+        assert all("input_shape" in e["args"] for e in layers)
+        assert all(e["args"]["flops"] >= 0 for e in layers)
+
+    def test_durations_nonnegative_and_sorted(self, trace):
+        events = [e for e in trace.to_chrome_trace() if e["ph"] == "X"]
+        assert all(e["dur"] >= 0 for e in events)
+
+    def test_save_round_trip(self, trace, tmp_path):
+        path = tmp_path / "trace.json"
+        trace.save_chrome_trace(path)
+        loaded = json.loads(path.read_text())
+        assert "traceEvents" in loaded
+        assert len(loaded["traceEvents"]) == len(trace.to_chrome_trace())

@@ -1,0 +1,98 @@
+"""Tests for the profiler substrate (traces and CUDA-event timing)."""
+
+import pytest
+
+from repro.profiler import (
+    batch_sweep,
+    measure_e2e,
+    profile_network,
+    trace_from_result,
+)
+from repro.zoo import resnet18, squeezenet
+
+
+@pytest.fixture(scope="module")
+def trace(a100_module):
+    return profile_network(a100_module, resnet18(), 8)
+
+
+@pytest.fixture(scope="module")
+def a100_module():
+    from repro.gpu import SimulatedGPU, gpu
+    return SimulatedGPU(gpu("A100"))
+
+
+class TestTraceStructure:
+    def test_two_tracks_populated(self, trace):
+        assert len(trace.layer_events) > 0
+        assert len(trace.kernel_events) > 0
+
+    def test_kernels_attributed_to_layers(self, trace):
+        layer_names = {event.name for event in trace.layer_events}
+        for kernel in trace.kernel_events:
+            assert kernel.layer_name in layer_names
+
+    def test_timeline_monotone(self, trace):
+        starts = [event.start_us for event in trace.kernel_events]
+        assert starts == sorted(starts)
+
+    def test_no_kernel_overlap(self, trace):
+        events = trace.kernel_events
+        for first, second in zip(events, events[1:]):
+            assert second.start_us >= first.end_us - 1e-9
+
+    def test_layer_spans_cover_kernels(self, trace):
+        mapping = trace.layer_to_kernels()
+        for layer in trace.layer_events:
+            for kernel in mapping[layer.name]:
+                assert layer.start_us <= kernel.start_us
+                assert kernel.end_us <= layer.end_us + 1e-9
+
+    def test_layer_duration_first_to_last_kernel(self, trace):
+        """The paper computes layer time from kernel start/end stamps."""
+        mapping = trace.layer_to_kernels()
+        for name, kernels in mapping.items():
+            if kernels:
+                expected = (max(k.end_us for k in kernels)
+                            - min(k.start_us for k in kernels))
+                assert trace.layer_duration_us(name) == pytest.approx(
+                    expected)
+
+    def test_layer_duration_unknown_layer(self, trace):
+        with pytest.raises(KeyError):
+            trace.layer_duration_us("not_a_layer")
+
+    def test_kernel_names_sorted_unique(self, trace):
+        names = trace.kernel_names()
+        assert names == sorted(set(names))
+
+    def test_render_mentions_network(self, trace):
+        assert "resnet18" in trace.render()
+
+    def test_zero_kernel_layers_have_zero_duration(self, a100_module):
+        trace = profile_network(a100_module, resnet18(), 2)
+        flatten_layers = [e.name for e in trace.layer_events
+                          if e.kind == "Flatten"]
+        assert flatten_layers
+        assert trace.layer_duration_us(flatten_layers[0]) == 0.0
+
+
+class TestE2EMeasurement:
+    def test_measure_metadata(self, a100_module):
+        m = measure_e2e(a100_module, squeezenet(), 16)
+        assert m.network_name == "squeezenet1_1"
+        assert m.gpu_name == "A100"
+        assert m.batches_measured == 30
+        assert m.mean_ms == m.mean_us / 1e3
+        assert m.per_image_us == m.mean_us / 16
+
+    def test_batch_sweep_lengths(self, a100_module):
+        sweep = batch_sweep(a100_module, squeezenet(), [2, 8, 32])
+        assert [m.batch_size for m in sweep] == [2, 8, 32]
+        times = [m.mean_us for m in sweep]
+        assert times == sorted(times)   # more work never takes less time
+
+    def test_trace_and_event_times_agree(self, a100_module):
+        trace = profile_network(a100_module, squeezenet(), 16)
+        event = measure_e2e(a100_module, squeezenet(), 16)
+        assert trace.e2e_us == pytest.approx(event.mean_us)

@@ -1,0 +1,90 @@
+"""Property-based tests for the regression and metrics substrate."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.linreg import fit_line
+from repro.core.metrics import relative_error, s_curve
+
+finite = st.floats(min_value=-1e6, max_value=1e6,
+                   allow_nan=False, allow_infinity=False)
+positive = st.floats(min_value=1e-3, max_value=1e6,
+                     allow_nan=False, allow_infinity=False)
+
+
+class TestFitLineProperties:
+    @given(st.floats(-100, 100), st.floats(-100, 100),
+           st.lists(st.floats(-1e3, 1e3), min_size=3, max_size=30,
+                    unique=True))
+    @settings(max_examples=100)
+    def test_recovers_exact_lines(self, slope, intercept, xs):
+        ys = [slope * x + intercept for x in xs]
+        fit = fit_line(xs, ys)
+        for x in xs:
+            assert math.isclose(fit.predict(x), slope * x + intercept,
+                                rel_tol=1e-6, abs_tol=1e-4)
+
+    @given(st.lists(st.tuples(finite, finite), min_size=2, max_size=30))
+    @settings(max_examples=100)
+    def test_r2_at_most_one(self, points):
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        fit = fit_line(xs, ys)
+        assert fit.r2 <= 1.0 + 1e-9
+
+    @given(st.lists(st.tuples(finite, finite), min_size=3, max_size=30))
+    @settings(max_examples=100)
+    def test_ols_residual_never_beaten_by_mean(self, points):
+        """The fitted line's SSE never exceeds the constant-mean SSE."""
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        fit = fit_line(xs, ys)
+        mean = sum(ys) / len(ys)
+        sse_fit = sum((y - fit.predict(x)) ** 2 for x, y in points)
+        sse_mean = sum((y - mean) ** 2 for y in ys)
+        assert sse_fit <= sse_mean * (1 + 1e-9) + 1e-9
+
+    @given(st.lists(st.tuples(positive, positive), min_size=2, max_size=30),
+           st.floats(0.5, 2.0))
+    @settings(max_examples=50)
+    def test_scale_equivariance(self, points, scale):
+        """Scaling y scales slope and intercept identically."""
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        assume(max(xs) - min(xs) > 1e-6)
+        base = fit_line(xs, ys)
+        scaled = fit_line(xs, [y * scale for y in ys])
+        assert math.isclose(scaled.slope, base.slope * scale,
+                            rel_tol=1e-6, abs_tol=1e-6)
+        assert math.isclose(scaled.intercept, base.intercept * scale,
+                            rel_tol=1e-6, abs_tol=1e-6)
+
+
+class TestMetricProperties:
+    @given(positive, positive)
+    def test_relative_error_nonnegative(self, predicted, measured):
+        assert relative_error(predicted, measured) >= 0.0
+
+    @given(positive)
+    def test_perfect_prediction_zero_error(self, value):
+        assert relative_error(value, value) == 0.0
+
+    @given(st.dictionaries(st.text(min_size=1, max_size=6), positive,
+                           min_size=1, max_size=20))
+    @settings(max_examples=50)
+    def test_s_curve_sorted_and_complete(self, predictions):
+        measurements = {name: 1.0 for name in predictions}
+        curve = s_curve(predictions, measurements)
+        assert list(curve.ratios) == sorted(curve.ratios)
+        assert len(curve.ratios) == len(predictions)
+
+    @given(st.dictionaries(st.text(min_size=1, max_size=6), positive,
+                           min_size=1, max_size=20))
+    @settings(max_examples=50)
+    def test_s_curve_percentiles_monotone(self, predictions):
+        measurements = {name: 2.0 for name in predictions}
+        curve = s_curve(predictions, measurements)
+        values = [curve.at_percentile(p) for p in (0, 25, 50, 75, 100)]
+        assert values == sorted(values)

@@ -1,0 +1,104 @@
+"""Property-based tests for model persistence, online fits, and tables."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kernelwise import KernelMappingTable
+from repro.core.linreg import LinearFit, fit_line
+from repro.core.online import OnlineLinearFit
+from repro.core.persistence import _fit_from_dict, _fit_to_dict
+
+finite = st.floats(min_value=-1e9, max_value=1e9,
+                   allow_nan=False, allow_infinity=False)
+small_floats = st.floats(min_value=-1e4, max_value=1e4,
+                         allow_nan=False, allow_infinity=False)
+
+
+class TestFitSerialisation:
+    @given(finite, finite,
+           st.floats(min_value=0, max_value=1, allow_nan=False),
+           st.integers(min_value=1, max_value=10**6))
+    @settings(max_examples=200)
+    def test_round_trip_exact(self, slope, intercept, r2, n):
+        fit = LinearFit(slope, intercept, r2, n)
+        restored = _fit_from_dict(_fit_to_dict(fit))
+        assert restored == fit
+
+
+class TestOnlineEqualsBatch:
+    @given(st.lists(st.tuples(small_floats, small_floats), min_size=2,
+                    max_size=60))
+    @settings(max_examples=150)
+    def test_streaming_matches_batch(self, points):
+        from hypothesis import assume
+        xs = [p[0] for p in points]
+        # exclude numerically degenerate x columns: with a spread below
+        # ~1e-5 of the magnitude, both formulations are dominated by
+        # floating-point cancellation and neither answer is meaningful
+        magnitude = max(1.0, max(abs(x) for x in xs))
+        assume(max(xs) - min(xs) > 1e-5 * magnitude
+               or max(xs) == min(xs))
+        online = OnlineLinearFit()
+        for x, y in points:
+            online.observe(x, y)
+        batch = fit_line([p[0] for p in points], [p[1] for p in points])
+        streamed = online.fit()
+        # the two formulations (centred vs raw sums) differ only by
+        # floating-point cancellation on near-degenerate x columns
+        assert math.isclose(streamed.slope, batch.slope,
+                            rel_tol=1e-4, abs_tol=1e-6)
+        assert math.isclose(streamed.intercept, batch.intercept,
+                            rel_tol=1e-4, abs_tol=1e-4)
+
+    @given(st.lists(st.tuples(small_floats, small_floats), min_size=4,
+                    max_size=40),
+           st.integers(min_value=1, max_value=38))
+    @settings(max_examples=100)
+    def test_merge_is_order_independent(self, points, split):
+        split = min(split, len(points) - 1)
+        a, b = OnlineLinearFit(), OnlineLinearFit()
+        for x, y in points[:split]:
+            a.observe(x, y)
+        for x, y in points[split:]:
+            b.observe(x, y)
+        forward = OnlineLinearFit()
+        forward.merge(a)
+        forward.merge(b)
+        backward = OnlineLinearFit()
+        backward.merge(b)
+        backward.merge(a)
+        assert math.isclose(forward.fit().slope, backward.fit().slope,
+                            rel_tol=1e-9, abs_tol=1e-9)
+
+
+@st.composite
+def bucketed_signatures(draw):
+    kind = draw(st.sampled_from(["CONV|k3x3|s1x1|std|w1|f0|b0",
+                                 "FC|skinny0"]))
+    r = draw(st.integers(min_value=0, max_value=20))
+    o = draw(st.integers(min_value=0, max_value=30))
+    return f"{kind}|r{r}|o{o}"
+
+
+class TestMappingTableProperties:
+    @given(st.dictionaries(bucketed_signatures(),
+                           st.tuples(st.sampled_from(["k1", "k2", "k3"])),
+                           min_size=1, max_size=25),
+           bucketed_signatures())
+    @settings(max_examples=150)
+    def test_lookup_always_returns_known_sequence_or_none(self, table,
+                                                          probe):
+        mapping = KernelMappingTable(table, {})
+        result = mapping.lookup(probe)
+        assert result is None or result in set(table.values())
+
+    @given(st.dictionaries(bucketed_signatures(),
+                           st.tuples(st.sampled_from(["k1", "k2"])),
+                           min_size=1, max_size=25))
+    @settings(max_examples=100)
+    def test_exact_entries_always_hit(self, table):
+        mapping = KernelMappingTable(table, {})
+        for signature, sequence in table.items():
+            assert mapping.lookup(signature) == sequence

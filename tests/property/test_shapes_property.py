@@ -1,0 +1,108 @@
+"""Property-based tests for shape arithmetic and layer invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.layers import (
+    Add,
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from repro.nn.tensor import TensorShape, conv2d_output_hw
+
+dims = st.integers(min_value=1, max_value=64)
+batches = st.integers(min_value=1, max_value=512)
+
+
+@st.composite
+def image_shapes(draw):
+    return TensorShape.image(draw(batches), draw(dims),
+                             draw(st.integers(4, 128)),
+                             draw(st.integers(4, 128)))
+
+
+class TestTensorShapeProperties:
+    @given(image_shapes())
+    def test_numel_is_product(self, shape):
+        product = 1
+        for d in shape.dims:
+            product *= d
+        assert shape.numel() == product
+
+    @given(image_shapes(), batches)
+    def test_with_batch_rescales_numel(self, shape, new_batch):
+        rebatched = shape.with_batch(new_batch)
+        assert (rebatched.numel() * shape.batch
+                == shape.numel() * new_batch)
+
+    @given(image_shapes())
+    def test_bytes_are_four_per_float(self, shape):
+        assert shape.bytes() == 4 * shape.numel()
+
+    @given(image_shapes())
+    def test_flatten_preserves_numel(self, shape):
+        assert shape.flattened().numel() == shape.numel()
+
+
+class TestConvProperties:
+    @given(st.integers(8, 128), st.integers(8, 128),
+           st.integers(1, 2), st.sampled_from([1, 3, 5]))
+    def test_output_never_larger_than_padded_input(self, h, w, stride,
+                                                   kernel):
+        pad = kernel // 2
+        out_h, out_w = conv2d_output_hw(h, w, (kernel, kernel),
+                                        (stride, stride), (pad, pad))
+        assert out_h <= h + 2 * pad
+        assert out_w <= w + 2 * pad
+
+    @given(image_shapes(), dims, st.sampled_from([1, 3]))
+    @settings(max_examples=50)
+    def test_conv_flops_scale_with_batch(self, shape, out_channels,
+                                         kernel):
+        conv = Conv2d(shape.channels, out_channels, kernel,
+                      padding=kernel // 2, bias=False)
+        out1 = conv.infer_shape([shape.with_batch(1)])
+        out2 = conv.infer_shape([shape.with_batch(2)])
+        f1 = conv.flops([shape.with_batch(1)], out1)
+        f2 = conv.flops([shape.with_batch(2)], out2)
+        assert f2 == 2 * f1
+
+    @given(image_shapes())
+    @settings(max_examples=50)
+    def test_shape_preserving_layers(self, shape):
+        for layer in (BatchNorm2d(shape.channels), ReLU()):
+            assert layer.infer_shape([shape]) == shape
+
+    @given(image_shapes())
+    @settings(max_examples=50)
+    def test_add_is_idempotent_on_shape(self, shape):
+        assert Add().infer_shape([shape, shape]) == shape
+
+
+class TestPoolProperties:
+    @given(image_shapes(), st.sampled_from([2, 3]), st.sampled_from([1, 2]))
+    @settings(max_examples=50)
+    def test_pooling_never_upsamples(self, shape, kernel, stride):
+        if shape.height < kernel or shape.width < kernel:
+            return
+        for pool_type in (MaxPool2d, AvgPool2d):
+            pool = pool_type(kernel, stride=stride)
+            out = pool.infer_shape([shape])
+            assert out.height <= shape.height
+            assert out.width <= shape.width
+            assert out.channels == shape.channels
+
+
+class TestLinearProperties:
+    @given(batches, st.integers(1, 512), st.integers(1, 512))
+    @settings(max_examples=50)
+    def test_fc_flops_formula(self, batch, in_features, out_features):
+        fc = Linear(in_features, out_features, bias=False)
+        shape = TensorShape.flat(batch, in_features)
+        out = fc.infer_shape([shape])
+        assert fc.flops([shape], out) == batch * in_features * out_features
+        assert fc.param_count() == in_features * out_features

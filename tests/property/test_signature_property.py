@@ -1,0 +1,103 @@
+"""Property-based tests on dispatch signatures and lowering consistency."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.signature import layer_signature, signature_kind
+from repro.gpu.cudnn import kernel_calls
+from repro.nn.graph import Network
+from repro.nn.layers import BatchNorm2d, Conv2d, Linear, MaxPool2d, ReLU
+from repro.nn.tensor import TensorShape
+
+
+@st.composite
+def conv_probes(draw):
+    """Random valid (conv layer, input shape, batch) configurations."""
+    in_channels = draw(st.sampled_from([3, 16, 32, 64, 128]))
+    out_channels = draw(st.sampled_from([8, 16, 64, 128]))
+    kernel = draw(st.sampled_from([1, 3, 5, 7]))
+    stride = draw(st.sampled_from([1, 2]))
+    hw = draw(st.sampled_from([14, 28, 56]))
+    batch = draw(st.sampled_from([1, 8, 64]))
+    groups = 1
+    if draw(st.booleans()) and in_channels == out_channels:
+        groups = in_channels   # depthwise
+    layer = Conv2d(in_channels, out_channels, kernel, stride=stride,
+                   padding=kernel // 2, groups=groups, bias=False)
+    shape = TensorShape.image(batch, in_channels, hw, hw)
+    return layer, shape
+
+
+def info_of(layer, shape):
+    net = Network("probe", shape)
+    net.add("x", layer)
+    return net.layer_infos(shape.batch)[0]
+
+
+class TestSignatureProperties:
+    @given(conv_probes())
+    @settings(max_examples=150)
+    def test_signature_is_deterministic(self, probe):
+        layer, shape = probe
+        a = layer_signature(info_of(layer, shape))
+        b = layer_signature(info_of(layer, shape))
+        assert a == b
+
+    @given(conv_probes())
+    @settings(max_examples=150)
+    def test_signature_kind_round_trips(self, probe):
+        layer, shape = probe
+        signature = layer_signature(info_of(layer, shape))
+        assert signature_kind(signature) == "CONV"
+        training = layer_signature(info_of(layer, shape), training=True)
+        assert training == "T|" + signature
+        assert signature_kind(training) == "CONV"
+
+    @given(conv_probes())
+    @settings(max_examples=150)
+    def test_same_signature_implies_same_kernel_sequence(self, probe):
+        """The signature must determine dispatch: identical signatures
+        always produce identical kernel name sequences (the property the
+        kernel mapping table's learnability rests on)."""
+        layer, shape = probe
+        info = info_of(layer, shape)
+        names_a = [c.kernel.name for c in kernel_calls(info)]
+        names_b = [c.kernel.name for c in kernel_calls(info_of(layer,
+                                                               shape))]
+        assert names_a == names_b
+
+    @given(conv_probes(), conv_probes())
+    @settings(max_examples=150)
+    def test_different_sequences_imply_different_signatures(self, a, b):
+        """Contrapositive over random pairs: if two layers lower to
+        different kernel sequences, their signatures must differ."""
+        info_a = info_of(*a)
+        info_b = info_of(*b)
+        seq_a = tuple(c.kernel.name for c in kernel_calls(info_a))
+        seq_b = tuple(c.kernel.name for c in kernel_calls(info_b))
+        if seq_a != seq_b:
+            assert layer_signature(info_a) != layer_signature(info_b)
+
+
+class TestNonConvSignatures:
+    @given(st.sampled_from([BatchNorm2d(32), ReLU(),
+                            MaxPool2d(2, stride=2)]),
+           st.sampled_from([1, 4, 32]))
+    @settings(max_examples=60)
+    def test_elementwise_signatures_batch_independent(self, layer, batch):
+        shape = TensorShape.image(batch, 32, 16, 16)
+        signature = layer_signature(info_of(layer, shape))
+        reference = layer_signature(
+            info_of(layer, TensorShape.image(1, 32, 16, 16)))
+        assert signature == reference
+
+    @given(st.sampled_from([64, 512, 2048]), st.sampled_from([10, 1000]))
+    @settings(max_examples=40)
+    def test_fc_signature_tracks_dispatch(self, in_features, out_features):
+        layer = Linear(in_features, out_features)
+        shape = TensorShape.flat(64, in_features)
+        info = info_of(layer, shape)
+        signature = layer_signature(info)
+        (call,) = kernel_calls(info)
+        skinny = "skinny1" in signature
+        assert skinny == (call.kernel.name == "gemv_sgemm_t")

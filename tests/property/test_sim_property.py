@@ -1,0 +1,92 @@
+"""Property-based tests for the event engine, links, and disaggregation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.disaggregated import DisaggregatedSystem, LayerTask
+from repro.sim.engine import EventEngine
+from repro.sim.links import Link
+
+delays = st.lists(st.floats(min_value=0.0, max_value=1e4,
+                            allow_nan=False), min_size=1, max_size=40)
+
+
+class TestEngineProperties:
+    @given(delays)
+    @settings(max_examples=100)
+    def test_events_fire_in_nondecreasing_time(self, offsets):
+        engine = EventEngine()
+        fired = []
+        for offset in offsets:
+            engine.schedule(offset, lambda e: fired.append(e.now))
+        engine.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(offsets)
+
+    @given(delays)
+    @settings(max_examples=100)
+    def test_final_time_is_max_offset(self, offsets):
+        engine = EventEngine()
+        for offset in offsets:
+            engine.schedule(offset, lambda e: None)
+        assert engine.run() == max(offsets)
+
+
+class TestLinkProperties:
+    @given(st.lists(st.floats(min_value=0, max_value=1e9), min_size=1,
+                    max_size=20),
+           st.floats(min_value=1, max_value=1000))
+    @settings(max_examples=100)
+    def test_fifo_finish_times_monotone(self, sizes, bandwidth):
+        link = Link(bandwidth_gbs=bandwidth, latency_us=1.0)
+        finishes = [link.transfer(size, 0.0) for size in sizes]
+        assert finishes == sorted(finishes)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e9), min_size=1,
+                    max_size=20))
+    @settings(max_examples=100)
+    def test_total_occupancy_conserved(self, sizes):
+        link = Link(bandwidth_gbs=10.0, latency_us=2.0)
+        last = 0.0
+        for size in sizes:
+            last = link.transfer(size, 0.0)
+        expected = sum(link.transfer_time_us(size) for size in sizes)
+        assert last == sum([expected])  # noqa: C409 - clarity
+        assert link.bytes_moved == sum(sizes)
+
+
+@st.composite
+def task_lists(draw):
+    n = draw(st.integers(min_value=1, max_value=25))
+    return [
+        LayerTask(f"l{i}",
+                  draw(st.floats(min_value=0, max_value=1e3)),
+                  draw(st.floats(min_value=0, max_value=1e7)))
+        for i in range(n)
+    ]
+
+
+class TestDisaggregationProperties:
+    @given(task_lists(), st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_makespan_at_least_compute_and_never_deadlocks(self, tasks,
+                                                           window):
+        system = DisaggregatedSystem(Link(8.0, 1.0), window)
+        result = system.run(tasks)
+        compute = sum(t.compute_us for t in tasks)
+        assert result.makespan_us >= compute - 1e-6
+        assert result.stall_us >= -1e-6
+
+    @given(task_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_more_bandwidth_never_hurts(self, tasks):
+        slow = DisaggregatedSystem(Link(1.0, 1.0), 4).run(tasks)
+        fast = DisaggregatedSystem(Link(100.0, 1.0), 4).run(tasks)
+        assert fast.makespan_us <= slow.makespan_us + 1e-6
+
+    @given(task_lists(), st.integers(1, 6))
+    @settings(max_examples=60, deadline=None)
+    def test_all_bytes_transferred(self, tasks, window):
+        system = DisaggregatedSystem(Link(8.0, 1.0), window)
+        result = system.run(tasks)
+        assert result.bytes_moved == sum(t.fetch_bytes for t in tasks)

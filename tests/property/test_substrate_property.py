@@ -1,0 +1,81 @@
+"""Property-based tests on the GPU substrate's invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import SimulatedGPU, gpu, gpu_names
+from repro.gpu.kernels import Driver, Kernel, KernelCall, KernelRole
+from repro.gpu.timing import GroundTruthTiming
+from repro.nn.graph import Network
+from repro.nn.layers import BatchNorm2d, Conv2d, ReLU
+from repro.nn.tensor import TensorShape
+
+COPY = Kernel("prop_copy", KernelRole.MAIN, Driver.INPUT, "copy")
+
+
+class TestTimingProperties:
+    @given(st.floats(min_value=1e3, max_value=1e11),
+           st.sampled_from(sorted(gpu_names())))
+    @settings(max_examples=100)
+    def test_work_time_positive_and_finite(self, bytes_moved, name):
+        timing = GroundTruthTiming(gpu(name))
+        call = KernelCall(COPY, 0.0, bytes_moved, bytes_moved)
+        work = timing.kernel_work_us(call)
+        assert 0 < work < 1e9
+
+    @given(st.floats(min_value=1e6, max_value=1e10),
+           st.floats(min_value=1.2, max_value=8.0))
+    @settings(max_examples=100)
+    def test_monotone_in_bytes(self, bytes_moved, factor):
+        timing = GroundTruthTiming(gpu("A100"))
+        small = KernelCall(COPY, 0.0, bytes_moved, bytes_moved)
+        large = KernelCall(COPY, 0.0, bytes_moved * factor,
+                           bytes_moved * factor)
+        # allow a small tolerance: the systematic wiggle is bounded by
+        # (1+size_wiggle)(1+class_wiggle) between adjacent sizes
+        assert (timing.kernel_work_us(large)
+                > 0.6 * timing.kernel_work_us(small))
+
+    @given(st.integers(min_value=1, max_value=200))
+    @settings(max_examples=50)
+    def test_noise_has_unit_scale(self, batch_index):
+        timing = GroundTruthTiming(gpu("V100"))
+        call = KernelCall(COPY, 0.0, 1e8, 1e8)
+        noise = timing.measurement_noise(call, batch_index)
+        assert 0.6 < noise < 1.6
+
+
+@st.composite
+def conv_networks(draw):
+    """Random small conv stacks with valid channel plumbing."""
+    channels = draw(st.integers(min_value=4, max_value=32))
+    depth = draw(st.integers(min_value=1, max_value=4))
+    net = Network("prop_net", TensorShape.image(1, 3, 32, 32))
+    previous = 3
+    for i in range(depth):
+        net.add(f"conv{i}", Conv2d(previous, channels, 3, padding=1,
+                                   bias=False))
+        net.add(f"bn{i}", BatchNorm2d(channels))
+        net.add(f"relu{i}", ReLU())
+        previous = channels
+    return net
+
+
+class TestDeviceProperties:
+    @given(conv_networks(), st.integers(min_value=1, max_value=64))
+    @settings(max_examples=40, deadline=None)
+    def test_any_network_executes(self, net, batch):
+        result = SimulatedGPU(gpu("A100")).run_network(net, batch)
+        assert result.e2e_us > 0
+        assert len(result.layers) == len(net)
+        for layer in result.layers:
+            for kernel in layer.kernels:
+                assert kernel.duration_us > 0
+
+    @given(conv_networks())
+    @settings(max_examples=20, deadline=None)
+    def test_batch_monotonicity(self, net):
+        device = SimulatedGPU(gpu("A100"))
+        t_small = device.run_network(net, 4).e2e_us
+        t_large = device.run_network(net, 64).e2e_us
+        assert t_large > t_small

@@ -1,0 +1,53 @@
+"""Tests for the ASCII scatter renderer."""
+
+import pytest
+
+from repro.reporting.plots import render_scatter
+
+
+class TestRenderScatter:
+    def test_single_series(self):
+        text = render_scatter("t", {"a": [(1, 1), (2, 2), (3, 3)]})
+        assert "t" in text
+        assert "o" in text
+        assert "o=a" in text
+
+    def test_multiple_series_distinct_glyphs(self):
+        text = render_scatter("t", {"a": [(1, 1)], "b": [(5, 5)]})
+        assert "o=a" in text and "x=b" in text
+
+    def test_log_axes_label(self):
+        text = render_scatter("t", {"a": [(1, 1), (100, 100)]},
+                              log_x=True, log_y=True)
+        assert "(log)" in text
+
+    def test_log_axis_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            render_scatter("t", {"a": [(0, 1)]}, log_x=True)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_scatter("t", {})
+        with pytest.raises(ValueError):
+            render_scatter("t", {"a": []})
+
+    def test_too_small_area_rejected(self):
+        with pytest.raises(ValueError):
+            render_scatter("t", {"a": [(1, 1)]}, width=5)
+
+    def test_extremes_land_at_corners(self):
+        text = render_scatter("t", {"a": [(0, 0), (10, 10)]},
+                              width=20, height=6)
+        rows = [line for line in text.splitlines() if "|" in line]
+        assert rows[0].rstrip().endswith("o")     # top-right: max point
+        assert rows[-1].split("|")[1][0] == "o"   # bottom-left: min point
+
+    def test_constant_values_handled(self):
+        text = render_scatter("t", {"a": [(1, 5), (2, 5)]})
+        assert "o" in text
+
+    def test_overlap_marker(self):
+        text = render_scatter("t", {"a": [(1, 1), (9, 9)],
+                                    "b": [(1, 1), (9, 1)]},
+                              width=12, height=4)
+        assert "." in text

@@ -1,0 +1,46 @@
+"""Tests for the ASCII rendering helpers."""
+
+import pytest
+
+from repro.reporting import render_series, render_table
+
+
+class TestRenderTable:
+    def test_headers_and_rows_present(self):
+        text = render_table(["name", "value"], [["a", 1.5], ["b", 2.5]])
+        assert "name" in text
+        assert "a" in text and "2.5" in text
+
+    def test_title_included(self):
+        text = render_table(["x"], [[1]], title="Table 1")
+        assert text.startswith("Table 1")
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_numeric_formatting(self):
+        text = render_table(["v"], [[1.23456789]])
+        assert "1.235" in text
+
+    def test_column_alignment(self):
+        text = render_table(["col"], [["x"], ["longer"]])
+        lines = text.splitlines()
+        assert len(lines[-1]) == len(lines[-2])
+
+
+class TestRenderSeries:
+    def test_points_and_bars(self):
+        text = render_series("fig", [(1, 10.0), (2, 20.0)], "bw", "ms")
+        assert "fig" in text
+        assert "#" in text
+        assert "bw" in text and "ms" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_series("fig", [])
+
+    def test_bar_lengths_proportional(self):
+        text = render_series("fig", [(1, 10.0), (2, 20.0)], width=10)
+        lines = text.splitlines()
+        assert lines[-1].count("#") == 2 * lines[-2].count("#")

@@ -1,0 +1,63 @@
+"""Tests for predicted-time GPU placement."""
+
+import pytest
+
+from repro.scheduling.placement import (
+    PlacementDecision,
+    place_networks,
+    placement_accuracy,
+)
+
+
+class _ConstantModel:
+    """Stub predictor returning scale * FLOPs."""
+
+    def __init__(self, scale):
+        self.scale = scale
+
+    def predict_network(self, network, batch_size):
+        return self.scale * network.total_flops(batch_size)
+
+
+class TestPlaceNetworks:
+    def test_picks_lower_predicted_time(self, small_roster):
+        predictors = {"fast": _ConstantModel(1e-9),
+                      "slow": _ConstantModel(5e-9)}
+        decisions = place_networks(small_roster[:3], 8, predictors)
+        assert all(d.predicted_best == "fast" for d in decisions)
+
+    def test_measured_validation(self, small_roster):
+        predictors = {"fast": _ConstantModel(1e-9),
+                      "slow": _ConstantModel(5e-9)}
+        measured = {}
+        for net in small_roster[:3]:
+            measured[(net.name, "fast")] = 1.0
+            measured[(net.name, "slow")] = 2.0
+        decisions = place_networks(small_roster[:3], 8, predictors,
+                                   measured)
+        assert placement_accuracy(decisions) == 1.0
+
+    def test_incorrect_pick_detected(self, small_roster):
+        predictors = {"a": _ConstantModel(1e-9), "b": _ConstantModel(5e-9)}
+        measured = {}
+        for net in small_roster[:2]:
+            measured[(net.name, "a")] = 9.0   # actually slower
+            measured[(net.name, "b")] = 1.0
+        decisions = place_networks(small_roster[:2], 8, predictors,
+                                   measured)
+        assert placement_accuracy(decisions) == 0.0
+        assert all(not d.correct for d in decisions)
+
+    def test_empty_predictors_rejected(self, small_roster):
+        with pytest.raises(ValueError):
+            place_networks(small_roster[:1], 8, {})
+
+    def test_accuracy_requires_measured(self):
+        decision = PlacementDecision("n", {"g": 1.0}, {})
+        with pytest.raises(ValueError):
+            placement_accuracy([decision])
+
+    def test_measured_best_requires_measurements(self):
+        decision = PlacementDecision("n", {"g": 1.0}, {})
+        with pytest.raises(ValueError):
+            decision.measured_best

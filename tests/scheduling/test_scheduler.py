@@ -1,0 +1,106 @@
+"""Tests for queue scheduling (case study 3)."""
+
+import pytest
+
+from repro.scheduling.scheduler import (
+    brute_force_schedule,
+    greedy_schedule,
+    oracle_gap,
+)
+
+GPUS = ("g1", "g2")
+
+
+def times_of(jobs, g1_times, g2_times):
+    times = {}
+    for job, t1, t2 in zip(jobs, g1_times, g2_times):
+        times[(job, "g1")] = t1
+        times[(job, "g2")] = t2
+    return times
+
+
+class TestBruteForce:
+    def test_trivial_single_job(self):
+        times = times_of(["a"], [10.0], [20.0])
+        schedule = brute_force_schedule(["a"], GPUS, times)
+        assert schedule.assignment["a"] == "g1"
+        assert schedule.makespan_us == 10.0
+
+    def test_balances_identical_jobs(self):
+        jobs = ["a", "b"]
+        times = times_of(jobs, [10.0, 10.0], [10.0, 10.0])
+        schedule = brute_force_schedule(jobs, GPUS, times)
+        assert schedule.makespan_us == 10.0
+        assert len(set(schedule.assignment.values())) == 2
+
+    def test_optimal_against_exhaustive_check(self):
+        jobs = ["a", "b", "c", "d"]
+        times = times_of(jobs, [5, 9, 3, 7], [6, 4, 8, 7])
+        schedule = brute_force_schedule(jobs, GPUS, times)
+        # optimum: a+c on g1 (8), b on g2 (4), d anywhere -> check makespan
+        assert schedule.makespan_us <= 11.0
+
+    def test_missing_time_rejected(self):
+        with pytest.raises(KeyError):
+            brute_force_schedule(["a"], GPUS, {("a", "g1"): 1.0})
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            brute_force_schedule([], GPUS, {})
+
+    def test_blowup_guard(self):
+        jobs = [f"j{i}" for i in range(40)]
+        times = {(j, g): 1.0 for j in jobs for g in GPUS}
+        with pytest.raises(ValueError):
+            brute_force_schedule(jobs, GPUS, times)
+
+    def test_loads_consistent_with_assignment(self):
+        jobs = ["a", "b", "c"]
+        times = times_of(jobs, [5, 9, 3], [6, 4, 8])
+        schedule = brute_force_schedule(jobs, GPUS, times)
+        for gpu in GPUS:
+            expected = sum(times[(job, gpu)]
+                           for job in schedule.jobs_on(gpu))
+            assert schedule.gpu_loads_us[gpu] == pytest.approx(expected)
+
+    def test_render_mentions_gpus(self):
+        jobs = ["a"]
+        schedule = brute_force_schedule(jobs, GPUS, times_of(jobs, [1], [2]))
+        text = schedule.render()
+        assert "g1" in text and "g2" in text and "makespan" in text
+
+
+class TestGreedy:
+    def test_matches_brute_force_on_small_inputs(self):
+        jobs = ["a", "b", "c", "d", "e"]
+        times = times_of(jobs, [5, 9, 3, 7, 2], [6, 4, 8, 7, 3])
+        greedy = greedy_schedule(jobs, GPUS, times)
+        optimal = brute_force_schedule(jobs, GPUS, times)
+        assert greedy.makespan_us <= 1.5 * optimal.makespan_us
+
+    def test_scales_beyond_brute_force(self):
+        jobs = [f"j{i}" for i in range(200)]
+        times = {(j, g): float(i % 7 + 1)
+                 for i, j in enumerate(jobs) for g in GPUS}
+        schedule = greedy_schedule(jobs, GPUS, times)
+        assert schedule.makespan_us > 0
+        assert set(schedule.assignment) == set(jobs)
+
+
+class TestOracleGap:
+    def test_zero_when_assignments_match(self):
+        jobs = ["a", "b"]
+        times = times_of(jobs, [10, 2], [3, 11])
+        predicted = brute_force_schedule(jobs, GPUS, times)
+        oracle = brute_force_schedule(jobs, GPUS, times)
+        assert oracle_gap(predicted, oracle, times, GPUS) == pytest.approx(
+            0.0)
+
+    def test_positive_when_predictions_mislead(self):
+        jobs = ["a", "b"]
+        true_times = times_of(jobs, [10.0, 10.0], [1.0, 1.0])
+        bad_times = times_of(jobs, [1.0, 1.0], [10.0, 10.0])
+        predicted = brute_force_schedule(jobs, GPUS, bad_times)
+        oracle = brute_force_schedule(jobs, GPUS, true_times)
+        gap = oracle_gap(predicted, oracle, true_times, GPUS)
+        assert gap > 0

@@ -1,0 +1,125 @@
+"""Tests for the disaggregated-memory system simulation."""
+
+import pytest
+
+from repro.sim.disaggregated import (
+    DisaggregatedSystem,
+    LayerTask,
+    layer_tasks,
+    speedup_curve,
+)
+from repro.sim.links import Link
+
+
+def tasks_uniform(n, compute_us=100.0, param_bytes=1e6):
+    return [LayerTask(f"l{i}", compute_us, param_bytes) for i in range(n)]
+
+
+class TestLayerTask:
+    def test_fetch_bytes_sums_params_and_spill(self):
+        task = LayerTask("l", 1.0, 100.0, 50.0)
+        assert task.fetch_bytes == 150.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LayerTask("l", -1.0, 0.0)
+        with pytest.raises(ValueError):
+            LayerTask("l", 1.0, -2.0)
+
+
+class TestDisaggregatedSystem:
+    def test_infinite_bandwidth_approaches_pure_compute(self):
+        tasks = tasks_uniform(10)
+        system = DisaggregatedSystem(Link(1e6, latency_us=0.0), 4)
+        result = system.run(tasks)
+        assert result.makespan_us == pytest.approx(1000.0, rel=0.01)
+        assert result.stall_us == pytest.approx(0.0, abs=1.0)
+        assert result.efficiency == pytest.approx(1.0, abs=0.01)
+
+    def test_slow_link_bounded_by_transfer_time(self):
+        tasks = tasks_uniform(10, compute_us=1.0, param_bytes=1e9)
+        system = DisaggregatedSystem(Link(1.0, latency_us=0.0), 4)
+        result = system.run(tasks)
+        # 10 GB over a 1 GB/s link = 10 s minimum
+        assert result.makespan_us >= 10e6
+
+    def test_makespan_monotone_in_bandwidth(self):
+        tasks = tasks_uniform(20, compute_us=50.0, param_bytes=5e6)
+        times = [DisaggregatedSystem(Link(bw, 2.0), 4).run(tasks).makespan_us
+                 for bw in (1, 10, 100)]
+        assert times[0] > times[1] >= times[2]
+
+    def test_wider_window_never_hurts(self):
+        tasks = [LayerTask(f"l{i}", 10.0, (5e6 if i % 5 == 0 else 1e3))
+                 for i in range(30)]
+        narrow = DisaggregatedSystem(Link(1.0, 2.0), 1).run(tasks)
+        wide = DisaggregatedSystem(Link(1.0, 2.0), 8).run(tasks)
+        assert wide.makespan_us <= narrow.makespan_us + 1e-6
+
+    def test_zero_byte_layers_never_block(self):
+        tasks = [LayerTask("a", 10.0, 0.0), LayerTask("b", 10.0, 0.0)]
+        result = DisaggregatedSystem(Link(1.0, 100.0), 1).run(tasks)
+        assert result.makespan_us == pytest.approx(20.0)
+        assert result.transfers == 0
+
+    def test_accounting_consistency(self):
+        tasks = tasks_uniform(10)
+        result = DisaggregatedSystem(Link(10, 2.0), 2).run(tasks)
+        assert result.compute_us == pytest.approx(1000.0)
+        assert result.makespan_us == pytest.approx(
+            result.compute_us + result.stall_us)
+        assert result.transfers == 10
+        assert result.bytes_moved == pytest.approx(10e6)
+
+    def test_empty_tasks_rejected(self):
+        with pytest.raises(ValueError):
+            DisaggregatedSystem(Link(1.0), 2).run([])
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            DisaggregatedSystem(Link(1.0), 0)
+
+
+class TestSpeedupCurve:
+    def test_baseline_is_one(self):
+        tasks = tasks_uniform(10, compute_us=10.0, param_bytes=1e7)
+        curve = speedup_curve(tasks, [16, 64, 256], baseline_gbs=16)
+        assert curve[0][1] == pytest.approx(1.0)
+
+    def test_speedups_monotone(self):
+        tasks = tasks_uniform(10, compute_us=10.0, param_bytes=1e7)
+        curve = speedup_curve(tasks, [16, 64, 256], baseline_gbs=16)
+        speedups = [s for _, s in curve]
+        assert speedups == sorted(speedups)
+
+
+class TestLayerTasksFromPredictor:
+    class _StubPredictor:
+        def predict_layer(self, info):
+            return 7.0
+
+    def test_tasks_match_network(self, small_roster):
+        net = small_roster[0]
+        tasks = layer_tasks(self._StubPredictor(), net, 4)
+        assert len(tasks) == len(net)
+        assert all(t.compute_us == 7.0 for t in tasks)
+
+    def test_param_bytes_are_fp32(self, small_roster):
+        net = small_roster[0]
+        tasks = layer_tasks(self._StubPredictor(), net, 4)
+        assert sum(t.param_bytes for t in tasks) == 4 * net.total_params()
+
+    def test_activation_budget_adds_spill(self, small_roster):
+        net = small_roster[0]
+        without = layer_tasks(self._StubPredictor(), net, 32)
+        with_budget = layer_tasks(self._StubPredictor(), net, 32,
+                                  activation_budget_bytes=1e6)
+        assert (sum(t.spill_bytes for t in with_budget)
+                > sum(t.spill_bytes for t in without) == 0)
+
+    def test_negative_predictions_clamped(self, small_roster):
+        class Negative:
+            def predict_layer(self, info):
+                return -5.0
+        tasks = layer_tasks(Negative(), small_roster[0], 2)
+        assert all(t.compute_us == 0.0 for t in tasks)

@@ -1,0 +1,88 @@
+"""Tests for the event-driven simulation engine."""
+
+import pytest
+
+from repro.sim.engine import EventEngine
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        engine = EventEngine()
+        fired = []
+        engine.schedule(5.0, lambda e: fired.append("late"))
+        engine.schedule(1.0, lambda e: fired.append("early"))
+        engine.run()
+        assert fired == ["early", "late"]
+
+    def test_fifo_tie_break(self):
+        engine = EventEngine()
+        fired = []
+        engine.schedule(1.0, lambda e: fired.append("first"))
+        engine.schedule(1.0, lambda e: fired.append("second"))
+        engine.run()
+        assert fired == ["first", "second"]
+
+    def test_handlers_schedule_more_events(self):
+        engine = EventEngine()
+        fired = []
+
+        def chain(e):
+            fired.append(e.now)
+            if len(fired) < 3:
+                e.schedule(10.0, chain)
+
+        engine.schedule(0.0, chain)
+        end = engine.run()
+        assert fired == [0.0, 10.0, 20.0]
+        assert end == 20.0
+
+    def test_now_advances(self):
+        engine = EventEngine()
+        times = []
+        engine.schedule(3.0, lambda e: times.append(e.now))
+        engine.schedule(7.0, lambda e: times.append(e.now))
+        engine.run()
+        assert times == [3.0, 7.0]
+
+    def test_schedule_at_absolute_time(self):
+        engine = EventEngine()
+        fired = []
+        engine.schedule_at(4.0, lambda e: fired.append(e.now))
+        engine.run()
+        assert fired == [4.0]
+
+    def test_rejects_past_events(self):
+        engine = EventEngine()
+        engine.schedule(5.0, lambda e: e.schedule(-1.0, lambda _: None))
+        with pytest.raises(ValueError):
+            engine.run()
+
+    def test_rejects_past_absolute_time(self):
+        engine = EventEngine()
+
+        def late(e):
+            e.schedule_at(1.0, lambda _: None)
+
+        engine.schedule(5.0, late)
+        with pytest.raises(ValueError):
+            engine.run()
+
+    def test_run_until_horizon(self):
+        engine = EventEngine()
+        fired = []
+        engine.schedule(1.0, lambda e: fired.append(1))
+        engine.schedule(100.0, lambda e: fired.append(2))
+        end = engine.run(until_us=50.0)
+        assert fired == [1]
+        assert end == 50.0
+        assert bool(engine)   # the late event is still pending
+
+    def test_events_processed_counter(self):
+        engine = EventEngine()
+        for _ in range(5):
+            engine.schedule(1.0, lambda e: None)
+        engine.run()
+        assert engine.events_processed == 5
+
+    def test_empty_run_returns_zero(self):
+        assert EventEngine().run() == 0.0

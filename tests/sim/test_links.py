@@ -1,0 +1,56 @@
+"""Tests for the network link model."""
+
+import pytest
+
+from repro.sim.links import Link
+
+
+class TestTransferTime:
+    def test_bandwidth_component(self):
+        link = Link(bandwidth_gbs=10, latency_us=0.0)
+        # 10 GB at 10 GB/s = 1 s = 1e6 us
+        assert link.transfer_time_us(10e9) == pytest.approx(1e6)
+
+    def test_latency_component(self):
+        link = Link(bandwidth_gbs=100, latency_us=5.0)
+        assert link.transfer_time_us(0) == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Link(bandwidth_gbs=0)
+        with pytest.raises(ValueError):
+            Link(bandwidth_gbs=10, latency_us=-1)
+
+
+class TestFifoSerialisation:
+    def test_back_to_back_transfers_queue(self):
+        link = Link(bandwidth_gbs=1, latency_us=0.0)
+        first = link.transfer(1e9, request_time_us=0.0)    # 1 s
+        second = link.transfer(1e9, request_time_us=0.0)   # queued behind
+        assert first == pytest.approx(1e6)
+        assert second == pytest.approx(2e6)
+
+    def test_idle_link_starts_at_request(self):
+        link = Link(bandwidth_gbs=1, latency_us=0.0)
+        link.transfer(1e9, 0.0)
+        finish = link.transfer(1e9, 5e6)   # requested after the link idled
+        assert finish == pytest.approx(6e6)
+
+    def test_counters(self):
+        link = Link(bandwidth_gbs=1)
+        link.transfer(100.0, 0.0)
+        link.transfer(200.0, 0.0)
+        assert link.transfers == 2
+        assert link.bytes_moved == 300.0
+
+    def test_reset(self):
+        link = Link(bandwidth_gbs=1)
+        link.transfer(100.0, 0.0)
+        link.reset()
+        assert link.busy_until_us == 0.0
+        assert link.transfers == 0
+        assert link.bytes_moved == 0.0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Link(bandwidth_gbs=1).transfer(-1.0, 0.0)

@@ -1,0 +1,138 @@
+"""Tests for the inference-serving simulator."""
+
+import pytest
+
+from repro.sim.serving import (
+    ServingSimulator,
+    latency_throughput_curve,
+    poisson_arrivals,
+)
+from repro.zoo import resnet18
+
+
+class _LinearPredictor:
+    """Stub: fixed cost + per-image cost, in microseconds."""
+
+    def __init__(self, base_us=1000.0, per_image_us=100.0):
+        self.base_us = base_us
+        self.per_image_us = per_image_us
+
+    def predict_network(self, network, batch_size):
+        return self.base_us + self.per_image_us * batch_size
+
+
+class TestPoissonArrivals:
+    def test_count_and_monotonicity(self):
+        arrivals = poisson_arrivals(100.0, 50, seed=1)
+        assert len(arrivals) == 50
+        assert arrivals == sorted(arrivals)
+        assert arrivals[0] > 0
+
+    def test_rate_roughly_respected(self):
+        arrivals = poisson_arrivals(1000.0, 2000, seed=2)
+        measured_rate = len(arrivals) / (arrivals[-1] / 1e6)
+        assert measured_rate == pytest.approx(1000.0, rel=0.15)
+
+    def test_deterministic_per_seed(self):
+        assert poisson_arrivals(10, 5, seed=3) == poisson_arrivals(
+            10, 5, seed=3)
+        assert poisson_arrivals(10, 5, seed=3) != poisson_arrivals(
+            10, 5, seed=4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(0.0, 5)
+        with pytest.raises(ValueError):
+            poisson_arrivals(10.0, 0)
+
+
+class TestServingSimulator:
+    def test_all_requests_served(self):
+        simulator = ServingSimulator(_LinearPredictor(), resnet18(),
+                                     max_batch=8)
+        result = simulator.run(poisson_arrivals(500, 100, seed=1))
+        assert len(result.requests) == 100
+
+    def test_latency_includes_queueing(self):
+        simulator = ServingSimulator(_LinearPredictor(), resnet18(),
+                                     max_batch=4, batch_timeout_us=0.0)
+        result = simulator.run([0.0, 1.0, 2.0, 3.0])
+        for request in result.requests:
+            assert request.latency_us >= request.queue_us
+            assert request.finish_us > request.arrival_us
+
+    def test_immediate_launch_without_timeout(self):
+        """timeout 0: the first request launches a batch of one."""
+        simulator = ServingSimulator(_LinearPredictor(), resnet18(),
+                                     max_batch=32, batch_timeout_us=0.0)
+        result = simulator.run([0.0])
+        (request,) = result.requests
+        assert request.batch_size == 1
+        assert request.queue_us == pytest.approx(0.0)
+
+    def test_batching_under_burst(self):
+        """A burst arriving together shares batches up to max_batch."""
+        simulator = ServingSimulator(_LinearPredictor(), resnet18(),
+                                     max_batch=8, batch_timeout_us=100.0)
+        result = simulator.run([0.0] * 16)
+        assert result.mean_batch_size > 4
+        assert result.batches <= 4
+
+    def test_max_batch_respected(self):
+        simulator = ServingSimulator(_LinearPredictor(), resnet18(),
+                                     max_batch=4)
+        result = simulator.run([0.0] * 12)
+        assert all(r.batch_size <= 4 for r in result.requests)
+
+    def test_batch_timeout_waits_for_work(self):
+        """With a long timeout, two spaced requests share one batch."""
+        simulator = ServingSimulator(_LinearPredictor(), resnet18(),
+                                     max_batch=8, batch_timeout_us=5000.0)
+        result = simulator.run([0.0, 1000.0])
+        assert result.batches == 1
+        assert all(r.batch_size == 2 for r in result.requests)
+
+    def test_throughput_accounting(self):
+        simulator = ServingSimulator(_LinearPredictor(0.0, 1000.0),
+                                     resnet18(), max_batch=1,
+                                     batch_timeout_us=0.0)
+        result = simulator.run([0.0, 0.0, 0.0, 0.0])
+        # four serial 1000us batches
+        assert result.makespan_us == pytest.approx(4000.0)
+        assert result.throughput_rps == pytest.approx(1000.0)
+
+    def test_percentiles_ordered(self):
+        simulator = ServingSimulator(_LinearPredictor(), resnet18(),
+                                     max_batch=8)
+        result = simulator.run(poisson_arrivals(2000, 200, seed=5))
+        p50 = result.latency_percentile_us(50)
+        p99 = result.latency_percentile_us(99)
+        assert p50 <= p99
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServingSimulator(_LinearPredictor(), resnet18(), max_batch=0)
+        with pytest.raises(ValueError):
+            ServingSimulator(_LinearPredictor(), resnet18(),
+                             batch_timeout_us=-1.0)
+        simulator = ServingSimulator(_LinearPredictor(), resnet18())
+        with pytest.raises(ValueError):
+            simulator.run([])
+
+
+class TestLatencyThroughputCurve:
+    def test_latency_grows_with_load(self):
+        """The textbook hockey stick: latency explodes near saturation."""
+        curve = latency_throughput_curve(
+            _LinearPredictor(1000.0, 100.0), resnet18(),
+            rates_rps=[100, 2000, 8000], n_requests=300, max_batch=16,
+            batch_timeout_us=500.0)
+        latencies = [result.mean_latency_us for _, result in curve]
+        assert latencies[0] < latencies[-1]
+
+    def test_batching_kicks_in_under_load(self):
+        curve = latency_throughput_curve(
+            _LinearPredictor(1000.0, 100.0), resnet18(),
+            rates_rps=[50, 8000], n_requests=300, max_batch=16)
+        light, heavy = curve[0][1], curve[1][1]
+        assert heavy.mean_batch_size > light.mean_batch_size

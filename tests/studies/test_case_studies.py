@@ -1,0 +1,108 @@
+"""Tests for the three case-study drivers (Figures 15-19)."""
+
+import pytest
+
+from repro.core import train_inter_gpu_model, train_model
+from repro.gpu import gpu
+from repro.studies.bandwidth_sweep import bandwidth_sweep
+from repro.studies.disaggregation import run_disaggregation_study
+from repro.studies.scheduling_study import (
+    measure_times,
+    run_scheduling_study,
+)
+from repro.zoo import resnet18, resnet50
+
+
+@pytest.fixture(scope="module")
+def igkw(request):
+    train, _ = request.getfixturevalue("small_split")
+    return train_inter_gpu_model(train, [gpu("A100"), gpu("TITAN RTX")])
+
+
+@pytest.fixture(scope="module")
+def kw_models(request):
+    # trained on every batch size: the scheduling and disaggregation
+    # studies predict at batch sizes below full utilisation
+    train, _ = request.getfixturevalue("small_split")
+    return {name: train_model(train, "kw", gpu=name, batch_size=None)
+            for name in ("A100", "TITAN RTX")}
+
+
+class TestBandwidthSweep:
+    def test_sweep_points_sorted_and_positive(self, igkw):
+        sweep = bandwidth_sweep(igkw, resnet50(), gpu("TITAN RTX"), 64,
+                                bandwidths_gbs=[800, 200, 400])
+        bandwidths = [b for b, _ in sweep.points]
+        assert bandwidths == [200, 400, 800]
+        assert all(t > 0 for _, t in sweep.points)
+
+    def test_more_bandwidth_never_slower(self, igkw):
+        sweep = bandwidth_sweep(igkw, resnet50(), gpu("TITAN RTX"), 64)
+        assert sweep.monotonic_non_increasing(tolerance=0.05)
+
+    def test_knee_inside_sweep_range(self, igkw):
+        sweep = bandwidth_sweep(igkw, resnet50(), gpu("TITAN RTX"), 64)
+        knee = sweep.knee_gbs()
+        assert 200 <= knee <= 1400
+
+    def test_predicted_at_lookup(self, igkw):
+        sweep = bandwidth_sweep(igkw, resnet50(), gpu("TITAN RTX"), 64,
+                                bandwidths_gbs=[400, 800])
+        assert sweep.predicted_at(400) > sweep.predicted_at(800)
+        with pytest.raises(KeyError):
+            sweep.predicted_at(999)
+
+
+class TestDisaggregationStudy:
+    def test_speedups_relative_to_lowest_bandwidth(self, kw_models):
+        results = run_disaggregation_study(kw_models["A100"], [resnet50()],
+                                           bandwidths_gbs=[16, 64, 256])
+        (result,) = results
+        assert result.speedup_at(16) == pytest.approx(1.0)
+        assert result.speedup_at(256) >= result.speedup_at(64) >= 1.0
+
+    def test_saturation_bandwidth_found(self, kw_models):
+        results = run_disaggregation_study(kw_models["A100"], [resnet50()])
+        assert results[0].saturation_gbs() in (16, 32, 64, 128, 256, 512)
+
+    def test_unknown_bandwidth_lookup_rejected(self, kw_models):
+        results = run_disaggregation_study(kw_models["A100"], [resnet18()],
+                                           bandwidths_gbs=[16, 32])
+        with pytest.raises(KeyError):
+            results[0].speedup_at(64)
+
+
+class TestSchedulingStudy:
+    def test_measured_times_cover_grid(self, small_roster):
+        nets = small_roster[:3]
+        specs = [gpu("A100"), gpu("TITAN RTX")]
+        times = measure_times(nets, specs, batch_size=16)
+        assert len(times) == 6
+        assert all(t > 0 for t in times.values())
+
+    def test_full_study_outputs(self, kw_models, small_roster):
+        nets = small_roster[:5]
+        specs = [gpu("A100"), gpu("TITAN RTX")]
+        study = run_scheduling_study(kw_models, nets, specs, batch_size=64)
+        assert len(study.decisions) == 5
+        assert 0.0 <= study.placement_accuracy <= 1.0
+        assert study.oracle_gap >= 0.0
+        assert set(study.predicted_schedule.assignment) == {
+            n.name for n in nets}
+
+    def test_predictions_pick_the_faster_gpu(self, kw_models,
+                                             small_roster):
+        """Figure 18: an A100 dominates a TITAN RTX, and per-GPU KW
+        models must see that."""
+        nets = small_roster[:4]
+        specs = [gpu("A100"), gpu("TITAN RTX")]
+        study = run_scheduling_study(kw_models, nets, specs, batch_size=64)
+        assert study.placement_accuracy == 1.0
+
+    def test_schedule_near_oracle(self, kw_models, small_roster):
+        """Figure 19: the predicted dispatching scheme re-costed with
+        measured times is within a few percent of the oracle."""
+        nets = small_roster
+        specs = [gpu("A100"), gpu("TITAN RTX")]
+        study = run_scheduling_study(kw_models, nets, specs, batch_size=64)
+        assert study.oracle_gap < 0.10

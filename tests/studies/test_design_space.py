@@ -1,0 +1,110 @@
+"""Tests for the cost-aware bandwidth design-space search."""
+
+import pytest
+
+from repro.core import train_inter_gpu_model
+from repro.gpu import gpu
+from repro.studies.design_space import (
+    WorkloadTarget,
+    memory_cost_usd,
+    search_bandwidth,
+)
+from repro.zoo import resnet18, resnet50
+
+
+@pytest.fixture(scope="module")
+def igkw(request):
+    train, _ = request.getfixturevalue("small_split")
+    return train_inter_gpu_model(train, [gpu("A100"), gpu("TITAN RTX")])
+
+
+class TestCostModel:
+    def test_affine(self):
+        assert memory_cost_usd(500) == pytest.approx(2000 + 8 * 500)
+
+    def test_monotone(self):
+        assert memory_cost_usd(800) > memory_cost_usd(400)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            memory_cost_usd(0)
+
+
+class TestSearch:
+    BANDWIDTHS = (200, 400, 600, 800, 1000, 1200)
+
+    def _loose_targets(self, igkw):
+        """Targets achievable even at the lowest swept bandwidth."""
+        slow = igkw.for_gpu(gpu("TITAN RTX").with_bandwidth(200))
+        return [WorkloadTarget(
+            resnet50(), 64,
+            slow.predict_network(resnet50(), 64) / 1e3 * 1.5)]
+
+    def _tight_targets(self, igkw, factor):
+        """Targets calibrated to a mid-sweep bandwidth."""
+        mid = igkw.for_gpu(gpu("TITAN RTX").with_bandwidth(800))
+        return [WorkloadTarget(
+            resnet50(), 64,
+            mid.predict_network(resnet50(), 64) / 1e3 * factor)]
+
+    def test_loose_target_picks_cheapest_point(self, igkw):
+        result = search_bandwidth(igkw, gpu("TITAN RTX"),
+                                  self._loose_targets(igkw),
+                                  self.BANDWIDTHS)
+        assert result.cheapest_feasible is not None
+        assert result.cheapest_feasible.bandwidth_gbs == 200
+
+    def test_tight_target_needs_more_bandwidth(self, igkw):
+        result = search_bandwidth(igkw, gpu("TITAN RTX"),
+                                  self._tight_targets(igkw, 1.02),
+                                  self.BANDWIDTHS)
+        assert result.cheapest_feasible is not None
+        assert result.cheapest_feasible.bandwidth_gbs > 200
+
+    def test_impossible_target_is_infeasible(self, igkw):
+        impossible = [WorkloadTarget(resnet50(), 64, 0.001)]
+        result = search_bandwidth(igkw, gpu("TITAN RTX"), impossible,
+                                  self.BANDWIDTHS)
+        assert result.cheapest_feasible is None
+        assert not any(p.meets_all_targets for p in result.points)
+
+    def test_multiple_workloads_binding_constraint(self, igkw):
+        targets = (self._loose_targets(igkw)
+                   + [WorkloadTarget(resnet18(), 64, 0.001)])
+        result = search_bandwidth(igkw, gpu("TITAN RTX"), targets,
+                                  self.BANDWIDTHS)
+        assert result.cheapest_feasible is None
+
+    def test_points_sorted_with_costs(self, igkw):
+        result = search_bandwidth(igkw, gpu("TITAN RTX"),
+                                  self._loose_targets(igkw),
+                                  self.BANDWIDTHS)
+        bandwidths = [p.bandwidth_gbs for p in result.points]
+        costs = [p.cost_usd for p in result.points]
+        assert bandwidths == sorted(bandwidths)
+        assert costs == sorted(costs)
+
+    def test_frontier_is_monotone(self, igkw):
+        result = search_bandwidth(igkw, gpu("TITAN RTX"),
+                                  self._loose_targets(igkw),
+                                  self.BANDWIDTHS)
+        frontier = result.frontier()
+        assert frontier
+        worst = [max(p.predicted_ms.values()) for p in frontier]
+        assert worst == sorted(worst, reverse=True)
+
+    def test_slack_sign(self, igkw):
+        result = search_bandwidth(igkw, gpu("TITAN RTX"),
+                                  self._loose_targets(igkw),
+                                  self.BANDWIDTHS)
+        targets = self._loose_targets(igkw)
+        for point in result.points:
+            assert point.meets_all_targets == (point.slack(targets) >= 0)
+
+    def test_empty_targets_rejected(self, igkw):
+        with pytest.raises(ValueError):
+            search_bandwidth(igkw, gpu("TITAN RTX"), [], self.BANDWIDTHS)
+
+    def test_target_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadTarget(resnet18(), 8, 0.0)

@@ -1,0 +1,139 @@
+"""Tests for the multi-GPU data-parallel training study."""
+
+import pytest
+
+from repro.sim.allreduce import ring_allreduce_cost
+from repro.sim.links import Link
+from repro.studies.multi_gpu import (
+    bandwidth_requirement,
+    data_parallel_step,
+    scaling_curve,
+)
+from repro.zoo import resnet18, resnet50
+
+
+class _StubTrainingPredictor:
+    """Constant time-per-image training predictor."""
+
+    def __init__(self, us_per_image=100.0):
+        self.us_per_image = us_per_image
+
+    def predict_network(self, network, batch_size):
+        return self.us_per_image * batch_size
+
+
+class TestRingAllReduce:
+    def test_single_gpu_is_free(self):
+        cost = ring_allreduce_cost(1e9, 1, Link(100))
+        assert cost.total_us == 0.0
+
+    def test_zero_payload_is_free(self):
+        assert ring_allreduce_cost(0.0, 8, Link(100)).total_us == 0.0
+
+    def test_traffic_formula(self):
+        link = Link(bandwidth_gbs=100, latency_us=0.0)
+        cost = ring_allreduce_cost(1e9, 4, link)
+        # 2*(N-1)/N * P = 1.5 GB at 100 GB/s = 15 ms
+        assert cost.transfer_us == pytest.approx(15_000.0)
+
+    def test_latency_scales_with_ring_steps(self):
+        link = Link(bandwidth_gbs=1e6, latency_us=5.0)
+        cost = ring_allreduce_cost(1e6, 8, link)
+        assert cost.latency_us == pytest.approx(2 * 7 * 5.0)
+
+    def test_traffic_saturates_with_gpu_count(self):
+        """Per-GPU traffic approaches 2P as N grows (ring property)."""
+        link = Link(100, latency_us=0.0)
+        t8 = ring_allreduce_cost(1e9, 8, link).transfer_us
+        t64 = ring_allreduce_cost(1e9, 64, link).transfer_us
+        assert t64 < 1.2 * t8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ring_allreduce_cost(1e9, 0, Link(100))
+        with pytest.raises(ValueError):
+            ring_allreduce_cost(-1.0, 2, Link(100))
+
+
+class TestDataParallelStep:
+    def test_single_gpu_is_pure_compute(self):
+        step = data_parallel_step(_StubTrainingPredictor(), resnet18(), 32,
+                                  1, Link(100))
+        assert step.scaling_efficiency == pytest.approx(1.0)
+        assert step.exposed_comm_us == 0.0
+
+    def test_fast_interconnect_hides_communication(self):
+        step = data_parallel_step(_StubTrainingPredictor(), resnet18(), 32,
+                                  8, Link(10_000, latency_us=1.0))
+        assert step.scaling_efficiency > 0.97
+
+    def test_slow_interconnect_exposes_communication(self):
+        fast = data_parallel_step(_StubTrainingPredictor(), resnet50(), 32,
+                                  8, Link(300, latency_us=2.0))
+        slow = data_parallel_step(_StubTrainingPredictor(), resnet50(), 32,
+                                  8, Link(4, latency_us=2.0))
+        assert slow.scaling_efficiency < fast.scaling_efficiency
+        assert slow.step_us > fast.step_us
+
+    def test_overlap_bounds(self):
+        with pytest.raises(ValueError):
+            data_parallel_step(_StubTrainingPredictor(), resnet18(), 32, 4,
+                               Link(100), overlap=1.5)
+
+    def test_throughput_accounting(self):
+        step = data_parallel_step(_StubTrainingPredictor(100.0),
+                                  resnet18(), 10, 4,
+                                  Link(1e6, latency_us=0.0))
+        # 40 images per ~1000 us step
+        assert step.images_per_second == pytest.approx(
+            40 / (step.step_us / 1e6))
+
+
+class TestScalingCurve:
+    def test_efficiency_never_increases_with_gpus(self):
+        curve = scaling_curve(_StubTrainingPredictor(), resnet50(), 32,
+                              [1, 2, 4, 8, 16], Link(50, latency_us=3.0))
+        efficiencies = [s.scaling_efficiency for s in curve]
+        assert all(b <= a + 1e-9
+                   for a, b in zip(efficiencies, efficiencies[1:]))
+
+    def test_bandwidth_requirement_monotone_logic(self):
+        requirement, sweep = bandwidth_requirement(
+            _StubTrainingPredictor(), resnet50(), 32, 8,
+            bandwidths_gbs=[4, 16, 64, 256, 1024])
+        assert requirement in (4, 16, 64, 256, 1024)
+        reached = [s for s in sweep
+                   if s.scaling_efficiency >= 0.95]
+        assert reached
+        # every bandwidth at or above the requirement meets the target
+        link_of = {round(2 * 7 / 8 * resnet50().total_params() * 4
+                         / (s.comm_us - 2 * 7 * 3.0) * 1e-3): s
+                   for s in sweep if s.comm_us > 2 * 7 * 3.0}
+        assert min(s.scaling_efficiency for s in reached) >= 0.95
+
+    def test_requirement_inf_when_unreachable(self):
+        requirement, _ = bandwidth_requirement(
+            _StubTrainingPredictor(0.01), resnet50(), 1, 64,
+            bandwidths_gbs=[1, 2], target_efficiency=0.999)
+        assert requirement == float("inf")
+
+
+class TestWithRealPredictor:
+    def test_end_to_end_with_trained_model(self, small_roster):
+        """A real training-mode KW model drives the study."""
+        from repro import core, dataset
+        from repro.gpu import gpu
+        from repro.zoo import vgg16
+        data = dataset.build_dataset(small_roster, [gpu("A100")],
+                                     batch_sizes=[4, 16, 64],
+                                     training=True)
+        model = core.train_model(data, "kw", gpu="A100", batch_size=None)
+        # a parameter-heavy model at a small per-GPU batch is the regime
+        # where the interconnect matters (VGG-16: ~550 MB of gradients)
+        nvlink = Link(300, latency_us=2.0)
+        pcie = Link(16, latency_us=3.0)
+        fast = data_parallel_step(model, vgg16(), 4, 8, nvlink)
+        slow = data_parallel_step(model, vgg16(), 4, 8, pcie)
+        assert fast.scaling_efficiency > slow.scaling_efficiency
+        assert fast.scaling_efficiency > 0.8
+        assert slow.scaling_efficiency < 0.9

@@ -1,0 +1,122 @@
+"""Tests for the Section-4 observation studies (Figures 3-9)."""
+
+import pytest
+
+from repro.gpu import SimulatedGPU, gpu
+from repro.studies.observations import (
+    batch_size_series,
+    classification_summary,
+    e2e_linearity,
+    e2e_scatter,
+    efficiency_study,
+    family_lines,
+    layer_cloud_fits,
+    layer_clouds,
+    throughput_series,
+)
+from repro.zoo import mobilenet_v2, resnet18, resnet50, vgg16
+
+
+class TestFig3Scatter:
+    def test_scatter_filters_small_batches(self, small_dataset):
+        points = e2e_scatter(small_dataset, "A100", min_batch=100)
+        assert all(True for _ in points)   # shape check below
+        # only BS 512 rows survive the filter in the small dataset
+        assert len(points) == len(
+            small_dataset.filter(gpu="A100", batch_size=512).network_rows)
+
+    def test_trend_is_strongly_linear(self, small_dataset):
+        """O1: execution time generally linear in FLOPs."""
+        fit = e2e_linearity(small_dataset, "A100")
+        assert fit.r2 > 0.5
+        assert fit.slope > 0
+
+
+class TestFig4FamilyLines:
+    def test_families_fall_on_different_lines(self):
+        """O2: VGG is more GPU-efficient than ResNet per FLOP."""
+        from repro import dataset
+        from repro.zoo import resnet, vgg
+        nets = ([resnet([3, 4, n, 3]) for n in (4, 6, 10, 15)]
+                + [vgg(c) for c in ((1, 1, 2, 2, 2), (2, 2, 3, 3, 3),
+                                    (2, 2, 4, 4, 4))])
+        data = dataset.build_dataset(nets, [gpu("A100")], batch_sizes=[512])
+        lines = family_lines(data, "A100", 512)
+        assert lines["resnet"].slope > 1.5 * lines["vgg"].slope
+
+    def test_needs_two_networks_per_family(self, small_dataset):
+        with pytest.raises(ValueError):
+            family_lines(small_dataset, "A100", 512,
+                         families=("alexnet",))
+
+
+class TestFig5And6BatchSweeps:
+    @pytest.fixture(scope="class")
+    def device(self):
+        return SimulatedGPU(gpu("A100"))
+
+    def test_time_linear_in_batch(self, device):
+        """O3: execution time linear in batch size, per-network slopes."""
+        series = batch_size_series(device, [resnet50(), mobilenet_v2()],
+                                   [16, 32, 64])
+        for points in series.values():
+            (b1, t1), (b2, t2), (b3, t3) = points
+            # doubling batch roughly doubles time
+            assert t2 / t1 == pytest.approx(2.0, rel=0.3)
+            assert t3 / t2 == pytest.approx(2.0, rel=0.3)
+
+    def test_throughput_saturates(self, device):
+        """Figure 6: TFLOPS rises with batch size then flattens."""
+        series = throughput_series(device, [resnet50()], [8, 64, 512])
+        points = series["resnet50"]
+        tflops = [t for _, t in points]
+        assert tflops[0] < tflops[1]
+        assert tflops[2] == pytest.approx(max(tflops), rel=0.05)
+
+
+class TestFig7LayerClouds:
+    def test_clouds_present_for_major_kinds(self, small_dataset):
+        clouds = layer_clouds(small_dataset, "A100")
+        for kind in ("BN", "CONV", "FC"):
+            assert len(clouds[kind]) > 10
+
+    def test_bn_less_efficient_than_conv(self, small_dataset):
+        """O4: BN/pooling sit on steeper (less efficient) lines."""
+        fits = layer_cloud_fits(small_dataset, "A100")
+        assert fits["BN"].slope > fits["CONV"].slope
+
+    def test_bn_nearly_perfectly_linear(self, small_dataset):
+        fits = layer_cloud_fits(small_dataset, "A100")
+        assert fits["BN"].r2 > 0.95
+
+
+class TestFig8Classification:
+    def test_summary_covers_all_kernels(self, small_dataset):
+        rows = classification_summary(small_dataset, "A100")
+        assert len(rows) == len(small_dataset.for_gpu("A100")
+                                .kernel_names())
+        for name, label, r2_in, r2_op, r2_out in rows:
+            assert label in ("input-driven", "operation-driven",
+                             "output-driven")
+            assert max(r2_in, r2_op, r2_out) <= 1.0
+
+
+class TestFig9Efficiency:
+    def test_bandwidth_efficiency_stable_compute_not(self):
+        """O6: estimated BW efficiency roughly constant across GPUs,
+        compute efficiency not."""
+        specs = [gpu(n) for n in ("A40", "A100", "GTX 1080 Ti",
+                                  "TITAN RTX", "RTX A5000")]
+        rows = efficiency_study([resnet18()], specs, batch_size=64)
+        bw = [r[1] for r in rows]
+        compute = [r[2] for r in rows]
+        # "the bandwidth efficiency stays around 10%"
+        assert all(0.05 < value < 0.16 for value in bw)
+        # compute efficiency varies more than bandwidth efficiency
+        assert max(compute) / min(compute) > max(bw) / min(bw)
+
+    def test_efficiencies_are_fractions(self):
+        rows = efficiency_study([resnet18()], [gpu("A100")], batch_size=64)
+        for _, bw_eff, compute_eff in rows:
+            assert 0 < bw_eff < 1
+            assert 0 < compute_eff < 1

@@ -1,0 +1,141 @@
+"""Tests for the remaining CNN family constructors."""
+
+import pytest
+
+from repro.zoo import (
+    alexnet,
+    densenet,
+    densenet121,
+    densenet161,
+    densenet169,
+    densenet201,
+    efficientnet,
+    googlenet,
+    mobilenet_v2,
+    shufflenet_v1,
+    squeezenet,
+    vgg,
+    vgg11,
+    vgg16,
+    vgg19,
+)
+from repro.zoo.vgg import custom_vggs
+
+
+class TestVGG:
+    @pytest.mark.parametrize("builder, params_m", [
+        (vgg11, 132.9), (vgg16, 138.4), (vgg19, 143.7),
+    ])
+    def test_parameter_counts(self, builder, params_m):
+        net = builder()
+        # BN variants add ~0.1M of scale/shift parameters
+        assert net.total_params() / 1e6 == pytest.approx(params_m, rel=0.02)
+
+    def test_custom_vggs_unique_names(self):
+        names = [net.name for net in custom_vggs()]
+        assert len(names) == len(set(names))
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            vgg((2, 2, 3, 3))
+
+    def test_family_label(self):
+        assert vgg16().family == "vgg"
+
+
+class TestDenseNet:
+    @pytest.mark.parametrize("builder, params_m", [
+        (densenet121, 8.0), (densenet161, 28.7), (densenet169, 14.1),
+        (densenet201, 20.0),
+    ])
+    def test_parameter_counts(self, builder, params_m):
+        net = builder()
+        assert net.total_params() / 1e6 == pytest.approx(params_m, rel=0.03)
+
+    def test_depth_naming(self):
+        assert densenet([6, 12, 24, 16]).name == "densenet121"
+
+    def test_concat_growth(self):
+        # each dense layer adds growth_rate channels before transition
+        net = densenet121()
+        assert net.output_shape(1).dims == (1, 1000)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            densenet([6, 12, 24])
+
+
+class TestMobileNet:
+    def test_parameter_count(self):
+        assert mobilenet_v2().total_params() / 1e6 == pytest.approx(
+            3.5, rel=0.03)
+
+    def test_width_multiplier_monotone(self):
+        small = mobilenet_v2(0.5)
+        large = mobilenet_v2(1.5)
+        assert small.total_flops(1) < large.total_flops(1)
+
+    def test_depthwise_present(self):
+        infos = mobilenet_v2().layer_infos(1)
+        assert any(info.kind == "CONV" and info.layer.is_depthwise
+                   for info in infos)
+
+    def test_rejects_nonpositive_mult(self):
+        with pytest.raises(ValueError):
+            mobilenet_v2(0.0)
+
+
+class TestShuffleNet:
+    def test_group_variants(self):
+        for groups in (1, 2, 3, 4, 8):
+            net = shufflenet_v1(groups=groups)
+            assert net.output_shape(2).dims == (2, 1000)
+
+    def test_channel_shuffle_present(self):
+        assert "ChannelShuffle" in shufflenet_v1().kinds()
+
+    def test_channel_scale_monotone(self):
+        base = shufflenet_v1(channel_scale=1.0)
+        wide = shufflenet_v1(channel_scale=2.0)
+        assert wide.total_flops(1) > 2 * base.total_flops(1)
+
+    def test_rejects_unknown_groups(self):
+        with pytest.raises(ValueError):
+            shufflenet_v1(groups=5)
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            shufflenet_v1(channel_scale=-1)
+
+
+class TestSmallModels:
+    def test_alexnet_params(self):
+        assert alexnet().total_params() / 1e6 == pytest.approx(61.1, rel=0.02)
+
+    def test_squeezenet_params(self):
+        assert squeezenet().total_params() / 1e6 == pytest.approx(
+            1.24, rel=0.03)
+
+    def test_googlenet_has_inception_concats(self):
+        assert "Concat" in googlenet().kinds()
+
+    def test_googlenet_params(self):
+        assert googlenet().total_params() / 1e6 == pytest.approx(6.6, rel=0.05)
+
+
+class TestEfficientNet:
+    def test_b0_params(self):
+        assert efficientnet("b0").total_params() / 1e6 == pytest.approx(
+            5.3, rel=0.05)
+
+    def test_compound_scaling_monotone(self):
+        flops = [efficientnet(v).total_flops(1)
+                 for v in ("b0", "b1", "b2", "b3")]
+        assert flops == sorted(flops)
+
+    def test_squeeze_excite_present(self):
+        assert "Mul" in efficientnet("b0").kinds()
+
+    def test_rejects_unknown_variant(self):
+        with pytest.raises(ValueError):
+            efficientnet("b9")

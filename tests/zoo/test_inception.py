@@ -1,0 +1,46 @@
+"""Tests for Inception-v3."""
+
+import pytest
+
+from repro.zoo.inception import inception_v3
+
+
+class TestInceptionV3:
+    def test_published_sizes(self):
+        net = inception_v3()
+        assert net.total_params() / 1e6 == pytest.approx(23.8, rel=0.03)
+        assert net.total_flops(1) / 1e9 == pytest.approx(5.7, rel=0.05)
+
+    def test_native_resolution(self):
+        net = inception_v3()
+        assert net.input_shape.height == 299
+
+    def test_output_logits(self):
+        assert inception_v3().output_shape(4).dims == (4, 1000)
+
+    def test_asymmetric_convolutions_present(self):
+        kernels = {info.layer.kernel_size
+                   for info in inception_v3().layer_infos(1)
+                   if info.kind == "CONV"}
+        assert (1, 7) in kernels
+        assert (7, 1) in kernels
+        assert (1, 3) in kernels
+
+    def test_resolution_variants(self):
+        small = inception_v3(resolution=224)
+        assert small.name == "inception_v3_r224"
+        assert small.total_flops(1) < inception_v3().total_flops(1)
+        assert small.total_params() == inception_v3().total_params()
+
+    def test_too_small_resolution_rejected(self):
+        with pytest.raises(ValueError):
+            inception_v3(resolution=32)
+
+    def test_executes_on_simulated_gpu(self):
+        from repro.gpu import SimulatedGPU, gpu
+        result = SimulatedGPU(gpu("A100")).run_network(inception_v3(), 8)
+        assert result.e2e_us > 0
+        # the asymmetric convs lower through the im2col path
+        names = {k.kernel_name for k in result.kernel_executions}
+        assert any(name.startswith("im2col_k1x7") for name in names)
+        assert any(name.startswith("im2col_k7x1") for name in names)

@@ -1,0 +1,67 @@
+"""Tests for the model registry and rosters."""
+
+import pytest
+
+from repro.zoo import registry
+
+
+class TestBuild:
+    def test_build_known_model(self):
+        assert registry.build("resnet50").name == "resnet50"
+
+    def test_build_unknown_model(self):
+        with pytest.raises(KeyError):
+            registry.build("resnet9000")
+
+    def test_model_names_sorted(self):
+        names = registry.model_names()
+        assert names == sorted(names)
+
+    def test_every_registered_model_constructs(self):
+        for name in registry.model_names():
+            net = registry.build(name)
+            assert len(net) > 0
+            # shape inference must succeed end to end
+            net.shapes(2)
+
+
+class TestRosters:
+    def test_scales_nest(self):
+        small = {n.name for n in registry.imagenet_roster("small")}
+        medium = {n.name for n in registry.imagenet_roster("medium")}
+        full = {n.name for n in registry.imagenet_roster("full")}
+        assert small <= full
+        assert medium <= full
+        assert len(small) < len(medium) < len(full)
+
+    def test_full_roster_is_large_and_unique(self):
+        roster = registry.imagenet_roster("full")
+        names = [net.name for net in roster]
+        assert len(names) == len(set(names))
+        assert len(names) >= 100
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            registry.imagenet_roster("gigantic")
+
+    def test_text_roster(self):
+        roster = registry.text_roster()
+        assert all(net.family == "transformer" for net in roster)
+
+    def test_scheduling_roster_is_paper_list(self):
+        names = {net.name for net in registry.scheduling_roster()}
+        assert names == {
+            "resnet44", "resnet50", "resnet62", "resnet77",
+            "densenet121", "densenet161", "densenet169", "densenet201",
+            "shufflenet_v1",
+        }
+
+    def test_disaggregation_roster_is_paper_list(self):
+        names = {net.name for net in registry.disaggregation_roster()}
+        assert names == {"resnet50", "resnet77", "densenet121",
+                         "densenet161", "shufflenet_v1"}
+
+    def test_full_roster_spans_families(self):
+        families = {net.family for net in registry.imagenet_roster("full")}
+        assert {"resnet", "vgg", "densenet", "mobilenet", "shufflenet",
+                "efficientnet"} <= families

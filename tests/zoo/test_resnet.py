@@ -1,0 +1,105 @@
+"""Tests for the ResNet family constructors."""
+
+import pytest
+
+from repro.zoo.resnet import (
+    custom_resnets,
+    resnet,
+    resnet18,
+    resnet34,
+    resnet44,
+    resnet50,
+    resnet62,
+    resnet77,
+    resnet101,
+    resnet152,
+    resnext50_32x4d,
+    resnext101_32x8d,
+    wide_resnet50_2,
+)
+
+
+class TestStandardDepths:
+    @pytest.mark.parametrize("builder, params_m", [
+        (resnet18, 11.7), (resnet34, 21.8), (resnet50, 25.6),
+        (resnet101, 44.5), (resnet152, 60.2),
+    ])
+    def test_parameter_counts_match_torchvision(self, builder, params_m):
+        net = builder()
+        assert net.total_params() / 1e6 == pytest.approx(params_m, rel=0.02)
+
+    def test_output_is_logits(self):
+        assert resnet50().output_shape(4).dims == (4, 1000)
+
+    def test_family_label(self):
+        assert resnet50().family == "resnet"
+
+    def test_depth_naming_convention(self):
+        # depth = 3 * sum(blocks) + 2 for bottleneck nets
+        assert resnet([3, 4, 6, 3]).name == "resnet50"
+        assert resnet([3, 4, 15, 3]).name == "resnet77"
+
+
+class TestNonStandardDepths:
+    def test_paper_custom_depths_exist(self):
+        assert resnet44().name == "resnet44"
+        assert resnet62().name == "resnet62"
+        assert resnet77().name == "resnet77"
+
+    def test_custom_depth_ordering(self):
+        # more blocks => more FLOPs, monotonically
+        f44 = resnet44().total_flops(1)
+        f50 = resnet50().total_flops(1)
+        f62 = resnet62().total_flops(1)
+        f77 = resnet77().total_flops(1)
+        assert f44 < f50 < f62 < f77
+
+    def test_custom_roster_unique_names(self):
+        names = [net.name for net in custom_resnets()]
+        assert len(names) == len(set(names))
+
+    def test_width_multiplier_scales_flops(self):
+        narrow = resnet([3, 4, 6, 3], width=32, name="narrow")
+        wide = resnet([3, 4, 6, 3], width=128, name="wide")
+        assert wide.total_flops(1) > 4 * narrow.total_flops(1)
+
+
+class TestResNeXtAndWide:
+    @pytest.mark.parametrize("builder, params_m, gflops", [
+        (resnext50_32x4d, 25.0, 4.27),
+        (resnext101_32x8d, 88.8, 16.5),
+        (wide_resnet50_2, 68.9, 11.4),
+    ])
+    def test_published_sizes(self, builder, params_m, gflops):
+        net = builder()
+        assert net.total_params() / 1e6 == pytest.approx(params_m,
+                                                         rel=0.02)
+        assert net.total_flops(1) / 1e9 == pytest.approx(gflops, rel=0.03)
+
+    def test_resnext_uses_grouped_convs(self):
+        infos = resnext50_32x4d().layer_infos(1)
+        assert any(info.kind == "CONV" and 1 < info.layer.groups < 64
+                   for info in infos)
+
+    def test_groups_require_bottleneck(self):
+        with pytest.raises(ValueError):
+            resnet([2, 2, 2, 2], bottleneck=False, groups=32)
+
+
+class TestValidation:
+    def test_rejects_wrong_stage_count(self):
+        with pytest.raises(ValueError):
+            resnet([3, 4, 6])
+
+    def test_rejects_zero_blocks(self):
+        with pytest.raises(ValueError):
+            resnet([3, 0, 6, 3])
+
+    def test_basic_blocks_shallower_than_bottleneck(self):
+        basic = resnet([2, 2, 2, 2], bottleneck=False)
+        assert basic.name == "resnet18"
+        assert len(basic) < len(resnet50())
+
+    def test_shapes_propagate_at_large_batch(self):
+        # full shape inference at the training batch size must succeed
+        assert resnet50().output_shape(512).batch == 512

@@ -1,0 +1,66 @@
+"""Tests for the BERT-style transformer constructors."""
+
+import pytest
+
+from repro.zoo.transformer import bert, text_classifier, transformer_roster
+
+
+class TestBert:
+    def test_base_parameter_count(self):
+        # published BERT-base: ~110M parameters
+        net = bert("base")
+        assert net.total_params() / 1e6 == pytest.approx(110, rel=0.03)
+
+    def test_size_points_monotone(self):
+        params = [bert(s).total_params()
+                  for s in ("tiny", "mini", "small", "base", "large")]
+        assert params == sorted(params)
+
+    def test_input_is_token_ids(self):
+        net = bert("tiny")
+        assert net.input_shape.dtype == "int64"
+        assert net.input_shape.rank == 2
+
+    def test_family_label(self):
+        assert bert("tiny").family == "transformer"
+
+    def test_rejects_unknown_size(self):
+        with pytest.raises(ValueError):
+            bert("huge")
+
+    def test_decomposed_attention_layers_present(self):
+        kinds = bert("tiny").kinds()
+        assert "AttnScores" in kinds
+        assert "AttnContext" in kinds
+        assert "Softmax" in kinds
+
+
+class TestTextClassifier:
+    def test_seq_len_scales_flops_superlinearly(self):
+        # attention is quadratic in sequence length
+        short = text_classifier(256, 4, 4, seq_len=64, name="s")
+        long = text_classifier(256, 4, 4, seq_len=256, name="l")
+        assert long.total_flops(1) > 4 * short.total_flops(1)
+
+    def test_rejects_indivisible_heads(self):
+        with pytest.raises(ValueError):
+            text_classifier(100, 2, 3)
+
+    def test_rejects_zero_layers(self):
+        with pytest.raises(ValueError):
+            text_classifier(128, 0, 2)
+
+    def test_classifier_head_shape(self):
+        net = text_classifier(128, 2, 2, seq_len=32, num_classes=5)
+        assert net.output_shape(4).dims == (4, 32, 5)
+
+
+class TestRoster:
+    def test_roster_unique_names(self):
+        names = [net.name for net in transformer_roster()]
+        assert len(names) == len(set(names))
+
+    def test_roster_spans_seq_lens(self):
+        roster = transformer_roster(seq_lens=(64, 128))
+        assert any("_s64" in net.name for net in roster)
+        assert any("_s128" in net.name for net in roster)

@@ -1,0 +1,80 @@
+"""Tests for the Vision Transformer constructors."""
+
+import pytest
+
+from repro.nn.layers.reshape import ToSequence
+from repro.nn.tensor import TensorShape
+from repro.zoo.vit import vit, vit_base, vit_small, vit_tiny
+
+
+class TestToSequence:
+    def test_shape(self):
+        layer = ToSequence()
+        out = layer.infer_shape([TensorShape.image(2, 768, 14, 14)])
+        assert out.dims == (2, 196, 768)
+
+    def test_rejects_non_image(self):
+        with pytest.raises(ValueError):
+            ToSequence().infer_shape([TensorShape.flat(2, 10)])
+
+    def test_preserves_numel(self):
+        shape = TensorShape.image(4, 192, 14, 14)
+        assert ToSequence().infer_shape([shape]).numel() == shape.numel()
+
+
+class TestViT:
+    def test_base_parameter_count(self):
+        # published ViT-B/16: ~86M parameters
+        net = vit_base()
+        assert net.total_params() / 1e6 == pytest.approx(86, rel=0.03)
+
+    def test_base_flops(self):
+        # published ViT-B/16: ~17.6 GFLOPs at 224x224
+        assert vit_base().total_flops(1) / 1e9 == pytest.approx(17.6,
+                                                                rel=0.05)
+
+    def test_tiny_parameter_count(self):
+        assert vit_tiny().total_params() / 1e6 == pytest.approx(5.7,
+                                                                rel=0.05)
+
+    def test_size_points_monotone(self):
+        assert (vit_tiny().total_flops(1) < vit_small().total_flops(1)
+                < vit_base().total_flops(1))
+
+    def test_patch_size_trades_sequence_length(self):
+        # larger patches: fewer tokens, cheaper attention
+        assert vit_tiny(patch=32).total_flops(1) < vit_tiny(
+            patch=16).total_flops(1)
+
+    def test_family_and_kinds(self):
+        net = vit_base()
+        assert net.family == "vit"
+        kinds = net.kinds()
+        assert "CONV" in kinds          # the patchify conv
+        assert "AttnScores" in kinds
+        assert "ToSequence" in kinds
+
+    def test_classifier_output(self):
+        assert vit_tiny().output_shape(4).dims[0] == 4
+        assert vit_tiny().output_shape(4).dims[-1] == 1000
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            vit(100, 2, 3)          # heads do not divide hidden
+        with pytest.raises(ValueError):
+            vit(192, 2, 3, patch=15)   # patch does not divide 224
+
+
+class TestViTExecution:
+    def test_runs_on_simulated_gpu(self):
+        from repro.gpu import SimulatedGPU, gpu
+        result = SimulatedGPU(gpu("A100")).run_network(vit_tiny(), 8)
+        assert result.e2e_us > 0
+
+    def test_kw_model_covers_vit(self, small_split):
+        """A KW model trained on a roster without ViTs degrades to the
+        LW fallback for attention layers rather than failing."""
+        from repro.core import train_model
+        train, _ = small_split
+        model = train_model(train, "kw", gpu="A100")
+        assert model.predict_network(vit_tiny(), 64) > 0
