@@ -1,0 +1,87 @@
+"""Extension benchmark: the live prediction service under load.
+
+The serving simulator (ext_serving) predicts how a GPU would serve
+traffic; this benchmark measures how the *predictor itself* serves
+traffic as infrastructure. A threaded HTTP server hosts standard-campaign
+models and a Poisson load generator sweeps offered rates, reporting
+achieved throughput, latency percentiles, and the cache's contribution.
+"""
+
+import threading
+
+from _shared import emit, once
+
+from repro.core import save_model, train_inter_gpu_model
+from repro.gpu import gpu
+from repro.reporting import render_table
+from repro.service import (
+    LoadGenerator,
+    ModelRegistry,
+    PredictionCache,
+    PredictionService,
+    make_server,
+)
+from repro.studies import context
+
+RATES_RPS = (100, 500, 2000)
+N_REQUESTS = 150
+NETWORKS = ("resnet50", "densenet121", "mobilenet_v2", "vgg11")
+
+
+def test_ext_service_under_load(benchmark, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("service-models")
+    save_model(context.trained("kw", "A100"), directory / "kw-a100.json")
+    save_model(context.trained("e2e", "A100"),
+               directory / "e2e-a100.json")
+    train, _ = context.standard_split()
+    save_model(train_inter_gpu_model(
+        train, [gpu("A100"), gpu("TITAN RTX")]), directory / "igkw.json")
+
+    registry = ModelRegistry(directory)
+    service = PredictionService(registry, cache=PredictionCache(4096))
+    server = make_server(service, port=0)
+    host, port = server.server_address[:2]
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    url = f"http://{host}:{port}"
+    payloads = [{"model": "kw-a100", "network": name, "batch_size": 64}
+                for name in NETWORKS]
+    payloads.append({"model": "igkw", "network": "resnet50",
+                     "batch_size": 64, "gpu": "V100"})
+
+    def sweep():
+        reports = []
+        for rate in RATES_RPS:
+            generator = LoadGenerator(url, payloads, rate_rps=rate,
+                                      n_requests=N_REQUESTS, threads=8,
+                                      seed=3)
+            reports.append((rate, generator.run()))
+        return reports
+
+    try:
+        reports = once(benchmark, sweep)
+    finally:
+        server.shutdown()
+        server.server_close()
+
+    rows = []
+    for rate, report in reports:
+        rows.append((rate,
+                     f"{report.achieved_rps:.0f}",
+                     f"{report.mean_latency_ms:.2f}",
+                     f"{report.latency_percentile_ms(50):.2f}",
+                     f"{report.latency_percentile_ms(99):.2f}",
+                     f"{report.cache_hits / max(report.succeeded, 1):.0%}"))
+    text = render_table(
+        ["offered (req/s)", "achieved (req/s)", "mean (ms)", "p50 (ms)",
+         "p99 (ms)", "cache hits"],
+        rows,
+        title="Extension: live prediction service under Poisson load "
+              "(KW + IGKW models, threaded HTTP server)")
+    emit("ext_service", text)
+
+    for rate, report in reports:
+        assert report.failed == 0
+        assert report.succeeded == N_REQUESTS
+    # the cache makes repeat traffic cheap: the final sweep is mostly hits
+    final = reports[-1][1]
+    assert final.cache_hits / final.succeeded > 0.5

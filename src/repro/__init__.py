@@ -24,6 +24,7 @@ from repro import (
     profiler,
     reporting,
     scheduling,
+    service,
     sim,
     studies,
     zoo,
@@ -39,6 +40,7 @@ __all__ = [
     "profiler",
     "reporting",
     "scheduling",
+    "service",
     "sim",
     "studies",
     "zoo",

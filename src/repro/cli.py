@@ -8,6 +8,8 @@ Mirrors the paper artifact's ``run.sh`` steps:
 - ``repro predict``    predict one network's time from a saved model
 - ``repro evaluate``   score a saved model against a dataset's test split
 - ``repro list``       enumerate available networks and GPUs
+- ``repro serve``      host a directory of saved models over HTTP
+- ``repro loadgen``    benchmark a running prediction server
 
 Example::
 
@@ -96,6 +98,40 @@ def _add_list(subparsers) -> None:
     p.add_argument("what", choices=["networks", "gpus"])
 
 
+def _add_serve(subparsers) -> None:
+    p = subparsers.add_parser(
+        "serve", help="host a directory of saved models over HTTP")
+    p.add_argument("--models", required=True,
+                   help="directory of saved model JSONs")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8100,
+                   help="0 picks an ephemeral port")
+    p.add_argument("--cache-size", type=int, default=1024,
+                   help="prediction LRU capacity")
+    p.add_argument("--coverage-threshold", type=float, default=0.10,
+                   help="max fallback time share before a kernel-level "
+                        "prediction degrades to the next tier")
+
+
+def _add_loadgen(subparsers) -> None:
+    p = subparsers.add_parser(
+        "loadgen", help="benchmark a running prediction server")
+    p.add_argument("--url", required=True,
+                   help="server base URL, e.g. http://127.0.0.1:8100")
+    p.add_argument("--model", required=True, help="hosted model name")
+    p.add_argument("--network", action="append", dest="networks",
+                   required=True, help="network name (repeatable; "
+                   "requests cycle through them)")
+    p.add_argument("--batch-size", type=int, required=True)
+    p.add_argument("--gpu", default=None)
+    p.add_argument("--bandwidth", type=float, default=None)
+    p.add_argument("--rate", type=float, default=50.0,
+                   help="offered load, requests per second")
+    p.add_argument("--requests", type=int, default=200)
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+
+
 def _add_reproduce(subparsers) -> None:
     p = subparsers.add_parser(
         "reproduce",
@@ -117,6 +153,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_predict(subparsers)
     _add_evaluate(subparsers)
     _add_list(subparsers)
+    _add_serve(subparsers)
+    _add_loadgen(subparsers)
     _add_reproduce(subparsers)
     return parser
 
@@ -239,6 +277,46 @@ def _cmd_list(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.service import (
+        ModelRegistry,
+        PredictionCache,
+        PredictionService,
+        make_server,
+    )
+    registry = ModelRegistry(args.models)
+    service = PredictionService(
+        registry, cache=PredictionCache(args.cache_size),
+        coverage_threshold=args.coverage_threshold)
+    server = make_server(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(f"serving {len(registry)} model(s) "
+          f"({', '.join(registry.names())}) on http://{host}:{port}")
+    for name, reason in sorted(registry.errors.items()):
+        print(f"warning: skipped {name}: {reason}", file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.server_close()
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    from repro.service import LoadGenerator
+    payloads = [{"model": args.model, "network": network,
+                 "batch_size": args.batch_size, "gpu": args.gpu,
+                 "bandwidth": args.bandwidth}
+                for network in args.networks]
+    generator = LoadGenerator(args.url, payloads, rate_rps=args.rate,
+                              n_requests=args.requests,
+                              threads=args.threads, seed=args.seed)
+    report = generator.run()
+    print(report.render())
+    return 0 if report.failed == 0 else 1
+
+
 def _cmd_reproduce(args) -> int:
     from repro.reproduce import main_report
     report = main_report(args.out, scale=args.scale, seed=args.seed)
@@ -254,13 +332,27 @@ _COMMANDS = {
     "predict": _cmd_predict,
     "evaluate": _cmd_evaluate,
     "list": _cmd_list,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
     "reproduce": _cmd_reproduce,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except FileNotFoundError as exc:
+        # missing model/dataset path: one line, not a traceback
+        reason = (f"no such file or directory: {exc.filename}"
+                  if exc.filename else exc)
+        print(f"error: {reason}", file=sys.stderr)
+        return 2
+    except KeyError as exc:
+        # unknown network/GPU/model name: the message lists valid choices
+        reason = exc.args[0] if exc.args else exc
+        print(f"error: {reason}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -15,7 +15,13 @@ from repro.core.classification import (
     classify_kernels,
 )
 from repro.core.clustering import KernelCluster, cluster_index, cluster_kernels
-from repro.core.coverage import CoverageReport, coverage_report
+from repro.core.coverage import (
+    EXACT,
+    FALLBACK,
+    NEAR,
+    CoverageReport,
+    coverage_report,
+)
 from repro.core.e2e import EndToEndModel
 from repro.core.intergpu import InterGPUKernelWiseModel, KernelTransfer
 from repro.core.kernelwise import (
@@ -53,6 +59,9 @@ from repro.core.workflow import (
 __all__ = [
     "ClassifiedKernel",
     "CoverageReport",
+    "EXACT",
+    "NEAR",
+    "FALLBACK",
     "EndToEndModel",
     "ErrorBreakdown",
     "NetworkError",

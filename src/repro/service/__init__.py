@@ -1,0 +1,61 @@
+"""Online prediction service: the Figure-10 "distribute to users" step.
+
+The paper's workflow ends with trained models being distributed to users;
+this subsystem turns the four predictors (E2E / LW / KW / IGKW) into a
+long-lived server instead of a one-shot CLI call:
+
+- :class:`ModelRegistry` hosts a directory of saved model JSONs by name,
+  hot-reloading a model when its file changes on disk;
+- :class:`PredictionCache` memoises predictions (pure functions of their
+  inputs) behind a bounded thread-safe LRU;
+- :class:`FallbackChain` degrades KW -> LW -> E2E when a kernel-level
+  prediction rests on unknown kernels, recording which tier answered;
+- :class:`PredictionService` + :func:`make_server` expose the whole thing
+  over HTTP (``POST /predict``, ``GET /models``, ``/healthz``,
+  ``/metrics``) on a :class:`http.server.ThreadingHTTPServer`;
+- :class:`LoadGenerator` drives a live server with a Poisson arrival
+  schedule and reports achieved throughput and latency percentiles.
+"""
+
+from repro.service.cache import PredictionCache, cache_key
+from repro.service.fallback import (
+    FallbackChain,
+    PredictionError,
+    PredictionOutcome,
+    TierError,
+    build_chain,
+)
+from repro.service.loadgen import LoadGenerator, LoadReport
+from repro.service.metrics import Histogram, MetricsRegistry
+from repro.service.registry import (
+    LoadedModel,
+    ModelRegistry,
+    ModelResolutionError,
+    model_kind,
+)
+from repro.service.server import (
+    PredictionService,
+    ServiceError,
+    make_server,
+)
+
+__all__ = [
+    "FallbackChain",
+    "Histogram",
+    "LoadGenerator",
+    "LoadReport",
+    "LoadedModel",
+    "MetricsRegistry",
+    "ModelRegistry",
+    "ModelResolutionError",
+    "PredictionCache",
+    "PredictionError",
+    "PredictionOutcome",
+    "PredictionService",
+    "ServiceError",
+    "TierError",
+    "build_chain",
+    "cache_key",
+    "make_server",
+    "model_kind",
+]

@@ -1,0 +1,94 @@
+"""Bounded thread-safe LRU cache for prediction results.
+
+A prediction is a pure function of (model version, network, batch size,
+target GPU, bandwidth override): identical requests must return identical
+times, so the service never computes the same answer twice while it stays
+in the cache window.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+
+def cache_key(model: str, network: str, batch_size: int,
+              gpu: Optional[str] = None,
+              bandwidth: Optional[float] = None,
+              version: Optional[float] = None) -> Tuple:
+    """Canonical cache key for one prediction request.
+
+    ``version`` is the hosting registry's model version stamp (file
+    mtime): bumping it on hot reload makes stale entries unreachable, and
+    the LRU evicts them naturally.
+    """
+    return (model, network, int(batch_size), gpu, bandwidth, version)
+
+
+class PredictionCache:
+    """Bounded LRU keyed by :func:`cache_key`, safe for server threads."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """The cached value, refreshing its recency; None on miss."""
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    @property
+    def hits(self) -> int:
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        return self._misses
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self._hits + self._misses
+        return self._hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            size = len(self._entries)
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "hit_ratio": round(self.hit_ratio, 4),
+            "size": size,
+            "capacity": self.capacity,
+        }

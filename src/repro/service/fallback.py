@@ -1,0 +1,126 @@
+"""Graceful degradation: KW -> LW -> E2E fallback chain.
+
+The paper's acknowledged kernel-level failure mode — "if one GPU uses a
+very different kernel ... fall back to the layer-wise model" — becomes a
+serving policy here. A kernel-level tier answers only when the coverage
+audit (``core.coverage``) says the prediction is trustworthy, i.e. at
+most ``coverage_threshold`` of the predicted time rests on the per-layer
+layer-wise fallback. Otherwise the request degrades to the model's own
+LW fallback, then to any registry-hosted E2E model, and the response
+records which tier actually answered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.coverage import FALLBACK, coverage_report
+from repro.core.e2e import EndToEndModel
+from repro.core.kernelwise import KernelTablePredictor
+from repro.core.layerwise import LayerWiseModel
+from repro.nn.graph import Network
+
+#: Default trustworthiness bar, matching CoverageReport.trustworthy.
+COVERAGE_THRESHOLD = 0.10
+
+#: One tier: (name, predict(network, batch_size) -> microseconds).
+Tier = Tuple[str, Callable[[Network, int], float]]
+
+
+class TierError(RuntimeError):
+    """One tier declined or failed; the chain moves to the next tier."""
+
+
+class PredictionError(RuntimeError):
+    """Every tier of a chain failed."""
+
+
+@dataclass(frozen=True)
+class PredictionOutcome:
+    """A chain's answer: the value plus the degradation trail."""
+
+    value_us: float
+    tier: str
+    #: (tier name, failure reason or None) for every tier attempted,
+    #: ending with the tier that answered.
+    attempts: Tuple[Tuple[str, Optional[str]], ...]
+
+    @property
+    def degraded(self) -> bool:
+        return len(self.attempts) > 1
+
+
+class FallbackChain:
+    """Try tiers in order until one produces a prediction."""
+
+    def __init__(self, tiers: Sequence[Tier]) -> None:
+        if not tiers:
+            raise ValueError("a fallback chain needs at least one tier")
+        self.tiers = list(tiers)
+
+    def tier_names(self) -> List[str]:
+        return [name for name, _ in self.tiers]
+
+    def predict(self, network: Network, batch_size: int
+                ) -> PredictionOutcome:
+        attempts: List[Tuple[str, Optional[str]]] = []
+        for name, fn in self.tiers:
+            try:
+                value = float(fn(network, batch_size))
+            except Exception as exc:
+                attempts.append((name, str(exc) or type(exc).__name__))
+                continue
+            attempts.append((name, None))
+            return PredictionOutcome(value, name, tuple(attempts))
+        trail = "; ".join(f"{name}: {reason}" for name, reason in attempts)
+        raise PredictionError(
+            f"every fallback tier failed for {network.name!r} "
+            f"at batch {batch_size} ({trail})")
+
+
+def _kernel_tier(predictor: KernelTablePredictor,
+                 coverage_threshold: float
+                 ) -> Callable[[Network, int], float]:
+    def predict(network: Network, batch_size: int) -> float:
+        report = coverage_report(predictor, network, batch_size)
+        share = report.time_share(FALLBACK)
+        if share > coverage_threshold:
+            raise TierError(
+                f"{share:.0%} of the predicted time rests on unmapped "
+                f"kernels (threshold {coverage_threshold:.0%})")
+        # the report already summed every layer: its total IS the
+        # prediction, so no second pass over the network
+        return report.total_us
+    return predict
+
+
+def build_chain(predictor, registry=None,
+                coverage_threshold: float = COVERAGE_THRESHOLD
+                ) -> FallbackChain:
+    """The degradation chain for one resolved predictor.
+
+    Kernel-level predictors (KW, or IGKW after ``for_gpu``) get the full
+    KW -> LW -> E2E chain; an LW model degrades to a hosted E2E model;
+    an E2E model stands alone. ``registry`` (optional) supplies the
+    hosted E2E tier via ``first_of_kind("e2e")``.
+    """
+    tiers: List[Tier] = []
+    if isinstance(predictor, KernelTablePredictor):
+        tiers.append(("kw", _kernel_tier(predictor, coverage_threshold)))
+        if predictor.lw_fallback is not None:
+            tiers.append(("lw", predictor.lw_fallback.predict_network))
+    elif isinstance(predictor, LayerWiseModel):
+        tiers.append(("lw", predictor.predict_network))
+    elif isinstance(predictor, EndToEndModel):
+        tiers.append(("e2e", predictor.predict_network))
+    else:
+        # any other PerformanceModel serves as its own single tier
+        tiers.append((getattr(predictor, "name", "model").lower(),
+                      predictor.predict_network))
+    has_e2e = any(name == "e2e" for name, _ in tiers)
+    if registry is not None and not has_e2e:
+        hosted = registry.first_of_kind("e2e")
+        if hosted is not None:
+            tiers.append(("e2e", hosted.model.predict_network))
+    return FallbackChain(tiers)

@@ -1,0 +1,174 @@
+"""Load generator: benchmark a live prediction server.
+
+Reuses the serving simulator's Poisson arrival process
+(:func:`repro.sim.serving.poisson_arrivals`) as a wall-clock request
+schedule: N client threads replay the arrival times against a running
+server and report achieved throughput, error counts, latency percentiles,
+and which fallback tiers answered. The same statistics the simulator
+predicts for GPU serving are measured here for the predictor itself.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+from urllib.error import HTTPError, URLError
+from urllib.request import Request, urlopen
+
+from repro.sim.serving import poisson_arrivals
+
+
+@dataclass
+class LoadReport:
+    """Aggregate statistics of one load-generation run."""
+
+    url: str
+    offered_rps: float
+    sent: int
+    succeeded: int
+    failed: int
+    elapsed_s: float
+    latencies_ms: Tuple[float, ...]
+    tier_counts: Dict[str, int] = field(default_factory=dict)
+    errors: Dict[str, int] = field(default_factory=dict)
+    cache_hits: int = 0
+
+    @property
+    def achieved_rps(self) -> float:
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.succeeded / self.elapsed_s
+
+    @property
+    def mean_latency_ms(self) -> float:
+        if not self.latencies_ms:
+            return 0.0
+        return sum(self.latencies_ms) / len(self.latencies_ms)
+
+    def latency_percentile_ms(self, percentile: float) -> float:
+        if not 0 <= percentile <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        if not self.latencies_ms:
+            return 0.0
+        ordered = sorted(self.latencies_ms)
+        index = min(len(ordered) - 1,
+                    int(percentile / 100.0 * len(ordered)))
+        return ordered[index]
+
+    def render(self) -> str:
+        lines = [
+            f"loadgen against {self.url}",
+            f"  offered   {self.offered_rps:8.1f} req/s "
+            f"({self.sent} requests)",
+            f"  achieved  {self.achieved_rps:8.1f} req/s "
+            f"({self.succeeded} ok, {self.failed} failed, "
+            f"{self.elapsed_s:.2f}s)",
+            f"  latency   mean {self.mean_latency_ms:.2f} ms   "
+            f"p50 {self.latency_percentile_ms(50):.2f} ms   "
+            f"p99 {self.latency_percentile_ms(99):.2f} ms",
+            f"  cache     {self.cache_hits}/{self.succeeded} "
+            "responses served from cache",
+        ]
+        if self.tier_counts:
+            tiers = "  ".join(f"{tier}={count}" for tier, count
+                              in sorted(self.tier_counts.items()))
+            lines.append(f"  tiers     {tiers}")
+        for reason, count in sorted(self.errors.items()):
+            lines.append(f"  error     {count}x {reason}")
+        return "\n".join(lines)
+
+
+class LoadGenerator:
+    """Drive ``POST {url}/predict`` from a Poisson arrival schedule."""
+
+    def __init__(self, url: str, payloads, rate_rps: float,
+                 n_requests: int, threads: int = 4, seed: int = 0,
+                 timeout_s: float = 30.0) -> None:
+        if threads < 1:
+            raise ValueError("need at least one client thread")
+        if isinstance(payloads, dict):
+            payloads = [payloads]
+        if not payloads:
+            raise ValueError("need at least one request payload")
+        self.url = url.rstrip("/")
+        self.payloads = list(payloads)
+        self.rate_rps = rate_rps
+        self.n_requests = n_requests
+        self.threads = threads
+        self.seed = seed
+        self.timeout_s = timeout_s
+
+    def _post(self, payload: Dict) -> Tuple[bool, Optional[Dict], str]:
+        body = json.dumps(payload).encode()
+        request = Request(f"{self.url}/predict", data=body,
+                          headers={"Content-Type": "application/json"},
+                          method="POST")
+        try:
+            with urlopen(request, timeout=self.timeout_s) as response:
+                return True, json.loads(response.read()), ""
+        except HTTPError as exc:
+            try:
+                reason = json.loads(exc.read()).get("error", str(exc))
+            except Exception:
+                reason = str(exc)
+            return False, None, f"HTTP {exc.code}: {reason}"
+        except (URLError, OSError, ValueError) as exc:
+            return False, None, str(exc)
+
+    def run(self) -> LoadReport:
+        """Replay the schedule; blocks until every request resolves."""
+        arrivals_us = poisson_arrivals(self.rate_rps, self.n_requests,
+                                       self.seed)
+        work: "queue.Queue[Tuple[float, Dict]]" = queue.Queue()
+        for index, arrival in enumerate(arrivals_us):
+            work.put((arrival,
+                      self.payloads[index % len(self.payloads)]))
+
+        lock = threading.Lock()
+        latencies: List[float] = []
+        tier_counts: Dict[str, int] = {}
+        errors: Dict[str, int] = {}
+        counters = {"ok": 0, "failed": 0, "cache_hits": 0}
+        start = time.perf_counter()
+
+        def worker() -> None:
+            while True:
+                try:
+                    arrival_us, payload = work.get_nowait()
+                except queue.Empty:
+                    return
+                delay = start + arrival_us / 1e6 - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+                sent_at = time.perf_counter()
+                ok, document, reason = self._post(payload)
+                latency_ms = (time.perf_counter() - sent_at) * 1e3
+                with lock:
+                    if ok:
+                        counters["ok"] += 1
+                        latencies.append(latency_ms)
+                        tier = (document or {}).get("tier", "?")
+                        tier_counts[tier] = tier_counts.get(tier, 0) + 1
+                        if (document or {}).get("cached"):
+                            counters["cache_hits"] += 1
+                    else:
+                        counters["failed"] += 1
+                        errors[reason] = errors.get(reason, 0) + 1
+
+        clients = [threading.Thread(target=worker, daemon=True)
+                   for _ in range(self.threads)]
+        for client in clients:
+            client.start()
+        for client in clients:
+            client.join()
+        elapsed = time.perf_counter() - start
+        return LoadReport(url=self.url, offered_rps=self.rate_rps,
+                          sent=self.n_requests, succeeded=counters["ok"],
+                          failed=counters["failed"], elapsed_s=elapsed,
+                          latencies_ms=tuple(latencies),
+                          tier_counts=tier_counts, errors=errors,
+                          cache_hits=counters["cache_hits"])

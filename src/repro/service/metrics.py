@@ -1,0 +1,128 @@
+"""Thread-safe service metrics: counters and latency histograms.
+
+The server records per-endpoint request/error counters and a latency
+histogram per endpoint; ``GET /metrics`` snapshots them together with the
+cache's hit ratio. Everything is stdlib: a lock, dictionaries, and fixed
+logarithmic buckets.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+#: Default latency buckets in milliseconds (upper bounds, log-spaced).
+DEFAULT_BUCKETS_MS: Tuple[float, ...] = (
+    0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500)
+
+
+class Histogram:
+    """Fixed-bucket histogram with sum/count and percentile estimates."""
+
+    def __init__(self, buckets: Tuple[float, ...] = DEFAULT_BUCKETS_MS
+                 ) -> None:
+        if list(buckets) != sorted(buckets) or len(set(buckets)) != len(
+                buckets):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.bounds = tuple(float(b) for b in buckets)
+        # one extra bucket catches everything above the last bound
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        index = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = i
+                break
+        self.counts[index] += 1
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, percentile: float) -> float:
+        """Upper bucket bound holding the percentile (0 when empty).
+
+        Values beyond the last bound report the observed mean of the
+        overflow, approximated by the histogram mean, capped below by the
+        last bound — a coarse but monotone estimate.
+        """
+        if not 0 <= percentile <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        if self.count == 0:
+            return 0.0
+        rank = percentile / 100.0 * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                if i < len(self.bounds):
+                    return self.bounds[i]
+                return max(self.bounds[-1], self.mean)
+        return max(self.bounds[-1], self.mean)
+
+    def snapshot(self) -> Dict:
+        return {
+            "count": self.count,
+            "sum": round(self.total, 4),
+            "mean": round(self.mean, 4),
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+            "buckets": {f"le_{bound:g}": count
+                        for bound, count in zip(self.bounds, self.counts)},
+            "overflow": self.counts[-1],
+        }
+
+
+class MetricsRegistry:
+    """Named counters and histograms behind one lock."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def increment(self, name: str, by: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + by
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram()
+            histogram.observe(value)
+
+    def histogram(self, name: str) -> Optional[Histogram]:
+        with self._lock:
+            return self._histograms.get(name)
+
+    def snapshot(self) -> Dict:
+        with self._lock:
+            return {
+                "counters": dict(sorted(self._counters.items())),
+                "histograms": {name: histogram.snapshot()
+                               for name, histogram
+                               in sorted(self._histograms.items())},
+            }
+
+    def render_text(self) -> str:
+        """Prometheus-style exposition (counters and histogram summaries)."""
+        snapshot = self.snapshot()
+        lines: List[str] = []
+        for name, value in snapshot["counters"].items():
+            lines.append(f"repro_{name} {value}")
+        for name, data in snapshot["histograms"].items():
+            lines.append(f"repro_{name}_count {data['count']}")
+            lines.append(f"repro_{name}_sum {data['sum']}")
+            lines.append(f"repro_{name}_p50 {data['p50']}")
+            lines.append(f"repro_{name}_p99 {data['p99']}")
+        return "\n".join(lines) + "\n"

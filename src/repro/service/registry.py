@@ -1,0 +1,200 @@
+"""Model registry: named multi-model hosting with mtime hot-reload.
+
+A registry maps a directory of ``core.save_model`` JSONs to named, live
+predictor objects: ``models/kw-a100.json`` is served as model
+``kw-a100``. Every access stats the backing file and transparently
+reloads it when the mtime changes, so retraining in place (the Figure-10
+"distribute to users" loop) updates a running server without a restart.
+
+IGKW models are *retargetable*: :meth:`ModelRegistry.resolve` materialises
+a per-GPU predictor via ``for_gpu`` (optionally at an overridden memory
+bandwidth) and memoises the materialisation until the next reload.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.e2e import EndToEndModel
+from repro.core.intergpu import InterGPUKernelWiseModel
+from repro.core.kernelwise import KernelTablePredictor, KernelWiseModel
+from repro.core.layerwise import LayerWiseModel
+from repro.core.persistence import load_model
+from repro.gpu.specs import gpu
+
+
+class ModelResolutionError(ValueError):
+    """A request named a model the registry cannot serve as asked."""
+
+
+def model_kind(model) -> str:
+    """The persistence-format kind string of a live model object."""
+    if isinstance(model, InterGPUKernelWiseModel):
+        return "igkw"
+    if isinstance(model, (KernelWiseModel, KernelTablePredictor)):
+        return "kw"
+    if isinstance(model, LayerWiseModel):
+        return "lw"
+    if isinstance(model, EndToEndModel):
+        return "e2e"
+    raise TypeError(f"unrecognised model type {type(model).__name__}")
+
+
+@dataclass
+class LoadedModel:
+    """One hosted model: the live object plus its provenance."""
+
+    name: str
+    path: Path
+    kind: str
+    mtime: float
+    model: object
+    reloads: int = 0
+    # for_gpu materialisations, keyed by (gpu, bandwidth); cleared on reload
+    _resolved: Dict[Tuple[str, Optional[float]], KernelTablePredictor] = \
+        field(default_factory=dict)
+
+    def describe(self) -> Dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "path": str(self.path),
+            "mtime": self.mtime,
+            "reloads": self.reloads,
+        }
+
+
+class ModelRegistry:
+    """Hosts every ``*.json`` model in a directory, keyed by file stem."""
+
+    def __init__(self, directory) -> None:
+        self.directory = Path(directory)
+        if not self.directory.is_dir():
+            raise FileNotFoundError(
+                f"model directory {str(self.directory)!r} does not exist")
+        self._lock = threading.Lock()
+        self._models: Dict[str, LoadedModel] = {}
+        #: files that failed to parse at the last scan, name -> reason
+        self.errors: Dict[str, str] = {}
+        self.scan()
+
+    # -- loading --------------------------------------------------------------
+
+    def _load(self, path: Path) -> LoadedModel:
+        mtime = path.stat().st_mtime
+        model = load_model(path)
+        return LoadedModel(name=path.stem, path=path,
+                           kind=model_kind(model), mtime=mtime, model=model)
+
+    def scan(self) -> List[str]:
+        """(Re)discover models in the directory; returns hosted names."""
+        with self._lock:
+            self.errors = {}
+            seen = set()
+            for path in sorted(self.directory.glob("*.json")):
+                seen.add(path.stem)
+                current = self._models.get(path.stem)
+                if current is not None and \
+                        current.mtime == path.stat().st_mtime:
+                    continue
+                try:
+                    entry = self._load(path)
+                except Exception as exc:           # malformed file: skip
+                    self.errors[path.stem] = str(exc)
+                    continue
+                if current is not None:
+                    entry.reloads = current.reloads + 1
+                self._models[path.stem] = entry
+            for name in list(self._models):
+                if name not in seen:
+                    del self._models[name]
+            return sorted(self._models)
+
+    def get(self, name: str) -> LoadedModel:
+        """The named model, hot-reloaded if its file changed on disk."""
+        with self._lock:
+            entry = self._models.get(name)
+        if entry is None:
+            raise KeyError(
+                f"unknown model {name!r}; hosted: {self.names()}")
+        try:
+            mtime = entry.path.stat().st_mtime
+        except FileNotFoundError:
+            with self._lock:
+                self._models.pop(name, None)
+            raise KeyError(
+                f"model {name!r} was removed from disk; "
+                f"hosted: {self.names()}") from None
+        if mtime != entry.mtime:
+            fresh = self._load(entry.path)
+            fresh.reloads = entry.reloads + 1
+            with self._lock:
+                self._models[name] = fresh
+            return fresh
+        return entry
+
+    # -- query ----------------------------------------------------------------
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._models)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._models)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._models
+
+    def describe(self) -> List[Dict]:
+        """Per-model metadata for the ``GET /models`` endpoint."""
+        return [self.get(name).describe() for name in self.names()]
+
+    def reload_count(self) -> int:
+        with self._lock:
+            return sum(entry.reloads for entry in self._models.values())
+
+    def first_of_kind(self, kind: str) -> Optional[LoadedModel]:
+        """The alphabetically-first hosted model of a kind, if any."""
+        for name in self.names():
+            with self._lock:
+                entry = self._models.get(name)
+            if entry is not None and entry.kind == kind:
+                return entry
+        return None
+
+    # -- resolution -----------------------------------------------------------
+
+    def resolve(self, name: str, gpu_name: Optional[str] = None,
+                bandwidth: Optional[float] = None):
+        """Materialise a ready-to-call predictor for one request.
+
+        Single-GPU models are returned as-is (``gpu``/``bandwidth`` are
+        ignored: they are baked in at training time). IGKW models require
+        ``gpu_name`` and honour a bandwidth override, memoising each
+        materialised target until the backing file reloads.
+        """
+        entry = self.get(name)
+        if entry.kind != "igkw":
+            return entry.model
+        if gpu_name is None:
+            raise ModelResolutionError(
+                f"model {name!r} is inter-GPU (igkw); the request must "
+                "name a target 'gpu'")
+        key = (gpu_name, bandwidth)
+        cached = entry._resolved.get(key)
+        if cached is not None:
+            return cached
+        target = gpu(gpu_name)                   # KeyError on unknown GPU
+        if bandwidth is not None:
+            if bandwidth <= 0:
+                raise ModelResolutionError(
+                    f"bandwidth override must be positive, got {bandwidth}")
+            target = target.with_bandwidth(bandwidth)
+        predictor = entry.model.for_gpu(target)
+        entry._resolved[key] = predictor
+        return predictor

@@ -1,0 +1,251 @@
+"""HTTP front-end: a threaded prediction server over the registry.
+
+``PredictionService`` is the transport-free core (validate -> cache ->
+resolve -> fallback chain -> respond); ``make_server`` wraps it in a
+stdlib :class:`http.server.ThreadingHTTPServer`:
+
+- ``POST /predict``   JSON body -> predicted time + answering tier
+- ``GET  /models``    hosted models and their provenance
+- ``GET  /healthz``   liveness + hosted-model count
+- ``GET  /metrics``   counters, latency histograms, cache hit ratio
+                      (``?format=text`` for Prometheus-style lines)
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro import zoo
+from repro.service.cache import PredictionCache, cache_key
+from repro.service.fallback import (
+    COVERAGE_THRESHOLD,
+    PredictionError,
+    build_chain,
+)
+from repro.service.metrics import MetricsRegistry
+from repro.service.registry import ModelRegistry, ModelResolutionError
+
+
+class ServiceError(Exception):
+    """A request the service rejects, with its HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def _require(payload: Dict, field: str, kind, explain: str):
+    value = payload.get(field)
+    if value is None:
+        raise ServiceError(400, f"request is missing {field!r} ({explain})")
+    try:
+        return kind(value)
+    except (TypeError, ValueError):
+        raise ServiceError(
+            400, f"field {field!r} must be {kind.__name__}, "
+            f"got {value!r}") from None
+
+
+class PredictionService:
+    """Registry + cache + fallback chain + metrics, transport-free."""
+
+    def __init__(self, registry: ModelRegistry,
+                 cache: Optional[PredictionCache] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 coverage_threshold: float = COVERAGE_THRESHOLD) -> None:
+        self.registry = registry
+        self.cache = cache if cache is not None else PredictionCache()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.coverage_threshold = coverage_threshold
+        self.started_at = time.time()
+
+    # -- endpoints ------------------------------------------------------------
+
+    def predict(self, payload: Dict) -> Dict:
+        """Serve one /predict body; raises ServiceError on bad requests."""
+        if not isinstance(payload, dict):
+            raise ServiceError(400, "request body must be a JSON object")
+        model_name = _require(payload, "model", str, "a hosted model name")
+        network_name = _require(payload, "network", str,
+                                "a registered network name")
+        batch_size = _require(payload, "batch_size", int, "a positive int")
+        if batch_size < 1:
+            raise ServiceError(400, "batch_size must be >= 1")
+        gpu_name = payload.get("gpu")
+        bandwidth = payload.get("bandwidth")
+        if bandwidth is not None:
+            bandwidth = float(bandwidth)
+
+        try:
+            entry = self.registry.get(model_name)
+        except KeyError as exc:
+            raise ServiceError(404, str(exc.args[0])) from None
+
+        key = cache_key(model_name, network_name, batch_size, gpu_name,
+                        bandwidth, version=entry.mtime)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return dict(cached, cached=True)
+
+        try:
+            network = zoo.build(network_name)
+            predictor = self.registry.resolve(model_name, gpu_name,
+                                              bandwidth)
+        except ModelResolutionError as exc:
+            raise ServiceError(400, str(exc)) from None
+        except KeyError as exc:                  # unknown network or GPU
+            raise ServiceError(404, str(exc.args[0])) from None
+
+        chain = build_chain(predictor, self.registry,
+                            self.coverage_threshold)
+        try:
+            outcome = chain.predict(network, batch_size)
+        except PredictionError as exc:
+            raise ServiceError(422, str(exc)) from None
+
+        self.metrics.increment(f"tier_{outcome.tier}_total")
+        if outcome.degraded:
+            self.metrics.increment("degraded_total")
+        response = {
+            "model": model_name,
+            "kind": entry.kind,
+            "network": network_name,
+            "batch_size": batch_size,
+            "gpu": gpu_name,
+            "bandwidth": bandwidth,
+            "predicted_us": outcome.value_us,
+            "predicted_ms": outcome.value_us / 1e3,
+            "tier": outcome.tier,
+            "attempts": [{"tier": name, "error": reason}
+                         for name, reason in outcome.attempts],
+        }
+        self.cache.put(key, response)
+        return dict(response, cached=False)
+
+    def models(self) -> Dict:
+        return {"models": self.registry.describe(),
+                "errors": dict(self.registry.errors)}
+
+    def health(self) -> Dict:
+        return {"status": "ok", "models": len(self.registry),
+                "uptime_s": round(time.time() - self.started_at, 3)}
+
+    def metrics_snapshot(self) -> Dict:
+        snapshot = self.metrics.snapshot()
+        snapshot["cache"] = self.cache.stats()
+        snapshot["registry"] = {"models": len(self.registry),
+                                "reloads": self.registry.reload_count()}
+        snapshot["uptime_s"] = round(time.time() - self.started_at, 3)
+        return snapshot
+
+    def metrics_text(self) -> str:
+        stats = self.cache.stats()
+        lines = [self.metrics.render_text().rstrip("\n")]
+        for field in ("hits", "misses", "size"):
+            lines.append(f"repro_cache_{field} {stats[field]}")
+        lines.append(f"repro_cache_hit_ratio {stats['hit_ratio']}")
+        return "\n".join(lines) + "\n"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes HTTP verbs onto the service; JSON in, JSON out."""
+
+    server_version = "repro-predict/1.0"
+
+    @property
+    def service(self) -> PredictionService:
+        return self.server.service        # attached by make_server
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass                               # keep the server quiet in tests
+
+    def _reply(self, status: int, document, content_type: str
+               = "application/json") -> None:
+        body = (document if isinstance(document, bytes)
+                else json.dumps(document).encode())
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _instrumented(self, endpoint: str, handler) -> None:
+        metrics = self.service.metrics
+        metrics.increment(f"requests_{endpoint}_total")
+        started = time.perf_counter()
+        try:
+            status, document, content_type = handler()
+        except ServiceError as exc:
+            metrics.increment(f"errors_{endpoint}_total")
+            status, document, content_type = (
+                exc.status, {"error": exc.message}, "application/json")
+        except Exception as exc:           # never kill a server thread
+            metrics.increment(f"errors_{endpoint}_total")
+            status, document, content_type = (
+                500, {"error": f"internal error: {exc}"},
+                "application/json")
+        metrics.observe(f"latency_{endpoint}_ms",
+                        (time.perf_counter() - started) * 1e3)
+        self._reply(status, document, content_type)
+
+    def do_GET(self) -> None:              # noqa: N802 - stdlib signature
+        parsed = urlparse(self.path)
+        if parsed.path == "/healthz":
+            self._instrumented(
+                "healthz", lambda: (200, self.service.health(),
+                                    "application/json"))
+        elif parsed.path == "/models":
+            self._instrumented(
+                "models", lambda: (200, self.service.models(),
+                                   "application/json"))
+        elif parsed.path == "/metrics":
+            query = parse_qs(parsed.query)
+            if query.get("format", ["json"])[0] == "text":
+                handler = lambda: (200,
+                                   self.service.metrics_text().encode(),
+                                   "text/plain; charset=utf-8")
+            else:
+                handler = lambda: (200, self.service.metrics_snapshot(),
+                                   "application/json")
+            self._instrumented("metrics", handler)
+        else:
+            self._reply(404, {"error": f"no route for {parsed.path!r}"})
+
+    def do_POST(self) -> None:             # noqa: N802 - stdlib signature
+        if urlparse(self.path).path != "/predict":
+            self._reply(404, {"error": f"no route for {self.path!r}"})
+            return
+
+        def handler() -> Tuple[int, Dict, str]:
+            length = int(self.headers.get("Content-Length", 0))
+            raw = self.rfile.read(length) if length else b""
+            try:
+                payload = json.loads(raw or b"{}")
+            except json.JSONDecodeError as exc:
+                raise ServiceError(400,
+                                   f"body is not valid JSON: {exc}")
+            return 200, self.service.predict(payload), "application/json"
+
+        self._instrumented("predict", handler)
+
+
+def make_server(service_or_registry, host: str = "127.0.0.1",
+                port: int = 0) -> ThreadingHTTPServer:
+    """A ready-to-run threaded server; ``port=0`` picks an ephemeral port.
+
+    Call ``serve_forever()`` (typically on a daemon thread) and read
+    ``server_address`` for the bound (host, port).
+    """
+    if isinstance(service_or_registry, PredictionService):
+        service = service_or_registry
+    else:
+        service = PredictionService(service_or_registry)
+    server = ThreadingHTTPServer((host, port), _Handler)
+    server.daemon_threads = True
+    server.service = service
+    return server

@@ -22,8 +22,9 @@ mean/percentile latency, and achieved batch-size distribution.
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Deque, Dict, List, Sequence, Tuple
 
 from repro.gpu.timing import _unit_hash
 from repro.nn.graph import Network
@@ -145,13 +146,15 @@ class ServingSimulator:
         arrivals = sorted(arrivals_us)
         engine = EventEngine()
 
-        queue: List[float] = []     # arrival times of waiting requests
+        # deque: launch() drains from the front, and list.pop(0) would
+        # make heavy-traffic runs quadratic in queue depth
+        queue: Deque[float] = deque()   # arrival times of waiting requests
         state = {"busy": False, "deadline": None, "batches": 0}
         served: List[ServedRequest] = []
 
         def launch(eng: EventEngine) -> None:
             batch = min(len(queue), self.max_batch)
-            batch_arrivals = [queue.pop(0) for _ in range(batch)]
+            batch_arrivals = [queue.popleft() for _ in range(batch)]
             state["busy"] = True
             state["deadline"] = None
             state["batches"] += 1

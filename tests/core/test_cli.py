@@ -41,10 +41,13 @@ class TestTrainAndPredict:
         out = capsys.readouterr().out
         assert "resnet50" in out and "ms" in out
 
-    def test_predict_unknown_network(self, trained_model_path):
-        with pytest.raises(KeyError):
-            main(["predict", "--model", str(trained_model_path),
-                  "--network", "resnet9000", "--batch-size", "64"])
+    def test_predict_unknown_network_exits_2(self, trained_model_path,
+                                             capsys):
+        code = main(["predict", "--model", str(trained_model_path),
+                     "--network", "resnet9000", "--batch-size", "64"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "resnet9000" in err
 
     def test_evaluate_prints_curve(self, trained_model_path,
                                    built_dataset_dir, capsys):
@@ -92,6 +95,38 @@ class TestIGKW:
         code = main(["predict", "--model", str(path), "--network",
                      "resnet50", "--batch-size", "64"])
         assert code == 2
+
+
+class TestRobustness:
+    """Bad paths and bad names exit 2 with one stderr line, no traceback."""
+
+    def test_predict_missing_model_file(self, tmp_path, capsys):
+        code = main(["predict", "--model", str(tmp_path / "absent.json"),
+                     "--network", "resnet50", "--batch-size", "64"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "absent.json" in err
+
+    def test_train_missing_dataset_dir(self, tmp_path, capsys):
+        code = main(["train", "--dataset", str(tmp_path / "nowhere"),
+                     "--model", "kw", "--gpu", "A100",
+                     "--out", str(tmp_path / "out.json")])
+        assert code == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_evaluate_missing_model_file(self, built_dataset_dir,
+                                         tmp_path, capsys):
+        code = main(["evaluate", "--model", str(tmp_path / "gone.json"),
+                     "--dataset", str(built_dataset_dir),
+                     "--gpu", "A100"])
+        assert code == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_error_is_single_line(self, tmp_path, capsys):
+        main(["predict", "--model", str(tmp_path / "absent.json"),
+              "--network", "resnet50", "--batch-size", "64"])
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1 and "Traceback" not in err
 
 
 class TestList:

@@ -26,6 +26,42 @@ def trained_models(request):
     }
 
 
+def _as_predictor(model, kind):
+    """A directly-callable predictor: IGKW must first pick a target GPU."""
+    if kind == "igkw":
+        return model.for_gpu(gpu("V100"))
+    return model
+
+
+class TestAllKindsRoundTrip:
+    """Every persistable kind survives save -> load bit-exactly."""
+
+    @pytest.mark.parametrize("kind", ["e2e", "lw", "kw", "igkw"])
+    @pytest.mark.parametrize("batch_size", [64, 512])
+    def test_predictions_identical_after_reload(self, trained_models,
+                                                small_roster, tmp_path,
+                                                kind, batch_size):
+        original = trained_models[kind]
+        restored = load_model(save_model(
+            original, tmp_path / f"{kind}-{batch_size}.json"))
+        before = _as_predictor(original, kind)
+        after = _as_predictor(restored, kind)
+        for net in small_roster:
+            assert after.predict_network(net, batch_size) == \
+                pytest.approx(before.predict_network(net, batch_size))
+
+    @pytest.mark.parametrize("kind", ["e2e", "lw", "kw", "igkw"])
+    def test_document_round_trips_through_dicts(self, trained_models,
+                                                small_roster, kind):
+        document = model_to_dict(trained_models[kind])
+        assert document["kind"] == kind
+        restored = _as_predictor(model_from_dict(document), kind)
+        original = _as_predictor(trained_models[kind], kind)
+        net = small_roster[0]
+        assert restored.predict_network(net, 64) == pytest.approx(
+            original.predict_network(net, 64))
+
+
 class TestRoundTrips:
     @pytest.mark.parametrize("name", ["e2e", "lw", "kw"])
     def test_single_gpu_models_round_trip(self, trained_models,

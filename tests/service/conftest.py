@@ -1,0 +1,52 @@
+"""Service fixtures: a model directory and a live server, built once."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import core
+from repro.gpu import gpu
+from repro.service import (
+    ModelRegistry,
+    PredictionCache,
+    PredictionService,
+    make_server,
+)
+
+
+@pytest.fixture(scope="session")
+def models_dir(small_dataset, tmp_path_factory):
+    """A directory hosting all four model kinds, trained on A100."""
+    directory = tmp_path_factory.mktemp("served-models")
+    for kind in ("e2e", "lw", "kw"):
+        core.save_model(
+            core.train_model(small_dataset, kind, gpu="A100"),
+            directory / f"{kind}-a100.json")
+    core.save_model(
+        core.train_inter_gpu_model(
+            small_dataset, [gpu("A100"), gpu("TITAN RTX")]),
+        directory / "igkw.json")
+    return directory
+
+
+@pytest.fixture()
+def registry(models_dir):
+    return ModelRegistry(models_dir)
+
+
+@pytest.fixture()
+def live_server(registry):
+    """A running threaded server on an ephemeral port, torn down after."""
+    service = PredictionService(registry, cache=PredictionCache(256))
+    server = make_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        yield f"http://{host}:{port}", service
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)

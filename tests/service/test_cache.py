@@ -1,0 +1,93 @@
+"""Tests for the bounded LRU prediction cache."""
+
+import threading
+
+import pytest
+
+from repro.service import PredictionCache, cache_key
+
+
+class TestCacheKey:
+    def test_distinguishes_every_field(self):
+        base = cache_key("kw", "resnet50", 64)
+        assert cache_key("kw", "resnet50", 64) == base
+        assert cache_key("lw", "resnet50", 64) != base
+        assert cache_key("kw", "resnet18", 64) != base
+        assert cache_key("kw", "resnet50", 128) != base
+        assert cache_key("kw", "resnet50", 64, gpu="V100") != base
+        assert cache_key("kw", "resnet50", 64, bandwidth=900.0) != base
+
+    def test_version_invalidates_on_reload(self):
+        before = cache_key("kw", "resnet50", 64, version=1.0)
+        after = cache_key("kw", "resnet50", 64, version=2.0)
+        assert before != after
+
+
+class TestPredictionCache:
+    def test_round_trip_and_counters(self):
+        cache = PredictionCache(capacity=4)
+        key = cache_key("kw", "resnet50", 64)
+        assert cache.get(key) is None
+        cache.put(key, {"predicted_us": 1.0})
+        assert cache.get(key) == {"predicted_us": 1.0}
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.hit_ratio == pytest.approx(0.5)
+
+    def test_hit_ratio_empty(self):
+        assert PredictionCache().hit_ratio == 0.0
+
+    def test_evicts_least_recently_used(self):
+        cache = PredictionCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1      # refresh "a": now "b" is oldest
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert len(cache) == 2
+
+    def test_put_overwrites_in_place(self):
+        cache = PredictionCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("a", 2)
+        assert cache.get("a") == 2
+        assert len(cache) == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PredictionCache(capacity=0)
+
+    def test_clear(self):
+        cache = PredictionCache()
+        cache.put("a", 1)
+        cache.clear()
+        assert "a" not in cache
+        assert len(cache) == 0
+
+    def test_stats_fields(self):
+        cache = PredictionCache(capacity=8)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        stats = cache.stats()
+        assert stats == {"hits": 1, "misses": 1, "hit_ratio": 0.5,
+                         "size": 1, "capacity": 8}
+
+    def test_thread_safety_bounded(self):
+        cache = PredictionCache(capacity=32)
+
+        def hammer(worker: int) -> None:
+            for i in range(300):
+                cache.put((worker, i % 40), i)
+                cache.get((worker, (i + 7) % 40))
+
+        threads = [threading.Thread(target=hammer, args=(w,))
+                   for w in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(cache) <= 32
+        assert cache.hits + cache.misses == 8 * 300

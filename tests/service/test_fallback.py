@@ -1,0 +1,103 @@
+"""Tests for the KW -> LW -> E2E fallback chain."""
+
+import pytest
+
+from repro import zoo
+from repro.service import (
+    FallbackChain,
+    PredictionError,
+    TierError,
+    build_chain,
+)
+
+
+@pytest.fixture()
+def kw_predictor(registry):
+    return registry.get("kw-a100").model
+
+
+class TestBuildChain:
+    def test_kernel_model_gets_full_chain(self, kw_predictor, registry):
+        chain = build_chain(kw_predictor, registry)
+        assert chain.tier_names() == ["kw", "lw", "e2e"]
+
+    def test_lw_model_degrades_to_hosted_e2e(self, registry):
+        chain = build_chain(registry.get("lw-a100").model, registry)
+        assert chain.tier_names() == ["lw", "e2e"]
+
+    def test_e2e_model_stands_alone(self, registry):
+        chain = build_chain(registry.get("e2e-a100").model, registry)
+        assert chain.tier_names() == ["e2e"]
+
+    def test_without_registry_no_hosted_tier(self, kw_predictor):
+        assert build_chain(kw_predictor).tier_names() == ["kw", "lw"]
+
+    def test_igkw_resolved_predictor_gets_full_chain(self, registry):
+        predictor = registry.resolve("igkw", gpu_name="V100")
+        chain = build_chain(predictor, registry)
+        assert chain.tier_names() == ["kw", "lw", "e2e"]
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            FallbackChain([])
+
+
+class TestPredict:
+    def test_covered_network_answers_at_kw(self, kw_predictor, registry):
+        chain = build_chain(kw_predictor, registry)
+        network = zoo.build("resnet50")
+        outcome = chain.predict(network, 64)
+        assert outcome.tier == "kw"
+        assert not outcome.degraded
+        assert outcome.attempts == (("kw", None),)
+        assert outcome.value_us == pytest.approx(
+            kw_predictor.predict_network(network, 64))
+
+    def test_unknown_shapes_degrade_to_lw(self, kw_predictor, registry):
+        """A transformer against a CNN-trained KW model: the mapping
+        table misses, coverage flags the prediction, LW answers."""
+        chain = build_chain(kw_predictor, registry)
+        outcome = chain.predict(zoo.build("bert_small"), 64)
+        assert outcome.tier == "lw"
+        assert outcome.degraded
+        assert outcome.attempts[0][0] == "kw"
+        assert "unmapped" in outcome.attempts[0][1]
+        assert outcome.value_us == pytest.approx(
+            kw_predictor.lw_fallback.predict_network(
+                zoo.build("bert_small"), 64))
+
+    def test_strict_threshold_forces_degradation(self, kw_predictor,
+                                                 registry):
+        """coverage_threshold=0 rejects any fallback time at the KW
+        tier, even for a well-covered CNN variant."""
+        chain = build_chain(kw_predictor, registry, coverage_threshold=0.0)
+        outcome = chain.predict(zoo.build("bert_small"), 64)
+        assert outcome.tier in ("lw", "e2e")
+
+    def test_chain_reaches_e2e_when_lw_fails(self, registry):
+        def broken(network, batch_size):
+            raise TierError("boom")
+
+        e2e = registry.get("e2e-a100").model
+        chain = FallbackChain([("kw", broken), ("lw", broken),
+                               ("e2e", e2e.predict_network)])
+        outcome = chain.predict(zoo.build("resnet18"), 64)
+        assert outcome.tier == "e2e"
+        assert [name for name, _ in outcome.attempts] == ["kw", "lw",
+                                                          "e2e"]
+        assert outcome.attempts[0][1] == "boom"
+
+    def test_all_tiers_failing_raises(self):
+        def broken(network, batch_size):
+            raise TierError("down")
+
+        chain = FallbackChain([("kw", broken), ("lw", broken)])
+        with pytest.raises(PredictionError, match="every fallback tier"):
+            chain.predict(zoo.build("resnet18"), 64)
+
+    def test_tier_counts_match_coverage_semantics(self, kw_predictor,
+                                                  registry):
+        """Every small-roster CNN the model trained on answers at kw."""
+        chain = build_chain(kw_predictor, registry)
+        for name in ("alexnet", "resnet18", "vgg11", "mobilenet_v2"):
+            assert chain.predict(zoo.build(name), 64).tier == "kw"

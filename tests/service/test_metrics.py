@@ -1,0 +1,94 @@
+"""Tests for the thread-safe metrics registry and histograms."""
+
+import threading
+
+import pytest
+
+from repro.service import Histogram, MetricsRegistry
+
+
+class TestHistogram:
+    def test_observe_counts_and_mean(self):
+        histogram = Histogram(buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 5.0, 50.0, 500.0):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.counts == [1, 1, 1, 1]
+        assert histogram.mean == pytest.approx(138.875)
+
+    def test_percentiles_are_bucket_bounds(self):
+        histogram = Histogram(buckets=(1.0, 10.0, 100.0))
+        for _ in range(99):
+            histogram.observe(0.5)
+        histogram.observe(50.0)
+        assert histogram.percentile(50) == 1.0
+        assert histogram.percentile(100) == 100.0
+
+    def test_empty_percentile_is_zero(self):
+        assert Histogram().percentile(99) == 0.0
+
+    def test_percentile_validates_range(self):
+        with pytest.raises(ValueError):
+            Histogram().percentile(101)
+
+    def test_bounds_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=(10.0, 1.0))
+
+    def test_snapshot_fields(self):
+        histogram = Histogram(buckets=(1.0, 10.0))
+        histogram.observe(0.5)
+        histogram.observe(99.0)
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 2
+        assert snapshot["buckets"] == {"le_1": 1, "le_10": 0}
+        assert snapshot["overflow"] == 1
+        assert snapshot["p50"] == 1.0
+
+
+class TestMetricsRegistry:
+    def test_counters(self):
+        metrics = MetricsRegistry()
+        metrics.increment("requests_predict_total")
+        metrics.increment("requests_predict_total", by=2)
+        assert metrics.counter("requests_predict_total") == 3
+        assert metrics.counter("never_seen") == 0
+
+    def test_observe_creates_histogram(self):
+        metrics = MetricsRegistry()
+        assert metrics.histogram("latency_ms") is None
+        metrics.observe("latency_ms", 3.0)
+        assert metrics.histogram("latency_ms").count == 1
+
+    def test_snapshot_shape(self):
+        metrics = MetricsRegistry()
+        metrics.increment("errors_total")
+        metrics.observe("latency_ms", 1.0)
+        snapshot = metrics.snapshot()
+        assert snapshot["counters"] == {"errors_total": 1}
+        assert snapshot["histograms"]["latency_ms"]["count"] == 1
+
+    def test_render_text(self):
+        metrics = MetricsRegistry()
+        metrics.increment("requests_total", by=5)
+        metrics.observe("latency_ms", 2.0)
+        text = metrics.render_text()
+        assert "repro_requests_total 5" in text
+        assert "repro_latency_ms_count 1" in text
+        assert "repro_latency_ms_p99" in text
+
+    def test_concurrent_increments_do_not_drop(self):
+        metrics = MetricsRegistry()
+
+        def hammer() -> None:
+            for _ in range(1000):
+                metrics.increment("n")
+                metrics.observe("h", 1.0)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert metrics.counter("n") == 8000
+        assert metrics.histogram("h").count == 8000

@@ -1,0 +1,130 @@
+"""Tests for the hot-reloading model registry."""
+
+import os
+import shutil
+
+import pytest
+
+from repro import zoo
+from repro.core.kernelwise import KernelTablePredictor
+from repro.service import ModelRegistry, ModelResolutionError, model_kind
+
+
+@pytest.fixture()
+def private_dir(models_dir, tmp_path):
+    """A mutable copy of the shared model directory."""
+    directory = tmp_path / "models"
+    shutil.copytree(models_dir, directory)
+    return directory
+
+
+def _touch(path, offset: float = 10.0) -> None:
+    """Bump a file's mtime far enough that equality checks must fail."""
+    stat = path.stat()
+    os.utime(path, (stat.st_atime, stat.st_mtime + offset))
+
+
+class TestScan:
+    def test_hosts_every_model_kind(self, registry):
+        assert registry.names() == ["e2e-a100", "igkw", "kw-a100",
+                                    "lw-a100"]
+        assert len(registry) == 4
+        kinds = {entry["name"]: entry["kind"]
+                 for entry in registry.describe()}
+        assert kinds == {"e2e-a100": "e2e", "lw-a100": "lw",
+                         "kw-a100": "kw", "igkw": "igkw"}
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            ModelRegistry(tmp_path / "nope")
+
+    def test_malformed_file_is_skipped_not_fatal(self, private_dir):
+        (private_dir / "broken.json").write_text("{not json")
+        registry = ModelRegistry(private_dir)
+        assert "broken" not in registry
+        assert "broken" in registry.errors
+        assert len(registry) == 4
+
+    def test_unknown_name_lists_hosted(self, registry):
+        with pytest.raises(KeyError, match="hosted"):
+            registry.get("nope")
+
+
+class TestHotReload:
+    def test_mtime_change_reloads(self, private_dir):
+        registry = ModelRegistry(private_dir)
+        before = registry.get("kw-a100")
+        _touch(private_dir / "kw-a100.json")
+        after = registry.get("kw-a100")
+        assert after.model is not before.model
+        assert after.reloads == before.reloads + 1
+        assert registry.reload_count() == 1
+
+    def test_unchanged_file_is_not_reloaded(self, private_dir):
+        registry = ModelRegistry(private_dir)
+        assert registry.get("kw-a100").model \
+            is registry.get("kw-a100").model
+        assert registry.reload_count() == 0
+
+    def test_reload_swaps_model_content(self, private_dir):
+        registry = ModelRegistry(private_dir)
+        assert registry.get("kw-a100").kind == "kw"
+        shutil.copy(private_dir / "lw-a100.json",
+                    private_dir / "kw-a100.json")
+        _touch(private_dir / "kw-a100.json")
+        assert registry.get("kw-a100").kind == "lw"
+
+    def test_deleted_file_becomes_unknown(self, private_dir):
+        registry = ModelRegistry(private_dir)
+        registry.get("e2e-a100")
+        (private_dir / "e2e-a100.json").unlink()
+        with pytest.raises(KeyError, match="removed"):
+            registry.get("e2e-a100")
+        assert "e2e-a100" not in registry
+
+    def test_rescan_discovers_new_files(self, private_dir):
+        registry = ModelRegistry(private_dir)
+        shutil.copy(private_dir / "lw-a100.json",
+                    private_dir / "lw-copy.json")
+        assert "lw-copy" in registry.scan()
+        assert registry.get("lw-copy").kind == "lw"
+
+
+class TestResolve:
+    def test_single_gpu_models_ignore_target(self, registry):
+        model = registry.resolve("kw-a100", gpu_name="V100")
+        assert model is registry.get("kw-a100").model
+
+    def test_igkw_requires_gpu(self, registry):
+        with pytest.raises(ModelResolutionError, match="target 'gpu'"):
+            registry.resolve("igkw")
+
+    def test_igkw_materialises_and_memoises(self, registry):
+        first = registry.resolve("igkw", gpu_name="V100")
+        assert isinstance(first, KernelTablePredictor)
+        assert registry.resolve("igkw", gpu_name="V100") is first
+        other = registry.resolve("igkw", gpu_name="A40")
+        assert other is not first
+
+    def test_igkw_bandwidth_override_changes_prediction(self, registry):
+        network = zoo.build("resnet18")
+        slow = registry.resolve("igkw", gpu_name="V100", bandwidth=300.0)
+        fast = registry.resolve("igkw", gpu_name="V100", bandwidth=2000.0)
+        assert slow.predict_network(network, 64) \
+            > fast.predict_network(network, 64)
+
+    def test_igkw_rejects_nonpositive_bandwidth(self, registry):
+        with pytest.raises(ModelResolutionError, match="positive"):
+            registry.resolve("igkw", gpu_name="V100", bandwidth=0.0)
+
+    def test_unknown_gpu_raises_key_error(self, registry):
+        with pytest.raises(KeyError, match="unknown GPU"):
+            registry.resolve("igkw", gpu_name="TPUv9")
+
+    def test_first_of_kind(self, registry):
+        assert registry.first_of_kind("e2e").name == "e2e-a100"
+        assert registry.first_of_kind("igkw").name == "igkw"
+
+    def test_model_kind_rejects_foreign_objects(self):
+        with pytest.raises(TypeError):
+            model_kind(object())
