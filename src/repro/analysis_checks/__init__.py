@@ -1,0 +1,56 @@
+"""Static analysis for the repro codebase: AST lint + domain contracts.
+
+Two complementary halves, both surfaced as ``repro check`` and gated in CI:
+
+- :mod:`repro.analysis_checks.engine` + :mod:`repro.analysis_checks.rules`
+  — a small stdlib-``ast`` rule engine with codebase-tuned lint rules
+  (lock discipline in the service layer, float equality in regression
+  math, ``assert``-as-guard, mutable defaults, overbroad ``except``).
+  Findings are suppressed per line with ``# repro: noqa[RULE]``.
+- :mod:`repro.analysis_checks.contracts` — a domain contract checker that
+  walks every zoo network's layer graph and cross-checks the invariants
+  the kernel-wise pipeline silently depends on: FLOP rules, kernel
+  mappings (forward and backward), classifiable kernel drivers, and the
+  mapping-table persistence round-trip.
+"""
+
+from repro.analysis_checks.contracts import (
+    CONTRACT_RULES,
+    ContractReport,
+    check_contracts,
+)
+from repro.analysis_checks.engine import (
+    RULES,
+    LintRule,
+    lint_paths,
+    lint_source,
+    register_rule,
+    rule_ids,
+    select_rules,
+)
+from repro.analysis_checks.findings import (
+    Finding,
+    Severity,
+    render_json,
+    render_text,
+)
+
+# importing the module registers every built-in rule with the engine
+from repro.analysis_checks import rules as _rules  # noqa: F401
+
+__all__ = [
+    "CONTRACT_RULES",
+    "ContractReport",
+    "Finding",
+    "LintRule",
+    "RULES",
+    "Severity",
+    "check_contracts",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+    "render_json",
+    "render_text",
+    "rule_ids",
+    "select_rules",
+]

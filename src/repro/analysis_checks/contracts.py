@@ -1,0 +1,225 @@
+"""Domain contract checker: zoo -> FLOPs -> kernels -> persistence.
+
+The kernel-wise pipeline only reaches its headline accuracy when every
+layer a zoo network emits is covered end to end. These contracts are
+otherwise enforced by nothing — a gap surfaces as a silently coarser
+prediction tier. The checker walks every network's layer graph and
+cross-checks:
+
+- CT001  the network builds at all;
+- CT002  every emitted layer kind has a FLOP counting rule
+         (:func:`repro.nn.flops.counted_kinds`) and yields a
+         non-negative integer FLOP count;
+- CT003  every emitted layer kind lowers to forward kernels
+         (:func:`repro.gpu.cudnn.kernel_calls`);
+- CT004  every emitted layer kind lowers to backward kernels
+         (training workloads);
+- CT005  the kernel mapping table built from the emitted signatures
+         survives a JSON persistence round-trip with lookups intact;
+- CT006  every emitted kernel's cost driver is one of the three
+         classification drivers (input / operation / output), so the
+         KW classifier can learn it.
+
+Failures are reported as :class:`~repro.analysis_checks.findings.Finding`
+records (all error severity), deduplicated per layer kind / kernel so a
+gap reads as one actionable line, not one per network.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis_checks.findings import Finding, Severity
+
+#: contract rule id -> what it guarantees.
+CONTRACT_RULES: Dict[str, str] = {
+    "CT001": "every zoo network builds",
+    "CT002": "every emitted layer kind has a FLOP rule",
+    "CT003": "every emitted layer kind has a forward kernel mapping",
+    "CT004": "every emitted layer kind has a backward kernel mapping",
+    "CT005": "the kernel mapping table survives persistence round-trip",
+    "CT006": "every kernel's driver is input/operation/output",
+}
+
+#: finding rule id -> module whose contract it checks (finding path).
+_LOCUS = {
+    "CT001": "repro.zoo.registry",
+    "CT002": "repro.nn.flops",
+    "CT003": "repro.gpu.cudnn",
+    "CT004": "repro.gpu.cudnn",
+    "CT005": "repro.core.persistence",
+    "CT006": "repro.gpu.kernels",
+}
+
+
+@dataclass
+class ContractReport:
+    """Outcome of one contract sweep over the zoo."""
+
+    networks: List[str] = field(default_factory=list)
+    layer_kinds: Set[str] = field(default_factory=set)
+    kernel_names: Set[str] = field(default_factory=set)
+    #: signature -> first observed kernel sequence (CT005 input)
+    sequences: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    findings: List[Finding] = field(default_factory=list)
+
+    @property
+    def signatures(self) -> Set[str]:
+        return set(self.sequences)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def gaps(self) -> Dict[str, List[str]]:
+        """rule id -> sorted offending subjects (empty when clean)."""
+        by_rule: Dict[str, Set[str]] = {rule: set()
+                                        for rule in CONTRACT_RULES}
+        for finding in self.findings:
+            subject = finding.message.split(":", 1)[0]
+            by_rule.setdefault(finding.rule, set()).add(subject)
+        return {rule: sorted(subjects)
+                for rule, subjects in by_rule.items()}
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else f"{len(self.findings)} violation(s)"
+        return (f"contracts over {len(self.networks)} network(s): "
+                f"{len(self.layer_kinds)} layer kinds, "
+                f"{len(self.kernel_names)} kernels, "
+                f"{len(self.signatures)} signatures — {status}")
+
+
+class _Recorder:
+    """Deduplicating finding sink: one line per (rule, subject)."""
+
+    def __init__(self) -> None:
+        self.findings: List[Finding] = []
+        self._seen: Set[Tuple[str, str]] = set()
+
+    def record(self, rule: str, subject: str, detail: str) -> None:
+        if (rule, subject) in self._seen:
+            return
+        self._seen.add((rule, subject))
+        self.findings.append(Finding(
+            _LOCUS[rule], 0, 0, rule, Severity.ERROR,
+            f"{subject}: {detail} [{CONTRACT_RULES[rule]}]"))
+
+
+def _check_network(name: str, network, batch_size: int,
+                   report: ContractReport, sink: _Recorder) -> None:
+    from repro.core.classification import FEATURES
+    from repro.core.signature import layer_signature
+    from repro.gpu.cudnn import (
+        backward_kernel_calls,
+        backward_supported_kinds,
+        kernel_calls,
+        supported_kinds,
+    )
+    from repro.nn.flops import counted_kinds
+
+    forward_kinds = set(supported_kinds())
+    backward_kinds = set(backward_supported_kinds())
+    flop_kinds = set(counted_kinds())
+
+    for info in network.layer_infos(batch_size):
+        kind = info.kind
+        report.layer_kinds.add(kind)
+
+        if kind not in flop_kinds:
+            sink.record("CT002", kind,
+                        f"no FLOP rule (first seen in {name!r})")
+        elif not isinstance(info.flops, int) or info.flops < 0:
+            sink.record("CT002", kind,
+                        f"FLOP rule returned {info.flops!r} for "
+                        f"{info.name!r} in {name!r}; expected a "
+                        "non-negative int")
+
+        for direction, kinds, lower, rule in (
+                ("forward", forward_kinds, kernel_calls, "CT003"),
+                ("backward", backward_kinds, backward_kernel_calls,
+                 "CT004")):
+            if kind not in kinds:
+                sink.record(rule, kind,
+                            f"no {direction} kernel mapping (first seen "
+                            f"in {name!r})")
+                continue
+            try:
+                calls = lower(info)
+            except Exception as exc:  # repro: noqa[EX001] reported as finding
+                sink.record(rule, kind,
+                            f"{direction} lowering failed for "
+                            f"{info.name!r} in {name!r}: {exc}")
+                continue
+            signature = layer_signature(info,
+                                        training=(direction == "backward"))
+            names = tuple(call.kernel.name for call in calls)
+            report.kernel_names.update(names)
+            report.sequences.setdefault(signature, names)
+            for call in calls:
+                if call.kernel.driver.column not in FEATURES:
+                    sink.record(
+                        "CT006", call.kernel.name,
+                        f"driver {call.kernel.driver!r} has no "
+                        f"classification feature column")
+
+
+def _check_persistence(report: ContractReport, sink: _Recorder) -> None:
+    """CT005: the collected signatures survive a JSON round-trip."""
+    from repro.core.kernelwise import KernelMappingTable
+    from repro.core.linreg import LinearFit
+    from repro.core.persistence import (
+        _fit_from_dict,
+        _fit_to_dict,
+        _table_from_dict,
+        _table_to_dict,
+    )
+
+    sequences = report.sequences
+    if not sequences:
+        return
+    table = KernelMappingTable(sequences, {})
+    try:
+        revived = _table_from_dict(
+            json.loads(json.dumps(_table_to_dict(table))))
+    except Exception as exc:  # repro: noqa[EX001] reported as finding
+        sink.record("CT005", "mapping-table",
+                    f"serialisation raised {exc!r}")
+        return
+    for signature, sequence in sequences.items():
+        if revived.lookup(signature) != sequence:
+            sink.record("CT005", signature,
+                        "kernel sequence changed across the JSON "
+                        "round-trip")
+    fit = LinearFit(1.25, -3.5, 0.875, 12)
+    if _fit_from_dict(json.loads(json.dumps(_fit_to_dict(fit)))) != fit:
+        sink.record("CT005", "linear-fit",
+                    "LinearFit changed across the JSON round-trip")
+
+
+def check_contracts(network_names: Optional[Sequence[str]] = None,
+                    batch_size: int = 1) -> ContractReport:
+    """Run every contract over the named zoo networks.
+
+    ``network_names`` defaults to every registered named model
+    (:func:`repro.zoo.model_names`); pass a subset for quick checks.
+    """
+    from repro import zoo
+
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    names = list(network_names if network_names is not None
+                 else zoo.model_names())
+    report = ContractReport(networks=names)
+    sink = _Recorder()
+    for name in names:
+        try:
+            network = zoo.build(name)
+        except Exception as exc:  # repro: noqa[EX001] reported as finding
+            sink.record("CT001", name, f"build failed: {exc}")
+            continue
+        _check_network(name, network, batch_size, report, sink)
+    _check_persistence(report, sink)
+    report.findings = sink.findings
+    return report

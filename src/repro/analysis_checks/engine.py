@@ -1,0 +1,177 @@
+"""Lint rule engine: registry, suppression, and file walking.
+
+A rule is a :class:`LintRule` subclass registered with
+:func:`register_rule`. ``check`` receives a parsed module and yields
+``(node, message)`` pairs (optionally with a per-finding severity); the
+engine attaches locations and applies ``# repro: noqa[RULE]`` line
+suppression before findings reach the caller.
+
+The engine sticks to AST node types available on Python 3.9 (the oldest
+interpreter in CI): no ``ast.Match`` / pattern nodes are consumed, and
+locations come from ``lineno``/``end_lineno``, both present since 3.8.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis_checks.findings import Finding, Severity
+
+#: rule id -> rule instance, populated by @register_rule.
+RULES: Dict[str, "LintRule"] = {}
+
+_RULE_ID = re.compile(r"^[A-Z]{2}[0-9]{3}$")
+_NOQA = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?")
+
+
+class LintRule:
+    """One lint rule: an id, a default severity, and an AST check.
+
+    Subclasses set :attr:`rule_id`, :attr:`severity`, :attr:`description`
+    and implement :meth:`check`. ``applies_to`` lets path-scoped rules opt
+    out of files they do not target (test files are excluded globally).
+    """
+
+    rule_id: str = ""
+    severity: Severity = Severity.ERROR
+    description: str = ""
+
+    def applies_to(self, path: str) -> bool:
+        return True
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Tuple]:
+        """Yield ``(node, message)`` or ``(node, message, severity)``."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+
+def register_rule(cls):
+    """Class decorator: validate and instantiate a rule into :data:`RULES`."""
+    rule = cls()
+    if not _RULE_ID.match(rule.rule_id):
+        raise ValueError(
+            f"{cls.__name__}: rule_id must look like 'AB123', "
+            f"got {rule.rule_id!r}")
+    if rule.rule_id in RULES:
+        raise ValueError(f"duplicate rule id {rule.rule_id!r}")
+    RULES[rule.rule_id] = rule
+    return cls
+
+
+def rule_ids() -> List[str]:
+    return sorted(RULES)
+
+
+def select_rules(ids: Optional[Iterable[str]] = None) -> List["LintRule"]:
+    """The requested rules (all registered rules when ``ids`` is None)."""
+    if ids is None:
+        return [RULES[rule_id] for rule_id in rule_ids()]
+    selected = []
+    for rule_id in ids:
+        rule_id = rule_id.strip()
+        if rule_id not in RULES:
+            raise KeyError(
+                f"unknown rule {rule_id!r}; known: {rule_ids()}")
+        selected.append(RULES[rule_id])
+    return selected
+
+
+# -- suppression --------------------------------------------------------------
+
+def _suppressions(source: str) -> Dict[int, Optional[Set[str]]]:
+    """Per-line noqa map: line -> suppressed rule ids (None = all rules).
+
+    ``# repro: noqa`` silences every rule on its line;
+    ``# repro: noqa[FP001]`` (comma-separated ids allowed) silences only
+    the named rules. Trailing prose after the bracket is fine.
+    """
+    table: Dict[int, Optional[Set[str]]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _NOQA.search(text)
+        if not match:
+            continue
+        names = match.group("rules")
+        if names is None:
+            table[lineno] = None
+        else:
+            table[lineno] = {name.strip() for name in names.split(",")
+                             if name.strip()}
+    return table
+
+
+def _is_suppressed(finding: Finding, end_line: int,
+                   noqa: Dict[int, Optional[Set[str]]]) -> bool:
+    for lineno in {finding.line, end_line}:
+        rules = noqa.get(lineno, _MISSING)
+        if rules is _MISSING:
+            continue
+        if rules is None or finding.rule in rules:
+            return True
+    return False
+
+
+_MISSING = object()
+
+
+# -- linting ------------------------------------------------------------------
+
+def lint_source(source: str, path: str = "<string>",
+                rules: Optional[Sequence[LintRule]] = None) -> List[Finding]:
+    """Lint one module's source text; returns unsuppressed findings."""
+    if rules is None:
+        rules = select_rules()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(path, exc.lineno or 0, exc.offset or 0, "PARSE",
+                        Severity.ERROR, f"cannot parse module: {exc.msg}")]
+    noqa = _suppressions(source)
+    findings: List[Finding] = []
+    for rule in rules:
+        if not rule.applies_to(path):
+            continue
+        for raw in rule.check(tree, path):
+            node, message = raw[0], raw[1]
+            severity = raw[2] if len(raw) > 2 else rule.severity
+            finding = Finding(path, getattr(node, "lineno", 0),
+                              getattr(node, "col_offset", 0),
+                              rule.rule_id, severity, message)
+            end_line = getattr(node, "end_lineno", finding.line)
+            if not _is_suppressed(finding, end_line or finding.line, noqa):
+                findings.append(finding)
+    return findings
+
+
+def _is_test_file(path: Path) -> bool:
+    name = path.name
+    return (name.startswith("test_") or name.endswith("_test.py")
+            or "tests" in path.parts or name == "conftest.py")
+
+
+def iter_python_files(paths: Sequence, skip_tests: bool = True
+                      ) -> Iterator[Path]:
+    """Expand files/directories into the Python files to lint."""
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            candidates = sorted(entry.rglob("*.py"))
+        else:
+            candidates = [entry]
+        for candidate in candidates:
+            if skip_tests and _is_test_file(candidate):
+                continue
+            yield candidate
+
+
+def lint_paths(paths: Sequence, rules: Optional[Sequence[LintRule]] = None,
+               skip_tests: bool = True) -> List[Finding]:
+    """Lint every (non-test) Python file under ``paths``."""
+    findings: List[Finding] = []
+    for file_path in iter_python_files(paths, skip_tests=skip_tests):
+        source = file_path.read_text(encoding="utf-8")
+        findings.extend(lint_source(source, str(file_path), rules))
+    return findings

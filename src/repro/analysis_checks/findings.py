@@ -1,0 +1,80 @@
+"""Finding records and output rendering for the analysis checks.
+
+A :class:`Finding` is one diagnostic: where, which rule, how severe, and
+why. The CI gate keys off :class:`Severity` — error findings fail the
+build, warnings are advisory (unless ``--strict``).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+
+class Severity(enum.Enum):
+    """How a finding affects the ``repro check`` exit code."""
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic emitted by a lint rule or a contract check."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    severity: Severity
+    message: str
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule} [{self.severity.value}] {self.message}")
+
+    def to_dict(self) -> Dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+
+
+def sort_findings(findings: Sequence[Finding]) -> List[Finding]:
+    """Stable display order: by path, then line, column, rule."""
+    return sorted(findings,
+                  key=lambda f: (f.path, f.line, f.col, f.rule))
+
+
+def count_by_severity(findings: Sequence[Finding]) -> Dict[str, int]:
+    counts = {severity.value: 0 for severity in Severity}
+    for finding in findings:
+        counts[finding.severity.value] += 1
+    return counts
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    ordered = sort_findings(findings)
+    lines = [finding.render() for finding in ordered]
+    counts = count_by_severity(ordered)
+    lines.append(f"{len(ordered)} finding(s): "
+                 f"{counts['error']} error(s), "
+                 f"{counts['warning']} warning(s)")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Machine-readable report for the CI gate."""
+    ordered = sort_findings(findings)
+    document = {
+        "findings": [finding.to_dict() for finding in ordered],
+        "counts": count_by_severity(ordered),
+    }
+    return json.dumps(document, indent=2)

@@ -1,0 +1,310 @@
+"""Built-in lint rules, tuned to this codebase's failure modes.
+
+- RC001 — lock discipline: in any class that creates ``self._lock``,
+  private state (``self._*``) must only be mutated inside a
+  ``with self._lock:`` block. Catches races in the threaded service
+  layer (server, cache, registry, metrics).
+- FP001 — float literal ``==``/``!=``: exact comparison against a float
+  literal in regression math is almost always a bug; intentional exact
+  sentinels carry ``# repro: noqa[FP001]``.
+- AS001 — ``assert`` as a type/shape guard in library code: asserts
+  vanish under ``python -O``, so guards must raise ``TypeError`` /
+  ``ValueError`` instead.
+- MD001 — mutable default argument (list/dict/set literals or calls).
+- EX001 — bare ``except:`` (error) or ``except Exception`` whose handler
+  never re-raises (warning): both swallow errors silently.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.analysis_checks.engine import LintRule, register_rule
+from repro.analysis_checks.findings import Severity
+
+
+def _self_private_root(node: ast.AST) -> Optional[str]:
+    """The ``_name`` when ``node`` reaches state rooted at ``self._name``.
+
+    Walks value chains like ``self._models[name].reloads`` down to the
+    innermost ``self._models`` attribute access; returns None for
+    anything not rooted at a private attribute of ``self``.
+    """
+    while True:
+        if isinstance(node, ast.Attribute):
+            if (isinstance(node.value, ast.Name)
+                    and node.value.id == "self"):
+                attr = node.attr
+                if attr.startswith("_") and not attr.startswith("__"):
+                    return attr
+                return None
+            node = node.value
+        elif isinstance(node, ast.Subscript):
+            node = node.value
+        else:
+            return None
+
+
+def _is_self_lock(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and node.attr == "_lock")
+
+
+#: method names that mutate their receiver in place.
+_MUTATORS = frozenset({
+    "append", "appendleft", "add", "clear", "discard", "extend", "insert",
+    "move_to_end", "pop", "popitem", "popleft", "remove", "setdefault",
+    "sort", "update",
+})
+
+
+@register_rule
+class LockDisciplineRule(LintRule):
+    """RC001: mutate ``self._*`` only under ``with self._lock:``."""
+
+    rule_id = "RC001"
+    severity = Severity.ERROR
+    description = ("in classes owning a self._lock, private state is "
+                   "mutated only inside 'with self._lock:' blocks")
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Tuple]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(node)
+
+    def _check_class(self, cls: ast.ClassDef) -> Iterator[Tuple]:
+        methods = [stmt for stmt in cls.body
+                   if isinstance(stmt, (ast.FunctionDef,
+                                        ast.AsyncFunctionDef))]
+        if not any(self._creates_lock(method) for method in methods):
+            return
+        for method in methods:
+            if method.name == "__init__":
+                # construction happens-before publication: no lock needed
+                continue
+            yield from self._check_body(method.body, cls.name, locked=False)
+
+    @staticmethod
+    def _creates_lock(method: ast.AST) -> bool:
+        for node in ast.walk(method):
+            if isinstance(node, ast.Assign) and any(
+                    _is_self_lock(target) for target in node.targets):
+                return True
+        return False
+
+    def _check_body(self, statements: List[ast.stmt], class_name: str,
+                    locked: bool) -> Iterator[Tuple]:
+        for stmt in statements:
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                holds = locked or any(_is_self_lock(item.context_expr)
+                                      for item in stmt.items)
+                yield from self._check_body(stmt.body, class_name, holds)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue   # nested helpers are called, not executed here
+            else:
+                if not locked:
+                    yield from self._check_statement(stmt, class_name)
+                for body in self._child_bodies(stmt):
+                    yield from self._check_body(body, class_name, locked)
+
+    @staticmethod
+    def _child_bodies(stmt: ast.stmt) -> Iterator[List[ast.stmt]]:
+        for field in ("body", "orelse", "finalbody"):
+            value = getattr(stmt, field, None)
+            if isinstance(value, list) and value \
+                    and isinstance(value[0], ast.stmt):
+                yield value
+        for handler in getattr(stmt, "handlers", []):
+            yield handler.body
+
+    def _check_statement(self, stmt: ast.stmt, class_name: str
+                         ) -> Iterator[Tuple]:
+        targets: List[ast.AST] = []
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, ast.AugAssign):
+            targets = [stmt.target]
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = [stmt.target]
+        elif isinstance(stmt, ast.Delete):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+            call = stmt.value
+            if (isinstance(call.func, ast.Attribute)
+                    and call.func.attr in _MUTATORS):
+                root = _self_private_root(call.func.value)
+                if root is not None:
+                    yield (stmt,
+                           f"{class_name}.{root}.{call.func.attr}(...) "
+                           f"outside 'with self._lock:'")
+            return
+        for target in targets:
+            root = _self_private_root(target)
+            if root == "_lock":
+                continue
+            if root is not None:
+                yield (stmt, f"{class_name} mutates self.{root} outside "
+                             f"'with self._lock:'")
+
+
+def _is_float_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op,
+                                                    (ast.USub, ast.UAdd)):
+        node = node.operand
+    return (isinstance(node, ast.Constant)
+            and isinstance(node.value, float))
+
+
+@register_rule
+class FloatEqualityRule(LintRule):
+    """FP001: ``==``/``!=`` against a float literal."""
+
+    rule_id = "FP001"
+    severity = Severity.WARNING
+    description = ("exact ==/!= comparison against a float literal; use "
+                   "math.isclose, an integer/None sentinel, or annotate "
+                   "an intentional exact sentinel with noqa")
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Tuple]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for i, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if (_is_float_literal(operands[i])
+                        or _is_float_literal(operands[i + 1])):
+                    symbol = "==" if isinstance(op, ast.Eq) else "!="
+                    yield (node, f"float literal compared with {symbol}; "
+                                 "exact float equality is rarely intended")
+                    break
+
+
+def _mentions_shape(node: ast.AST) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Attribute) and child.attr in (
+                "shape", "ndim", "dims"):
+            return True
+        if isinstance(child, ast.Call) and isinstance(child.func, ast.Name) \
+                and child.func.id == "len":
+            return True
+    return False
+
+
+@register_rule
+class AssertGuardRule(LintRule):
+    """AS001: ``assert`` used as a type/shape guard in library code."""
+
+    rule_id = "AS001"
+    severity = Severity.ERROR
+    description = ("assert used as a type/shape guard; asserts vanish "
+                   "under 'python -O' — raise TypeError/ValueError")
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Tuple]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Assert):
+                continue
+            test = node.test
+            if isinstance(test, ast.Call) and isinstance(test.func,
+                                                         ast.Name) \
+                    and test.func.id in ("isinstance", "hasattr",
+                                         "callable"):
+                yield (node, f"assert {test.func.id}(...) guard vanishes "
+                             "under 'python -O'; raise TypeError instead")
+            elif isinstance(test, ast.Compare) and _mentions_shape(test):
+                yield (node, "assert shape/size guard vanishes under "
+                             "'python -O'; raise ValueError instead")
+
+
+_MUTABLE_CALLS = frozenset({
+    "list", "dict", "set", "defaultdict", "OrderedDict", "Counter",
+    "deque",
+})
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None)
+        return name in _MUTABLE_CALLS
+    return False
+
+
+@register_rule
+class MutableDefaultRule(LintRule):
+    """MD001: mutable default argument."""
+
+    rule_id = "MD001"
+    severity = Severity.ERROR
+    description = ("mutable default argument is shared across calls; "
+                   "default to None and create inside the function")
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Tuple]:
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    yield (default,
+                           f"{node.name}() has a mutable default "
+                           "argument; use None and create per call")
+
+
+def _handler_reraises(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+    return False
+
+
+def _exception_names(node: Optional[ast.expr]) -> Set[str]:
+    if node is None:
+        return set()
+    if isinstance(node, ast.Tuple):
+        names = set()
+        for element in node.elts:
+            names |= _exception_names(element)
+        return names
+    if isinstance(node, ast.Name):
+        return {node.id}
+    if isinstance(node, ast.Attribute):
+        return {node.attr}
+    return set()
+
+
+@register_rule
+class BroadExceptRule(LintRule):
+    """EX001: bare ``except:`` / error-swallowing ``except Exception``."""
+
+    rule_id = "EX001"
+    severity = Severity.ERROR
+    description = ("bare 'except:' (error) or 'except Exception' that "
+                   "never re-raises (warning): both swallow errors")
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Tuple]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield (node, "bare 'except:' catches SystemExit and "
+                             "KeyboardInterrupt too; name an exception "
+                             "type", Severity.ERROR)
+                continue
+            broad = _exception_names(node.type) & {"Exception",
+                                                   "BaseException"}
+            if broad and not _handler_reraises(node):
+                yield (node, f"'except {sorted(broad)[0]}' swallows "
+                             "errors (handler never re-raises); catch a "
+                             "narrower type or annotate the intent",
+                       Severity.WARNING)

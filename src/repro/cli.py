@@ -10,6 +10,7 @@ Mirrors the paper artifact's ``run.sh`` steps:
 - ``repro list``       enumerate available networks and GPUs
 - ``repro serve``      host a directory of saved models over HTTP
 - ``repro loadgen``    benchmark a running prediction server
+- ``repro check``      static analysis: AST lint + domain contracts
 
 Example::
 
@@ -132,6 +133,31 @@ def _add_loadgen(subparsers) -> None:
     p.add_argument("--seed", type=int, default=0)
 
 
+def _add_check(subparsers) -> None:
+    p = subparsers.add_parser(
+        "check",
+        help="run the AST lint rules and the domain contract checker")
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   help="output format (json for the CI gate)")
+    p.add_argument("--paths", nargs="+", default=None,
+                   help="files/directories to lint "
+                        "(default: the installed repro package)")
+    p.add_argument("--rules", default=None,
+                   help="comma-separated lint rule ids (default: all)")
+    p.add_argument("--no-lint", action="store_true",
+                   help="skip the AST lint rules")
+    p.add_argument("--no-contracts", action="store_true",
+                   help="skip the zoo domain contract checker")
+    p.add_argument("--strict", action="store_true",
+                   help="exit non-zero on warnings too, not just errors")
+    p.add_argument("--batch-size", type=int, default=1,
+                   help="batch size for the contract checker's layer walk")
+    p.add_argument("--network", action="append", dest="networks",
+                   default=None,
+                   help="contract-check only this network (repeatable; "
+                        "default: every named zoo model)")
+
+
 def _add_reproduce(subparsers) -> None:
     p = subparsers.add_parser(
         "reproduce",
@@ -155,6 +181,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_list(subparsers)
     _add_serve(subparsers)
     _add_loadgen(subparsers)
+    _add_check(subparsers)
     _add_reproduce(subparsers)
     return parser
 
@@ -317,6 +344,42 @@ def _cmd_loadgen(args) -> int:
     return 0 if report.failed == 0 else 1
 
 
+def _cmd_check(args) -> int:
+    from pathlib import Path
+
+    import repro
+    from repro.analysis_checks import (
+        Severity,
+        check_contracts,
+        lint_paths,
+        render_json,
+        render_text,
+        select_rules,
+    )
+
+    findings = []
+    if not args.no_lint:
+        paths = args.paths or [Path(repro.__file__).parent]
+        rules = select_rules(args.rules.split(",")
+                             if args.rules else None)
+        findings.extend(lint_paths(paths, rules))
+    report = None
+    if not args.no_contracts:
+        report = check_contracts(network_names=args.networks,
+                                 batch_size=args.batch_size)
+        findings.extend(report.findings)
+
+    if args.format == "json":
+        print(render_json(findings))
+    else:
+        print(render_text(findings))
+        if report is not None:
+            print(report.summary())
+    failing = (findings if args.strict else
+               [f for f in findings if f.severity is Severity.ERROR])
+    return 1 if failing else 0
+
+
 def _cmd_reproduce(args) -> int:
     from repro.reproduce import main_report
     report = main_report(args.out, scale=args.scale, seed=args.seed)
@@ -334,6 +397,7 @@ _COMMANDS = {
     "list": _cmd_list,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
+    "check": _cmd_check,
     "reproduce": _cmd_reproduce,
 }
 

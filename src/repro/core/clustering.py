@@ -37,7 +37,8 @@ def _slopes_compatible(a: LinearFit, b: LinearFit, tolerance: float) -> bool:
     check scaled by the larger intercept magnitude.
     """
     scale = max(abs(a.slope), abs(b.slope))
-    if scale == 0.0:
+    # exact-by-construction: degenerate fits carry a literal 0.0 slope
+    if scale == 0.0:  # repro: noqa[FP001]
         slope_ok = True
     else:
         slope_ok = abs(a.slope - b.slope) <= tolerance * scale

@@ -131,8 +131,10 @@ class KernelMappingTable:
         # layers that launch no kernels (views, inference-time no-ops)
         # appear only in the layer table; learn their empty sequences so
         # prediction does not fall back to a layer-level estimate
+        # zero-kernel layers record a literal 0.0 duration: exact sentinel
         for row in dataset.layer_rows:
-            if row.signature not in table and row.duration_us == 0.0:
+            if row.signature not in table \
+                    and row.duration_us == 0.0:  # repro: noqa[FP001]
                 table[row.signature] = ()
 
         kind_counters: Dict[str, Counter] = {}

@@ -66,7 +66,8 @@ def fit_line(xs: Iterable[float], ys: Iterable[float],
     if x.size == 0:
         raise ValueError("cannot fit a line to zero points")
 
-    if x.size == 1 or np.ptp(x) == 0.0:
+    # exact-by-construction: ptp of identical values is exactly 0.0
+    if x.size == 1 or np.ptp(x) == 0.0:  # repro: noqa[FP001]
         if through_origin and np.all(x != 0):
             slope = float(np.mean(y / x))
             return LinearFit(slope, 0.0, 0.0, int(x.size))
@@ -87,7 +88,8 @@ def fit_line(xs: Iterable[float], ys: Iterable[float],
         y_mean = float(np.dot(weights, y) / w_sum)
         dx = x - x_mean
         denom = float(np.dot(weights * dx, dx))
-        if denom == 0.0:
+        # exact zero-division guard, not a tolerance check
+        if denom == 0.0:  # repro: noqa[FP001]
             return LinearFit(0.0, y_mean, 0.0, int(x.size))
         slope = float(np.dot(weights * dx, y - y_mean) / denom)
         intercept = y_mean - slope * x_mean
@@ -96,9 +98,10 @@ def fit_line(xs: Iterable[float], ys: Iterable[float],
     ss_res = float(np.dot(residuals, residuals))
     centred = y - np.mean(y)
     ss_tot = float(np.dot(centred, centred))
-    if ss_tot == 0.0:
+    # exact zero-division guard: constant y gives ss_tot exactly 0.0
+    if ss_tot == 0.0:  # repro: noqa[FP001]
         # constant y: a perfect horizontal fit, or origin-forced mismatch
-        r2 = 1.0 if ss_res == 0.0 else 0.0
+        r2 = 1.0 if ss_res == 0.0 else 0.0  # repro: noqa[FP001]
     else:
         r2 = 1.0 - ss_res / ss_tot
     return LinearFit(slope, intercept, r2, int(x.size))

@@ -167,7 +167,8 @@ class OnlineKernelWiseModel:
         acc = self._lw.setdefault(row.kind, OnlineLinearFit())
         acc.observe(row.flops, row.duration_us)
         self._lw_all.observe(row.flops, row.duration_us)
-        if row.duration_us == 0.0:
+        # zero-kernel layers record a literal 0.0 duration: exact sentinel
+        if row.duration_us == 0.0:  # repro: noqa[FP001]
             self._sequences.setdefault(row.signature, Counter())[()] += 1
 
     def observe_dataset(self, data) -> None:

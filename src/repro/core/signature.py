@@ -27,9 +27,16 @@ def size_bucket(value: float) -> int:
     return int(math.log2(value))
 
 
+def _require_layer(layer, cls, kind: str):
+    """Signature-dispatch guard that survives ``python -O``."""
+    if not isinstance(layer, cls):
+        raise TypeError(f"{kind} signature expects {cls.__name__}, "
+                        f"got {type(layer).__name__}")
+    return layer
+
+
 def _conv_signature(info: LayerInfo) -> str:
-    layer = info.layer
-    assert isinstance(layer, Conv2d)
+    layer = _require_layer(info.layer, Conv2d, "CONV")
     kh, kw = layer.kernel_size
     sh, sw = layer.stride
     if layer.is_depthwise:
@@ -52,8 +59,7 @@ def _conv_signature(info: LayerInfo) -> str:
 
 
 def _fc_signature(info: LayerInfo) -> str:
-    layer = info.layer
-    assert isinstance(layer, Linear)
+    layer = _require_layer(info.layer, Linear, "FC")
     rows = info.input_shapes[0].numel() // layer.in_features
     skinny = int(rows == 1 or layer.out_features <= 64)
     reduction = size_bucket(layer.in_features)
@@ -62,16 +68,14 @@ def _fc_signature(info: LayerInfo) -> str:
 
 
 def _pool_signature(info: LayerInfo) -> str:
-    layer = info.layer
-    assert isinstance(layer, _Pool2d)
+    layer = _require_layer(info.layer, _Pool2d, "pooling")
     kh, _ = layer.kernel_size
     sh, _ = layer.stride
     return f"{info.kind}|k{kh}s{sh}"
 
 
 def _adaptive_pool_signature(info: LayerInfo) -> str:
-    layer = info.layer
-    assert isinstance(layer, AdaptiveAvgPool2d)
+    layer = _require_layer(info.layer, AdaptiveAvgPool2d, "AdaptiveAvgPool")
     oh, ow = layer.output_size
     return f"AdaptiveAvgPool|{oh}x{ow}"
 

@@ -27,6 +27,14 @@ from repro.nn.layers.pooling import _Pool2d
 
 _FLOAT = 4  # bytes per FP32 element
 
+
+def _require_layer(layer, cls, kind: str):
+    """Dispatch-table guard that survives ``python -O`` (unlike assert)."""
+    if not isinstance(layer, cls):
+        raise TypeError(f"{kind} kernel selection expects {cls.__name__}, "
+                        f"got {type(layer).__name__}")
+    return layer
+
 #: GEMM tile variants: (minimum output elements, name suffix, flops/byte).
 #: Larger tiles amortise memory traffic better, hence higher arithmetic
 #: intensity. The thresholds mirror how cuBLAS switches heuristically.
@@ -95,8 +103,7 @@ def _data_call(name: str, role: KernelRole, driver: Driver, family: str,
 # -- convolution ------------------------------------------------------------
 
 def _conv_calls(info: LayerInfo) -> List[KernelCall]:
-    layer = info.layer
-    assert isinstance(layer, Conv2d)
+    layer = _require_layer(info.layer, Conv2d, "CONV")
     kh, kw = layer.kernel_size
     sh, sw = layer.stride
     in_bytes = info.input_shapes[0].bytes()
@@ -180,8 +187,7 @@ def _conv_calls(info: LayerInfo) -> List[KernelCall]:
 # -- dense / attention -------------------------------------------------------
 
 def _fc_calls(info: LayerInfo) -> List[KernelCall]:
-    layer = info.layer
-    assert isinstance(layer, Linear)
+    layer = _require_layer(info.layer, Linear, "FC")
     out_elems = info.output_shape.numel()
     rows = info.input_shapes[0].numel() // layer.in_features
     if rows == 1 or layer.out_features <= 64:
@@ -251,8 +257,7 @@ def _ln_calls(info: LayerInfo) -> List[KernelCall]:
 
 
 def _activation_calls(info: LayerInfo) -> List[KernelCall]:
-    layer = info.layer
-    assert isinstance(layer, _Elementwise)
+    layer = _require_layer(info.layer, _Elementwise, "activation")
     # read + write, plus a small surcharge for transcendental-heavy ops
     factor = 1.7 + 0.1 * layer.ops_per_element
     name = f"elementwise_{info.kind.lower()}"
@@ -269,8 +274,7 @@ def _softmax_calls(info: LayerInfo) -> List[KernelCall]:
 
 
 def _pool_calls(info: LayerInfo) -> List[KernelCall]:
-    layer = info.layer
-    assert isinstance(layer, _Pool2d)
+    layer = _require_layer(info.layer, _Pool2d, "pooling")
     kh, _ = layer.kernel_size
     sh, _ = layer.stride
     op = "max" if info.kind == "MaxPool" else "avg"
@@ -393,8 +397,7 @@ def kernel_calls(info: LayerInfo) -> List[KernelCall]:
 # backward kernel mirroring the forward data movement.
 
 def _conv_backward(info: LayerInfo) -> List[KernelCall]:
-    layer = info.layer
-    assert isinstance(layer, Conv2d)
+    layer = _require_layer(info.layer, Conv2d, "CONV")
     kh, kw = layer.kernel_size
     in_bytes = info.input_shapes[0].bytes()
     out_bytes = info.output_shape.bytes()
@@ -457,8 +460,7 @@ def _conv_backward(info: LayerInfo) -> List[KernelCall]:
 
 
 def _fc_backward(info: LayerInfo) -> List[KernelCall]:
-    layer = info.layer
-    assert isinstance(layer, Linear)
+    layer = _require_layer(info.layer, Linear, "FC")
     in_elems = info.input_shapes[0].numel()
     dgrad_name, dgrad_ai = _gemm_variant("fc_dgrad_sgemm", in_elems,
                                          layer.out_features)
@@ -635,3 +637,8 @@ def backward_kernel_calls(info: LayerInfo) -> List[KernelCall]:
 def supported_kinds() -> List[str]:
     """Layer kinds the selection layer can lower to kernels."""
     return sorted(_HANDLERS)
+
+
+def backward_supported_kinds() -> List[str]:
+    """Layer kinds with a backward (training) kernel selection rule."""
+    return sorted(_BACKWARD_HANDLERS)

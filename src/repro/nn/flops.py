@@ -16,8 +16,22 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from repro.nn.graph import LayerInfo, Network
+from repro.nn.layer import LAYER_REGISTRY
 
 GIGA = 1e9
+
+
+def counted_kinds() -> List[str]:
+    """Layer kinds with a concrete FLOP counting rule.
+
+    Every instantiable registered layer class implements
+    :meth:`~repro.nn.layer.Layer.flops`; abstract intermediates (which
+    cannot appear in a network) are excluded. The domain contract checker
+    (``repro check``) cross-checks zoo-emitted layer kinds against this
+    list so a new layer type cannot silently ship without a FLOP formula.
+    """
+    return sorted(kind for kind, cls in LAYER_REGISTRY.items()
+                  if not getattr(cls, "__abstractmethods__", frozenset()))
 
 
 def layer_flops(network: Network, batch_size: int) -> List[Tuple[str, int]]:

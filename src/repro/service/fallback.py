@@ -68,7 +68,8 @@ class FallbackChain:
         for name, fn in self.tiers:
             try:
                 value = float(fn(network, batch_size))
-            except Exception as exc:
+            # any tier failure is a signal to degrade, never to crash
+            except Exception as exc:  # repro: noqa[EX001]
                 attempts.append((name, str(exc) or type(exc).__name__))
                 continue
             attempts.append((name, None))

@@ -113,7 +113,8 @@ class LoadGenerator:
         except HTTPError as exc:
             try:
                 reason = json.loads(exc.read()).get("error", str(exc))
-            except Exception:
+            # error-body parsing is best-effort; keep the HTTP error
+            except Exception:  # repro: noqa[EX001]
                 reason = str(exc)
             return False, None, f"HTTP {exc.code}: {reason}"
         except (URLError, OSError, ValueError) as exc:

@@ -102,7 +102,8 @@ class ModelRegistry:
                     continue
                 try:
                     entry = self._load(path)
-                except Exception as exc:           # malformed file: skip
+                # malformed file: record and keep serving the others
+                except Exception as exc:  # repro: noqa[EX001]
                     self.errors[path.stem] = str(exc)
                     continue
                 if current is not None:

@@ -173,8 +173,9 @@ class ServingSimulator:
         def maybe_launch(eng: EventEngine) -> None:
             if state["busy"] or not queue:
                 return
+            # timeout 0.0 is the exact "no batching delay" config sentinel
             if (len(queue) >= self.max_batch
-                    or self.batch_timeout_us == 0.0):
+                    or self.batch_timeout_us == 0.0):  # repro: noqa[FP001]
                 launch(eng)
                 return
             # wait (bounded) for more requests to share the batch

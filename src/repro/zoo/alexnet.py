@@ -25,7 +25,8 @@ def alexnet(width_mult: float = 1.0, num_classes: int = 1000,
     """
     if width_mult <= 0:
         raise ValueError("width_mult must be positive")
-    name = name or ("alexnet" if width_mult == 1.0
+    # the default multiplier is the literal 1.0: exact sentinel
+    name = name or ("alexnet" if width_mult == 1.0  # repro: noqa[FP001]
                     else f"alexnet_w{width_mult:g}")
 
     def scaled(channels: int) -> int:

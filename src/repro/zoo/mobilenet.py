@@ -75,7 +75,9 @@ def mobilenet_v2(width_mult: float = 1.0, num_classes: int = 1000,
     """Construct MobileNetV2 with an optional width multiplier."""
     if width_mult <= 0:
         raise ValueError("width_mult must be positive")
-    name = name or ("mobilenet_v2" if width_mult == 1.0
+    # the default multiplier is the literal 1.0: exact sentinel
+    name = name or ("mobilenet_v2"
+                    if width_mult == 1.0  # repro: noqa[FP001]
                     else f"mobilenet_v2_w{width_mult:g}")
 
     builder = GraphBuilder(name, IMAGENET_INPUT, family="mobilenet")

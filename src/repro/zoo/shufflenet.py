@@ -88,7 +88,8 @@ def shufflenet_v1(groups: int = 3, channel_scale: float = 1.0,
         raise ValueError("channel_scale must be positive")
     if not name:
         name = ("shufflenet_v1" if groups == 3 else f"shufflenet_v1_g{groups}")
-        if channel_scale != 1.0:
+        # the default scale is the literal 1.0: exact sentinel
+        if channel_scale != 1.0:  # repro: noqa[FP001]
             name += f"_x{channel_scale:g}"
 
     builder = GraphBuilder(name, IMAGENET_INPUT, family="shufflenet")
@@ -100,7 +101,7 @@ def shufflenet_v1(groups: int = 3, channel_scale: float = 1.0,
     divisor = 4 * groups  # keeps bottleneck and grouped convs divisible
     for stage, repeats in enumerate(_STAGE_REPEATS):
         out_channels = _STAGE_CHANNELS[groups][stage]
-        if channel_scale != 1.0:
+        if channel_scale != 1.0:  # repro: noqa[FP001] exact sentinel
             out_channels = max(divisor,
                                round(out_channels * channel_scale / divisor)
                                * divisor)

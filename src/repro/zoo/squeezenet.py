@@ -37,7 +37,9 @@ def squeezenet(width_mult: float = 1.0, num_classes: int = 1000,
     """
     if width_mult <= 0:
         raise ValueError("width_mult must be positive")
-    name = name or ("squeezenet1_1" if width_mult == 1.0
+    # the default multiplier is the literal 1.0: exact sentinel
+    name = name or ("squeezenet1_1"
+                    if width_mult == 1.0  # repro: noqa[FP001]
                     else f"squeezenet1_1_w{width_mult:g}")
 
     def scaled(channels: int) -> int:

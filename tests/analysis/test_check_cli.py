@@ -1,0 +1,90 @@
+"""``repro check``: the CLI gate the CI workflow runs."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+CLEAN = "def predict(x):\n    return x * 2\n"
+VIOLATIONS = (
+    "def accumulate(x, acc=[]):\n"          # MD001 (error)
+    "    assert isinstance(x, int)\n"        # AS001 (error)
+    "    if x == 0.5:\n"                     # FP001 (warning)
+    "        acc.append(x)\n"
+    "    return acc\n"
+)
+
+
+@pytest.fixture()
+def clean_file(tmp_path):
+    path = tmp_path / "clean.py"
+    path.write_text(CLEAN)
+    return path
+
+
+@pytest.fixture()
+def dirty_file(tmp_path):
+    path = tmp_path / "dirty.py"
+    path.write_text(VIOLATIONS)
+    return path
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, clean_file, capsys):
+        code = main(["check", "--no-contracts",
+                     "--paths", str(clean_file)])
+        assert code == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_seeded_violation_exits_nonzero(self, dirty_file, capsys):
+        code = main(["check", "--no-contracts",
+                     "--paths", str(dirty_file)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "MD001" in out and "AS001" in out and "FP001" in out
+
+    def test_warnings_alone_pass_unless_strict(self, tmp_path):
+        path = tmp_path / "warn.py"
+        path.write_text("ok = x == 0.5\n")
+        args = ["check", "--no-contracts", "--paths", str(path)]
+        assert main(args) == 0
+        assert main(args + ["--strict"]) == 1
+
+    def test_repo_tree_is_clean(self):
+        """The shipped package passes its own gate (the CI invariant)."""
+        assert main(["check", "--no-contracts"]) == 0
+
+    def test_contracts_only_run_is_clean(self, capsys):
+        code = main(["check", "--no-lint", "--network", "alexnet"])
+        assert code == 0
+        assert "contracts over 1 network(s)" in capsys.readouterr().out
+
+
+class TestOptions:
+    def test_json_format_parses(self, dirty_file, capsys):
+        main(["check", "--no-contracts", "--format", "json",
+              "--paths", str(dirty_file)])
+        document = json.loads(capsys.readouterr().out)
+        rules = {entry["rule"] for entry in document["findings"]}
+        assert {"MD001", "AS001", "FP001"} <= rules
+        assert document["counts"]["error"] == 2
+
+    def test_rules_filter_limits_findings(self, dirty_file, capsys):
+        code = main(["check", "--no-contracts", "--rules", "FP001",
+                     "--paths", str(dirty_file)])
+        assert code == 0           # FP001 is warning severity
+        out = capsys.readouterr().out
+        assert "FP001" in out and "MD001" not in out
+
+    def test_unknown_rule_is_a_usage_error(self, dirty_file, capsys):
+        code = main(["check", "--no-contracts", "--rules", "ZZ999",
+                     "--paths", str(dirty_file)])
+        assert code == 2
+        assert "unknown rule 'ZZ999'" in capsys.readouterr().err
+
+    def test_test_files_are_not_linted(self, tmp_path, capsys):
+        (tmp_path / "test_dirty.py").write_text(VIOLATIONS)
+        code = main(["check", "--no-contracts", "--paths", str(tmp_path)])
+        assert code == 0
+        assert "0 finding(s)" in capsys.readouterr().out

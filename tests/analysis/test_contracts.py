@@ -1,0 +1,107 @@
+"""Domain contracts: the zoo -> FLOPs -> kernels -> persistence sweep.
+
+The regression class pins the *current* coverage exactly: every layer
+kind the zoo emits today is listed, and every contract's gap list is
+asserted empty. A new layer kind (or a lost mapping) must show up here
+loudly rather than silently degrade a prediction tier.
+"""
+
+import pytest
+
+import repro.gpu.cudnn as cudnn
+from repro import zoo
+from repro.analysis_checks import CONTRACT_RULES, check_contracts
+from repro.nn.flops import counted_kinds
+
+#: Every layer kind the 36 named zoo networks emit today. Adding a new
+#: layer to the zoo must extend this list (and its FLOP + kernel
+#: coverage); losing coverage must fail the contract sweep below.
+EXPECTED_LAYER_KINDS = [
+    "AdaptiveAvgPool", "Add", "AttnContext", "AttnScores", "AvgPool",
+    "BN", "CONV", "ChannelShuffle", "Concat", "Dropout", "Embedding",
+    "FC", "Flatten", "GELU", "LN", "MaxPool", "Mul", "ReLU", "ReLU6",
+    "SiLU", "Sigmoid", "Softmax", "Tanh", "ToSequence",
+]
+
+
+@pytest.fixture(scope="module")
+def full_report():
+    return check_contracts()
+
+
+class TestCleanSweep:
+    def test_full_zoo_is_contract_clean(self, full_report):
+        assert full_report.ok, [f.render() for f in full_report.findings]
+
+    def test_every_contract_gap_list_empty(self, full_report):
+        assert full_report.gaps() == {rule: [] for rule in CONTRACT_RULES}
+
+    def test_layer_kind_coverage_pinned_exactly(self, full_report):
+        assert sorted(full_report.layer_kinds) == EXPECTED_LAYER_KINDS
+
+    def test_sweep_covers_every_named_model(self, full_report):
+        assert full_report.networks == zoo.model_names()
+        assert len(full_report.networks) == 36
+
+    def test_summary_reports_ok(self, full_report):
+        summary = full_report.summary()
+        assert summary.endswith("ok")
+        assert "36 network(s)" in summary
+
+    def test_emitted_kinds_subset_of_flop_rules(self, full_report):
+        assert full_report.layer_kinds <= set(counted_kinds())
+
+    def test_signatures_and_kernels_nonempty(self, full_report):
+        assert full_report.kernel_names
+        assert full_report.signatures
+        # each signature mapped to at least its own kernel sequence
+        assert all(isinstance(seq, tuple)
+                   for seq in full_report.sequences.values())
+
+
+class TestSubsetsAndArguments:
+    def test_single_network_subset(self):
+        report = check_contracts(["alexnet"])
+        assert report.networks == ["alexnet"]
+        assert report.ok
+        assert "FC" in report.layer_kinds
+
+    def test_batch_size_validated(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            check_contracts(["alexnet"], batch_size=0)
+
+    def test_larger_batch_still_clean(self):
+        assert check_contracts(["resnet18"], batch_size=8).ok
+
+
+class TestSeededViolations:
+    def test_unknown_network_is_ct001(self):
+        report = check_contracts(["no-such-net"])
+        assert not report.ok
+        assert {f.rule for f in report.findings} == {"CT001"}
+        assert report.gaps()["CT001"] == ["no-such-net"]
+
+    def test_missing_forward_handler_is_ct003(self, monkeypatch):
+        monkeypatch.delitem(cudnn._HANDLERS, "BN")
+        report = check_contracts(["resnet18"])
+        assert "CT003" in {f.rule for f in report.findings}
+        assert "BN" in report.gaps()["CT003"]
+
+    def test_missing_backward_handler_is_ct004(self, monkeypatch):
+        monkeypatch.delitem(cudnn._BACKWARD_HANDLERS, "CONV")
+        report = check_contracts(["alexnet"])
+        assert "CT004" in {f.rule for f in report.findings}
+        assert "CONV" in report.gaps()["CT004"]
+
+    def test_contract_findings_name_the_contract_module(self, monkeypatch):
+        monkeypatch.delitem(cudnn._HANDLERS, "BN")
+        report = check_contracts(["resnet18"])
+        ct003 = [f for f in report.findings if f.rule == "CT003"]
+        assert all(f.path == "repro.gpu.cudnn" for f in ct003)
+
+    def test_findings_deduplicated_per_kind(self, monkeypatch):
+        monkeypatch.delitem(cudnn._HANDLERS, "ReLU")
+        # resnet18 emits many ReLU layers; the gap reads as one line
+        report = check_contracts(["resnet18"])
+        ct003 = [f for f in report.findings if f.rule == "CT003"]
+        assert len(ct003) == 1

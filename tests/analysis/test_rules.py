@@ -1,0 +1,192 @@
+"""Each lint rule: a snippet that triggers it and one that suppresses it."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis_checks import Severity, lint_source, select_rules
+
+
+def findings_for(rule_id, source):
+    findings = lint_source(textwrap.dedent(source))
+    assert not any(f.rule == "PARSE" for f in findings), findings
+    return [f for f in findings if f.rule == rule_id]
+
+
+class TestRC001LockDiscipline:
+    LOCKED_CLASS = (
+        "import threading\n"
+        "\n"
+        "class Store:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self._items = {}\n"
+        "        self._count = 0\n"
+        "\n"
+        "    def %s\n")
+
+    def test_unlocked_assignment_flagged(self):
+        source = self.LOCKED_CLASS % "put(self, k, v):\n        self._items[k] = v"
+        (finding,) = findings_for("RC001", source)
+        assert "_items" in finding.message
+        assert finding.severity is Severity.ERROR
+
+    def test_unlocked_augassign_flagged(self):
+        source = self.LOCKED_CLASS % "bump(self):\n        self._count += 1"
+        assert len(findings_for("RC001", source)) == 1
+
+    def test_unlocked_mutator_call_flagged(self):
+        source = self.LOCKED_CLASS % ("drop(self, k):\n"
+                                      "        self._items.pop(k, None)")
+        (finding,) = findings_for("RC001", source)
+        assert "pop" in finding.message
+
+    def test_locked_mutation_is_clean(self):
+        source = self.LOCKED_CLASS % ("put(self, k, v):\n"
+                                      "        with self._lock:\n"
+                                      "            self._items[k] = v")
+        assert findings_for("RC001", source) == []
+
+    def test_mutation_in_branch_under_lock_is_clean(self):
+        source = self.LOCKED_CLASS % ("put(self, k, v):\n"
+                                      "        with self._lock:\n"
+                                      "            if k not in self._items:\n"
+                                      "                self._items[k] = v")
+        assert findings_for("RC001", source) == []
+
+    def test_branch_outside_lock_flagged(self):
+        source = self.LOCKED_CLASS % ("put(self, k, v):\n"
+                                      "        if v:\n"
+                                      "            self._items[k] = v")
+        assert len(findings_for("RC001", source)) == 1
+
+    def test_init_is_exempt(self):
+        source = """
+            import threading
+
+            class Store:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = {}
+        """
+        assert findings_for("RC001", source) == []
+
+    def test_lockless_class_is_exempt(self):
+        source = """
+            class Plain:
+                def __init__(self):
+                    self._items = {}
+
+                def put(self, k, v):
+                    self._items[k] = v
+        """
+        assert findings_for("RC001", source) == []
+
+    def test_other_objects_private_attrs_ignored(self):
+        source = self.LOCKED_CLASS % ("fill(self, entry):\n"
+                                      "        entry._resolved = {}")
+        assert findings_for("RC001", source) == []
+
+    def test_public_attribute_ignored(self):
+        source = self.LOCKED_CLASS % ("label(self, text):\n"
+                                      "        self.name = text")
+        assert findings_for("RC001", source) == []
+
+    def test_noqa_suppresses(self):
+        source = self.LOCKED_CLASS % (
+            "put(self, k, v):\n"
+            "        self._items[k] = v  # repro: noqa[RC001]")
+        assert findings_for("RC001", source) == []
+
+
+class TestFP001FloatEquality:
+    def test_eq_float_literal_flagged(self):
+        (finding,) = findings_for("FP001", "ok = x == 0.5\n")
+        assert finding.severity is Severity.WARNING
+
+    def test_neq_and_negative_literal_flagged(self):
+        assert findings_for("FP001", "ok = x != -1.5\n")
+
+    def test_int_literal_not_flagged(self):
+        assert findings_for("FP001", "ok = x == 0\n") == []
+
+    def test_ordering_comparison_not_flagged(self):
+        assert findings_for("FP001", "ok = x <= 0.5\n") == []
+
+    def test_noqa_suppresses(self):
+        source = "ok = x == 0.5  # repro: noqa[FP001] exact sentinel\n"
+        assert findings_for("FP001", source) == []
+
+
+class TestAS001AssertGuard:
+    def test_assert_isinstance_flagged(self):
+        (finding,) = findings_for(
+            "AS001", "assert isinstance(layer, Conv2d)\n")
+        assert "python -O" in finding.message
+
+    def test_assert_shape_comparison_flagged(self):
+        assert findings_for("AS001", "assert len(shapes) == 2\n")
+        assert findings_for("AS001", "assert x.shape == y.shape\n")
+
+    def test_plain_assert_not_flagged(self):
+        assert findings_for("AS001", "assert ready\n") == []
+
+    def test_noqa_suppresses(self):
+        source = "assert isinstance(x, int)  # repro: noqa[AS001]\n"
+        assert findings_for("AS001", source) == []
+
+
+class TestMD001MutableDefault:
+    @pytest.mark.parametrize("default", ["[]", "{}", "set()", "dict()",
+                                         "collections.OrderedDict()"])
+    def test_mutable_defaults_flagged(self, default):
+        assert findings_for("MD001", f"def f(x, acc={default}):\n"
+                                     "    return acc\n")
+
+    def test_keyword_only_default_flagged(self):
+        assert findings_for("MD001", "def f(*, acc=[]):\n    return acc\n")
+
+    def test_none_and_tuple_defaults_clean(self):
+        source = "def f(x=None, y=(), z=0):\n    return x, y, z\n"
+        assert findings_for("MD001", source) == []
+
+    def test_noqa_suppresses(self):
+        source = "def f(acc=[]):  # repro: noqa[MD001]\n    return acc\n"
+        assert findings_for("MD001", source) == []
+
+
+class TestEX001BroadExcept:
+    def test_bare_except_is_error(self):
+        source = "try:\n    work()\nexcept:\n    pass\n"
+        (finding,) = findings_for("EX001", source)
+        assert finding.severity is Severity.ERROR
+
+    def test_swallowing_except_exception_is_warning(self):
+        source = "try:\n    work()\nexcept Exception:\n    pass\n"
+        (finding,) = findings_for("EX001", source)
+        assert finding.severity is Severity.WARNING
+
+    def test_reraising_handler_is_clean(self):
+        source = ("try:\n    work()\nexcept Exception as exc:\n"
+                  "    raise RuntimeError('context') from exc\n")
+        assert findings_for("EX001", source) == []
+
+    def test_narrow_except_is_clean(self):
+        source = "try:\n    work()\nexcept KeyError:\n    pass\n"
+        assert findings_for("EX001", source) == []
+
+    def test_noqa_suppresses(self):
+        source = ("try:\n    work()\n"
+                  "except Exception:  # repro: noqa[EX001] best effort\n"
+                  "    pass\n")
+        assert findings_for("EX001", source) == []
+
+
+class TestRuleRegistry:
+    def test_all_five_rules_registered(self):
+        ids = {rule.rule_id for rule in select_rules()}
+        assert {"RC001", "FP001", "AS001", "MD001", "EX001"} <= ids
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(KeyError):
+            select_rules(["ZZ999"])
