@@ -18,7 +18,13 @@ cross-checks:
          survives a JSON persistence round-trip with lookups intact;
 - CT006  every emitted kernel's cost driver is one of the three
          classification drivers (input / operation / output), so the
-         KW classifier can learn it.
+         KW classifier can learn it;
+- CT007  for every zoo network and every model kind (e2e / lw / kw /
+         igkw), a compiled :class:`~repro.core.plan.PredictionPlan`
+         reproduces the direct per-layer prediction path bit-exactly —
+         the compile/evaluate split may never drift from the reference
+         arithmetic. (Trains a small fixed campaign; runs only on the
+         full default sweep, not on named subsets.)
 
 Failures are reported as :class:`~repro.analysis_checks.findings.Finding`
 records (all error severity), deduplicated per layer kind / kernel so a
@@ -41,6 +47,7 @@ CONTRACT_RULES: Dict[str, str] = {
     "CT004": "every emitted layer kind has a backward kernel mapping",
     "CT005": "the kernel mapping table survives persistence round-trip",
     "CT006": "every kernel's driver is input/operation/output",
+    "CT007": "compiled plans match direct predictions bit-exactly",
 }
 
 #: finding rule id -> module whose contract it checks (finding path).
@@ -51,6 +58,7 @@ _LOCUS = {
     "CT004": "repro.gpu.cudnn",
     "CT005": "repro.core.persistence",
     "CT006": "repro.gpu.kernels",
+    "CT007": "repro.core.plan",
 }
 
 
@@ -198,12 +206,79 @@ def _check_persistence(report: ContractReport, sink: _Recorder) -> None:
                     "LinearFit changed across the JSON round-trip")
 
 
+def _check_plan_parity(networks: Dict[str, object], batch_size: int,
+                       sink: _Recorder) -> None:
+    """CT007: ``compile(...).evaluate()`` equals the direct prediction.
+
+    Trains one small fixed campaign (two networks, two bandwidth-diverse
+    GPUs) and then, for every zoo network, compares the compiled-plan
+    path against an *independent* direct computation — the per-layer
+    prediction loops that do not route through plans — with exact float
+    equality. The igkw comparison goes through ``for_gpu`` on a GPU the
+    campaign never measured.
+    """
+    from repro import zoo
+    from repro.core.workflow import train_inter_gpu_model, train_model
+    from repro.dataset import build_dataset
+    from repro.gpu.specs import gpu
+
+    try:
+        roster = (zoo.build("resnet18"), zoo.build("mobilenet_v2"))
+        specs = (gpu("A100"), gpu("TITAN RTX"))
+        data = build_dataset(roster, specs, batch_sizes=(64,))
+        models = {kind: train_model(data, kind, gpu="A100", batch_size=64)
+                  for kind in ("e2e", "lw", "kw")}
+        igkw = train_inter_gpu_model(data, specs, batch_size=64)
+    except Exception as exc:  # repro: noqa[EX001] reported as finding
+        sink.record("CT007", "training-campaign",
+                    f"parity campaign failed to train: {exc}")
+        return
+
+    target = gpu("V100")
+
+    def direct(kind: str, network) -> float:
+        model = models.get(kind)
+        if kind == "e2e":
+            return model.predict_flops(network.total_flops(batch_size))
+        if kind == "lw":
+            return sum(model.predict_layer(info.kind, float(info.flops))
+                       for info in network.layer_infos(batch_size))
+        if kind == "kw":
+            return sum(model.predict_layer(info)
+                       for info in network.layer_infos(batch_size))
+        predictor = igkw.for_gpu(target)
+        return sum(predictor.predict_layer(info)
+                   for info in network.layer_infos(batch_size))
+
+    def planned(kind: str, network) -> float:
+        if kind == "igkw":
+            return igkw.compile(network, batch_size).evaluate(gpu=target)
+        return models[kind].compile(network, batch_size).evaluate()
+
+    for name, network in networks.items():
+        for kind in ("e2e", "lw", "kw", "igkw"):
+            try:
+                reference = direct(kind, network)
+                compiled = planned(kind, network)
+            except Exception as exc:  # repro: noqa[EX001] as finding
+                sink.record("CT007", f"{name}/{kind}",
+                            f"prediction failed: {exc}")
+                continue
+            # the contract IS exact equality: the plan must replay the
+            # reference accumulation, not approximate it
+            if compiled != reference:  # repro: noqa[FP001]
+                sink.record("CT007", f"{name}/{kind}",
+                            f"plan {compiled!r} != direct {reference!r}")
+
+
 def check_contracts(network_names: Optional[Sequence[str]] = None,
                     batch_size: int = 1) -> ContractReport:
     """Run every contract over the named zoo networks.
 
     ``network_names`` defaults to every registered named model
     (:func:`repro.zoo.model_names`); pass a subset for quick checks.
+    The CT007 plan-parity sweep trains a small campaign, so it runs
+    only on the full default sweep (``network_names=None``).
     """
     from repro import zoo
 
@@ -213,13 +288,17 @@ def check_contracts(network_names: Optional[Sequence[str]] = None,
                  else zoo.model_names())
     report = ContractReport(networks=names)
     sink = _Recorder()
+    built: Dict[str, object] = {}
     for name in names:
         try:
             network = zoo.build(name)
         except Exception as exc:  # repro: noqa[EX001] reported as finding
             sink.record("CT001", name, f"build failed: {exc}")
             continue
+        built[name] = network
         _check_network(name, network, batch_size, report, sink)
     _check_persistence(report, sink)
+    if network_names is None:
+        _check_plan_parity(built, batch_size, sink)
     report.findings = sink.findings
     return report

@@ -109,6 +109,10 @@ def _add_serve(subparsers) -> None:
                    help="0 picks an ephemeral port")
     p.add_argument("--cache-size", type=int, default=1024,
                    help="prediction LRU capacity")
+    p.add_argument("--plan-cache-size", type=int, default=256,
+                   help="compiled-plan LRU capacity (plans are "
+                        "GPU-independent, so one entry serves every "
+                        "target of a network)")
     p.add_argument("--coverage-threshold", type=float, default=0.10,
                    help="max fallback time share before a kernel-level "
                         "prediction degrades to the next tier")
@@ -231,6 +235,7 @@ def _cmd_train_igkw(args) -> int:
 def _cmd_predict(args) -> int:
     model = core.load_model(args.model)
     network = zoo.build(args.network)
+    # one compile serves both the prediction and the coverage audit
     if isinstance(model, InterGPUKernelWiseModel):
         if args.gpu is None:
             print("error: igkw models need --gpu", file=sys.stderr)
@@ -238,20 +243,18 @@ def _cmd_predict(args) -> int:
         target = gpu(args.gpu)
         if args.bandwidth is not None:
             target = target.with_bandwidth(args.bandwidth)
-        predictor = model.for_gpu(target)
+        plan = model.compile(network, args.batch_size).bind(target)
         label = target.name
     else:
-        predictor = model
+        plan = model.compile(network, args.batch_size)
         label = "its training GPU"
-    predicted = predictor.predict_network(network, args.batch_size)
+    predicted = plan.evaluate()
     print(f"{args.network} at batch {args.batch_size} on {label}: "
           f"{predicted / 1e3:.3f} ms")
     if args.coverage:
-        from repro.core.coverage import coverage_report
-        from repro.core.kernelwise import KernelTablePredictor
-        if isinstance(predictor, KernelTablePredictor):
-            print(coverage_report(predictor, network,
-                                  args.batch_size).render())
+        report = plan.coverage()
+        if report is not None:
+            print(report.render())
         else:
             print("(coverage audit applies to kernel-level models only)")
     return 0
@@ -314,7 +317,8 @@ def _cmd_serve(args) -> int:
     registry = ModelRegistry(args.models)
     service = PredictionService(
         registry, cache=PredictionCache(args.cache_size),
-        coverage_threshold=args.coverage_threshold)
+        coverage_threshold=args.coverage_threshold,
+        plan_cache=PredictionCache(args.plan_cache_size))
     server = make_server(service, host=args.host, port=args.port)
     host, port = server.server_address[:2]
     print(f"serving {len(registry)} model(s) "

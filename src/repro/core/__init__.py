@@ -43,6 +43,16 @@ from repro.core.online import (
     OnlineLinearFit,
 )
 from repro.core.overhead import OverheadAwareModel
+from repro.core.plan import (
+    FlopsPlan,
+    KernelPlan,
+    LayerSumPlan,
+    OverheadPlan,
+    PlanLayer,
+    PredictionPlan,
+    RetargetableLayer,
+    RetargetablePlan,
+)
 from repro.core.persistence import (
     load_model,
     model_from_dict,
@@ -69,19 +79,27 @@ __all__ = [
     "error_breakdown",
     "FEATURES",
     "FEATURE_LABELS",
+    "FlopsPlan",
     "InterGPUKernelWiseModel",
     "KernelCluster",
     "KernelMappingTable",
+    "KernelPlan",
     "KernelTablePredictor",
     "KernelTransfer",
     "KernelWiseModel",
+    "LayerSumPlan",
     "LayerWiseModel",
     "LinearFit",
     "OnlineEndToEndModel",
     "OnlineKernelWiseModel",
     "OnlineLinearFit",
     "OverheadAwareModel",
+    "OverheadPlan",
     "PerformanceModel",
+    "PlanLayer",
+    "PredictionPlan",
+    "RetargetableLayer",
+    "RetargetablePlan",
     "SCurve",
     "classification_report",
     "classify_kernel",

@@ -1,16 +1,25 @@
 """Shared performance-model interface (the Figure-10 prediction side).
 
 Every model consumes only network *structure* (a :class:`Network` plus a
-batch size) and returns a predicted execution time in microseconds. A
-common ``evaluate`` turns test-set predictions into the paper's S-curve.
+batch size) and returns a predicted execution time in microseconds.
+Prediction is split into two phases: :meth:`PerformanceModel.compile`
+does all the structure-dependent work once (the graph walk, feature
+extraction, kernel-sequence and regression-line resolution) and returns
+a :class:`~repro.core.plan.PredictionPlan`; ``plan.evaluate()`` is a
+tight loop over the pre-resolved terms. ``predict_network`` stays as the
+one-shot convenience shim, so callers that never reuse a plan pay
+nothing for the split. A common ``evaluate`` turns test-set predictions
+into the paper's S-curve.
 """
 
 from __future__ import annotations
 
 import abc
+from collections import Counter
 from typing import Mapping, Optional
 
 from repro.core.metrics import SCurve, s_curve
+from repro.core.plan import PredictionPlan
 from repro.dataset.builder import PerformanceDataset
 from repro.nn.graph import Network
 
@@ -22,8 +31,20 @@ class PerformanceModel(abc.ABC):
     name: str = ""
 
     @abc.abstractmethod
+    def compile(self, network: Network, batch_size: int) -> PredictionPlan:
+        """Lower one (network, batch size) into a reusable plan.
+
+        The plan snapshots the fit references present now; retraining
+        the model later does not change an already-compiled plan.
+        """
+
     def predict_network(self, network: Network, batch_size: int) -> float:
-        """Predicted end-to-end execution time in microseconds."""
+        """Predicted end-to-end execution time in microseconds.
+
+        Thin shim: compile then evaluate once. Callers that predict the
+        same structure repeatedly should hold the compiled plan instead.
+        """
+        return self.compile(network, batch_size).evaluate()
 
     def predict_network_ms(self, network: Network, batch_size: int) -> float:
         return self.predict_network(network, batch_size) / 1e3
@@ -35,7 +56,11 @@ class PerformanceModel(abc.ABC):
 
         ``test`` supplies the measured times; ``networks`` supplies the
         structures to predict from (keyed by name). When ``batch_size``
-        is given, only that batch size's measurements count.
+        is given, only that batch size's measurements count; when it is
+        None, every (network, batch size) measurement contributes its
+        own point — a network measured at several batch sizes is
+        labelled ``name@bsN`` per point rather than silently collapsed
+        to whichever row came last.
         """
         predictions = {}
         measurements = {}
@@ -45,10 +70,21 @@ class PerformanceModel(abc.ABC):
             network = networks.get(row.network)
             if network is None:
                 continue
-            predictions[row.network] = self.predict_network(
-                network, row.batch_size)
-            measurements[row.network] = row.e2e_us
-        return s_curve(predictions, measurements)
+            key = (row.network, row.batch_size)
+            predictions[key] = self.predict_network(network, row.batch_size)
+            measurements[key] = row.e2e_us
+        batches_per_network = Counter(name for name, _ in predictions)
+
+        def label(name: str, bs: int) -> str:
+            if batches_per_network[name] == 1:
+                return name
+            return f"{name}@bs{bs}"
+
+        return s_curve(
+            {label(name, bs): value
+             for (name, bs), value in predictions.items()},
+            {label(name, bs): value
+             for (name, bs), value in measurements.items()})
 
 
 def networks_by_name(networks) -> Mapping[str, Network]:

@@ -9,16 +9,16 @@ fall back to the layer-wise model, although the error may be higher."
 a prediction*: for each layer of a network it records which lookup stage
 resolved the kernel sequence (exact table hit, nearest-bucket
 approximation, or layer-wise fallback) and how much of the predicted time
-rests on each stage.
+rests on each stage. The stage of every layer is determined once, at
+``compile`` time, and recorded on the compiled plan;
+:func:`coverage_report` is a thin shim over ``model.compile(...)``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Tuple
 
-from repro.core.kernelwise import KernelTablePredictor, _split_bucket
-from repro.core.signature import layer_signature
 from repro.nn.graph import Network
 
 #: Lookup resolution stages, best to worst.
@@ -90,26 +90,16 @@ class CoverageReport:
         return "\n".join(lines)
 
 
-def coverage_report(model: KernelTablePredictor, network: Network,
+def coverage_report(model, network: Network,
                     batch_size: int) -> CoverageReport:
-    """Audit how a kernel-level model resolves each layer of a network."""
-    training = model.mode == "training"
-    layers: List[LayerCoverage] = []
-    for info in network.layer_infos(batch_size):
-        signature = layer_signature(info, training=training)
-        sequence = model.table.lookup(signature)
-        if sequence is None or any(name not in model.lines
-                                   for name in sequence):
-            stage = FALLBACK
-        elif model.table._table.get(signature) == sequence:
-            stage = EXACT
-        else:
-            stage = NEAR
-        layers.append(LayerCoverage(
-            layer_name=info.name,
-            kind=info.kind,
-            signature=signature,
-            stage=stage,
-            predicted_us=model.predict_layer(info),
-        ))
-    return CoverageReport(network.name, batch_size, tuple(layers))
+    """Audit how a kernel-level model resolves each layer of a network.
+
+    ``model`` must compile to a kernel-level plan (KW, or IGKW after
+    ``for_gpu``); the report is read straight off the compiled plan.
+    """
+    report = model.compile(network, batch_size).coverage()
+    if report is None:
+        raise TypeError(
+            f"{type(model).__name__} is not a kernel-level model; "
+            "coverage audits apply to KW/IGKW predictors")
+    return report

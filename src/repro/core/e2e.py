@@ -13,6 +13,7 @@ from typing import Optional
 
 from repro.core.base import PerformanceModel
 from repro.core.linreg import LinearFit, fit_line
+from repro.core.plan import FlopsPlan
 from repro.dataset.builder import PerformanceDataset
 from repro.nn.graph import Network
 
@@ -43,5 +44,8 @@ class EndToEndModel(PerformanceModel):
             raise RuntimeError("EndToEndModel is not trained")
         return self.fit.predict(total_flops)
 
-    def predict_network(self, network: Network, batch_size: int) -> float:
-        return self.predict_flops(network.total_flops(batch_size))
+    def compile(self, network: Network, batch_size: int) -> FlopsPlan:
+        if self.fit is None:
+            raise RuntimeError("EndToEndModel is not trained")
+        return FlopsPlan(self.name, network.name, batch_size,
+                         network.total_flops(batch_size), self.fit)

@@ -19,14 +19,18 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.classification import FEATURES, classify_kernels
+from repro.core.coverage import EXACT, FALLBACK, NEAR
 from repro.core.kernelwise import (
     KernelLine,
     KernelMappingTable,
     KernelTablePredictor,
     _dataset_mode,
+    feature_value,
 )
 from repro.core.layerwise import LayerWiseModel
 from repro.core.linreg import LinearFit, fit_line
+from repro.core.plan import RetargetableLayer, RetargetablePlan
+from repro.core.signature import layer_signature
 from repro.dataset.builder import PerformanceDataset
 from repro.gpu.specs import GPUSpec
 
@@ -186,6 +190,41 @@ class InterGPUKernelWiseModel:
                                         - target.bandwidth_gbs))
         return self._lw_by_gpu[nearest.name]
 
+    def compile(self, network, batch_size: int) -> RetargetablePlan:
+        """Lower the network once, independent of any target GPU.
+
+        The plan resolves every layer's kernel sequence and feature
+        values against this model's mapping table; ``bind(target)`` (or
+        ``evaluate(gpu=...)``) then synthesises the per-kernel lines for
+        a concrete GPU — matching ``for_gpu`` bit-exactly without
+        re-walking the graph per target.
+        """
+        if self.table is None:
+            raise RuntimeError("InterGPUKernelWiseModel is not trained")
+        training = self.mode == "training"
+        layers = []
+        for info in network.layer_infos(batch_size):
+            signature = layer_signature(info, training=training)
+            kernels = self.table.lookup(signature)
+            if kernels is None or any(name not in self.transfers
+                                      for name in kernels):
+                layers.append(RetargetableLayer(
+                    info.name, info.kind, signature, FALLBACK, None,
+                    float(info.flops)))
+                continue
+            stage = (EXACT if self.table.exact_sequence(signature) == kernels
+                     else NEAR)
+            terms = tuple(
+                (name, feature_value(info, self.transfers[name].feature))
+                for name in kernels)
+            layers.append(RetargetableLayer(
+                info.name, info.kind, signature, stage, terms,
+                float(info.flops)))
+        return RetargetablePlan(self.name, network.name, batch_size,
+                                tuple(layers), self.transfers,
+                                self._metric, self._lw_by_gpu,
+                                self.train_gpus)
+
     def predict_network(self, network, batch_size: int,
                         target: GPUSpec) -> float:
         """Convenience: one-off prediction for a target GPU."""
@@ -194,10 +233,11 @@ class InterGPUKernelWiseModel:
     def bandwidth_sensitivity(self, network, batch_size: int,
                               base: GPUSpec,
                               bandwidths_gbs: List[float]) -> List[Tuple[float, float]]:
-        """Case-study-1 sweep: predicted time vs hypothetical bandwidth."""
-        points = []
-        for bandwidth in bandwidths_gbs:
-            predictor = self.for_gpu(base.with_bandwidth(bandwidth))
-            points.append((bandwidth,
-                           predictor.predict_network(network, batch_size)))
-        return points
+        """Case-study-1 sweep: predicted time vs hypothetical bandwidth.
+
+        Compiles the network once and evaluates the plan per point, so
+        the sweep costs one graph walk total instead of one per point.
+        """
+        plan = self.compile(network, batch_size)
+        return [(bandwidth, plan.evaluate(gpu=base.with_bandwidth(bandwidth)))
+                for bandwidth in bandwidths_gbs]

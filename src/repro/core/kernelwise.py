@@ -25,14 +25,27 @@ from typing import Dict, List, Mapping, Optional, Tuple
 from repro.core.base import PerformanceModel
 from repro.core.classification import classify_kernels
 from repro.core.clustering import cluster_index, cluster_kernels
+from repro.core.coverage import EXACT, FALLBACK, NEAR
 from repro.core.layerwise import LayerWiseModel
 from repro.core.linreg import LinearFit
+from repro.core.plan import KernelPlan, PlanLayer
 from repro.core.signature import layer_signature, signature_kind
 from repro.dataset.builder import PerformanceDataset
 from repro.nn.graph import LayerInfo, Network
 
 #: (feature column, fitted line) for one kernel.
 KernelLine = Tuple[str, LinearFit]
+
+
+def feature_value(info: LayerInfo, feature: str) -> float:
+    """A layer's value of one classification feature column."""
+    if feature == "flops":
+        return float(info.flops)
+    if feature == "input_nchw":
+        return float(info.input_nchw)
+    if feature == "output_nchw":
+        return float(info.output_nchw)
+    raise KeyError(f"unknown feature column {feature!r}")
 
 
 def _dataset_mode(dataset: PerformanceDataset) -> str:
@@ -178,6 +191,10 @@ class KernelMappingTable:
             return self._kind_majority.get(signature_kind(signature))
         return None
 
+    def exact_sequence(self, signature: str) -> Optional[Tuple[str, ...]]:
+        """The sequence for an exact table hit only (no staged fallback)."""
+        return self._table.get(signature)
+
     def __len__(self) -> int:
         return len(self._table)
 
@@ -207,13 +224,7 @@ class KernelTablePredictor(PerformanceModel):
         self.mode = mode
 
     def _feature_value(self, info: LayerInfo, feature: str) -> float:
-        if feature == "flops":
-            return float(info.flops)
-        if feature == "input_nchw":
-            return float(info.input_nchw)
-        if feature == "output_nchw":
-            return float(info.output_nchw)
-        raise KeyError(f"unknown feature column {feature!r}")
+        return feature_value(info, feature)
 
     def predict_layer(self, info: LayerInfo) -> float:
         """Predicted time of one layer: sum over its mapped kernels."""
@@ -236,9 +247,43 @@ class KernelTablePredictor(PerformanceModel):
                          fit.predict(self._feature_value(info, feature)))
         return total
 
-    def predict_network(self, network: Network, batch_size: int) -> float:
-        return sum(self.predict_layer(info)
-                   for info in network.layer_infos(batch_size))
+    def compile(self, network: Network, batch_size: int) -> KernelPlan:
+        """Lower the network: one resolved :class:`PlanLayer` per layer.
+
+        Each layer's kernel sequence and regression lines are resolved
+        here, once, together with its coverage stage; evaluating the
+        plan reproduces ``predict_network`` bit-exactly.
+        """
+        training = self.mode == "training"
+        layers = []
+        for info in network.layer_infos(batch_size):
+            signature = layer_signature(info, training=training)
+            kernels = self.table.lookup(signature)
+            if kernels is None or any(name not in self.lines
+                                      for name in kernels):
+                lw = self.lw_fallback
+                if lw is None:
+                    raise KeyError(
+                        f"no kernel mapping for layer {info.name!r} "
+                        f"({info.kind}) and no layer-wise fallback "
+                        "configured")
+                if lw.fallback is None:
+                    raise RuntimeError("LayerWiseModel is not trained")
+                fit = lw.fits.get(info.kind, lw.fallback)
+                layers.append(PlanLayer(
+                    info.name, info.kind, signature, FALLBACK, (),
+                    (float(info.flops), fit)))
+                continue
+            stage = (EXACT if self.table.exact_sequence(signature) == kernels
+                     else NEAR)
+            terms = tuple(
+                (self._feature_value(info, self.lines[name][0]),
+                 self.lines[name][1])
+                for name in kernels)
+            layers.append(PlanLayer(info.name, info.kind, signature,
+                                    stage, terms))
+        return KernelPlan(self.name, network.name, batch_size,
+                          tuple(layers), lw_model=self.lw_fallback)
 
     def count_kernels(self, network: Network, batch_size: int) -> int:
         """How many kernel launches the mapping table predicts.
@@ -323,7 +368,7 @@ class KernelWiseModel(KernelTablePredictor):
                 lines.append(f"      {name} ({samples} samples)")
         return "\n".join(lines)
 
-    def predict_network(self, network: Network, batch_size: int) -> float:
+    def compile(self, network: Network, batch_size: int) -> KernelPlan:
         if not self._trained:
             raise RuntimeError("KernelWiseModel is not trained")
-        return super().predict_network(network, batch_size)
+        return super().compile(network, batch_size)

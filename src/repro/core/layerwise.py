@@ -14,6 +14,7 @@ from typing import Dict, Optional
 
 from repro.core.base import PerformanceModel
 from repro.core.linreg import LinearFit, fit_line
+from repro.core.plan import LayerSumPlan
 from repro.dataset.builder import PerformanceDataset
 from repro.nn.graph import Network
 
@@ -46,9 +47,13 @@ class LayerWiseModel(PerformanceModel):
         fit = self.fits.get(kind, self.fallback)
         return fit.predict(flops)
 
-    def predict_network(self, network: Network, batch_size: int) -> float:
-        return sum(self.predict_layer(info.kind, float(info.flops))
-                   for info in network.layer_infos(batch_size))
+    def compile(self, network: Network, batch_size: int) -> LayerSumPlan:
+        if self.fallback is None:
+            raise RuntimeError("LayerWiseModel is not trained")
+        terms = tuple((float(info.flops),
+                       self.fits.get(info.kind, self.fallback))
+                      for info in network.layer_infos(batch_size))
+        return LayerSumPlan(self.name, network.name, batch_size, terms)
 
     def kinds(self):
         """Layer kinds with a dedicated regression, sorted."""

@@ -31,6 +31,7 @@ from repro.core.kernelwise import (
 )
 from repro.core.layerwise import LayerWiseModel
 from repro.core.linreg import LinearFit
+from repro.core.plan import FlopsPlan
 from repro.dataset.records import KernelRow, LayerRow, NetworkRow
 from repro.nn.graph import Network
 
@@ -115,8 +116,14 @@ class OnlineEndToEndModel(PerformanceModel):
     def n_observations(self) -> int:
         return self._acc.n
 
-    def predict_network(self, network: Network, batch_size: int) -> float:
-        return self._acc.fit().predict(network.total_flops(batch_size))
+    def compile(self, network: Network, batch_size: int) -> FlopsPlan:
+        """Snapshot the current streaming fit into a plan.
+
+        Observations ingested after compiling do not move an existing
+        plan; compile again to pick up the fresher line.
+        """
+        return FlopsPlan(self.name, network.name, batch_size,
+                         network.total_flops(batch_size), self._acc.fit())
 
 
 class OnlineKernelWiseModel:

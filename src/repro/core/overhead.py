@@ -27,6 +27,7 @@ from typing import Optional
 from repro.core.base import PerformanceModel
 from repro.core.kernelwise import KernelTablePredictor
 from repro.core.linreg import LinearFit, fit_line
+from repro.core.plan import OverheadPlan
 from repro.dataset.builder import PerformanceDataset
 from repro.nn.graph import Network
 
@@ -55,15 +56,13 @@ class OverheadAwareModel(PerformanceModel):
             [row.kernel_time_us - row.e2e_us for row in rows])
         return self
 
-    def predict_network(self, network: Network, batch_size: int) -> float:
+    def compile(self, network: Network, batch_size: int) -> OverheadPlan:
         if self.overhead_fit is None:
             raise RuntimeError("OverheadAwareModel is not trained")
-        kernel_sum = self.base.predict_network(network, batch_size)
-        launches = self.base.count_kernels(network, batch_size)
-        hidden = max(0.0, self.overhead_fit.predict(launches))
-        # never correct below a sanity floor: the GPU-busy time is at
-        # least the work content, which is the dominant share of the sum
-        return max(0.25 * kernel_sum, kernel_sum - hidden)
+        return OverheadPlan(self.name, network.name, batch_size,
+                            self.base.compile(network, batch_size),
+                            self.base.count_kernels(network, batch_size),
+                            self.overhead_fit)
 
     def predict_layer(self, info) -> float:
         """Delegate per-layer predictions (system studies use these)."""

@@ -1,0 +1,301 @@
+"""Compiled prediction plans: one-time lowering, cheap evaluation.
+
+The paper's pitch is that regression-based prediction is *fast*, yet a
+naive ``predict_network`` re-derives everything per call: it re-walks the
+layer graph, recomputes shapes/FLOPs/signatures, and redoes kernel-table
+and cluster lookups — even when only the target GPU changes between
+calls (the Figure-15/16 bandwidth sweeps) or when the same request
+repeats (the serving hot path).
+
+This module splits prediction into two phases, the lowering pattern of
+compiler-style predictors (ANNETTE's "model lowering" step):
+
+- ``model.compile(network, batch_size) -> PredictionPlan`` does all the
+  structure-dependent work once: the graph walk, per-layer feature
+  values (input N·C·H·W, FLOPs, output N·C·H·W), kernel-sequence
+  resolution, and the references to the regression lines that will price
+  each term;
+- ``plan.evaluate()`` (or ``plan.evaluate(gpu=...)`` for the retargetable
+  inter-GPU plan) is a tight loop over pre-resolved
+  ``(feature_value, LinearFit)`` pairs.
+
+Evaluation is **bit-exact** with the direct path: each plan preserves the
+same per-layer accumulation structure (float addition is not
+associative, so flattening the kernel terms into one big sum would
+drift in the last ulp). Plans snapshot the fit *references* present at
+compile time; retraining a model after compiling does not change an
+existing plan.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.core.coverage import FALLBACK, CoverageReport, LayerCoverage
+from repro.core.linreg import LinearFit
+from repro.gpu.specs import GPUSpec
+
+
+class PredictionPlan(abc.ABC):
+    """One (network, batch size) prediction, lowered to regression terms.
+
+    Plans are cheap to evaluate and safe to cache: they hold no live
+    reference to the network object, only the numbers and fitted lines
+    the prediction needs.
+    """
+
+    def __init__(self, model_name: str, network_name: str,
+                 batch_size: int) -> None:
+        self.model_name = model_name
+        self.network_name = network_name
+        self.batch_size = batch_size
+
+    @abc.abstractmethod
+    def evaluate(self, gpu: Optional[GPUSpec] = None) -> float:
+        """Predicted end-to-end time in microseconds.
+
+        Single-GPU plans ignore ``gpu`` (the target is baked in at
+        training time, mirroring the registry's resolution semantics);
+        the retargetable inter-GPU plan requires it.
+        """
+
+    def coverage(self) -> Optional[CoverageReport]:
+        """The lookup-stage audit, for kernel-level plans; else None."""
+        return None
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}({self.model_name!r}, "
+                f"{self.network_name!r}, bs={self.batch_size})")
+
+
+class FlopsPlan(PredictionPlan):
+    """E2E lowering: one fit evaluated at the network's total FLOPs."""
+
+    def __init__(self, model_name: str, network_name: str, batch_size: int,
+                 total_flops: float, fit: LinearFit) -> None:
+        super().__init__(model_name, network_name, batch_size)
+        self.total_flops = total_flops
+        self.fit = fit
+
+    def evaluate(self, gpu: Optional[GPUSpec] = None) -> float:
+        return self.fit.predict(self.total_flops)
+
+
+class LayerSumPlan(PredictionPlan):
+    """LW lowering: one (FLOPs, fit) term per layer, summed in graph order."""
+
+    def __init__(self, model_name: str, network_name: str, batch_size: int,
+                 terms: Sequence[Tuple[float, LinearFit]]) -> None:
+        super().__init__(model_name, network_name, batch_size)
+        self.terms = tuple(terms)
+
+    def evaluate(self, gpu: Optional[GPUSpec] = None) -> float:
+        return sum(fit.predict(flops) for flops, fit in self.terms)
+
+
+@dataclass(frozen=True)
+class PlanLayer:
+    """One layer of a fully-resolved kernel-level plan.
+
+    Either ``terms`` prices the layer's mapped kernels, or ``fallback``
+    holds the (FLOPs, layer-wise fit) pair of the degradation path.
+    """
+
+    layer_name: str
+    kind: str
+    signature: str
+    stage: str               # coverage stage: EXACT / NEAR / FALLBACK
+    terms: Tuple[Tuple[float, LinearFit], ...]
+    fallback: Optional[Tuple[float, LinearFit]] = None
+
+    def evaluate(self) -> float:
+        if self.fallback is not None:
+            flops, fit = self.fallback
+            return fit.predict(flops)
+        total = 0.0
+        for value, fit in self.terms:
+            # same clamp as the direct path: a kernel never takes
+            # negative time, however far the fit extrapolates
+            total += max(0.0, fit.predict(value))
+        return total
+
+
+class KernelPlan(PredictionPlan):
+    """Fully-resolved kernel-level plan (KW, or IGKW bound to one GPU).
+
+    ``lw_model`` is the layer-wise fallback that was attached at compile
+    time, kept so serving tiers can degrade without re-resolving it.
+    """
+
+    def __init__(self, model_name: str, network_name: str, batch_size: int,
+                 layers: Sequence[PlanLayer],
+                 lw_model=None) -> None:
+        super().__init__(model_name, network_name, batch_size)
+        self.layers = tuple(layers)
+        self.lw_model = lw_model
+        self._coverage: Optional[CoverageReport] = None
+
+    def evaluate(self, gpu: Optional[GPUSpec] = None) -> float:
+        return sum(layer.evaluate() for layer in self.layers)
+
+    def coverage(self) -> CoverageReport:
+        if self._coverage is None:
+            self._coverage = CoverageReport(
+                self.network_name, self.batch_size,
+                tuple(LayerCoverage(layer.layer_name, layer.kind,
+                                    layer.signature, layer.stage,
+                                    layer.evaluate())
+                      for layer in self.layers))
+        return self._coverage
+
+    def fallback_time_share(self) -> float:
+        """Fraction of the predicted time on the layer-wise fallback."""
+        return self.coverage().time_share(FALLBACK)
+
+
+class OverheadPlan(PredictionPlan):
+    """Kernel plan plus the learned launch-overhead correction."""
+
+    def __init__(self, model_name: str, network_name: str, batch_size: int,
+                 base_plan: KernelPlan, launches: int,
+                 overhead_fit: LinearFit) -> None:
+        super().__init__(model_name, network_name, batch_size)
+        self.base_plan = base_plan
+        self.launches = launches
+        self.overhead_fit = overhead_fit
+
+    def evaluate(self, gpu: Optional[GPUSpec] = None) -> float:
+        kernel_sum = self.base_plan.evaluate()
+        hidden = max(0.0, self.overhead_fit.predict(self.launches))
+        # same sanity floor as the direct path: the GPU-busy time is at
+        # least the work content, the dominant share of the sum
+        return max(0.25 * kernel_sum, kernel_sum - hidden)
+
+    def coverage(self) -> CoverageReport:
+        return self.base_plan.coverage()
+
+
+@dataclass(frozen=True)
+class RetargetableLayer:
+    """One layer of an inter-GPU plan, before a target GPU is chosen.
+
+    ``kernel_terms`` pairs each resolved kernel name with the layer's
+    feature value for that kernel's driver; ``None`` marks the
+    layer-wise degradation path (priced against ``flops`` at bind time).
+    """
+
+    layer_name: str
+    kind: str
+    signature: str
+    stage: str
+    kernel_terms: Optional[Tuple[Tuple[str, float], ...]]
+    flops: float
+
+
+class RetargetablePlan(PredictionPlan):
+    """IGKW lowering: structure resolved once, lines synthesised per GPU.
+
+    ``bind(target)`` synthesises each distinct kernel's regression line
+    for the target (exactly once per kernel name, matching ``for_gpu``)
+    and returns a fully-resolved :class:`KernelPlan`. ``evaluate`` and
+    ``coverage`` require a target GPU.
+    """
+
+    def __init__(self, model_name: str, network_name: str, batch_size: int,
+                 layers: Sequence[RetargetableLayer],
+                 transfers: Mapping[str, "KernelTransfer"],  # noqa: F821
+                 metric, lw_by_gpu: Mapping[str, "LayerWiseModel"],  # noqa: F821
+                 train_gpus: Sequence[GPUSpec]) -> None:
+        super().__init__(model_name, network_name, batch_size)
+        self.layers = tuple(layers)
+        self._transfers = transfers
+        self._metric = metric
+        self._lw_by_gpu = lw_by_gpu
+        self._train_gpus = tuple(train_gpus)
+        self._used_kernels = tuple(sorted(
+            {name for layer in self.layers if layer.kernel_terms
+             for name, _ in layer.kernel_terms}))
+
+    def bind(self, target: GPUSpec) -> KernelPlan:
+        """Resolve this plan's lines for one target GPU."""
+        metric_value = self._metric(target)
+        lines: Dict[str, LinearFit] = {
+            name: self._transfers[name].line_for_bandwidth(metric_value)
+            for name in self._used_kernels}
+        lw = self._nearest_lw(target)
+        layers = []
+        for layer in self.layers:
+            if layer.kernel_terms is None:
+                if lw is None:
+                    raise KeyError(
+                        f"no kernel mapping for layer {layer.layer_name!r} "
+                        f"({layer.kind}) and no layer-wise fallback "
+                        "configured")
+                if lw.fallback is None:
+                    raise RuntimeError("LayerWiseModel is not trained")
+                fit = lw.fits.get(layer.kind, lw.fallback)
+                layers.append(PlanLayer(
+                    layer.layer_name, layer.kind, layer.signature,
+                    layer.stage, (), (layer.flops, fit)))
+            else:
+                terms = tuple((value, lines[name])
+                              for name, value in layer.kernel_terms)
+                layers.append(PlanLayer(
+                    layer.layer_name, layer.kind, layer.signature,
+                    layer.stage, terms))
+        return KernelPlan(f"{self.model_name}->{target.name}",
+                          self.network_name, self.batch_size,
+                          tuple(layers), lw_model=lw)
+
+    def _nearest_lw(self, target: GPUSpec):
+        # same selection as InterGPUKernelWiseModel._nearest_lw: the
+        # training GPU closest in bandwidth supplies the LW fallback
+        if not self._lw_by_gpu:
+            return None
+        nearest = min(self._train_gpus,
+                      key=lambda g: abs(g.bandwidth_gbs
+                                        - target.bandwidth_gbs))
+        return self._lw_by_gpu[nearest.name]
+
+    def evaluate(self, gpu: Optional[GPUSpec] = None) -> float:
+        if gpu is None:
+            raise TypeError(
+                "this plan is retargetable; pass evaluate(gpu=<GPUSpec>) "
+                "or bind(target) first")
+        # fast path: price the terms directly instead of materialising a
+        # KernelPlan per target. The accumulation order is identical to
+        # bind(gpu).evaluate() — per-layer clamped kernel sums, then an
+        # outer sum over layers — so the result is bit-exact with it.
+        metric_value = self._metric(gpu)
+        lines: Dict[str, LinearFit] = {
+            name: self._transfers[name].line_for_bandwidth(metric_value)
+            for name in self._used_kernels}
+        lw = self._nearest_lw(gpu)
+        times = []
+        for layer in self.layers:
+            if layer.kernel_terms is None:
+                if lw is None:
+                    raise KeyError(
+                        f"no kernel mapping for layer {layer.layer_name!r} "
+                        f"({layer.kind}) and no layer-wise fallback "
+                        "configured")
+                if lw.fallback is None:
+                    raise RuntimeError("LayerWiseModel is not trained")
+                fit = lw.fits.get(layer.kind, lw.fallback)
+                times.append(fit.predict(layer.flops))
+                continue
+            total = 0.0
+            for name, value in layer.kernel_terms:
+                total += max(0.0, lines[name].predict(value))
+            times.append(total)
+        return sum(times)
+
+    def coverage(self, gpu: Optional[GPUSpec] = None
+                 ) -> Optional[CoverageReport]:
+        if gpu is None:
+            raise TypeError(
+                "this plan is retargetable; pass coverage(gpu=<GPUSpec>) "
+                "or bind(target) first")
+        return self.bind(gpu).coverage()

@@ -24,6 +24,7 @@ from repro.service.fallback import (
     PredictionOutcome,
     TierError,
     build_chain,
+    build_plan_chain,
 )
 from repro.service.loadgen import LoadGenerator, LoadReport
 from repro.service.metrics import Histogram, MetricsRegistry
@@ -32,6 +33,7 @@ from repro.service.registry import (
     ModelRegistry,
     ModelResolutionError,
     model_kind,
+    resolve_target,
 )
 from repro.service.server import (
     PredictionService,
@@ -55,7 +57,9 @@ __all__ = [
     "ServiceError",
     "TierError",
     "build_chain",
+    "build_plan_chain",
     "cache_key",
     "make_server",
     "model_kind",
+    "resolve_target",
 ]

@@ -19,6 +19,7 @@ from repro.core.coverage import FALLBACK, coverage_report
 from repro.core.e2e import EndToEndModel
 from repro.core.kernelwise import KernelTablePredictor
 from repro.core.layerwise import LayerWiseModel
+from repro.core.plan import FlopsPlan, KernelPlan, LayerSumPlan
 from repro.nn.graph import Network
 
 #: Default trustworthiness bar, matching CoverageReport.trustworthy.
@@ -119,6 +120,53 @@ def build_chain(predictor, registry=None,
         # any other PerformanceModel serves as its own single tier
         tiers.append((getattr(predictor, "name", "model").lower(),
                       predictor.predict_network))
+    has_e2e = any(name == "e2e" for name, _ in tiers)
+    if registry is not None and not has_e2e:
+        hosted = registry.first_of_kind("e2e")
+        if hosted is not None:
+            tiers.append(("e2e", hosted.model.predict_network))
+    return FallbackChain(tiers)
+
+
+def _plan_kernel_tier(plan: KernelPlan,
+                      coverage_threshold: float
+                      ) -> Callable[[Network, int], float]:
+    def predict(network: Network, batch_size: int) -> float:
+        share = plan.fallback_time_share()
+        if share > coverage_threshold:
+            raise TierError(
+                f"{share:.0%} of the predicted time rests on unmapped "
+                f"kernels (threshold {coverage_threshold:.0%})")
+        # the plan's coverage already priced every layer: its total IS
+        # the prediction, so no pass over the network at all
+        return plan.coverage().total_us
+    return predict
+
+
+def build_plan_chain(plan, registry=None,
+                     coverage_threshold: float = COVERAGE_THRESHOLD
+                     ) -> FallbackChain:
+    """The degradation chain for one *compiled* plan (the serving path).
+
+    Unlike :func:`build_chain`, no tier re-walks the network: the
+    kernel tier reads coverage straight off the plan (its stages were
+    fixed at compile time), the LW tier reuses the fallback model the
+    plan carries, and only the hosted E2E tier (from ``registry``)
+    touches the network object.
+    """
+    tiers: List[Tier] = []
+    if isinstance(plan, KernelPlan):
+        tiers.append(("kw", _plan_kernel_tier(plan, coverage_threshold)))
+        if plan.lw_model is not None:
+            tiers.append(("lw", plan.lw_model.predict_network))
+    elif isinstance(plan, LayerSumPlan):
+        tiers.append(("lw", lambda network, batch_size: plan.evaluate()))
+    elif isinstance(plan, FlopsPlan):
+        tiers.append(("e2e", lambda network, batch_size: plan.evaluate()))
+    else:
+        # any other plan serves as its own single tier
+        tiers.append(((plan.model_name or "model").lower(),
+                      lambda network, batch_size: plan.evaluate()))
     has_e2e = any(name == "e2e" for name, _ in tiers)
     if registry is not None and not has_e2e:
         hosted = registry.first_of_kind("e2e")

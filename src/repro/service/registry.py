@@ -30,6 +30,29 @@ class ModelResolutionError(ValueError):
     """A request named a model the registry cannot serve as asked."""
 
 
+def resolve_target(model_name: str, gpu_name: Optional[str],
+                   bandwidth: Optional[float]):
+    """Validated target :class:`GPUSpec` for one igkw request.
+
+    Shared by :meth:`ModelRegistry.resolve` and the plan-based serving
+    path so both reject bad requests identically. Raises
+    :class:`ModelResolutionError` for a missing GPU name or a
+    non-positive bandwidth override, :class:`KeyError` for an unknown
+    GPU.
+    """
+    if gpu_name is None:
+        raise ModelResolutionError(
+            f"model {model_name!r} is inter-GPU (igkw); the request must "
+            "name a target 'gpu'")
+    target = gpu(gpu_name)                       # KeyError on unknown GPU
+    if bandwidth is not None:
+        if bandwidth <= 0:
+            raise ModelResolutionError(
+                f"bandwidth override must be positive, got {bandwidth}")
+        target = target.with_bandwidth(bandwidth)
+    return target
+
+
 def model_kind(model) -> str:
     """The persistence-format kind string of a live model object."""
     if isinstance(model, InterGPUKernelWiseModel):
@@ -182,20 +205,11 @@ class ModelRegistry:
         entry = self.get(name)
         if entry.kind != "igkw":
             return entry.model
-        if gpu_name is None:
-            raise ModelResolutionError(
-                f"model {name!r} is inter-GPU (igkw); the request must "
-                "name a target 'gpu'")
         key = (gpu_name, bandwidth)
         cached = entry._resolved.get(key)
         if cached is not None:
             return cached
-        target = gpu(gpu_name)                   # KeyError on unknown GPU
-        if bandwidth is not None:
-            if bandwidth <= 0:
-                raise ModelResolutionError(
-                    f"bandwidth override must be positive, got {bandwidth}")
-            target = target.with_bandwidth(bandwidth)
+        target = resolve_target(name, gpu_name, bandwidth)
         predictor = entry.model.for_gpu(target)
         entry._resolved[key] = predictor
         return predictor

@@ -24,10 +24,14 @@ from repro.service.cache import PredictionCache, cache_key
 from repro.service.fallback import (
     COVERAGE_THRESHOLD,
     PredictionError,
-    build_chain,
+    build_plan_chain,
 )
 from repro.service.metrics import MetricsRegistry
-from repro.service.registry import ModelRegistry, ModelResolutionError
+from repro.service.registry import (
+    ModelRegistry,
+    ModelResolutionError,
+    resolve_target,
+)
 
 
 class ServiceError(Exception):
@@ -57,9 +61,15 @@ class PredictionService:
     def __init__(self, registry: ModelRegistry,
                  cache: Optional[PredictionCache] = None,
                  metrics: Optional[MetricsRegistry] = None,
-                 coverage_threshold: float = COVERAGE_THRESHOLD) -> None:
+                 coverage_threshold: float = COVERAGE_THRESHOLD,
+                 plan_cache: Optional[PredictionCache] = None) -> None:
         self.registry = registry
         self.cache = cache if cache is not None else PredictionCache()
+        # compiled PredictionPlans, keyed by (model, network, batch,
+        # model version). GPU/bandwidth are NOT part of the key: the
+        # igkw plan is retargetable, so one compile serves every target
+        self.plans = (plan_cache if plan_cache is not None
+                      else PredictionCache(256))
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.coverage_threshold = coverage_threshold
         self.started_at = time.time()
@@ -90,19 +100,37 @@ class PredictionService:
                         bandwidth, version=entry.mtime)
         cached = self.cache.get(key)
         if cached is not None:
-            return dict(cached, cached=True)
+            # a result hit answers without touching plans at all
+            return dict(cached, cached=True, plan_cached=True)
 
         try:
             network = zoo.build(network_name)
-            predictor = self.registry.resolve(model_name, gpu_name,
-                                              bandwidth)
-        except ModelResolutionError as exc:
-            raise ServiceError(400, str(exc)) from None
-        except KeyError as exc:                  # unknown network or GPU
+        except KeyError as exc:                  # unknown network
             raise ServiceError(404, str(exc.args[0])) from None
 
-        chain = build_chain(predictor, self.registry,
-                            self.coverage_threshold)
+        # the compiled plan is GPU-independent, so repeat requests for
+        # the same structure skip the graph walk even when the target
+        # GPU or bandwidth differs between them
+        plan_key = (model_name, network_name, batch_size, entry.mtime)
+        plan = self.plans.get(plan_key)
+        plan_cached = plan is not None
+        if plan is None:
+            plan = entry.model.compile(network, batch_size)
+            self.plans.put(plan_key, plan)
+
+        if entry.kind == "igkw":
+            try:
+                target = resolve_target(model_name, gpu_name, bandwidth)
+            except ModelResolutionError as exc:
+                raise ServiceError(400, str(exc)) from None
+            except KeyError as exc:              # unknown GPU
+                raise ServiceError(404, str(exc.args[0])) from None
+            request_plan = plan.bind(target)
+        else:
+            request_plan = plan
+
+        chain = build_plan_chain(request_plan, self.registry,
+                                 self.coverage_threshold)
         try:
             outcome = chain.predict(network, batch_size)
         except PredictionError as exc:
@@ -125,7 +153,7 @@ class PredictionService:
                          for name, reason in outcome.attempts],
         }
         self.cache.put(key, response)
-        return dict(response, cached=False)
+        return dict(response, cached=False, plan_cached=plan_cached)
 
     def models(self) -> Dict:
         return {"models": self.registry.describe(),
@@ -138,6 +166,7 @@ class PredictionService:
     def metrics_snapshot(self) -> Dict:
         snapshot = self.metrics.snapshot()
         snapshot["cache"] = self.cache.stats()
+        snapshot["plan_cache"] = self.plans.stats()
         snapshot["registry"] = {"models": len(self.registry),
                                 "reloads": self.registry.reload_count()}
         snapshot["uptime_s"] = round(time.time() - self.started_at, 3)
@@ -145,10 +174,15 @@ class PredictionService:
 
     def metrics_text(self) -> str:
         stats = self.cache.stats()
+        plan_stats = self.plans.stats()
         lines = [self.metrics.render_text().rstrip("\n")]
         for field in ("hits", "misses", "size"):
             lines.append(f"repro_cache_{field} {stats[field]}")
         lines.append(f"repro_cache_hit_ratio {stats['hit_ratio']}")
+        for field in ("hits", "misses", "size"):
+            lines.append(f"repro_plan_cache_{field} {plan_stats[field]}")
+        lines.append(
+            f"repro_plan_cache_hit_ratio {plan_stats['hit_ratio']}")
         return "\n".join(lines) + "\n"
 
 

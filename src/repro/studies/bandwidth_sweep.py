@@ -9,6 +9,7 @@ knob swept.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
@@ -30,10 +31,23 @@ class SweepResult:
     points: Tuple[Tuple[float, float], ...]   # (GB/s, predicted us)
 
     def predicted_at(self, bandwidth_gbs: float) -> float:
-        for bandwidth, time in self.points:
-            if bandwidth == bandwidth_gbs:
-                return time
-        raise KeyError(f"bandwidth {bandwidth_gbs} not in sweep")
+        """The predicted time at one swept bandwidth.
+
+        Bandwidths pass through float arithmetic on their way into the
+        sweep, so the lookup tolerates rounding noise: the nearest
+        swept point answers when it is within relative 1e-9 (or one
+        part in a million absolute) of the query.
+        """
+        if not self.points:
+            raise KeyError("sweep has no points")
+        nearest, time = min(self.points,
+                            key=lambda p: abs(p[0] - bandwidth_gbs))
+        if math.isclose(nearest, bandwidth_gbs,
+                        rel_tol=1e-9, abs_tol=1e-6):
+            return time
+        available = ", ".join(f"{b:g}" for b, _ in self.points)
+        raise KeyError(f"bandwidth {bandwidth_gbs:g} not in sweep; "
+                       f"available: {available}")
 
     def knee_gbs(self, threshold: float = 0.10) -> float:
         """The diminishing-returns point: the first bandwidth beyond which
@@ -62,11 +76,15 @@ def bandwidth_sweep(model: InterGPUKernelWiseModel, network: Network,
                     base: GPUSpec, batch_size: int,
                     bandwidths_gbs: Sequence[float] = DEFAULT_BANDWIDTHS
                     ) -> SweepResult:
-    """Predict ``network``'s time on ``base`` with modified bandwidth."""
+    """Predict ``network``'s time on ``base`` with modified bandwidth.
+
+    The network is compiled once; each bandwidth point only rebinds the
+    plan's regression lines, so the sweep costs one graph walk total
+    instead of one per point.
+    """
     ordered = tuple(sorted(bandwidths_gbs))
+    plan = model.compile(network, batch_size)
     points = tuple(
-        (bandwidth,
-         model.for_gpu(base.with_bandwidth(bandwidth))
-         .predict_network(network, batch_size))
+        (bandwidth, plan.evaluate(gpu=base.with_bandwidth(bandwidth)))
         for bandwidth in ordered)
     return SweepResult(network.name, base.name, points)

@@ -94,14 +94,19 @@ def search_bandwidth(model: InterGPUKernelWiseModel, base: GPUSpec,
     """Sweep the bandwidth axis; find the cheapest feasible configuration."""
     if not targets:
         raise ValueError("need at least one workload target")
+    # one compile per workload; every bandwidth point reuses the plans
+    plans = {
+        target.network.name: model.compile(target.network,
+                                           target.batch_size)
+        for target in targets
+    }
     points: List[DesignPoint] = []
     cheapest: Optional[DesignPoint] = None
     for bandwidth in sorted(bandwidths_gbs):
-        predictor = model.for_gpu(base.with_bandwidth(bandwidth))
+        spec = base.with_bandwidth(bandwidth)
         predicted = {
             target.network.name:
-                predictor.predict_network(target.network,
-                                          target.batch_size) / 1e3
+                plans[target.network.name].evaluate(gpu=spec) / 1e3
             for target in targets
         }
         feasible = all(predicted[t.network.name] <= t.target_ms

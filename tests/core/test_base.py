@@ -27,6 +27,34 @@ class TestEvaluate:
                                batch_size=512)
         assert curve.labels == ("resnet50",)
 
+    def test_unfiltered_batches_all_scored(self, small_split,
+                                           roster_index):
+        # batch_size=None must keep one point per (network, batch) —
+        # the old name-keyed dict silently overwrote the bs-64 row with
+        # the bs-512 row for every network
+        train, test = small_split
+        model = train_model(train, "e2e", gpu="A100", batch_size=None)
+        both = model.evaluate(test.for_gpu("A100"), roster_index,
+                              batch_size=None)
+        at_64 = model.evaluate(test.for_gpu("A100"), roster_index,
+                               batch_size=64)
+        at_512 = model.evaluate(test.for_gpu("A100"), roster_index,
+                                batch_size=512)
+        assert len(both.labels) == len(at_64.labels) + len(at_512.labels)
+        # labels disambiguate the batch size when a network has several
+        assert {f"{name}@bs64" for name in at_64.labels} <= set(
+            both.labels)
+        assert sorted(both.ratios) == sorted(at_64.ratios +
+                                             at_512.ratios)
+
+    def test_single_batch_labels_stay_bare(self, small_split,
+                                           roster_index):
+        train, test = small_split
+        model = train_model(train, "e2e", gpu="A100")
+        curve = model.evaluate(test.for_gpu("A100"), roster_index,
+                               batch_size=512)
+        assert all("@bs" not in label for label in curve.labels)
+
     def test_no_overlap_rejected(self, small_split):
         train, test = small_split
         model = train_model(train, "e2e", gpu="A100")

@@ -1,0 +1,115 @@
+"""Tests for the compiled-plan cache inside PredictionService.
+
+The plan cache is keyed by (model, network, batch, model version) —
+GPU and bandwidth are deliberately absent, because igkw plans are
+retargetable: one compile serves every target. These tests pin that
+key shape, the plan_cached response field, mtime invalidation, and the
+plan-cache metrics surfaces.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.service import PredictionCache, PredictionService
+
+
+@pytest.fixture()
+def service(registry):
+    return PredictionService(registry, cache=PredictionCache(256),
+                             plan_cache=PredictionCache(256))
+
+
+def _igkw(bandwidth=None, network="resnet18", batch_size=64):
+    payload = {"model": "igkw", "network": network,
+               "batch_size": batch_size, "gpu": "V100"}
+    if bandwidth is not None:
+        payload["bandwidth"] = bandwidth
+    return payload
+
+
+class TestPlanReuse:
+    def test_first_request_compiles_then_hits(self, service):
+        first = service.predict(_igkw())
+        assert first["cached"] is False
+        assert first["plan_cached"] is False
+        # different bandwidth: result cache misses, plan cache hits
+        second = service.predict(_igkw(bandwidth=600.0))
+        assert second["cached"] is False
+        assert second["plan_cached"] is True
+        assert second["predicted_us"] != first["predicted_us"]
+        stats = service.plans.stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 1
+        assert stats["size"] == 1
+
+    def test_bandwidth_sweep_compiles_once(self, service):
+        for bandwidth in (300.0, 500.0, 700.0, 900.0, 1100.0):
+            service.predict(_igkw(bandwidth=bandwidth))
+        assert service.plans.stats() == {
+            "hits": 4, "misses": 1, "size": 1, "capacity": 256,
+            "hit_ratio": pytest.approx(0.8)}
+
+    def test_result_hit_skips_the_plan_cache(self, service):
+        service.predict(_igkw())
+        before = service.plans.stats()
+        replay = service.predict(_igkw())
+        assert replay["cached"] is True
+        assert replay["plan_cached"] is True
+        # a result hit answers without touching plans at all
+        assert service.plans.stats() == before
+
+    def test_single_gpu_models_share_plans_too(self, service):
+        first = service.predict({"model": "kw-a100",
+                                 "network": "resnet50",
+                                 "batch_size": 64})
+        service.cache = PredictionCache(256)   # force a result miss
+        second = service.predict({"model": "kw-a100",
+                                  "network": "resnet50",
+                                  "batch_size": 64})
+        assert first["plan_cached"] is False
+        assert second["plan_cached"] is True
+        assert second["predicted_us"] == first["predicted_us"]
+
+
+class TestPlanKey:
+    def test_batch_size_is_part_of_the_key(self, service):
+        service.predict(_igkw(batch_size=64))
+        other = service.predict(_igkw(batch_size=128))
+        assert other["plan_cached"] is False
+        assert service.plans.stats()["size"] == 2
+
+    def test_network_is_part_of_the_key(self, service):
+        service.predict(_igkw(network="resnet18"))
+        other = service.predict(_igkw(network="resnet50"))
+        assert other["plan_cached"] is False
+
+    def test_model_reload_invalidates_plans(self, service, models_dir):
+        service.predict(_igkw())
+        path = models_dir / "igkw.json"
+        stat = path.stat()
+        os.utime(path, (stat.st_atime, stat.st_mtime + 1))
+        # new mtime -> registry hot-reloads -> fresh plan key
+        recompiled = service.predict(_igkw())
+        assert recompiled["cached"] is False
+        assert recompiled["plan_cached"] is False
+        assert service.plans.stats()["size"] == 2
+
+
+class TestPlanMetrics:
+    def test_snapshot_reports_plan_cache(self, service):
+        service.predict(_igkw())
+        service.predict(_igkw(bandwidth=900.0))
+        snapshot = service.metrics_snapshot()
+        assert snapshot["plan_cache"] == service.plans.stats()
+        assert snapshot["plan_cache"]["hits"] == 1
+
+    def test_prometheus_text_exposes_plan_gauges(self, service):
+        service.predict(_igkw())
+        text = service.metrics_text()
+        assert "repro_plan_cache_misses 1" in text
+        assert "repro_plan_cache_hits 0" in text
+        assert "repro_plan_cache_size 1" in text
+        assert "repro_plan_cache_hit_ratio" in text
