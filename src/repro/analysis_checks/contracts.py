@@ -25,6 +25,10 @@ cross-checks:
          the compile/evaluate split may never drift from the reference
          arithmetic. (Trains a small fixed campaign; runs only on the
          full default sweep, not on named subsets.)
+- CT008  versioned model documents round-trip through the calibration
+         store with lineage and sufficient statistics intact: adopt
+         stamps v1, publish records parentage and exact accumulator
+         state, and rollback restores the prior head byte-for-byte.
 
 Failures are reported as :class:`~repro.analysis_checks.findings.Finding`
 records (all error severity), deduplicated per layer kind / kernel so a
@@ -48,6 +52,7 @@ CONTRACT_RULES: Dict[str, str] = {
     "CT005": "the kernel mapping table survives persistence round-trip",
     "CT006": "every kernel's driver is input/operation/output",
     "CT007": "compiled plans match direct predictions bit-exactly",
+    "CT008": "versioned documents keep lineage and sufficient stats",
 }
 
 #: finding rule id -> module whose contract it checks (finding path).
@@ -59,6 +64,7 @@ _LOCUS = {
     "CT005": "repro.core.persistence",
     "CT006": "repro.gpu.kernels",
     "CT007": "repro.core.plan",
+    "CT008": "repro.calibration.store",
 }
 
 
@@ -271,6 +277,71 @@ def _check_plan_parity(networks: Dict[str, object], batch_size: int,
                             f"plan {compiled!r} != direct {reference!r}")
 
 
+def _check_versioned_store(sink: _Recorder) -> None:
+    """CT008: store round-trips keep lineage and sufficient statistics.
+
+    Exercises a throwaway store in a temp directory with a tiny e2e
+    model: adopt must stamp v1, publish must record parentage and the
+    accumulators bit-exactly, and rollback must restore the prior head
+    byte-for-byte. Cheap (no training), so it runs on every sweep.
+    """
+    import tempfile
+
+    from repro.calibration.refit import STATS_KEY, stats_from_document
+    from repro.calibration.store import LINEAGE_KEY, ModelStore
+    from repro.core.e2e import EndToEndModel
+    from repro.core.linreg import LinearFit
+    from repro.core.online import OnlineLinearFit
+    from repro.core.persistence import save_model
+
+    model = EndToEndModel()
+    model.fit = LinearFit(3.25e-9, 125.0, 0.9375, 16)
+    acc = OnlineLinearFit()
+    for x, y in ((100.0, 110.0), (200.0, 230.0), (400.0, 470.0)):
+        acc.observe(x, y, weight=1.0 / y ** 2)
+    stats = {"network": acc, "__pooled__": acc.copy()}
+
+    try:
+        with tempfile.TemporaryDirectory() as scratch:
+            store = ModelStore(scratch)
+            save_model(model, store.head_path("ct008"))
+            if store.adopt("ct008") != 1:
+                sink.record("CT008", "adopt", "did not stamp version 1")
+            v2 = store.publish("ct008", store.document("ct008"),
+                               trigger="contract-check", stats=stats,
+                               refit_samples=acc.n)
+            head = store.document("ct008")
+            lineage = head.get(LINEAGE_KEY) or {}
+            if (v2 != 2 or lineage.get("version") != 2
+                    or lineage.get("parent") != 1
+                    or lineage.get("trigger") != "contract-check"
+                    or lineage.get("refit_samples") != acc.n):
+                sink.record("CT008", "lineage",
+                            f"publish produced lineage {lineage!r}; "
+                            "expected v2 with parent 1")
+            revived = stats_from_document(head)
+            if (set(revived) != set(stats)
+                    or any(revived[g].state_dict() != stats[g].state_dict()
+                           for g in stats)):
+                sink.record("CT008", "sufficient-stats",
+                            "accumulators changed across the store "
+                            "round-trip")
+            if head.get("fit") != store.document("ct008", 1).get("fit"):
+                sink.record("CT008", "document",
+                            "model parameters changed across publish")
+            v1_bytes = store.version_path("ct008", 1).read_bytes()
+            store.rollback("ct008")
+            if store.head_path("ct008").read_bytes() != v1_bytes:
+                sink.record("CT008", "rollback",
+                            "head is not byte-identical to v1 after "
+                            "rollback")
+            if STATS_KEY not in head:
+                sink.record("CT008", "sufficient-stats",
+                            "published document lacks the statistics key")
+    except Exception as exc:  # repro: noqa[EX001] reported as finding
+        sink.record("CT008", "store", f"store round-trip raised {exc!r}")
+
+
 def check_contracts(network_names: Optional[Sequence[str]] = None,
                     batch_size: int = 1) -> ContractReport:
     """Run every contract over the named zoo networks.
@@ -298,6 +369,7 @@ def check_contracts(network_names: Optional[Sequence[str]] = None,
         built[name] = network
         _check_network(name, network, batch_size, report, sink)
     _check_persistence(report, sink)
+    _check_versioned_store(sink)
     if network_names is None:
         _check_plan_parity(built, batch_size, sink)
     report.findings = sink.findings

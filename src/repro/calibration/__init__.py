@@ -1,0 +1,81 @@
+"""Closed-loop calibration: drift detection, refit, versioned store.
+
+The serving stack predicts; this package keeps those predictions honest
+after deployment. Feedback (measured vs predicted) streams into a
+bounded :class:`FeedbackLog`; per-group :class:`DriftMonitor` detectors
+(EWMA + Page-Hinkley) raise alarms; :func:`incremental_refit` warm-
+starts a correction regression from sufficient statistics persisted
+with every model version; the :class:`ShadowGate` replays candidate
+against incumbent over the feedback window; and the :class:`ModelStore`
+records the winner with lineage, promoting it atomically under the
+hot-reloading registry — with byte-exact rollback when an operator
+disagrees. :class:`Calibrator` ties the loop together.
+"""
+
+from repro.calibration.drift import (
+    DriftConfig,
+    DriftDetector,
+    DriftMonitor,
+    DriftState,
+)
+from repro.calibration.feedback import (
+    NETWORK_GROUP,
+    FeedbackLog,
+    FeedbackObservation,
+)
+from repro.calibration.gate import GateConfig, GateDecision, ShadowGate
+from repro.calibration.loop import (
+    Calibrator,
+    CalibrationLoop,
+    build_calibrator,
+)
+from repro.calibration.refit import (
+    POOLED,
+    STATS_KEY,
+    RefitResult,
+    apply_correction,
+    correction_from_stats,
+    incremental_refit,
+    observe_correction,
+    stats_from_document,
+    stats_to_document,
+    transform_stats_x,
+)
+from repro.calibration.store import (
+    LINEAGE_KEY,
+    ModelStore,
+    StoreError,
+    lineage_block,
+    stats_roundtrip_exact,
+)
+
+__all__ = [
+    "NETWORK_GROUP",
+    "POOLED",
+    "STATS_KEY",
+    "LINEAGE_KEY",
+    "FeedbackObservation",
+    "FeedbackLog",
+    "DriftConfig",
+    "DriftDetector",
+    "DriftMonitor",
+    "DriftState",
+    "GateConfig",
+    "GateDecision",
+    "ShadowGate",
+    "RefitResult",
+    "observe_correction",
+    "correction_from_stats",
+    "apply_correction",
+    "incremental_refit",
+    "stats_from_document",
+    "stats_to_document",
+    "transform_stats_x",
+    "stats_roundtrip_exact",
+    "ModelStore",
+    "StoreError",
+    "lineage_block",
+    "Calibrator",
+    "CalibrationLoop",
+    "build_calibrator",
+]

@@ -1,0 +1,145 @@
+"""Drift detection over the feedback stream.
+
+A deployed predictor drifts when the substrate changes underneath it: a
+driver update, a clock policy, a different cuDNN release. Two detectors
+run per (model, group), both over the stream of relative errors:
+
+- an **EWMA** of |pred/meas - 1| with an absolute alarm threshold — the
+  backstop that catches a model that is simply *bad now*, regardless of
+  how it got there;
+- a **Page-Hinkley test** — the classic sequential change-point test on
+  the error mean, which catches a *shift* long before the absolute level
+  looks alarming (a KW model drifting from 7% to 20% error is broken,
+  but still under any absolute threshold that tolerates E2E's 35%).
+
+Both are O(1) per observation and deterministic; thresholds are plain
+dataclass fields so an operator can tighten or relax them per deployment.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.calibration.feedback import FeedbackObservation
+
+
+@dataclass(frozen=True)
+class DriftConfig:
+    """Thresholds of both detectors (see module docstring)."""
+
+    ewma_alpha: float = 0.25        # EWMA smoothing factor
+    ewma_threshold: float = 0.35    # alarm when EWMA error exceeds this
+    ph_delta: float = 0.02          # PH tolerated per-sample mean wander
+    ph_lambda: float = 1.5          # PH cumulative-deviation alarm level
+    warmup: int = 8                 # samples before any alarm may fire
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        if self.ewma_threshold <= 0.0 or self.ph_lambda <= 0.0:
+            raise ValueError("alarm thresholds must be positive")
+        if self.warmup < 1:
+            raise ValueError("warmup must be >= 1")
+
+
+@dataclass(frozen=True)
+class DriftState:
+    """A detector's public state after one update."""
+
+    n: int
+    ewma: float
+    ph_statistic: float             # m_t - min(m); alarms above ph_lambda
+    mean: float                     # running mean error
+    drifted: bool
+    triggers: Tuple[str, ...]       # subset of ("ewma", "page-hinkley")
+
+
+class DriftDetector:
+    """EWMA + Page-Hinkley over one group's relative-error stream."""
+
+    def __init__(self, config: DriftConfig = DriftConfig()) -> None:
+        self.config = config
+        self.reset()
+
+    def reset(self) -> None:
+        """Forget everything (called after a successful refit)."""
+        self.n = 0
+        self.ewma = 0.0
+        self._mean = 0.0
+        self._ph_m = 0.0
+        self._ph_min = 0.0
+
+    def update(self, error: float) -> DriftState:
+        """Ingest one relative error; returns the post-update state."""
+        if error < 0.0:
+            raise ValueError("relative error cannot be negative")
+        cfg = self.config
+        self.n += 1
+        if self.n == 1:
+            self.ewma = error
+        else:
+            self.ewma += cfg.ewma_alpha * (error - self.ewma)
+        self._mean += (error - self._mean) / self.n
+        self._ph_m += error - self._mean - cfg.ph_delta
+        self._ph_min = min(self._ph_min, self._ph_m)
+        return self.state()
+
+    def state(self) -> DriftState:
+        cfg = self.config
+        ph_statistic = self._ph_m - self._ph_min
+        triggers = []
+        if self.n >= cfg.warmup:
+            if self.ewma > cfg.ewma_threshold:
+                triggers.append("ewma")
+            if ph_statistic > cfg.ph_lambda:
+                triggers.append("page-hinkley")
+        return DriftState(self.n, self.ewma, ph_statistic, self._mean,
+                          bool(triggers), tuple(triggers))
+
+
+class DriftMonitor:
+    """One :class:`DriftDetector` per (model, group), behind a lock."""
+
+    def __init__(self, config: DriftConfig = DriftConfig()) -> None:
+        self.config = config
+        self._lock = threading.Lock()
+        self._detectors: Dict[Tuple[str, str], DriftDetector] = {}
+
+    def observe(self, observation: FeedbackObservation) -> DriftState:
+        """Feed one observation to its group's detector."""
+        key = observation.key()
+        with self._lock:
+            detector = self._detectors.get(key)
+            if detector is None:
+                detector = self._detectors[key] = DriftDetector(self.config)
+            return detector.update(observation.error)
+
+    def state(self, model: str, group: str) -> Optional[DriftState]:
+        with self._lock:
+            detector = self._detectors.get((model, group))
+            return detector.state() if detector is not None else None
+
+    def states(self) -> Dict[Tuple[str, str], DriftState]:
+        with self._lock:
+            return {key: det.state()
+                    for key, det in self._detectors.items()}
+
+    def drifted(self) -> Dict[str, Tuple[str, ...]]:
+        """model -> groups whose detector is currently in alarm."""
+        out: Dict[str, list] = {}
+        for (model, group), state in self.states().items():
+            if state.drifted:
+                out.setdefault(model, []).append(group)
+        return {model: tuple(sorted(groups))
+                for model, groups in out.items()}
+
+    def reset(self, model: str, group: Optional[str] = None) -> None:
+        """Re-arm a model's detectors (after promoting a refit)."""
+        with self._lock:
+            for key in list(self._detectors):
+                if key[0] != model:
+                    continue
+                if group is None or key[1] == group:
+                    self._detectors[key].reset()

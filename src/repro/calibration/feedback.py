@@ -1,0 +1,152 @@
+"""Feedback ingestion: measured-vs-predicted observations from production.
+
+The closed calibration loop starts here. Every served prediction that a
+user later measures comes back as one :class:`FeedbackObservation`; the
+:class:`FeedbackLog` keeps a bounded, thread-safe window of them grouped
+per (model, group) — the group being a kernel-cluster or layer-type
+label when the caller has one, or the whole-network default when only
+end-to-end times are measured. Drift detection reads the stream, refits
+read the window.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+#: Group label for whole-network (end-to-end) feedback.
+NETWORK_GROUP = "network"
+
+
+@dataclass(frozen=True)
+class FeedbackObservation:
+    """One measured execution paired with the prediction it received."""
+
+    model: str                      # hosted model name the prediction used
+    network: str                    # registered network name
+    batch_size: int
+    gpu: Optional[str]              # igkw target; None for single-GPU models
+    predicted_us: float
+    measured_us: float
+    #: kernel-cluster / layer-type label; NETWORK_GROUP for e2e feedback
+    group: str = NETWORK_GROUP
+    bandwidth: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.predicted_us <= 0.0:
+            raise ValueError("predicted_us must be positive")
+        if self.measured_us <= 0.0:
+            raise ValueError("measured_us must be positive")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+
+    @property
+    def ratio(self) -> float:
+        """measured / predicted — the scale correction one point implies."""
+        return self.measured_us / self.predicted_us
+
+    @property
+    def error(self) -> float:
+        """The paper's relative error, |predicted / measured - 1|."""
+        return abs(self.predicted_us / self.measured_us - 1.0)
+
+    def key(self) -> Tuple[str, str]:
+        return (self.model, self.group)
+
+
+class FeedbackLog:
+    """Bounded, thread-safe store of recent observations per group.
+
+    Each (model, group) key holds an independent ring buffer of the most
+    recent ``window`` observations, so a chatty model cannot evict
+    another model's history, and memory stays bounded at
+    ``window * max_groups`` observations no matter how long the server
+    runs. When more than ``max_groups`` keys appear, the least recently
+    fed key is dropped (LRU), keeping pathological clients from growing
+    the key space without bound.
+    """
+
+    def __init__(self, window: int = 256, max_groups: int = 64) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if max_groups < 1:
+            raise ValueError("max_groups must be >= 1")
+        self.window = window
+        self.max_groups = max_groups
+        self._lock = threading.Lock()
+        self._groups: "OrderedDict[Tuple[str, str], Deque[FeedbackObservation]]" = OrderedDict()
+        self._recorded = 0
+
+    def record(self, observation: FeedbackObservation) -> None:
+        """Ingest one observation (drops the oldest when the ring is full)."""
+        key = observation.key()
+        with self._lock:
+            ring = self._groups.get(key)
+            if ring is None:
+                ring = deque(maxlen=self.window)
+                self._groups[key] = ring
+            ring.append(observation)
+            self._groups.move_to_end(key)
+            while len(self._groups) > self.max_groups:
+                self._groups.popitem(last=False)
+            self._recorded += 1
+
+    # -- reads ----------------------------------------------------------------
+
+    def window_for(self, model: str,
+                   group: Optional[str] = None) -> List[FeedbackObservation]:
+        """Recent observations for one model (all groups, or just one)."""
+        with self._lock:
+            if group is not None:
+                return list(self._groups.get((model, group), ()))
+            merged: List[FeedbackObservation] = []
+            for (model_name, _), ring in self._groups.items():
+                if model_name == model:
+                    merged.extend(ring)
+            return merged
+
+    def groups(self) -> List[Tuple[str, str]]:
+        """Every (model, group) key currently held, insertion-ordered."""
+        with self._lock:
+            return list(self._groups)
+
+    def models(self) -> List[str]:
+        with self._lock:
+            return sorted({model for model, _ in self._groups})
+
+    def counts(self) -> Dict[str, Dict[str, int]]:
+        """model -> group -> observations currently windowed."""
+        with self._lock:
+            out: Dict[str, Dict[str, int]] = {}
+            for (model, group), ring in self._groups.items():
+                out.setdefault(model, {})[group] = len(ring)
+            return out
+
+    def mape(self, model: str, group: Optional[str] = None) -> float:
+        """Mean |pred/meas - 1| over the current window (the gate metric)."""
+        observations = self.window_for(model, group)
+        if not observations:
+            raise ValueError(
+                f"no feedback recorded for model {model!r}"
+                + (f" group {group!r}" if group else ""))
+        return sum(obs.error for obs in observations) / len(observations)
+
+    def clear(self, model: Optional[str] = None) -> None:
+        """Drop all windows, or just one model's."""
+        with self._lock:
+            if model is None:
+                self._groups.clear()
+                return
+            for key in [k for k in self._groups if k[0] == model]:
+                del self._groups[key]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(len(ring) for ring in self._groups.values())
+
+    @property
+    def recorded_total(self) -> int:
+        """Observations ever ingested (monotone; windows are bounded)."""
+        return self._recorded

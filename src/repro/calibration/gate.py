@@ -1,0 +1,128 @@
+"""Shadow-evaluation gate: a candidate must *earn* promotion.
+
+A refit that looks plausible on paper can still be worse in production
+(a transient load spike polluting the window, a correction overfit to
+one chatty client). Before a candidate replaces the incumbent, both are
+replayed over the recent feedback window — the candidate in the shadow
+role the incumbent served live — and the candidate is promoted only when
+its MAPE on the measured times beats the incumbent's by at least the
+configured margin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.calibration.feedback import FeedbackObservation
+from repro.core.intergpu import InterGPUKernelWiseModel
+
+
+@dataclass(frozen=True)
+class GateConfig:
+    """Promotion policy knobs."""
+
+    min_samples: int = 8           # refuse to judge on thinner evidence
+    min_improvement: float = 0.0   # required MAPE drop (absolute)
+
+    def __post_init__(self) -> None:
+        if self.min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        if self.min_improvement < 0.0:
+            raise ValueError("min_improvement cannot be negative")
+
+
+@dataclass(frozen=True)
+class GateDecision:
+    """The verdict plus the evidence it rests on."""
+
+    promote: bool
+    incumbent_mape: float
+    candidate_mape: float
+    n_samples: int
+    reason: str
+
+    def describe(self) -> Dict:
+        return {"promote": self.promote,
+                "incumbent_mape": round(self.incumbent_mape, 6),
+                "candidate_mape": round(self.candidate_mape, 6),
+                "n_samples": self.n_samples,
+                "reason": self.reason}
+
+
+def _build_network(name: str):
+    from repro import zoo
+    return zoo.build(name)
+
+
+class ShadowGate:
+    """Replays models over the feedback window and scores their MAPE."""
+
+    def __init__(self, config: GateConfig = GateConfig(),
+                 network_builder: Callable = _build_network) -> None:
+        self.config = config
+        self._build = network_builder
+        self._networks: Dict[str, object] = {}
+
+    def _network(self, name: str):
+        network = self._networks.get(name)
+        if network is None:
+            network = self._networks[name] = self._build(name)
+        return network
+
+    def _predict(self, model, obs: FeedbackObservation) -> float:
+        network = self._network(obs.network)
+        if isinstance(model, InterGPUKernelWiseModel):
+            from repro.gpu.specs import gpu
+            if obs.gpu is None:
+                raise ValueError(
+                    f"observation for {obs.network!r} lacks the target "
+                    "GPU an igkw model needs")
+            target = gpu(obs.gpu)
+            if obs.bandwidth is not None:
+                target = target.with_bandwidth(obs.bandwidth)
+            return model.for_gpu(target).predict_network(network,
+                                                         obs.batch_size)
+        return model.predict_network(network, obs.batch_size)
+
+    def mape(self, model,
+             window: Sequence[FeedbackObservation]) -> float:
+        """Mean |pred/meas - 1| of one model replayed over the window."""
+        if not window:
+            raise ValueError("cannot score a model on an empty window")
+        total = 0.0
+        for obs in window:
+            predicted = self._predict(model, obs)
+            total += abs(predicted / obs.measured_us - 1.0)
+        return total / len(window)
+
+    def evaluate(self, incumbent, candidate,
+                 window: Sequence[FeedbackObservation],
+                 incumbent_mape: Optional[float] = None) -> GateDecision:
+        """Judge a candidate against the incumbent on the same window.
+
+        ``incumbent_mape`` may be passed when the caller already scored
+        the incumbent (the drift path computed it from live feedback);
+        the candidate is always replayed here.
+        """
+        observations: List[FeedbackObservation] = list(window)
+        n = len(observations)
+        if n < self.config.min_samples:
+            return GateDecision(
+                False, float("nan"), float("nan"), n,
+                f"window has {n} samples; gate needs "
+                f">= {self.config.min_samples}")
+        if incumbent_mape is None:
+            incumbent_mape = self.mape(incumbent, observations)
+        candidate_mape = self.mape(candidate, observations)
+        improvement = incumbent_mape - candidate_mape
+        if improvement > self.config.min_improvement:
+            reason = (f"candidate MAPE {candidate_mape:.4f} beats "
+                      f"incumbent {incumbent_mape:.4f} on {n} samples")
+            return GateDecision(True, incumbent_mape, candidate_mape, n,
+                                reason)
+        reason = (f"candidate MAPE {candidate_mape:.4f} does not beat "
+                  f"incumbent {incumbent_mape:.4f} by more than "
+                  f"{self.config.min_improvement:.4f}")
+        return GateDecision(False, incumbent_mape, candidate_mape, n,
+                            reason)

@@ -1,0 +1,214 @@
+"""The closed loop: feedback in, drift out, refit, gate, promote.
+
+:class:`Calibrator` is the conductor that ties the calibration pieces
+together — every observation flows through the :class:`FeedbackLog` and
+the :class:`DriftMonitor`, and :meth:`Calibrator.step` turns any alarm
+into an :func:`incremental_refit` candidate that must pass the
+:class:`ShadowGate` before the :class:`ModelStore` promotes it. The
+server embeds one Calibrator behind ``POST /feedback`` and
+``GET /calibration``; ``repro serve --calibrate`` additionally runs a
+:class:`CalibrationLoop` thread that calls ``step()`` on an interval,
+and ``repro calibrate`` drives the same loop offline.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.calibration.drift import DriftConfig, DriftMonitor, DriftState
+from repro.calibration.feedback import FeedbackLog, FeedbackObservation
+from repro.calibration.gate import GateConfig, GateDecision, ShadowGate
+from repro.calibration.refit import incremental_refit
+from repro.calibration.store import ModelStore, StoreError
+from repro.core.persistence import model_from_dict
+
+
+class Calibrator:
+    """Drift-triggered recalibration over one model store.
+
+    ``metrics`` may be any object with an ``increment(name)`` method
+    (the service's :class:`~repro.service.metrics.MetricsRegistry`);
+    counters emitted: ``feedback_total``, ``drift_alarms_total``,
+    ``refit_candidates_total``, ``refit_promotions_total``,
+    ``refit_rejections_total``, ``refit_errors_total`` — rendered with
+    the ``repro_`` prefix on ``GET /metrics``.
+    """
+
+    def __init__(self, store: ModelStore,
+                 feedback: Optional[FeedbackLog] = None,
+                 monitor: Optional[DriftMonitor] = None,
+                 gate: Optional[ShadowGate] = None,
+                 metrics=None, max_events: int = 64) -> None:
+        self.store = store
+        self.feedback = feedback if feedback is not None else FeedbackLog()
+        self.monitor = monitor if monitor is not None else DriftMonitor()
+        self.gate = gate if gate is not None else ShadowGate()
+        self.metrics = metrics
+        self._lock = threading.Lock()
+        self._alarmed: Set[Tuple[str, str]] = set()
+        self._events: Deque[Dict] = deque(maxlen=max_events)
+
+    def _count(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.increment(name)
+
+    # -- ingestion -----------------------------------------------------------
+
+    def record(self, observation: FeedbackObservation) -> DriftState:
+        """Ingest one observation; returns its group's drift state."""
+        self.feedback.record(observation)
+        state = self.monitor.observe(observation)
+        self._count("feedback_total")
+        key = observation.key()
+        with self._lock:
+            if state.drifted and key not in self._alarmed:
+                self._alarmed.add(key)
+                self._count("drift_alarms_total")
+            elif not state.drifted:
+                self._alarmed.discard(key)
+        return state
+
+    # -- recalibration -------------------------------------------------------
+
+    def step(self) -> List[Dict]:
+        """Attempt a refit for every model currently in drift alarm.
+
+        Returns one event dict per attempt (also kept in a bounded
+        history surfaced by :meth:`status`). Errors in one model's
+        refit are recorded as events rather than aborting the sweep.
+        """
+        events: List[Dict] = []
+        for model, groups in sorted(self.monitor.drifted().items()):
+            try:
+                event = self._recalibrate(model, groups)
+            except Exception as exc:  # repro: noqa[EX001] kept as event
+                self._count("refit_errors_total")
+                event = {"model": model, "promoted": False,
+                         "error": f"{type(exc).__name__}: {exc}"}
+            events.append(event)
+            with self._lock:
+                self._events.append(event)
+        return events
+
+    def _recalibrate(self, model: str, groups: Sequence[str]) -> Dict:
+        window = self.feedback.window_for(model)
+        if not window:
+            raise StoreError(f"drift alarm for {model!r} but no feedback")
+        self.store.adopt(model)  # idempotent: version pre-store heads
+        incumbent_doc = self.store.document(model)
+        result = incremental_refit(incumbent_doc, window)
+        self._count("refit_candidates_total")
+        decision = self.gate.evaluate(model_from_dict(incumbent_doc),
+                                      result.model, window)
+        trigger = "drift:" + ",".join(groups)
+        event = {"model": model, "trigger": trigger,
+                 "correction": {"slope": result.correction.slope,
+                                "intercept": result.correction.intercept},
+                 "n_window": len(window), "n_total": result.n_total,
+                 "decision": decision.describe(),
+                 "promoted": decision.promote}
+        if decision.promote:
+            version = self.store.publish(
+                model, result.document, trigger=trigger,
+                stats=result.stats, refit_samples=result.n_new)
+            event["version"] = version
+            self._count("refit_promotions_total")
+            # the promoted model invalidates the window's predictions
+            # and the alarm that triggered it: start both fresh
+            self.feedback.clear(model)
+            self.monitor.reset(model)
+            with self._lock:
+                self._alarmed = {key for key in self._alarmed
+                                 if key[0] != model}
+        else:
+            self._count("refit_rejections_total")
+        return event
+
+    # -- introspection -------------------------------------------------------
+
+    def status(self) -> Dict:
+        """The ``GET /calibration`` payload: stream, alarms, store, events."""
+        drift = {
+            f"{model}/{group}": {
+                "n": state.n,
+                "ewma": round(state.ewma, 6),
+                "ph_statistic": round(state.ph_statistic, 6),
+                "mean_error": round(state.mean, 6),
+                "drifted": state.drifted,
+                "triggers": list(state.triggers),
+            }
+            for (model, group), state in sorted(self.monitor.states().items())
+        }
+        with self._lock:
+            events = list(self._events)
+        return {
+            "feedback": {
+                "recorded_total": self.feedback.recorded_total,
+                "windowed": len(self.feedback),
+                "counts": self.feedback.counts(),
+            },
+            "drift": drift,
+            "store": self.store.describe(),
+            "events": events,
+        }
+
+
+class CalibrationLoop:
+    """Background thread calling :meth:`Calibrator.step` on an interval."""
+
+    def __init__(self, calibrator: Calibrator,
+                 interval_s: float = 30.0) -> None:
+        if interval_s <= 0.0:
+            raise ValueError("interval_s must be positive")
+        self.calibrator = calibrator
+        self.interval_s = interval_s
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> None:
+        if self.running:
+            raise RuntimeError("calibration loop already running")
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._run,
+                                        name="repro-calibration",
+                                        daemon=True)
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=timeout)
+        self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.calibrator.step()
+
+
+def build_calibrator(directory, window: int = 256,
+                     drift_config: Optional[DriftConfig] = None,
+                     gate_config: Optional[GateConfig] = None,
+                     metrics=None) -> Calibrator:
+    """A Calibrator with defaults wired, over a model directory."""
+    return Calibrator(
+        ModelStore(directory),
+        feedback=FeedbackLog(window=window),
+        monitor=DriftMonitor(drift_config or DriftConfig()),
+        gate=ShadowGate(gate_config or GateConfig()),
+        metrics=metrics,
+    )
+
+
+__all__ = [
+    "Calibrator",
+    "CalibrationLoop",
+    "GateDecision",
+    "build_calibrator",
+]

@@ -1,0 +1,242 @@
+"""Incremental refit: a candidate predictor without full retraining.
+
+Section 5.2's case for single-batch-size training is exactly that the
+models stay cheap enough to update "in the deployed environment in
+real-time". This module is that update. Instead of re-running the whole
+training campaign, it learns a *correction regression* from the feedback
+stream —
+
+``measured_us = a * predicted_us  (+ b for the e2e kind)``
+
+— with an exact streaming :class:`~repro.core.online.OnlineLinearFit`
+warm-started from the sufficient statistics persisted alongside the
+incumbent's document. Because every predictor is linear in its fitted
+parameters, a scale correction folds into those parameters exactly:
+scaling every kernel/layer line by ``a`` makes the folded model predict
+``a *`` the incumbent's value for every input, so the candidate is a
+first-class model of the same kind (servable, persistable, compilable)
+rather than a wrapper.
+
+A substrate shift (bandwidth regression, clock change) moves nearly all
+kernel times by a common factor, which is precisely what this correction
+captures; residual per-kernel effects stay for the next full campaign.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.calibration.feedback import FeedbackObservation
+from repro.core.linreg import LinearFit
+from repro.core.online import OnlineLinearFit
+from repro.core.persistence import model_from_dict
+
+#: Document key holding {group: OnlineLinearFit.state_dict()}.
+STATS_KEY = "sufficient_stats"
+
+#: Pseudo-group pooling every group's correction statistics.
+POOLED = "__pooled__"
+
+
+def stats_to_document(stats: Dict[str, OnlineLinearFit]) -> Dict[str, Dict]:
+    """Serialise per-group accumulators for embedding in a document."""
+    return {group: acc.state_dict() for group, acc in stats.items()}
+
+
+def stats_from_document(document: Dict) -> Dict[str, OnlineLinearFit]:
+    """Revive the per-group accumulators a document carries (may be {})."""
+    return {group: OnlineLinearFit.from_state(state)
+            for group, state in document.get(STATS_KEY, {}).items()}
+
+
+def observe_correction(stats: Dict[str, OnlineLinearFit],
+                       observations: Iterable[FeedbackObservation]) -> int:
+    """Stream feedback into per-group correction accumulators.
+
+    x = predicted, y = measured, weighted 1/measured² so the fit
+    minimises *relative* residuals (times span orders of magnitude
+    across networks — same rationale as the E2E model's training fit).
+    Returns how many observations were ingested.
+    """
+    count = 0
+    for obs in observations:
+        weight = 1.0 / max(obs.measured_us, 1e-30) ** 2
+        for group in (obs.group, POOLED):
+            acc = stats.get(group)
+            if acc is None:
+                acc = stats[group] = OnlineLinearFit()
+            acc.observe(obs.predicted_us, obs.measured_us, weight=weight)
+        count += 1
+    return count
+
+
+def correction_from_stats(stats: Dict[str, OnlineLinearFit],
+                          kind: str) -> LinearFit:
+    """The correction line the pooled statistics currently imply.
+
+    The e2e kind takes the full affine correction (its single network-
+    level line absorbs an intercept exactly); every other kind takes the
+    through-origin scale, the only correction that folds exactly into
+    summed per-layer/per-kernel parameters.
+    """
+    pooled = stats.get(POOLED)
+    if pooled is None or pooled.n == 0:
+        raise ValueError("no correction statistics accumulated yet")
+    if kind == "e2e":
+        return pooled.fit()
+    return pooled.fit_through_origin()
+
+
+def _scaled_fit(fit: Dict, scale: float, offset: float = 0.0) -> Dict:
+    return dict(fit, slope=fit["slope"] * scale,
+                intercept=fit["intercept"] * scale + offset)
+
+
+def _scale_lw(lw: Dict, scale: float) -> Dict:
+    return {
+        "fits": {kind: _scaled_fit(fit, scale)
+                 for kind, fit in lw["fits"].items()},
+        "fallback": _scaled_fit(lw["fallback"], scale),
+    }
+
+
+def apply_correction(document: Dict, correction: LinearFit) -> Dict:
+    """Fold a correction line into a model document, kind by kind.
+
+    Returns a new document whose model predicts
+    ``correction.predict(incumbent prediction)`` for every input:
+
+    - ``e2e``   — the single line takes the affine map directly;
+    - ``lw``    — every per-kind line and the pooled fallback scale;
+    - ``kw``    — every cluster/classified line and the LW fallback scale;
+    - ``igkw``  — per-GPU lines, intercept transfers, and LW fallbacks
+      scale by ``a``; rate transfers scale by ``1/a`` (a rate is a
+      reciprocal slope, so slower hardware means a *lower* rate line).
+
+    Non-e2e kinds require a through-origin correction: an intercept
+    cannot be distributed over a sum of per-layer terms exactly.
+    """
+    kind = document.get("kind")
+    scale = correction.slope
+    if scale <= 0.0:
+        raise ValueError(
+            f"correction scale must be positive, got {scale!r}")
+    # through-origin fits carry a literal 0.0 intercept: exact sentinel
+    if kind != "e2e" and correction.intercept != 0.0:  # repro: noqa[FP001]
+        raise ValueError(
+            f"kind {kind!r} only folds through-origin corrections")
+    out = copy.deepcopy(document)
+    if kind == "e2e":
+        out["fit"] = _scaled_fit(document["fit"], scale,
+                                 correction.intercept)
+    elif kind == "lw":
+        out.update(_scale_lw(document, scale))
+    elif kind == "kw":
+        out["clusters"] = [dict(entry, fit=_scaled_fit(entry["fit"], scale))
+                           for entry in document["clusters"]]
+        out["classified"] = {
+            name: dict(entry,
+                       fits={feature: _scaled_fit(fit, scale)
+                             for feature, fit in entry["fits"].items()})
+            for name, entry in document["classified"].items()
+        }
+        out["lw_fallback"] = _scale_lw(document["lw_fallback"], scale)
+    elif kind == "igkw":
+        out["transfers"] = {
+            name: dict(entry,
+                       rate_fit=_scaled_fit(entry["rate_fit"], 1.0 / scale),
+                       intercept_fit=_scaled_fit(entry["intercept_fit"],
+                                                 scale),
+                       per_gpu={g: _scaled_fit(fit, scale)
+                                for g, fit in entry["per_gpu"].items()})
+            for name, entry in document["transfers"].items()
+        }
+        out["lw_by_gpu"] = {g: _scale_lw(lw, scale)
+                            for g, lw in document["lw_by_gpu"].items()}
+    else:
+        raise ValueError(f"cannot fold a correction into kind {kind!r}")
+    return out
+
+
+def transform_stats_x(stats: Dict[str, OnlineLinearFit],
+                      correction: LinearFit
+                      ) -> Dict[str, OnlineLinearFit]:
+    """Re-express correction statistics in a corrected model's frame.
+
+    The accumulators regress measured (y) on predicted (x). Once a
+    correction ``x' = a*x + b`` is folded into the candidate, its
+    predictions for the *same* historical inputs move to ``x'``, so the
+    history must move with them or the next warm start would apply the
+    correction twice. The sufficient statistics transform exactly under
+    an affine map of x:
+
+    ``sx' = a*sx + b*w``, ``sxx' = a²sxx + 2ab*sx + b²w``,
+    ``sxy' = a*sxy + b*sy`` — counts, weights, and y-terms unchanged.
+    """
+    a, b = correction.slope, correction.intercept
+    out: Dict[str, OnlineLinearFit] = {}
+    for group, acc in stats.items():
+        moved = OnlineLinearFit()
+        moved.n = acc.n
+        moved.w_sum = acc.w_sum
+        moved.sx = a * acc.sx + b * acc.w_sum
+        moved.sy = acc.sy
+        moved.sxx = (a * a * acc.sxx + 2.0 * a * b * acc.sx
+                     + b * b * acc.w_sum)
+        moved.sxy = a * acc.sxy + b * acc.sy
+        moved.syy = acc.syy
+        out[group] = moved
+    return out
+
+
+@dataclass(frozen=True)
+class RefitResult:
+    """One incremental refit: the candidate plus its provenance."""
+
+    document: Dict                       # candidate document (no lineage yet)
+    correction: LinearFit                # the folded correction line
+    stats: Dict[str, OnlineLinearFit]    # updated accumulators to persist
+    n_new: int                           # fresh observations ingested
+    n_total: int                         # accumulator total after warm start
+
+    @property
+    def model(self):
+        """The candidate as a live predictor object."""
+        return model_from_dict(self.document)
+
+
+def incremental_refit(document: Dict,
+                      observations: List[FeedbackObservation],
+                      extra_stats: Optional[Dict[str, OnlineLinearFit]]
+                      = None) -> RefitResult:
+    """Warm-start from a document's statistics and fold in fresh feedback.
+
+    ``document`` is the incumbent's persisted form (it carries the
+    sufficient statistics of every correction pair observed since the
+    last full training, expressed in the incumbent's own frame). The
+    returned statistics are the merged history *re-expressed in the
+    candidate's frame* (:func:`transform_stats_x`), ready to persist
+    alongside it — so refits chain: version n+1 warm-starts from
+    everything version n ever saw without double-applying corrections.
+    ``extra_stats`` lets a caller seed known-good baseline pairs (e.g.
+    the training set's own predictions) alongside the warm start.
+    """
+    if not observations:
+        raise ValueError("refit needs at least one feedback observation")
+    stats = stats_from_document(document)
+    if extra_stats:
+        for group, acc in extra_stats.items():
+            held = stats.get(group)
+            if held is None:
+                stats[group] = acc.copy()
+            else:
+                held.merge(acc)
+    n_new = observe_correction(stats, observations)
+    correction = correction_from_stats(stats, document.get("kind"))
+    candidate = apply_correction(document, correction)
+    candidate.pop(STATS_KEY, None)
+    return RefitResult(candidate, correction,
+                       transform_stats_x(stats, correction), n_new,
+                       stats[POOLED].n)

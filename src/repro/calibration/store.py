@@ -1,0 +1,241 @@
+"""Versioned model store: lineage, atomic promote, byte-exact rollback.
+
+The hot-reloading :class:`~repro.service.registry.ModelRegistry` serves
+whatever ``<name>.json`` holds; this store makes that file the *head* of
+a version history instead of a mutable singleton:
+
+::
+
+    models/
+      kw-a100.json            <- live head, what the registry serves
+      kw-a100.versions/
+        v1.json               <- adopted baseline
+        v2.json               <- drift-triggered refit, parent=1
+        v3.json               <- ...
+
+Every version document carries a ``calibration`` lineage block (version
+number, parent version, what triggered it, how many feedback samples the
+refit consumed) and the correction sufficient statistics the *next*
+refit warm-starts from. Promote and rollback copy a version file over
+the head with the same temp-file + ``os.replace`` dance as
+``save_document``, so the registry can never observe a torn write and a
+rollback restores the prior bytes exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.calibration.refit import STATS_KEY, stats_to_document
+from repro.core.online import OnlineLinearFit
+from repro.core.persistence import (
+    load_document,
+    model_to_dict,
+    save_document,
+)
+
+#: Document key holding the lineage block.
+LINEAGE_KEY = "calibration"
+
+_VERSION_FILE = re.compile(r"^v(\d+)\.json$")
+
+
+class StoreError(ValueError):
+    """A store operation that cannot be honoured (unknown name/version)."""
+
+
+def lineage_block(version: int, parent: Optional[int], trigger: str,
+                  refit_samples: int = 0) -> Dict:
+    """A well-formed ``calibration`` lineage block."""
+    if version < 1:
+        raise ValueError("versions start at 1")
+    if parent is not None and not 1 <= parent < version:
+        raise ValueError(f"parent {parent} invalid for version {version}")
+    return {"version": version, "parent": parent, "trigger": trigger,
+            "refit_samples": int(refit_samples)}
+
+
+class ModelStore:
+    """Version history and atomic head management over a model directory.
+
+    The store shares its directory with the serving registry: heads are
+    the registry's ``*.json`` files, histories live in per-model
+    ``<name>.versions/`` subdirectories the registry's top-level glob
+    never sees.
+    """
+
+    def __init__(self, directory) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+
+    # -- paths ---------------------------------------------------------------
+
+    def head_path(self, name: str) -> Path:
+        return self.directory / f"{name}.json"
+
+    def version_dir(self, name: str) -> Path:
+        return self.directory / f"{name}.versions"
+
+    def version_path(self, name: str, version: int) -> Path:
+        return self.version_dir(name) / f"v{version}.json"
+
+    # -- queries -------------------------------------------------------------
+
+    def names(self) -> List[str]:
+        """Models with a head file in the directory."""
+        return sorted(path.stem for path in self.directory.glob("*.json"))
+
+    def versions(self, name: str) -> List[int]:
+        """All recorded versions of one model, ascending."""
+        directory = self.version_dir(name)
+        if not directory.is_dir():
+            return []
+        found = []
+        for path in directory.iterdir():
+            match = _VERSION_FILE.match(path.name)
+            if match:
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    def document(self, name: str, version: Optional[int] = None) -> Dict:
+        """A version's document (the live head when ``version`` is None)."""
+        path = (self.head_path(name) if version is None
+                else self.version_path(name, version))
+        if not path.is_file():
+            raise StoreError(
+                f"no {'head' if version is None else f'version v{version}'} "
+                f"for model {name!r} in {str(self.directory)!r}")
+        return load_document(path)
+
+    def head_version(self, name: str) -> Optional[int]:
+        """The lineage version the live head claims, if any."""
+        lineage = self.document(name).get(LINEAGE_KEY)
+        return lineage.get("version") if lineage else None
+
+    def lineage(self, name: str) -> List[Dict]:
+        """Every version's lineage block, ascending by version."""
+        return [dict(self.document(name, v).get(LINEAGE_KEY) or {},
+                     live=(v == self.head_version(name)))
+                for v in self.versions(name)]
+
+    # -- writes --------------------------------------------------------------
+
+    def adopt(self, name: str) -> int:
+        """Snapshot an unversioned head as version 1 (idempotent).
+
+        Models written by ``repro train`` predate the store; adopting
+        one stamps lineage v1 (trigger ``"adopted"``, empty statistics)
+        and records it as the first history entry.
+        """
+        with self._lock:
+            return self._adopt_locked(name)
+
+    def _adopt_locked(self, name: str) -> int:
+        existing = self.versions(name)
+        if existing:
+            return max(existing)
+        document = self.document(name)
+        document[LINEAGE_KEY] = lineage_block(1, None, "adopted")
+        document.setdefault(STATS_KEY, {})
+        save_document(document, self.version_path(name, 1))
+        self._promote_locked(name, 1)
+        return 1
+
+    def publish(self, name: str, document_or_model, trigger: str,
+                stats: Optional[Dict[str, OnlineLinearFit]] = None,
+                refit_samples: int = 0, promote: bool = True) -> int:
+        """Record a new version (and by default make it live).
+
+        ``document_or_model`` may be a live predictor or its document;
+        lineage is stamped here — parent is whatever version is
+        currently live (None for a first version).
+        """
+        document = (dict(document_or_model)
+                    if isinstance(document_or_model, dict)
+                    else model_to_dict(document_or_model))
+        with self._lock:
+            existing = self.versions(name)
+            if not existing and self.head_path(name).is_file():
+                # a pre-store head exists: fold it into history first
+                # so the new version's parent pointer means something
+                self._adopt_locked(name)
+                existing = self.versions(name)
+            version = (max(existing) + 1) if existing else 1
+            parent = self.head_version(name) if existing else None
+            document[LINEAGE_KEY] = lineage_block(version, parent, trigger,
+                                                  refit_samples)
+            document[STATS_KEY] = stats_to_document(stats or {})
+            save_document(document, self.version_path(name, version))
+            if promote:
+                self._promote_locked(name, version)
+            return version
+
+    def promote(self, name: str, version: int) -> Path:
+        """Atomically make one recorded version the live head."""
+        with self._lock:
+            return self._promote_locked(name, version)
+
+    def _promote_locked(self, name: str, version: int) -> Path:
+        source = self.version_path(name, version)
+        if not source.is_file():
+            raise StoreError(
+                f"model {name!r} has no recorded version v{version}; "
+                f"available: {self.versions(name)}")
+        # byte-for-byte copy through the atomic-replace path: the head
+        # becomes an exact replica of the version file
+        head = self.head_path(name)
+        payload = source.read_bytes()
+        tmp = head.with_name(f".{head.name}.promote.tmp")
+        tmp.write_bytes(payload)
+        tmp.replace(head)
+        return head
+
+    def rollback(self, name: str) -> int:
+        """Re-promote the live version's parent; returns its number."""
+        current = self.head_version(name)
+        if current is None:
+            raise StoreError(
+                f"model {name!r} has no versioned head to roll back")
+        lineage = self.document(name, current).get(LINEAGE_KEY) or {}
+        parent = lineage.get("parent")
+        if parent is None:
+            raise StoreError(
+                f"model {name!r} v{current} has no parent to roll back to")
+        self.promote(name, parent)
+        return parent
+
+    def describe(self) -> Dict[str, Dict]:
+        """Store summary for the ``GET /calibration`` endpoint."""
+        out: Dict[str, Dict] = {}
+        for name in self.names():
+            versions = self.versions(name)
+            out[name] = {
+                "versions": versions,
+                "live": self.head_version(name),
+                "lineage": self.lineage(name) if versions else [],
+            }
+        return out
+
+
+def document_stats(document: Dict) -> Dict[str, OnlineLinearFit]:
+    """Convenience re-export: revive a document's sufficient statistics."""
+    from repro.calibration.refit import stats_from_document
+    return stats_from_document(document)
+
+
+def stats_roundtrip_exact(stats: Dict[str, OnlineLinearFit]) -> bool:
+    """True when a JSON round-trip preserves every accumulator exactly."""
+    revived = {
+        group: OnlineLinearFit.from_state(state)
+        for group, state in json.loads(
+            json.dumps(stats_to_document(stats))).items()
+    }
+    if set(revived) != set(stats):
+        return False
+    return all(revived[g].state_dict() == stats[g].state_dict()
+               for g in stats)

@@ -10,6 +10,7 @@ Mirrors the paper artifact's ``run.sh`` steps:
 - ``repro list``       enumerate available networks and GPUs
 - ``repro serve``      host a directory of saved models over HTTP
 - ``repro loadgen``    benchmark a running prediction server
+- ``repro calibrate``  close the loop: drift -> refit -> gated promote
 - ``repro check``      static analysis: AST lint + domain contracts
 
 Example::
@@ -116,6 +117,40 @@ def _add_serve(subparsers) -> None:
     p.add_argument("--coverage-threshold", type=float, default=0.10,
                    help="max fallback time share before a kernel-level "
                         "prediction degrades to the next tier")
+    p.add_argument("--calibrate", action="store_true",
+                   help="accept POST /feedback and run the closed "
+                        "calibration loop (drift -> refit -> gated "
+                        "promote) in the background")
+    p.add_argument("--calibrate-interval", type=float, default=30.0,
+                   help="seconds between background calibration sweeps")
+    p.add_argument("--feedback-window", type=int, default=256,
+                   help="feedback observations kept per (model, group)")
+
+
+def _add_calibrate(subparsers) -> None:
+    p = subparsers.add_parser(
+        "calibrate",
+        help="run the drift -> refit -> gated-promote loop offline")
+    p.add_argument("--demo", action="store_true",
+                   help="synthetic end-to-end drift scenario on the "
+                        "simulated substrate (the CI smoke test)")
+    p.add_argument("--shift", type=float, default=1.5,
+                   help="demo: injected memory-bandwidth degradation")
+    p.add_argument("--store", default=None,
+                   help="model store directory (demo: a temp dir "
+                        "when omitted)")
+    p.add_argument("--model", default=None,
+                   help="offline: hosted model name inside the store")
+    p.add_argument("--dataset", default=None,
+                   help="offline: freshly measured dataset directory "
+                        "to replay as feedback")
+    p.add_argument("--gpu", default=None,
+                   help="offline: restrict feedback to one GPU's rows")
+    p.add_argument("--batch-size", type=int, default=None,
+                   help="offline: restrict feedback to one batch size")
+    p.add_argument("--force", action="store_true",
+                   help="offline: refit even without a drift alarm "
+                        "(the shadow gate still applies)")
 
 
 def _add_loadgen(subparsers) -> None:
@@ -185,6 +220,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_list(subparsers)
     _add_serve(subparsers)
     _add_loadgen(subparsers)
+    _add_calibrate(subparsers)
     _add_check(subparsers)
     _add_reproduce(subparsers)
     return parser
@@ -260,24 +296,31 @@ def _cmd_predict(args) -> int:
     return 0
 
 
+def _network_index(names) -> dict:
+    """name -> built Network for every resolvable dataset network."""
+    wanted = set(names)
+    index = {}
+    for name in wanted:
+        try:
+            index[name] = zoo.build(name)
+        except KeyError:
+            continue   # variant names are reconstructed below
+    # variant networks are not individually registered; rebuild rosters
+    if len(index) < len(wanted):
+        for scale in ("full", "text"):
+            for network in _roster(scale):
+                if network.name in wanted:
+                    index.setdefault(network.name, network)
+    return index
+
+
 def _cmd_evaluate(args) -> int:
     model = core.load_model(args.model)
     data = dataset.load_dataset(args.dataset)
     _, test = dataset.train_test_split(data,
                                        test_fraction=args.test_fraction,
                                        seed=args.seed)
-    index = {}
-    for name in test.network_names():
-        try:
-            index[name] = zoo.build(name)
-        except KeyError:
-            continue   # variant names are reconstructed below
-    # variant networks are not individually registered; rebuild rosters
-    if len(index) < len(test.network_names()):
-        for scale in ("full", "text"):
-            for network in _roster(scale):
-                if network.name in set(test.network_names()):
-                    index.setdefault(network.name, network)
+    index = _network_index(test.network_names())
     if isinstance(model, InterGPUKernelWiseModel):
         predictor = model.for_gpu(gpu(args.gpu))
     else:
@@ -315,14 +358,27 @@ def _cmd_serve(args) -> int:
         make_server,
     )
     registry = ModelRegistry(args.models)
+    calibrator = None
+    loop = None
+    if args.calibrate:
+        from repro.calibration import CalibrationLoop, build_calibrator
+        calibrator = build_calibrator(args.models,
+                                      window=args.feedback_window)
+        loop = CalibrationLoop(calibrator,
+                               interval_s=args.calibrate_interval)
     service = PredictionService(
         registry, cache=PredictionCache(args.cache_size),
         coverage_threshold=args.coverage_threshold,
-        plan_cache=PredictionCache(args.plan_cache_size))
+        plan_cache=PredictionCache(args.plan_cache_size),
+        calibrator=calibrator)
     server = make_server(service, host=args.host, port=args.port)
     host, port = server.server_address[:2]
     print(f"serving {len(registry)} model(s) "
           f"({', '.join(registry.names())}) on http://{host}:{port}")
+    if loop is not None:
+        loop.start()
+        print(f"calibration loop: sweeping for drift every "
+              f"{args.calibrate_interval:g}s")
     for name, reason in sorted(registry.errors.items()):
         print(f"warning: skipped {name}: {reason}", file=sys.stderr)
     try:
@@ -330,6 +386,8 @@ def _cmd_serve(args) -> int:
     except KeyboardInterrupt:
         print("shutting down")
     finally:
+        if loop is not None:
+            loop.stop()
         server.server_close()
     return 0
 
@@ -346,6 +404,77 @@ def _cmd_loadgen(args) -> int:
     report = generator.run()
     print(report.render())
     return 0 if report.failed == 0 else 1
+
+
+def _cmd_calibrate(args) -> int:
+    if args.demo:
+        import tempfile
+
+        from repro.calibration.demo import run_drift_demo
+        if args.store is not None:
+            report = run_drift_demo(args.store, shift=args.shift)
+        else:
+            with tempfile.TemporaryDirectory() as scratch:
+                report = run_drift_demo(scratch, shift=args.shift)
+        print(report.render())
+        return 0 if report.ok else 1
+
+    if not (args.store and args.model and args.dataset):
+        print("error: offline calibration needs --store, --model and "
+              "--dataset (or use --demo)", file=sys.stderr)
+        return 2
+    from repro.calibration import build_calibrator, incremental_refit
+    from repro.calibration.demo import observations_from_rows
+    calibrator = build_calibrator(args.store)
+    store = calibrator.store
+    store.adopt(args.model)
+    model = core.load_model(store.head_path(args.model))
+
+    data = dataset.load_dataset(args.dataset)
+    if args.gpu is not None:
+        data = data.for_gpu(args.gpu)
+    if args.batch_size is not None:
+        data = data.at_batch(args.batch_size)
+    if not data.network_rows:
+        print("error: no dataset rows match the given filters",
+              file=sys.stderr)
+        return 2
+    index = _network_index(data.network_names())
+    observations = observations_from_rows(args.model, model, data, index)
+    for observation in observations:
+        calibrator.record(observation)
+    print(f"replayed {len(observations)} observations; incumbent MAPE "
+          f"{calibrator.feedback.mape(args.model):.4f}")
+
+    events = calibrator.step()
+    if not events and args.force:
+        # no alarm fired: refit anyway, but keep the shadow gate honest
+        window = calibrator.feedback.window_for(args.model)
+        result = incremental_refit(store.document(args.model), window)
+        decision = calibrator.gate.evaluate(model, result.model, window)
+        event = {"model": args.model, "trigger": "manual",
+                 "decision": decision.describe(),
+                 "promoted": decision.promote}
+        if decision.promote:
+            event["version"] = store.publish(
+                args.model, result.document, trigger="manual",
+                stats=result.stats, refit_samples=result.n_new)
+        events = [event]
+
+    if not events:
+        print("no drift detected; nothing to refit "
+              "(use --force to refit anyway)")
+        return 0
+    for event in events:
+        if event.get("error"):
+            print(f"{event['model']}: refit failed: {event['error']}")
+            continue
+        decision = event["decision"]
+        verdict = (f"promoted v{event['version']}" if event["promoted"]
+                   else "rejected")
+        print(f"{event['model']} [{event['trigger']}]: {verdict} -- "
+              f"{decision['reason']}")
+    return 0 if all(not e.get("error") for e in events) else 1
 
 
 def _cmd_check(args) -> int:
@@ -401,6 +530,7 @@ _COMMANDS = {
     "list": _cmd_list,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
+    "calibrate": _cmd_calibrate,
     "check": _cmd_check,
     "reproduce": _cmd_reproduce,
 }

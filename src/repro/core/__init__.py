@@ -54,9 +54,12 @@ from repro.core.plan import (
     RetargetablePlan,
 )
 from repro.core.persistence import (
+    check_format_version,
+    load_document,
     load_model,
     model_from_dict,
     model_to_dict,
+    save_document,
     save_model,
 )
 from repro.core.signature import layer_signature, signature_kind, size_bucket
@@ -106,11 +109,14 @@ __all__ = [
     "classify_kernels",
     "cluster_index",
     "cluster_kernels",
+    "check_format_version",
     "evaluate_model",
     "fit_from_pairs",
     "fit_line",
     "layer_signature",
+    "load_document",
     "load_model",
+    "save_document",
     "mean_relative_error",
     "model_from_dict",
     "model_to_dict",

@@ -77,6 +77,55 @@ class OnlineLinearFit:
         self.sxy += other.sxy
         self.syy += other.syy
 
+    def state_dict(self) -> Dict[str, float]:
+        """The five sufficient statistics as a JSON-compatible dict.
+
+        ``from_state(state_dict())`` reproduces this accumulator exactly,
+        which is what lets a deployed model warm-start calibration refits
+        from statistics persisted alongside its document.
+        """
+        return {"n": self.n, "w_sum": self.w_sum, "sx": self.sx,
+                "sy": self.sy, "sxx": self.sxx, "sxy": self.sxy,
+                "syy": self.syy}
+
+    @classmethod
+    def from_state(cls, state: Dict[str, float]) -> "OnlineLinearFit":
+        """Rebuild an accumulator from :meth:`state_dict` output."""
+        acc = cls()
+        acc.n = int(state["n"])
+        acc.w_sum = float(state["w_sum"])
+        acc.sx = float(state["sx"])
+        acc.sy = float(state["sy"])
+        acc.sxx = float(state["sxx"])
+        acc.sxy = float(state["sxy"])
+        acc.syy = float(state["syy"])
+        return acc
+
+    def copy(self) -> "OnlineLinearFit":
+        """An independent accumulator with the same statistics."""
+        return OnlineLinearFit.from_state(self.state_dict())
+
+    def fit_through_origin(self) -> LinearFit:
+        """The current least-squares line forced through the origin.
+
+        Used by calibration refits to learn a pure scale correction
+        ``measured = a * predicted``: an intercept-free line can be
+        folded into per-layer and per-kernel parameters exactly, where
+        an affine correction could not.
+        """
+        if self.n == 0:
+            raise ValueError("no observations yet")
+        if self.sxx <= 0.0:
+            return LinearFit(0.0, 0.0, 0.0, self.n)
+        slope = self.sxy / self.sxx
+        ss_res = self.syy - 2.0 * slope * self.sxy + slope * slope * self.sxx
+        ss_tot = self.syy - self.sy * self.sy / self.w_sum
+        if ss_tot <= 0.0:
+            r2 = 1.0 if ss_res <= 0.0 else 0.0
+        else:
+            r2 = max(0.0, min(1.0, 1.0 - ss_res / ss_tot))
+        return LinearFit(slope, 0.0, r2, self.n)
+
     def fit(self) -> LinearFit:
         """The current least-squares line."""
         if self.n == 0:

@@ -9,6 +9,8 @@ captures any of the four predictors exactly.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Dict
 
@@ -218,11 +220,23 @@ def model_to_dict(model) -> dict:
     return document
 
 
-def model_from_dict(document: Dict):
-    """Reconstruct a predictor from :func:`model_to_dict` output."""
+def check_format_version(document: Dict) -> None:
+    """Reject documents written by a different schema version."""
     version = document.get("format_version")
     if version != FORMAT_VERSION:
-        raise ValueError(f"unsupported model format version {version!r}")
+        raise ValueError(
+            f"unsupported model format version {version!r} "
+            f"(this build reads version {FORMAT_VERSION})")
+
+
+def model_from_dict(document: Dict):
+    """Reconstruct a predictor from :func:`model_to_dict` output.
+
+    Extra document sections (calibration lineage, sufficient statistics)
+    are preserved on disk but ignored here: the live predictor is fully
+    defined by its ``kind`` payload.
+    """
+    check_format_version(document)
     kind = document.get("kind")
     loader = _LOADERS.get(kind)
     if loader is None:
@@ -230,14 +244,44 @@ def model_from_dict(document: Dict):
     return loader(document)
 
 
-def save_model(model, path) -> Path:
-    """Write a trained predictor to a JSON file; returns the path."""
+def save_document(document: Dict, path) -> Path:
+    """Atomically write one model document as JSON; returns the path.
+
+    The payload lands in a temp file *in the target directory* and is
+    moved into place with ``os.replace``, so a concurrent reader (the
+    hot-reloading registry) only ever sees the old bytes or the new
+    bytes — never a torn, half-written JSON.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(model_to_dict(model)))
+    payload = json.dumps(document)
+    fd, tmp_name = tempfile.mkstemp(dir=str(path.parent),
+                                    prefix=f".{path.name}.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(payload)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
     return path
+
+
+def load_document(path) -> Dict:
+    """Read one model document as a dict, rejecting foreign versions."""
+    document = json.loads(Path(path).read_text())
+    check_format_version(document)
+    return document
+
+
+def save_model(model, path) -> Path:
+    """Write a trained predictor to a JSON file; returns the path."""
+    return save_document(model_to_dict(model), path)
 
 
 def load_model(path):
     """Read a predictor previously written by :func:`save_model`."""
-    return model_from_dict(json.loads(Path(path).read_text()))
+    return model_from_dict(load_document(path))

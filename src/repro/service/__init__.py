@@ -15,6 +15,11 @@ long-lived server instead of a one-shot CLI call:
   ``/metrics``) on a :class:`http.server.ThreadingHTTPServer`;
 - :class:`LoadGenerator` drives a live server with a Poisson arrival
   schedule and reports achieved throughput and latency percentiles.
+
+With a :class:`~repro.calibration.Calibrator` attached (``repro serve
+--calibrate``), the server additionally accepts ``POST /feedback`` and
+reports ``GET /calibration`` — closing the loop from measured times back
+to recalibrated, versioned models (see :mod:`repro.calibration`).
 """
 
 from repro.service.cache import PredictionCache, cache_key
@@ -32,6 +37,7 @@ from repro.service.registry import (
     LoadedModel,
     ModelRegistry,
     ModelResolutionError,
+    file_stamp,
     model_kind,
     resolve_target,
 )
@@ -59,6 +65,7 @@ __all__ = [
     "build_chain",
     "build_plan_chain",
     "cache_key",
+    "file_stamp",
     "make_server",
     "model_kind",
     "resolve_target",

@@ -55,7 +55,9 @@ class Histogram:
             raise ValueError("percentile must be in [0, 100]")
         if self.count == 0:
             return 0.0
-        rank = percentile / 100.0 * self.count
+        # rank at least 1: percentile(0) must report the first *occupied*
+        # bucket, not bounds[0] when all the mass sits in higher buckets
+        rank = max(1.0, percentile / 100.0 * self.count)
         cumulative = 0
         for i, bucket_count in enumerate(self.counts):
             cumulative += bucket_count

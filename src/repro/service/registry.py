@@ -3,8 +3,12 @@
 A registry maps a directory of ``core.save_model`` JSONs to named, live
 predictor objects: ``models/kw-a100.json`` is served as model
 ``kw-a100``. Every access stats the backing file and transparently
-reloads it when the mtime changes, so retraining in place (the Figure-10
-"distribute to users" loop) updates a running server without a restart.
+reloads it when its *stamp* — ``(st_mtime_ns, st_size)`` — changes, so
+retraining in place (the Figure-10 "distribute to users" loop) updates
+a running server without a restart. The stamp deliberately includes the
+size: on filesystems with coarse mtime granularity two writes can land
+in the same tick, and a float mtime alone would serve the stale model
+forever.
 
 IGKW models are *retargetable*: :meth:`ModelRegistry.resolve` materialises
 a per-GPU predictor via ``for_gpu`` (optionally at an overridden memory
@@ -66,6 +70,11 @@ def model_kind(model) -> str:
     raise TypeError(f"unrecognised model type {type(model).__name__}")
 
 
+def file_stamp(stat_result) -> Tuple[int, int]:
+    """The freshness stamp of a model file: ``(st_mtime_ns, st_size)``."""
+    return (stat_result.st_mtime_ns, stat_result.st_size)
+
+
 @dataclass
 class LoadedModel:
     """One hosted model: the live object plus its provenance."""
@@ -73,12 +82,17 @@ class LoadedModel:
     name: str
     path: Path
     kind: str
-    mtime: float
+    stamp: Tuple[int, int]            # (st_mtime_ns, st_size) when loaded
     model: object
     reloads: int = 0
     # for_gpu materialisations, keyed by (gpu, bandwidth); cleared on reload
     _resolved: Dict[Tuple[str, Optional[float]], KernelTablePredictor] = \
         field(default_factory=dict)
+
+    @property
+    def mtime(self) -> float:
+        """Seconds-resolution view of the stamp (for human consumption)."""
+        return self.stamp[0] / 1e9
 
     def describe(self) -> Dict:
         return {
@@ -107,10 +121,10 @@ class ModelRegistry:
     # -- loading --------------------------------------------------------------
 
     def _load(self, path: Path) -> LoadedModel:
-        mtime = path.stat().st_mtime
+        stamp = file_stamp(path.stat())
         model = load_model(path)
         return LoadedModel(name=path.stem, path=path,
-                           kind=model_kind(model), mtime=mtime, model=model)
+                           kind=model_kind(model), stamp=stamp, model=model)
 
     def scan(self) -> List[str]:
         """(Re)discover models in the directory; returns hosted names."""
@@ -121,7 +135,7 @@ class ModelRegistry:
                 seen.add(path.stem)
                 current = self._models.get(path.stem)
                 if current is not None and \
-                        current.mtime == path.stat().st_mtime:
+                        current.stamp == file_stamp(path.stat()):
                     continue
                 try:
                     entry = self._load(path)
@@ -145,14 +159,14 @@ class ModelRegistry:
             raise KeyError(
                 f"unknown model {name!r}; hosted: {self.names()}")
         try:
-            mtime = entry.path.stat().st_mtime
+            stamp = file_stamp(entry.path.stat())
         except FileNotFoundError:
             with self._lock:
                 self._models.pop(name, None)
             raise KeyError(
                 f"model {name!r} was removed from disk; "
                 f"hosted: {self.names()}") from None
-        if mtime != entry.mtime:
+        if stamp != entry.stamp:
             fresh = self._load(entry.path)
             fresh.reloads = entry.reloads + 1
             with self._lock:

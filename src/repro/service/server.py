@@ -4,11 +4,14 @@
 resolve -> fallback chain -> respond); ``make_server`` wraps it in a
 stdlib :class:`http.server.ThreadingHTTPServer`:
 
-- ``POST /predict``   JSON body -> predicted time + answering tier
-- ``GET  /models``    hosted models and their provenance
-- ``GET  /healthz``   liveness + hosted-model count
-- ``GET  /metrics``   counters, latency histograms, cache hit ratio
-                      (``?format=text`` for Prometheus-style lines)
+- ``POST /predict``     JSON body -> predicted time + answering tier
+- ``POST /feedback``    measured-vs-predicted observation -> drift state
+                        (requires a calibrator; see ``--calibrate``)
+- ``GET  /calibration`` feedback window, drift alarms, store lineage
+- ``GET  /models``      hosted models and their provenance
+- ``GET  /healthz``     liveness + hosted-model count
+- ``GET  /metrics``     counters, latency histograms, cache hit ratio
+                        (``?format=text`` for Prometheus-style lines)
 """
 
 from __future__ import annotations
@@ -62,16 +65,20 @@ class PredictionService:
                  cache: Optional[PredictionCache] = None,
                  metrics: Optional[MetricsRegistry] = None,
                  coverage_threshold: float = COVERAGE_THRESHOLD,
-                 plan_cache: Optional[PredictionCache] = None) -> None:
+                 plan_cache: Optional[PredictionCache] = None,
+                 calibrator=None) -> None:
         self.registry = registry
         self.cache = cache if cache is not None else PredictionCache()
         # compiled PredictionPlans, keyed by (model, network, batch,
-        # model version). GPU/bandwidth are NOT part of the key: the
+        # model stamp). GPU/bandwidth are NOT part of the key: the
         # igkw plan is retargetable, so one compile serves every target
         self.plans = (plan_cache if plan_cache is not None
                       else PredictionCache(256))
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.coverage_threshold = coverage_threshold
+        self.calibrator = calibrator
+        if calibrator is not None and calibrator.metrics is None:
+            calibrator.metrics = self.metrics   # share one counter space
         self.started_at = time.time()
 
     # -- endpoints ------------------------------------------------------------
@@ -97,7 +104,7 @@ class PredictionService:
             raise ServiceError(404, str(exc.args[0])) from None
 
         key = cache_key(model_name, network_name, batch_size, gpu_name,
-                        bandwidth, version=entry.mtime)
+                        bandwidth, version=entry.stamp)
         cached = self.cache.get(key)
         if cached is not None:
             # a result hit answers without touching plans at all
@@ -111,7 +118,7 @@ class PredictionService:
         # the compiled plan is GPU-independent, so repeat requests for
         # the same structure skip the graph walk even when the target
         # GPU or bandwidth differs between them
-        plan_key = (model_name, network_name, batch_size, entry.mtime)
+        plan_key = (model_name, network_name, batch_size, entry.stamp)
         plan = self.plans.get(plan_key)
         plan_cached = plan is not None
         if plan is None:
@@ -154,6 +161,68 @@ class PredictionService:
         }
         self.cache.put(key, response)
         return dict(response, cached=False, plan_cached=plan_cached)
+
+    def feedback(self, payload: Dict) -> Dict:
+        """Serve one /feedback body: record a measured-vs-predicted pair.
+
+        ``predicted_us`` may be omitted; the service then replays the
+        prediction itself (same cache and fallback chain as /predict),
+        so clients only ever have to report what they measured.
+        """
+        if self.calibrator is None:
+            raise ServiceError(
+                409, "calibration is not enabled on this server "
+                "(restart with --calibrate)")
+        if not isinstance(payload, dict):
+            raise ServiceError(400, "request body must be a JSON object")
+        measured_us = _require(payload, "measured_us", float,
+                               "the measured execution time in us")
+        predicted_us = payload.get("predicted_us")
+        if predicted_us is None:
+            predicted_us = self.predict(
+                {k: payload.get(k)
+                 for k in ("model", "network", "batch_size",
+                           "gpu", "bandwidth")})["predicted_us"]
+        from repro.calibration import NETWORK_GROUP, FeedbackObservation
+        try:
+            observation = FeedbackObservation(
+                model=_require(payload, "model", str,
+                               "a hosted model name"),
+                network=_require(payload, "network", str,
+                                 "a registered network name"),
+                batch_size=_require(payload, "batch_size", int,
+                                    "a positive int"),
+                gpu=payload.get("gpu"),
+                predicted_us=float(predicted_us),
+                measured_us=measured_us,
+                group=str(payload.get("group", NETWORK_GROUP)),
+                bandwidth=(None if payload.get("bandwidth") is None
+                           else float(payload["bandwidth"])),
+            )
+        except ValueError as exc:
+            raise ServiceError(400, str(exc)) from None
+        state = self.calibrator.record(observation)
+        return {
+            "recorded": True,
+            "model": observation.model,
+            "group": observation.group,
+            "error": round(observation.error, 6),
+            "drift": {
+                "n": state.n,
+                "ewma": round(state.ewma, 6),
+                "ph_statistic": round(state.ph_statistic, 6),
+                "drifted": state.drifted,
+                "triggers": list(state.triggers),
+            },
+        }
+
+    def calibration(self) -> Dict:
+        """Serve GET /calibration: the calibrator's full status."""
+        if self.calibrator is None:
+            raise ServiceError(
+                409, "calibration is not enabled on this server "
+                "(restart with --calibrate)")
+        return self.calibrator.status()
 
     def models(self) -> Dict:
         return {"models": self.registry.describe(),
@@ -238,6 +307,10 @@ class _Handler(BaseHTTPRequestHandler):
             self._instrumented(
                 "models", lambda: (200, self.service.models(),
                                    "application/json"))
+        elif parsed.path == "/calibration":
+            self._instrumented(
+                "calibration", lambda: (200, self.service.calibration(),
+                                        "application/json"))
         elif parsed.path == "/metrics":
             query = parse_qs(parsed.query)
             if query.get("format", ["json"])[0] == "text":
@@ -252,9 +325,13 @@ class _Handler(BaseHTTPRequestHandler):
             self._reply(404, {"error": f"no route for {parsed.path!r}"})
 
     def do_POST(self) -> None:             # noqa: N802 - stdlib signature
-        if urlparse(self.path).path != "/predict":
+        path = urlparse(self.path).path
+        routes = {"/predict": ("predict", self.service.predict),
+                  "/feedback": ("feedback", self.service.feedback)}
+        if path not in routes:
             self._reply(404, {"error": f"no route for {self.path!r}"})
             return
+        endpoint, serve = routes[path]
 
         def handler() -> Tuple[int, Dict, str]:
             length = int(self.headers.get("Content-Length", 0))
@@ -264,9 +341,9 @@ class _Handler(BaseHTTPRequestHandler):
             except json.JSONDecodeError as exc:
                 raise ServiceError(400,
                                    f"body is not valid JSON: {exc}")
-            return 200, self.service.predict(payload), "application/json"
+            return 200, serve(payload), "application/json"
 
-        self._instrumented("predict", handler)
+        self._instrumented(endpoint, handler)
 
 
 def make_server(service_or_registry, host: str = "127.0.0.1",

@@ -1,0 +1,52 @@
+"""Calibration fixtures: a KW incumbent and a drifted substrate."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.calibration.demo import observations_from_rows
+from repro.core.workflow import train_model
+from repro.dataset import build_dataset
+from repro.gpu import gpu
+from repro.gpu.timing import DEFAULT_TIMING
+
+#: Injected degradation of the memory-bandwidth efficiency.
+SHIFT = 1.5
+
+#: Hosted name the incumbent goes by in these tests.
+MODEL_NAME = "kw-a100"
+
+
+@pytest.fixture(scope="session")
+def kw_model(small_dataset):
+    """The incumbent: KW trained on the healthy A100 substrate."""
+    return train_model(small_dataset, "kw", gpu="A100", batch_size=64)
+
+
+@pytest.fixture(scope="session")
+def baseline_64(a100_dataset):
+    return a100_dataset.at_batch(64)
+
+
+@pytest.fixture(scope="session")
+def shifted_64(small_roster):
+    """The same campaign re-measured after a bandwidth regression."""
+    config = replace(
+        DEFAULT_TIMING,
+        bandwidth_efficiency=DEFAULT_TIMING.bandwidth_efficiency / SHIFT)
+    return build_dataset(small_roster, [gpu("A100")], batch_sizes=(64,),
+                         config=config)
+
+
+@pytest.fixture(scope="session")
+def baseline_obs(kw_model, baseline_64, roster_index):
+    return observations_from_rows(MODEL_NAME, kw_model, baseline_64,
+                                  roster_index)
+
+
+@pytest.fixture(scope="session")
+def shifted_obs(kw_model, shifted_64, roster_index):
+    return observations_from_rows(MODEL_NAME, kw_model, shifted_64,
+                                  roster_index)

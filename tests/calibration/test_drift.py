@@ -1,0 +1,111 @@
+"""EWMA + Page-Hinkley drift detection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.calibration import (
+    DriftConfig,
+    DriftDetector,
+    DriftMonitor,
+    FeedbackObservation,
+)
+
+
+def feed(detector, errors):
+    state = None
+    for error in errors:
+        state = detector.update(error)
+    return state
+
+
+class TestConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"ewma_alpha": 0.0}, {"ewma_alpha": 1.5},
+        {"ewma_threshold": 0.0}, {"ph_lambda": -1.0}, {"warmup": 0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            DriftConfig(**kwargs)
+
+
+class TestDetector:
+    def test_no_alarm_during_warmup(self):
+        detector = DriftDetector(DriftConfig(warmup=8))
+        state = feed(detector, [5.0] * 7)      # catastrophic but early
+        assert not state.drifted
+        assert state.triggers == ()
+
+    def test_ewma_backstop_fires_on_bad_level(self):
+        config = DriftConfig(ewma_threshold=0.35, warmup=4)
+        state = feed(DriftDetector(config), [0.6] * 6)
+        assert state.drifted
+        assert "ewma" in state.triggers
+
+    def test_page_hinkley_fires_on_mean_shift(self):
+        # 7% -> 20%: broken for a KW model, but far below any absolute
+        # threshold that tolerates E2E-level error. PH must catch it.
+        config = DriftConfig(ewma_threshold=0.35, ph_delta=0.01,
+                             ph_lambda=0.5, warmup=8)
+        detector = DriftDetector(config)
+        state = feed(detector, [0.07] * 10 + [0.20] * 15)
+        assert state.drifted
+        assert state.triggers == ("page-hinkley",)
+
+    def test_steady_stream_never_alarms(self):
+        config = DriftConfig(ph_delta=0.01, ph_lambda=0.5, warmup=8)
+        state = feed(DriftDetector(config), [0.07] * 200)
+        assert not state.drifted
+
+    def test_ewma_tracks_first_sample_then_smooths(self):
+        detector = DriftDetector(DriftConfig(ewma_alpha=0.5))
+        assert detector.update(0.4).ewma == pytest.approx(0.4)
+        assert detector.update(0.2).ewma == pytest.approx(0.3)
+
+    def test_reset_rearms(self):
+        config = DriftConfig(ewma_threshold=0.35, warmup=2)
+        detector = DriftDetector(config)
+        assert feed(detector, [0.9] * 4).drifted
+        detector.reset()
+        state = detector.state()
+        assert state.n == 0
+        assert not state.drifted
+
+    def test_negative_error_rejected(self):
+        with pytest.raises(ValueError):
+            DriftDetector().update(-0.1)
+
+
+class TestMonitor:
+    @staticmethod
+    def obs(model, group, error):
+        # measured 1.0, predicted 1 + error -> relative error == error
+        return FeedbackObservation(model=model, network="n", batch_size=1,
+                                   gpu=None, predicted_us=1.0 + error,
+                                   measured_us=1.0, group=group)
+
+    def test_detectors_are_per_key(self):
+        monitor = DriftMonitor(DriftConfig(ewma_threshold=0.35, warmup=2))
+        for _ in range(4):
+            monitor.observe(self.obs("a", "g", 0.9))
+            monitor.observe(self.obs("b", "g", 0.01))
+        assert monitor.state("a", "g").drifted
+        assert not monitor.state("b", "g").drifted
+        assert monitor.state("missing", "g") is None
+
+    def test_drifted_maps_model_to_groups(self):
+        monitor = DriftMonitor(DriftConfig(ewma_threshold=0.35, warmup=2))
+        for _ in range(4):
+            monitor.observe(self.obs("a", "g1", 0.9))
+            monitor.observe(self.obs("a", "g2", 0.9))
+            monitor.observe(self.obs("b", "g1", 0.01))
+        assert monitor.drifted() == {"a": ("g1", "g2")}
+
+    def test_reset_one_model(self):
+        monitor = DriftMonitor(DriftConfig(ewma_threshold=0.35, warmup=2))
+        for _ in range(4):
+            monitor.observe(self.obs("a", "g", 0.9))
+            monitor.observe(self.obs("b", "g", 0.9))
+        monitor.reset("a")
+        assert monitor.drifted() == {"b": ("g",)}
+        assert monitor.state("a", "g").n == 0

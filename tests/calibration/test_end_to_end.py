@@ -1,0 +1,235 @@
+"""Acceptance: the full closed loop recovers accuracy after a substrate shift.
+
+This is the PR's demonstration test — substrate shifts, feedback flows,
+drift fires, the refit candidate passes the gate, the promoted version
+drops the error, and rollback restores the prior bytes exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.calibration import (
+    Calibrator,
+    CalibrationLoop,
+    DriftConfig,
+    FeedbackLog,
+    DriftMonitor,
+    ModelStore,
+    ShadowGate,
+)
+from repro.calibration.demo import DEMO_DRIFT, run_drift_demo
+from repro.core.persistence import model_from_dict, save_model
+from repro.service.metrics import MetricsRegistry
+from repro.service.registry import ModelRegistry
+from repro.service.server import PredictionService, ServiceError
+
+from .conftest import MODEL_NAME
+
+
+def make_calibrator(tmp_path, kw_model, metrics=None):
+    calibrator = Calibrator(ModelStore(tmp_path),
+                            feedback=FeedbackLog(window=512),
+                            monitor=DriftMonitor(DEMO_DRIFT),
+                            gate=ShadowGate(),
+                            metrics=metrics)
+    save_model(kw_model, calibrator.store.head_path(MODEL_NAME))
+    calibrator.store.adopt(MODEL_NAME)
+    return calibrator
+
+
+def feed(calibrator, baseline_obs, shifted_obs, rounds=3):
+    for obs in baseline_obs:
+        calibrator.record(obs)
+    for _ in range(rounds):
+        for obs in shifted_obs:
+            calibrator.record(obs)
+
+
+class TestClosedLoop:
+    def test_shift_feedback_refit_promote_rollback(self, tmp_path, kw_model,
+                                                   baseline_obs, shifted_obs):
+        metrics = MetricsRegistry()
+        calibrator = make_calibrator(tmp_path, kw_model, metrics)
+        feed(calibrator, baseline_obs, shifted_obs)
+
+        # drift fired on the sustained shift
+        assert MODEL_NAME in calibrator.monitor.drifted()
+        # counted per alarm *transition*, not per drifted sample
+        alarms = metrics.counter("drift_alarms_total")
+        assert 1 <= alarms < metrics.counter("feedback_total")
+
+        pre_mape = sum(o.error for o in shifted_obs) / len(shifted_obs)
+        events = calibrator.step()
+        assert len(events) == 1
+        event = events[0]
+        assert event["promoted"]
+        assert event["version"] == 2
+        assert event["trigger"].startswith("drift:")
+        assert metrics.counter("refit_candidates_total") == 1
+        assert metrics.counter("refit_promotions_total") == 1
+        assert metrics.counter("refit_rejections_total") == 0
+
+        # the promoted head beats the incumbent on the shifted substrate
+        live = model_from_dict(calibrator.store.document(MODEL_NAME))
+        post_mape = calibrator.gate.mape(live, list(shifted_obs))
+        assert post_mape < pre_mape
+
+        # promotion reset the stream state for the model
+        assert calibrator.feedback.window_for(MODEL_NAME) == []
+        assert calibrator.monitor.drifted() == {}
+
+        # rollback restores v1 byte-for-byte
+        v1_bytes = calibrator.store.version_path(MODEL_NAME, 1).read_bytes()
+        assert calibrator.store.rollback(MODEL_NAME) == 1
+        assert calibrator.store.head_path(
+            MODEL_NAME).read_bytes() == v1_bytes
+
+    def test_step_without_drift_is_a_noop(self, tmp_path, kw_model,
+                                          baseline_obs):
+        calibrator = make_calibrator(tmp_path, kw_model)
+        for obs in baseline_obs:
+            calibrator.record(obs)
+        assert calibrator.step() == []
+        assert calibrator.store.versions(MODEL_NAME) == [1]
+
+    def test_status_payload(self, tmp_path, kw_model, baseline_obs,
+                            shifted_obs):
+        calibrator = make_calibrator(tmp_path, kw_model)
+        feed(calibrator, baseline_obs, shifted_obs)
+        calibrator.step()
+        status = calibrator.status()
+        assert status["feedback"]["recorded_total"] == \
+            len(baseline_obs) + 3 * len(shifted_obs)
+        assert status["store"][MODEL_NAME]["live"] == 2
+        assert status["events"][-1]["promoted"]
+        assert set(status) == {"feedback", "drift", "store", "events"}
+
+    def test_refit_error_becomes_event(self, tmp_path, kw_model,
+                                       baseline_obs, shifted_obs):
+        metrics = MetricsRegistry()
+        calibrator = make_calibrator(tmp_path, kw_model, metrics)
+        feed(calibrator, baseline_obs, shifted_obs)
+        # sabotage the store: the head vanishes between alarm and refit
+        calibrator.store.head_path(MODEL_NAME).unlink()
+        events = calibrator.step()
+        assert len(events) == 1
+        assert not events[0]["promoted"]
+        assert "error" in events[0]
+        assert metrics.counter("refit_errors_total") == 1
+
+
+class TestServiceIntegration:
+    @pytest.fixture()
+    def service(self, tmp_path, kw_model):
+        calibrator = make_calibrator(tmp_path, kw_model,
+                                     MetricsRegistry())
+        registry = ModelRegistry(tmp_path)
+        return PredictionService(registry, metrics=calibrator.metrics,
+                                 calibrator=calibrator)
+
+    def test_feedback_roundtrip(self, service):
+        response = service.feedback({
+            "model": MODEL_NAME, "network": "resnet18", "batch_size": 64,
+            "predicted_us": 100.0, "measured_us": 125.0})
+        assert response["recorded"]
+        assert response["error"] == pytest.approx(0.2)
+        assert response["drift"]["n"] == 1
+        assert service.metrics.counter("feedback_total") == 1
+
+    def test_feedback_replays_prediction_when_omitted(self, service):
+        response = service.feedback({
+            "model": MODEL_NAME, "network": "resnet18", "batch_size": 64,
+            "measured_us": 1e5})
+        assert response["recorded"]
+        assert response["error"] >= 0.0
+
+    def test_feedback_validates_measured(self, service):
+        with pytest.raises(ServiceError) as exc:
+            service.feedback({"model": MODEL_NAME, "network": "resnet18",
+                              "batch_size": 64, "predicted_us": 100.0})
+        assert exc.value.status == 400
+        assert "measured_us" in exc.value.message
+
+    def test_calibration_status_endpoint(self, service):
+        service.feedback({
+            "model": MODEL_NAME, "network": "resnet18", "batch_size": 64,
+            "predicted_us": 100.0, "measured_us": 125.0})
+        status = service.calibration()
+        assert status["feedback"]["recorded_total"] == 1
+        assert MODEL_NAME in status["store"]
+
+    def test_409_without_calibrator(self, tmp_path, kw_model):
+        save_model(kw_model, tmp_path / f"{MODEL_NAME}.json")
+        service = PredictionService(ModelRegistry(tmp_path))
+        for call in (lambda: service.feedback({}),
+                     service.calibration):
+            with pytest.raises(ServiceError) as exc:
+                call()
+            assert exc.value.status == 409
+            assert "--calibrate" in exc.value.message
+
+    def test_promotion_reaches_the_serving_path(self, service,
+                                                shifted_obs, baseline_obs,
+                                                roster_index):
+        """After step() promotes, /predict serves the corrected model."""
+        network = shifted_obs[0].network
+        before = service.predict({"model": MODEL_NAME, "network": network,
+                                  "batch_size": 64})["predicted_us"]
+        feed(service.calibrator, baseline_obs, shifted_obs)
+        events = service.calibrator.step()
+        assert events and events[0]["promoted"]
+        after = service.predict({"model": MODEL_NAME, "network": network,
+                                 "batch_size": 64})["predicted_us"]
+        slope = events[0]["correction"]["slope"]
+        assert after == pytest.approx(slope * before, rel=1e-9)
+
+
+class TestLoopThread:
+    def test_background_loop_promotes(self, tmp_path, kw_model,
+                                      baseline_obs, shifted_obs):
+        calibrator = make_calibrator(tmp_path, kw_model)
+        feed(calibrator, baseline_obs, shifted_obs)
+        loop = CalibrationLoop(calibrator, interval_s=0.05)
+        loop.start()
+        try:
+            deadline = 100
+            while (calibrator.store.head_version(MODEL_NAME) != 2
+                   and deadline > 0):
+                import time
+                time.sleep(0.05)
+                deadline -= 1
+            assert calibrator.store.head_version(MODEL_NAME) == 2
+        finally:
+            loop.stop()
+        assert not loop.running
+
+    def test_rejects_bad_interval(self, tmp_path, kw_model):
+        with pytest.raises(ValueError):
+            CalibrationLoop(make_calibrator(tmp_path, kw_model),
+                            interval_s=0.0)
+
+    def test_double_start_raises(self, tmp_path, kw_model):
+        loop = CalibrationLoop(make_calibrator(tmp_path, kw_model),
+                               interval_s=60.0)
+        loop.start()
+        try:
+            with pytest.raises(RuntimeError):
+                loop.start()
+        finally:
+            loop.stop()
+
+
+class TestDemoScenario:
+    def test_run_drift_demo(self, tmp_path):
+        report = run_drift_demo(tmp_path)
+        assert report.ok
+        assert report.promoted_version == 2
+        assert report.post_mape < report.pre_mape
+        assert 1.0 < report.correction_slope < report.shift
+        assert report.rollback_exact
+        assert "closed loop" in report.render()
+
+    def test_rejects_non_degrading_shift(self, tmp_path):
+        with pytest.raises(ValueError, match="shift"):
+            run_drift_demo(tmp_path, shift=0.9)

@@ -1,0 +1,141 @@
+"""FeedbackObservation and the bounded, thread-safe FeedbackLog."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.calibration import NETWORK_GROUP, FeedbackLog, FeedbackObservation
+
+
+def obs(model="m", network="resnet18", batch_size=64, gpu=None,
+        predicted=100.0, measured=125.0, group=NETWORK_GROUP):
+    return FeedbackObservation(model=model, network=network,
+                               batch_size=batch_size, gpu=gpu,
+                               predicted_us=predicted, measured_us=measured,
+                               group=group)
+
+
+class TestObservation:
+    def test_ratio_and_error(self):
+        o = obs(predicted=100.0, measured=125.0)
+        assert o.ratio == pytest.approx(1.25)
+        assert o.error == pytest.approx(0.2)   # |100/125 - 1|
+
+    def test_key_is_model_and_group(self):
+        assert obs(model="a", group="g").key() == ("a", "g")
+
+    @pytest.mark.parametrize("kwargs", [
+        {"predicted": 0.0}, {"predicted": -1.0},
+        {"measured": 0.0}, {"measured": -5.0},
+        {"batch_size": 0},
+    ])
+    def test_rejects_non_positive_fields(self, kwargs):
+        with pytest.raises(ValueError):
+            obs(**kwargs)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            obs().measured_us = 1.0
+
+
+class TestFeedbackLog:
+    def test_window_bounds_per_group(self):
+        log = FeedbackLog(window=4)
+        for i in range(6):
+            log.record(obs(predicted=100.0 + i))
+        window = log.window_for("m")
+        assert len(window) == 4
+        # the two oldest fell off the ring
+        assert [o.predicted_us for o in window] == [102.0, 103.0,
+                                                    104.0, 105.0]
+
+    def test_groups_are_isolated(self):
+        log = FeedbackLog(window=2)
+        log.record(obs(group="a"))
+        log.record(obs(group="a"))
+        log.record(obs(group="b"))
+        assert len(log.window_for("m", "a")) == 2
+        assert len(log.window_for("m", "b")) == 1
+        assert len(log.window_for("m")) == 3       # merged view
+        assert log.window_for("m", "missing") == []
+
+    def test_models_do_not_evict_each_other(self):
+        log = FeedbackLog(window=2)
+        for _ in range(5):
+            log.record(obs(model="chatty"))
+        log.record(obs(model="quiet"))
+        assert len(log.window_for("quiet")) == 1
+
+    def test_lru_group_eviction(self):
+        log = FeedbackLog(window=4, max_groups=2)
+        log.record(obs(group="a"))
+        log.record(obs(group="b"))
+        log.record(obs(group="c"))                 # evicts "a"
+        assert ("m", "a") not in log.groups()
+        assert log.window_for("m", "a") == []
+        assert len(log.window_for("m", "b")) == 1
+
+    def test_recording_refreshes_lru_position(self):
+        log = FeedbackLog(window=4, max_groups=2)
+        log.record(obs(group="a"))
+        log.record(obs(group="b"))
+        log.record(obs(group="a"))                 # "b" is now LRU
+        log.record(obs(group="c"))                 # evicts "b", not "a"
+        assert ("m", "a") in log.groups()
+        assert ("m", "b") not in log.groups()
+
+    def test_counts_and_totals(self):
+        log = FeedbackLog(window=2)
+        for _ in range(3):
+            log.record(obs())
+        log.record(obs(model="other"))
+        assert log.counts() == {"m": {NETWORK_GROUP: 2},
+                                "other": {NETWORK_GROUP: 1}}
+        assert log.models() == ["m", "other"]
+        assert len(log) == 3
+        assert log.recorded_total == 4             # monotone, unbounded
+
+    def test_mape_is_mean_relative_error(self):
+        log = FeedbackLog()
+        log.record(obs(predicted=100.0, measured=125.0))   # error 0.2
+        log.record(obs(predicted=110.0, measured=100.0))   # error 0.1
+        assert log.mape("m") == pytest.approx(0.15)
+
+    def test_mape_without_feedback_raises(self):
+        with pytest.raises(ValueError, match="no feedback"):
+            FeedbackLog().mape("missing")
+
+    def test_clear_one_model(self):
+        log = FeedbackLog()
+        log.record(obs(model="a"))
+        log.record(obs(model="b"))
+        log.clear("a")
+        assert log.window_for("a") == []
+        assert len(log.window_for("b")) == 1
+        log.clear()
+        assert len(log) == 0
+
+    @pytest.mark.parametrize("kwargs", [{"window": 0}, {"max_groups": 0}])
+    def test_rejects_bad_limits(self, kwargs):
+        with pytest.raises(ValueError):
+            FeedbackLog(**kwargs)
+
+    def test_concurrent_records_are_not_lost(self):
+        log = FeedbackLog(window=4096)
+        per_thread = 200
+
+        def hammer(model):
+            for _ in range(per_thread):
+                log.record(obs(model=model))
+
+        threads = [threading.Thread(target=hammer, args=(f"m{i}",))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert log.recorded_total == 4 * per_thread
+        assert all(len(log.window_for(f"m{i}")) == per_thread
+                   for i in range(4))

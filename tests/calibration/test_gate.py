@@ -1,0 +1,167 @@
+"""Shadow gate: candidates must beat the incumbent on the live window."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.calibration import (
+    NETWORK_GROUP,
+    FeedbackObservation,
+    GateConfig,
+    ShadowGate,
+)
+from repro.core.workflow import train_inter_gpu_model
+from repro.gpu import gpu
+
+
+class StubModel:
+    """Predicts scale * measured for whatever the window holds."""
+
+    def __init__(self, by_network):
+        self.by_network = by_network
+
+    def predict_network(self, network, batch_size):
+        return self.by_network[network]
+
+
+def builder(name):
+    # the gate only passes the built object back to the model; a string
+    # key is all the stubs need
+    return name
+
+
+def window(measured_by_network):
+    return [FeedbackObservation(model="m", network=name, batch_size=64,
+                                gpu=None, predicted_us=1.0,
+                                measured_us=measured, group=NETWORK_GROUP)
+            for name, measured in measured_by_network.items()]
+
+
+def stub(measured_by_network, scale):
+    return StubModel({name: scale * measured
+                      for name, measured in measured_by_network.items()})
+
+
+MEASURED = {f"net{i}": 100.0 * (i + 1) for i in range(10)}
+
+
+class TestConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"min_samples": 0}, {"min_improvement": -0.1},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            GateConfig(**kwargs)
+
+
+class TestMape:
+    def test_is_mean_relative_error(self):
+        gate = ShadowGate(network_builder=builder)
+        assert gate.mape(stub(MEASURED, 1.1),
+                         window(MEASURED)) == pytest.approx(0.1)
+
+    def test_empty_window_raises(self):
+        with pytest.raises(ValueError, match="empty window"):
+            ShadowGate(network_builder=builder).mape(stub(MEASURED, 1.0), [])
+
+    def test_networks_are_built_once(self):
+        calls = []
+
+        def counting(name):
+            calls.append(name)
+            return name
+
+        gate = ShadowGate(network_builder=counting)
+        gate.mape(stub(MEASURED, 1.0), window(MEASURED) * 3)
+        assert sorted(calls) == sorted(MEASURED)
+
+
+class TestEvaluate:
+    def test_refuses_thin_windows(self):
+        gate = ShadowGate(GateConfig(min_samples=8), network_builder=builder)
+        decision = gate.evaluate(stub(MEASURED, 1.2), stub(MEASURED, 1.0),
+                                 window(MEASURED)[:3])
+        assert not decision.promote
+        assert decision.n_samples == 3
+        assert math.isnan(decision.incumbent_mape)
+        assert math.isnan(decision.candidate_mape)
+        assert "needs >= 8" in decision.reason
+
+    def test_promotes_a_better_candidate(self):
+        gate = ShadowGate(network_builder=builder)
+        decision = gate.evaluate(stub(MEASURED, 1.3), stub(MEASURED, 1.05),
+                                 window(MEASURED))
+        assert decision.promote
+        assert decision.incumbent_mape == pytest.approx(0.3)
+        assert decision.candidate_mape == pytest.approx(0.05)
+        assert "beats" in decision.reason
+
+    def test_rejects_a_worse_candidate(self):
+        gate = ShadowGate(network_builder=builder)
+        decision = gate.evaluate(stub(MEASURED, 1.05), stub(MEASURED, 1.3),
+                                 window(MEASURED))
+        assert not decision.promote
+
+    def test_equal_mape_is_rejected(self):
+        """Improvement must be strict: ties keep the incumbent."""
+        gate = ShadowGate(network_builder=builder)
+        decision = gate.evaluate(stub(MEASURED, 1.1), stub(MEASURED, 1.1),
+                                 window(MEASURED))
+        assert not decision.promote
+
+    def test_min_improvement_margin(self):
+        gate = ShadowGate(GateConfig(min_improvement=0.1),
+                          network_builder=builder)
+        decision = gate.evaluate(stub(MEASURED, 1.15), stub(MEASURED, 1.10),
+                                 window(MEASURED))
+        assert not decision.promote          # improved, but only by 0.05
+        decision = gate.evaluate(stub(MEASURED, 1.30), stub(MEASURED, 1.05),
+                                 window(MEASURED))
+        assert decision.promote
+
+    def test_incumbent_mape_passthrough(self):
+        gate = ShadowGate(network_builder=builder)
+        decision = gate.evaluate(stub(MEASURED, 1.3), stub(MEASURED, 1.05),
+                                 window(MEASURED), incumbent_mape=0.02)
+        assert not decision.promote          # caller's score wins
+        assert decision.incumbent_mape == pytest.approx(0.02)
+
+    def test_describe_is_json_ready(self):
+        gate = ShadowGate(network_builder=builder)
+        decision = gate.evaluate(stub(MEASURED, 1.3), stub(MEASURED, 1.05),
+                                 window(MEASURED))
+        described = decision.describe()
+        assert described["promote"] is True
+        assert set(described) == {"promote", "incumbent_mape",
+                                  "candidate_mape", "n_samples", "reason"}
+
+
+class TestIGKWPath:
+    @pytest.fixture(scope="class")
+    def igkw(self, small_dataset):
+        return train_inter_gpu_model(
+            small_dataset, [gpu("A100"), gpu("TITAN RTX")], batch_size=64)
+
+    def test_retargets_per_observation(self, igkw, baseline_64,
+                                       roster_index):
+        gate = ShadowGate()
+        rows = baseline_64.network_rows[:4]
+        obs = [FeedbackObservation(model="igkw", network=row.network,
+                                   batch_size=64, gpu=row.gpu,
+                                   predicted_us=1.0,
+                                   measured_us=row.e2e_us,
+                                   group=NETWORK_GROUP)
+               for row in rows]
+        # trained on this GPU: replay error should be small
+        assert gate.mape(igkw, obs) < 0.25
+
+    def test_missing_gpu_raises(self, igkw):
+        gate = ShadowGate()
+        observation = FeedbackObservation(model="igkw", network="resnet18",
+                                          batch_size=64, gpu=None,
+                                          predicted_us=1.0, measured_us=1.0,
+                                          group=NETWORK_GROUP)
+        with pytest.raises(ValueError, match="lacks the target"):
+            gate.mape(igkw, [observation])

@@ -1,0 +1,239 @@
+"""Correction regression, exact per-kind folding, and warm-started refits."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.calibration import (
+    NETWORK_GROUP,
+    POOLED,
+    STATS_KEY,
+    FeedbackObservation,
+    apply_correction,
+    correction_from_stats,
+    incremental_refit,
+    observe_correction,
+    stats_from_document,
+    stats_to_document,
+    transform_stats_x,
+)
+from repro.core.linreg import LinearFit
+from repro.core.online import OnlineLinearFit
+from repro.core.persistence import model_from_dict, model_to_dict
+from repro.core.workflow import train_inter_gpu_model, train_model
+from repro.gpu import gpu
+
+SCALE = LinearFit(1.3, 0.0, 1.0, 4)
+
+
+def obs(predicted, measured, group=NETWORK_GROUP):
+    return FeedbackObservation(model="m", network="n", batch_size=64,
+                               gpu=None, predicted_us=predicted,
+                               measured_us=measured, group=group)
+
+
+class TestObserveCorrection:
+    def test_feeds_group_and_pooled(self):
+        stats = {}
+        n = observe_correction(stats, [obs(100.0, 130.0, group="a"),
+                                       obs(200.0, 260.0, group="b")])
+        assert n == 2
+        assert stats["a"].n == 1
+        assert stats["b"].n == 1
+        assert stats[POOLED].n == 2
+
+    def test_weight_is_inverse_square_measured(self):
+        stats = {}
+        observe_correction(stats, [obs(100.0, 200.0)])
+        assert stats[POOLED].w_sum == pytest.approx(1.0 / 200.0 ** 2)
+
+
+class TestCorrectionFromStats:
+    def test_e2e_takes_affine(self):
+        stats = {}
+        # y = 2x + 10 exactly
+        observe_correction(stats, [obs(x, 2.0 * x + 10.0)
+                                   for x in (50.0, 100.0, 200.0)])
+        line = correction_from_stats(stats, "e2e")
+        assert line.slope == pytest.approx(2.0)
+        assert line.intercept == pytest.approx(10.0)
+
+    def test_other_kinds_take_through_origin(self):
+        stats = {}
+        observe_correction(stats, [obs(x, 1.5 * x)
+                                   for x in (50.0, 100.0, 200.0)])
+        line = correction_from_stats(stats, "kw")
+        assert line.slope == pytest.approx(1.5)
+        assert line.intercept == 0.0
+        assert line.r2 == pytest.approx(1.0)
+
+    def test_empty_stats_raise(self):
+        with pytest.raises(ValueError, match="no correction statistics"):
+            correction_from_stats({}, "kw")
+
+
+class TestApplyCorrection:
+    """The folded candidate predicts correction(incumbent) exactly."""
+
+    def networks(self, roster_index):
+        return list(roster_index.values())[:3]
+
+    def test_e2e_affine(self, small_dataset, roster_index):
+        model = train_model(small_dataset, "e2e", gpu="A100", batch_size=64)
+        correction = LinearFit(1.3, 25.0, 1.0, 4)
+        folded = model_from_dict(
+            apply_correction(model_to_dict(model), correction))
+        for network in self.networks(roster_index):
+            base = model.predict_network(network, 64)
+            assert folded.predict_network(network, 64) == pytest.approx(
+                1.3 * base + 25.0)
+
+    @pytest.mark.parametrize("kind", ["lw", "kw"])
+    def test_single_gpu_kinds_scale(self, small_dataset, roster_index, kind):
+        model = train_model(small_dataset, kind, gpu="A100", batch_size=64)
+        folded = model_from_dict(
+            apply_correction(model_to_dict(model), SCALE))
+        for network in self.networks(roster_index):
+            assert folded.predict_network(network, 64) == pytest.approx(
+                1.3 * model.predict_network(network, 64))
+
+    def test_igkw_scales_on_unseen_gpu(self, small_dataset, roster_index):
+        model = train_inter_gpu_model(
+            small_dataset, [gpu("A100"), gpu("TITAN RTX")], batch_size=64)
+        folded = model_from_dict(
+            apply_correction(model_to_dict(model), SCALE))
+        target = gpu("V100")       # retarget path, not a training GPU
+        for network in self.networks(roster_index):
+            base = model.for_gpu(target).predict_network(network, 64)
+            assert folded.for_gpu(target).predict_network(
+                network, 64) == pytest.approx(1.3 * base)
+
+    def test_rejects_non_positive_scale(self, small_dataset):
+        document = model_to_dict(
+            train_model(small_dataset, "lw", gpu="A100", batch_size=64))
+        with pytest.raises(ValueError, match="must be positive"):
+            apply_correction(document, LinearFit(-0.5, 0.0, 0.0, 1))
+
+    def test_rejects_intercept_for_summed_kinds(self, small_dataset):
+        document = model_to_dict(
+            train_model(small_dataset, "lw", gpu="A100", batch_size=64))
+        with pytest.raises(ValueError, match="through-origin"):
+            apply_correction(document, LinearFit(1.2, 5.0, 0.0, 1))
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            apply_correction({"kind": "mystery"}, SCALE)
+
+
+class TestTransformStats:
+    def test_matches_reobserving_transformed_x(self):
+        pairs = [(50.0, 120.0, 1.0), (100.0, 260.0, 0.5),
+                 (200.0, 510.0, 0.25)]
+        acc = OnlineLinearFit()
+        direct = OnlineLinearFit()
+        a, b = 1.3, 25.0
+        for x, y, w in pairs:
+            acc.observe(x, y, weight=w)
+            direct.observe(a * x + b, y, weight=w)
+        moved = transform_stats_x({"g": acc}, LinearFit(a, b, 1.0, 3))["g"]
+        for field, expected in direct.state_dict().items():
+            assert moved.state_dict()[field] == pytest.approx(expected)
+
+    def test_refit_on_transformed_stats_is_identity(self):
+        stats = {}
+        observe_correction(stats, [obs(x, 2.0 * x + 10.0)
+                                   for x in (50.0, 100.0, 200.0)])
+        correction = correction_from_stats(stats, "e2e")
+        moved = transform_stats_x(stats, correction)
+        line = correction_from_stats(moved, "e2e")
+        assert line.slope == pytest.approx(1.0)
+        assert line.intercept == pytest.approx(0.0, abs=1e-9)
+
+
+class TestIncrementalRefit:
+    def test_refit_needs_observations(self, small_dataset):
+        document = model_to_dict(
+            train_model(small_dataset, "kw", gpu="A100", batch_size=64))
+        with pytest.raises(ValueError, match="at least one"):
+            incremental_refit(document, [])
+
+    def test_candidate_learns_the_scale(self, kw_model, shifted_obs):
+        result = incremental_refit(model_to_dict(kw_model),
+                                   list(shifted_obs))
+        # the substrate ran 1.5x slower on the memory-bound share of the
+        # time, so the learned scale lands between 1 and 1.5
+        assert 1.0 < result.correction.slope < 1.5
+        assert result.n_new == len(shifted_obs)
+        assert result.n_total == result.n_new
+        assert STATS_KEY not in result.document
+        assert result.model.predict_network is not None
+
+    def test_warm_start_merges_persisted_stats(self, kw_model, shifted_obs):
+        document = model_to_dict(kw_model)
+        first = incremental_refit(document, list(shifted_obs))
+        versioned = dict(first.document,
+                         **{STATS_KEY: stats_to_document(first.stats)})
+        again = incremental_refit(versioned, list(shifted_obs)[:4])
+        assert again.n_new == 4
+        assert again.n_total == first.n_total + 4
+
+    def test_chained_refit_converges(self, kw_model, shifted_obs,
+                                     roster_index):
+        """Version n+1 must not re-apply version n's correction."""
+        document = model_to_dict(kw_model)
+        first = incremental_refit(document, list(shifted_obs))
+        versioned = dict(first.document,
+                         **{STATS_KEY: stats_to_document(first.stats)})
+        # feed the SAME shifted truth again: the candidate already fits
+        # it, so the second correction must be ~identity
+        second_window = [
+            FeedbackObservation(model=o.model, network=o.network,
+                                batch_size=o.batch_size, gpu=o.gpu,
+                                predicted_us=first.model.predict_network(
+                                    roster_index[o.network], o.batch_size),
+                                measured_us=o.measured_us, group=o.group)
+            for o in shifted_obs
+        ]
+        second = incremental_refit(versioned, second_window)
+        assert second.correction.slope == pytest.approx(1.0, abs=0.02)
+
+    def test_extra_stats_seed_the_pool(self, kw_model, shifted_obs,
+                                       baseline_obs):
+        document = model_to_dict(kw_model)
+        seed = {}
+        observe_correction(seed, list(baseline_obs))
+        seeded = incremental_refit(document, list(shifted_obs),
+                                   extra_stats=seed)
+        plain = incremental_refit(document, list(shifted_obs))
+        assert seeded.n_total == plain.n_total + len(baseline_obs)
+        # baseline pairs say "no shift", dragging the scale toward 1
+        assert seeded.correction.slope < plain.correction.slope
+
+
+class TestStatsSerialisation:
+    def test_roundtrip_is_exact(self):
+        stats = {}
+        observe_correction(stats, [obs(100.0, 130.0), obs(50.0, 66.0)])
+        revived = stats_from_document(
+            {STATS_KEY: stats_to_document(stats)})
+        assert set(revived) == set(stats)
+        assert all(revived[g].state_dict() == stats[g].state_dict()
+                   for g in stats)
+
+    def test_document_without_stats_revives_empty(self):
+        assert stats_from_document({}) == {}
+
+
+class TestFitThroughOrigin:
+    def test_exact_line(self):
+        acc = OnlineLinearFit()
+        for x in (1.0, 2.0, 3.0):
+            acc.observe(x, 2.0 * x)
+        line = acc.fit_through_origin()
+        assert line.slope == pytest.approx(2.0)
+        assert line.intercept == 0.0
+        assert line.r2 == pytest.approx(1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            OnlineLinearFit().fit_through_origin()

@@ -1,0 +1,201 @@
+"""Versioned model store: lineage, atomic promote, byte-exact rollback."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.calibration import (
+    LINEAGE_KEY,
+    NETWORK_GROUP,
+    STATS_KEY,
+    FeedbackObservation,
+    ModelStore,
+    StoreError,
+    lineage_block,
+    observe_correction,
+    stats_from_document,
+    stats_roundtrip_exact,
+)
+from repro.core.persistence import save_model
+from repro.service.registry import ModelRegistry
+
+
+def obs(predicted, measured):
+    return FeedbackObservation(model="m", network="n", batch_size=64,
+                               gpu=None, predicted_us=predicted,
+                               measured_us=measured, group=NETWORK_GROUP)
+
+
+@pytest.fixture()
+def store(tmp_path, kw_model):
+    """A store whose directory holds one pre-store (unversioned) head."""
+    save_model(kw_model, tmp_path / "kw-a100.json")
+    return ModelStore(tmp_path)
+
+
+def sample_stats():
+    stats = {}
+    observe_correction(stats, [obs(100.0, 130.0), obs(50.0, 64.0),
+                               obs(200.0, 270.0)])
+    return stats
+
+
+class TestLineageBlock:
+    def test_well_formed(self):
+        block = lineage_block(3, 2, "drift:network", refit_samples=17)
+        assert block == {"version": 3, "parent": 2,
+                         "trigger": "drift:network", "refit_samples": 17}
+
+    @pytest.mark.parametrize("version,parent", [
+        (0, None), (2, 2), (2, 5), (3, 0),
+    ])
+    def test_rejects_bad_numbers(self, version, parent):
+        with pytest.raises(ValueError):
+            lineage_block(version, parent, "t")
+
+
+class TestAdopt:
+    def test_snapshots_head_as_v1(self, store):
+        assert store.adopt("kw-a100") == 1
+        assert store.versions("kw-a100") == [1]
+        lineage = store.document("kw-a100", 1)[LINEAGE_KEY]
+        assert lineage["version"] == 1
+        assert lineage["parent"] is None
+        assert lineage["trigger"] == "adopted"
+        assert store.head_version("kw-a100") == 1
+
+    def test_head_becomes_byte_copy_of_v1(self, store):
+        store.adopt("kw-a100")
+        head = store.head_path("kw-a100").read_bytes()
+        assert head == store.version_path("kw-a100", 1).read_bytes()
+
+    def test_idempotent(self, store):
+        assert store.adopt("kw-a100") == 1
+        assert store.adopt("kw-a100") == 1
+        assert store.versions("kw-a100") == [1]
+
+    def test_unknown_name_raises(self, store):
+        with pytest.raises(StoreError, match="no head"):
+            store.adopt("missing")
+
+
+class TestPublish:
+    def test_stamps_lineage_and_stats(self, store, kw_model):
+        stats = sample_stats()
+        version = store.publish("kw-a100", kw_model, trigger="drift:network",
+                                stats=stats, refit_samples=3)
+        assert version == 2                    # pre-store head auto-adopted
+        document = store.document("kw-a100", 2)
+        assert document[LINEAGE_KEY] == {
+            "version": 2, "parent": 1, "trigger": "drift:network",
+            "refit_samples": 3}
+        revived = stats_from_document(document)
+        assert all(revived[g].state_dict() == stats[g].state_dict()
+                   for g in stats)
+        assert set(revived) == set(stats)
+
+    def test_promotes_by_default(self, store, kw_model):
+        store.publish("kw-a100", kw_model, trigger="t")
+        assert store.head_version("kw-a100") == 2
+        assert store.head_path("kw-a100").read_bytes() == \
+            store.version_path("kw-a100", 2).read_bytes()
+
+    def test_promote_false_keeps_live_version(self, store, kw_model):
+        version = store.publish("kw-a100", kw_model, trigger="t",
+                                promote=False)
+        assert version == 2
+        # the auto-adopted v1 stays live; v2 is recorded but dormant
+        assert store.head_version("kw-a100") == 1
+        assert store.head_path("kw-a100").read_bytes() == \
+            store.version_path("kw-a100", 1).read_bytes()
+
+    def test_accepts_plain_documents(self, store):
+        document = store.document("kw-a100")
+        version = store.publish("kw-a100", document, trigger="manual")
+        assert store.document("kw-a100", version)["kind"] == "kw"
+
+    def test_parent_chains_across_publishes(self, store, kw_model):
+        store.publish("kw-a100", kw_model, trigger="a")
+        store.publish("kw-a100", kw_model, trigger="b")
+        lineage = store.lineage("kw-a100")
+        assert [entry["version"] for entry in lineage] == [1, 2, 3]
+        assert [entry["parent"] for entry in lineage] == [None, 1, 2]
+        assert [entry["live"] for entry in lineage] == [False, False, True]
+
+
+class TestPromoteRollback:
+    def test_promote_unknown_version_raises(self, store):
+        store.adopt("kw-a100")
+        with pytest.raises(StoreError, match="no recorded version v9"):
+            store.promote("kw-a100", 9)
+
+    def test_rollback_restores_parent_bytes(self, store, kw_model):
+        store.adopt("kw-a100")
+        v1_bytes = store.version_path("kw-a100", 1).read_bytes()
+        store.publish("kw-a100", kw_model, trigger="drift",
+                      stats=sample_stats())
+        assert store.head_path("kw-a100").read_bytes() != v1_bytes
+        assert store.rollback("kw-a100") == 1
+        assert store.head_path("kw-a100").read_bytes() == v1_bytes
+        # history is untouched: rolling forward again is possible
+        store.promote("kw-a100", 2)
+        assert store.head_version("kw-a100") == 2
+
+    def test_rollback_without_versions_raises(self, store):
+        with pytest.raises(StoreError, match="no versioned head"):
+            store.rollback("kw-a100")
+
+    def test_rollback_without_parent_raises(self, store):
+        store.adopt("kw-a100")
+        with pytest.raises(StoreError, match="no parent"):
+            store.rollback("kw-a100")
+
+
+class TestDescribe:
+    def test_summary_shape(self, store, kw_model):
+        store.publish("kw-a100", kw_model, trigger="drift")
+        summary = store.describe()
+        assert summary["kw-a100"]["versions"] == [1, 2]
+        assert summary["kw-a100"]["live"] == 2
+        assert len(summary["kw-a100"]["lineage"]) == 2
+
+
+class TestRegistryIntegration:
+    """The store shares its directory with the serving registry."""
+
+    def test_version_dirs_are_invisible(self, store, kw_model):
+        store.publish("kw-a100", kw_model, trigger="drift")
+        registry = ModelRegistry(store.directory)
+        assert registry.names() == ["kw-a100"]
+        assert not registry.errors
+
+    def test_promote_hot_reloads(self, store, kw_model, roster_index):
+        registry = ModelRegistry(store.directory)
+        network = next(iter(roster_index.values()))
+        before = registry.get("kw-a100").model.predict_network(network, 64)
+
+        from repro.calibration import apply_correction
+        from repro.core.linreg import LinearFit
+        from repro.core.persistence import model_to_dict
+        doubled = apply_correction(model_to_dict(kw_model),
+                                   LinearFit(2.0, 0.0, 1.0, 1))
+        store.publish("kw-a100", doubled, trigger="drift")
+
+        entry = registry.get("kw-a100")
+        assert entry.reloads == 1
+        assert entry.model.predict_network(network, 64) == pytest.approx(
+            2.0 * before)
+
+
+class TestStatsRoundtrip:
+    def test_exact_through_json(self):
+        assert stats_roundtrip_exact(sample_stats())
+
+    def test_head_document_is_valid_json(self, store, kw_model):
+        store.publish("kw-a100", kw_model, trigger="t",
+                      stats=sample_stats())
+        document = json.loads(store.head_path("kw-a100").read_text())
+        assert LINEAGE_KEY in document
+        assert STATS_KEY in document

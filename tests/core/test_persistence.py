@@ -1,16 +1,22 @@
 """Tests for model persistence (save/load JSON round-trips)."""
 
+import json
+
 import pytest
 
 from repro.core import (
+    check_format_version,
+    load_document,
     load_model,
     model_from_dict,
     model_to_dict,
+    save_document,
     save_model,
     train_inter_gpu_model,
     train_model,
 )
 from repro.core.e2e import EndToEndModel
+from repro.core.persistence import FORMAT_VERSION
 from repro.gpu import gpu
 
 
@@ -115,3 +121,70 @@ class TestValidation:
     def test_load_missing_file(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             load_model(tmp_path / "nope.json")
+
+
+class TestFormatVersioning:
+    """Forward-compatibility: foreign versions fail loudly, not weirdly."""
+
+    @pytest.mark.parametrize("version", [FORMAT_VERSION + 1, 0, None, "1"])
+    def test_foreign_version_rejected_by_name(self, version):
+        with pytest.raises(ValueError) as exc:
+            check_format_version({"format_version": version, "kind": "e2e"})
+        # the message must tell the operator which version this build reads
+        assert f"version {FORMAT_VERSION}" in str(exc.value)
+        assert repr(version) in str(exc.value)
+
+    def test_load_document_checks_version(self, tmp_path, trained_models):
+        path = tmp_path / "future.json"
+        document = model_to_dict(trained_models["e2e"])
+        document["format_version"] = FORMAT_VERSION + 1
+        path.write_text(json.dumps(document))
+        with pytest.raises(ValueError, match="unsupported model format"):
+            load_document(path)
+        with pytest.raises(ValueError, match="unsupported model format"):
+            load_model(path)
+
+    def test_extra_document_sections_survive_and_load(self, tmp_path,
+                                                      trained_models,
+                                                      small_roster):
+        """Calibration lineage and statistics ride along untouched."""
+        document = model_to_dict(trained_models["kw"])
+        document["calibration"] = {"version": 2, "parent": 1,
+                                   "trigger": "drift:network",
+                                   "refit_samples": 16}
+        document["sufficient_stats"] = {
+            "__pooled__": {"n": 2, "w_sum": 2.0, "sx": 3.0, "sy": 4.0,
+                           "sxx": 5.0, "sxy": 6.0, "syy": 7.0}}
+        path = save_document(document, tmp_path / "versioned.json")
+        # the extra sections are preserved byte-exactly on disk...
+        reread = load_document(path)
+        assert reread["calibration"] == document["calibration"]
+        assert reread["sufficient_stats"] == document["sufficient_stats"]
+        # ...and the predictor loads as if they were absent
+        restored = load_model(path)
+        original = trained_models["kw"]
+        net = small_roster[0]
+        assert restored.predict_network(net, 64) == pytest.approx(
+            original.predict_network(net, 64))
+
+
+class TestAtomicSave:
+    def test_creates_parent_directories(self, tmp_path, trained_models):
+        path = tmp_path / "deep" / "nested" / "model.json"
+        save_model(trained_models["e2e"], path)
+        assert path.is_file()
+
+    def test_overwrite_leaves_no_temp_files(self, tmp_path, trained_models):
+        path = tmp_path / "model.json"
+        for _ in range(3):
+            save_model(trained_models["e2e"], path)
+        assert [p.name for p in tmp_path.iterdir()] == ["model.json"]
+
+    def test_failed_write_leaves_target_untouched(self, tmp_path,
+                                                  trained_models):
+        path = save_model(trained_models["e2e"], tmp_path / "model.json")
+        before = path.read_bytes()
+        with pytest.raises(TypeError):
+            save_document({"fit": object()}, path)   # not JSON-serialisable
+        assert path.read_bytes() == before
+        assert [p.name for p in tmp_path.iterdir()] == ["model.json"]

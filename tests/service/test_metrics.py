@@ -27,6 +27,19 @@ class TestHistogram:
     def test_empty_percentile_is_zero(self):
         assert Histogram().percentile(99) == 0.0
 
+    def test_percentile_zero_finds_first_occupied_bucket(self):
+        """Regression: p0 reported bounds[0] even with all mass higher."""
+        histogram = Histogram(buckets=(1.0, 10.0, 100.0))
+        histogram.observe(50.0)                # only the le_100 bucket
+        assert histogram.percentile(0) == 100.0
+        assert histogram.percentile(50) == 100.0
+
+    def test_percentile_zero_with_mass_in_first_bucket(self):
+        histogram = Histogram(buckets=(1.0, 10.0))
+        histogram.observe(0.5)
+        histogram.observe(50.0)
+        assert histogram.percentile(0) == 1.0
+
     def test_percentile_validates_range(self):
         with pytest.raises(ValueError):
             Histogram().percentile(101)

@@ -89,6 +89,28 @@ class TestHotReload:
         assert "lw-copy" in registry.scan()
         assert registry.get("lw-copy").kind == "lw"
 
+    def test_size_change_reloads_even_with_identical_mtime(self,
+                                                           private_dir):
+        """Regression: a float mtime alone misses same-tick rewrites."""
+        path = private_dir / "kw-a100.json"
+        registry = ModelRegistry(private_dir)
+        before = registry.get("kw-a100")
+        stat = path.stat()
+        path.write_text(path.read_text() + " ")     # new size, then pin
+        os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns))
+        assert path.stat().st_mtime_ns == stat.st_mtime_ns
+        after = registry.get("kw-a100")
+        assert after.reloads == before.reloads + 1
+        assert after.model is not before.model
+
+    def test_stamp_and_mtime_views(self, private_dir):
+        registry = ModelRegistry(private_dir)
+        entry = registry.get("kw-a100")
+        stat = entry.path.stat()
+        assert entry.stamp == (stat.st_mtime_ns, stat.st_size)
+        assert entry.mtime == pytest.approx(stat.st_mtime_ns / 1e9)
+        assert entry.describe()["mtime"] == entry.mtime
+
 
 class TestResolve:
     def test_single_gpu_models_ignore_target(self, registry):
