@@ -29,6 +29,13 @@ cross-checks:
          store with lineage and sufficient statistics intact: adopt
          stamps v1, publish records parentage and exact accumulator
          state, and rollback restores the prior head byte-for-byte.
+- CT009  for every model kind, the vectorised batch evaluator
+         (:meth:`~repro.core.plan.PredictionPlan.evaluate_many`)
+         returns exactly what the scalar ``evaluate`` returns point by
+         point — single-target plans broadcast their one value, and a
+         retargetable plan's numpy grid replays the scalar arithmetic
+         bit-for-bit across heterogeneous targets. (Shares CT007's
+         trained campaign, so it too runs only on the full sweep.)
 
 Failures are reported as :class:`~repro.analysis_checks.findings.Finding`
 records (all error severity), deduplicated per layer kind / kernel so a
@@ -53,6 +60,7 @@ CONTRACT_RULES: Dict[str, str] = {
     "CT006": "every kernel's driver is input/operation/output",
     "CT007": "compiled plans match direct predictions bit-exactly",
     "CT008": "versioned documents keep lineage and sufficient stats",
+    "CT009": "batch evaluate_many matches scalar evaluate bit-exactly",
 }
 
 #: finding rule id -> module whose contract it checks (finding path).
@@ -65,6 +73,7 @@ _LOCUS = {
     "CT006": "repro.gpu.kernels",
     "CT007": "repro.core.plan",
     "CT008": "repro.calibration.store",
+    "CT009": "repro.core.plan",
 }
 
 
@@ -214,14 +223,16 @@ def _check_persistence(report: ContractReport, sink: _Recorder) -> None:
 
 def _check_plan_parity(networks: Dict[str, object], batch_size: int,
                        sink: _Recorder) -> None:
-    """CT007: ``compile(...).evaluate()`` equals the direct prediction.
+    """CT007 + CT009: compiled plans match the direct prediction path.
 
     Trains one small fixed campaign (two networks, two bandwidth-diverse
     GPUs) and then, for every zoo network, compares the compiled-plan
     path against an *independent* direct computation — the per-layer
     prediction loops that do not route through plans — with exact float
-    equality. The igkw comparison goes through ``for_gpu`` on a GPU the
-    campaign never measured.
+    equality (CT007). The igkw comparison goes through ``for_gpu`` on a
+    GPU the campaign never measured. The same compiled plans then feed
+    CT009: ``evaluate_many`` over a target grid must reproduce the
+    scalar ``evaluate`` point by point, bit-exactly.
     """
     from repro import zoo
     from repro.core.workflow import train_inter_gpu_model, train_model
@@ -238,9 +249,14 @@ def _check_plan_parity(networks: Dict[str, object], batch_size: int,
     except Exception as exc:  # repro: noqa[EX001] reported as finding
         sink.record("CT007", "training-campaign",
                     f"parity campaign failed to train: {exc}")
+        sink.record("CT009", "training-campaign",
+                    f"parity campaign failed to train: {exc}")
         return
 
     target = gpu("V100")
+    # heterogeneous CT009 grid: the unseen target, a bandwidth override
+    # on it, and a GPU the campaign actually measured
+    grid = (target, target.with_bandwidth(600.0), gpu("A100"))
 
     def direct(kind: str, network) -> float:
         model = models.get(kind)
@@ -256,16 +272,32 @@ def _check_plan_parity(networks: Dict[str, object], batch_size: int,
         return sum(predictor.predict_layer(info)
                    for info in network.layer_infos(batch_size))
 
-    def planned(kind: str, network) -> float:
+    def compiled_plan(kind: str, network):
         if kind == "igkw":
-            return igkw.compile(network, batch_size).evaluate(gpu=target)
-        return models[kind].compile(network, batch_size).evaluate()
+            return igkw.compile(network, batch_size)
+        return models[kind].compile(network, batch_size)
+
+    def batch_parity(kind: str, plan) -> Optional[str]:
+        """CT009 for one plan: mismatch description, or None when exact."""
+        if kind == "igkw":
+            scalar = [plan.evaluate(gpu=point) for point in grid]
+            batch = plan.evaluate_many(grid)
+        else:
+            scalar = [plan.evaluate()] * len(grid)
+            batch = plan.evaluate_many([None] * len(grid))
+        # the contract IS exact equality: the vectorised path must
+        # replay the scalar arithmetic, not approximate it
+        if batch != scalar:  # repro: noqa[FP001]
+            return f"evaluate_many {batch!r} != scalar {scalar!r}"
+        return None
 
     for name, network in networks.items():
         for kind in ("e2e", "lw", "kw", "igkw"):
             try:
                 reference = direct(kind, network)
-                compiled = planned(kind, network)
+                plan = compiled_plan(kind, network)
+                compiled = (plan.evaluate(gpu=target) if kind == "igkw"
+                            else plan.evaluate())
             except Exception as exc:  # repro: noqa[EX001] as finding
                 sink.record("CT007", f"{name}/{kind}",
                             f"prediction failed: {exc}")
@@ -275,6 +307,14 @@ def _check_plan_parity(networks: Dict[str, object], batch_size: int,
             if compiled != reference:  # repro: noqa[FP001]
                 sink.record("CT007", f"{name}/{kind}",
                             f"plan {compiled!r} != direct {reference!r}")
+            try:
+                mismatch = batch_parity(kind, plan)
+            except Exception as exc:  # repro: noqa[EX001] as finding
+                sink.record("CT009", f"{name}/{kind}",
+                            f"batch evaluation failed: {exc}")
+                continue
+            if mismatch is not None:
+                sink.record("CT009", f"{name}/{kind}", mismatch)
 
 
 def _check_versioned_store(sink: _Recorder) -> None:
@@ -348,8 +388,8 @@ def check_contracts(network_names: Optional[Sequence[str]] = None,
 
     ``network_names`` defaults to every registered named model
     (:func:`repro.zoo.model_names`); pass a subset for quick checks.
-    The CT007 plan-parity sweep trains a small campaign, so it runs
-    only on the full default sweep (``network_names=None``).
+    The CT007/CT009 plan-parity sweeps train a small campaign, so they
+    run only on the full default sweep (``network_names=None``).
     """
     from repro import zoo
 

@@ -13,11 +13,16 @@
 - MD001 — mutable default argument (list/dict/set literals or calls).
 - EX001 — bare ``except:`` (error) or ``except Exception`` whose handler
   never re-raises (warning): both swallow errors silently.
+- EX002 — service-layer ``except Exception as e`` handlers that
+  stringify the caught exception without preserving its type: every
+  failure collapses into one anonymous counter/log bucket. Scoped to
+  ``service/`` paths, where labels feed operational metrics.
 """
 
 from __future__ import annotations
 
 import ast
+from pathlib import Path
 from typing import Iterator, List, Optional, Set, Tuple
 
 from repro.analysis_checks.engine import LintRule, register_rule
@@ -308,3 +313,77 @@ class BroadExceptRule(LintRule):
                              "errors (handler never re-raises); catch a "
                              "narrower type or annotate the intent",
                        Severity.WARNING)
+
+
+def _references_caught(node: ast.AST, name: str) -> bool:
+    return isinstance(node, ast.Name) and node.id == name
+
+
+def _handler_stringifies(handler: ast.ExceptHandler, name: str) -> bool:
+    """True when the handler renders the caught exception as bare text:
+    ``str(e)`` or a non-``!r`` f-string interpolation of ``e``."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+                and node.func.id == "str" and len(node.args) == 1 \
+                and _references_caught(node.args[0], name):
+            return True
+        if isinstance(node, ast.FormattedValue) \
+                and _references_caught(node.value, name) \
+                and node.conversion != 114:      # 114 == ord('r'): {e!r}
+            return True
+    return False
+
+
+def _handler_preserves_type(handler: ast.ExceptHandler, name: str) -> bool:
+    """True when the exception's type stays observable in the handler:
+    ``type(e)``, ``e.__class__``, ``repr(e)``/``{e!r}``, or an
+    ``isinstance(e, ...)`` dispatch."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+                and node.func.id in ("type", "repr", "isinstance") \
+                and node.args and _references_caught(node.args[0], name):
+            return True
+        if isinstance(node, ast.Attribute) and node.attr == "__class__" \
+                and _references_caught(node.value, name):
+            return True
+        if isinstance(node, ast.FormattedValue) \
+                and _references_caught(node.value, name) \
+                and node.conversion == 114:
+            return True
+    return False
+
+
+@register_rule
+class AnonymousExceptionLabelRule(LintRule):
+    """EX002: broad service-layer handler erases the exception type."""
+
+    rule_id = "EX002"
+    severity = Severity.WARNING
+    description = ("service-layer 'except Exception as e' stringifies "
+                   "the exception without keeping its type; label "
+                   "counters/logs with type(e).__name__ (or {e!r}) so "
+                   "distinct failures stay distinguishable")
+
+    def applies_to(self, path: str) -> bool:
+        # labels only feed operational counters in the service layer;
+        # "<string>" admits the rule's own fixture tests
+        return path == "<string>" or "service" in Path(path).parts
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Tuple]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None or node.name is None:
+                continue
+            broad = _exception_names(node.type) & {"Exception",
+                                                   "BaseException"}
+            if not broad or _handler_reraises(node):
+                continue
+            if _handler_stringifies(node, node.name) \
+                    and not _handler_preserves_type(node, node.name):
+                yield (node,
+                       f"'except {sorted(broad)[0]} as {node.name}' "
+                       f"stringifies {node.name} without its type; "
+                       f"every failure collapses into one label — use "
+                       f"type({node.name}).__name__ or "
+                       f"{{{node.name}!r}}")

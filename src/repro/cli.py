@@ -79,6 +79,12 @@ def _add_predict(subparsers) -> None:
     p.add_argument("--coverage", action="store_true",
                    help="audit which lookup stages the prediction used "
                         "(kernel-level models only)")
+    p.add_argument("--grid", default=None,
+                   help="igkw only: sweep the target GPU's bandwidth "
+                        "and print a bandwidth -> time table; either "
+                        "comma-separated GB/s values or 'default' for "
+                        "the paper's Figure-15 grid (one vectorised "
+                        "evaluate_many call)")
 
 
 def _add_evaluate(subparsers) -> None:
@@ -117,6 +123,9 @@ def _add_serve(subparsers) -> None:
     p.add_argument("--coverage-threshold", type=float, default=0.10,
                    help="max fallback time share before a kernel-level "
                         "prediction degrades to the next tier")
+    p.add_argument("--batch-cap", type=int, default=256,
+                   help="largest /predict_batch accepted (oversized "
+                        "batches get HTTP 413)")
     p.add_argument("--calibrate", action="store_true",
                    help="accept POST /feedback and run the closed "
                         "calibration loop (drift -> refit -> gated "
@@ -170,6 +179,10 @@ def _add_loadgen(subparsers) -> None:
     p.add_argument("--requests", type=int, default=200)
     p.add_argument("--threads", type=int, default=4)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--batch", type=int, default=1,
+                   help="items per POST; >1 drives /predict_batch at "
+                        "rate/batch posts per second (rate stays the "
+                        "offered item rate)")
 
 
 def _add_check(subparsers) -> None:
@@ -268,6 +281,21 @@ def _cmd_train_igkw(args) -> int:
     return 0
 
 
+def _parse_grid(spec: str):
+    from repro.studies.bandwidth_sweep import DEFAULT_BANDWIDTHS
+    if spec.strip().lower() == "default":
+        return list(DEFAULT_BANDWIDTHS)
+    try:
+        bandwidths = [float(token) for token in spec.split(",") if token.strip()]
+    except ValueError:
+        raise ValueError(
+            f"--grid must be comma-separated GB/s values or 'default', "
+            f"got {spec!r}") from None
+    if not bandwidths or any(b <= 0 for b in bandwidths):
+        raise ValueError("--grid bandwidths must be positive GB/s values")
+    return bandwidths
+
+
 def _cmd_predict(args) -> int:
     model = core.load_model(args.model)
     network = zoo.build(args.network)
@@ -279,9 +307,28 @@ def _cmd_predict(args) -> int:
         target = gpu(args.gpu)
         if args.bandwidth is not None:
             target = target.with_bandwidth(args.bandwidth)
+        if args.grid is not None:
+            try:
+                bandwidths = _parse_grid(args.grid)
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            # the whole grid is one vectorised evaluate_many call
+            retargetable = model.compile(network, args.batch_size)
+            times = retargetable.evaluate_many(
+                [target.with_bandwidth(b) for b in bandwidths])
+            print(f"{args.network} at batch {args.batch_size} on "
+                  f"{target.name} across {len(bandwidths)} bandwidths:")
+            for bandwidth, predicted in zip(bandwidths, times):
+                print(f"  {bandwidth:8g} GB/s  {predicted / 1e3:10.3f} ms")
+            return 0
         plan = model.compile(network, args.batch_size).bind(target)
         label = target.name
     else:
+        if args.grid is not None:
+            print("error: --grid applies to igkw models only",
+                  file=sys.stderr)
+            return 2
         plan = model.compile(network, args.batch_size)
         label = "its training GPU"
     predicted = plan.evaluate()
@@ -370,7 +417,7 @@ def _cmd_serve(args) -> int:
         registry, cache=PredictionCache(args.cache_size),
         coverage_threshold=args.coverage_threshold,
         plan_cache=PredictionCache(args.plan_cache_size),
-        calibrator=calibrator)
+        calibrator=calibrator, batch_cap=args.batch_cap)
     server = make_server(service, host=args.host, port=args.port)
     host, port = server.server_address[:2]
     print(f"serving {len(registry)} model(s) "
@@ -400,7 +447,8 @@ def _cmd_loadgen(args) -> int:
                 for network in args.networks]
     generator = LoadGenerator(args.url, payloads, rate_rps=args.rate,
                               n_requests=args.requests,
-                              threads=args.threads, seed=args.seed)
+                              threads=args.threads, seed=args.seed,
+                              batch=args.batch)
     report = generator.run()
     print(report.render())
     return 0 if report.failed == 0 else 1

@@ -18,6 +18,8 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.classification import FEATURES, classify_kernels
 from repro.core.coverage import EXACT, FALLBACK, NEAR
 from repro.core.kernelwise import (
@@ -63,6 +65,34 @@ class KernelTransfer:
         intercept = max(0.0, self.intercept_fit.predict(1.0 / bandwidth_gbs))
         return LinearFit(1.0 / rate, intercept, 0.0,
                          sum(fit.n_samples for fit in self.per_gpu.values()))
+
+    def lines_for_bandwidths(
+            self, bandwidths_gbs: "np.ndarray"
+    ) -> Tuple["np.ndarray", "np.ndarray"]:
+        """Vectorised :meth:`line_for_bandwidth`: per-point (slope, intercept).
+
+        Bit-exact with the scalar method: the healthy-rate path is the
+        same ``slope * x + intercept`` arithmetic elementwise in IEEE
+        doubles, and any point whose extrapolated rate is non-positive
+        is delegated to the scalar ratio-scaling branch.
+        """
+        bandwidths = np.asarray(bandwidths_gbs, dtype=np.float64)
+        rates = (self.rate_fit.slope * bandwidths
+                 + self.rate_fit.intercept)
+        slopes = np.empty_like(bandwidths)
+        intercepts = np.empty_like(bandwidths)
+        good = rates > 0.0
+        if good.any():
+            slopes[good] = 1.0 / rates[good]
+            intercepts[good] = np.maximum(
+                0.0, self.intercept_fit.slope * (1.0 / bandwidths[good])
+                + self.intercept_fit.intercept)
+        if not good.all():
+            for i in np.nonzero(~good)[0]:
+                line = self.line_for_bandwidth(float(bandwidths[i]))
+                slopes[i] = line.slope
+                intercepts[i] = line.intercept
+        return slopes, intercepts
 
 
 #: Selectable hardware metrics the second-level regression can use.
@@ -235,9 +265,11 @@ class InterGPUKernelWiseModel:
                               bandwidths_gbs: List[float]) -> List[Tuple[float, float]]:
         """Case-study-1 sweep: predicted time vs hypothetical bandwidth.
 
-        Compiles the network once and evaluates the plan per point, so
-        the sweep costs one graph walk total instead of one per point.
+        Compiles the network once and evaluates every point through one
+        vectorised ``evaluate_many`` call, so the sweep costs one graph
+        walk and one matrix pass total.
         """
         plan = self.compile(network, batch_size)
-        return [(bandwidth, plan.evaluate(gpu=base.with_bandwidth(bandwidth)))
-                for bandwidth in bandwidths_gbs]
+        times = plan.evaluate_many(
+            [base.with_bandwidth(bandwidth) for bandwidth in bandwidths_gbs])
+        return list(zip(bandwidths_gbs, times))

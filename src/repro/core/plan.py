@@ -31,7 +31,9 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.coverage import FALLBACK, CoverageReport, LayerCoverage
 from repro.core.linreg import LinearFit
@@ -61,6 +63,20 @@ class PredictionPlan(abc.ABC):
         the retargetable inter-GPU plan requires it.
         """
 
+    def evaluate_many(self, gpus: Sequence[Optional[GPUSpec]]
+                      ) -> List[float]:
+        """Predicted times for a grid of targets, one per entry.
+
+        Bit-compatible with calling :meth:`evaluate` per target: each
+        subclass either replays the scalar arithmetic exactly or (for
+        the retargetable plan) evaluates the grid as numpy matrix ops
+        whose elementwise IEEE operations and accumulation order match
+        the scalar path. Single-GPU plans ignore the targets entirely —
+        their answer is target-independent, so the grid amortises to
+        one scalar evaluation broadcast over ``len(gpus)``.
+        """
+        return [self.evaluate(gpu=gpu) for gpu in gpus]
+
     def coverage(self) -> Optional[CoverageReport]:
         """The lookup-stage audit, for kernel-level plans; else None."""
         return None
@@ -82,6 +98,10 @@ class FlopsPlan(PredictionPlan):
     def evaluate(self, gpu: Optional[GPUSpec] = None) -> float:
         return self.fit.predict(self.total_flops)
 
+    def evaluate_many(self, gpus: Sequence[Optional[GPUSpec]]
+                      ) -> List[float]:
+        return [self.evaluate()] * len(list(gpus))
+
 
 class LayerSumPlan(PredictionPlan):
     """LW lowering: one (FLOPs, fit) term per layer, summed in graph order."""
@@ -93,6 +113,10 @@ class LayerSumPlan(PredictionPlan):
 
     def evaluate(self, gpu: Optional[GPUSpec] = None) -> float:
         return sum(fit.predict(flops) for flops, fit in self.terms)
+
+    def evaluate_many(self, gpus: Sequence[Optional[GPUSpec]]
+                      ) -> List[float]:
+        return [self.evaluate()] * len(list(gpus))
 
 
 @dataclass(frozen=True)
@@ -140,6 +164,10 @@ class KernelPlan(PredictionPlan):
     def evaluate(self, gpu: Optional[GPUSpec] = None) -> float:
         return sum(layer.evaluate() for layer in self.layers)
 
+    def evaluate_many(self, gpus: Sequence[Optional[GPUSpec]]
+                      ) -> List[float]:
+        return [self.evaluate()] * len(list(gpus))
+
     def coverage(self) -> CoverageReport:
         if self._coverage is None:
             self._coverage = CoverageReport(
@@ -173,8 +201,33 @@ class OverheadPlan(PredictionPlan):
         # least the work content, the dominant share of the sum
         return max(0.25 * kernel_sum, kernel_sum - hidden)
 
+    def evaluate_many(self, gpus: Sequence[Optional[GPUSpec]]
+                      ) -> List[float]:
+        return [self.evaluate()] * len(list(gpus))
+
     def coverage(self) -> CoverageReport:
         return self.base_plan.coverage()
+
+
+@dataclass(frozen=True)
+class _BatchLowering:
+    """Array form of a retargetable plan, built once per plan.
+
+    The mapped layers' kernel terms are flattened into left-aligned,
+    zero-padded ``(n_mapped, max_terms)`` matrices; padding slots index a
+    dummy kernel row whose synthesised line is identically zero, so a
+    padded term contributes exactly ``0.0`` to its layer's clamped sum
+    and the per-layer accumulation order matches the scalar loop.
+    """
+
+    n_layers: int
+    mapped_idx: np.ndarray      # (n_mapped,) original layer positions
+    term_values: np.ndarray     # (n_mapped, max_terms) feature values
+    term_kidx: np.ndarray       # (n_mapped, max_terms) -> _used_kernels,
+    #                             padding points at the dummy row
+    fallback_idx: np.ndarray    # (n_fallback,) original layer positions
+    fallback_kinds: Tuple[str, ...]
+    fallback_flops: np.ndarray  # (n_fallback,)
 
 
 @dataclass(frozen=True)
@@ -217,6 +270,8 @@ class RetargetablePlan(PredictionPlan):
         self._used_kernels = tuple(sorted(
             {name for layer in self.layers if layer.kernel_terms
              for name, _ in layer.kernel_terms}))
+        self._batch: Optional[_BatchLowering] = None
+        self._fallback_fits: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
 
     def bind(self, target: GPUSpec) -> KernelPlan:
         """Resolve this plan's lines for one target GPU."""
@@ -291,6 +346,162 @@ class RetargetablePlan(PredictionPlan):
                 total += max(0.0, lines[name].predict(value))
             times.append(total)
         return sum(times)
+
+    def _lowering(self) -> _BatchLowering:
+        if self._batch is None:
+            kernel_index = {name: i
+                            for i, name in enumerate(self._used_kernels)}
+            dummy = len(self._used_kernels)
+            mapped_idx: List[int] = []
+            mapped_terms: List[Tuple[Tuple[str, float], ...]] = []
+            fallback_idx: List[int] = []
+            fallback_kinds: List[str] = []
+            fallback_flops: List[float] = []
+            for position, layer in enumerate(self.layers):
+                if layer.kernel_terms is None:
+                    fallback_idx.append(position)
+                    fallback_kinds.append(layer.kind)
+                    fallback_flops.append(layer.flops)
+                else:
+                    mapped_idx.append(position)
+                    mapped_terms.append(layer.kernel_terms)
+            max_terms = max((len(t) for t in mapped_terms), default=0)
+            values = np.zeros((len(mapped_terms), max_terms))
+            kidx = np.full((len(mapped_terms), max_terms), dummy,
+                           dtype=np.intp)
+            for row, terms in enumerate(mapped_terms):
+                for col, (name, value) in enumerate(terms):
+                    values[row, col] = value
+                    kidx[row, col] = kernel_index[name]
+            self._batch = _BatchLowering(
+                len(self.layers), np.asarray(mapped_idx, dtype=np.intp),
+                values, kidx, np.asarray(fallback_idx, dtype=np.intp),
+                tuple(fallback_kinds), np.asarray(fallback_flops))
+        return self._batch
+
+    def _fallback_line_arrays(
+            self, lw, lowering: _BatchLowering
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        # per-kind (slope, intercept) vectors over the fallback layers,
+        # cached per LayerWiseModel object (one per training GPU)
+        cached = self._fallback_fits.get(id(lw))
+        if cached is None:
+            fits = [lw.fits.get(kind, lw.fallback)
+                    for kind in lowering.fallback_kinds]
+            cached = (np.asarray([fit.slope for fit in fits]),
+                      np.asarray([fit.intercept for fit in fits]))
+            self._fallback_fits[id(lw)] = cached
+        return cached
+
+    def _layer_times(self, targets: Sequence[GPUSpec]) -> np.ndarray:
+        """Per-layer, per-target times as an (n_layers, n_targets) array.
+
+        Every elementwise operation mirrors the scalar path —
+        ``slope * value + intercept`` in IEEE doubles, the same
+        ``max(0.0, ·)`` clamp, the same left-to-right term accumulation —
+        so column ``p`` is bit-exact with ``evaluate(gpu=targets[p])``.
+        """
+        lowering = self._lowering()
+        n_points = len(targets)
+        metric_values = np.asarray(
+            [self._metric(target) for target in targets])
+
+        # one synthesised line per (kernel, target), plus the dummy
+        # all-zero row the padding slots index
+        slopes = np.zeros((len(self._used_kernels) + 1, n_points))
+        intercepts = np.zeros((len(self._used_kernels) + 1, n_points))
+        for i, name in enumerate(self._used_kernels):
+            slopes[i], intercepts[i] = (
+                self._transfers[name].lines_for_bandwidths(metric_values))
+
+        layer_times = np.zeros((lowering.n_layers, n_points))
+        if lowering.mapped_idx.size:
+            acc = np.zeros((lowering.mapped_idx.size, n_points))
+            for col in range(lowering.term_values.shape[1]):
+                kidx = lowering.term_kidx[:, col]
+                term = np.maximum(
+                    0.0, slopes[kidx]
+                    * lowering.term_values[:, col][:, None]
+                    + intercepts[kidx])
+                acc = acc + term
+            layer_times[lowering.mapped_idx] = acc
+
+        if lowering.fallback_idx.size:
+            by_lw: Dict[int, Tuple[object, List[int]]] = {}
+            for point, target in enumerate(targets):
+                lw = self._nearest_lw(target)
+                if lw is None:
+                    name = self.layers[lowering.fallback_idx[0]].layer_name
+                    kind = self.layers[lowering.fallback_idx[0]].kind
+                    raise KeyError(
+                        f"no kernel mapping for layer {name!r} "
+                        f"({kind}) and no layer-wise fallback "
+                        "configured")
+                if lw.fallback is None:
+                    raise RuntimeError("LayerWiseModel is not trained")
+                by_lw.setdefault(id(lw), (lw, []))[1].append(point)
+            for lw, points in by_lw.values():
+                fit_slopes, fit_intercepts = (
+                    self._fallback_line_arrays(lw, lowering))
+                times = (fit_slopes * lowering.fallback_flops
+                         + fit_intercepts)
+                layer_times[lowering.fallback_idx[:, None],
+                            np.asarray(points, dtype=np.intp)] = (
+                    times[:, None])
+        return layer_times
+
+    def evaluate_many(self, gpus: Sequence[Optional[GPUSpec]]
+                      ) -> List[float]:
+        """Vectorised grid evaluation, bit-exact with per-target evaluate.
+
+        Raises the same exceptions scalar :meth:`evaluate` would raise
+        for the first offending target (``TypeError`` on a missing
+        target, ``KeyError``/``RuntimeError`` on a missing layer-wise
+        fallback) — but for the whole grid at once.
+        """
+        targets = list(gpus)
+        if not targets:
+            return []
+        if any(target is None for target in targets):
+            raise TypeError(
+                "this plan is retargetable; pass evaluate(gpu=<GPUSpec>) "
+                "or bind(target) first")
+        layer_times = self._layer_times(targets)
+        total = np.zeros(len(targets))
+        # sequential over layers, matching the scalar sum(times)
+        for row in layer_times:
+            total = total + row
+        return [float(t) for t in total]
+
+    def evaluate_grid(self, gpus: Sequence[GPUSpec]
+                      ) -> Tuple[List[float], List[float]]:
+        """Times plus fallback time shares, one of each per target.
+
+        The second list matches
+        ``bind(gpu).fallback_time_share()`` for each target — the share
+        of the predicted time resting on the layer-wise degradation
+        path — computed from the same per-layer time matrix, so a
+        serving fast path can apply its coverage threshold without
+        binding a KernelPlan per point.
+        """
+        targets = list(gpus)
+        if not targets:
+            return [], []
+        if any(target is None for target in targets):
+            raise TypeError(
+                "this plan is retargetable; pass evaluate(gpu=<GPUSpec>) "
+                "or bind(target) first")
+        layer_times = self._layer_times(targets)
+        lowering = self._lowering()
+        total = np.zeros(len(targets))
+        for row in layer_times:
+            total = total + row
+        fallback_total = np.zeros(len(targets))
+        for position in lowering.fallback_idx:
+            fallback_total = fallback_total + layer_times[position]
+        shares = np.where(total == 0, 0.0,
+                          fallback_total / np.where(total == 0, 1.0, total))
+        return ([float(t) for t in total], [float(s) for s in shares])
 
     def coverage(self, gpu: Optional[GPUSpec] = None
                  ) -> Optional[CoverageReport]:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Any, Dict, Hashable, Optional, Tuple
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple
 
 
 def cache_key(model: str, network: str, batch_size: int,
@@ -50,10 +50,40 @@ class PredictionCache:
             self._hits += 1
             return value
 
+    def get_many(self, keys: Iterable[Hashable]) -> List[Optional[Any]]:
+        """One lookup per key under a single lock acquisition.
+
+        Hit/miss accounting and LRU recency match ``len(keys)``
+        sequential :meth:`get` calls exactly; only the locking is
+        amortised (one acquisition for the whole batch).
+        """
+        results: List[Optional[Any]] = []
+        with self._lock:
+            for key in keys:
+                try:
+                    value = self._entries[key]
+                except KeyError:
+                    self._misses += 1
+                    results.append(None)
+                    continue
+                self._entries.move_to_end(key)
+                self._hits += 1
+                results.append(value)
+        return results
+
     def put(self, key: Hashable, value: Any) -> None:
         with self._lock:
             self._entries[key] = value
             self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def put_many(self, pairs: Iterable[Tuple[Hashable, Any]]) -> None:
+        """Insert several entries under a single lock acquisition."""
+        with self._lock:
+            for key, value in pairs:
+                self._entries[key] = value
+                self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
 

@@ -69,9 +69,19 @@ class FallbackChain:
         for name, fn in self.tiers:
             try:
                 value = float(fn(network, batch_size))
-            # any tier failure is a signal to degrade, never to crash
-            except Exception as exc:  # repro: noqa[EX001]
+            # a TierError is the domain protocol for "this tier
+            # declines": its message is the whole story
+            except TierError as exc:
                 attempts.append((name, str(exc) or type(exc).__name__))
+                continue
+            # any other failure is a signal to degrade, never to crash —
+            # but the recorded reason must keep the original exception
+            # type, or every bug collapses into one anonymous bucket
+            except Exception as exc:  # repro: noqa[EX001]
+                message = str(exc)
+                attempts.append(
+                    (name, f"{type(exc).__name__}: {message}" if message
+                     else type(exc).__name__))
                 continue
             attempts.append((name, None))
             return PredictionOutcome(value, name, tuple(attempts))

@@ -22,6 +22,17 @@ from urllib.request import Request, urlopen
 from repro.sim.serving import poisson_arrivals
 
 
+def _percentile_ms(values: Tuple[float, ...], percentile: float) -> float:
+    if not 0 <= percentile <= 100:
+        raise ValueError("percentile must be in [0, 100]")
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1,
+                int(percentile / 100.0 * len(ordered)))
+    return ordered[index]
+
+
 @dataclass
 class LoadReport:
     """Aggregate statistics of one load-generation run."""
@@ -36,6 +47,10 @@ class LoadReport:
     tier_counts: Dict[str, int] = field(default_factory=dict)
     errors: Dict[str, int] = field(default_factory=dict)
     cache_hits: int = 0
+    #: Latency of requests that (partly) failed, kept separate so the
+    #: success percentiles are not silently polluted — and so tail
+    #: latency *under errors* is still observable instead of dropped.
+    failed_latencies_ms: Tuple[float, ...] = ()
 
     @property
     def achieved_rps(self) -> float:
@@ -50,14 +65,10 @@ class LoadReport:
         return sum(self.latencies_ms) / len(self.latencies_ms)
 
     def latency_percentile_ms(self, percentile: float) -> float:
-        if not 0 <= percentile <= 100:
-            raise ValueError("percentile must be in [0, 100]")
-        if not self.latencies_ms:
-            return 0.0
-        ordered = sorted(self.latencies_ms)
-        index = min(len(ordered) - 1,
-                    int(percentile / 100.0 * len(ordered)))
-        return ordered[index]
+        return _percentile_ms(self.latencies_ms, percentile)
+
+    def failed_latency_percentile_ms(self, percentile: float) -> float:
+        return _percentile_ms(self.failed_latencies_ms, percentile)
 
     def render(self) -> str:
         lines = [
@@ -73,6 +84,12 @@ class LoadReport:
             f"  cache     {self.cache_hits}/{self.succeeded} "
             "responses served from cache",
         ]
+        if self.failed_latencies_ms:
+            lines.append(
+                f"  failures  p50 "
+                f"{self.failed_latency_percentile_ms(50):.2f} ms   "
+                f"p99 {self.failed_latency_percentile_ms(99):.2f} ms "
+                f"({len(self.failed_latencies_ms)} failed posts)")
         if self.tier_counts:
             tiers = "  ".join(f"{tier}={count}" for tier, count
                               in sorted(self.tier_counts.items()))
@@ -83,28 +100,49 @@ class LoadReport:
 
 
 class LoadGenerator:
-    """Drive ``POST {url}/predict`` from a Poisson arrival schedule."""
+    """Drive ``POST {url}/predict`` from a Poisson arrival schedule.
+
+    With ``batch > 1`` the schedule drives ``POST /predict_batch``
+    instead: ``rate_rps`` stays the offered *item* rate, so the posts
+    arrive at ``rate_rps / batch``, each carrying ``batch`` payloads,
+    and the per-item results feed the same success/tier/cache counters.
+    """
 
     def __init__(self, url: str, payloads, rate_rps: float,
                  n_requests: int, threads: int = 4, seed: int = 0,
-                 timeout_s: float = 30.0) -> None:
+                 timeout_s: float = 30.0, batch: int = 1) -> None:
         if threads < 1:
             raise ValueError("need at least one client thread")
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
         if isinstance(payloads, dict):
             payloads = [payloads]
-        if not payloads:
-            raise ValueError("need at least one request payload")
+        # materialise BEFORE checking emptiness: a generator argument is
+        # always truthy, so testing the raw iterable first would admit
+        # an empty stream and crash run() at `index % len(payloads)`
+        materialised = list(payloads)
+        if not materialised:
+            raise ValueError(
+                "need at least one request payload (got an empty "
+                "payload collection)")
+        for payload in materialised:
+            if not isinstance(payload, dict):
+                raise ValueError(
+                    f"every payload must be a JSON object (dict), "
+                    f"got {type(payload).__name__}: {payload!r}")
         self.url = url.rstrip("/")
-        self.payloads = list(payloads)
+        self.payloads = materialised
         self.rate_rps = rate_rps
         self.n_requests = n_requests
         self.threads = threads
         self.seed = seed
         self.timeout_s = timeout_s
+        self.batch = batch
 
-    def _post(self, payload: Dict) -> Tuple[bool, Optional[Dict], str]:
-        body = json.dumps(payload).encode()
-        request = Request(f"{self.url}/predict", data=body,
+    def _post_document(self, path: str, document: Dict
+                       ) -> Tuple[bool, Optional[Dict], str]:
+        body = json.dumps(document).encode()
+        request = Request(f"{self.url}{path}", data=body,
                           headers={"Content-Type": "application/json"},
                           method="POST")
         try:
@@ -113,24 +151,68 @@ class LoadGenerator:
         except HTTPError as exc:
             try:
                 reason = json.loads(exc.read()).get("error", str(exc))
-            # error-body parsing is best-effort; keep the HTTP error
+            # error-body parsing is best-effort; keep the HTTP error.
+            # The handler is anonymous by design: the reported label is
+            # the HTTP status below, not this parsing failure
             except Exception:  # repro: noqa[EX001]
                 reason = str(exc)
             return False, None, f"HTTP {exc.code}: {reason}"
         except (URLError, OSError, ValueError) as exc:
             return False, None, str(exc)
 
+    def _post(self, payload: Dict) -> Tuple[bool, Optional[Dict], str]:
+        return self._post_document("/predict", payload)
+
+    def _post_batch(self, group) -> Tuple[bool, Optional[Dict], str]:
+        return self._post_document("/predict_batch", {"items": list(group)})
+
+    def _schedule(self) -> "queue.Queue":
+        """The arrival queue: (arrival_us, [payload, ...]) work units."""
+        work: "queue.Queue[Tuple[float, List[Dict]]]" = queue.Queue()
+        if self.batch == 1:
+            arrivals_us = poisson_arrivals(self.rate_rps, self.n_requests,
+                                           self.seed)
+            for index, arrival in enumerate(arrivals_us):
+                work.put((arrival,
+                          [self.payloads[index % len(self.payloads)]]))
+            return work
+        n_posts = -(-self.n_requests // self.batch)     # ceil division
+        arrivals_us = poisson_arrivals(self.rate_rps / self.batch,
+                                       n_posts, self.seed)
+        index = 0
+        for arrival in arrivals_us:
+            count = min(self.batch, self.n_requests - index)
+            group = [self.payloads[(index + offset) % len(self.payloads)]
+                     for offset in range(count)]
+            index += count
+            work.put((arrival, group))
+        return work
+
+    def _outcomes(self, group: List[Dict]) -> List[Tuple[bool, object]]:
+        """Per-item (ok, document-or-reason) pairs for one work unit."""
+        if self.batch == 1:
+            ok, document, reason = self._post(group[0])
+            return [(True, document)] if ok else [(False, reason)]
+        ok, document, reason = self._post_batch(group)
+        if not ok:
+            # a transport-level failure fails every item it carried
+            return [(False, reason)] * len(group)
+        outcomes: List[Tuple[bool, object]] = []
+        for item in (document or {}).get("results", []):
+            if isinstance(item, dict) and "status" not in item:
+                outcomes.append((True, item))
+            else:
+                status = (item or {}).get("status", "?")
+                error = (item or {}).get("error", "malformed item result")
+                outcomes.append((False, f"item error {status}: {error}"))
+        return outcomes
+
     def run(self) -> LoadReport:
         """Replay the schedule; blocks until every request resolves."""
-        arrivals_us = poisson_arrivals(self.rate_rps, self.n_requests,
-                                       self.seed)
-        work: "queue.Queue[Tuple[float, Dict]]" = queue.Queue()
-        for index, arrival in enumerate(arrivals_us):
-            work.put((arrival,
-                      self.payloads[index % len(self.payloads)]))
-
+        work = self._schedule()
         lock = threading.Lock()
         latencies: List[float] = []
+        failed_latencies: List[float] = []
         tier_counts: Dict[str, int] = {}
         errors: Dict[str, int] = {}
         counters = {"ok": 0, "failed": 0, "cache_hits": 0}
@@ -139,26 +221,33 @@ class LoadGenerator:
         def worker() -> None:
             while True:
                 try:
-                    arrival_us, payload = work.get_nowait()
+                    arrival_us, group = work.get_nowait()
                 except queue.Empty:
                     return
                 delay = start + arrival_us / 1e6 - time.perf_counter()
                 if delay > 0:
                     time.sleep(delay)
                 sent_at = time.perf_counter()
-                ok, document, reason = self._post(payload)
+                outcomes = self._outcomes(group)
                 latency_ms = (time.perf_counter() - sent_at) * 1e3
                 with lock:
-                    if ok:
-                        counters["ok"] += 1
-                        latencies.append(latency_ms)
-                        tier = (document or {}).get("tier", "?")
-                        tier_counts[tier] = tier_counts.get(tier, 0) + 1
-                        if (document or {}).get("cached"):
-                            counters["cache_hits"] += 1
+                    # the post's latency lands in the failure bucket as
+                    # soon as any item it carried failed
+                    if any(not ok for ok, _ in outcomes):
+                        failed_latencies.append(latency_ms)
                     else:
-                        counters["failed"] += 1
-                        errors[reason] = errors.get(reason, 0) + 1
+                        latencies.append(latency_ms)
+                    for ok, detail in outcomes:
+                        if ok:
+                            counters["ok"] += 1
+                            tier = (detail or {}).get("tier", "?")
+                            tier_counts[tier] = (
+                                tier_counts.get(tier, 0) + 1)
+                            if (detail or {}).get("cached"):
+                                counters["cache_hits"] += 1
+                        else:
+                            counters["failed"] += 1
+                            errors[detail] = errors.get(detail, 0) + 1
 
         clients = [threading.Thread(target=worker, daemon=True)
                    for _ in range(self.threads)]
@@ -172,4 +261,5 @@ class LoadGenerator:
                           failed=counters["failed"], elapsed_s=elapsed,
                           latencies_ms=tuple(latencies),
                           tier_counts=tier_counts, errors=errors,
-                          cache_hits=counters["cache_hits"])
+                          cache_hits=counters["cache_hits"],
+                          failed_latencies_ms=tuple(failed_latencies))

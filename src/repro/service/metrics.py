@@ -96,11 +96,21 @@ class MetricsRegistry:
         with self._lock:
             return self._counters.get(name, 0)
 
-    def observe(self, name: str, value: float) -> None:
+    def observe(self, name: str, value: float,
+                buckets: Optional[Tuple[float, ...]] = None) -> None:
+        """Record one observation, creating the histogram on first use.
+
+        ``buckets`` overrides the default latency bounds for a histogram
+        created by this call (e.g. batch-size distributions); it is
+        ignored once the histogram exists, so every caller of one name
+        should pass the same bounds.
+        """
         with self._lock:
             histogram = self._histograms.get(name)
             if histogram is None:
-                histogram = self._histograms[name] = Histogram()
+                histogram = self._histograms[name] = (
+                    Histogram(buckets) if buckets is not None
+                    else Histogram())
             histogram.observe(value)
 
     def histogram(self, name: str) -> Optional[Histogram]:

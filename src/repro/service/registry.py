@@ -139,9 +139,12 @@ class ModelRegistry:
                     continue
                 try:
                     entry = self._load(path)
-                # malformed file: record and keep serving the others
+                # malformed file: record and keep serving the others;
+                # the label keeps the exception type so a JSON decode
+                # error is distinguishable from, say, a permission error
                 except Exception as exc:  # repro: noqa[EX001]
-                    self.errors[path.stem] = str(exc)
+                    self.errors[path.stem] = (
+                        f"{type(exc).__name__}: {exc}")
                     continue
                 if current is not None:
                     entry.reloads = current.reloads + 1

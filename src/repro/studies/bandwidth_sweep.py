@@ -78,13 +78,12 @@ def bandwidth_sweep(model: InterGPUKernelWiseModel, network: Network,
                     ) -> SweepResult:
     """Predict ``network``'s time on ``base`` with modified bandwidth.
 
-    The network is compiled once; each bandwidth point only rebinds the
-    plan's regression lines, so the sweep costs one graph walk total
-    instead of one per point.
+    The network is compiled once and the whole grid goes through a
+    single vectorised ``evaluate_many`` call, so the sweep costs one
+    graph walk and one matrix pass total instead of one per point.
     """
     ordered = tuple(sorted(bandwidths_gbs))
     plan = model.compile(network, batch_size)
-    points = tuple(
-        (bandwidth, plan.evaluate(gpu=base.with_bandwidth(bandwidth)))
-        for bandwidth in ordered)
-    return SweepResult(network.name, base.name, points)
+    times = plan.evaluate_many(
+        [base.with_bandwidth(bandwidth) for bandwidth in ordered])
+    return SweepResult(network.name, base.name, tuple(zip(ordered, times)))

@@ -94,19 +94,24 @@ def search_bandwidth(model: InterGPUKernelWiseModel, base: GPUSpec,
     """Sweep the bandwidth axis; find the cheapest feasible configuration."""
     if not targets:
         raise ValueError("need at least one workload target")
-    # one compile per workload; every bandwidth point reuses the plans
+    # one compile per workload; the whole bandwidth axis is then priced
+    # in a single vectorised evaluate_many pass per plan
     plans = {
         target.network.name: model.compile(target.network,
                                            target.batch_size)
         for target in targets
     }
+    ordered = sorted(bandwidths_gbs)
+    specs = [base.with_bandwidth(bandwidth) for bandwidth in ordered]
+    swept_ms = {
+        name: [t / 1e3 for t in plan.evaluate_many(specs)]
+        for name, plan in plans.items()
+    }
     points: List[DesignPoint] = []
     cheapest: Optional[DesignPoint] = None
-    for bandwidth in sorted(bandwidths_gbs):
-        spec = base.with_bandwidth(bandwidth)
+    for index, bandwidth in enumerate(ordered):
         predicted = {
-            target.network.name:
-                plans[target.network.name].evaluate(gpu=spec) / 1e3
+            target.network.name: swept_ms[target.network.name][index]
             for target in targets
         }
         feasible = all(predicted[t.network.name] <= t.target_ms

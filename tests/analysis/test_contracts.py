@@ -59,6 +59,22 @@ class TestCleanSweep:
                    for seq in full_report.sequences.values())
 
 
+class TestBatchParityContract:
+    def test_ct009_registered(self):
+        assert "CT009" in CONTRACT_RULES
+        assert "evaluate_many" in CONTRACT_RULES["CT009"]
+
+    def test_full_sweep_is_ct009_clean(self, full_report):
+        assert full_report.gaps()["CT009"] == []
+
+    def test_subset_skips_the_trained_parity_sweep(self):
+        # CT007/CT009 train a campaign, so named subsets skip them;
+        # the gap entry still exists (and is empty) for both
+        report = check_contracts(["alexnet"])
+        assert report.gaps()["CT009"] == []
+        assert report.gaps()["CT007"] == []
+
+
 class TestSubsetsAndArguments:
     def test_single_network_subset(self):
         report = check_contracts(["alexnet"])

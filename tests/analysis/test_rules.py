@@ -182,10 +182,83 @@ class TestEX001BroadExcept:
         assert findings_for("EX001", source) == []
 
 
+class TestEX002AnonymousExceptionLabel:
+    TRY = "try:\n    work()\n"
+
+    def test_str_of_caught_exception_flagged(self):
+        source = (self.TRY + "except Exception as exc:\n"
+                  "    label = str(exc)\n")
+        (finding,) = findings_for("EX002", source)
+        assert finding.severity is Severity.WARNING
+        assert "type(exc).__name__" in finding.message
+
+    def test_fstring_of_caught_exception_flagged(self):
+        source = (self.TRY + "except Exception as exc:\n"
+                  "    label = f'failed: {exc}'\n")
+        assert len(findings_for("EX002", source)) == 1
+
+    def test_repr_conversion_is_clean(self):
+        source = (self.TRY + "except Exception as exc:\n"
+                  "    label = f'failed: {exc!r}'\n")
+        assert findings_for("EX002", source) == []
+
+    def test_type_name_prefix_is_clean(self):
+        source = (self.TRY + "except Exception as exc:\n"
+                  "    label = f'{type(exc).__name__}: {exc}'\n")
+        assert findings_for("EX002", source) == []
+
+    def test_reraising_handler_is_clean(self):
+        source = (self.TRY + "except Exception as exc:\n"
+                  "    log(str(exc))\n"
+                  "    raise\n")
+        assert findings_for("EX002", source) == []
+
+    def test_narrow_handler_is_clean(self):
+        source = (self.TRY + "except KeyError as exc:\n"
+                  "    label = str(exc)\n")
+        assert findings_for("EX002", source) == []
+
+    def test_anonymous_handler_is_skipped(self):
+        source = (self.TRY + "except Exception:\n"
+                  "    label = 'failed'\n")
+        assert findings_for("EX002", source) == []
+
+    def test_noqa_suppresses(self):
+        source = (self.TRY
+                  + "except Exception as exc:  # repro: noqa[EX002]\n"
+                  "    label = str(exc)\n")
+        assert findings_for("EX002", source) == []
+
+    def test_rule_is_scoped_to_service_paths(self):
+        import textwrap
+
+        from repro.analysis_checks import lint_source
+
+        source = textwrap.dedent(
+            self.TRY + "except Exception as exc:\n"
+            "    label = str(exc)\n")
+        in_service = lint_source(source, path="src/repro/service/x.py")
+        outside = lint_source(source, path="src/repro/core/x.py")
+        assert any(f.rule == "EX002" for f in in_service)
+        assert not any(f.rule == "EX002" for f in outside)
+
+    def test_service_package_is_clean(self):
+        """Regression: the shipped service layer never erases the
+        exception type from a label."""
+        from pathlib import Path
+
+        from repro.analysis_checks import lint_paths
+
+        package = Path(__file__).parents[2] / "src" / "repro" / "service"
+        findings = lint_paths([package])
+        assert [f for f in findings if f.rule == "EX002"] == []
+
+
 class TestRuleRegistry:
-    def test_all_five_rules_registered(self):
+    def test_all_rules_registered(self):
         ids = {rule.rule_id for rule in select_rules()}
-        assert {"RC001", "FP001", "AS001", "MD001", "EX001"} <= ids
+        assert {"RC001", "FP001", "AS001", "MD001", "EX001",
+                "EX002"} <= ids
 
     def test_unknown_rule_raises(self):
         with pytest.raises(KeyError):

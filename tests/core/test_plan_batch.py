@@ -1,0 +1,164 @@
+"""Vectorised batch evaluation: bit-exact parity with scalar evaluate.
+
+``evaluate_many`` promises exact float equality with calling
+``evaluate`` once per target — the numpy path must replay the scalar
+accumulation order, clamp, and elementwise IEEE arithmetic. Parity is
+asserted for every zoo network and every model kind, including the
+retargetable plan across a bandwidth grid, plus the error and
+degenerate-input contracts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import zoo
+from repro.core import (
+    OverheadAwareModel,
+    train_inter_gpu_model,
+    train_model,
+)
+from repro.core.intergpu import KernelTransfer
+from repro.core.linreg import LinearFit
+from repro.gpu import gpu
+
+PARITY_BS = 4
+
+#: A deliberately heterogeneous grid: an unmeasured GPU, the training
+#: GPUs, and hypothetical-bandwidth variants (the Fig-15 sweep shape).
+def _grid():
+    base = gpu("TITAN RTX")
+    return [gpu("V100"), gpu("A100"), base] + [
+        base.with_bandwidth(b) for b in (200.0, 500.0, 800.0, 1100.0, 1400.0)]
+
+
+@pytest.fixture(scope="module")
+def single_gpu_models(small_dataset):
+    return {kind: train_model(small_dataset, kind, gpu="A100",
+                              batch_size=64)
+            for kind in ("e2e", "lw", "kw")}
+
+
+@pytest.fixture(scope="module")
+def igkw_model(small_dataset):
+    return train_inter_gpu_model(
+        small_dataset, [gpu("A100"), gpu("TITAN RTX")], batch_size=64)
+
+
+class TestZooBatchParity:
+    """evaluate_many == [evaluate per target] — exact, all zoo networks."""
+
+    @pytest.mark.parametrize("name", zoo.model_names())
+    def test_igkw_grid_bit_exact(self, igkw_model, name):
+        plan = igkw_model.compile(zoo.build(name), PARITY_BS)
+        targets = _grid()
+        batch = plan.evaluate_many(targets)
+        assert batch == [plan.evaluate(gpu=t) for t in targets], name
+
+    @pytest.mark.parametrize("kind", ["e2e", "lw", "kw"])
+    def test_single_gpu_kinds_broadcast(self, single_gpu_models, kind):
+        model = single_gpu_models[kind]
+        plan = model.compile(zoo.build("resnet50"), PARITY_BS)
+        targets = [None, None, gpu("A100")]
+        assert plan.evaluate_many(targets) == [plan.evaluate()] * 3
+
+    def test_overhead_plan_broadcast(self, small_split):
+        train, _ = small_split
+        base = train_model(train, "kw", gpu="A100", batch_size=64)
+        wrapped = OverheadAwareModel(base).train(train.for_gpu("A100"))
+        plan = wrapped.compile(zoo.build("resnet18"), PARITY_BS)
+        assert plan.evaluate_many([None] * 4 ) == [plan.evaluate()] * 4
+
+
+class TestGridSemantics:
+    def test_empty_grid(self, igkw_model, single_gpu_models):
+        igkw_plan = igkw_model.compile(zoo.build("alexnet"), PARITY_BS)
+        assert igkw_plan.evaluate_many([]) == []
+        assert igkw_plan.evaluate_grid([]) == ([], [])
+        kw_plan = single_gpu_models["kw"].compile(zoo.build("alexnet"),
+                                                  PARITY_BS)
+        assert kw_plan.evaluate_many([]) == []
+
+    def test_retargetable_rejects_none_targets(self, igkw_model):
+        plan = igkw_model.compile(zoo.build("resnet18"), PARITY_BS)
+        with pytest.raises(TypeError, match="retargetable"):
+            plan.evaluate_many([gpu("V100"), None])
+        with pytest.raises(TypeError, match="retargetable"):
+            plan.evaluate_grid([None])
+
+    def test_repeated_targets_are_consistent(self, igkw_model):
+        plan = igkw_model.compile(zoo.build("resnet18"), PARITY_BS)
+        target = gpu("V100")
+        times = plan.evaluate_many([target] * 5)
+        assert len(set(times)) == 1
+        assert times[0] == plan.evaluate(gpu=target)
+
+    def test_lowering_is_cached(self, igkw_model):
+        plan = igkw_model.compile(zoo.build("resnet18"), PARITY_BS)
+        plan.evaluate_many([gpu("V100")])
+        assert plan._lowering() is plan._lowering()
+
+
+class TestEvaluateGrid:
+    @pytest.mark.parametrize("name", ["resnet50", "mobilenet_v2",
+                                      "shufflenet_v1"])
+    def test_times_and_shares_match_bound_plans(self, igkw_model, name):
+        plan = igkw_model.compile(zoo.build(name), PARITY_BS)
+        targets = _grid()
+        times, shares = plan.evaluate_grid(targets)
+        assert times == plan.evaluate_many(targets)
+        for target, share in zip(targets, shares):
+            assert share == plan.bind(target).fallback_time_share(), name
+
+    def test_shares_zero_when_fully_mapped(self, igkw_model):
+        plan = igkw_model.compile(zoo.build("resnet50"), PARITY_BS)
+        _, shares = plan.evaluate_grid([gpu("V100")])
+        bound_share = plan.bind(gpu("V100")).fallback_time_share()
+        assert shares == [bound_share]
+
+
+class TestFallbackErrorParity:
+    def test_missing_lw_raises_like_scalar(self, igkw_model):
+        plan = igkw_model.compile(zoo.build("resnet18"), PARITY_BS)
+        fallback_plan = type(plan)(
+            plan.model_name, plan.network_name, plan.batch_size,
+            # force every layer onto the fallback path, with no LW
+            [type(layer)(layer.layer_name, layer.kind, layer.signature,
+                         "layer-wise-fallback", None, layer.flops)
+             for layer in plan.layers],
+            plan._transfers, plan._metric, {}, plan._train_gpus)
+        with pytest.raises(KeyError, match="no layer-wise fallback"):
+            fallback_plan.evaluate(gpu=gpu("V100"))
+        with pytest.raises(KeyError, match="no layer-wise fallback"):
+            fallback_plan.evaluate_many([gpu("V100")])
+
+
+class TestKernelTransferVectorised:
+    def test_matches_scalar_lines(self, igkw_model):
+        bandwidths = np.asarray([200.0, 700.0, 1555.0, 2039.0])
+        for transfer in igkw_model.transfers.values():
+            slopes, intercepts = transfer.lines_for_bandwidths(bandwidths)
+            for i, bandwidth in enumerate(bandwidths):
+                line = transfer.line_for_bandwidth(float(bandwidth))
+                assert slopes[i] == line.slope
+                assert intercepts[i] == line.intercept
+
+    def test_ratio_scaling_branch(self):
+        # a rate fit that goes non-positive at low bandwidth exercises
+        # the nearest-observed ratio-scaling fallback per point
+        transfer = KernelTransfer(
+            "k", "flops",
+            rate_fit=LinearFit(0.01, -5.0, 0.0, 2),
+            intercept_fit=LinearFit(0.0, 1.0, 0.0, 2),
+            per_gpu={"A": LinearFit(2.0, 3.0, 0.0, 4),
+                     "B": LinearFit(1.0, 1.0, 0.0, 4)},
+            gpu_bandwidths={"A": 600.0, "B": 1500.0})
+        bandwidths = np.asarray([100.0, 400.0, 900.0, 2000.0])
+        assert (transfer.rate_fit.predict(100.0) <= 0.0
+                and transfer.rate_fit.predict(2000.0) > 0.0)
+        slopes, intercepts = transfer.lines_for_bandwidths(bandwidths)
+        for i, bandwidth in enumerate(bandwidths):
+            line = transfer.line_for_bandwidth(float(bandwidth))
+            assert slopes[i] == line.slope, bandwidth
+            assert intercepts[i] == line.intercept, bandwidth

@@ -1,0 +1,136 @@
+"""LoadGenerator: payload validation, failure latencies, batch mode."""
+
+import pytest
+
+from repro.service.loadgen import LoadGenerator, LoadReport
+
+
+def _generator(url="http://127.0.0.1:1", payloads=None, **kwargs):
+    if payloads is None:
+        payloads = [{"model": "kw-a100", "network": "resnet50",
+                     "batch_size": 64}]
+    defaults = dict(rate_rps=10_000.0, n_requests=4, threads=2,
+                    timeout_s=10.0)
+    defaults.update(kwargs)
+    return LoadGenerator(url, payloads, **defaults)
+
+
+class TestPayloadValidation:
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError, match="at least one request"):
+            _generator(payloads=[])
+
+    def test_empty_generator_rejected(self):
+        """The historical crash: a generator argument is always truthy,
+        so the old emptiness check admitted an empty stream and run()
+        died with ZeroDivisionError at ``index % len(payloads)``."""
+        with pytest.raises(ValueError, match="at least one request"):
+            _generator(payloads=(payload for payload in ()))
+
+    def test_generator_payloads_are_materialised(self):
+        stream = (payload for payload in
+                  [{"model": "m", "network": "n", "batch_size": 1}])
+        generator = _generator(payloads=stream)
+        # the stream must survive being scheduled more than once
+        assert generator.payloads == [
+            {"model": "m", "network": "n", "batch_size": 1}]
+        assert generator._schedule().qsize() == 4
+
+    def test_non_dict_payload_rejected(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            _generator(payloads=["resnet50"])
+
+    def test_single_dict_is_wrapped(self):
+        generator = _generator(
+            payloads={"model": "m", "network": "n", "batch_size": 1})
+        assert len(generator.payloads) == 1
+
+    def test_bad_knobs_rejected(self):
+        with pytest.raises(ValueError, match="thread"):
+            _generator(threads=0)
+        with pytest.raises(ValueError, match="batch"):
+            _generator(batch=0)
+
+
+class TestSchedule:
+    def test_batch_mode_posts_ceil_div_groups(self):
+        generator = _generator(n_requests=10, batch=4)
+        work = generator._schedule()
+        groups = []
+        while not work.empty():
+            groups.append(work.get_nowait()[1])
+        assert len(groups) == 3                  # ceil(10 / 4)
+        assert sorted(len(group) for group in groups) == [2, 4, 4]
+        assert sum(len(group) for group in groups) == 10
+
+    def test_single_mode_posts_one_payload_each(self):
+        generator = _generator(n_requests=3)
+        work = generator._schedule()
+        sizes = []
+        while not work.empty():
+            sizes.append(len(work.get_nowait()[1]))
+        assert sizes == [1, 1, 1]
+
+
+class TestFailureLatencies:
+    def test_transport_failure_fails_every_carried_item(self):
+        # nothing listens on port 1: the whole post fails, and every
+        # item it carried is counted as failed
+        generator = _generator(n_requests=4, batch=2, threads=1)
+        report = generator.run()
+        assert report.succeeded == 0
+        assert report.failed == 4
+        assert report.latencies_ms == ()
+        assert len(report.failed_latencies_ms) == 2    # one per post
+        assert report.failed_latency_percentile_ms(50) >= 0
+
+    def test_failed_posts_keep_their_latency_separately(self):
+        generator = _generator(n_requests=2, threads=1)
+        report = generator.run()
+        # failed request latency is observable, not silently dropped
+        assert len(report.failed_latencies_ms) == 2
+        assert report.latencies_ms == ()
+        assert "failures" in report.render()
+        assert "2 failed posts" in report.render()
+
+    def test_report_without_failures_has_no_failure_line(self):
+        report = LoadReport(url="http://x", offered_rps=1.0, sent=1,
+                            succeeded=1, failed=0, elapsed_s=1.0,
+                            latencies_ms=(2.0,))
+        assert "failures" not in report.render()
+        assert report.failed_latency_percentile_ms(99) == 0.0
+
+
+class TestBatchModeLive:
+    def test_batch_mode_per_item_accounting(self, live_server):
+        url, service = live_server
+        good = {"model": "kw-a100", "network": "resnet50",
+                "batch_size": 64}
+        generator = LoadGenerator(url, [good], rate_rps=10_000.0,
+                                  n_requests=9, threads=2, batch=4)
+        report = generator.run()
+        assert report.succeeded == 9
+        assert report.failed == 0
+        assert report.failed_latencies_ms == ()
+        # 3 posts: ceil(9 / 4)
+        assert len(report.latencies_ms) == 3
+        assert report.tier_counts.get("kw") == 9
+        # one compute, then in-batch and cross-batch cache hits
+        assert report.cache_hits == 8
+        assert service.metrics.counter("batch_items_total") == 9
+
+    def test_batch_mode_separates_item_failures(self, live_server):
+        url, _ = live_server
+        good = {"model": "kw-a100", "network": "resnet50",
+                "batch_size": 64}
+        bad = {"model": "nope", "network": "resnet50", "batch_size": 64}
+        generator = LoadGenerator(url, [good, bad], rate_rps=10_000.0,
+                                  n_requests=4, threads=1, batch=2)
+        report = generator.run()
+        # every post carried one good and one bad item: the items split
+        # ok/failed, and the post latencies land in the failure bucket
+        assert report.succeeded == 2
+        assert report.failed == 2
+        assert report.latencies_ms == ()
+        assert len(report.failed_latencies_ms) == 2
+        assert any("item error 404" in reason for reason in report.errors)

@@ -134,6 +134,23 @@ class TestEndpoints:
         assert slowed["predicted_us"] > stock["predicted_us"]
 
 
+class TestUptime:
+    def test_uptime_ignores_wall_clock_steps(self, registry, monkeypatch):
+        """Uptime is measured on the monotonic clock: an NTP step or a
+        manual wall-clock change must never push /healthz negative."""
+        from repro.service.server import PredictionService
+
+        service = PredictionService(registry)
+        wall_start = service.started_at
+        monkeypatch.setattr("repro.service.server.time.time",
+                            lambda: wall_start - 86400.0)
+        assert service.health()["uptime_s"] >= 0.0
+        assert service.metrics_snapshot()["uptime_s"] >= 0.0
+        assert service.health()["uptime_s"] < 60.0
+        # the wall-clock start stays available as provenance
+        assert service.started_at == wall_start
+
+
 class TestBadRequests:
     @pytest.mark.parametrize("payload,status,fragment", [
         ({"network": "resnet50", "batch_size": 64}, 400, "model"),
