@@ -36,6 +36,12 @@ cross-checks:
          retargetable plan's numpy grid replays the scalar arithmetic
          bit-for-bit across heterogeneous targets. (Shares CT007's
          trained campaign, so it too runs only on the full sweep.)
+- CT010  every placement policy in the fleet registry
+         (:func:`repro.fleet.policy_names`) is exercised by the
+         committed policy-comparison study
+         (``repro.studies.fleet_study.STUDY_POLICIES``), and the study
+         names no policy the registry lacks — registering a policy
+         without studying it (or vice versa) is a silent coverage gap.
 
 Failures are reported as :class:`~repro.analysis_checks.findings.Finding`
 records (all error severity), deduplicated per layer kind / kernel so a
@@ -61,6 +67,7 @@ CONTRACT_RULES: Dict[str, str] = {
     "CT007": "compiled plans match direct predictions bit-exactly",
     "CT008": "versioned documents keep lineage and sufficient stats",
     "CT009": "batch evaluate_many matches scalar evaluate bit-exactly",
+    "CT010": "the fleet study exercises every registered policy",
 }
 
 #: finding rule id -> module whose contract it checks (finding path).
@@ -74,6 +81,7 @@ _LOCUS = {
     "CT007": "repro.core.plan",
     "CT008": "repro.calibration.store",
     "CT009": "repro.core.plan",
+    "CT010": "repro.fleet.policies",
 }
 
 
@@ -382,6 +390,36 @@ def _check_versioned_store(sink: _Recorder) -> None:
         sink.record("CT008", "store", f"store round-trip raised {exc!r}")
 
 
+def _check_fleet_study(sink: _Recorder) -> None:
+    """CT010: the policy registry and the committed study agree.
+
+    ``STUDY_POLICIES`` is a deliberate literal (not a call to
+    :func:`repro.fleet.policy_names`) so that this check can catch a
+    newly registered policy the study forgot — and, symmetrically, a
+    study entry whose policy was renamed or removed. Cheap (pure set
+    comparison, no simulation), so it runs on every sweep.
+    """
+    try:
+        from repro.fleet import policy_names
+        from repro.studies.fleet_study import STUDY_POLICIES
+    except Exception as exc:  # repro: noqa[EX001] reported as finding
+        sink.record("CT010", "fleet-study", f"import failed: {exc}")
+        return
+
+    registered = set(policy_names())
+    studied = set(STUDY_POLICIES)
+    for name in sorted(registered - studied):
+        sink.record("CT010", name,
+                    "registered policy is missing from the study's "
+                    "STUDY_POLICIES")
+    for name in sorted(studied - registered):
+        sink.record("CT010", name,
+                    "study names a policy the registry does not have")
+    if len(STUDY_POLICIES) != len(studied):
+        sink.record("CT010", "fleet-study",
+                    "STUDY_POLICIES contains duplicate entries")
+
+
 def check_contracts(network_names: Optional[Sequence[str]] = None,
                     batch_size: int = 1) -> ContractReport:
     """Run every contract over the named zoo networks.
@@ -410,6 +448,7 @@ def check_contracts(network_names: Optional[Sequence[str]] = None,
         _check_network(name, network, batch_size, report, sink)
     _check_persistence(report, sink)
     _check_versioned_store(sink)
+    _check_fleet_study(sink)
     if network_names is None:
         _check_plan_parity(built, batch_size, sink)
     report.findings = sink.findings

@@ -11,6 +11,7 @@ Mirrors the paper artifact's ``run.sh`` steps:
 - ``repro serve``      host a directory of saved models over HTTP
 - ``repro loadgen``    benchmark a running prediction server
 - ``repro calibrate``  close the loop: drift -> refit -> gated promote
+- ``repro fleet``      simulate a GPU fleet under placement policies
 - ``repro check``      static analysis: AST lint + domain contracts
 
 Example::
@@ -185,6 +186,43 @@ def _add_loadgen(subparsers) -> None:
                         "offered item rate)")
 
 
+def _add_fleet(subparsers) -> None:
+    p = subparsers.add_parser(
+        "fleet",
+        help="simulate a heterogeneous GPU fleet under placement "
+             "policies driven by predicted execution times")
+    p.add_argument("--config", default=None,
+                   help="fleet configuration JSON "
+                        "(FleetConfig.to_dict shape); default: the "
+                        "built-in study fleet at --scale")
+    p.add_argument("--scale", default="small",
+                   choices=["small", "medium", "large"],
+                   help="built-in study fleet preset (ignored with "
+                        "--config)")
+    p.add_argument("--policy", default="predicted",
+                   help="placement policy for a single run")
+    p.add_argument("--compare", action="store_true",
+                   help="run every registered policy over the "
+                        "identical trace and print the comparison")
+    p.add_argument("--smoke", action="store_true",
+                   help="CI gate: small comparison, twice, asserting "
+                        "bit-identical results and full policy coverage")
+    p.add_argument("--model", default=None,
+                   help="saved IGKW model JSON to price the fleet with "
+                        "(default: a small in-process campaign)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="trace and policy seed")
+    p.add_argument("--arrival", default="poisson",
+                   choices=["poisson", "diurnal"])
+    p.add_argument("--autoscale", action="store_true",
+                   help="enable the reactive autoscaler (preset "
+                        "configs only; JSON configs carry their own)")
+    p.add_argument("--json", action="store_true",
+                   help="print the report as JSON instead of a table")
+    p.add_argument("--out", default=None,
+                   help="also write the JSON report to this file")
+
+
 def _add_check(subparsers) -> None:
     p = subparsers.add_parser(
         "check",
@@ -234,6 +272,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_serve(subparsers)
     _add_loadgen(subparsers)
     _add_calibrate(subparsers)
+    _add_fleet(subparsers)
     _add_check(subparsers)
     _add_reproduce(subparsers)
     return parser
@@ -525,6 +564,85 @@ def _cmd_calibrate(args) -> int:
     return 0 if all(not e.get("error") for e in events) else 1
 
 
+def _cmd_fleet(args) -> int:
+    import json as json_mod
+    import time as time_mod
+
+    from repro.fleet import (
+        ExecTable,
+        FleetConfig,
+        FleetReport,
+        FleetSimulator,
+        policy_names,
+    )
+    from repro.studies import fleet_study
+
+    if args.smoke:
+        report = fleet_study.run_fleet_study(scale="small", seed=args.seed)
+        again = fleet_study.run_fleet_study(scale="small", seed=args.seed)
+        for first, second in zip(report.results, again.results):
+            if first != second:
+                print(f"error: policy {first.policy!r} is not "
+                      f"bit-reproducible across identical runs",
+                      file=sys.stderr)
+                return 1
+        missing = set(policy_names()) - set(report.policies())
+        if missing:
+            print(f"error: registered policies never ran: "
+                  f"{sorted(missing)}", file=sys.stderr)
+            return 1
+        print(report.render())
+        print(f"fleet smoke: {len(report.results)} policies, "
+              f"bit-reproducible, all requests served")
+        return 0
+
+    if args.config is not None:
+        with open(args.config) as handle:
+            config = FleetConfig.from_dict(json_mod.load(handle))
+    else:
+        config = fleet_study.study_config(
+            args.scale, seed=args.seed, arrival=args.arrival,
+            autoscale=args.autoscale)
+
+    if args.model is not None:
+        model = core.load_model(args.model)
+        if not isinstance(model, InterGPUKernelWiseModel):
+            print("error: the fleet needs a retargetable igkw model",
+                  file=sys.stderr)
+            return 2
+        networks = [zoo.build(name) for name in config.workload.networks]
+        specs = [gpu(name) for name in config.gpu_types]
+        table = ExecTable.from_model(model, networks, specs,
+                                     config.max_batch)
+    elif args.config is None:
+        table = fleet_study.study_table(config.max_batch)
+    else:
+        networks = [zoo.build(name) for name in config.workload.networks]
+        specs = [gpu(name) for name in config.gpu_types]
+        table = ExecTable.from_model(fleet_study.study_predictor(),
+                                     networks, specs, config.max_batch)
+
+    simulator = FleetSimulator(config, table)
+    start = time_mod.perf_counter()
+    if args.compare:
+        report = simulator.compare(policy_names())
+    else:
+        result = simulator.run(args.policy)
+        report = FleetReport((result,), simulator.describe(),
+                             simulator.offered_rate_rps)
+    elapsed = time_mod.perf_counter() - start
+    report = FleetReport(report.results, report.fleet,
+                         report.offered_rate_rps, elapsed_s=elapsed)
+
+    rendered = report.to_json() if args.json else report.render()
+    print(rendered)
+    if args.out is not None:
+        with open(args.out, "w") as handle:
+            handle.write(report.to_json() + "\n")
+        print(f"(JSON report written to {args.out})")
+    return 0
+
+
 def _cmd_check(args) -> int:
     from pathlib import Path
 
@@ -579,6 +697,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
     "calibrate": _cmd_calibrate,
+    "fleet": _cmd_fleet,
     "check": _cmd_check,
     "reproduce": _cmd_reproduce,
 }

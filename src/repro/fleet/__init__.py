@@ -1,0 +1,64 @@
+"""Datacenter fleet simulation driven by predicted execution times.
+
+The generalisation of case study 3 the roadmap calls for: thousands of
+heterogeneous Table-1 GPUs run dynamic-batching servers on one shared
+event engine, millions of requests arrive from seeded Poisson/diurnal
+traces over a mixed zoo roster, and pluggable placement policies route
+each request off an ahead-of-time compiled execution-time table. The
+output is what a capacity planner needs: per-policy latency
+percentiles, SLO attainment, utilisation, and $-cost.
+
+Entry points: ``repro fleet`` (CLI), :class:`FleetSimulator`
+(programmatic), and :func:`repro.studies.fleet_study.run_fleet_study`
+(the committed policy comparison).
+"""
+
+from repro.fleet.autoscaler import Autoscaler, ScaleEvent
+from repro.fleet.config import (
+    DEFAULT_COST_PER_HOUR,
+    AutoscalerConfig,
+    FleetConfig,
+    GPUPool,
+    SLOSpec,
+    WorkloadSpec,
+)
+from repro.fleet.exec_table import ExecTable
+from repro.fleet.policies import (
+    PlacementPolicy,
+    make_policy,
+    policy_names,
+    register_policy,
+)
+from repro.fleet.report import FleetReport, PolicyResult
+from repro.fleet.server import FleetServer
+from repro.fleet.simulator import FleetSimulator
+from repro.fleet.traffic import (
+    Trace,
+    diurnal_trace,
+    generate_trace,
+    poisson_trace,
+)
+
+__all__ = [
+    "Autoscaler",
+    "AutoscalerConfig",
+    "DEFAULT_COST_PER_HOUR",
+    "ExecTable",
+    "FleetConfig",
+    "FleetReport",
+    "FleetServer",
+    "FleetSimulator",
+    "GPUPool",
+    "PlacementPolicy",
+    "PolicyResult",
+    "SLOSpec",
+    "ScaleEvent",
+    "Trace",
+    "WorkloadSpec",
+    "diurnal_trace",
+    "generate_trace",
+    "make_policy",
+    "poisson_trace",
+    "policy_names",
+    "register_policy",
+]

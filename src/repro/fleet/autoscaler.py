@@ -1,0 +1,97 @@
+"""Reactive pool autoscaler: queue-depth up, utilisation down.
+
+A periodic control event samples every pool: when the mean number of
+waiting requests per active server exceeds the scale-up threshold, new
+servers are provisioned (they come online after the configured
+provisioning delay — boot plus model load); when the fraction of busy
+servers falls below the scale-down threshold, one idle server is
+drained (it stops receiving, finishes its queue, then retires and stops
+billing). Pool ``min_count``/``max_count`` bound both directions.
+
+Scale events are recorded as ``(time_us, pool_idx, delta)`` so the
+report can show each policy's scaling trajectory.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.fleet.config import AutoscalerConfig
+from repro.sim.engine import EventEngine
+
+#: One scaling action: (simulated time, pool index, +added / -drained).
+ScaleEvent = Tuple[float, int, int]
+
+
+class Autoscaler:
+    """Drives reactive scaling on a running fleet simulation."""
+
+    def __init__(self, fleet, config: AutoscalerConfig) -> None:
+        self.fleet = fleet
+        self.config = config
+        self.events: List[ScaleEvent] = []
+        self._pending = [0] * len(fleet.pools)
+
+    def start(self, engine: EventEngine) -> None:
+        engine.schedule(self.config.interval_ms * 1e3, self._tick)
+
+    def _tick(self, engine: EventEngine) -> None:
+        fleet = self.fleet
+        config = self.config
+        for pool_idx, pool in enumerate(fleet.pools):
+            servers = fleet.pool_servers[pool_idx]
+            population = len(servers) + self._pending[pool_idx]
+            if not servers:
+                continue
+            waiting = 0
+            busy = 0
+            for server in servers:
+                waiting += server.waiting
+                busy += server.busy
+            depth = waiting / len(servers)
+            if (depth > config.scale_up_queue_depth
+                    and population < pool.max_count):
+                step = min(config.step, pool.max_count - population)
+                self._provision(engine, pool_idx, step)
+            elif (busy / len(servers) < config.scale_down_utilization
+                    and waiting == 0
+                    and self._pending[pool_idx] == 0
+                    and len(servers) > pool.min_count):
+                self._drain_one(engine, pool_idx)
+        # keep sampling while traffic can still arrive or is in flight;
+        # once the fleet is idle and arrivals are done, stop so the
+        # engine can drain
+        if not fleet.arrivals_done or fleet.has_backlog():
+            engine.schedule(config.interval_ms * 1e3, self._tick)
+
+    def _provision(self, engine: EventEngine, pool_idx: int,
+                   step: int) -> None:
+        self._pending[pool_idx] += step
+
+        def online(eng: EventEngine) -> None:
+            self._pending[pool_idx] -= step
+            for _ in range(step):
+                server = self.fleet.add_server(pool_idx, eng.now)
+                self.events.append((eng.now, pool_idx, +1))
+                # a fresh idle server is immediately selectable; let it
+                # pull from nothing — requests route to it on arrival
+                server.est_ready_us = eng.now
+
+        engine.schedule(self.config.provision_delay_ms * 1e3, online)
+
+    def _drain_one(self, engine: EventEngine, pool_idx: int) -> None:
+        servers = self.fleet.pool_servers[pool_idx]
+        # drain the youngest idle server: scale-downs undo scale-ups
+        for server in reversed(servers):
+            if not server.busy and not server.waiting:
+                self.fleet.remove_server(server, engine.now)
+                self.events.append((engine.now, pool_idx, -1))
+                return
+
+    @property
+    def scale_ups(self) -> int:
+        return sum(1 for _, _, delta in self.events if delta > 0)
+
+    @property
+    def scale_downs(self) -> int:
+        return sum(1 for _, _, delta in self.events if delta < 0)

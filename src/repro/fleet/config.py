@@ -1,0 +1,212 @@
+"""Fleet configuration: pools, workload, SLOs, and autoscaling knobs.
+
+A fleet is a set of homogeneous GPU *pools* (one Table-1 GPU type, a
+server count, and an hourly price), a *workload* (a mixed-network
+request stream with a seeded arrival process), a latency *SLO*, and an
+optional reactive *autoscaler*. Everything is a frozen dataclass so a
+configuration is hashable context, serialises to JSON for the CLI, and
+two runs of the same config + seed are bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+from repro.gpu.specs import GPUS
+
+#: Default on-demand price per GPU-hour, USD. Loosely modelled on public
+#: cloud / marketplace rates; the cost-aware policy and the $-cost
+#: report only need the *relative* prices to be sane.
+DEFAULT_COST_PER_HOUR: Dict[str, float] = {
+    "A100": 3.06,
+    "A40": 1.28,
+    "RTX A5000": 0.80,
+    "V100": 1.46,
+    "TITAN RTX": 0.60,
+    "GTX 1080 Ti": 0.35,
+    "Quadro P620": 0.08,
+}
+
+
+@dataclass(frozen=True)
+class GPUPool:
+    """One homogeneous group of servers: a GPU type, a size, a price.
+
+    ``min_count``/``max_count`` bound the autoscaler; they default to
+    ``count`` (a fixed pool) so autoscaling is strictly opt-in per pool.
+    """
+
+    gpu: str
+    count: int
+    cost_per_hour: Optional[float] = None
+    min_count: Optional[int] = None
+    max_count: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.gpu not in GPUS:
+            raise KeyError(
+                f"unknown GPU {self.gpu!r}; known: {sorted(GPUS)}")
+        if self.count < 1:
+            raise ValueError(f"{self.gpu}: pool count must be >= 1")
+        if self.cost_per_hour is None:
+            object.__setattr__(self, "cost_per_hour",
+                               DEFAULT_COST_PER_HOUR[self.gpu])
+        if self.cost_per_hour < 0:
+            raise ValueError(f"{self.gpu}: cost_per_hour cannot be negative")
+        if self.min_count is None:
+            object.__setattr__(self, "min_count", self.count)
+        if self.max_count is None:
+            object.__setattr__(self, "max_count", self.count)
+        if not 1 <= self.min_count <= self.count <= self.max_count:
+            raise ValueError(
+                f"{self.gpu}: need 1 <= min_count <= count <= max_count, "
+                f"got {self.min_count}/{self.count}/{self.max_count}")
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """The per-request latency objective the report scores against."""
+
+    latency_ms: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.latency_ms <= 0:
+            raise ValueError("SLO latency must be positive")
+
+    @property
+    def latency_us(self) -> float:
+        return self.latency_ms * 1e3
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """Reactive scaling thresholds (queue depth up, utilisation down).
+
+    The controller samples each pool every ``interval_ms`` of simulated
+    time; scale-ups take ``provision_delay_ms`` to come online
+    (instance boot + model load), scale-downs drain the picked server
+    first. Disabled by default — capacity studies usually want a fixed
+    fleet.
+    """
+
+    enabled: bool = False
+    interval_ms: float = 250.0
+    provision_delay_ms: float = 2000.0
+    scale_up_queue_depth: float = 4.0    # mean waiting requests / server
+    scale_down_utilization: float = 0.30  # busy-server fraction
+    step: int = 1                         # servers added per action
+
+    def __post_init__(self) -> None:
+        if self.interval_ms <= 0 or self.provision_delay_ms < 0:
+            raise ValueError("autoscaler intervals must be positive")
+        if self.scale_up_queue_depth <= 0:
+            raise ValueError("scale_up_queue_depth must be positive")
+        if not 0.0 <= self.scale_down_utilization < 1.0:
+            raise ValueError("scale_down_utilization must be in [0, 1)")
+        if self.step < 1:
+            raise ValueError("autoscaler step must be >= 1")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """The request stream: network mix, arrival process, and volume.
+
+    ``rate_rps=None`` derives the offered rate from the fleet's
+    predicted capacity at ``target_utilization`` — the natural way to
+    ask for "a busy but stable fleet" without hand-tuning rates per
+    configuration.
+    """
+
+    networks: Tuple[str, ...]
+    weights: Optional[Tuple[float, ...]] = None
+    n_requests: int = 100_000
+    rate_rps: Optional[float] = None
+    target_utilization: float = 0.6
+    arrival: str = "poisson"             # "poisson" | "diurnal"
+    diurnal_amplitude: float = 0.5
+    diurnal_period_s: float = 60.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.networks:
+            raise ValueError("workload needs at least one network")
+        if self.weights is not None and (
+                len(self.weights) != len(self.networks)
+                or any(w <= 0 for w in self.weights)):
+            raise ValueError(
+                "weights must be positive, one per network")
+        if self.n_requests < 1:
+            raise ValueError("n_requests must be >= 1")
+        if self.rate_rps is not None and self.rate_rps <= 0:
+            raise ValueError("rate_rps must be positive")
+        if not 0.0 < self.target_utilization <= 1.0:
+            raise ValueError("target_utilization must be in (0, 1]")
+        if self.arrival not in ("poisson", "diurnal"):
+            raise ValueError(
+                f"unknown arrival process {self.arrival!r}; "
+                "expected 'poisson' or 'diurnal'")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ValueError("diurnal_amplitude must be in [0, 1)")
+        if self.diurnal_period_s <= 0:
+            raise ValueError("diurnal_period_s must be positive")
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Everything one fleet simulation run needs besides the predictor."""
+
+    pools: Tuple[GPUPool, ...]
+    workload: WorkloadSpec
+    slo: SLOSpec = field(default_factory=SLOSpec)
+    autoscaler: AutoscalerConfig = field(default_factory=AutoscalerConfig)
+    max_batch: int = 8
+    batch_timeout_us: float = 2000.0
+    policy_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.pools:
+            raise ValueError("fleet needs at least one pool")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.batch_timeout_us < 0:
+            raise ValueError("batch_timeout_us cannot be negative")
+
+    @property
+    def total_gpus(self) -> int:
+        return sum(pool.count for pool in self.pools)
+
+    @property
+    def gpu_types(self) -> Tuple[str, ...]:
+        """Distinct GPU type names, in pool order."""
+        seen = []
+        for pool in self.pools:
+            if pool.gpu not in seen:
+                seen.append(pool.gpu)
+        return tuple(seen)
+
+    def with_workload(self, **changes) -> "FleetConfig":
+        return replace(self, workload=replace(self.workload, **changes))
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "FleetConfig":
+        """Revive a config from ``to_dict`` output / a JSON CLI file."""
+        def tup(value):
+            return tuple(value) if value is not None else None
+
+        pools = tuple(GPUPool(**pool) for pool in raw["pools"])
+        workload = dict(raw["workload"])
+        workload["networks"] = tup(workload["networks"])
+        workload["weights"] = tup(workload.get("weights"))
+        extra = {}
+        if "slo" in raw:
+            extra["slo"] = SLOSpec(**raw["slo"])
+        if "autoscaler" in raw:
+            extra["autoscaler"] = AutoscalerConfig(**raw["autoscaler"])
+        for key in ("max_batch", "batch_timeout_us", "policy_seed"):
+            if key in raw:
+                extra[key] = raw[key]
+        return cls(pools=pools, workload=WorkloadSpec(**workload), **extra)

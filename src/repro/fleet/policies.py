@@ -1,0 +1,352 @@
+"""Placement policies: who serves the next request, in O(log n) or less.
+
+The routing hot path runs once per request — at fleet scale that is
+millions of decisions over thousands of servers, so no policy may scan
+the fleet per request. Each policy maintains an incremental structure
+fed by server notifications:
+
+- ``random`` / ``round_robin`` — O(1) picks over the active list;
+- ``jsq`` — join-shortest-queue via queue-length buckets (exact
+  minimum, O(1) amortised);
+- ``least_finish`` — greedy earliest-ready server via one lazy min-heap
+  keyed on the predicted backlog-completion estimate;
+- ``predicted`` — predicted-time-aware: per-pool lazy heaps plus the
+  request's own predicted run time on each pool's GPU type, so a slow
+  GPU only wins a request it is actually competitive on;
+- ``cost`` — cost-aware: among pools whose predicted completion meets
+  the SLO, minimise predicted $-cost per request (pool $/hour times
+  predicted run time); falls back to ``predicted`` when nothing meets
+  the SLO.
+
+The heap keys are the servers' ``est_ready_us`` backlog estimates, which
+change on enqueue, batch launch, and idle-reset — each of which pushes a
+fresh entry, so stale entries are detected by key mismatch and lazily
+discarded (never re-pushed; see ``_LazyHeapMixin._peek_best``).
+
+New policies register with :func:`register_policy`; the CT010 contract
+asserts every registered policy is exercised by the comparison study.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+import random
+from heapq import heappop, heappush
+from typing import Dict, List, Optional, Type
+
+from repro.fleet.server import FleetServer
+
+_REGISTRY: Dict[str, Type["PlacementPolicy"]] = {}
+
+
+def register_policy(cls: Type["PlacementPolicy"]) -> Type["PlacementPolicy"]:
+    """Class decorator: add a policy to the fleet-wide registry."""
+    name = cls.policy_name
+    if not name:
+        raise ValueError(f"{cls.__name__} must set policy_name")
+    if name in _REGISTRY:
+        raise ValueError(f"placement policy {name!r} already registered")
+    _REGISTRY[name] = cls
+    return cls
+
+
+def policy_names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def make_policy(name: str, fleet) -> "PlacementPolicy":
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown placement policy {name!r}; "
+                       f"known: {policy_names()}") from None
+    return cls(fleet)
+
+
+class PlacementPolicy(abc.ABC):
+    """Routes each arriving request to one active server.
+
+    ``fleet`` is the running :class:`~repro.fleet.simulator
+    .FleetSimulator`, exposing ``active_servers``, ``pools``,
+    ``marginal_us`` (the ``[net][pool]`` per-request estimate),
+    ``pool_cost_per_hour``, ``slo_us`` and ``policy_seed``. The
+    ``note_*`` hooks keep incremental structures fresh; unneeded ones
+    stay no-ops.
+    """
+
+    policy_name = ""
+
+    def __init__(self, fleet) -> None:
+        self.fleet = fleet
+        self._setup()
+        for server in fleet.active_servers:
+            self.note_added(server)
+
+    def _setup(self) -> None:
+        """Initialise incremental structures before servers register."""
+
+    @abc.abstractmethod
+    def select(self, net_idx: int, now_us: float) -> FleetServer:
+        """Pick the server that will serve this request."""
+
+    def note_added(self, server: FleetServer) -> None:
+        """A server joined the active set (startup or scale-up)."""
+
+    def note_removed(self, server: FleetServer) -> None:
+        """A server left the active set (drain started)."""
+
+    def note_enqueue(self, server: FleetServer) -> None:
+        """A request was queued on ``server``."""
+
+    def note_launch(self, server: FleetServer) -> None:
+        """A batch launched on ``server`` (queue got shorter)."""
+
+    def note_ready(self, server: FleetServer) -> None:
+        """``server`` went idle and reset its backlog estimate."""
+
+
+@register_policy
+class RandomPolicy(PlacementPolicy):
+    """Uniform random over active servers (seeded, reproducible)."""
+
+    policy_name = "random"
+
+    def _setup(self) -> None:
+        self._rng = random.Random(f"fleet-random|{self.fleet.policy_seed}")
+
+    def select(self, net_idx: int, now_us: float) -> FleetServer:
+        servers = self.fleet.active_servers
+        return servers[self._rng.randrange(len(servers))]
+
+
+@register_policy
+class RoundRobinPolicy(PlacementPolicy):
+    """Cycle through the active servers in order."""
+
+    policy_name = "round_robin"
+
+    def _setup(self) -> None:
+        self._next = 0
+
+    def select(self, net_idx: int, now_us: float) -> FleetServer:
+        servers = self.fleet.active_servers
+        index = self._next % len(servers)
+        self._next = index + 1
+        return servers[index]
+
+
+@register_policy
+class JSQPolicy(PlacementPolicy):
+    """Join-shortest-queue: exact minimum waiting count, O(1) updates.
+
+    Servers live in buckets indexed by queue length (insertion-ordered
+    dicts, so ties break deterministically); a monotone minimum pointer
+    re-scans only when its bucket empties.
+    """
+
+    policy_name = "jsq"
+
+    def _setup(self) -> None:
+        self._buckets: List[Dict[FleetServer, None]] = [{}]
+        self._min_q = 0
+
+    def _move(self, server: FleetServer, new_q: int) -> None:
+        self._buckets[server.bucket].pop(server, None)
+        while len(self._buckets) <= new_q:
+            self._buckets.append({})
+        self._buckets[new_q][server] = None
+        server.bucket = new_q
+        if new_q < self._min_q:
+            self._min_q = new_q
+
+    def note_added(self, server: FleetServer) -> None:
+        server.bucket = 0
+        self._buckets[server.bucket].pop(server, None)
+        self._move(server, server.waiting)
+
+    def note_removed(self, server: FleetServer) -> None:
+        self._buckets[server.bucket].pop(server, None)
+
+    def note_enqueue(self, server: FleetServer) -> None:
+        if server.active:
+            self._move(server, server.bucket + 1)
+
+    def note_launch(self, server: FleetServer) -> None:
+        if server.active:
+            self._move(server, server.waiting)
+
+    def select(self, net_idx: int, now_us: float) -> FleetServer:
+        buckets = self._buckets
+        q = self._min_q
+        while q < len(buckets) and not buckets[q]:
+            q += 1
+        if q >= len(buckets):
+            raise RuntimeError("JSQ has no active servers")
+        self._min_q = q
+        return next(iter(buckets[q]))
+
+
+class _LazyHeapMixin:
+    """Shared lazy-heap plumbing keyed on ``est_ready_us``."""
+
+    def _new_heap(self) -> list:
+        return []
+
+    def _push(self, heap: list, server: FleetServer) -> None:
+        heappush(heap, (server.est_ready_us, next(self._stamp), server))
+
+    def _peek_best(self, heap: list) -> Optional[FleetServer]:
+        """Earliest-ready server with a fresh entry, or None.
+
+        Stale entries (key != the server's current ``est_ready_us``) are
+        discarded, never re-pushed: every key change already pushed a
+        fresh entry through the ``note_*`` hooks, so re-pushing here
+        would duplicate entries and grow the heap without bound.
+        """
+        while heap:
+            key, _, server = heap[0]
+            if server.active and key == server.est_ready_us:
+                return server
+            heappop(heap)
+        return None
+
+
+@register_policy
+class LeastFinishPolicy(_LazyHeapMixin, PlacementPolicy):
+    """Greedy least-finish-time: the server whose backlog clears first.
+
+    Network-agnostic — it balances predicted *load* but ignores how fast
+    the candidate GPU runs this particular request.
+    """
+
+    policy_name = "least_finish"
+
+    def _setup(self) -> None:
+        self._stamp = itertools.count()
+        self._heap = self._new_heap()
+
+    def note_added(self, server: FleetServer) -> None:
+        self._push(self._heap, server)
+
+    def note_enqueue(self, server: FleetServer) -> None:
+        if server.active:
+            self._push(self._heap, server)
+
+    def note_launch(self, server: FleetServer) -> None:
+        if server.active:
+            self._push(self._heap, server)
+
+    def note_ready(self, server: FleetServer) -> None:
+        if server.active:
+            self._push(self._heap, server)
+
+    def select(self, net_idx: int, now_us: float) -> FleetServer:
+        server = self._peek_best(self._heap)
+        if server is None:
+            raise RuntimeError("least_finish has no active servers")
+        return server
+
+
+@register_policy
+class PredictedTimePolicy(_LazyHeapMixin, PlacementPolicy):
+    """Predicted-time-aware: minimise this request's completion time.
+
+    One lazy heap per pool tracks that pool's earliest-ready server;
+    the decision adds the request's own predicted run time on the
+    pool's GPU type, so the pool count (not the fleet size) bounds the
+    per-request work.
+    """
+
+    policy_name = "predicted"
+
+    def _setup(self) -> None:
+        self._stamp = itertools.count()
+        self._heaps = [self._new_heap() for _ in self.fleet.pools]
+
+    def note_added(self, server: FleetServer) -> None:
+        self._push(self._heaps[server.pool_idx], server)
+
+    def note_enqueue(self, server: FleetServer) -> None:
+        if server.active:
+            self._push(self._heaps[server.pool_idx], server)
+
+    def note_launch(self, server: FleetServer) -> None:
+        if server.active:
+            self._push(self._heaps[server.pool_idx], server)
+
+    def note_ready(self, server: FleetServer) -> None:
+        if server.active:
+            self._push(self._heaps[server.pool_idx], server)
+
+    def select(self, net_idx: int, now_us: float) -> FleetServer:
+        marginal = self.fleet.marginal_us[net_idx]
+        best = None
+        best_eta = float("inf")
+        for pool_idx, heap in enumerate(self._heaps):
+            server = self._peek_best(heap)
+            if server is None:
+                continue
+            ready = server.est_ready_us
+            if ready < now_us:
+                ready = now_us
+            eta = ready + marginal[pool_idx]
+            if eta < best_eta:
+                best = server
+                best_eta = eta
+        if best is None:
+            raise RuntimeError("predicted has no active servers")
+        return best
+
+
+@register_policy
+class CostAwarePolicy(PredictedTimePolicy):
+    """Cost-aware: cheapest predicted $-cost among SLO-feasible pools.
+
+    Per-request cost is the pool's $/hour times the request's predicted
+    run time on that GPU type (``evaluate_grid``'s per-target pricing,
+    folded into the marginal table). Pools whose predicted completion
+    would blow the latency SLO are excluded; if none qualify, fall back
+    to the pure predicted-time decision.
+
+    Feasibility uses ``slo_headroom`` of the SLO budget, not all of it:
+    the backlog estimate amortises queued work at full-batch throughput
+    and ignores batching delay, so a pool predicted *exactly* at the
+    SLO would actually miss it. The headroom keeps the steered-to pool
+    comfortably inside the objective.
+    """
+
+    policy_name = "cost"
+    slo_headroom = 0.5
+
+    def select(self, net_idx: int, now_us: float) -> FleetServer:
+        fleet = self.fleet
+        marginal = fleet.marginal_us[net_idx]
+        rates = fleet.pool_cost_per_hour
+        slo_deadline = now_us + self.slo_headroom * fleet.slo_us
+        best = None
+        best_key = (float("inf"), float("inf"))
+        fallback = None
+        fallback_eta = float("inf")
+        for pool_idx, heap in enumerate(self._heaps):
+            server = self._peek_best(heap)
+            if server is None:
+                continue
+            ready = server.est_ready_us
+            if ready < now_us:
+                ready = now_us
+            run_us = marginal[pool_idx]
+            eta = ready + run_us
+            if eta < fallback_eta:
+                fallback = server
+                fallback_eta = eta
+            if eta <= slo_deadline:
+                key = (rates[pool_idx] * run_us, eta)
+                if key < best_key:
+                    best = server
+                    best_key = key
+        if best is not None:
+            return best
+        if fallback is None:
+            raise RuntimeError("cost has no active servers")
+        return fallback

@@ -1,0 +1,194 @@
+"""Fleet results: per-policy serving metrics and the comparison report.
+
+A :class:`PolicyResult` is what capacity planners read off one run —
+latency percentiles (p50/p99/p999), SLO attainment, fleet utilisation,
+total $-cost and $-cost per met SLO — and a :class:`FleetReport`
+renders several policies side by side over the identical trace, which
+is the whole point: same requests, same fleet, only the placement
+decision differs.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PolicyResult:
+    """Aggregate serving metrics of one policy over one trace."""
+
+    policy: str
+    n_requests: int
+    initial_gpus: int
+    peak_gpus: int
+    makespan_us: float
+    p50_us: float
+    p99_us: float
+    p999_us: float
+    mean_us: float
+    slo_ms: float
+    slo_attainment: float        # fraction of requests within the SLO
+    utilization: float           # busy time / billable time
+    cost_usd: float
+    batches: int
+    scale_ups: int = 0
+    scale_downs: int = 0
+
+    @property
+    def throughput_rps(self) -> float:
+        if self.makespan_us == 0:
+            return 0.0
+        return self.n_requests / (self.makespan_us / 1e6)
+
+    @property
+    def mean_batch_size(self) -> float:
+        if self.batches == 0:
+            return 0.0
+        return self.n_requests / self.batches
+
+    @property
+    def slo_met(self) -> int:
+        return round(self.slo_attainment * self.n_requests)
+
+    @property
+    def cost_per_1k_slo_usd(self) -> float:
+        """Dollars per thousand SLO-met requests (inf when none met)."""
+        if self.slo_met == 0:
+            return float("inf")
+        return self.cost_usd / (self.slo_met / 1e3)
+
+    def to_dict(self) -> dict:
+        per_1k = self.cost_per_1k_slo_usd
+        return {
+            "policy": self.policy,
+            "n_requests": self.n_requests,
+            "initial_gpus": self.initial_gpus,
+            "peak_gpus": self.peak_gpus,
+            "makespan_us": self.makespan_us,
+            "throughput_rps": self.throughput_rps,
+            "p50_us": self.p50_us,
+            "p99_us": self.p99_us,
+            "p999_us": self.p999_us,
+            "mean_us": self.mean_us,
+            "slo_ms": self.slo_ms,
+            "slo_attainment": self.slo_attainment,
+            "utilization": self.utilization,
+            "cost_usd": self.cost_usd,
+            "cost_per_1k_slo_usd": per_1k if math.isfinite(per_1k) else None,
+            "batches": self.batches,
+            "mean_batch_size": self.mean_batch_size,
+            "scale_ups": self.scale_ups,
+            "scale_downs": self.scale_downs,
+        }
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """Several policies compared over the identical fleet and trace."""
+
+    results: Tuple[PolicyResult, ...]
+    fleet: str                   # human-readable fleet description
+    offered_rate_rps: float
+    elapsed_s: Optional[float] = None   # wall-clock of the comparison
+
+    def __post_init__(self) -> None:
+        if not self.results:
+            raise ValueError("report needs at least one policy result")
+
+    def policies(self) -> Tuple[str, ...]:
+        return tuple(result.policy for result in self.results)
+
+    def result(self, policy: str) -> PolicyResult:
+        for result in self.results:
+            if result.policy == policy:
+                return result
+        raise KeyError(f"no result for policy {policy!r}; "
+                       f"have {list(self.policies())}")
+
+    def best(self, metric: str = "p99_us") -> PolicyResult:
+        """The winning policy under a (lower-is-better) metric."""
+        return min(self.results,
+                   key=lambda result: getattr(result, metric))
+
+    def render(self) -> str:
+        first = self.results[0]
+        lines = [
+            self.fleet,
+            (f"{first.n_requests:,} requests @ "
+             f"{self.offered_rate_rps:,.0f} rps offered, "
+             f"SLO {first.slo_ms:g} ms"
+             + (f"  ({self.elapsed_s:.1f} s wall clock)"
+                if self.elapsed_s is not None else "")),
+            (f"{'policy':<14} {'p50 ms':>9} {'p99 ms':>9} {'p999 ms':>9} "
+             f"{'SLO %':>7} {'util %':>7} {'cost $':>9} "
+             f"{'$/1k SLO':>9} {'batch':>6} {'gpus':>6}"),
+        ]
+        for result in self.results:
+            per_1k = result.cost_per_1k_slo_usd
+            gpus = (f"{result.initial_gpus}"
+                    if result.peak_gpus == result.initial_gpus
+                    else f"{result.initial_gpus}>{result.peak_gpus}")
+            lines.append(
+                f"{result.policy:<14} "
+                f"{result.p50_us / 1e3:>9.2f} "
+                f"{result.p99_us / 1e3:>9.2f} "
+                f"{result.p999_us / 1e3:>9.2f} "
+                f"{result.slo_attainment * 100:>7.2f} "
+                f"{result.utilization * 100:>7.1f} "
+                f"{result.cost_usd:>9.2f} "
+                + (f"{per_1k:>9.4f} " if math.isfinite(per_1k)
+                   else f"{'inf':>9} ")
+                + f"{result.mean_batch_size:>6.2f} {gpus:>6}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "fleet": self.fleet,
+            "offered_rate_rps": self.offered_rate_rps,
+            "elapsed_s": self.elapsed_s,
+            "results": [result.to_dict() for result in self.results],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+def percentile_us(sorted_latencies, percentile: float) -> float:
+    """Same convention as ``ServingResult.latency_percentile_us``."""
+    if not 0 <= percentile <= 100:
+        raise ValueError("percentile must be in [0, 100]")
+    n = len(sorted_latencies)
+    index = min(n - 1, int(percentile / 100.0 * n))
+    return float(sorted_latencies[index])
+
+
+def summarize(policy: str, latencies_sorted, slo_us: float, slo_met: int,
+              *, n_requests: int, initial_gpus: int, peak_gpus: int,
+              makespan_us: float, utilization: float, cost_usd: float,
+              batches: int, scale_ups: int = 0,
+              scale_downs: int = 0) -> PolicyResult:
+    """Fold one run's raw arrays into a :class:`PolicyResult`."""
+    mean_us = float(np.asarray(latencies_sorted).mean())
+    return PolicyResult(
+        policy=policy,
+        n_requests=n_requests,
+        initial_gpus=initial_gpus,
+        peak_gpus=peak_gpus,
+        makespan_us=makespan_us,
+        p50_us=percentile_us(latencies_sorted, 50.0),
+        p99_us=percentile_us(latencies_sorted, 99.0),
+        p999_us=percentile_us(latencies_sorted, 99.9),
+        mean_us=mean_us,
+        slo_ms=slo_us / 1e3,
+        slo_attainment=slo_met / n_requests,
+        utilization=utilization,
+        cost_usd=cost_usd,
+        batches=batches,
+        scale_ups=scale_ups,
+        scale_downs=scale_downs,
+    )

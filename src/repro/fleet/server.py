@@ -1,0 +1,187 @@
+"""One fleet server: a GPU running a dynamic-batching inference loop.
+
+Same mechanics as :class:`repro.sim.serving.ServingSimulator` — collect
+waiting requests into a batch of at most ``max_batch``, wait at most
+``batch_timeout_us`` once the first request of a batch is queued — but
+restructured for fleet scale: thousands of servers share one
+:class:`~repro.sim.engine.EventEngine`, batch execution times are
+table lookups into a precompiled :class:`~repro.fleet.exec_table
+.ExecTable` row, handlers are ``__slots__``-bound methods instead of
+per-request closures, and completed latencies are written straight into
+the simulator's result array.
+
+Because a fleet server receives a *mixed* network stream and dynamic
+batching only fuses requests of the same model, waiting requests sit in
+one queue **per network** (how real serving frontends batch per model).
+A launch picks the network whose head request is oldest and takes up to
+``max_batch`` from that queue — so batches actually fill as backlog
+grows, which is what lets a loaded server approach its full-batch
+throughput instead of being capped by the network-mix interleaving.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from repro.sim.engine import EventEngine
+
+#: A queued request: (arrival time, request index).
+QueuedRequest = Tuple[float, int]
+
+_INF = float("inf")
+
+
+class FleetServer:
+    """One simulated GPU server inside a fleet run."""
+
+    __slots__ = (
+        "sid", "pool_idx", "type_idx", "cost_per_hour", "exec_by_net",
+        "marginal_by_net", "max_batch", "batch_timeout_us", "queues",
+        "waiting", "busy", "inflight", "deadline", "est_ready_us",
+        "busy_until", "queued_marginal_us", "bucket", "busy_us",
+        "batches", "started_us", "retired_us", "active", "retiring",
+        "policy", "latencies",
+    )
+
+    def __init__(self, sid: int, pool_idx: int, type_idx: int,
+                 cost_per_hour: float, exec_by_net: List[List[float]],
+                 marginal_by_net: List[float], max_batch: int,
+                 batch_timeout_us: float, latencies,
+                 started_us: float = 0.0) -> None:
+        self.sid = sid
+        self.pool_idx = pool_idx
+        self.type_idx = type_idx
+        self.cost_per_hour = cost_per_hour
+        self.exec_by_net = exec_by_net          # [net][batch] -> us
+        self.marginal_by_net = marginal_by_net  # [net] -> us/request
+        self.max_batch = max_batch
+        self.batch_timeout_us = batch_timeout_us
+        self.latencies = latencies              # shared result array
+        self.queues: List[Deque[QueuedRequest]] = [
+            deque() for _ in marginal_by_net]
+        self.waiting = 0                        # total queued requests
+        self.busy = False
+        self.inflight: Optional[List[QueuedRequest]] = None
+        self.deadline: Optional[float] = None
+        # backlog estimate: est_ready = max(busy_until, now) + the
+        # amortised marginal cost of everything still waiting. The
+        # in-flight part is the *actual* batch finish time, so the
+        # estimate cannot drift below reality while the server is busy.
+        self.est_ready_us = started_us
+        self.busy_until = started_us
+        self.queued_marginal_us = 0.0
+        self.bucket = 0                          # owned by the JSQ policy
+        self.busy_us = 0.0
+        self.batches = 0
+        self.started_us = started_us
+        self.retired_us: Optional[float] = None
+        self.active = True
+        self.retiring = False
+        self.policy = None                       # attached by the fleet
+
+    def enqueue(self, engine: EventEngine, arrival_us: float,
+                net_idx: int, req_idx: int) -> None:
+        """Accept one routed request (called at its arrival time)."""
+        self.queues[net_idx].append((arrival_us, req_idx))
+        self.waiting += 1
+        self.queued_marginal_us += self.marginal_by_net[net_idx]
+        now = engine.now
+        base = self.busy_until
+        if base < now:
+            base = now
+        self.est_ready_us = base + self.queued_marginal_us
+        self.policy.note_enqueue(self)
+        if not self.busy:
+            self.maybe_launch(engine, net_idx)
+
+    def maybe_launch(self, engine: EventEngine,
+                     net_idx: Optional[int] = None) -> None:
+        if self.busy or not self.waiting:
+            return
+        # timeout 0.0 is the exact "no batching delay" config sentinel
+        if self.batch_timeout_us == 0.0:  # repro: noqa[FP001]
+            self._launch(engine)
+            return
+        if net_idx is not None:
+            if len(self.queues[net_idx]) >= self.max_batch:
+                self._launch(engine)
+                return
+        elif any(len(queue) >= self.max_batch for queue in self.queues):
+            self._launch(engine)
+            return
+        if self.deadline is None:
+            deadline = engine.now + self.batch_timeout_us
+            self.deadline = deadline
+
+            def timeout(eng: EventEngine) -> None:
+                if (not self.busy and self.waiting
+                        and self.deadline == deadline):
+                    self._launch(eng)
+
+            engine.schedule(self.batch_timeout_us, timeout)
+
+    def _launch(self, engine: EventEngine) -> None:
+        # serve the network whose head request has waited longest
+        queues = self.queues
+        net_idx = -1
+        oldest = _INF
+        for idx, queue in enumerate(queues):
+            if queue and queue[0][0] < oldest:
+                oldest = queue[0][0]
+                net_idx = idx
+        queue = queues[net_idx]
+        batch = [queue.popleft()]
+        cap = self.max_batch
+        while queue and len(batch) < cap:
+            batch.append(queue.popleft())
+        self.waiting -= len(batch)
+        self.busy = True
+        self.deadline = None
+        self.inflight = batch
+        self.batches += 1
+        duration = self.exec_by_net[net_idx][len(batch)]
+        self.busy_us += duration
+        self.busy_until = engine.now + duration
+        if self.waiting:
+            self.queued_marginal_us -= (len(batch)
+                                        * self.marginal_by_net[net_idx])
+            if self.queued_marginal_us < 0.0:
+                self.queued_marginal_us = 0.0
+        else:
+            self.queued_marginal_us = 0.0   # exact reset, no float drift
+        self.est_ready_us = self.busy_until + self.queued_marginal_us
+        self.policy.note_launch(self)
+        engine.schedule(duration, self._finish)
+
+    def _finish(self, engine: EventEngine) -> None:
+        now = engine.now
+        latencies = self.latencies
+        for arrival, req_idx in self.inflight:
+            latencies[req_idx] = now - arrival
+        self.inflight = None
+        self.busy = False
+        if self.waiting:
+            self.maybe_launch(engine)
+            return
+        # idle: collapse the backlog estimate back to reality so the
+        # per-request marginal costs cannot drift it into the future
+        self.est_ready_us = now
+        self.busy_until = now
+        self.queued_marginal_us = 0.0
+        if self.retiring:
+            self.retired_us = now
+        else:
+            self.policy.note_ready(self)
+
+    def drain(self, now_us: float) -> None:
+        """Stop accepting work; retire once the queue runs dry."""
+        self.active = False
+        self.retiring = True
+        if not self.busy and not self.waiting:
+            self.retired_us = now_us
+
+    def active_us(self, horizon_us: float) -> float:
+        """Billable lifetime: activation until retirement (or horizon)."""
+        end = self.retired_us if self.retired_us is not None else horizon_us
+        return max(0.0, end - self.started_us)

@@ -1,0 +1,229 @@
+"""The fleet simulator: thousands of GPUs, millions of requests.
+
+This is the paper's case study 3 scaled from nine jobs on two GPUs to a
+datacenter: heterogeneous pools of Table-1 GPUs each run a
+dynamic-batching server, requests arrive from a seeded Poisson or
+diurnal trace over a mixed zoo roster, and a pluggable placement policy
+routes every request using only the precompiled
+:class:`~repro.fleet.exec_table.ExecTable` — the predictor is never
+invoked inside the simulation loop.
+
+The engine usage follows the MGPUSim fast-forward style: service events
+(batch launches, completions, autoscaler ticks) live on one shared
+:class:`~repro.sim.engine.EventEngine`, while the arrival stream drives
+the clock in monotone ``run(until_us=arrival)`` slices. That keeps the
+event heap small (O(active servers), not O(requests)) and makes one
+Python process simulate a 1,000-GPU fleet serving a million requests in
+seconds. Identical config + seeds give bit-identical results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fleet.autoscaler import Autoscaler
+from repro.fleet.config import FleetConfig
+from repro.fleet.exec_table import ExecTable
+from repro.fleet.policies import make_policy, policy_names
+from repro.fleet.report import FleetReport, PolicyResult, summarize
+from repro.fleet.server import FleetServer
+from repro.fleet.traffic import Trace, generate_trace
+from repro.sim.engine import EventEngine
+
+
+class FleetSimulator:
+    """Simulates one fleet configuration under interchangeable policies."""
+
+    def __init__(self, config: FleetConfig, table: ExecTable,
+                 trace: Trace = None) -> None:
+        missing = [name for name in config.workload.networks
+                   if name not in table.networks]
+        if missing:
+            raise KeyError(
+                f"workload networks {missing} are not in the exec table")
+        for pool in config.pools:
+            table.type_index(pool.gpu)   # raises on an unpriced type
+        if config.max_batch > table.max_batch:
+            raise ValueError(
+                f"config max_batch {config.max_batch} exceeds the "
+                f"table's {table.max_batch}")
+        self.config = config
+        self.table = table
+        # request network indices index the *workload* roster; map the
+        # table rows into that order once
+        self._net_rows = [table.network_index(name)
+                          for name in config.workload.networks]
+        self.offered_rate_rps = self._resolve_rate()
+        self.trace = trace if trace is not None else generate_trace(
+            config.workload, self.offered_rate_rps)
+        if len(self.trace.networks) != len(config.workload.networks):
+            raise ValueError("trace and workload rosters disagree")
+
+        # pool-indexed context shared with policies and the autoscaler
+        self.pools = config.pools
+        self.policy_seed = config.policy_seed
+        self.slo_us = config.slo.latency_us
+        self.pool_cost_per_hour = [pool.cost_per_hour
+                                   for pool in config.pools]
+        marginal = table.marginal_us()
+        pool_types = [table.type_index(pool.gpu) for pool in config.pools]
+        #: per-request backlog estimate, ``[workload net][pool]`` in us
+        self.marginal_us = [
+            [marginal[row][t] for t in pool_types]
+            for row in self._net_rows]
+        # per-pool exec rows, [workload net][batch] -> us
+        self._exec_rows = []
+        for t in pool_types:
+            by_type = table.rows_for_type(t)
+            self._exec_rows.append([by_type[row] for row in self._net_rows])
+
+        # per-run state (reset by run())
+        self.active_servers = []
+        self.pool_servers = []
+        self.all_servers = []
+        self.arrivals_done = False
+        self._policy = None
+        self._latencies = None
+        self._peak_gpus = 0
+        self._next_sid = 0
+        #: scale events of the most recent run(): (time_us, pool, +-1)
+        self.last_scale_events = []
+
+    def _resolve_rate(self) -> float:
+        workload = self.config.workload
+        if workload.rate_rps is not None:
+            return workload.rate_rps
+        weights = [workload.weights[i] if workload.weights else 1.0
+                   for i in range(len(workload.networks))]
+        # capacity of the *initial* fleet under the workload mix; the
+        # mix must be re-indexed into table order per type
+        capacity = 0.0
+        for pool in self.config.pools:
+            type_idx = self.table.type_index(pool.gpu)
+            batch = self.config.max_batch
+            total_w = sum(weights)
+            mean_us = sum(
+                w / total_w * self.table.us(row, type_idx, batch) / batch
+                for w, row in zip(weights, self._net_rows))
+            capacity += pool.count * (1e6 / mean_us)
+        return workload.target_utilization * capacity
+
+    # -- fleet mutation (initial build + autoscaler) ------------------
+
+    def add_server(self, pool_idx: int, now_us: float) -> FleetServer:
+        pool = self.config.pools[pool_idx]
+        marginal_col = [row[pool_idx] for row in self.marginal_us]
+        server = FleetServer(
+            self._next_sid, pool_idx,
+            self.table.type_index(pool.gpu), pool.cost_per_hour,
+            self._exec_rows[pool_idx], marginal_col,
+            self.config.max_batch, self.config.batch_timeout_us,
+            self._latencies, started_us=now_us)
+        self._next_sid += 1
+        server.policy = self._policy
+        self.active_servers.append(server)
+        self.pool_servers[pool_idx].append(server)
+        self.all_servers.append(server)
+        if len(self.active_servers) > self._peak_gpus:
+            self._peak_gpus = len(self.active_servers)
+        if self._policy is not None:
+            self._policy.note_added(server)
+        return server
+
+    def remove_server(self, server: FleetServer, now_us: float) -> None:
+        server.drain(now_us)
+        self.active_servers.remove(server)
+        self.pool_servers[server.pool_idx].remove(server)
+        self._policy.note_removed(server)
+
+    def has_backlog(self) -> bool:
+        return any(server.busy or server.waiting
+                   for server in self.all_servers)
+
+    # -- one policy run ----------------------------------------------
+
+    def run(self, policy: str) -> PolicyResult:
+        """Serve the whole trace under one placement policy."""
+        config = self.config
+        n = len(self.trace)
+        self._latencies = np.full(n, -1.0)
+        self.active_servers = []
+        self.pool_servers = [[] for _ in config.pools]
+        self.all_servers = []
+        self.arrivals_done = False
+        self._peak_gpus = 0
+        self._next_sid = 0
+        self._policy = None
+        for pool_idx, pool in enumerate(config.pools):
+            for _ in range(pool.count):
+                self.add_server(pool_idx, 0.0)
+        router = make_policy(policy, self)
+        self._policy = router
+        for server in self.all_servers:
+            server.policy = router
+
+        engine = EventEngine()
+        scaler = None
+        if config.autoscaler.enabled:
+            scaler = Autoscaler(self, config.autoscaler)
+            scaler.start(engine)
+
+        # the hot loop: python-native arrays, one run() slice per arrival
+        arrivals = self.trace.arrivals_us.tolist()
+        nets = self.trace.network_idx.tolist()
+        advance = engine.run
+        select = router.select
+        for i in range(n):
+            t = arrivals[i]
+            advance(t)
+            net = nets[i]
+            select(net, t).enqueue(engine, t, net, i)
+        self.arrivals_done = True
+        makespan = engine.run()
+        self.last_scale_events = scaler.events if scaler else []
+
+        latencies = self._latencies
+        if latencies.min() < 0:
+            raise RuntimeError("fleet simulation lost requests")
+        slo_met = int((latencies <= self.slo_us).sum())
+        latencies.sort()
+
+        busy_us = 0.0
+        billable_us = 0.0
+        cost_usd = 0.0
+        batches = 0
+        for server in self.all_servers:
+            active_us = server.active_us(makespan)
+            busy_us += server.busy_us
+            billable_us += active_us
+            cost_usd += active_us / 3.6e9 * server.cost_per_hour
+            batches += server.batches
+        return summarize(
+            policy, latencies, self.slo_us, slo_met,
+            n_requests=n, initial_gpus=config.total_gpus,
+            peak_gpus=self._peak_gpus, makespan_us=makespan,
+            utilization=busy_us / billable_us if billable_us else 0.0,
+            cost_usd=cost_usd, batches=batches,
+            scale_ups=scaler.scale_ups if scaler else 0,
+            scale_downs=scaler.scale_downs if scaler else 0)
+
+    # -- the comparison ----------------------------------------------
+
+    def describe(self) -> str:
+        pools = ", ".join(
+            f"{pool.gpu} x{pool.count} @${pool.cost_per_hour:g}/h"
+            + (f" (scale {pool.min_count}..{pool.max_count})"
+               if pool.max_count != pool.count
+               or pool.min_count != pool.count else "")
+            for pool in self.config.pools)
+        return (f"fleet: {self.config.total_gpus} GPUs ({pools}), "
+                f"max batch {self.config.max_batch}, "
+                f"mix {'/'.join(self.config.workload.networks)}, "
+                f"{self.config.workload.arrival} arrivals")
+
+    def compare(self, policies=None, elapsed_s=None) -> FleetReport:
+        """Run several policies over the identical trace and fleet."""
+        names = list(policies) if policies is not None else policy_names()
+        results = tuple(self.run(name) for name in names)
+        return FleetReport(results, self.describe(),
+                           self.offered_rate_rps, elapsed_s=elapsed_s)

@@ -51,16 +51,27 @@ class EventEngine:
                        (time_us, next(self._counter), handler))
 
     def run(self, until_us: Optional[float] = None) -> float:
-        """Process events (optionally up to a horizon); returns final time."""
+        """Process events (optionally up to a horizon); returns final time.
+
+        With a horizon, the clock always lands exactly on ``until_us`` —
+        even when the queue empties first or was empty all along — so
+        callers can drive the engine in monotone slices
+        (``run(t1); run(t2); ...``). A horizon behind the current time
+        would rewind the clock and is rejected.
+        """
+        if until_us is not None and until_us < self._now:
+            raise ValueError(
+                f"cannot run to {until_us} before now={self._now}")
         while self._queue:
             time, _, handler = self._queue[0]
             if until_us is not None and time > until_us:
-                self._now = until_us
-                return self._now
+                break
             heapq.heappop(self._queue)
             self._now = time
             self._processed += 1
             handler(self)
+        if until_us is not None:
+            self._now = until_us
         return self._now
 
     def __bool__(self) -> bool:

@@ -12,7 +12,9 @@ The model:
 - the server collects waiting requests into a batch of at most
   ``max_batch``, waiting at most ``batch_timeout_us`` for more work once
   the first request of a batch is queued;
-- batch execution time is ``predictor.predict_network(net, batch)``;
+- batch execution time comes from a compiled
+  ``predictor.compile(net, batch)`` plan (lowered once per batch size,
+  shareable across simulator instances via ``plan_cache``);
 - per-request latency = queueing + execution.
 
 Outputs are the serving curves operators care about: throughput,
@@ -24,7 +26,7 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Sequence, Tuple
+from typing import Deque, Dict, List, MutableMapping, Optional, Sequence, Tuple
 
 from repro.gpu.timing import _unit_hash
 from repro.nn.graph import Network
@@ -119,7 +121,8 @@ class ServingSimulator:
     """One GPU serving one network with dynamic batching."""
 
     def __init__(self, predictor, network: Network, max_batch: int = 32,
-                 batch_timeout_us: float = 2000.0) -> None:
+                 batch_timeout_us: float = 2000.0,
+                 plan_cache: Optional[MutableMapping] = None) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if batch_timeout_us < 0:
@@ -130,12 +133,27 @@ class ServingSimulator:
         self.batch_timeout_us = batch_timeout_us
         # predicted batch-execution times are reused heavily: memoise
         self._batch_time: Dict[int, float] = {}
+        # compiled plans, keyed (network name, batch). Pass one mapping
+        # to every simulator sharing a predictor and the network is
+        # lowered once per batch size fleet-wide instead of once per
+        # server instance.
+        self._plans = plan_cache if plan_cache is not None else {}
 
     def _execution_us(self, batch: int) -> float:
         cached = self._batch_time.get(batch)
         if cached is None:
-            cached = float(self.predictor.predict_network(self.network,
-                                                          batch))
+            compiler = getattr(self.predictor, "compile", None)
+            if compiler is None:
+                # bare stubs (tests) expose predict_network only
+                cached = float(self.predictor.predict_network(
+                    self.network, batch))
+            else:
+                key = (self.network.name, batch)
+                plan = self._plans.get(key)
+                if plan is None:
+                    plan = compiler(self.network, batch)
+                    self._plans[key] = plan
+                cached = float(plan.evaluate())
             self._batch_time[batch] = cached
         return cached
 

@@ -17,6 +17,12 @@ from repro.studies.design_space import (
     memory_cost_usd,
     search_bandwidth,
 )
+from repro.studies.fleet_study import (
+    STUDY_POLICIES,
+    build_simulator,
+    run_fleet_study,
+    study_config,
+)
 from repro.studies.multi_gpu import (
     StepBreakdown,
     bandwidth_requirement,
@@ -53,11 +59,13 @@ __all__ = [
     "FIGURE17_BANDWIDTHS",
     "STUDY_BATCH_SIZE",
     "STUDY_GPUS",
+    "STUDY_POLICIES",
     "SchedulingStudyResult",
     "StepBreakdown",
     "SweepResult",
     "bandwidth_requirement",
     "bandwidth_sweep",
+    "build_simulator",
     "data_parallel_step",
     "scaling_curve",
     "batch_size_series",
@@ -70,6 +78,8 @@ __all__ = [
     "layer_clouds",
     "measure_times",
     "run_disaggregation_study",
+    "run_fleet_study",
     "run_scheduling_study",
+    "study_config",
     "throughput_series",
 ]

@@ -1,0 +1,157 @@
+"""Fleet policy-comparison study: heterogeneity-aware routing wins.
+
+The committed extension of case study 3 (`repro fleet --compare`, the
+``ext_fleet`` benchmark): a heterogeneous fleet of Table-1 GPUs serves
+an identical mixed-network trace under every registered placement
+policy. The expected shape of the result — and what the benchmark
+asserts — is that the predicted-time-aware policy beats the
+heterogeneity-blind baselines (random, round-robin) on p99 latency and
+on $-cost per SLO-met request: blind policies offer the slow pool the
+same load as the fast pools and drown it.
+
+The predictor is a small fixed IGKW campaign (three networks, three
+training GPUs), which also exercises retargeting: one fleet pool (TITAN
+RTX) is a GPU the campaign never measured.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Optional, Sequence, Tuple
+
+from repro.core.intergpu import InterGPUKernelWiseModel
+from repro.core.workflow import train_inter_gpu_model
+from repro.dataset import build_dataset
+from repro.fleet import (
+    AutoscalerConfig,
+    ExecTable,
+    FleetConfig,
+    FleetReport,
+    FleetSimulator,
+    GPUPool,
+    SLOSpec,
+    WorkloadSpec,
+)
+from repro.gpu.specs import gpu
+from repro.zoo import build
+
+#: Every policy the committed comparison exercises. Kept as an explicit
+#: literal (not derived from the registry) so the CT010 contract can
+#: catch a newly-registered policy that was never added to the study.
+STUDY_POLICIES: Tuple[str, ...] = (
+    "cost",
+    "jsq",
+    "least_finish",
+    "predicted",
+    "random",
+    "round_robin",
+)
+
+#: The study's mixed zoo roster and training campaign.
+STUDY_NETWORKS: Tuple[str, ...] = ("resnet18", "mobilenet_v2",
+                                   "squeezenet1_1")
+STUDY_TRAIN_GPUS: Tuple[str, ...] = ("A100", "A40", "GTX 1080 Ti")
+STUDY_TRAIN_BATCH = 64
+
+#: Fleet composition fractions: (gpu, share of the fleet). TITAN RTX is
+#: held out of training — the table prices it purely by retargeting.
+STUDY_POOL_MIX: Tuple[Tuple[str, float], ...] = (
+    ("A100", 0.25),
+    ("A40", 0.25),
+    ("TITAN RTX", 0.25),
+    ("GTX 1080 Ti", 0.25),
+)
+
+_SCALES = {
+    # name: (total gpus, requests)
+    "small": (12, 6_000),
+    "medium": (120, 60_000),
+    "large": (1_000, 1_000_000),
+}
+
+
+@functools.lru_cache(maxsize=None)
+def study_predictor() -> InterGPUKernelWiseModel:
+    """The small fixed IGKW campaign behind the study's exec table."""
+    networks = tuple(build(name) for name in STUDY_NETWORKS)
+    specs = tuple(gpu(name) for name in STUDY_TRAIN_GPUS)
+    data = build_dataset(networks, specs, batch_sizes=(STUDY_TRAIN_BATCH,))
+    return train_inter_gpu_model(data, specs, batch_size=STUDY_TRAIN_BATCH)
+
+
+def study_pools(total_gpus: int, autoscale: bool = False
+                ) -> Tuple[GPUPool, ...]:
+    """Split a GPU budget across the study's heterogeneous mix."""
+    if total_gpus < len(STUDY_POOL_MIX):
+        raise ValueError(
+            f"need at least {len(STUDY_POOL_MIX)} GPUs, got {total_gpus}")
+    counts = [max(1, int(total_gpus * share))
+              for _, share in STUDY_POOL_MIX]
+    counts[0] += total_gpus - sum(counts)   # remainder to the first pool
+    pools = []
+    for (name, _), count in zip(STUDY_POOL_MIX, counts):
+        if autoscale:
+            pools.append(GPUPool(name, count,
+                                 min_count=max(1, count // 2),
+                                 max_count=count * 2))
+        else:
+            pools.append(GPUPool(name, count))
+    return tuple(pools)
+
+
+def study_config(scale: str = "small", seed: int = 0,
+                 arrival: str = "poisson",
+                 autoscale: bool = False) -> FleetConfig:
+    """A ready-to-run fleet configuration at a named scale."""
+    try:
+        total_gpus, n_requests = _SCALES[scale]
+    except KeyError:
+        raise KeyError(f"unknown scale {scale!r}; "
+                       f"known: {sorted(_SCALES)}") from None
+    return FleetConfig(
+        pools=study_pools(total_gpus, autoscale=autoscale),
+        workload=WorkloadSpec(
+            networks=STUDY_NETWORKS,
+            n_requests=n_requests,
+            target_utilization=0.6,
+            arrival=arrival,
+            seed=seed,
+        ),
+        slo=SLOSpec(latency_ms=100.0),
+        autoscaler=AutoscalerConfig(enabled=autoscale),
+        max_batch=8,
+        policy_seed=seed,
+    )
+
+
+def study_table(max_batch: int = 8) -> ExecTable:
+    """The ahead-of-time pricing pass over every fleet GPU type."""
+    networks = [build(name) for name in STUDY_NETWORKS]
+    specs = [gpu(name) for name, _ in STUDY_POOL_MIX]
+    return ExecTable.from_model(study_predictor(), networks, specs,
+                                max_batch)
+
+
+def build_simulator(config: Optional[FleetConfig] = None,
+                    scale: str = "small", seed: int = 0,
+                    arrival: str = "poisson",
+                    autoscale: bool = False) -> FleetSimulator:
+    if config is None:
+        config = study_config(scale, seed=seed, arrival=arrival,
+                              autoscale=autoscale)
+    return FleetSimulator(config, study_table(config.max_batch))
+
+
+def run_fleet_study(scale: str = "small", seed: int = 0,
+                    policies: Sequence[str] = STUDY_POLICIES,
+                    arrival: str = "poisson",
+                    autoscale: bool = False) -> FleetReport:
+    """Compare placement policies over one identical trace."""
+    simulator = build_simulator(scale=scale, seed=seed, arrival=arrival,
+                                autoscale=autoscale)
+    start = time.perf_counter()
+    report = simulator.compare(policies)
+    elapsed = time.perf_counter() - start
+    return FleetReport(report.results, report.fleet,
+                       report.offered_rate_rps, elapsed_s=elapsed)

@@ -75,6 +75,33 @@ class TestBatchParityContract:
         assert report.gaps()["CT007"] == []
 
 
+class TestFleetStudyContract:
+    def test_ct010_registered(self):
+        assert "CT010" in CONTRACT_RULES
+        assert "fleet study" in CONTRACT_RULES["CT010"]
+
+    def test_subset_sweep_is_ct010_clean(self):
+        # CT010 is a pure set comparison, so it runs even on subsets
+        assert check_contracts(["alexnet"]).gaps()["CT010"] == []
+
+    def test_unstudied_policy_is_a_violation(self, monkeypatch):
+        from repro.fleet import policies
+        from repro.fleet.policies import PlacementPolicy
+
+        monkeypatch.setitem(policies._REGISTRY, "fifo", PlacementPolicy)
+        report = check_contracts(["alexnet"])
+        assert "fifo" in report.gaps()["CT010"]
+        ct010 = [f for f in report.findings if f.rule == "CT010"]
+        assert all(f.path == "repro.fleet.policies" for f in ct010)
+
+    def test_ghost_study_entry_is_a_violation(self, monkeypatch):
+        from repro.fleet import policies
+
+        monkeypatch.delitem(policies._REGISTRY, "jsq")
+        report = check_contracts(["alexnet"])
+        assert "jsq" in report.gaps()["CT010"]
+
+
 class TestSubsetsAndArguments:
     def test_single_network_subset(self):
         report = check_contracts(["alexnet"])

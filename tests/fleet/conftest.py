@@ -1,0 +1,51 @@
+"""Shared fixtures: a hand-built exec table and a small fleet config.
+
+The synthetic table makes the heterogeneity explicit and exact: the
+"A100" type runs everything 4x faster than the "GTX 1080 Ti" type, and
+batch time grows affinely with batch size (so full batches amortise a
+2x throughput win). Policies can be asserted against these numbers
+without training any model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fleet import (
+    AutoscalerConfig,
+    ExecTable,
+    FleetConfig,
+    GPUPool,
+    SLOSpec,
+    WorkloadSpec,
+)
+
+NETWORKS = ("netA", "netB")
+GPU_TYPES = ("A100", "GTX 1080 Ti")
+SLOW_FACTOR = 4.0
+
+
+def make_table(max_batch: int = 8) -> ExecTable:
+    times = np.zeros((len(NETWORKS), len(GPU_TYPES), max_batch + 1))
+    for n in range(len(NETWORKS)):
+        base = 1000.0 * (n + 1)
+        for t, mult in enumerate((1.0, SLOW_FACTOR)):
+            for batch in range(1, max_batch + 1):
+                times[n, t, batch] = base * mult * (0.5 + 0.5 * batch)
+    return ExecTable(NETWORKS, GPU_TYPES, times)
+
+
+@pytest.fixture(scope="session")
+def table() -> ExecTable:
+    return make_table()
+
+
+@pytest.fixture()
+def small_config() -> FleetConfig:
+    return FleetConfig(
+        pools=(GPUPool("A100", 3), GPUPool("GTX 1080 Ti", 3)),
+        workload=WorkloadSpec(networks=NETWORKS, n_requests=2000,
+                              target_utilization=0.6, seed=1),
+        slo=SLOSpec(latency_ms=50.0),
+        autoscaler=AutoscalerConfig(),
+        max_batch=8,
+    )

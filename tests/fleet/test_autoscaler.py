@@ -1,0 +1,90 @@
+"""Tests for the reactive autoscaler, end-to-end through the simulator."""
+
+import numpy as np
+import pytest
+
+from repro.fleet import (
+    AutoscalerConfig,
+    FleetConfig,
+    FleetSimulator,
+    GPUPool,
+    SLOSpec,
+    Trace,
+    WorkloadSpec,
+)
+
+from .conftest import NETWORKS, make_table
+
+
+def burst_trace(n_burst=120, rate_rps=4000.0, tail_gap_us=500_000.0):
+    """A hard burst followed by a long quiet tail."""
+    gap = 1e6 / rate_rps
+    burst = np.arange(1, n_burst + 1) * gap
+    tail = burst[-1] + np.arange(1, 9) * tail_gap_us
+    arrivals = np.concatenate([burst, tail])
+    return Trace(NETWORKS, arrivals,
+                 np.zeros(len(arrivals), dtype=np.intp))
+
+
+def autoscaled_config(n_requests, provision_delay_ms=50.0):
+    return FleetConfig(
+        pools=(GPUPool("A100", 2, min_count=1, max_count=10),),
+        workload=WorkloadSpec(networks=NETWORKS, n_requests=n_requests,
+                              rate_rps=1000.0, seed=1),
+        slo=SLOSpec(latency_ms=50.0),
+        autoscaler=AutoscalerConfig(
+            enabled=True, interval_ms=20.0,
+            provision_delay_ms=provision_delay_ms,
+            scale_up_queue_depth=2.0, scale_down_utilization=0.4),
+        max_batch=4,
+    )
+
+
+class TestScaleUp:
+    def test_burst_grows_the_pool_after_the_delay(self):
+        trace = burst_trace()
+        config = autoscaled_config(len(trace))
+        simulator = FleetSimulator(config, make_table(), trace=trace)
+        result = simulator.run("jsq")
+        assert result.scale_ups > 0
+        assert result.peak_gpus > config.total_gpus
+        assert result.peak_gpus <= config.pools[0].max_count
+
+    def test_provisioning_delay_is_respected(self):
+        trace = burst_trace()
+        config = autoscaled_config(len(trace), provision_delay_ms=50.0)
+        simulator = FleetSimulator(config, make_table(), trace=trace)
+        simulator.run("jsq")
+        first_up = min(t for t, _, delta in simulator.last_scale_events
+                       if delta > 0)
+        # the first tick fires at 20ms; provisioning adds 50ms
+        assert first_up >= (20.0 + 50.0) * 1e3
+
+    def test_quiet_tail_scales_back_down(self):
+        trace = burst_trace()
+        config = autoscaled_config(len(trace))
+        simulator = FleetSimulator(config, make_table(), trace=trace)
+        result = simulator.run("jsq")
+        assert result.scale_downs > 0
+
+    def test_disabled_autoscaler_keeps_the_pool_fixed(self):
+        trace = burst_trace()
+        config = FleetConfig(
+            pools=(GPUPool("A100", 2),),
+            workload=WorkloadSpec(networks=NETWORKS,
+                                  n_requests=len(trace), rate_rps=1000.0),
+            max_batch=4,
+        )
+        simulator = FleetSimulator(config, make_table(), trace=trace)
+        result = simulator.run("jsq")
+        assert result.peak_gpus == 2
+        assert result.scale_ups == result.scale_downs == 0
+
+    def test_all_requests_still_served(self):
+        trace = burst_trace()
+        config = autoscaled_config(len(trace))
+        simulator = FleetSimulator(config, make_table(), trace=trace)
+        result = simulator.run("predicted")
+        assert result.n_requests == len(trace)
+        assert result.slo_attainment == pytest.approx(
+            result.slo_met / len(trace))

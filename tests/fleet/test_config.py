@@ -1,0 +1,88 @@
+"""Tests for the fleet configuration dataclasses."""
+
+import pytest
+
+from repro.fleet import (
+    DEFAULT_COST_PER_HOUR,
+    AutoscalerConfig,
+    FleetConfig,
+    GPUPool,
+    SLOSpec,
+    WorkloadSpec,
+)
+
+
+class TestGPUPool:
+    def test_default_price_comes_from_the_table(self):
+        pool = GPUPool("A100", 4)
+        assert pool.cost_per_hour == DEFAULT_COST_PER_HOUR["A100"]
+
+    def test_explicit_price_wins(self):
+        assert GPUPool("A100", 4, cost_per_hour=9.9).cost_per_hour == 9.9
+
+    def test_bounds_default_to_a_fixed_pool(self):
+        pool = GPUPool("A40", 5)
+        assert (pool.min_count, pool.max_count) == (5, 5)
+
+    def test_validation(self):
+        with pytest.raises(KeyError):
+            GPUPool("H100", 1)          # not a Table-1 GPU
+        with pytest.raises(ValueError):
+            GPUPool("A100", 0)
+        with pytest.raises(ValueError):
+            GPUPool("A100", 2, min_count=3)
+        with pytest.raises(ValueError):
+            GPUPool("A100", 2, max_count=1)
+
+
+class TestSpecs:
+    def test_slo_microseconds(self):
+        assert SLOSpec(latency_ms=25.0).latency_us == 25_000.0
+
+    def test_workload_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(networks=())
+        with pytest.raises(ValueError):
+            WorkloadSpec(networks=("a",), weights=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            WorkloadSpec(networks=("a",), arrival="bursty")
+        with pytest.raises(ValueError):
+            WorkloadSpec(networks=("a",), target_utilization=0.0)
+
+    def test_autoscaler_validation(self):
+        with pytest.raises(ValueError):
+            AutoscalerConfig(interval_ms=0.0)
+        with pytest.raises(ValueError):
+            AutoscalerConfig(scale_down_utilization=1.0)
+
+
+class TestFleetConfig:
+    def _config(self, **changes):
+        base = dict(
+            pools=(GPUPool("A100", 2), GPUPool("V100", 3)),
+            workload=WorkloadSpec(networks=("resnet18",)),
+        )
+        base.update(changes)
+        return FleetConfig(**base)
+
+    def test_totals_and_types(self):
+        config = self._config()
+        assert config.total_gpus == 5
+        assert config.gpu_types == ("A100", "V100")
+
+    def test_with_workload(self):
+        config = self._config().with_workload(seed=9)
+        assert config.workload.seed == 9
+
+    def test_round_trips_through_dict(self):
+        config = self._config(
+            slo=SLOSpec(latency_ms=42.0),
+            autoscaler=AutoscalerConfig(enabled=True),
+            max_batch=4, policy_seed=3)
+        assert FleetConfig.from_dict(config.to_dict()) == config
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self._config(pools=())
+        with pytest.raises(ValueError):
+            self._config(max_batch=0)

@@ -1,0 +1,114 @@
+"""Tests for the ahead-of-time execution-time table."""
+
+import numpy as np
+import pytest
+
+from repro.fleet import ExecTable
+
+from .conftest import GPU_TYPES, NETWORKS, SLOW_FACTOR, make_table
+
+
+class TestExecTable:
+    def test_lookup_matches_the_source_array(self, table):
+        assert table.us(0, 0, 1) == 1000.0
+        assert table.us(0, 1, 1) == 1000.0 * SLOW_FACTOR
+        assert table.us(1, 0, 8) == 2000.0 * 4.5
+
+    def test_rows_for_type(self, table):
+        rows = table.rows_for_type(0)
+        assert len(rows) == len(NETWORKS)
+        assert rows[0][4] == table.us(0, 0, 4)
+
+    def test_marginal_is_full_batch_amortised(self, table):
+        marginal = table.marginal_us()
+        assert marginal[0][0] == table.us(0, 0, 8) / 8
+        assert marginal[1][1] == table.us(1, 1, 8) / 8
+
+    def test_indices_raise_keyerror_with_choices(self, table):
+        assert table.type_index("A100") == 0
+        assert table.network_index("netB") == 1
+        with pytest.raises(KeyError):
+            table.type_index("V100")
+        with pytest.raises(KeyError):
+            table.network_index("vgg16")
+
+    def test_capacity_scales_with_speed(self, table):
+        fast = table.capacity_rps(0)
+        slow = table.capacity_rps(1)
+        assert fast == pytest.approx(SLOW_FACTOR * slow)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExecTable(NETWORKS, GPU_TYPES, np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            ExecTable(NETWORKS, GPU_TYPES, np.ones((3, 2, 9)))
+        bad = np.ones((2, 2, 9))
+        bad[0, 0, 3] = 0.0
+        with pytest.raises(ValueError):
+            ExecTable(NETWORKS, GPU_TYPES, bad)
+
+
+class _GridPlan:
+    def __init__(self, base_us):
+        self.base_us = base_us
+
+    def evaluate_grid(self, specs):
+        times = np.array([self.base_us * (i + 1)
+                          for i in range(len(specs))])
+        return times, np.zeros(len(specs))
+
+
+class _GridModel:
+    """Stub retargetable model: one evaluate_grid call per compile."""
+
+    def __init__(self):
+        self.compiled = []
+
+    def compile(self, network, batch):
+        self.compiled.append((network.name, batch))
+        return _GridPlan(100.0 * batch)
+
+
+class TestFromModel:
+    def test_one_compile_per_network_and_batch(self):
+        from repro.gpu.specs import gpu
+        from repro.zoo import build
+
+        model = _GridModel()
+        networks = [build("resnet18"), build("mobilenet_v2")]
+        specs = [gpu("A100"), gpu("A40")]
+        table = ExecTable.from_model(model, networks, specs, max_batch=4)
+        assert len(model.compiled) == len(networks) * 4
+        # the grid's per-spec ordering lands in type order
+        assert table.us(0, 0, 2) == 200.0
+        assert table.us(0, 1, 2) == 400.0
+        assert table.gpu_types == ("A100", "A40")
+
+    def test_per_gpu_model_mapping(self):
+        from repro.gpu.specs import gpu
+        from repro.zoo import build
+
+        class _Plan:
+            def __init__(self, value):
+                self.value = value
+
+            def evaluate(self):
+                return self.value
+
+        class _Single:
+            def __init__(self, scale):
+                self.scale = scale
+
+            def compile(self, network, batch):
+                return _Plan(self.scale * batch)
+
+        networks = [build("resnet18")]
+        specs = [gpu("A100"), gpu("A40")]
+        table = ExecTable.from_model(
+            {"A100": _Single(10.0), "A40": _Single(30.0)},
+            networks, specs, max_batch=2)
+        assert table.us(0, 0, 2) == 20.0
+        assert table.us(0, 1, 2) == 60.0
+        with pytest.raises(KeyError):
+            ExecTable.from_model({"A100": _Single(1.0)}, networks,
+                                 specs, max_batch=2)

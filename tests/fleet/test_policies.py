@@ -1,0 +1,172 @@
+"""Tests for the placement-policy registry and the policies themselves.
+
+Policies only read a few server attributes (``waiting``, ``bucket``,
+``est_ready_us``, ``pool_idx``, ``active``) and a few fleet attributes,
+so these tests drive them with bare stubs — no engine, no simulator —
+and assert the routing decisions against hand-computable state.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet.policies import (
+    PlacementPolicy,
+    make_policy,
+    policy_names,
+    register_policy,
+)
+
+
+class _Server:
+    def __init__(self, pool_idx=0, est_ready_us=0.0):
+        self.pool_idx = pool_idx
+        self.est_ready_us = est_ready_us
+        self.waiting = 0
+        self.bucket = 0
+        self.active = True
+
+
+class _Fleet:
+    def __init__(self, servers, n_pools=1, marginal=None,
+                 costs=None, slo_us=100_000.0, seed=0):
+        self.active_servers = list(servers)
+        self.pools = list(range(n_pools))
+        self.marginal_us = marginal if marginal is not None else [
+            [100.0] * n_pools]
+        self.pool_cost_per_hour = costs or [1.0] * n_pools
+        self.slo_us = slo_us
+        self.policy_seed = seed
+
+
+class TestRegistry:
+    def test_known_policies(self):
+        assert policy_names() == ["cost", "jsq", "least_finish",
+                                  "predicted", "random", "round_robin"]
+
+    def test_unknown_policy_raises_with_choices(self):
+        with pytest.raises(KeyError, match="least_finish"):
+            make_policy("fifo", _Fleet([_Server()]))
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            @register_policy
+            class Clone(PlacementPolicy):          # noqa: F811
+                policy_name = "random"
+
+                def select(self, net_idx, now_us):
+                    raise NotImplementedError
+
+
+class TestSimplePolicies:
+    def test_random_is_seeded(self):
+        servers = [_Server() for _ in range(8)]
+        policy_a = make_policy("random", _Fleet(servers, seed=5))
+        policy_b = make_policy("random", _Fleet(servers, seed=5))
+        policy_c = make_policy("random", _Fleet(servers, seed=6))
+        seq_a = [servers.index(policy_a.select(0, 0.0))
+                 for _ in range(30)]
+        seq_b = [servers.index(policy_b.select(0, 0.0))
+                 for _ in range(30)]
+        seq_c = [servers.index(policy_c.select(0, 0.0))
+                 for _ in range(30)]
+        assert seq_a == seq_b
+        assert seq_a != seq_c
+        assert len(set(seq_a)) > 1
+
+    def test_round_robin_cycles(self):
+        servers = [_Server() for _ in range(3)]
+        policy = make_policy("round_robin", _Fleet(servers))
+        picked = [policy.select(0, 0.0) for _ in range(6)]
+        assert picked == servers + servers
+
+
+class TestJSQ:
+    def _policy(self, servers):
+        return make_policy("jsq", _Fleet(servers))
+
+    def test_picks_the_shortest_queue(self):
+        servers = [_Server() for _ in range(3)]
+        policy = self._policy(servers)
+        servers[0].waiting = 2
+        policy.note_enqueue(servers[0])
+        policy.note_enqueue(servers[0])
+        servers[1].waiting = 1
+        policy.note_enqueue(servers[1])
+        assert policy.select(0, 0.0) is servers[2]
+
+    def test_removed_server_is_never_picked(self):
+        servers = [_Server(), _Server()]
+        policy = self._policy(servers)
+        servers[0].active = False
+        policy.note_removed(servers[0])
+        for _ in range(5):
+            assert policy.select(0, 0.0) is servers[1]
+
+    @given(st.lists(st.integers(min_value=0, max_value=11),
+                    min_size=1, max_size=80),
+           st.integers(min_value=2, max_value=6))
+    @settings(max_examples=60, deadline=None)
+    def test_never_routes_past_a_shorter_queue(self, ops, n_servers):
+        """The JSQ invariant, under arbitrary enqueue/launch interleaving:
+        the chosen server's queue is a global minimum at decision time."""
+        servers = [_Server() for _ in range(n_servers)]
+        policy = self._policy(servers)
+        for op in ops:
+            chosen = policy.select(0, 0.0)
+            shortest = min(server.waiting for server in servers)
+            assert chosen.waiting == shortest
+            chosen.waiting += 1
+            policy.note_enqueue(chosen)
+            target = servers[op % n_servers]
+            if op % 3 == 0 and target.waiting:
+                # a batch launch drains some of the target's queue
+                target.waiting -= 1 + op % target.waiting
+                policy.note_launch(target)
+
+
+class TestEstReadyHeapPolicies:
+    def test_least_finish_picks_earliest_ready(self):
+        servers = [_Server(est_ready_us=t) for t in (300.0, 100.0, 200.0)]
+        policy = make_policy("least_finish", _Fleet(servers))
+        assert policy.select(0, 0.0) is servers[1]
+
+    def test_stale_entries_are_skipped(self):
+        servers = [_Server(est_ready_us=100.0), _Server(est_ready_us=200.0)]
+        policy = make_policy("least_finish", _Fleet(servers))
+        servers[0].est_ready_us = 900.0      # got loaded since
+        policy.note_enqueue(servers[0])
+        assert policy.select(0, 0.0) is servers[1]
+
+    def test_predicted_weighs_per_pool_run_time(self):
+        # pool 0 is busy but fast; pool 1 idle but 10x slower on net 0
+        servers = [_Server(pool_idx=0, est_ready_us=500.0),
+                   _Server(pool_idx=1, est_ready_us=0.0)]
+        marginal = [[100.0, 1000.0]]
+        policy = make_policy("predicted", _Fleet(
+            servers, n_pools=2, marginal=marginal))
+        # eta(fast) = 500 + 100 = 600 < eta(slow) = 0 + 1000
+        assert policy.select(0, 0.0) is servers[0]
+        # ...until the fast backlog overtakes the slow run time
+        servers[0].est_ready_us = 2000.0
+        policy.note_enqueue(servers[0])
+        assert policy.select(0, 0.0) is servers[1]
+
+    def test_cost_prefers_cheapest_slo_feasible_pool(self):
+        servers = [_Server(pool_idx=0), _Server(pool_idx=1)]
+        marginal = [[100.0, 400.0]]
+        fleet = _Fleet(servers, n_pools=2, marginal=marginal,
+                       costs=[3.0, 0.35], slo_us=100_000.0)
+        policy = make_policy("cost", fleet)
+        # both feasible: $0.35 * 400 < $3.0 * 100 -> the slow cheap pool
+        assert policy.select(0, 0.0) is servers[1]
+
+    def test_cost_falls_back_to_predicted_when_infeasible(self):
+        servers = [_Server(pool_idx=0, est_ready_us=90_000.0),
+                   _Server(pool_idx=1, est_ready_us=99_000.0)]
+        marginal = [[100.0, 400.0]]
+        fleet = _Fleet(servers, n_pools=2, marginal=marginal,
+                       costs=[3.0, 0.35], slo_us=100.0)
+        policy = make_policy("cost", fleet)
+        # nothing meets the (tiny) SLO: minimise completion time instead
+        assert policy.select(0, 0.0) is servers[0]

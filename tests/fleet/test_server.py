@@ -1,0 +1,146 @@
+"""Tests for the dynamic-batching fleet server."""
+
+import numpy as np
+import pytest
+
+from repro.fleet.policies import PlacementPolicy
+from repro.fleet.server import FleetServer
+from repro.sim.engine import EventEngine
+
+
+class _NullPolicy(PlacementPolicy):
+    policy_name = ""                     # not registered on purpose
+
+    def __init__(self):                  # no fleet needed
+        pass
+
+    def select(self, net_idx, now_us):
+        raise NotImplementedError
+
+
+EXEC = [[0.0, 1000.0, 1500.0, 2000.0, 2500.0],   # net 0: t(b)
+        [0.0, 3000.0, 3500.0, 4000.0, 4500.0]]   # net 1
+MARGINAL = [EXEC[0][4] / 4, EXEC[1][4] / 4]
+
+
+def make_server(latencies, max_batch=4, timeout_us=2000.0):
+    server = FleetServer(0, 0, 0, 1.0, EXEC, MARGINAL, max_batch,
+                         timeout_us, latencies)
+    server.policy = _NullPolicy()
+    return server
+
+
+class TestBatching:
+    def test_single_request_waits_for_the_timeout(self):
+        latencies = np.full(1, -1.0)
+        engine = EventEngine()
+        server = make_server(latencies)
+        server.enqueue(engine, 0.0, 0, 0)
+        engine.run()
+        # 2000us batching delay + 1000us batch-of-one execution
+        assert latencies[0] == pytest.approx(3000.0)
+        assert server.batches == 1
+
+    def test_full_batch_launches_immediately(self):
+        latencies = np.full(4, -1.0)
+        engine = EventEngine()
+        server = make_server(latencies)
+        for i in range(4):
+            server.enqueue(engine, 0.0, 0, i)
+        engine.run()
+        assert server.batches == 1
+        assert np.allclose(latencies, EXEC[0][4])
+
+    def test_mixed_networks_never_share_a_batch(self):
+        latencies = np.full(4, -1.0)
+        engine = EventEngine()
+        server = make_server(latencies, timeout_us=0.0)
+        server.enqueue(engine, 0.0, 0, 0)
+        for i, net in enumerate((1, 1, 0), start=1):
+            server.enqueue(engine, 0.0, net, i)
+        engine.run()
+        # batch(net0 x1), then the two net-1s fuse, then the last net-0:
+        # timeout 0 launches singletons whenever the server is free
+        assert server.batches == 3
+        assert np.all(latencies >= 0)
+
+    def test_oldest_network_head_is_served_first(self):
+        latencies = np.full(3, -1.0)
+        engine = EventEngine()
+        server = make_server(latencies, timeout_us=500.0)
+        server.enqueue(engine, 0.0, 1, 0)        # oldest: net 1
+        server.enqueue(engine, 1.0, 0, 1)
+        server.enqueue(engine, 2.0, 0, 2)
+        engine.run()
+        # net 1 launches first (head waited longest): finishes at
+        # 500 (timeout) + 3000; the net-0 pair runs after it
+        assert latencies[0] == pytest.approx(3500.0)
+        assert latencies[1] > latencies[0]
+
+    def test_max_batch_respected(self):
+        latencies = np.full(7, -1.0)
+        engine = EventEngine()
+        server = make_server(latencies, max_batch=4)
+        for i in range(7):
+            server.enqueue(engine, 0.0, 0, i)
+        engine.run()
+        assert server.batches == 2
+
+
+class TestBacklogEstimate:
+    def test_est_ready_tracks_the_inflight_batch(self):
+        latencies = np.full(4, -1.0)
+        engine = EventEngine()
+        server = make_server(latencies)
+        for i in range(4):
+            server.enqueue(engine, 0.0, 0, i)    # launches at t=0
+        assert server.busy
+        # the estimate is the actual finish time of the full batch
+        assert server.est_ready_us == pytest.approx(EXEC[0][4])
+
+    def test_est_ready_adds_queued_marginals(self):
+        latencies = np.full(5, -1.0)
+        engine = EventEngine()
+        server = make_server(latencies)
+        for i in range(4):
+            server.enqueue(engine, 0.0, 0, i)
+        server.enqueue(engine, 0.0, 1, 4)        # queued behind the batch
+        assert server.est_ready_us == pytest.approx(
+            EXEC[0][4] + MARGINAL[1])
+
+    def test_idle_reset_collapses_to_now(self):
+        latencies = np.full(1, -1.0)
+        engine = EventEngine()
+        server = make_server(latencies, timeout_us=0.0)
+        server.enqueue(engine, 0.0, 0, 0)
+        end = engine.run()
+        assert server.est_ready_us == end
+        assert server.queued_marginal_us == 0.0
+        assert not server.busy
+
+
+class TestRetirement:
+    def test_drain_blocks_new_work_and_finishes_old(self):
+        latencies = np.full(2, -1.0)
+        engine = EventEngine()
+        server = make_server(latencies, timeout_us=0.0)
+        server.enqueue(engine, 0.0, 0, 0)
+        server.enqueue(engine, 0.0, 0, 1)
+        server.drain(0.0)
+        assert server.active is False
+        assert server.retired_us is None          # still has work
+        end = engine.run()
+        assert server.retired_us == end
+        assert np.all(latencies >= 0)
+
+    def test_idle_drain_retires_immediately(self):
+        server = make_server(np.empty(0))
+        server.drain(123.0)
+        assert server.retired_us == 123.0
+
+    def test_active_us_bills_until_retirement(self):
+        server = make_server(np.empty(0))
+        server.started_us = 100.0
+        assert server.active_us(1000.0) == 900.0
+        server.retired_us = 600.0
+        assert server.active_us(1000.0) == 500.0

@@ -1,0 +1,125 @@
+"""End-to-end tests for the fleet simulator and its report."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.fleet import (
+    FleetConfig,
+    FleetReport,
+    FleetSimulator,
+    GPUPool,
+    WorkloadSpec,
+    policy_names,
+)
+
+from .conftest import NETWORKS, SLOW_FACTOR, make_table
+
+
+class TestRun:
+    def test_every_request_is_served_once(self, table, small_config):
+        simulator = FleetSimulator(small_config, table)
+        result = simulator.run("jsq")
+        assert result.n_requests == small_config.workload.n_requests
+        assert 0.0 < result.slo_attainment <= 1.0
+        assert result.p50_us <= result.p99_us <= result.p999_us
+        assert result.utilization <= 1.0
+        assert result.cost_usd > 0
+
+    def test_bit_reproducible_per_seed(self, table, small_config):
+        first = FleetSimulator(small_config, table).run("predicted")
+        second = FleetSimulator(small_config, table).run("predicted")
+        assert first == second
+
+    def test_different_seed_changes_the_trace(self, table, small_config):
+        other_config = small_config.with_workload(seed=2)
+        first = FleetSimulator(small_config, table).run("predicted")
+        second = FleetSimulator(other_config, table).run("predicted")
+        assert first != second
+
+    def test_rate_derived_from_capacity(self, table, small_config):
+        simulator = FleetSimulator(small_config, table)
+        # 3 fast + 3 slow-by-4x servers at 0.6 target utilisation
+        fast = table.capacity_rps(0)
+        expected = 0.6 * 3 * (fast + fast / SLOW_FACTOR)
+        assert simulator.offered_rate_rps == pytest.approx(expected)
+
+    def test_explicit_rate_wins(self, table, small_config):
+        config = small_config.with_workload(rate_rps=123.0)
+        assert FleetSimulator(config, table).offered_rate_rps == 123.0
+
+    def test_validation(self, table, small_config):
+        with pytest.raises(KeyError):
+            bad = small_config.with_workload(networks=("netA", "netZ"))
+            FleetSimulator(bad, table)
+        with pytest.raises(KeyError):
+            pools = (GPUPool("V100", 2),)   # priced GPU, not in table
+            FleetSimulator(
+                FleetConfig(pools=pools,
+                            workload=small_config.workload), table)
+        with pytest.raises(ValueError):
+            import dataclasses
+            big = dataclasses.replace(small_config, max_batch=64)
+            FleetSimulator(big, table)
+
+
+class TestCompare:
+    def test_identical_trace_across_policies(self, table, small_config):
+        report = FleetSimulator(small_config, table).compare(
+            ["random", "predicted"])
+        assert report.policies() == ("random", "predicted")
+        for result in report.results:
+            assert result.n_requests == small_config.workload.n_requests
+
+    def test_default_compares_every_registered_policy(
+            self, table, small_config):
+        config = small_config.with_workload(n_requests=400)
+        report = FleetSimulator(config, table).compare()
+        assert sorted(report.policies()) == policy_names()
+
+    def test_predicted_beats_blind_policies(self, table, small_config):
+        """The headline: heterogeneity-aware routing wins on tails."""
+        config = small_config.with_workload(n_requests=4000)
+        report = FleetSimulator(config, table).compare(
+            ["random", "round_robin", "predicted"])
+        predicted = report.result("predicted")
+        for blind in ("random", "round_robin"):
+            assert predicted.p99_us < report.result(blind).p99_us
+        assert report.best("p99_us").policy == "predicted"
+
+
+class TestReport:
+    def _report(self, table, config):
+        return FleetSimulator(config, table).compare(["jsq", "random"])
+
+    def test_render_mentions_every_policy(self, table, small_config):
+        rendered = self._report(table, small_config).render()
+        assert "jsq" in rendered and "random" in rendered
+        assert "p99" in rendered
+
+    def test_json_round_trip(self, table, small_config):
+        report = self._report(table, small_config)
+        decoded = json.loads(report.to_json())
+        assert {r["policy"] for r in decoded["results"]} == {
+            "jsq", "random"}
+        assert decoded["offered_rate_rps"] == report.offered_rate_rps
+
+    def test_result_lookup(self, table, small_config):
+        report = self._report(table, small_config)
+        assert report.result("jsq").policy == "jsq"
+        with pytest.raises(KeyError):
+            report.result("fifo")
+
+    def test_cost_per_slo_is_inf_when_nothing_met(self):
+        from repro.fleet.report import summarize
+        latencies = np.array([1e9, 2e9])
+        result = summarize("x", latencies, 100.0, 0, n_requests=2,
+                           initial_gpus=1, peak_gpus=1, makespan_us=2e9,
+                           utilization=0.5, cost_usd=1.0, batches=2)
+        assert result.cost_per_1k_slo_usd == float("inf")
+        assert result.to_dict()["cost_per_1k_slo_usd"] is None
+
+    def test_report_needs_results(self):
+        with pytest.raises(ValueError):
+            FleetReport((), "fleet", 1.0)

@@ -1,0 +1,89 @@
+"""Tests for the seeded fleet trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.fleet import diurnal_trace, generate_trace, poisson_trace
+from repro.fleet.config import WorkloadSpec
+
+NETS = ("netA", "netB", "netC")
+
+
+class TestPoissonTrace:
+    def test_shape_and_monotonicity(self):
+        trace = poisson_trace(NETS, 1000.0, 5000, seed=1)
+        assert len(trace) == 5000
+        assert np.all(np.diff(trace.arrivals_us) >= 0)
+        assert trace.arrivals_us[0] > 0
+
+    def test_rate_roughly_respected(self):
+        trace = poisson_trace(NETS, 2000.0, 20_000, seed=2)
+        assert trace.mean_rate_rps == pytest.approx(2000.0, rel=0.05)
+
+    def test_deterministic_per_seed(self):
+        first = poisson_trace(NETS, 100.0, 500, seed=3)
+        second = poisson_trace(NETS, 100.0, 500, seed=3)
+        other = poisson_trace(NETS, 100.0, 500, seed=4)
+        assert np.array_equal(first.arrivals_us, second.arrivals_us)
+        assert np.array_equal(first.network_idx, second.network_idx)
+        assert not np.array_equal(first.arrivals_us, other.arrivals_us)
+
+    def test_mix_follows_weights(self):
+        trace = poisson_trace(NETS, 100.0, 30_000, weights=(6, 3, 1),
+                              seed=5)
+        counts = trace.network_counts()
+        assert sum(counts) == 30_000
+        assert counts[0] == pytest.approx(18_000, rel=0.1)
+        assert counts[2] == pytest.approx(3_000, rel=0.15)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poisson_trace((), 10.0, 5)
+        with pytest.raises(ValueError):
+            poisson_trace(NETS, 0.0, 5)
+        with pytest.raises(ValueError):
+            poisson_trace(NETS, 10.0, 0)
+        with pytest.raises(ValueError):
+            poisson_trace(NETS, 10.0, 5, weights=(1.0,))
+
+
+class TestDiurnalTrace:
+    def test_mean_rate_close_to_nominal(self):
+        trace = diurnal_trace(NETS, 2000.0, 40_000, amplitude=0.6,
+                              period_s=5.0, seed=1)
+        assert trace.mean_rate_rps == pytest.approx(2000.0, rel=0.1)
+
+    def test_rate_is_modulated(self):
+        """Peak-phase windows hold visibly more arrivals than troughs."""
+        period_s = 10.0
+        trace = diurnal_trace(NETS, 2000.0, 60_000, amplitude=0.8,
+                              period_s=period_s, seed=2)
+        phase = (trace.arrivals_us / 1e6) % period_s / period_s
+        # sin peaks at phase 0.25, bottoms at 0.75
+        peak = int(((phase > 0.15) & (phase < 0.35)).sum())
+        trough = int(((phase > 0.65) & (phase < 0.85)).sum())
+        assert peak > 2 * trough
+
+    def test_deterministic_per_seed(self):
+        first = diurnal_trace(NETS, 500.0, 2000, seed=7)
+        second = diurnal_trace(NETS, 500.0, 2000, seed=7)
+        assert np.array_equal(first.arrivals_us, second.arrivals_us)
+        assert np.array_equal(first.network_idx, second.network_idx)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            diurnal_trace(NETS, 100.0, 10, amplitude=1.0)
+        with pytest.raises(ValueError):
+            diurnal_trace(NETS, 100.0, 10, period_s=0.0)
+
+
+class TestGenerateTrace:
+    def test_dispatches_on_arrival_kind(self):
+        poisson = generate_trace(
+            WorkloadSpec(networks=NETS, n_requests=100, seed=1), 500.0)
+        diurnal = generate_trace(
+            WorkloadSpec(networks=NETS, n_requests=100, seed=1,
+                         arrival="diurnal"), 500.0)
+        assert len(poisson) == len(diurnal) == 100
+        assert not np.array_equal(poisson.arrivals_us,
+                                  diurnal.arrivals_us)

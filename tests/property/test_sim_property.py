@@ -32,6 +32,36 @@ class TestEngineProperties:
         assert engine.run() == max(offsets)
 
 
+class TestFifoTieBreak:
+    @given(st.lists(st.sampled_from([0.0, 1.0, 2.0, 5.0]),
+                    min_size=1, max_size=30))
+    @settings(max_examples=100)
+    def test_equal_time_events_fire_in_insertion_order(self, offsets):
+        engine = EventEngine()
+        fired = []
+        for index, offset in enumerate(offsets):
+            engine.schedule(offset, lambda e, i=index: fired.append(i))
+        engine.run()
+        expected = [i for _, i in
+                    sorted(zip(offsets, range(len(offsets))),
+                           key=lambda pair: (pair[0], pair[1]))]
+        assert fired == expected
+
+    @given(st.lists(st.sampled_from([0.0, 1.0, 2.0]),
+                    min_size=1, max_size=30))
+    @settings(max_examples=50)
+    def test_two_identical_engines_agree(self, offsets):
+        orders = []
+        for _ in range(2):
+            engine = EventEngine()
+            fired = []
+            for index, offset in enumerate(offsets):
+                engine.schedule(offset, lambda e, i=index: fired.append(i))
+            engine.run()
+            orders.append(fired)
+        assert orders[0] == orders[1]
+
+
 class TestLinkProperties:
     @given(st.lists(st.floats(min_value=0, max_value=1e9), min_size=1,
                     max_size=20),

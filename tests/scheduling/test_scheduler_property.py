@@ -1,0 +1,51 @@
+"""Property tests: greedy scheduling against the brute-force optimum."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scheduling.scheduler import brute_force_schedule, greedy_schedule
+
+times_us = st.floats(min_value=1.0, max_value=1e6,
+                     allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def instances(draw):
+    """A small random unrelated-machines scheduling instance."""
+    n_jobs = draw(st.integers(min_value=1, max_value=6))
+    n_gpus = draw(st.integers(min_value=1, max_value=3))
+    jobs = [f"job{j}" for j in range(n_jobs)]
+    gpus = [f"gpu{g}" for g in range(n_gpus)]
+    times = {(job, gpu): draw(times_us) for job in jobs for gpu in gpus}
+    return jobs, gpus, times
+
+
+class TestGreedyVersusBruteForce:
+    @given(instances())
+    @settings(max_examples=60, deadline=None)
+    def test_brute_force_is_a_lower_bound(self, instance):
+        """No heuristic beats exhaustive search on its own objective."""
+        jobs, gpus, times = instance
+        optimal = brute_force_schedule(jobs, gpus, times)
+        greedy = greedy_schedule(jobs, gpus, times)
+        # tiny epsilon: both makespans are sums of the same floats
+        assert greedy.makespan_us >= optimal.makespan_us * (1 - 1e-9)
+
+    @given(instances())
+    @settings(max_examples=60, deadline=None)
+    def test_both_assign_every_job_to_a_known_gpu(self, instance):
+        jobs, gpus, times = instance
+        for schedule in (brute_force_schedule(jobs, gpus, times),
+                         greedy_schedule(jobs, gpus, times)):
+            assert sorted(schedule.assignment) == sorted(jobs)
+            assert set(schedule.assignment.values()) <= set(gpus)
+
+    @given(instances())
+    @settings(max_examples=60, deadline=None)
+    def test_makespan_is_the_max_gpu_load(self, instance):
+        jobs, gpus, times = instance
+        schedule = greedy_schedule(jobs, gpus, times)
+        loads = {gpu: 0.0 for gpu in gpus}
+        for job, gpu in schedule.assignment.items():
+            loads[gpu] += times[(job, gpu)]
+        assert schedule.makespan_us == max(loads.values())

@@ -77,6 +77,36 @@ class TestScheduling:
         assert end == 50.0
         assert bool(engine)   # the late event is still pending
 
+    def test_run_until_rejects_time_travel(self):
+        engine = EventEngine()
+        engine.schedule(10.0, lambda e: None)
+        engine.run(until_us=20.0)
+        with pytest.raises(ValueError):
+            engine.run(until_us=5.0)
+
+    def test_run_until_advances_empty_queue_to_horizon(self):
+        engine = EventEngine()
+        end = engine.run(until_us=42.0)
+        assert end == 42.0
+        assert engine.now == 42.0
+
+    def test_run_until_now_is_a_noop(self):
+        engine = EventEngine()
+        engine.run(until_us=7.0)
+        assert engine.run(until_us=7.0) == 7.0
+        assert engine.now == 7.0
+
+    def test_monotone_slices_advance_the_clock(self):
+        # the fleet drives the engine in one run() slice per arrival;
+        # every slice must land exactly on its horizon even when no
+        # event falls inside it
+        engine = EventEngine()
+        fired = []
+        engine.schedule(15.0, lambda e: fired.append(e.now))
+        for horizon in (5.0, 10.0, 20.0, 30.0):
+            assert engine.run(until_us=horizon) == horizon
+        assert fired == [15.0]
+
     def test_events_processed_counter(self):
         engine = EventEngine()
         for _ in range(5):

@@ -21,6 +21,61 @@ class _LinearPredictor:
         return self.base_us + self.per_image_us * batch_size
 
 
+class _Plan:
+    """Stub compiled plan with a fixed evaluation result."""
+
+    def __init__(self, time_us):
+        self.time_us = time_us
+        self.evaluations = 0
+
+    def evaluate(self):
+        self.evaluations += 1
+        return self.time_us
+
+
+class _CompilingPredictor(_LinearPredictor):
+    """Stub with the compile/evaluate split; counts lowerings."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.compiles = 0
+
+    def compile(self, network, batch_size):
+        self.compiles += 1
+        return _Plan(self.predict_network(network, batch_size))
+
+
+class TestCompileOncePlans:
+    def test_compile_preferred_over_predict_network(self):
+        predictor = _CompilingPredictor(0.0, 1000.0)
+        simulator = ServingSimulator(predictor, resnet18(), max_batch=1,
+                                     batch_timeout_us=0.0)
+        result = simulator.run([0.0, 0.0])
+        assert predictor.compiles == 1
+        assert result.makespan_us == pytest.approx(2000.0)
+
+    def test_one_lowering_per_batch_size(self):
+        predictor = _CompilingPredictor()
+        simulator = ServingSimulator(predictor, resnet18(), max_batch=4,
+                                     batch_timeout_us=0.0)
+        simulator.run(poisson_arrivals(2000, 100, seed=3))
+        batch_sizes_used = len(simulator._batch_time)
+        assert predictor.compiles == batch_sizes_used
+
+    def test_shared_plan_cache_across_simulators(self):
+        predictor = _CompilingPredictor()
+        cache = {}
+        for _ in range(3):
+            simulator = ServingSimulator(predictor, resnet18(),
+                                         max_batch=1,
+                                         batch_timeout_us=0.0,
+                                         plan_cache=cache)
+            simulator.run([0.0])
+        # the network was lowered once fleet-wide, not once per server
+        assert predictor.compiles == 1
+        assert set(cache) == {(resnet18().name, 1)}
+
+
 class TestPoissonArrivals:
     def test_count_and_monotonicity(self):
         arrivals = poisson_arrivals(100.0, 50, seed=1)

@@ -1,0 +1,66 @@
+"""Tests for the committed fleet policy-comparison study."""
+
+import pytest
+
+from repro.fleet import policy_names
+from repro.studies.fleet_study import (
+    STUDY_POLICIES,
+    run_fleet_study,
+    study_config,
+    study_pools,
+    study_table,
+)
+
+
+class TestStudyConfig:
+    def test_scales_are_sane(self):
+        small = study_config("small")
+        large = study_config("large")
+        assert small.total_gpus == 12
+        assert large.total_gpus == 1000
+        assert large.workload.n_requests == 1_000_000
+        with pytest.raises(KeyError):
+            study_config("galactic")
+
+    def test_pool_mix_spans_four_types(self):
+        pools = study_pools(1000)
+        assert sum(pool.count for pool in pools) == 1000
+        assert len({pool.gpu for pool in pools}) == 4
+
+    def test_autoscale_opens_the_bounds(self):
+        fixed = study_pools(12)
+        elastic = study_pools(12, autoscale=True)
+        assert all(p.min_count == p.count == p.max_count for p in fixed)
+        assert all(p.max_count > p.count >= p.min_count for p in elastic)
+
+    def test_policies_literal_matches_the_registry(self):
+        # the CT010 contract enforces this statically; keep a fast
+        # runtime mirror so a drift fails close to the edit
+        assert sorted(STUDY_POLICIES) == policy_names()
+
+
+class TestStudyRun:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_fleet_study(scale="small", seed=0)
+
+    def test_exercises_every_registered_policy(self, report):
+        assert sorted(report.policies()) == policy_names()
+
+    def test_table_prices_the_retargeted_pool(self):
+        table = study_table(max_batch=4)
+        # TITAN RTX was never measured by the training campaign
+        idx = table.type_index("TITAN RTX")
+        assert all(table.us(n, idx, 4) > 0
+                   for n in range(len(table.networks)))
+
+    def test_predicted_beats_blind_baselines(self, report):
+        predicted = report.result("predicted")
+        for blind in ("random", "round_robin"):
+            result = report.result(blind)
+            assert predicted.p99_us < result.p99_us
+            assert (predicted.cost_per_1k_slo_usd
+                    < result.cost_per_1k_slo_usd)
+
+    def test_wall_clock_recorded(self, report):
+        assert report.elapsed_s is not None and report.elapsed_s > 0
