@@ -42,7 +42,9 @@ def test_ablation_clustering_tolerance(benchmark, split, index):
     assert models == sorted(models, reverse=True)
     # moderate clustering (the default 0.4) costs little accuracy
     per_kernel_error = rows[0][3]
-    default_error = next(e for t, _, _, e in rows if t == 0.4)
+    # exact match is safe: 0.4 is an enumerated grid value, not computed
+    default_error = next(
+        e for t, _, _, e in rows if t == 0.4)  # repro: noqa[FP001]
     assert default_error < per_kernel_error + 0.05
     # extreme merging degrades accuracy
     assert rows[-1][3] >= default_error - 0.01

@@ -42,4 +42,5 @@ def test_fig18_gpu_selection(benchmark):
                "In this substrate the A40 dominates all nine networks."))
     emit("fig18_gpu_selection", text)
 
-    assert study.placement_accuracy == 1.0
+    # count/total is exactly 1.0 when every placement is correct
+    assert study.placement_accuracy == 1.0  # repro: noqa[FP001]

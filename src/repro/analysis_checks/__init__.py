@@ -12,12 +12,32 @@ Two complementary halves, both surfaced as ``repro check`` and gated in CI:
   the kernel-wise pipeline silently depends on: FLOP rules, kernel
   mappings (forward and backward), classifiable kernel drivers, and the
   mapping-table persistence round-trip.
+
+On top of the per-file half sits a **whole-program pass**
+(:mod:`repro.analysis_checks.index`): one parse of the tree building a
+symbol table and call graph, consumed by the cross-module analyzers —
+:mod:`.units` (UN001 unit-dimension checking), :mod:`.races` (RC100
+flow-sensitive lock/race detection, superseding RC001 on the classes it
+covers), and :mod:`.surface` (DC001 dead/drifting surface). Their
+accepted debt is pinned by :mod:`.baseline` so only *new* findings
+block CI.
 """
 
+from repro.analysis_checks.baseline import (
+    DEFAULT_BASELINE,
+    apply_baseline,
+    load_baseline,
+    save_baseline,
+)
 from repro.analysis_checks.contracts import (
     CONTRACT_RULES,
     ContractReport,
     check_contracts,
+)
+from repro.analysis_checks.index import (
+    PROGRAM_RULES,
+    ProjectIndex,
+    run_program_checks,
 )
 from repro.analysis_checks.engine import (
     RULES,
@@ -32,6 +52,7 @@ from repro.analysis_checks.findings import (
     Finding,
     Severity,
     render_json,
+    render_sarif,
     render_text,
 )
 
@@ -41,16 +62,24 @@ from repro.analysis_checks import rules as _rules  # noqa: F401
 __all__ = [
     "CONTRACT_RULES",
     "ContractReport",
+    "DEFAULT_BASELINE",
     "Finding",
     "LintRule",
+    "PROGRAM_RULES",
+    "ProjectIndex",
     "RULES",
     "Severity",
+    "apply_baseline",
     "check_contracts",
     "lint_paths",
     "lint_source",
+    "load_baseline",
     "register_rule",
     "render_json",
+    "render_sarif",
     "render_text",
     "rule_ids",
+    "run_program_checks",
+    "save_baseline",
     "select_rules",
 ]

@@ -1,0 +1,95 @@
+"""Committed findings baseline: pre-existing debt is pinned, new debt blocks.
+
+The whole-program analyzers (UN001/RC100/DC001) occasionally surface
+real-but-deliberate debt that a PR should not have to pay down to merge.
+The baseline workflow makes that explicit and auditable:
+
+- ``repro check --update-baseline`` writes the *current* findings to the
+  committed ``baseline.json`` next to this module;
+- every later ``repro check`` subtracts baselined findings from the
+  report, so CI blocks only on findings **not** in the baseline;
+- shrinking the file is always safe; growing it is a reviewed decision,
+  because the file lives in the repo and shows up in the diff.
+
+Keys are ``(repo-relative path, rule, message)`` — deliberately **not**
+line numbers, so unrelated edits that shift a baselined finding a few
+lines never break CI, while any new instance of the same rule elsewhere
+(different path or message) still blocks. Counts make N occurrences of
+an identical key baseline exactly N, not unboundedly many.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis_checks.findings import Finding, sort_findings
+
+#: the committed baseline, shipped inside the package.
+DEFAULT_BASELINE = Path(__file__).with_name("baseline.json")
+
+_FORMAT_VERSION = 1
+
+
+def repo_root() -> Path:
+    """The repository root (``src/repro/analysis_checks`` is 3 deep)."""
+    return Path(__file__).resolve().parents[3]
+
+
+def normalize_path(path: str) -> str:
+    """``path`` repo-root-relative and POSIX-style, for stable keys."""
+    resolved = Path(path).resolve()
+    try:
+        return resolved.relative_to(repo_root()).as_posix()
+    except ValueError:
+        return Path(path).as_posix()
+
+
+def baseline_key(finding: Finding) -> str:
+    return "::".join((normalize_path(finding.path), finding.rule,
+                      finding.message))
+
+
+def load_baseline(path: Optional[Path] = None) -> Dict[str, int]:
+    """The committed key -> count map; empty when no file exists."""
+    target = Path(path) if path is not None else DEFAULT_BASELINE
+    if not target.exists():
+        return {}
+    document = json.loads(target.read_text(encoding="utf-8"))
+    entries = document.get("entries", {})
+    return {str(key): int(count) for key, count in entries.items()}
+
+
+def save_baseline(findings: Sequence[Finding],
+                  path: Optional[Path] = None) -> Path:
+    """Pin ``findings`` as the new accepted debt; returns the file."""
+    target = Path(path) if path is not None else DEFAULT_BASELINE
+    entries: Dict[str, int] = {}
+    for finding in sort_findings(findings):
+        key = baseline_key(finding)
+        entries[key] = entries.get(key, 0) + 1
+    document = {
+        "format_version": _FORMAT_VERSION,
+        "entries": {key: entries[key] for key in sorted(entries)},
+    }
+    target.write_text(json.dumps(document, indent=2) + "\n",
+                      encoding="utf-8")
+    return target
+
+
+def apply_baseline(findings: Sequence[Finding],
+                   baseline: Dict[str, int]
+                   ) -> Tuple[List[Finding], int]:
+    """Split ``findings`` into (not-in-baseline, suppressed count)."""
+    remaining = dict(baseline)
+    fresh: List[Finding] = []
+    suppressed = 0
+    for finding in sort_findings(findings):
+        key = baseline_key(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            suppressed += 1
+        else:
+            fresh.append(finding)
+    return fresh, suppressed

@@ -10,7 +10,7 @@ from __future__ import annotations
 import enum
 import json
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 
 class Severity(enum.Enum):
@@ -70,11 +70,56 @@ def render_text(findings: Sequence[Finding]) -> str:
     return "\n".join(lines)
 
 
-def render_json(findings: Sequence[Finding]) -> str:
+def render_json(findings: Sequence[Finding],
+                extra: Optional[Dict] = None) -> str:
     """Machine-readable report for the CI gate."""
     ordered = sort_findings(findings)
     document = {
         "findings": [finding.to_dict() for finding in ordered],
         "counts": count_by_severity(ordered),
+    }
+    if extra:
+        document.update(extra)
+    return json.dumps(document, indent=2)
+
+
+def render_sarif(findings: Sequence[Finding], uri_for=None) -> str:
+    """SARIF 2.1.0 report, so findings annotate PR diffs on GitHub.
+
+    ``uri_for`` maps a finding's path to the artifact URI (pass the
+    baseline module's ``normalize_path`` for repo-relative URIs).
+    """
+    if uri_for is None:
+        uri_for = lambda path: path.replace("\\", "/")  # noqa: E731
+    ordered = sort_findings(findings)
+    rules = sorted({finding.rule for finding in ordered})
+    results = [
+        {
+            "ruleId": finding.rule,
+            "level": "error" if finding.severity is Severity.ERROR
+            else "warning",
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": uri_for(finding.path)},
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": finding.col + 1,
+                    },
+                },
+            }],
+        }
+        for finding in ordered
+    ]
+    document = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "repro-check",
+                "rules": [{"id": rule} for rule in rules],
+            }},
+            "results": results,
+        }],
     }
     return json.dumps(document, indent=2)

@@ -1,0 +1,307 @@
+"""RC100: flow-sensitive lock/shared-state race detection.
+
+The syntactic RC001 rule flags *mutations* of ``self._*`` outside
+``with self._lock:`` — but it cannot see unlocked **reads** of guarded
+state, and it cannot follow a ``_``-helper that only some callers wrap
+in the lock. RC100 closes both gaps using the whole-program index:
+
+1. **Guarded-field discovery.** For every class that creates a
+   ``self._lock`` (``threading.Lock``/``RLock``), collect the private
+   fields *written* inside ``with self._lock:`` blocks anywhere in the
+   class. Those fields are the lock's protected state.
+2. **Per-method access classification.** Walk each method tracking
+   whether the lock is held, recording every read, write, and in-place
+   mutation of a guarded field along with the held/not-held flag at
+   that point, plus every ``self.method()`` call edge with the same
+   flag.
+3. **Unlocked-entry propagation.** A method can run without the lock
+   if it is public (including dunders), *escapes* as a value (e.g.
+   ``Thread(target=self._run)``), or is called lock-free from another
+   method that can itself run without the lock. This is a fixpoint
+   over the intra-class call edges — the piece per-file analysis
+   fundamentally cannot do for ``_``-helpers.
+4. **Reporting.** Any not-held access to a guarded field inside a
+   method that can run without the lock is a finding. ``__init__`` is
+   exempt (construction happens-before publication), as are helpers
+   only ever invoked with the lock held.
+
+Classes RC100 analyzes are returned as a covered set; the check driver
+drops syntactic RC001 findings for them (RC100 supersedes RC001 there).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis_checks.findings import Finding, Severity
+from repro.analysis_checks.index import (
+    ClassInfo,
+    ModuleInfo,
+    ProjectIndex,
+    _attr_chain,
+    make_finding,
+)
+from repro.analysis_checks.rules import (
+    LockDisciplineRule,
+    _MUTATORS,
+    _is_self_lock,
+    _self_private_root,
+)
+
+RULE_ID = "RC100"
+SEVERITY = Severity.ERROR
+
+#: access kinds, by escalating priority for same-line deduplication.
+_READ, _WRITE, _MUTATE = 0, 1, 2
+_VERBS = {_READ: "reads", _WRITE: "writes", _MUTATE: "mutates"}
+
+_child_bodies = LockDisciplineRule._child_bodies
+
+
+def _creates_lock(cls: ClassInfo) -> bool:
+    """True when any method assigns ``self._lock = ...Lock()``."""
+    for node in ast.walk(cls.node):
+        if isinstance(node, ast.Assign) \
+                and any(_is_self_lock(t) for t in node.targets):
+            value = node.value
+            chain = _attr_chain(value.func) \
+                if isinstance(value, ast.Call) else ""
+            tail = chain.rsplit(".", 1)[-1]
+            if tail in ("Lock", "RLock") or not chain:
+                return True
+    return False
+
+
+class _Access:
+    """One guarded-field touch: where, what kind, lock held or not."""
+
+    __slots__ = ("field", "kind", "locked", "node")
+
+    def __init__(self, field: str, kind: int, locked: bool,
+                 node: ast.AST) -> None:
+        self.field = field
+        self.kind = kind
+        self.locked = locked
+        self.node = node
+
+
+class _ClassRaces:
+    """RC100 analysis of a single lock-owning class."""
+
+    def __init__(self, module: ModuleInfo, cls: ClassInfo) -> None:
+        self.module = module
+        self.cls = cls
+        self.guarded: Set[str] = set()
+        #: method name -> accesses of guarded fields
+        self.accesses: Dict[str, List[_Access]] = {}
+        #: (caller method, callee method, lock held at call site)
+        self.edges: List[Tuple[str, str, bool]] = []
+        self.escaped: Set[str] = set()
+
+    # -- pass 1: which fields does the lock protect? --------------------------
+
+    def _discover_guarded(self) -> None:
+        for name, info in self.cls.methods.items():
+            self._guarded_walk(info.node.body, locked=False)
+
+    def _guarded_walk(self, statements: List[ast.stmt],
+                      locked: bool) -> None:
+        for stmt in statements:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                holds = locked or any(_is_self_lock(item.context_expr)
+                                      for item in stmt.items)
+                self._guarded_walk(stmt.body, holds)
+                continue
+            if locked:
+                self._collect_writes(stmt)
+            for body in _child_bodies(stmt):
+                self._guarded_walk(body, locked)
+
+    def _collect_writes(self, stmt: ast.stmt) -> None:
+        targets: List[ast.AST] = []
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            targets = [stmt.target]
+        for target in targets:
+            root = _self_private_root(target)
+            if root is not None and root != "_lock":
+                self.guarded.add(root)
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in _MUTATORS:
+                root = _self_private_root(node.func.value)
+                if root is not None and root != "_lock":
+                    self.guarded.add(root)
+
+    # -- pass 2: classify every access + call edge -----------------------------
+
+    def _classify_methods(self) -> None:
+        call_funcs = {id(node.func) for node in ast.walk(self.cls.node)
+                      if isinstance(node, ast.Call)}
+        for name, info in self.cls.methods.items():
+            self._method = name
+            self._call_funcs = call_funcs
+            self.accesses[name] = []
+            self._classify_walk(info.node.body, locked=False)
+
+    def _classify_walk(self, statements: List[ast.stmt],
+                       locked: bool) -> None:
+        for stmt in statements:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue   # nested defs are called, not executed here
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                holds = locked or any(_is_self_lock(item.context_expr)
+                                      for item in stmt.items)
+                for item in stmt.items:
+                    self._scan_exprs(item.context_expr, locked)
+                self._classify_walk(stmt.body, holds)
+                continue
+            self._scan_statement(stmt, locked)
+            for body in _child_bodies(stmt):
+                self._classify_walk(body, locked)
+
+    def _scan_statement(self, stmt: ast.stmt, locked: bool) -> None:
+        consumed: Set[int] = set()
+        targets: List[ast.AST] = []
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            targets = [stmt.target]
+        for target in targets:
+            root = _self_private_root(target)
+            if root in self.guarded:
+                self._record(root, _WRITE, locked, stmt)
+            consumed.update(id(sub) for sub in ast.walk(target))
+        for field_name, value in ast.iter_fields(stmt):
+            if field_name in ("body", "orelse", "finalbody", "handlers"):
+                continue
+            values = value if isinstance(value, list) else [value]
+            for item in values:
+                if isinstance(item, ast.expr) \
+                        and id(item) not in consumed:
+                    self._scan_exprs(item, locked)
+
+    def _scan_exprs(self, expr: ast.expr, locked: bool) -> None:
+        mutated: Set[int] = set()
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Attribute):
+                    if isinstance(func.value, ast.Name) \
+                            and func.value.id == "self" \
+                            and func.attr in self.cls.methods:
+                        self.edges.append((self._method, func.attr,
+                                           locked))
+                    if func.attr in _MUTATORS:
+                        root = _self_private_root(func.value)
+                        if root in self.guarded:
+                            self._record(root, _MUTATE, locked, node)
+                            mutated.update(id(sub) for sub in
+                                           ast.walk(func.value))
+            elif isinstance(node, ast.Attribute) \
+                    and isinstance(node.value, ast.Name) \
+                    and node.value.id == "self":
+                if node.attr in self.guarded \
+                        and isinstance(node.ctx, ast.Load) \
+                        and id(node) not in mutated:
+                    self._record(node.attr, _READ, locked, node)
+                elif node.attr in self.cls.methods \
+                        and isinstance(node.ctx, ast.Load) \
+                        and id(node) not in self._call_funcs:
+                    # the bound method escapes as a value — e.g.
+                    # Thread(target=self._run): runs without the lock
+                    self.escaped.add(node.attr)
+
+    def _record(self, field: str, kind: int, locked: bool,
+                node: ast.AST) -> None:
+        self.accesses[self._method].append(
+            _Access(field, kind, locked, node))
+
+    # -- pass 3: which methods can run without the lock? -----------------------
+
+    def _unlocked_entries(self) -> Set[str]:
+        entries: Set[str] = set()
+        for name in self.cls.methods:
+            if name == "__init__":
+                continue
+            if not name.startswith("_") or (
+                    name.startswith("__") and name.endswith("__")):
+                entries.add(name)
+            elif name in self.escaped:
+                entries.add(name)
+        changed = True
+        while changed:
+            changed = False
+            for caller, callee, site_locked in self.edges:
+                if site_locked or callee == "__init__" \
+                        or caller == "__init__":
+                    continue
+                if caller in entries and callee not in entries:
+                    entries.add(callee)
+                    changed = True
+        return entries
+
+    # -- driver ----------------------------------------------------------------
+
+    def run(self) -> List[Finding]:
+        self._discover_guarded()
+        if not self.guarded:
+            return []
+        self._classify_methods()
+        entries = self._unlocked_entries()
+        # strongest access per (method, field, line): a mutate beats the
+        # read of the same attribute node it contains
+        best: Dict[Tuple[str, str, int], _Access] = {}
+        for method in self.cls.methods:
+            if method not in entries:
+                continue
+            for access in self.accesses.get(method, ()):
+                if access.locked:
+                    continue
+                key = (method, access.field,
+                       getattr(access.node, "lineno", 0))
+                held = best.get(key)
+                if held is None or access.kind > held.kind:
+                    best[key] = access
+        findings: List[Finding] = []
+        for (method, access_field, _line) in sorted(best):
+            access = best[(method, access_field, _line)]
+            finding = make_finding(
+                self.module, access.node, RULE_ID, SEVERITY,
+                f"{self.cls.name}.{method}() {_VERBS[access.kind]} "
+                f"self.{access.field} outside 'with self._lock:' "
+                f"(reachable without the lock)")
+            if finding is not None:
+                findings.append(finding)
+        return findings
+
+
+def check_races(index: ProjectIndex
+                ) -> Tuple[List[Finding], Set[Tuple[str, str]]]:
+    """All RC100 findings plus the (path, class) pairs RC100 covers.
+
+    A class is *covered* (and its RC001 findings dropped) only when the
+    flow-sensitive pass actually discovered lock-guarded fields — a
+    class that owns a lock but never locks anything keeps the blunt
+    syntactic rule, which is the only signal left there.
+    """
+    findings: List[Finding] = []
+    covered: Set[Tuple[str, str]] = set()
+    for qualname in sorted(index.classes):
+        cls = index.classes[qualname]
+        if not _creates_lock(cls):
+            continue
+        module = index.modules.get(cls.module)
+        if module is None:
+            continue
+        analysis = _ClassRaces(module, cls)
+        findings.extend(analysis.run())
+        if analysis.guarded:
+            covered.add((cls.path, cls.name))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.message))
+    return findings, covered

@@ -209,6 +209,12 @@ class AssertGuardRule(LintRule):
     description = ("assert used as a type/shape guard; asserts vanish "
                    "under 'python -O' — raise TypeError/ValueError")
 
+    def applies_to(self, path: str) -> bool:
+        # in pytest files (tests/, benchmarks/) assert IS the assertion
+        # idiom; the rule targets library code only
+        from repro.analysis_checks.engine import _is_test_file
+        return path == "<string>" or not _is_test_file(Path(path))
+
     def check(self, tree: ast.Module, path: str) -> Iterator[Tuple]:
         for node in ast.walk(tree):
             if not isinstance(node, ast.Assert):

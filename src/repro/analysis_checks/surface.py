@@ -1,0 +1,151 @@
+"""DC001: dead and drifting public surface.
+
+Three whole-program reachability checks, all driven by the index's
+reference corpus (identifier and string-literal occurrence counts over
+``src/`` **plus** the test/benchmark trees):
+
+- **dead public functions** — a module-level public function whose name
+  is loaded, imported, attribute-accessed, or string-mentioned nowhere
+  else in the repo. Decorated functions are exempt (decorators are
+  registrations: the framework calls them).
+- **registry drift** — a decorator-registered class (``@register_*``)
+  whose ``*_name``/``*_id`` string key never appears outside its own
+  registration: nothing in the CLI, service, studies, or tests can ever
+  ask for it by name.
+- **counter drift** — a metrics counter name passed literally to
+  ``increment``/``observe``/``_count`` at one or more sites but never
+  mentioned anywhere *else*: it is accumulated and then dropped on the
+  floor, never exposed or asserted on.
+
+Everything here is a WARNING: dead surface is debt, not breakage.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis_checks.findings import Finding, Severity
+from repro.analysis_checks.index import ModuleInfo, ProjectIndex, make_finding
+
+RULE_ID = "DC001"
+SEVERITY = Severity.WARNING
+
+#: method names whose literal first argument names a metrics series.
+_COUNTER_CALLS = frozenset({"increment", "observe", "_count"})
+
+#: public names that frameworks or conventions call for us.
+_ENTRYPOINTS = frozenset({"main"})
+
+
+def _dead_functions(index: ProjectIndex) -> List[Finding]:
+    findings: List[Finding] = []
+    for name in sorted(index.modules):
+        module = index.modules[name]
+        for fn_name in sorted(module.functions):
+            info = module.functions[fn_name]
+            if not info.is_public or info.decorators \
+                    or fn_name in _ENTRYPOINTS:
+                continue
+            # the corpus counts every Load/attribute/import-from/string
+            # occurrence; a def alone contributes none of those
+            if index.name_refs.get(fn_name, 0) == 0 \
+                    and fn_name not in index.string_refs:
+                finding = make_finding(
+                    module, info.node, RULE_ID, SEVERITY,
+                    f"public function {fn_name}() is never referenced "
+                    f"anywhere in the repo (dead surface)")
+                if finding is not None:
+                    findings.append(finding)
+    return findings
+
+
+def _registry_drift(index: ProjectIndex) -> List[Finding]:
+    findings: List[Finding] = []
+    for qualname in sorted(index.classes):
+        cls = index.classes[qualname]
+        module = index.modules.get(cls.module)
+        if module is None:
+            continue
+        decorators = {d for node in [cls.node]
+                      for d in _class_decorators(node)}
+        if not any(d.startswith("register") for d in decorators):
+            continue
+        for stmt in cls.node.body:
+            if not isinstance(stmt, ast.Assign):
+                continue
+            keyed = [t for t in stmt.targets if isinstance(t, ast.Name)
+                     and (t.id.endswith("_name") or t.id.endswith("_id"))]
+            if not keyed or not isinstance(stmt.value, ast.Constant) \
+                    or not isinstance(stmt.value.value, str):
+                continue
+            key = stmt.value.value
+            # the registration itself contributes exactly one occurrence
+            if index.string_refs.get(key, 0) <= 1 \
+                    and index.name_refs.get(key, 0) == 0:
+                finding = make_finding(
+                    module, stmt, RULE_ID, SEVERITY,
+                    f"registry entry {key!r} ({cls.name}) is never "
+                    f"referenced outside its registration (drifting "
+                    f"surface)")
+                if finding is not None:
+                    findings.append(finding)
+    return findings
+
+
+def _class_decorators(node: ast.ClassDef) -> List[str]:
+    names = []
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) \
+            else decorator
+        if isinstance(target, ast.Attribute):
+            names.append(target.attr)
+        elif isinstance(target, ast.Name):
+            names.append(target.id)
+    return names
+
+
+def _counter_drift(index: ProjectIndex) -> List[Finding]:
+    # every literal counter name -> its increment sites
+    sites: Dict[str, List[Tuple[str, ast.Call]]] = {}
+    for name in sorted(index.modules):
+        module = index.modules[name]
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _COUNTER_CALLS
+                    and node.args
+                    and isinstance(node.args[0], ast.Constant)
+                    and isinstance(node.args[0].value, str)):
+                continue
+            sites.setdefault(node.args[0].value, []).append((name, node))
+    findings: List[Finding] = []
+    seen: Set[str] = set()
+    for key in sorted(sites):
+        if key in seen:
+            continue
+        seen.add(key)
+        # "exposed" = the name occurs as a string somewhere BEYOND its
+        # increment sites (a /metrics assertion, a report field, docs in
+        # code) or as an identifier
+        occurrences = index.string_refs.get(key, 0)
+        if occurrences > len(sites[key]) \
+                or index.name_refs.get(key, 0) > 0:
+            continue
+        module_name, node = sites[key][0]
+        module = index.modules[module_name]
+        finding = make_finding(
+            module, node, RULE_ID, SEVERITY,
+            f"counter {key!r} is incremented but never read or exposed "
+            f"(drifting surface)")
+        if finding is not None:
+            findings.append(finding)
+    return findings
+
+
+def check_surface(index: ProjectIndex) -> List[Finding]:
+    """Every DC001 finding: dead functions, registry and counter drift."""
+    findings = (_dead_functions(index) + _registry_drift(index)
+                + _counter_drift(index))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.message))
+    return findings

@@ -1,0 +1,439 @@
+"""UN001: unit-dimension checking over the whole-program index.
+
+The reproduction's numbers are dimensional: kernel times in **micro**
+seconds, bandwidths in GB/s, fleet pricing in $/hour. The naming
+contract (docs/analysis.md) encodes the unit in the identifier suffix —
+``duration_us``, ``latency_ms``, ``elapsed_s``, ``bandwidth_gbs``,
+``rate_rps``, ``cost_usd`` — and this analyzer enforces it: any
+arithmetic (+/-), comparison, assignment, ``return``, or call-argument
+binding that mixes two *different* inferred units is a finding.
+
+Inference sources, in order:
+
+- the identifier suffix (the token after the last ``_``), looked up in
+  :data:`SUFFIX_UNITS`; subscripts see through to the sequence name
+  (``times_us[0]`` is microseconds) and ``sum``/``min``/``max``/
+  ``sorted``/``abs`` propagate their argument's unit;
+- the resolved callee's *name* suffix (``percentile_us(...)`` returns
+  microseconds) via the index call graph — this is what catches a
+  cross-module ``_ms`` value flowing into a ``_us`` parameter;
+- the annotation registries :data:`RETURN_UNITS` / :data:`PARAM_UNITS`
+  for unsuffixed stdlib and API names. Wall-clock and monotonic
+  timestamps are deliberately *different* units (``s-wall`` vs
+  ``s-mono``): both count seconds, but subtracting one from the other
+  is always a bug.
+
+Explicit conversions are allowed: a value multiplied or divided by a
+numeric constant (``x_ms * 1e3``, ``slo_us / 1e3``) has no inferred
+unit, so renaming assigns through a scale factor never fire.
+Multiplication/division of two united values builds a *derived*
+dimension and is likewise never flagged — only +, -, comparisons and
+bindings demand identical units.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional
+
+from repro.analysis_checks.findings import Finding, Severity
+from repro.analysis_checks.index import (
+    FunctionInfo,
+    ModuleInfo,
+    ProjectIndex,
+    _attr_chain,
+    make_finding,
+)
+
+RULE_ID = "UN001"
+SEVERITY = Severity.ERROR
+
+#: identifier suffix -> unit label (the repo-wide naming contract).
+SUFFIX_UNITS: Dict[str, str] = {
+    "ns": "ns",
+    "us": "us",
+    "ms": "ms",
+    "s": "s",
+    "gb": "GB",
+    "gbs": "GB/s",
+    "gbps": "GB/s",
+    "rps": "rps",
+    "usd": "USD",
+    "tflops": "TFLOPS",
+}
+
+#: dotted callee -> unit of its return value (annotation registry for
+#: unsuffixed APIs; wall vs monotonic clocks are distinct on purpose).
+RETURN_UNITS: Dict[str, str] = {
+    "time.time": "s-wall",
+    "time.monotonic": "s-mono",
+    "time.perf_counter": "s-mono",
+    "time.process_time": "s-mono",
+    "time.time_ns": "ns",
+    "time.monotonic_ns": "ns",
+    "time.perf_counter_ns": "ns",
+}
+
+#: callee (dotted tail, matched right-anchored) -> parameter -> unit,
+#: for API params whose names cannot carry a suffix.
+PARAM_UNITS: Dict[str, Dict[str, str]] = {
+    "time.sleep": {"secs": "s"},
+    "GPUSpec.with_bandwidth": {"bandwidth_gbs": "GB/s"},
+    "resolve_target": {"bandwidth": "GB/s"},
+}
+
+#: builtins that return (an element of) their argument unchanged.
+_TRANSPARENT = frozenset({"sum", "min", "max", "abs", "sorted", "round",
+                          "float"})
+
+#: functions whose float argument is a plain scale factor, not a value.
+_SECONDS_POSITIONAL = {"time.sleep": "s"}
+
+
+def suffix_unit(name: str) -> Optional[str]:
+    """The unit encoded in ``name``'s suffix, if any (``latency_ms``)."""
+    if "_" not in name:
+        return None
+    stem, _, tail = name.rpartition("_")
+    if not stem:
+        return None              # "_us" alone is a private name, not a unit
+    return SUFFIX_UNITS.get(tail.lower())
+
+
+def compatible(left: str, right: str) -> bool:
+    """Same unit, or a clock-flavoured second against a plain second."""
+    if left == right:
+        return True
+    pair = {left, right}
+    return pair <= {"s", "s-wall"} or pair <= {"s", "s-mono"}
+
+
+def _is_number(node: ast.expr) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op,
+                                                    (ast.USub, ast.UAdd)):
+        node = node.operand
+    return (isinstance(node, ast.Constant)
+            and isinstance(node.value, (int, float))
+            and not isinstance(node.value, bool))
+
+
+#: env sentinel: a local was assigned conflicting units — trust nothing.
+_CONFLICT = "<conflict>"
+
+
+class _UnitScope:
+    """Resolution context: module, enclosing function, and local units.
+
+    ``env`` maps local names to units *observed* from their assignments
+    — e.g. ``start = time.time()`` binds ``start`` to ``s-wall``. The
+    env refines a name's suffix unit (a ``_s`` local fed by
+    ``time.monotonic()`` becomes the sharper ``s-mono``) but never
+    overrides an *incompatible* suffix: the declared contract wins and
+    the conflicting assignment is flagged where it happens.
+    """
+
+    def __init__(self, index: ProjectIndex, module: ModuleInfo,
+                 function: Optional[FunctionInfo],
+                 env: Optional[Dict[str, str]] = None) -> None:
+        self.index = index
+        self.module = module
+        self.function = function
+        self.env = env if env is not None else {}
+
+
+def _callee_info(scope: _UnitScope, node: ast.Call
+                 ) -> Optional[FunctionInfo]:
+    """The called function, via the call graph or unique-method fallback."""
+    qualname = scope.index._resolve(scope.module, scope.function,
+                                    node.func, _attr_chain(node.func))
+    if qualname is not None:
+        return scope.index.functions.get(qualname)
+    if isinstance(node.func, ast.Attribute) \
+            and not isinstance(node.func.value, ast.Name):
+        return scope.index.unique_method(node.func.attr)
+    if isinstance(node.func, ast.Attribute) \
+            and isinstance(node.func.value, ast.Name) \
+            and node.func.value.id not in scope.module.imports:
+        # receiver is a local object (``engine.run(...)``): fall back to
+        # the unique indexed method of that name
+        return scope.index.unique_method(node.func.attr)
+    return None
+
+
+def _registry_units(raw: str) -> Optional[Dict[str, str]]:
+    """PARAM_UNITS entry for a dotted callee, matched right-anchored."""
+    for tail, params in PARAM_UNITS.items():
+        if raw == tail or raw.endswith("." + tail):
+            return params
+    return None
+
+
+def unit_of(node: ast.expr, scope: _UnitScope) -> Optional[str]:
+    """Best-effort unit of an expression; None means "no opinion"."""
+    if isinstance(node, ast.Name):
+        declared = suffix_unit(node.id)
+        observed = scope.env.get(node.id)
+        if observed is not None and observed != _CONFLICT and (
+                declared is None or compatible(declared, observed)):
+            return observed
+        return declared
+    if isinstance(node, ast.Attribute):
+        return suffix_unit(node.attr)
+    if isinstance(node, ast.Subscript):
+        return unit_of(node.value, scope)
+    if isinstance(node, ast.UnaryOp):
+        return unit_of(node.operand, scope)
+    if isinstance(node, ast.IfExp):
+        body = unit_of(node.body, scope)
+        orelse = unit_of(node.orelse, scope)
+        return body if body == orelse else None
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            left = unit_of(node.left, scope)
+            right = unit_of(node.right, scope)
+            if left is not None and right is not None \
+                    and compatible(left, right):
+                return left
+        # Mult/Div with a constant is an explicit conversion; with two
+        # united operands it builds a derived dimension — either way
+        # the result deliberately has no unit here
+        return None
+    if isinstance(node, ast.Call):
+        raw = _attr_chain(node.func)
+        if raw in RETURN_UNITS:
+            return RETURN_UNITS[raw]
+        simple = raw.rsplit(".", 1)[-1] if raw else ""
+        if simple in _TRANSPARENT and node.args:
+            return unit_of(node.args[0], scope)
+        if simple:
+            direct = suffix_unit(simple)
+            if direct is not None:
+                return direct
+        info = _callee_info(scope, node)
+        if info is not None:
+            return suffix_unit(info.name)
+        return None
+    return None
+
+
+def _describe(node: ast.expr) -> str:
+    chain = _attr_chain(node)
+    if chain:
+        return chain
+    if isinstance(node, ast.Subscript):
+        base = _describe(node.value)
+        return f"{base}[...]" if base else "expression"
+    if isinstance(node, ast.Call):
+        base = _attr_chain(node.func)
+        return f"{base}(...)" if base else "call"
+    return "expression"
+
+
+class _UnitChecker:
+    def __init__(self, index: ProjectIndex) -> None:
+        self.index = index
+        self.findings: List[Finding] = []
+
+    def run(self) -> List[Finding]:
+        for name in sorted(self.index.modules):
+            module = self.index.modules[name]
+            for scope, body in self._scopes(module):
+                for node in body:
+                    for sub in ast.walk(node):
+                        self._check_node(sub, scope)
+                self._check_returns(scope)
+        return self.findings
+
+    def _scopes(self, module: ModuleInfo) -> Iterator:
+        functions = list(module.functions.values())
+        for cls in module.classes.values():
+            functions.extend(cls.methods.values())
+        for info in sorted(functions, key=lambda f: f.qualname):
+            scope = _UnitScope(self.index, module, info)
+            scope.env = self._build_env(info.node.body, scope)
+            yield (scope, info.node.body)
+        module_level = [stmt for stmt in module.tree.body
+                        if not isinstance(stmt, (ast.FunctionDef,
+                                                 ast.AsyncFunctionDef,
+                                                 ast.ClassDef))]
+        scope = _UnitScope(self.index, module, None)
+        scope.env = self._build_env(module_level, scope)
+        yield (scope, module_level)
+
+    def _build_env(self, body: List[ast.stmt],
+                   scope: _UnitScope) -> Dict[str, str]:
+        """Units observed flowing into local names (forward pass)."""
+        env: Dict[str, str] = {}
+        probe = _UnitScope(self.index, scope.module, scope.function, env)
+        queue = list(body)
+        while queue:
+            sub = queue.pop(0)
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                ast.Lambda, ast.ClassDef)):
+                continue   # nested scopes have their own locals
+            queue.extend(ast.iter_child_nodes(sub))
+            if isinstance(sub, ast.Assign):
+                targets, value = sub.targets, sub.value
+            elif isinstance(sub, ast.AnnAssign) and sub.value:
+                targets, value = [sub.target], sub.value
+            else:
+                continue
+            unit = unit_of(value, probe)
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if unit is None:
+                    # a later unit-less assignment washes out the
+                    # observation (the name is reused generically)
+                    if target.id in env:
+                        env[target.id] = _CONFLICT
+                elif env.get(target.id, unit) != unit:
+                    env[target.id] = _CONFLICT
+                else:
+                    env[target.id] = unit
+        return env
+
+    # -- node dispatch --------------------------------------------------------
+
+    def _check_node(self, node: ast.AST, scope: _UnitScope) -> None:
+        if isinstance(node, ast.BinOp) and isinstance(node.op,
+                                                      (ast.Add, ast.Sub)):
+            self._check_pair(node, node.left, node.right, scope,
+                             "+" if isinstance(node.op, ast.Add) else "-")
+        elif isinstance(node, ast.Compare):
+            operands = [node.left] + list(node.comparators)
+            for left, right in zip(operands, operands[1:]):
+                self._check_pair(node, left, right, scope, "comparison")
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            value = node.value
+            if value is None or self._is_conversion(value):
+                return
+            targets = node.targets if isinstance(node, ast.Assign) \
+                else [node.target]
+            value_unit = unit_of(value, scope)
+            if value_unit is None:
+                return
+            for target in targets:
+                target_unit = self._target_unit(target, scope)
+                if target_unit is not None \
+                        and not compatible(target_unit, value_unit):
+                    self._emit(
+                        node, scope,
+                        f"assigns {_describe(value)} [{value_unit}] to a "
+                        f"[{target_unit}] name without an explicit "
+                        f"conversion")
+        elif isinstance(node, ast.AugAssign) \
+                and isinstance(node.op, (ast.Add, ast.Sub)):
+            self._check_pair(node, node.target, node.value, scope, "+=")
+        elif isinstance(node, ast.Call):
+            self._check_call(node, scope)
+
+    def _check_returns(self, scope: _UnitScope) -> None:
+        if scope.function is None:
+            return
+        expected = suffix_unit(scope.function.name)
+        if expected is None:
+            return
+        for sub in ast.walk(scope.function.node):
+            if isinstance(sub, ast.Return) and sub.value is not None \
+                    and not self._is_conversion(sub.value):
+                actual = unit_of(sub.value, scope)
+                if actual is not None and not compatible(expected, actual):
+                    self._emit(
+                        sub, scope,
+                        f"{scope.function.name}() is named [{expected}] "
+                        f"but returns {_describe(sub.value)} [{actual}]")
+
+    def _check_pair(self, node: ast.AST, left: ast.expr, right: ast.expr,
+                    scope: _UnitScope, op: str) -> None:
+        left_unit = unit_of(left, scope)
+        right_unit = unit_of(right, scope)
+        if left_unit is None or right_unit is None:
+            return
+        if not compatible(left_unit, right_unit):
+            self._emit(node, scope,
+                       f"{op} mixes {_describe(left)} [{left_unit}] with "
+                       f"{_describe(right)} [{right_unit}]")
+
+    def _check_call(self, node: ast.Call, scope: _UnitScope) -> None:
+        raw = _attr_chain(node.func)
+        info = _callee_info(scope, node)
+        registry = _registry_units(raw) or (
+            _registry_units(f"{info.cls}.{info.name}")
+            if info is not None and info.cls else None) or (
+            _registry_units(info.name) if info is not None else None)
+        # keyword arguments carry the parameter name: check every call,
+        # resolved or not
+        for keyword in node.keywords:
+            if keyword.arg is None or self._is_conversion(keyword.value):
+                continue
+            expected = suffix_unit(keyword.arg)
+            if expected is None and registry is not None:
+                expected = registry.get(keyword.arg)
+            if expected is None:
+                continue
+            actual = unit_of(keyword.value, scope)
+            if actual is not None and not compatible(expected, actual):
+                self._emit(
+                    node, scope,
+                    f"argument {keyword.arg}= [{expected}] receives "
+                    f"{_describe(keyword.value)} [{actual}]")
+        # positional arguments need the callee's declared parameters
+        params = info.params if info is not None else ()
+        if not params and registry is None:
+            return
+        for position, arg in enumerate(node.args):
+            if isinstance(arg, ast.Starred) or self._is_conversion(arg):
+                continue
+            name = params[position] if position < len(params) else None
+            expected = suffix_unit(name) if name else None
+            if expected is None and registry is not None:
+                if name is not None and name in registry:
+                    expected = registry[name]
+                elif position == 0 and len(registry) == 1:
+                    expected = next(iter(registry.values()))
+            if expected is None:
+                continue
+            actual = unit_of(arg, scope)
+            if actual is not None and not compatible(expected, actual):
+                label = name or f"#{position}"
+                self._emit(
+                    node, scope,
+                    f"argument {label} [{expected}] of "
+                    f"{_describe(node.func)}() receives "
+                    f"{_describe(arg)} [{actual}]")
+
+    # -- helpers --------------------------------------------------------------
+
+    @staticmethod
+    def _target_unit(target: ast.expr,
+                     scope: _UnitScope) -> Optional[str]:
+        if isinstance(target, ast.Name):
+            return suffix_unit(target.id)
+        if isinstance(target, ast.Attribute):
+            return suffix_unit(target.attr)
+        if isinstance(target, ast.Subscript):
+            return _UnitChecker._target_unit(target.value, scope)
+        return None
+
+    @staticmethod
+    def _is_conversion(node: ast.expr) -> bool:
+        """An explicit scale: Mult/Div with a numeric constant operand."""
+        if isinstance(node, ast.BinOp) \
+                and isinstance(node.op, (ast.Mult, ast.Div)):
+            return _is_number(node.left) or _is_number(node.right) \
+                or _UnitChecker._is_conversion(node.left) \
+                or _UnitChecker._is_conversion(node.right)
+        return False
+
+    def _emit(self, node: ast.AST, scope: _UnitScope,
+              message: str) -> None:
+        finding = make_finding(scope.module, node, RULE_ID, SEVERITY,
+                               message)
+        if finding is not None:
+            self.findings.append(finding)
+
+
+def check_units(index: ProjectIndex) -> List[Finding]:
+    """Every unit-dimension violation visible in the index."""
+    return _UnitChecker(index).run()

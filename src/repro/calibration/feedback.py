@@ -149,4 +149,5 @@ class FeedbackLog:
     @property
     def recorded_total(self) -> int:
         """Observations ever ingested (monotone; windows are bounded)."""
-        return self._recorded
+        with self._lock:
+            return self._recorded

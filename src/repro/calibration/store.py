@@ -222,12 +222,6 @@ class ModelStore:
         return out
 
 
-def document_stats(document: Dict) -> Dict[str, OnlineLinearFit]:
-    """Convenience re-export: revive a document's sufficient statistics."""
-    from repro.calibration.refit import stats_from_document
-    return stats_from_document(document)
-
-
 def stats_roundtrip_exact(stats: Dict[str, OnlineLinearFit]) -> bool:
     """True when a JSON round-trip preserves every accumulator exactly."""
     revived = {

@@ -226,18 +226,42 @@ def _add_fleet(subparsers) -> None:
 def _add_check(subparsers) -> None:
     p = subparsers.add_parser(
         "check",
-        help="run the AST lint rules and the domain contract checker")
-    p.add_argument("--format", choices=["text", "json"], default="text",
-                   help="output format (json for the CI gate)")
+        help="run the AST lint rules, the whole-program analyzers "
+             "(units/races/dead surface) and the domain contract checker")
+    p.add_argument("--format", choices=["text", "json", "sarif"],
+                   default="text",
+                   help="output format (json for the CI gate, sarif "
+                        "for PR diff annotations)")
     p.add_argument("--paths", nargs="+", default=None,
-                   help="files/directories to lint "
+                   help="files/directories to analyze "
                         "(default: the installed repro package)")
+    p.add_argument("--include-tests", action="store_true",
+                   help="also lint pytest-style files (benchmarks/); "
+                        "test-scoped rules still skip them")
     p.add_argument("--rules", default=None,
                    help="comma-separated lint rule ids (default: all)")
+    p.add_argument("--only", default=None,
+                   help="comma-separated rule ids across every engine "
+                        "(lint, UN001/RC100/DC001, CT contracts); "
+                        "everything else is skipped")
     p.add_argument("--no-lint", action="store_true",
                    help="skip the AST lint rules")
+    p.add_argument("--no-program", action="store_true",
+                   help="skip the whole-program analyzers "
+                        "(UN001/RC100/DC001)")
     p.add_argument("--no-contracts", action="store_true",
                    help="skip the zoo domain contract checker")
+    p.add_argument("--index-stats", action="store_true",
+                   help="report whole-program index statistics "
+                        "(modules, call graph resolution, ...)")
+    p.add_argument("--baseline", default=None,
+                   help="findings baseline file (default: the committed "
+                        "analysis_checks/baseline.json)")
+    p.add_argument("--no-baseline", action="store_true",
+                   help="report every finding, ignoring the baseline")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="pin the current findings as the accepted "
+                        "baseline and exit")
     p.add_argument("--strict", action="store_true",
                    help="exit non-zero on warnings too, not just errors")
     p.add_argument("--batch-size", type=int, default=1,
@@ -643,35 +667,128 @@ def _cmd_fleet(args) -> int:
     return 0
 
 
+def _drop_superseded_rc001(findings, covered):
+    """Drop syntactic RC001 findings on classes RC100 analyzed.
+
+    RC100's flow-sensitive pass subsumes RC001 wherever it ran: covered
+    is the ``(path, class name)`` set from :func:`run_program_checks`,
+    and RC001 messages always start with the class name.
+    """
+    if not covered:
+        return findings
+    kept = []
+    for finding in findings:
+        if finding.rule == "RC001" and any(
+                finding.path == path
+                and (finding.message.startswith(cls + " ")
+                     or finding.message.startswith(cls + "."))
+                for path, cls in covered):
+            continue
+        kept.append(finding)
+    return kept
+
+
 def _cmd_check(args) -> int:
     from pathlib import Path
 
     import repro
     from repro.analysis_checks import (
+        CONTRACT_RULES,
+        PROGRAM_RULES,
+        RULES,
         Severity,
         check_contracts,
         lint_paths,
         render_json,
+        render_sarif,
         render_text,
+        run_program_checks,
         select_rules,
     )
+    from repro.analysis_checks.baseline import (
+        apply_baseline,
+        load_baseline,
+        normalize_path,
+        repo_root,
+        save_baseline,
+    )
 
+    only = None
+    if args.only:
+        only = [rule.strip() for rule in args.only.split(",")]
+        known = set(RULES) | set(PROGRAM_RULES) | set(CONTRACT_RULES)
+        for rule in only:
+            if rule not in known:
+                raise KeyError(f"unknown rule {rule!r}; "
+                               f"known: {sorted(known)}")
+
+    paths = args.paths or [Path(repro.__file__).parent]
     findings = []
-    if not args.no_lint:
-        paths = args.paths or [Path(repro.__file__).parent]
-        rules = select_rules(args.rules.split(",")
-                             if args.rules else None)
-        findings.extend(lint_paths(paths, rules))
+
+    run_lint = not args.no_lint and (
+        only is None or any(rule in RULES for rule in only))
+    if run_lint:
+        wanted = args.rules.split(",") if args.rules else None
+        rules = select_rules(wanted)
+        if only is not None:
+            rules = [rule for rule in rules if rule.rule_id in only]
+        findings.extend(lint_paths(paths, rules,
+                                   skip_tests=not args.include_tests))
+
+    program_rules = set(PROGRAM_RULES if only is None else only) \
+        & set(PROGRAM_RULES)
+    stats = None
+    if not args.no_program and program_rules:
+        root = repo_root()
+        reference = [entry for entry in (root / "tests",
+                                         root / "benchmarks")
+                     if entry.is_dir()]
+        program_findings, covered, stats = run_program_checks(
+            paths, reference_paths=reference, only=program_rules)
+        findings = _drop_superseded_rc001(findings, covered)
+        findings.extend(program_findings)
+
     report = None
-    if not args.no_contracts:
+    run_contracts = not args.no_contracts and (
+        only is None or any(rule in CONTRACT_RULES for rule in only))
+    if run_contracts:
         report = check_contracts(network_names=args.networks,
                                  batch_size=args.batch_size)
-        findings.extend(report.findings)
+        contract_findings = report.findings
+        if only is not None:
+            contract_findings = [f for f in contract_findings
+                                 if f.rule in only]
+        findings.extend(contract_findings)
+
+    if args.update_baseline:
+        target = save_baseline(
+            findings, Path(args.baseline) if args.baseline else None)
+        print(f"baseline updated: {target} ({len(findings)} finding(s))")
+        return 0
+
+    baselined = 0
+    if not args.no_baseline:
+        baseline = load_baseline(
+            Path(args.baseline) if args.baseline else None)
+        findings, baselined = apply_baseline(findings, baseline)
+
+    extra = {}
+    if baselined:
+        extra["baselined"] = baselined
+    if args.index_stats and stats is not None:
+        extra["index"] = stats
 
     if args.format == "json":
-        print(render_json(findings))
+        print(render_json(findings, extra=extra or None))
+    elif args.format == "sarif":
+        print(render_sarif(findings, uri_for=normalize_path))
     else:
         print(render_text(findings))
+        if baselined:
+            print(f"({baselined} baselined finding(s) suppressed)")
+        if args.index_stats and stats is not None:
+            print("index: " + ", ".join(f"{key}={value}" for key, value
+                                        in sorted(stats.items())))
         if report is not None:
             print(report.summary())
     failing = (findings if args.strict else

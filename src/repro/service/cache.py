@@ -101,24 +101,29 @@ class PredictionCache:
 
     @property
     def hits(self) -> int:
-        return self._hits
+        with self._lock:
+            return self._hits
 
     @property
     def misses(self) -> int:
-        return self._misses
+        with self._lock:
+            return self._misses
 
     @property
     def hit_ratio(self) -> float:
+        with self._lock:
+            return self._hit_ratio_locked()
+
+    def _hit_ratio_locked(self) -> float:
         total = self._hits + self._misses
         return self._hits / total if total else 0.0
 
     def stats(self) -> Dict[str, Any]:
         with self._lock:
-            size = len(self._entries)
-        return {
-            "hits": self._hits,
-            "misses": self._misses,
-            "hit_ratio": round(self.hit_ratio, 4),
-            "size": size,
-            "capacity": self.capacity,
-        }
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "hit_ratio": round(self._hit_ratio_locked(), 4),
+                "size": len(self._entries),
+                "capacity": self.capacity,
+            }

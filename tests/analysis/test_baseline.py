@@ -1,0 +1,92 @@
+"""Baseline workflow: pinning accepted debt, blocking only on new debt."""
+
+import json
+
+from repro.analysis_checks import Finding, Severity
+from repro.analysis_checks.baseline import (
+    DEFAULT_BASELINE,
+    apply_baseline,
+    baseline_key,
+    load_baseline,
+    normalize_path,
+    repo_root,
+    save_baseline,
+)
+
+
+def finding(path="src/repro/x.py", line=10, rule="UN001", message="mix"):
+    return Finding(path, line, 0, rule, Severity.ERROR, message)
+
+
+class TestKeys:
+    def test_key_ignores_line_numbers(self):
+        assert baseline_key(finding(line=10)) == baseline_key(
+            finding(line=99))
+
+    def test_key_distinguishes_rule_and_message(self):
+        assert baseline_key(finding(rule="UN001")) != baseline_key(
+            finding(rule="RC100"))
+        assert baseline_key(finding(message="a")) != baseline_key(
+            finding(message="b"))
+
+    def test_paths_normalize_repo_relative(self):
+        absolute = str(repo_root() / "src" / "repro" / "cli.py")
+        assert normalize_path(absolute) == "src/repro/cli.py"
+        assert normalize_path("src/repro/cli.py") == "src/repro/cli.py"
+
+
+class TestRoundTrip:
+    def test_save_load_round_trip(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        found = [finding(), finding(), finding(rule="DC001")]
+        save_baseline(found, target)
+        loaded = load_baseline(target)
+        assert loaded[baseline_key(finding())] == 2
+        assert loaded[baseline_key(finding(rule="DC001"))] == 1
+
+    def test_save_is_deterministic(self, tmp_path):
+        found = [finding(message="b"), finding(message="a")]
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        save_baseline(found, first)
+        save_baseline(list(reversed(found)), second)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") == {}
+
+
+class TestApply:
+    def test_baselined_findings_are_subtracted(self):
+        baseline = {baseline_key(finding()): 1}
+        fresh, suppressed = apply_baseline([finding()], baseline)
+        assert fresh == [] and suppressed == 1
+
+    def test_new_findings_pass_through(self):
+        baseline = {baseline_key(finding()): 1}
+        new = finding(message="different")
+        fresh, suppressed = apply_baseline([finding(), new], baseline)
+        assert fresh == [new] and suppressed == 1
+
+    def test_counts_cap_how_many_suppress(self):
+        baseline = {baseline_key(finding()): 1}
+        fresh, suppressed = apply_baseline(
+            [finding(line=1), finding(line=2)], baseline)
+        assert len(fresh) == 1 and suppressed == 1
+
+    def test_line_drift_still_suppressed(self):
+        baseline = {baseline_key(finding(line=10)): 1}
+        fresh, _ = apply_baseline([finding(line=42)], baseline)
+        assert fresh == []
+
+
+class TestCommittedBaseline:
+    def test_committed_baseline_is_pinned_byte_for_byte(self):
+        """The repo ships with zero accepted debt; growing this file is
+        a reviewed decision, so the exact bytes are pinned here."""
+        expected = json.dumps(
+            {"format_version": 1, "entries": {}}, indent=2) + "\n"
+        assert DEFAULT_BASELINE.read_text(encoding="utf-8") == expected
+
+    def test_committed_baseline_lives_inside_the_package(self):
+        assert DEFAULT_BASELINE.parent.name == "analysis_checks"

@@ -1,0 +1,188 @@
+"""RC100: trigger/suppress pairs for the flow-sensitive race detector."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis_checks import Severity
+from repro.analysis_checks.index import ProjectIndex
+from repro.analysis_checks.races import check_races
+
+HEADER = """\
+import threading
+
+
+class Store:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = {}
+        self._hits = 0
+
+    def put(self, key, value):
+        with self._lock:
+            self._items[key] = value
+            self._hits += 1
+"""
+
+
+def rc100(tmp_path, body="", source=None):
+    """Run RC100 over the Store class extended with ``body`` methods."""
+    root = tmp_path / "pkg"
+    root.mkdir(exist_ok=True)
+    (root / "__init__.py").write_text("")
+    if source is None:
+        source = HEADER + "\n" + textwrap.indent(
+            textwrap.dedent(body), "    ")
+    else:
+        source = textwrap.dedent(source)
+    (root / "mod.py").write_text(source)
+    index = ProjectIndex.build([root])
+    return check_races(index)
+
+
+class TestUnlockedReads:
+    def test_public_unlocked_read_flagged(self, tmp_path):
+        findings, covered = rc100(tmp_path, """\
+            def hits(self):
+                return self._hits
+            """)
+        (finding,) = findings
+        assert finding.rule == "RC100"
+        assert finding.severity is Severity.ERROR
+        assert "Store.hits() reads self._hits" in finding.message
+        assert covered == {(finding.path, "Store")}
+
+    def test_locked_read_is_clean(self, tmp_path):
+        findings, _ = rc100(tmp_path, """\
+            def hits(self):
+                with self._lock:
+                    return self._hits
+            """)
+        assert findings == []
+
+    def test_property_read_flagged(self, tmp_path):
+        findings, _ = rc100(tmp_path, """\
+            @property
+            def ratio(self):
+                return self._hits / max(len(self._items), 1)
+            """)
+        assert len(findings) == 2    # _hits and _items, same line
+
+    def test_init_reads_and_writes_exempt(self, tmp_path):
+        findings, _ = rc100(tmp_path, "")
+        assert findings == []
+
+
+class TestHelperReachability:
+    def test_helper_called_only_under_lock_is_clean(self, tmp_path):
+        findings, _ = rc100(tmp_path, """\
+            def snapshot(self):
+                with self._lock:
+                    return self._render()
+
+            def _render(self):
+                return dict(self._items)
+            """)
+        assert findings == []
+
+    def test_helper_reachable_unlocked_flagged(self, tmp_path):
+        findings, _ = rc100(tmp_path, """\
+            def snapshot(self):
+                return self._render()
+
+            def _render(self):
+                return dict(self._items)
+            """)
+        (finding,) = findings
+        assert "Store._render() reads self._items" in finding.message
+
+    def test_escaped_helper_flagged(self, tmp_path):
+        findings, _ = rc100(tmp_path, """\
+            def start(self):
+                threading.Thread(target=self._drain).start()
+
+            def _drain(self):
+                self._items.clear()
+            """)
+        (finding,) = findings
+        assert "Store._drain() mutates self._items" in finding.message
+
+    def test_unlocked_write_flagged_as_write(self, tmp_path):
+        findings, _ = rc100(tmp_path, """\
+            def reset(self):
+                self._hits = 0
+            """)
+        (finding,) = findings
+        assert "writes self._hits" in finding.message
+
+    def test_transitive_helper_chain_flagged(self, tmp_path):
+        findings, _ = rc100(tmp_path, """\
+            def outer(self):
+                return self._mid()
+
+            def _mid(self):
+                return self._leaf()
+
+            def _leaf(self):
+                return self._hits
+            """)
+        (finding,) = findings
+        assert "Store._leaf() reads self._hits" in finding.message
+
+
+class TestCoverage:
+    def test_lockless_class_not_covered(self, tmp_path):
+        findings, covered = rc100(tmp_path, source="""\
+            class Plain:
+                def __init__(self):
+                    self._items = {}
+
+                def put(self, key, value):
+                    self._items[key] = value
+            """)
+        assert findings == [] and covered == set()
+
+    def test_lock_without_guarded_fields_not_covered(self, tmp_path):
+        # the class owns a lock but never locks anything: RC100 has no
+        # signal, so syntactic RC001 must keep applying (not superseded)
+        findings, covered = rc100(tmp_path, source="""\
+            import threading
+
+
+            class Sloppy:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = {}
+
+                def put(self, key, value):
+                    self._items[key] = value
+            """)
+        assert findings == [] and covered == set()
+
+    def test_noqa_suppresses(self, tmp_path):
+        findings, covered = rc100(tmp_path, """\
+            def hits(self):
+                return self._hits  # repro: noqa[RC100] monotone counter
+            """)
+        assert findings == []
+        assert covered           # suppression does not un-cover the class
+
+
+class TestRealTree:
+    @pytest.fixture(scope="class")
+    def real(self):
+        from pathlib import Path
+
+        import repro
+        index = ProjectIndex.build([Path(repro.__file__).parent])
+        return check_races(index)
+
+    def test_repo_tree_is_race_clean(self, real):
+        findings, _ = real
+        assert findings == []
+
+    def test_service_classes_are_covered(self, real):
+        _, covered = real
+        names = {cls for _, cls in covered}
+        assert {"PredictionCache", "ModelRegistry",
+                "FeedbackLog"} <= names

@@ -1,0 +1,165 @@
+"""DC001: dead public functions, registry drift, counter drift."""
+
+import textwrap
+
+from repro.analysis_checks import Severity
+from repro.analysis_checks.index import ProjectIndex
+from repro.analysis_checks.surface import check_surface
+
+
+def dc001(tmp_path, reference=None, **modules):
+    root = tmp_path / "pkg"
+    root.mkdir(exist_ok=True)
+    init = root / "__init__.py"
+    if not init.exists():
+        init.write_text("")
+    for name, source in modules.items():
+        (root / f"{name}.py").write_text(textwrap.dedent(source))
+    reference_paths = []
+    if reference is not None:
+        ref_dir = tmp_path / "refs"
+        ref_dir.mkdir(exist_ok=True)
+        (ref_dir / "test_ref.py").write_text(textwrap.dedent(reference))
+        reference_paths = [ref_dir]
+    index = ProjectIndex.build([root], reference_paths=reference_paths)
+    return check_surface(index)
+
+
+class TestDeadFunctions:
+    def test_unreferenced_public_function_flagged(self, tmp_path):
+        (finding,) = dc001(tmp_path, a="""\
+            def orphan():
+                return 1
+            """)
+        assert finding.rule == "DC001"
+        assert finding.severity is Severity.WARNING
+        assert "orphan()" in finding.message
+
+    def test_called_function_is_clean(self, tmp_path):
+        assert dc001(tmp_path, a="""\
+            def used():
+                return 1
+
+
+            value = used()
+            """) == []
+
+    def test_cross_module_import_keeps_function_alive(self, tmp_path):
+        assert dc001(
+            tmp_path,
+            a="def exported():\n    return 1\n",
+            b="from pkg.a import exported\n\nexported()\n") == []
+
+    def test_reference_corpus_keeps_function_alive(self, tmp_path):
+        assert dc001(
+            tmp_path,
+            reference="from pkg.a import tested\n\ntested()\n",
+            a="def tested():\n    return 1\n") == []
+
+    def test_private_and_decorated_functions_exempt(self, tmp_path):
+        assert dc001(tmp_path, a="""\
+            import functools
+
+
+            def _internal():
+                return 1
+
+
+            @functools.lru_cache()
+            def registered():
+                return 2
+            """) == []
+
+    def test_noqa_suppresses(self, tmp_path):
+        assert dc001(tmp_path, a="""\
+            def future_api():  # repro: noqa[DC001] public surface, next PR
+                return 1
+            """) == []
+
+
+class TestRegistryDrift:
+    REGISTERED = """\
+        def register_policy(cls):
+            return cls
+
+
+        @register_policy
+        class GhostPolicy:
+            policy_name = "ghost"
+
+
+        @register_policy
+        class UsedPolicy:
+            policy_name = "used"
+
+
+        DEFAULT = "used"
+        """
+
+    def test_unreferenced_registry_key_flagged(self, tmp_path):
+        findings = dc001(tmp_path, a=self.REGISTERED)
+        keys = [f for f in findings if "registry entry" in f.message]
+        (finding,) = keys
+        assert "'ghost'" in finding.message and "GhostPolicy" \
+            in finding.message
+
+    def test_key_referenced_from_tests_is_clean(self, tmp_path):
+        findings = dc001(tmp_path, a=self.REGISTERED,
+                         reference="GHOSTS = ['ghost']\n")
+        assert [f for f in findings if "registry entry" in f.message] == []
+
+    def test_undecorated_class_attr_not_a_registry_key(self, tmp_path):
+        findings = dc001(tmp_path, a="""\
+            class Config:
+                run_name = "nobody-mentions-this"
+            """)
+        assert [f for f in findings if "registry entry" in f.message] == []
+
+
+class TestCounterDrift:
+    def test_unexposed_counter_flagged(self, tmp_path):
+        findings = dc001(tmp_path, a="""\
+            class Metrics:
+                def __init__(self):
+                    self.counts = {}
+
+                def increment(self, name):
+                    self.counts[name] = self.counts.get(name, 0) + 1
+
+
+            def handler(metrics):
+                metrics.increment("requests_dropped_total")
+            """)
+        counter = [f for f in findings if "counter" in f.message]
+        (finding,) = counter
+        assert "'requests_dropped_total'" in finding.message
+
+    def test_counter_asserted_in_tests_is_clean(self, tmp_path):
+        findings = dc001(
+            tmp_path,
+            reference="""\
+                def test_counter(snapshot):
+                    assert snapshot["requests_dropped_total"] == 0
+                """,
+            a="""\
+                def handler(metrics):
+                    metrics.increment("requests_dropped_total")
+                """)
+        assert [f for f in findings if "counter" in f.message] == []
+
+    def test_multiple_increments_alone_still_drift(self, tmp_path):
+        # three increment sites of the same name are not "exposure"
+        findings = dc001(tmp_path, a="""\
+            def a(m):
+                m.increment("lost_total")
+
+
+            def b(m):
+                m.increment("lost_total")
+
+
+            def c(m):
+                m.increment("lost_total")
+            """)
+        counter = [f for f in findings if "counter" in f.message]
+        assert len(counter) == 1
