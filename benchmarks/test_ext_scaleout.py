@@ -1,0 +1,124 @@
+"""Extension benchmark: pre-fork scale-out of the prediction service.
+
+The paper's pitch is that a trained predictor answers in microseconds
+where a simulator takes hours — which moves the bottleneck to the
+serving layer. This study measures how the pre-fork worker pool scales
+saturation /predict_batch throughput: the same mixed-model batched load
+is replayed against 1-, 2-, and 4-worker deployments of the identical
+model set, and the 4-worker deployment must clear 3x the single-worker
+rate. Consistent-hash sharding keeps every (model, network) key on one
+worker, so per-worker caches stay hot across the replays.
+
+Scaling is a property of the hardware as much as the code: on fewer
+than 4 cores the forked workers time-slice one another and the gate
+would measure the scheduler, not the architecture. The module
+therefore skips unless the runner has at least 4 CPUs — CI runs it on
+the non-blocking benchmarks leg.
+"""
+
+import os
+import tempfile
+
+import pytest
+
+from _shared import emit, once
+
+from repro.reporting import render_table
+from repro.service.frontend import ScaledServer
+from repro.service.loadgen import LoadGenerator
+from repro.service.smoke import train_smoke_models
+
+pytestmark = pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="scale-out gate needs >= 4 CPUs to measure parallelism",
+)
+
+WORKER_COUNTS = (1, 2, 4)
+REQUESTS = 240
+BATCH = 8
+# offered far above any achievable rate: the generator never sleeps,
+# so the achieved rate IS the saturation throughput
+SATURATION_RPS = 1e9
+
+NETWORKS = ("alexnet", "resnet18", "resnet50", "vgg11", "mobilenet_v2",
+            "squeezenet1_1", "densenet121", "shufflenet_v1")
+
+
+def _mixed_payloads(models):
+    payloads = []
+    for model in models:
+        for network in NETWORKS:
+            payload = {"model": model, "network": network,
+                       "batch_size": 64}
+            if model == "igkw":
+                payload["gpu"] = "A100"
+            payloads.append(payload)
+    return payloads
+
+
+def _saturate(models_dir, payloads, workers):
+    """Drive one deployment to saturation; return its LoadReport."""
+    server = ScaledServer(models_dir, workers=workers,
+                          max_queue_depth=1024)
+    with server:
+        host, port = server.httpd.server_address[:2]
+        generator = LoadGenerator(
+            f"http://{host}:{port}", payloads, rate_rps=SATURATION_RPS,
+            n_requests=REQUESTS, threads=8, seed=0, batch=BATCH)
+        # one warm replay fills every worker's sharded caches, the
+        # second is the measurement
+        generator.run()
+        report = LoadGenerator(
+            f"http://{host}:{port}", payloads, rate_rps=SATURATION_RPS,
+            n_requests=REQUESTS, threads=8, seed=1, batch=BATCH).run()
+        restarts = server.pool.restarts_total()
+    assert report.failed == 0, report.errors
+    assert report.shed == 0
+    assert restarts == 0
+    return report
+
+
+def test_ext_scaleout_throughput(benchmark, tmp_path_factory):
+    scratch = tmp_path_factory.mktemp("scaleout-models")
+    models = train_smoke_models(scratch)
+    payloads = _mixed_payloads(models)
+
+    reports = {}
+    for workers in WORKER_COUNTS[:-1]:
+        reports[workers] = _saturate(scratch, payloads, workers)
+    reports[WORKER_COUNTS[-1]] = once(
+        benchmark,
+        lambda: _saturate(scratch, payloads, WORKER_COUNTS[-1]))
+
+    base = reports[1].achieved_rps
+    rows = []
+    for workers in WORKER_COUNTS:
+        report = reports[workers]
+        rows.append((workers,
+                     f"{report.achieved_rps:.0f}",
+                     f"{report.achieved_rps / base:.2f}x",
+                     f"{report.latency_percentile_ms(50):.1f}",
+                     f"{report.latency_percentile_ms(99):.1f}"))
+    text = render_table(
+        ["workers", "items/s", "speedup", "p50 (ms)", "p99 (ms)"],
+        rows,
+        title=f"Extension: /predict_batch saturation throughput vs "
+              f"pre-fork worker count ({len(payloads)} mixed payloads, "
+              f"batch={BATCH}, {os.cpu_count()} CPUs)")
+    emit("ext_scaleout", text)
+
+    # the acceptance gate: 4 workers clear 3x one worker
+    assert reports[4].achieved_rps >= 3.0 * base
+    # and scaling is monotone on the way up
+    assert reports[2].achieved_rps > base
+
+
+if __name__ == "__main__":          # manual run without pytest-benchmark
+    with tempfile.TemporaryDirectory() as scratch:
+        models = train_smoke_models(scratch)
+        payloads = _mixed_payloads(models)
+        for workers in WORKER_COUNTS:
+            report = _saturate(scratch, payloads, workers)
+            print(f"{workers} worker(s): {report.achieved_rps:.0f} "
+                  f"items/s, p99 "
+                  f"{report.latency_percentile_ms(99):.1f} ms")

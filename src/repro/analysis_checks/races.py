@@ -23,7 +23,15 @@ in the lock. RC100 closes both gaps using the whole-program index:
 4. **Reporting.** Any not-held access to a guarded field inside a
    method that can run without the lock is a finding. ``__init__`` is
    exempt (construction happens-before publication), as are helpers
-   only ever invoked with the lock held.
+   only ever invoked with the lock held, and *atomic fields*: private
+   fields **only ever assigned** a known internally-synchronised type
+   (``queue.Queue``, ``threading.Event``, ``collections.deque``, the
+   service's ``MetricsRegistry``/``PredictionCache``). Such a field is
+   a stable handle to an object that does its own locking — the
+   scale-out frontend's dispatch queues and gauge registries are read
+   lock-free by design, and flagging them would train people to ignore
+   the rule. Reassigning the field anywhere outside those constructors
+   revokes the exemption.
 
 Classes RC100 analyzes are returned as a covered set; the check driver
 drops syntactic RC001 findings for them (RC100 supersedes RC001 there).
@@ -57,6 +65,51 @@ _READ, _WRITE, _MUTATE = 0, 1, 2
 _VERBS = {_READ: "reads", _WRITE: "writes", _MUTATE: "mutates"}
 
 _child_bodies = LockDisciplineRule._child_bodies
+
+#: Constructors whose instances synchronise internally. A private field
+#: that is only ever assigned a call to one of these names is a stable
+#: handle to a self-locking object: reading it without the class lock
+#: is safe, so RC100 exempts it from the guarded set.
+_ATOMIC_CONSTRUCTORS = frozenset({
+    # stdlib queue / threading / collections
+    "Queue", "SimpleQueue", "LifoQueue", "PriorityQueue",
+    "Event", "Condition", "Semaphore", "BoundedSemaphore", "Barrier",
+    "deque",
+    # repro's own internally-locked service types
+    "MetricsRegistry", "PredictionCache",
+})
+
+
+def _atomic_fields(cls: ClassInfo) -> Set[str]:
+    """Private fields whose every assignment is an atomic constructor.
+
+    One non-constructor assignment anywhere in the class (including
+    ``+=``) disqualifies the field: the exemption covers stable handles
+    to self-locking objects, not rebound state.
+    """
+    def _is_atomic_call(value: Optional[ast.expr]) -> bool:
+        if not isinstance(value, ast.Call):
+            return False
+        tail = _attr_chain(value.func).rsplit(".", 1)[-1]
+        return tail in _ATOMIC_CONSTRUCTORS
+
+    verdict: Dict[str, bool] = {}
+    for node in ast.walk(cls.node):
+        targets: List[ast.AST] = []
+        atomic = False
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+            atomic = _is_atomic_call(node.value)
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+            atomic = _is_atomic_call(node.value)
+        elif isinstance(node, ast.AugAssign):
+            targets = [node.target]        # in-place: never atomic
+        for target in targets:
+            root = _self_private_root(target)
+            if root is not None and root != "_lock":
+                verdict[root] = verdict.get(root, True) and atomic
+    return {field for field, always in verdict.items() if always}
 
 
 def _creates_lock(cls: ClassInfo) -> bool:
@@ -104,6 +157,9 @@ class _ClassRaces:
     def _discover_guarded(self) -> None:
         for name, info in self.cls.methods.items():
             self._guarded_walk(info.node.body, locked=False)
+        # fields that are stable handles to internally-synchronised
+        # objects (queues, events, metric registries) need no lock
+        self.guarded -= _atomic_fields(self.cls)
 
     def _guarded_walk(self, statements: List[ast.stmt],
                       locked: bool) -> None:

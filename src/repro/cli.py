@@ -110,8 +110,9 @@ def _add_list(subparsers) -> None:
 def _add_serve(subparsers) -> None:
     p = subparsers.add_parser(
         "serve", help="host a directory of saved models over HTTP")
-    p.add_argument("--models", required=True,
-                   help="directory of saved model JSONs")
+    p.add_argument("--models",
+                   help="directory of saved model JSONs (required "
+                        "unless --smoke, which trains its own)")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8100,
                    help="0 picks an ephemeral port")
@@ -135,6 +136,22 @@ def _add_serve(subparsers) -> None:
                    help="seconds between background calibration sweeps")
     p.add_argument("--feedback-window", type=int, default=256,
                    help="feedback observations kept per (model, group)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="pre-fork worker processes; 1 (the default) "
+                        "serves in-process exactly as before, >1 forks "
+                        "a consistent-hash sharded pool behind "
+                        "admission control")
+    p.add_argument("--max-queue-depth", type=int, default=64,
+                   help="per-worker dispatch queue bound; requests "
+                        "past it are shed with HTTP 429 + Retry-After")
+    p.add_argument("--snapshot-interval", type=float, default=2.0,
+                   help="seconds between worker registry-snapshot "
+                        "freshness checks (scale-out only)")
+    p.add_argument("--smoke", action="store_true",
+                   help="CI gate: train a small model set, serve it "
+                        "with --workers forked processes, drive mixed "
+                        "load, assert zero restarts/sheds and a clean "
+                        "shutdown")
 
 
 def _add_calibrate(subparsers) -> None:
@@ -184,6 +201,12 @@ def _add_loadgen(subparsers) -> None:
                    help="items per POST; >1 drives /predict_batch at "
                         "rate/batch posts per second (rate stays the "
                         "offered item rate)")
+    p.add_argument("--procs", type=int, default=1,
+                   help="forked client processes; the rate and request "
+                        "count split across them and the per-process "
+                        "results merge sample-exactly (a single client "
+                        "process is GIL-bound and cannot saturate a "
+                        "multi-worker server)")
 
 
 def _add_fleet(subparsers) -> None:
@@ -461,6 +484,20 @@ def _cmd_list(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    if args.smoke:
+        from repro.service.smoke import run_scaleout_smoke
+        report = run_scaleout_smoke(workers=max(2, args.workers))
+        print(report.render())
+        return 0 if report.ok else 1
+    if args.models is None:
+        print("error: --models is required (only --smoke trains its "
+              "own model set)", file=sys.stderr)
+        return 2
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.workers > 1:
+        return _serve_scaled(args)
     from repro.service import (
         ModelRegistry,
         PredictionCache,
@@ -502,17 +539,61 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _serve_scaled(args) -> int:
+    """``repro serve --workers N>1``: the pre-fork scale-out path."""
+    from repro.service.frontend import ScaledServer
+    from repro.service.pool import WorkerOptions
+    calibrator = None
+    loop = None
+    if args.calibrate:
+        from repro.calibration import CalibrationLoop, build_calibrator
+        # exactly one calibrator, owned by the frontend: workers only
+        # validate and replay feedback, the record happens here
+        calibrator = build_calibrator(args.models,
+                                      window=args.feedback_window)
+        loop = CalibrationLoop(calibrator,
+                               interval_s=args.calibrate_interval)
+    options = WorkerOptions(
+        cache_size=args.cache_size,
+        plan_cache_size=args.plan_cache_size,
+        coverage_threshold=args.coverage_threshold,
+        batch_cap=args.batch_cap,
+        snapshot_interval_s=args.snapshot_interval)
+    server = ScaledServer(args.models, workers=args.workers,
+                          host=args.host, port=args.port,
+                          max_queue_depth=args.max_queue_depth,
+                          options=options, calibrator=calibrator)
+    try:
+        host, port = server.start()
+        health = server.service.health()
+        print(f"serving {health['models']} model(s) on "
+              f"http://{host}:{port} with {args.workers} workers "
+              f"(queue depth {args.max_queue_depth}, shed with 429 "
+              "past it)")
+        if loop is not None:
+            loop.start()
+            print(f"calibration loop: sweeping for drift every "
+                  f"{args.calibrate_interval:g}s")
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        if loop is not None:
+            loop.stop()
+        server.shutdown()
+    return 0
+
+
 def _cmd_loadgen(args) -> int:
-    from repro.service import LoadGenerator
+    from repro.service.loadgen import run_multiprocess
     payloads = [{"model": args.model, "network": network,
                  "batch_size": args.batch_size, "gpu": args.gpu,
                  "bandwidth": args.bandwidth}
                 for network in args.networks]
-    generator = LoadGenerator(args.url, payloads, rate_rps=args.rate,
-                              n_requests=args.requests,
+    report = run_multiprocess(args.url, payloads, rate_rps=args.rate,
+                              n_requests=args.requests, procs=args.procs,
                               threads=args.threads, seed=args.seed,
                               batch=args.batch)
-    report = generator.run()
     print(report.render())
     return 0 if report.failed == 0 else 1
 

@@ -16,6 +16,16 @@ long-lived server instead of a one-shot CLI call:
 - :class:`LoadGenerator` drives a live server with a Poisson arrival
   schedule and reports achieved throughput and latency percentiles.
 
+Scale-out (``repro serve --workers N``) layers a pre-fork stack on the
+same core: :class:`WorkerPool` forks N processes each running a
+:class:`PredictionService` over a read-only registry snapshot, a
+:class:`HashRing` routes (model, network) keys so per-shard caches stay
+hot, and :class:`ScaledService` fronts the pool with admission control
+(bounded dispatch queues, 429 + Retry-After load shedding), per-endpoint
+SLO tracking, and bucket-exact /metrics aggregation. ``--workers 1``
+bypasses the stack entirely and serves bit-identically to the
+single-process server.
+
 With a :class:`~repro.calibration.Calibrator` attached (``repro serve
 --calibrate``), the server additionally accepts ``POST /feedback`` and
 reports ``GET /calibration`` — closing the loop from measured times back
@@ -31,12 +41,31 @@ from repro.service.fallback import (
     build_chain,
     build_plan_chain,
 )
-from repro.service.loadgen import LoadGenerator, LoadReport
-from repro.service.metrics import Histogram, MetricsRegistry
+from repro.service.frontend import (
+    AdmissionController,
+    ScaledServer,
+    ScaledService,
+    ShedError,
+    SLOTracker,
+)
+from repro.service.loadgen import (
+    LoadGenerator,
+    LoadReport,
+    merge_reports,
+    run_multiprocess,
+)
+from repro.service.metrics import (
+    Histogram,
+    MetricsRegistry,
+    aggregate_snapshots,
+    merge_histogram_snapshots,
+)
+from repro.service.pool import WorkerHandle, WorkerOptions, WorkerPool
 from repro.service.registry import (
     LoadedModel,
     ModelRegistry,
     ModelResolutionError,
+    RegistrySnapshot,
     file_stamp,
     model_kind,
     resolve_target,
@@ -46,9 +75,12 @@ from repro.service.server import (
     ServiceError,
     make_server,
 )
+from repro.service.sharding import HashRing, shard_key
 
 __all__ = [
+    "AdmissionController",
     "FallbackChain",
+    "HashRing",
     "Histogram",
     "LoadGenerator",
     "LoadReport",
@@ -60,13 +92,26 @@ __all__ = [
     "PredictionError",
     "PredictionOutcome",
     "PredictionService",
+    "RegistrySnapshot",
+    "SLOTracker",
+    "ScaledServer",
+    "ScaledService",
     "ServiceError",
+    "ShedError",
     "TierError",
+    "WorkerHandle",
+    "WorkerOptions",
+    "WorkerPool",
+    "aggregate_snapshots",
     "build_chain",
     "build_plan_chain",
     "cache_key",
     "file_stamp",
     "make_server",
+    "merge_histogram_snapshots",
+    "merge_reports",
     "model_kind",
     "resolve_target",
+    "run_multiprocess",
+    "shard_key",
 ]

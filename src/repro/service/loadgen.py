@@ -6,11 +6,22 @@ schedule: N client threads replay the arrival times against a running
 server and report achieved throughput, error counts, latency percentiles,
 and which fallback tiers answered. The same statistics the simulator
 predicts for GPU serving are measured here for the predictor itself.
+
+A single Python client process is GIL-bound just like a single server
+process; :func:`run_multiprocess` forks ``procs`` independent client
+processes (splitting the offered rate and request count) so the scale-
+out server can actually be saturated. Per-process results merge
+**sample-exactly**: :func:`merge_reports` concatenates the raw latency
+samples and recomputes every percentile from the union — percentiles
+are never averaged across processes, which would systematically
+understate the tail. Shed responses (HTTP 429 from admission control)
+land in their own bucket, separate from both successes and failures.
 """
 
 from __future__ import annotations
 
 import json
+import multiprocessing
 import queue
 import threading
 import time
@@ -51,12 +62,21 @@ class LoadReport:
     #: success percentiles are not silently polluted — and so tail
     #: latency *under errors* is still observable instead of dropped.
     failed_latencies_ms: Tuple[float, ...] = ()
+    #: Requests refused by admission control (HTTP 429). Shed is its own
+    #: outcome bucket: not a success, but not a server failure either.
+    shed: int = 0
+    shed_latencies_ms: Tuple[float, ...] = ()
 
     @property
     def achieved_rps(self) -> float:
         if self.elapsed_s <= 0:
             return 0.0
         return self.succeeded / self.elapsed_s
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of offered items refused with 429."""
+        return self.shed / self.sent if self.sent else 0.0
 
     @property
     def mean_latency_ms(self) -> float:
@@ -70,6 +90,32 @@ class LoadReport:
     def failed_latency_percentile_ms(self, percentile: float) -> float:
         return _percentile_ms(self.failed_latencies_ms, percentile)
 
+    def to_dict(self) -> Dict:
+        """JSON-safe form (the cross-process report wire format)."""
+        return {
+            "url": self.url,
+            "offered_rps": self.offered_rps,
+            "sent": self.sent,
+            "succeeded": self.succeeded,
+            "failed": self.failed,
+            "elapsed_s": self.elapsed_s,
+            "latencies_ms": list(self.latencies_ms),
+            "tier_counts": dict(self.tier_counts),
+            "errors": dict(self.errors),
+            "cache_hits": self.cache_hits,
+            "failed_latencies_ms": list(self.failed_latencies_ms),
+            "shed": self.shed,
+            "shed_latencies_ms": list(self.shed_latencies_ms),
+        }
+
+    @classmethod
+    def from_dict(cls, document: Dict) -> "LoadReport":
+        data = dict(document)
+        for name in ("latencies_ms", "failed_latencies_ms",
+                     "shed_latencies_ms"):
+            data[name] = tuple(data.get(name, ()))
+        return cls(**data)
+
     def render(self) -> str:
         lines = [
             f"loadgen against {self.url}",
@@ -77,13 +123,18 @@ class LoadReport:
             f"({self.sent} requests)",
             f"  achieved  {self.achieved_rps:8.1f} req/s "
             f"({self.succeeded} ok, {self.failed} failed, "
-            f"{self.elapsed_s:.2f}s)",
+            f"{self.shed} shed, {self.elapsed_s:.2f}s)",
             f"  latency   mean {self.mean_latency_ms:.2f} ms   "
             f"p50 {self.latency_percentile_ms(50):.2f} ms   "
-            f"p99 {self.latency_percentile_ms(99):.2f} ms",
+            f"p99 {self.latency_percentile_ms(99):.2f} ms   "
+            f"p99.9 {self.latency_percentile_ms(99.9):.2f} ms",
             f"  cache     {self.cache_hits}/{self.succeeded} "
             "responses served from cache",
         ]
+        if self.shed:
+            lines.append(
+                f"  shed      {self.shed} items refused with 429 "
+                f"({self.shed_rate:.1%} of offered)")
         if self.failed_latencies_ms:
             lines.append(
                 f"  failures  p50 "
@@ -140,14 +191,14 @@ class LoadGenerator:
         self.batch = batch
 
     def _post_document(self, path: str, document: Dict
-                       ) -> Tuple[bool, Optional[Dict], str]:
+                       ) -> Tuple[bool, Optional[Dict], str, int]:
         body = json.dumps(document).encode()
         request = Request(f"{self.url}{path}", data=body,
                           headers={"Content-Type": "application/json"},
                           method="POST")
         try:
             with urlopen(request, timeout=self.timeout_s) as response:
-                return True, json.loads(response.read()), ""
+                return True, json.loads(response.read()), "", 200
         except HTTPError as exc:
             try:
                 reason = json.loads(exc.read()).get("error", str(exc))
@@ -156,14 +207,14 @@ class LoadGenerator:
             # the HTTP status below, not this parsing failure
             except Exception:  # repro: noqa[EX001]
                 reason = str(exc)
-            return False, None, f"HTTP {exc.code}: {reason}"
+            return False, None, f"HTTP {exc.code}: {reason}", exc.code
         except (URLError, OSError, ValueError) as exc:
-            return False, None, str(exc)
+            return False, None, str(exc), 0
 
-    def _post(self, payload: Dict) -> Tuple[bool, Optional[Dict], str]:
+    def _post(self, payload: Dict) -> Tuple[bool, Optional[Dict], str, int]:
         return self._post_document("/predict", payload)
 
-    def _post_batch(self, group) -> Tuple[bool, Optional[Dict], str]:
+    def _post_batch(self, group) -> Tuple[bool, Optional[Dict], str, int]:
         return self._post_document("/predict_batch", {"items": list(group)})
 
     def _schedule(self) -> "queue.Queue":
@@ -188,23 +239,32 @@ class LoadGenerator:
             work.put((arrival, group))
         return work
 
-    def _outcomes(self, group: List[Dict]) -> List[Tuple[bool, object]]:
-        """Per-item (ok, document-or-reason) pairs for one work unit."""
+    def _outcomes(self, group: List[Dict]) -> List[Tuple[str, object]]:
+        """Per-item (kind, document-or-reason) pairs for one work unit.
+
+        ``kind`` is ``"ok"``, ``"shed"`` (the server refused with 429 —
+        admission control working as designed, not a failure), or
+        ``"failed"``.
+        """
         if self.batch == 1:
-            ok, document, reason = self._post(group[0])
-            return [(True, document)] if ok else [(False, reason)]
-        ok, document, reason = self._post_batch(group)
+            ok, document, reason, status = self._post(group[0])
+            if ok:
+                return [("ok", document)]
+            return [("shed" if status == 429 else "failed", reason)]
+        ok, document, reason, status = self._post_batch(group)
         if not ok:
             # a transport-level failure fails every item it carried
-            return [(False, reason)] * len(group)
-        outcomes: List[Tuple[bool, object]] = []
+            kind = "shed" if status == 429 else "failed"
+            return [(kind, reason)] * len(group)
+        outcomes: List[Tuple[str, object]] = []
         for item in (document or {}).get("results", []):
             if isinstance(item, dict) and "status" not in item:
-                outcomes.append((True, item))
+                outcomes.append(("ok", item))
             else:
                 status = (item or {}).get("status", "?")
                 error = (item or {}).get("error", "malformed item result")
-                outcomes.append((False, f"item error {status}: {error}"))
+                kind = "shed" if status == 429 else "failed"
+                outcomes.append((kind, f"item error {status}: {error}"))
         return outcomes
 
     def run(self) -> LoadReport:
@@ -213,9 +273,10 @@ class LoadGenerator:
         lock = threading.Lock()
         latencies: List[float] = []
         failed_latencies: List[float] = []
+        shed_latencies: List[float] = []
         tier_counts: Dict[str, int] = {}
         errors: Dict[str, int] = {}
-        counters = {"ok": 0, "failed": 0, "cache_hits": 0}
+        counters = {"ok": 0, "failed": 0, "shed": 0, "cache_hits": 0}
         start = time.perf_counter()
 
         def worker() -> None:
@@ -231,20 +292,25 @@ class LoadGenerator:
                 outcomes = self._outcomes(group)
                 latency_ms = (time.perf_counter() - sent_at) * 1e3
                 with lock:
-                    # the post's latency lands in the failure bucket as
-                    # soon as any item it carried failed
-                    if any(not ok for ok, _ in outcomes):
+                    # the post's latency lands in the worst bucket any
+                    # item it carried hit: failed > shed > ok
+                    kinds = {kind for kind, _ in outcomes}
+                    if "failed" in kinds:
                         failed_latencies.append(latency_ms)
+                    elif "shed" in kinds:
+                        shed_latencies.append(latency_ms)
                     else:
                         latencies.append(latency_ms)
-                    for ok, detail in outcomes:
-                        if ok:
+                    for kind, detail in outcomes:
+                        if kind == "ok":
                             counters["ok"] += 1
                             tier = (detail or {}).get("tier", "?")
                             tier_counts[tier] = (
                                 tier_counts.get(tier, 0) + 1)
                             if (detail or {}).get("cached"):
                                 counters["cache_hits"] += 1
+                        elif kind == "shed":
+                            counters["shed"] += 1
                         else:
                             counters["failed"] += 1
                             errors[detail] = errors.get(detail, 0) + 1
@@ -262,4 +328,114 @@ class LoadGenerator:
                           latencies_ms=tuple(latencies),
                           tier_counts=tier_counts, errors=errors,
                           cache_hits=counters["cache_hits"],
-                          failed_latencies_ms=tuple(failed_latencies))
+                          failed_latencies_ms=tuple(failed_latencies),
+                          shed=counters["shed"],
+                          shed_latencies_ms=tuple(shed_latencies))
+
+
+# -- multi-process driving ---------------------------------------------------
+
+
+def merge_reports(reports: List[LoadReport]) -> LoadReport:
+    """Exact merge of concurrently-collected reports.
+
+    Raw latency samples are concatenated and every percentile is
+    recomputed from the union — percentiles are **never** averaged
+    across parts (a mean of per-process p99s systematically understates
+    the merged tail). Counters, tier tallies, and error tallies sum;
+    offered rates add (the processes drove the server together);
+    ``elapsed_s`` is the slowest process since they ran concurrently.
+    """
+    reports = list(reports)
+    if not reports:
+        raise ValueError("need at least one report to merge")
+    tier_counts: Dict[str, int] = {}
+    errors: Dict[str, int] = {}
+    for report in reports:
+        for tier, count in report.tier_counts.items():
+            tier_counts[tier] = tier_counts.get(tier, 0) + count
+        for reason, count in report.errors.items():
+            errors[reason] = errors.get(reason, 0) + count
+
+    def _concat(name: str) -> Tuple[float, ...]:
+        merged: List[float] = []
+        for report in reports:
+            merged.extend(getattr(report, name))
+        return tuple(merged)
+
+    return LoadReport(
+        url=reports[0].url,
+        offered_rps=sum(report.offered_rps for report in reports),
+        sent=sum(report.sent for report in reports),
+        succeeded=sum(report.succeeded for report in reports),
+        failed=sum(report.failed for report in reports),
+        elapsed_s=max(report.elapsed_s for report in reports),
+        latencies_ms=_concat("latencies_ms"),
+        tier_counts=tier_counts,
+        errors=errors,
+        cache_hits=sum(report.cache_hits for report in reports),
+        failed_latencies_ms=_concat("failed_latencies_ms"),
+        shed=sum(report.shed for report in reports),
+        shed_latencies_ms=_concat("shed_latencies_ms"),
+    )
+
+
+def _run_child(generator: LoadGenerator, connection) -> None:
+    """Forked child body: run one generator, ship the report, exit."""
+    try:
+        connection.send(generator.run().to_dict())
+    finally:
+        connection.close()
+
+
+def run_multiprocess(url: str, payloads, rate_rps: float,
+                     n_requests: int, procs: int, threads: int = 4,
+                     seed: int = 0, timeout_s: float = 30.0,
+                     batch: int = 1) -> LoadReport:
+    """Drive a server from ``procs`` forked client processes.
+
+    One Python client process is GIL-bound exactly like one server
+    process, so it cannot saturate a pre-fork deployment; forked
+    drivers can. The offered rate and request count split evenly
+    across the processes, each child draws its Poisson schedule from a
+    distinct seed (identical seeds would fire the arrivals in
+    lockstep), and the per-process reports merge sample-exactly via
+    :func:`merge_reports`. ``procs=1`` is the plain in-process
+    :class:`LoadGenerator` run.
+    """
+    if procs < 1:
+        raise ValueError("procs must be >= 1")
+    if procs == 1:
+        return LoadGenerator(url, payloads, rate_rps=rate_rps,
+                             n_requests=n_requests, threads=threads,
+                             seed=seed, timeout_s=timeout_s,
+                             batch=batch).run()
+    context = multiprocessing.get_context("fork")
+    shares = [n_requests // procs + (1 if index < n_requests % procs
+                                     else 0)
+              for index in range(procs)]
+    children = []
+    for index, share in enumerate(shares):
+        if share == 0:
+            continue
+        generator = LoadGenerator(
+            url, payloads, rate_rps=rate_rps / procs, n_requests=share,
+            threads=threads, seed=seed + 7919 * (index + 1),
+            timeout_s=timeout_s, batch=batch)
+        receiver, sender = context.Pipe(duplex=False)
+        process = context.Process(target=_run_child,
+                                  args=(generator, sender), daemon=True)
+        process.start()
+        sender.close()                  # child keeps the only send end
+        children.append((process, receiver))
+    reports = []
+    for process, receiver in children:
+        try:
+            reports.append(LoadReport.from_dict(receiver.recv()))
+        except EOFError:                # child died before reporting
+            pass
+        receiver.close()
+        process.join()
+    if not reports:
+        raise RuntimeError("every loadgen process died before reporting")
+    return merge_reports(reports)

@@ -1,9 +1,17 @@
-"""Thread-safe service metrics: counters and latency histograms.
+"""Thread-safe service metrics: counters, gauges, latency histograms.
 
 The server records per-endpoint request/error counters and a latency
 histogram per endpoint; ``GET /metrics`` snapshots them together with the
 cache's hit ratio. Everything is stdlib: a lock, dictionaries, and fixed
 logarithmic buckets.
+
+The scale-out frontend additionally merges one snapshot per worker
+process into a fleet view: :func:`merge_histogram_snapshots` adds
+bucket counts (never averaging percentiles — a p99 of averages is not
+the p99 of the union) and re-derives the percentiles from the merged
+buckets, and :func:`aggregate_snapshots` does the same for whole
+``metrics_snapshot()`` documents including cache statistics. The same
+exact-merge rule serves the multi-process load generator.
 """
 
 from __future__ import annotations
@@ -81,11 +89,12 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Named counters and histograms behind one lock."""
+    """Named counters, gauges, and histograms behind one lock."""
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
         self._histograms: Dict[str, Histogram] = {}
 
     def increment(self, name: str, by: int = 1) -> None:
@@ -95,6 +104,15 @@ class MetricsRegistry:
     def counter(self, name: str) -> int:
         with self._lock:
             return self._counters.get(name, 0)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set a point-in-time level (queue depth, live workers, ...)."""
+        with self._lock:
+            self._gauges[name] = value
+
+    def gauge(self, name: str) -> Optional[float]:
+        with self._lock:
+            return self._gauges.get(name)
 
     def observe(self, name: str, value: float,
                 buckets: Optional[Tuple[float, ...]] = None) -> None:
@@ -119,12 +137,17 @@ class MetricsRegistry:
 
     def snapshot(self) -> Dict:
         with self._lock:
-            return {
+            snapshot = {
                 "counters": dict(sorted(self._counters.items())),
                 "histograms": {name: histogram.snapshot()
                                for name, histogram
                                in sorted(self._histograms.items())},
             }
+            # only when present: the single-process server sets no
+            # gauges and its snapshot shape must stay byte-identical
+            if self._gauges:
+                snapshot["gauges"] = dict(sorted(self._gauges.items()))
+            return snapshot
 
     def render_text(self) -> str:
         """Prometheus-style exposition (counters and histogram summaries)."""
@@ -132,9 +155,130 @@ class MetricsRegistry:
         lines: List[str] = []
         for name, value in snapshot["counters"].items():
             lines.append(f"repro_{name} {value}")
+        for name, value in snapshot.get("gauges", {}).items():
+            lines.append(f"repro_{name} {value}")
         for name, data in snapshot["histograms"].items():
             lines.append(f"repro_{name}_count {data['count']}")
             lines.append(f"repro_{name}_sum {data['sum']}")
             lines.append(f"repro_{name}_p50 {data['p50']}")
             lines.append(f"repro_{name}_p99 {data['p99']}")
         return "\n".join(lines) + "\n"
+
+
+# -- cross-process aggregation ---------------------------------------------
+
+
+def _bucket_bound(label: str) -> float:
+    """The numeric upper bound encoded in a ``le_<bound>`` bucket key."""
+    if not label.startswith("le_"):
+        raise ValueError(f"not a bucket label: {label!r}")
+    return float(label[3:])
+
+
+def _percentile_from_buckets(bounds: List[float], counts: List[int],
+                             total: int, mean: float,
+                             percentile: float) -> float:
+    """Histogram.percentile recomputed from merged snapshot buckets."""
+    if total == 0:
+        return 0.0
+    rank = max(1.0, percentile / 100.0 * total)
+    cumulative = 0
+    for bound, count in zip(bounds, counts):
+        cumulative += count
+        if cumulative >= rank:
+            return bound
+    return max(bounds[-1], mean) if bounds else mean
+
+
+def merge_histogram_snapshots(snapshots: List[Dict]) -> Dict:
+    """Exact union of histogram snapshots: bucket counts are summed.
+
+    Percentiles are re-derived from the merged buckets — never averaged
+    across parts, which would systematically understate the tail. Parts
+    must share bucket bounds (they do: every emitter of one metric name
+    uses the same bounds); a missing bucket counts as zero.
+    """
+    if not snapshots:
+        return Histogram().snapshot()
+    labels: List[str] = []
+    for part in snapshots:
+        for label in part.get("buckets", {}):
+            if label not in labels:
+                labels.append(label)
+    labels.sort(key=_bucket_bound)
+    bounds = [_bucket_bound(label) for label in labels]
+    counts = [sum(part.get("buckets", {}).get(label, 0)
+                  for part in snapshots) for label in labels]
+    overflow = sum(part.get("overflow", 0) for part in snapshots)
+    total = sum(part.get("count", 0) for part in snapshots)
+    value_sum = sum(part.get("sum", 0.0) for part in snapshots)
+    mean = value_sum / total if total else 0.0
+    return {
+        "count": total,
+        "sum": round(value_sum, 4),
+        "mean": round(mean, 4),
+        "p50": _percentile_from_buckets(bounds, counts, total, mean, 50),
+        "p99": _percentile_from_buckets(bounds, counts, total, mean, 99),
+        "buckets": dict(zip(labels, counts)),
+        "overflow": overflow,
+    }
+
+
+def _merged_cache_stats(parts: List[Dict]) -> Dict:
+    hits = sum(part.get("hits", 0) for part in parts)
+    misses = sum(part.get("misses", 0) for part in parts)
+    total = hits + misses
+    return {
+        "hits": hits,
+        "misses": misses,
+        "hit_ratio": round(hits / total, 4) if total else 0.0,
+        "size": sum(part.get("size", 0) for part in parts),
+        "capacity": sum(part.get("capacity", 0) for part in parts),
+    }
+
+
+def aggregate_snapshots(snapshots: List[Dict]) -> Dict:
+    """Merge whole ``metrics_snapshot()`` documents across processes.
+
+    Counters and cache statistics sum; histograms merge bucket-exactly;
+    gauges keep their latest value per name (parts are point-in-time
+    levels of *different* processes, so they are namespaced by the
+    emitter and rarely collide); ``registry`` reports the maximum model
+    count (every worker hosts the same directory) and the summed reload
+    count.
+    """
+    counters: Dict[str, int] = {}
+    for part in snapshots:
+        for name, value in part.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+    histogram_names: List[str] = []
+    for part in snapshots:
+        for name in part.get("histograms", {}):
+            if name not in histogram_names:
+                histogram_names.append(name)
+    merged = {
+        "counters": dict(sorted(counters.items())),
+        "histograms": {
+            name: merge_histogram_snapshots(
+                [part["histograms"][name] for part in snapshots
+                 if name in part.get("histograms", {})])
+            for name in sorted(histogram_names)},
+    }
+    gauges: Dict[str, float] = {}
+    for part in snapshots:
+        gauges.update(part.get("gauges", {}))
+    if gauges:
+        merged["gauges"] = dict(sorted(gauges.items()))
+    for section in ("cache", "plan_cache"):
+        parts = [part[section] for part in snapshots if section in part]
+        if parts:
+            merged[section] = _merged_cache_stats(parts)
+    registries = [part["registry"] for part in snapshots
+                  if "registry" in part]
+    if registries:
+        merged["registry"] = {
+            "models": max(part.get("models", 0) for part in registries),
+            "reloads": sum(part.get("reloads", 0)
+                           for part in registries),
+        }
+    return merged

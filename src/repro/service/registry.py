@@ -13,6 +13,16 @@ forever.
 IGKW models are *retargetable*: :meth:`ModelRegistry.resolve` materialises
 a per-GPU predictor via ``for_gpu`` (optionally at an overridden memory
 bandwidth) and memoises the materialisation until the next reload.
+
+Every mutation (load, reload, removal) bumps the registry *generation*;
+:meth:`ModelRegistry.snapshot` freezes the current generation into a
+lock-free read-only :class:`RegistrySnapshot` that serves the same
+``get``/``describe``/``errors`` surface. The pre-fork worker pool runs
+each worker's :class:`~repro.service.core.PredictionService` over a
+snapshot and swaps in a fresh one between requests whenever the
+generation moved — model flips happen at request boundaries, never
+mid-prediction, and the per-request ``stat()`` disappears from the
+worker hot path.
 """
 
 from __future__ import annotations
@@ -104,6 +114,52 @@ class LoadedModel:
         }
 
 
+class RegistrySnapshot:
+    """Read-only view of a registry at one generation.
+
+    No locks and no ``stat()`` calls: a worker process serves from the
+    frozen entries and the pool swaps in a fresh snapshot between
+    requests when :attr:`generation` moved. The surface mirrors the
+    pieces of :class:`ModelRegistry` that
+    :class:`~repro.service.core.PredictionService` touches.
+    """
+
+    def __init__(self, generation: int, entries: Dict[str, LoadedModel],
+                 errors: Dict[str, str], reloads: int) -> None:
+        self.generation = generation
+        self._entries = dict(entries)
+        self.errors = dict(errors)
+        self._reloads = reloads
+
+    def get(self, name: str) -> LoadedModel:
+        entry = self._entries.get(name)
+        if entry is None:
+            raise KeyError(
+                f"unknown model {name!r}; hosted: {self.names()}")
+        return entry
+
+    def names(self) -> List[str]:
+        return sorted(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def describe(self) -> List[Dict]:
+        return [self._entries[name].describe() for name in self.names()]
+
+    def reload_count(self) -> int:
+        return self._reloads
+
+    def first_of_kind(self, kind: str) -> Optional[LoadedModel]:
+        for name in self.names():
+            if self._entries[name].kind == kind:
+                return self._entries[name]
+        return None
+
+
 class ModelRegistry:
     """Hosts every ``*.json`` model in a directory, keyed by file stem."""
 
@@ -114,6 +170,7 @@ class ModelRegistry:
                 f"model directory {str(self.directory)!r} does not exist")
         self._lock = threading.Lock()
         self._models: Dict[str, LoadedModel] = {}
+        self._generation = 0
         #: files that failed to parse at the last scan, name -> reason
         self.errors: Dict[str, str] = {}
         self.scan()
@@ -149,9 +206,11 @@ class ModelRegistry:
                 if current is not None:
                     entry.reloads = current.reloads + 1
                 self._models[path.stem] = entry
+                self._generation += 1
             for name in list(self._models):
                 if name not in seen:
                     del self._models[name]
+                    self._generation += 1
             return sorted(self._models)
 
     def get(self, name: str) -> LoadedModel:
@@ -165,7 +224,8 @@ class ModelRegistry:
             stamp = file_stamp(entry.path.stat())
         except FileNotFoundError:
             with self._lock:
-                self._models.pop(name, None)
+                if self._models.pop(name, None) is not None:
+                    self._generation += 1
             raise KeyError(
                 f"model {name!r} was removed from disk; "
                 f"hosted: {self.names()}") from None
@@ -174,8 +234,24 @@ class ModelRegistry:
             fresh.reloads = entry.reloads + 1
             with self._lock:
                 self._models[name] = fresh
+                self._generation += 1
             return fresh
         return entry
+
+    # -- snapshots ------------------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """Monotone mutation counter: bumps on every load/reload/removal."""
+        with self._lock:
+            return self._generation
+
+    def snapshot(self) -> RegistrySnapshot:
+        """Freeze the current generation into a read-only view."""
+        with self._lock:
+            return RegistrySnapshot(
+                self._generation, self._models, self.errors,
+                sum(entry.reloads for entry in self._models.values()))
 
     # -- query ----------------------------------------------------------------
 

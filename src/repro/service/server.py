@@ -1,8 +1,11 @@
-"""HTTP front-end: a threaded prediction server over the registry.
+"""HTTP front: routes verbs onto a service; JSON in, JSON out.
 
-``PredictionService`` is the transport-free core (validate -> cache ->
-resolve -> fallback chain -> respond); ``make_server`` wraps it in a
-stdlib :class:`http.server.ThreadingHTTPServer`:
+The transport-free request logic lives in :mod:`repro.service.core`
+(re-exported here for compatibility); this module owns only the stdlib
+HTTP plumbing. ``make_server`` wraps *any* object with the core's
+endpoint methods — the in-process :class:`PredictionService` or the
+scale-out :class:`~repro.service.frontend.ScaledService` — in a
+hardened :class:`http.server.ThreadingHTTPServer`:
 
 - ``POST /predict``        JSON body -> predicted time + answering tier
 - ``POST /predict_batch``  many /predict bodies in one request; per-item
@@ -15,6 +18,10 @@ stdlib :class:`http.server.ThreadingHTTPServer`:
 - ``GET  /healthz``     liveness + hosted-model count
 - ``GET  /metrics``     counters, latency histograms, cache hit ratio
                         (``?format=text`` for Prometheus-style lines)
+
+A :class:`~repro.service.core.ServiceError` carrying a
+``retry_after_s`` attribute (the frontend's load shedding) additionally
+answers with a ``Retry-After`` header.
 """
 
 from __future__ import annotations
@@ -22,486 +29,30 @@ from __future__ import annotations
 import json
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Tuple
 from urllib.parse import parse_qs, urlparse
 
-from repro import zoo
-from repro.service.cache import PredictionCache, cache_key
-from repro.service.fallback import (
-    COVERAGE_THRESHOLD,
-    PredictionError,
-    PredictionOutcome,
-    build_plan_chain,
-)
-from repro.service.metrics import MetricsRegistry
-from repro.service.registry import (
-    ModelRegistry,
-    ModelResolutionError,
-    resolve_target,
+from repro.service.core import (          # noqa: F401 - compat re-exports
+    BATCH_CAP,
+    BATCH_SIZE_BUCKETS,
+    PredictionService,
+    ServiceError,
+    _require,
 )
 
 
-#: Largest /predict_batch the server accepts (oversized batches get 413).
-BATCH_CAP = 256
+class _ThreadedServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer hardened for long-lived serving.
 
-#: Batch-size histogram buckets: powers of two up to the default cap.
-BATCH_SIZE_BUCKETS: Tuple[float, ...] = (
-    1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
+    ``daemon_threads`` keeps a stuck handler thread from hanging
+    shutdown forever (the process exits; the kernel reaps the socket),
+    and an explicit ``request_queue_size`` bounds the kernel accept
+    backlog even in single-worker mode — unaccepted connections queue
+    in the kernel, not in unbounded handler threads.
+    """
 
-
-class ServiceError(Exception):
-    """A request the service rejects, with its HTTP status."""
-
-    def __init__(self, status: int, message: str) -> None:
-        super().__init__(message)
-        self.status = status
-        self.message = message
-
-
-def _require(payload: Dict, field: str, kind, explain: str):
-    value = payload.get(field)
-    if value is None:
-        raise ServiceError(400, f"request is missing {field!r} ({explain})")
-    try:
-        return kind(value)
-    except (TypeError, ValueError):
-        raise ServiceError(
-            400, f"field {field!r} must be {kind.__name__}, "
-            f"got {value!r}") from None
-
-
-class PredictionService:
-    """Registry + cache + fallback chain + metrics, transport-free."""
-
-    def __init__(self, registry: ModelRegistry,
-                 cache: Optional[PredictionCache] = None,
-                 metrics: Optional[MetricsRegistry] = None,
-                 coverage_threshold: float = COVERAGE_THRESHOLD,
-                 plan_cache: Optional[PredictionCache] = None,
-                 calibrator=None, batch_cap: int = BATCH_CAP) -> None:
-        self.registry = registry
-        self.cache = cache if cache is not None else PredictionCache()
-        # compiled PredictionPlans, keyed by (model, network, batch,
-        # model stamp). GPU/bandwidth are NOT part of the key: the
-        # igkw plan is retargetable, so one compile serves every target
-        self.plans = (plan_cache if plan_cache is not None
-                      else PredictionCache(256))
-        self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self.coverage_threshold = coverage_threshold
-        if batch_cap < 1:
-            raise ValueError("batch_cap must be >= 1")
-        self.batch_cap = batch_cap
-        self.calibrator = calibrator
-        if calibrator is not None and calibrator.metrics is None:
-            calibrator.metrics = self.metrics   # share one counter space
-        self.started_at = time.time()          # provenance (wall clock)
-        # uptime is measured on the monotonic clock: an NTP step or a
-        # manual wall-clock change must never make /healthz report a
-        # negative or jumping uptime
-        self._started_monotonic = time.monotonic()
-
-    def _uptime_s(self) -> float:
-        return round(time.monotonic() - self._started_monotonic, 3)
-
-    # -- request plumbing (shared by /predict and /predict_batch) -------------
-
-    def _parse_predict(self, payload: Dict) -> Tuple:
-        """Validated (model, network, batch_size, gpu, bandwidth)."""
-        if not isinstance(payload, dict):
-            raise ServiceError(400, "request body must be a JSON object")
-        model_name = _require(payload, "model", str, "a hosted model name")
-        network_name = _require(payload, "network", str,
-                                "a registered network name")
-        batch_size = _require(payload, "batch_size", int, "a positive int")
-        if batch_size < 1:
-            raise ServiceError(400, "batch_size must be >= 1")
-        gpu_name = payload.get("gpu")
-        bandwidth = payload.get("bandwidth")
-        if bandwidth is not None:
-            bandwidth = float(bandwidth)
-        return model_name, network_name, batch_size, gpu_name, bandwidth
-
-    def _lookup_entry(self, model_name: str):
-        try:
-            return self.registry.get(model_name)
-        except KeyError as exc:
-            raise ServiceError(404, str(exc.args[0])) from None
-
-    def _build_network(self, network_name: str):
-        try:
-            return zoo.build(network_name)
-        except KeyError as exc:                  # unknown network
-            raise ServiceError(404, str(exc.args[0])) from None
-
-    def _plan_for(self, entry, model_name: str, network_name: str,
-                  batch_size: int, network) -> Tuple:
-        # the compiled plan is GPU-independent, so repeat requests for
-        # the same structure skip the graph walk even when the target
-        # GPU or bandwidth differs between them
-        plan_key = (model_name, network_name, batch_size, entry.stamp)
-        plan = self.plans.get(plan_key)
-        plan_cached = plan is not None
-        if plan is None:
-            plan = entry.model.compile(network, batch_size)
-            self.plans.put(plan_key, plan)
-        return plan, plan_cached
-
-    def _resolve_igkw_target(self, model_name: str,
-                             gpu_name: Optional[str],
-                             bandwidth: Optional[float]):
-        try:
-            return resolve_target(model_name, gpu_name, bandwidth)
-        except ModelResolutionError as exc:
-            raise ServiceError(400, str(exc)) from None
-        except KeyError as exc:                  # unknown GPU
-            raise ServiceError(404, str(exc.args[0])) from None
-
-    def _run_chain(self, request_plan, network,
-                   batch_size: int) -> PredictionOutcome:
-        chain = build_plan_chain(request_plan, self.registry,
-                                 self.coverage_threshold)
-        try:
-            outcome = chain.predict(network, batch_size)
-        except PredictionError as exc:
-            raise ServiceError(422, str(exc)) from None
-        self._count_outcome(outcome)
-        return outcome
-
-    def _count_outcome(self, outcome: PredictionOutcome) -> None:
-        self.metrics.increment(f"tier_{outcome.tier}_total")
-        if outcome.degraded:
-            self.metrics.increment("degraded_total")
-
-    @staticmethod
-    def _response_for(entry, request: Tuple,
-                      outcome: PredictionOutcome) -> Dict:
-        model_name, network_name, batch_size, gpu_name, bandwidth = request
-        return {
-            "model": model_name,
-            "kind": entry.kind,
-            "network": network_name,
-            "batch_size": batch_size,
-            "gpu": gpu_name,
-            "bandwidth": bandwidth,
-            "predicted_us": outcome.value_us,
-            "predicted_ms": outcome.value_us / 1e3,
-            "tier": outcome.tier,
-            "attempts": [{"tier": name, "error": reason}
-                         for name, reason in outcome.attempts],
-        }
-
-    # -- endpoints ------------------------------------------------------------
-
-    def predict(self, payload: Dict) -> Dict:
-        """Serve one /predict body; raises ServiceError on bad requests."""
-        request = self._parse_predict(payload)
-        model_name, network_name, batch_size, gpu_name, bandwidth = request
-        entry = self._lookup_entry(model_name)
-
-        key = cache_key(model_name, network_name, batch_size, gpu_name,
-                        bandwidth, version=entry.stamp)
-        cached = self.cache.get(key)
-        if cached is not None:
-            # a result hit answers without touching plans at all
-            return dict(cached, cached=True, plan_cached=True)
-
-        network = self._build_network(network_name)
-        plan, plan_cached = self._plan_for(entry, model_name, network_name,
-                                           batch_size, network)
-
-        if entry.kind == "igkw":
-            target = self._resolve_igkw_target(model_name, gpu_name,
-                                               bandwidth)
-            request_plan = plan.bind(target)
-        else:
-            request_plan = plan
-
-        outcome = self._run_chain(request_plan, network, batch_size)
-        response = self._response_for(entry, request, outcome)
-        self.cache.put(key, response)
-        return dict(response, cached=False, plan_cached=plan_cached)
-
-    def predict_batch(self, payload: Dict) -> Dict:
-        """Serve one /predict_batch body: many /predict items at once.
-
-        One malformed or failing item never fails the batch: its slot in
-        ``results`` carries ``{"error", "status"}`` while the rest are
-        ordinary /predict responses, and the endpoint answers 200.
-        Items are looked up in the result cache individually, then cache
-        misses are grouped by (model, network, batch size, model stamp)
-        so each group compiles at most one plan — and, for retargetable
-        (igkw) plans, prices all its targets in one vectorised
-        ``evaluate_grid`` pass instead of binding per item.
-        """
-        if not isinstance(payload, dict):
-            raise ServiceError(400, "request body must be a JSON object")
-        items = payload.get("items")
-        if not isinstance(items, list):
-            raise ServiceError(
-                400, "request must carry an 'items' list of /predict bodies")
-        if not items:
-            raise ServiceError(400, "'items' must not be empty")
-        if len(items) > self.batch_cap:
-            raise ServiceError(
-                413, f"batch of {len(items)} items exceeds the server cap "
-                f"of {self.batch_cap}; split the request")
-        self.metrics.increment("batch_items_total", by=len(items))
-        self.metrics.observe("batch_size", float(len(items)),
-                             buckets=BATCH_SIZE_BUCKETS)
-
-        results: List[Optional[Dict]] = [None] * len(items)
-        pending = []                  # (position, request, entry, key)
-        for position, item in enumerate(items):
-            try:
-                request = self._parse_predict(item)
-                entry = self._lookup_entry(request[0])
-            except ServiceError as exc:
-                results[position] = {"error": exc.message,
-                                     "status": exc.status}
-                continue
-            key = cache_key(request[0], request[1], request[2],
-                            request[3], request[4], version=entry.stamp)
-            pending.append((position, request, entry, key))
-
-        cached_values = self.cache.get_many(
-            [key for _, _, _, key in pending])
-        groups: Dict[Tuple, List[Tuple]] = {}
-        for miss, cached in zip(pending, cached_values):
-            position, request, entry, key = miss
-            if cached is not None:
-                results[position] = dict(cached, cached=True,
-                                         plan_cached=True)
-                self.metrics.increment("batch_cache_hits_total")
-                continue
-            group_key = (request[0], request[1], request[2], entry.stamp)
-            groups.setdefault(group_key, []).append(miss)
-        for group in groups.values():
-            self._serve_batch_group(group, results)
-
-        errors = sum(1 for result in results if "status" in result)
-        if errors:
-            self.metrics.increment("batch_item_errors_total", by=errors)
-        return {"count": len(items), "errors": errors, "results": results}
-
-    def _serve_batch_group(self, group: List[Tuple],
-                           results: List[Optional[Dict]]) -> None:
-        """Answer one (model, network, batch, stamp) group of cache misses."""
-        _, first_request, entry, _ = group[0]
-        model_name, network_name, batch_size = first_request[:3]
-        try:
-            network = self._build_network(network_name)
-            plan, plan_cached = self._plan_for(
-                entry, model_name, network_name, batch_size, network)
-        # one bad group must not fail the batch: every failure mode
-        # lands in the group's own result slots, type preserved
-        except ServiceError as exc:
-            for position, *_ in group:
-                results[position] = {"error": exc.message,
-                                     "status": exc.status}
-            return
-        except Exception as exc:  # repro: noqa[EX001]
-            message = f"internal error: {type(exc).__name__}: {exc}"
-            for position, *_ in group:
-                results[position] = {"error": message, "status": 500}
-            return
-        # plan-cache parity with the sequential path: only the first
-        # item of a freshly-compiled group reports plan_cached=False
-        flags = [plan_cached] + [True] * (len(group) - 1)
-        if entry.kind == "igkw":
-            self._serve_igkw_group(group, flags, entry, network, plan,
-                                   results)
-        else:
-            self._serve_plain_group(group, flags, entry, network, plan,
-                                    results)
-
-    def _serve_plain_group(self, group, flags, entry, network, plan,
-                           results) -> None:
-        # a single-GPU plan's outcome is identical for every item of
-        # the group (gpu/bandwidth are echoed, not used): run the
-        # fallback chain once, count tiers per item for metrics parity
-        computed: Dict[Tuple, Dict] = {}
-        outcome: Optional[PredictionOutcome] = None
-        for flag, (position, request, _, key) in zip(flags, group):
-            try:
-                earlier = computed.get(key)
-                if earlier is not None:
-                    # an in-batch duplicate: sequential requests would
-                    # have hit the result cache here
-                    results[position] = dict(earlier, cached=True,
-                                             plan_cached=True)
-                    self.metrics.increment("batch_cache_hits_total")
-                    continue
-                if outcome is None:
-                    outcome = self._run_chain(plan, network, request[2])
-                else:
-                    self._count_outcome(outcome)
-                response = self._response_for(entry, request, outcome)
-                self.cache.put(key, response)
-                computed[key] = response
-                results[position] = dict(response, cached=False,
-                                         plan_cached=flag)
-            except ServiceError as exc:
-                results[position] = {"error": exc.message,
-                                     "status": exc.status}
-            except Exception as exc:  # repro: noqa[EX001]
-                results[position] = {
-                    "error": f"internal error: {type(exc).__name__}: {exc}",
-                    "status": 500}
-
-    def _serve_igkw_group(self, group, flags, entry, network, plan,
-                          results) -> None:
-        model_name, _, batch_size = group[0][1][:3]
-        resolved = []       # (position, request, key, flag, target)
-        for flag, (position, request, _, key) in zip(flags, group):
-            try:
-                target = self._resolve_igkw_target(model_name, request[3],
-                                                   request[4])
-            except ServiceError as exc:
-                results[position] = {"error": exc.message,
-                                     "status": exc.status}
-                continue
-            resolved.append((position, request, key, flag, target))
-        if not resolved:
-            return
-        try:
-            # one vectorised pass prices every target and reports each
-            # target's fallback share, so the kw coverage gate needs no
-            # per-item bind
-            times, shares = plan.evaluate_grid(
-                [target for *_, target in resolved])
-        except Exception as exc:  # repro: noqa[EX001]
-            # grid failure degrades to the per-item slow path below; the
-            # label keeps the original exception type
-            self.metrics.increment(
-                f"batch_grid_errors_{type(exc).__name__}_total")
-            times = shares = None
-        computed: Dict[Tuple, Dict] = {}
-        for index, (position, request, key, flag, target) in enumerate(
-                resolved):
-            try:
-                earlier = computed.get(key)
-                if earlier is not None:
-                    results[position] = dict(earlier, cached=True,
-                                             plan_cached=True)
-                    self.metrics.increment("batch_cache_hits_total")
-                    continue
-                if (times is not None
-                        and shares[index] <= self.coverage_threshold):
-                    # the kw tier would answer with exactly this value:
-                    # the grid time is bit-exact with
-                    # bind(target).coverage().total_us, and the share
-                    # gate is the same comparison the tier applies
-                    outcome = PredictionOutcome(
-                        times[index], "kw", (("kw", None),))
-                    self.metrics.increment("batch_vectorized_items_total")
-                    self._count_outcome(outcome)
-                else:
-                    outcome = self._run_chain(plan.bind(target), network,
-                                              batch_size)
-                response = self._response_for(entry, request, outcome)
-                self.cache.put(key, response)
-                computed[key] = response
-                results[position] = dict(response, cached=False,
-                                         plan_cached=flag)
-            except ServiceError as exc:
-                results[position] = {"error": exc.message,
-                                     "status": exc.status}
-            except Exception as exc:  # repro: noqa[EX001]
-                results[position] = {
-                    "error": f"internal error: {type(exc).__name__}: {exc}",
-                    "status": 500}
-
-    def feedback(self, payload: Dict) -> Dict:
-        """Serve one /feedback body: record a measured-vs-predicted pair.
-
-        ``predicted_us`` may be omitted; the service then replays the
-        prediction itself (same cache and fallback chain as /predict),
-        so clients only ever have to report what they measured.
-        """
-        if self.calibrator is None:
-            raise ServiceError(
-                409, "calibration is not enabled on this server "
-                "(restart with --calibrate)")
-        if not isinstance(payload, dict):
-            raise ServiceError(400, "request body must be a JSON object")
-        measured_us = _require(payload, "measured_us", float,
-                               "the measured execution time in us")
-        predicted_us = payload.get("predicted_us")
-        if predicted_us is None:
-            predicted_us = self.predict(
-                {k: payload.get(k)
-                 for k in ("model", "network", "batch_size",
-                           "gpu", "bandwidth")})["predicted_us"]
-        from repro.calibration import NETWORK_GROUP, FeedbackObservation
-        try:
-            observation = FeedbackObservation(
-                model=_require(payload, "model", str,
-                               "a hosted model name"),
-                network=_require(payload, "network", str,
-                                 "a registered network name"),
-                batch_size=_require(payload, "batch_size", int,
-                                    "a positive int"),
-                gpu=payload.get("gpu"),
-                predicted_us=float(predicted_us),
-                measured_us=measured_us,
-                group=str(payload.get("group", NETWORK_GROUP)),
-                bandwidth=(None if payload.get("bandwidth") is None
-                           else float(payload["bandwidth"])),
-            )
-        except ValueError as exc:
-            raise ServiceError(400, str(exc)) from None
-        state = self.calibrator.record(observation)
-        return {
-            "recorded": True,
-            "model": observation.model,
-            "group": observation.group,
-            "error": round(observation.error, 6),
-            "drift": {
-                "n": state.n,
-                "ewma": round(state.ewma, 6),
-                "ph_statistic": round(state.ph_statistic, 6),
-                "drifted": state.drifted,
-                "triggers": list(state.triggers),
-            },
-        }
-
-    def calibration(self) -> Dict:
-        """Serve GET /calibration: the calibrator's full status."""
-        if self.calibrator is None:
-            raise ServiceError(
-                409, "calibration is not enabled on this server "
-                "(restart with --calibrate)")
-        return self.calibrator.status()
-
-    def models(self) -> Dict:
-        return {"models": self.registry.describe(),
-                "errors": dict(self.registry.errors)}
-
-    def health(self) -> Dict:
-        return {"status": "ok", "models": len(self.registry),
-                "uptime_s": self._uptime_s()}
-
-    def metrics_snapshot(self) -> Dict:
-        snapshot = self.metrics.snapshot()
-        snapshot["cache"] = self.cache.stats()
-        snapshot["plan_cache"] = self.plans.stats()
-        snapshot["registry"] = {"models": len(self.registry),
-                                "reloads": self.registry.reload_count()}
-        snapshot["uptime_s"] = self._uptime_s()
-        return snapshot
-
-    def metrics_text(self) -> str:
-        stats = self.cache.stats()
-        plan_stats = self.plans.stats()
-        lines = [self.metrics.render_text().rstrip("\n")]
-        for field in ("hits", "misses", "size"):
-            lines.append(f"repro_cache_{field} {stats[field]}")
-        lines.append(f"repro_cache_hit_ratio {stats['hit_ratio']}")
-        for field in ("hits", "misses", "size"):
-            lines.append(f"repro_plan_cache_{field} {plan_stats[field]}")
-        lines.append(
-            f"repro_plan_cache_hit_ratio {plan_stats['hit_ratio']}")
-        return "\n".join(lines) + "\n"
+    daemon_threads = True
+    request_queue_size = 128
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -510,17 +61,20 @@ class _Handler(BaseHTTPRequestHandler):
     server_version = "repro-predict/1.0"
 
     @property
-    def service(self) -> PredictionService:
+    def service(self):
         return self.server.service        # attached by make_server
 
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         pass                               # keep the server quiet in tests
 
     def _reply(self, status: int, document, content_type: str
-               = "application/json") -> None:
+               = "application/json", retry_after_s=None) -> None:
         body = (document if isinstance(document, bytes)
                 else json.dumps(document).encode())
         self.send_response(status)
+        if retry_after_s is not None:
+            # RFC 9110 delay-seconds: a non-negative decimal integer
+            self.send_header("Retry-After", str(int(retry_after_s)))
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
@@ -529,11 +83,13 @@ class _Handler(BaseHTTPRequestHandler):
     def _instrumented(self, endpoint: str, handler) -> None:
         metrics = self.service.metrics
         metrics.increment(f"requests_{endpoint}_total")
+        retry_after_s = None
         started = time.perf_counter()
         try:
             status, document, content_type = handler()
         except ServiceError as exc:
             metrics.increment(f"errors_{endpoint}_total")
+            retry_after_s = getattr(exc, "retry_after_s", None)
             status, document, content_type = (
                 exc.status, {"error": exc.message}, "application/json")
         # never kill a server thread: degrade to a 500 response; the
@@ -549,7 +105,8 @@ class _Handler(BaseHTTPRequestHandler):
                 "application/json")
         metrics.observe(f"latency_{endpoint}_ms",
                         (time.perf_counter() - started) * 1e3)
-        self._reply(status, document, content_type)
+        self._reply(status, document, content_type,
+                    retry_after_s=retry_after_s)
 
     def do_GET(self) -> None:              # noqa: N802 - stdlib signature
         parsed = urlparse(self.path)
@@ -606,14 +163,18 @@ def make_server(service_or_registry, host: str = "127.0.0.1",
                 port: int = 0) -> ThreadingHTTPServer:
     """A ready-to-run threaded server; ``port=0`` picks an ephemeral port.
 
-    Call ``serve_forever()`` (typically on a daemon thread) and read
-    ``server_address`` for the bound (host, port).
+    Accepts a :class:`PredictionService`, any object exposing the same
+    endpoint methods (e.g. the scale-out frontend's ``ScaledService``),
+    or a bare :class:`~repro.service.registry.ModelRegistry` (wrapped in
+    a default service). Call ``serve_forever()`` (typically on a daemon
+    thread) and read ``server_address`` for the bound (host, port).
     """
-    if isinstance(service_or_registry, PredictionService):
+    if isinstance(service_or_registry, PredictionService) \
+            or hasattr(service_or_registry, "predict"):
         service = service_or_registry
     else:
         service = PredictionService(service_or_registry)
-    server = ThreadingHTTPServer((host, port), _Handler)
+    server = _ThreadedServer((host, port), _Handler)
     server.daemon_threads = True
     server.service = service
     return server

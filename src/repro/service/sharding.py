@@ -1,0 +1,111 @@
+"""Consistent-hash sharding of (model, network) keys onto worker slots.
+
+The pre-fork pool routes every request whose shard key hashes alike to
+the same worker, so that worker's plan cache and prediction cache stay
+hot for exactly its slice of the key space — the compile-once/evaluate-
+many split (PR 3) and the vectorised batch path (PR 5) both reward
+affinity. A consistent ring (``replicas`` virtual points per slot,
+blake2b positions — deterministic across processes, unlike ``hash()``
+under ``PYTHONHASHSEED``) keeps the key movement minimal when a slot
+leaves or rejoins: only the keys that hashed to the departed slot's
+arcs move, everything else stays put, so a worker crash never cold-
+starts the whole fleet's caches.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterator, List, Tuple
+
+#: Virtual points per slot: enough that 2-16 slots split the key space
+#: within a few percent of evenly, cheap enough to rebuild on changes.
+DEFAULT_REPLICAS = 64
+
+
+def shard_key(model: str, network: str) -> str:
+    """The routing key of one request: cache affinity lives per
+    (model, network) pair, the same granularity the plan cache keys on
+    (batch size excluded, so all batch sizes of a pair share a shard)."""
+    return f"{model}\x1f{network}"
+
+
+def _position(token: str) -> int:
+    """Deterministic 64-bit ring position of one token."""
+    digest = hashlib.blake2b(token.encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """Consistent ring of integer worker slots.
+
+    Not thread-safe by itself: the pool mutates it only under its own
+    lock (slot membership changes are rare — crashes and respawns), and
+    lookups work on an immutable sorted list rebuilt per mutation.
+    """
+
+    def __init__(self, slots=(), replicas: int = DEFAULT_REPLICAS) -> None:
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = replicas
+        self._slots: Dict[int, Tuple[int, ...]] = {}
+        self._points: List[Tuple[int, int]] = []   # (position, slot)
+        for slot in slots:
+            self.add(slot)
+
+    def _rebuild(self) -> None:
+        points = [(position, slot)
+                  for slot, positions in self._slots.items()
+                  for position in positions]
+        self._points = sorted(points)
+
+    def add(self, slot: int) -> None:
+        """Add a slot (idempotent)."""
+        if slot in self._slots:
+            return
+        self._slots[slot] = tuple(
+            _position(f"{slot}#{replica}")
+            for replica in range(self.replicas))
+        self._rebuild()
+
+    def remove(self, slot: int) -> None:
+        """Remove a slot (idempotent)."""
+        if self._slots.pop(slot, None) is not None:
+            self._rebuild()
+
+    def slots(self) -> List[int]:
+        return sorted(self._slots)
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __contains__(self, slot: int) -> bool:
+        return slot in self._slots
+
+    def lookup(self, key: str) -> int:
+        """The slot owning ``key``: first point clockwise of its hash."""
+        if not self._points:
+            raise LookupError("hash ring has no slots")
+        index = bisect.bisect_right(self._points,
+                                    (_position(key), float("inf")))
+        if index == len(self._points):
+            index = 0                              # wrap around the ring
+        return self._points[index][1]
+
+    def successors(self, key: str) -> Iterator[int]:
+        """Every distinct slot in ring order starting at ``key``'s owner.
+
+        The pool walks this to reassign a crashed slot's keys: the next
+        live slot on the ring takes over exactly the dead slot's arcs,
+        which is the minimal-movement reassignment.
+        """
+        if not self._points:
+            return
+        start = bisect.bisect_right(self._points,
+                                    (_position(key), float("inf")))
+        seen = set()
+        for offset in range(len(self._points)):
+            _, slot = self._points[(start + offset) % len(self._points)]
+            if slot not in seen:
+                seen.add(slot)
+                yield slot

@@ -1,0 +1,154 @@
+"""Self-contained scale-out smoke test: ``repro serve --smoke``.
+
+The CI gate for the pre-fork stack. It needs no external models or
+servers: it trains a small model set on the simulated substrate into a
+temp directory, boots a :class:`~repro.service.frontend.ScaledServer`
+with (by default) two forked workers, drives a mixed /predict +
+/predict_batch load across every hosted model, and asserts the boring
+outcome — every request answered, **zero** worker restarts, **zero**
+shed requests, a clean shutdown with no straggler processes. Any crash
+loop, dispatch deadlock, or shutdown hang turns the smoke red.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List
+
+from repro import core, dataset, zoo
+from repro.gpu import gpu
+from repro.service.frontend import ScaledServer
+from repro.service.loadgen import LoadGenerator, merge_reports
+
+
+def train_smoke_models(directory) -> List[str]:
+    """Train and save the smoke model set; returns the hosted names.
+
+    One kernel-wise model per GPU plus one inter-GPU model, from the
+    small simulated campaign — enough model diversity that the
+    consistent-hash ring actually spreads keys across workers.
+    """
+    directory = Path(directory)
+    roster = zoo.imagenet_roster("small")
+    data = dataset.build_dataset(
+        roster, [gpu("A100"), gpu("TITAN RTX")], batch_sizes=[64, 512])
+    core.save_model(core.train_model(data, "kw", gpu="A100"),
+                    directory / "kw-a100.json")
+    core.save_model(core.train_model(data, "lw", gpu="TITAN RTX"),
+                    directory / "lw-titan.json")
+    core.save_model(
+        core.train_inter_gpu_model(data,
+                                   [gpu("A100"), gpu("TITAN RTX")]),
+        directory / "igkw.json")
+    return sorted(path.stem for path in directory.glob("*.json"))
+
+
+@dataclass
+class ScaleoutSmokeReport:
+    """Outcome of one scale-out smoke run."""
+
+    workers: int
+    models: List[str]
+    sent: int
+    succeeded: int
+    failed: int
+    shed: int
+    restarts: int
+    alive_at_end: int
+    shutdown_clean: bool
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def render(self) -> str:
+        verdict = "PASS" if self.ok else "FAIL"
+        lines = [
+            f"scale-out smoke: {verdict}",
+            f"  workers    {self.workers} forked, "
+            f"{self.alive_at_end} alive at end, "
+            f"{self.restarts} restarts",
+            f"  models     {', '.join(self.models)}",
+            f"  requests   {self.sent} sent, {self.succeeded} ok, "
+            f"{self.failed} failed, {self.shed} shed",
+            f"  shutdown   {'clean' if self.shutdown_clean else 'DIRTY'}",
+        ]
+        for problem in self.problems:
+            lines.append(f"  problem    {problem}")
+        return "\n".join(lines)
+
+
+def _mixed_payloads(models: List[str]) -> List[Dict]:
+    """One payload per (model, network) pair the smoke set serves."""
+    payloads = []
+    for model in models:
+        for network in ("resnet50", "vgg11", "mobilenet_v2"):
+            payload = {"model": model, "network": network,
+                       "batch_size": 64}
+            if model == "igkw":
+                payload["gpu"] = "A100"
+            payloads.append(payload)
+    return payloads
+
+
+def run_scaleout_smoke(workers: int = 2, requests: int = 96,
+                       rate_rps: float = 400.0,
+                       max_queue_depth: int = 256) -> ScaleoutSmokeReport:
+    """Train, serve with ``workers`` forked processes, drive, assert.
+
+    ``max_queue_depth`` is deliberately generous: the smoke asserts the
+    happy path (zero sheds), not admission control — that behaviour has
+    its own deterministic tests.
+    """
+    with tempfile.TemporaryDirectory() as scratch:
+        models = train_smoke_models(scratch)
+        server = ScaledServer(scratch, workers=workers,
+                              max_queue_depth=max_queue_depth)
+        problems: List[str] = []
+        try:
+            host, port = server.serve_in_thread()
+            url = f"http://{host}:{port}"
+            payloads = _mixed_payloads(models)
+            single = LoadGenerator(url, payloads, rate_rps=rate_rps,
+                                   n_requests=requests // 2, threads=4,
+                                   seed=0).run()
+            batched = LoadGenerator(url, payloads, rate_rps=rate_rps,
+                                    n_requests=requests - requests // 2,
+                                    threads=4, seed=1, batch=8).run()
+            report = merge_reports([single, batched])
+            health = server.service.health()
+        finally:
+            server.shutdown()
+        restarts = server.pool.restarts_total()
+        alive_at_end = server.pool.alive_count()
+
+        if report.failed:
+            worst = sorted(report.errors.items(),
+                           key=lambda item: -item[1])[:3]
+            problems.append(
+                f"{report.failed} requests failed: "
+                + "; ".join(f"{count}x {reason}"
+                            for reason, count in worst))
+        if report.shed:
+            problems.append(f"{report.shed} requests shed (expected 0)")
+        if report.succeeded != report.sent - report.failed - report.shed:
+            problems.append("request accounting does not add up")
+        if restarts:
+            problems.append(f"{restarts} worker restarts (expected 0)")
+        if health["workers"]["alive"] != workers:
+            problems.append(
+                f"only {health['workers']['alive']}/{workers} workers "
+                "alive under load")
+        shutdown_clean = alive_at_end == 0
+        if not shutdown_clean:
+            problems.append(
+                f"{alive_at_end} worker(s) still alive after shutdown")
+        return ScaleoutSmokeReport(
+            workers=workers, models=models, sent=report.sent,
+            succeeded=report.succeeded, failed=report.failed,
+            shed=report.shed, restarts=restarts,
+            alive_at_end=alive_at_end, shutdown_clean=shutdown_clean,
+            problems=problems)

@@ -130,6 +130,122 @@ class TestHelperReachability:
         assert "Store._leaf() reads self._hits" in finding.message
 
 
+class TestAtomicFieldExemption:
+    def test_queue_field_read_unlocked_is_clean(self, tmp_path):
+        # a field only ever assigned an internally-synchronised type is
+        # a stable handle: lock-free reads are the whole point of it
+        findings, covered = rc100(tmp_path, source="""\
+            import queue
+            import threading
+
+
+            class Dispatcher:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._queue = queue.Queue(64)
+                    self._pending = {}
+
+                def reset(self):
+                    with self._lock:
+                        self._queue = queue.Queue(64)
+                        self._pending = {}
+
+                def depth(self):
+                    return self._queue.qsize()
+            """)
+        assert findings == []
+        assert covered            # _pending still makes the class covered
+
+    def test_reassigned_to_plain_value_revokes_exemption(self, tmp_path):
+        findings, _ = rc100(tmp_path, source="""\
+            import queue
+            import threading
+
+
+            class Dispatcher:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._queue = queue.Queue(64)
+
+                def reset(self):
+                    with self._lock:
+                        self._queue = None      # no longer a stable handle
+
+                def depth(self):
+                    return self._queue.qsize()
+            """)
+        (finding,) = findings
+        assert "Dispatcher.depth() reads self._queue" in finding.message
+
+    def test_event_and_metrics_registry_are_atomic(self, tmp_path):
+        findings, _ = rc100(tmp_path, source="""\
+            import threading
+
+            from repro.service.metrics import MetricsRegistry
+
+
+            class Frontend:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._stop = threading.Event()
+                    self._metrics = MetricsRegistry()
+                    self._state = "idle"
+
+                def configure(self, state):
+                    with self._lock:
+                        self._stop = threading.Event()
+                        self._metrics = MetricsRegistry()
+                        self._state = state
+
+                def shed(self):
+                    self._metrics.increment("shed_total")
+                    return self._stop.is_set()
+            """)
+        assert findings == []
+
+    def test_annotated_atomic_assignment_counts(self, tmp_path):
+        findings, _ = rc100(tmp_path, source="""\
+            import queue
+            import threading
+
+
+            class Dispatcher:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._queue: "queue.Queue" = queue.Queue()
+
+                def refresh(self):
+                    with self._lock:
+                        self._queue = queue.Queue()
+
+                def depth(self):
+                    return self._queue.qsize()
+            """)
+        assert findings == []
+
+    def test_augmented_assignment_disqualifies(self, tmp_path):
+        # += rebinding means the field is state, not a handle
+        findings, _ = rc100(tmp_path, source="""\
+            import collections
+            import threading
+
+
+            class Tally:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._window = collections.deque()
+
+                def extend(self, items):
+                    with self._lock:
+                        self._window += items
+
+                def peek(self):
+                    return list(self._window)
+            """)
+        (finding,) = findings
+        assert "Tally.peek() reads self._window" in finding.message
+
+
 class TestCoverage:
     def test_lockless_class_not_covered(self, tmp_path):
         findings, covered = rc100(tmp_path, source="""\

@@ -1,0 +1,230 @@
+"""Admission control: deterministic shed/drain/accept under a fake clock."""
+
+import json
+import queue
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service.frontend import (
+    MAX_RETRY_AFTER_S,
+    MIN_RETRY_AFTER_S,
+    AdmissionController,
+    ShedError,
+    SLOTracker,
+)
+from repro.service.metrics import MetricsRegistry
+from repro.service.server import make_server
+
+
+class FakeClock:
+    """Injectable monotonic clock: time only moves when told to."""
+
+    def __init__(self) -> None:
+        self.now_s = 1000.0
+
+    def __call__(self) -> float:
+        return self.now_s
+
+    def advance(self, seconds: float) -> None:
+        self.now_s += seconds
+
+
+class FakeHandle:
+    """A worker handle that records what actually reached its queue."""
+
+    def __init__(self, slot=0, capacity=4):
+        self.slot = slot
+        self.capacity = capacity
+        self.submitted = []
+
+    def pending(self):
+        return len(self.submitted)
+
+    def submit_nowait(self, op, payload):
+        if len(self.submitted) >= self.capacity:
+            raise queue.Full
+        self.submitted.append((op, payload))
+        return object()                      # stands in for PendingCall
+
+    def drain(self, count=1):
+        del self.submitted[:count]
+
+
+def _controller(depth=4, metrics=None, clock=None):
+    return AdmissionController(
+        depth, metrics=metrics,
+        clock=clock if clock is not None else FakeClock())
+
+
+class TestShedding:
+    def test_accepts_below_the_bound(self):
+        handle = FakeHandle(capacity=4)
+        controller = _controller(depth=4)
+        for _ in range(4):
+            controller.submit(handle, "predict", "predict", {})
+        assert len(handle.submitted) == 4
+
+    def test_sheds_at_the_bound_and_never_reaches_the_worker(self):
+        handle = FakeHandle(capacity=4)
+        controller = _controller(depth=4)
+        for _ in range(4):
+            controller.submit(handle, "predict", "predict", {})
+        with pytest.raises(ShedError):
+            controller.submit(handle, "predict", "predict",
+                              {"marker": "must not arrive"})
+        # the shed request left no trace in the dispatch queue
+        assert all(payload.get("marker") != "must not arrive"
+                   for _, payload in handle.submitted)
+        assert controller.shed_total() == 1
+
+    def test_queue_full_race_still_sheds(self):
+        # depth check passes but the queue is full underneath: the
+        # bounded put is the authority and the request is still shed
+        handle = FakeHandle(capacity=2)
+        controller = _controller(depth=10)
+        handle.submit_nowait("predict", {})
+        handle.submit_nowait("predict", {})
+        with pytest.raises(ShedError):
+            controller.submit(handle, "predict", "predict", {})
+
+    def test_shed_drain_accept_cycle_is_deterministic(self):
+        clock = FakeClock()
+        handle = FakeHandle(capacity=2)
+        controller = _controller(depth=2, clock=clock)
+        controller.submit(handle, "predict", "predict", {"n": 1})
+        controller.submit(handle, "predict", "predict", {"n": 2})
+        with pytest.raises(ShedError):                  # full -> shed
+            controller.submit(handle, "predict", "predict", {"n": 3})
+        clock.advance(5.0)
+        handle.drain(1)                                 # drain
+        controller.submit(handle, "predict", "predict", {"n": 4})
+        assert [payload["n"] for _, payload in handle.submitted] == [2, 4]
+        snapshot = controller.snapshot()
+        assert snapshot["shed_total"] == 1
+        assert snapshot["last_shed_age_s"] == 5.0       # fake clock, exact
+
+    def test_shed_counters_reach_metrics(self):
+        metrics = MetricsRegistry()
+        handle = FakeHandle(capacity=1)
+        controller = _controller(depth=1, metrics=metrics)
+        controller.submit(handle, "predict", "predict", {})
+        for _ in range(2):
+            with pytest.raises(ShedError):
+                controller.submit(handle, "predict", "predict", {})
+        with pytest.raises(ShedError):
+            controller.submit(handle, "predict_batch", "predict_batch", {})
+        assert metrics.counter("shed_total") == 3
+        assert metrics.counter("shed_predict_total") == 2
+        assert metrics.counter("shed_predict_batch_total") == 1
+
+
+class TestRetryAfter:
+    def test_defaults_to_the_minimum_without_observations(self):
+        controller = _controller(depth=8)
+        assert controller.retry_after_s("predict") == MIN_RETRY_AFTER_S
+
+    def test_scales_with_observed_latency(self):
+        controller = _controller(depth=8)
+        controller.observe("predict", 1000.0)           # 1s per request
+        # 8 queued requests at ~1s each: honest drain estimate is 8s
+        assert controller.retry_after_s("predict") == 8
+
+    def test_clamped_to_the_maximum(self):
+        controller = _controller(depth=64)
+        controller.observe("predict", 10_000.0)
+        assert controller.retry_after_s("predict") == MAX_RETRY_AFTER_S
+
+    def test_ewma_tracks_recent_latency(self):
+        controller = _controller(depth=10)
+        controller.observe("predict", 100.0)
+        for _ in range(50):
+            controller.observe("predict", 2000.0)
+        # the estimate converged towards the new regime
+        assert controller.retry_after_s("predict") >= 15
+
+    def test_shed_error_carries_the_estimate(self):
+        handle = FakeHandle(capacity=1)
+        controller = _controller(depth=1)
+        controller.observe("predict", 3000.0)
+        controller.submit(handle, "predict", "predict", {})
+        with pytest.raises(ShedError) as excinfo:
+            controller.submit(handle, "predict", "predict", {})
+        assert excinfo.value.status == 429
+        assert excinfo.value.retry_after_s == 3
+        assert "retry after 3s" in excinfo.value.message
+
+    def test_bad_depth_rejected(self):
+        with pytest.raises(ValueError, match="max_queue_depth"):
+            AdmissionController(0)
+
+
+class _SheddingStub:
+    """Minimal service surface that always sheds /predict."""
+
+    def __init__(self):
+        self.metrics = MetricsRegistry()
+
+    def predict(self, payload):
+        raise ShedError(retry_after_s=7, slot=0, depth=4)
+
+    predict_batch = predict
+    feedback = predict
+
+    def health(self):
+        return {"status": "ok"}
+
+
+class TestRetryAfterHeader:
+    def test_429_response_carries_wellformed_retry_after(self):
+        server = make_server(_SheddingStub(), port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        try:
+            request = urllib.request.Request(
+                f"http://{host}:{port}/predict", data=b"{}",
+                headers={"Content-Type": "application/json"},
+                method="POST")
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=5)
+            error = excinfo.value
+            assert error.code == 429
+            retry_after = error.headers["Retry-After"]
+            # RFC 7231: delta-seconds, a non-negative integer string
+            assert retry_after is not None
+            assert retry_after.isdigit()
+            assert int(retry_after) == 7
+            assert "overloaded" in json.loads(error.read())["error"]
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+
+class TestSLOTracker:
+    def test_ok_and_breach_buckets(self):
+        tracker = SLOTracker({"predict": 50.0})
+        assert tracker.observe("predict", 10.0) is False
+        assert tracker.observe("predict", 49.9) is False
+        assert tracker.observe("predict", 50.1) is True
+        report = tracker.snapshot()["predict"]
+        assert report["ok"] == 2
+        assert report["breach"] == 1
+        assert report["attainment"] == round(2 / 3, 4)
+        assert report["target_ms"] == 50.0
+
+    def test_untracked_endpoint_is_ignored(self):
+        tracker = SLOTracker({"predict": 50.0})
+        assert tracker.observe("metrics", 9999.0) is False
+        assert "metrics" not in tracker.snapshot()
+
+    def test_idle_endpoint_reports_full_attainment(self):
+        tracker = SLOTracker({"predict": 50.0})
+        assert tracker.snapshot()["predict"]["attainment"] == 1.0
+
+    def test_default_targets_cover_the_serving_endpoints(self):
+        report = SLOTracker().snapshot()
+        assert {"predict", "predict_batch", "feedback"} <= set(report)

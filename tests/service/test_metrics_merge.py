@@ -1,0 +1,124 @@
+"""Cross-process metrics: gauges, exact histogram merge, aggregation."""
+
+from repro.service.metrics import (
+    Histogram,
+    MetricsRegistry,
+    aggregate_snapshots,
+    merge_histogram_snapshots,
+)
+
+
+class TestGauges:
+    def test_absent_until_set_for_snapshot_compatibility(self):
+        registry = MetricsRegistry()
+        # the single-process server sets no gauges; its snapshot shape
+        # (and therefore its /metrics bytes) must stay unchanged
+        assert "gauges" not in registry.snapshot()
+
+    def test_set_and_read_back(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("worker_0_queue_depth", 3)
+        registry.set_gauge("worker_0_queue_depth", 5)
+        assert registry.gauge("worker_0_queue_depth") == 5
+        assert registry.gauge("missing") is None
+        assert registry.snapshot()["gauges"] == {
+            "worker_0_queue_depth": 5}
+
+    def test_rendered_in_text_exposition(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("workers_alive", 4)
+        assert "repro_workers_alive 4" in registry.render_text()
+
+
+class TestHistogramMerge:
+    def test_merge_equals_one_big_histogram(self):
+        # the gold standard: merging per-process snapshots must give
+        # byte-identical results to having observed everything in one
+        # histogram — that is what "exact" means
+        values = [0.3, 0.9, 3.0, 7.0, 40.0, 90.0, 900.0, 5000.0]
+        parts = [Histogram(), Histogram(), Histogram()]
+        reference = Histogram()
+        for index, value in enumerate(values):
+            parts[index % 3].observe(value)
+            reference.observe(value)
+        merged = merge_histogram_snapshots(
+            [part.snapshot() for part in parts])
+        assert merged == reference.snapshot()
+
+    def test_percentiles_are_rederived_not_averaged(self):
+        # one process saw only fast requests, the other only slow ones;
+        # the averaged p99s would report ~(1 + 1000)/2 ms, nowhere near
+        # the true merged tail
+        fast, slow = Histogram(), Histogram()
+        for _ in range(99):
+            fast.observe(0.4)
+        slow.observe(900.0)
+        merged = merge_histogram_snapshots(
+            [fast.snapshot(), slow.snapshot()])
+        reference = Histogram()
+        for _ in range(99):
+            reference.observe(0.4)
+        reference.observe(900.0)
+        assert merged["p99"] == reference.percentile(99)
+        naive_average_p99 = (fast.percentile(99) + slow.percentile(99)) / 2
+        assert merged["p99"] != naive_average_p99
+
+    def test_overflow_and_sum_accumulate(self):
+        left, right = Histogram(), Histogram()
+        left.observe(10_000.0)                          # overflow bucket
+        right.observe(10_000.0)
+        right.observe(1.0)
+        merged = merge_histogram_snapshots(
+            [left.snapshot(), right.snapshot()])
+        assert merged["overflow"] == 2
+        assert merged["count"] == 3
+        assert merged["sum"] == round(20_001.0, 4)
+
+    def test_empty_input_is_an_empty_histogram(self):
+        assert merge_histogram_snapshots([]) == Histogram().snapshot()
+
+
+class TestAggregateSnapshots:
+    def _worker_snapshot(self, requests, hits, misses):
+        registry = MetricsRegistry()
+        registry.increment("requests_predict_total", by=requests)
+        registry.observe("request_predict_ms", 1.0)
+        snapshot = registry.snapshot()
+        snapshot["cache"] = {"hits": hits, "misses": misses,
+                             "size": hits + misses,
+                             "capacity": 1024,
+                             "hit_ratio": 0.0}
+        snapshot["registry"] = {"models": 4, "reloads": 1}
+        return snapshot
+
+    def test_counters_and_caches_sum(self):
+        merged = aggregate_snapshots([
+            self._worker_snapshot(10, hits=4, misses=6),
+            self._worker_snapshot(30, hits=1, misses=9),
+        ])
+        assert merged["counters"]["requests_predict_total"] == 40
+        assert merged["cache"]["hits"] == 5
+        assert merged["cache"]["misses"] == 15
+        assert merged["cache"]["hit_ratio"] == 0.25
+        assert merged["cache"]["capacity"] == 2048
+        assert merged["histograms"]["request_predict_ms"]["count"] == 2
+
+    def test_registry_models_max_reloads_sum(self):
+        merged = aggregate_snapshots([
+            self._worker_snapshot(1, 0, 1),
+            self._worker_snapshot(1, 0, 1),
+        ])
+        # every worker hosts the same directory: 4 models, not 8
+        assert merged["registry"] == {"models": 4, "reloads": 2}
+
+    def test_gauges_keep_latest_per_name(self):
+        front = MetricsRegistry()
+        front.set_gauge("worker_0_queue_depth", 2)
+        merged = aggregate_snapshots(
+            [front.snapshot(), {"counters": {}, "histograms": {}}])
+        assert merged["gauges"] == {"worker_0_queue_depth": 2}
+
+    def test_no_gauges_key_when_none_present(self):
+        merged = aggregate_snapshots(
+            [{"counters": {}, "histograms": {}}])
+        assert "gauges" not in merged

@@ -1,0 +1,92 @@
+"""Registry generations and read-only snapshots (the worker view)."""
+
+import shutil
+
+import pytest
+
+from repro.service.registry import ModelRegistry, RegistrySnapshot
+
+
+@pytest.fixture()
+def own_models_dir(models_dir, tmp_path):
+    """A private mutable copy of the trained model directory."""
+    directory = tmp_path / "models"
+    shutil.copytree(models_dir, directory)
+    return directory
+
+
+class TestGeneration:
+    def test_initial_scan_counts_one_generation_per_model(
+            self, own_models_dir):
+        registry = ModelRegistry(own_models_dir)
+        assert registry.generation == len(registry)
+
+    def test_reload_bumps_the_generation(self, own_models_dir):
+        registry = ModelRegistry(own_models_dir)
+        before = registry.generation
+        path = own_models_dir / "kw-a100.json"
+        # rewrite with different bytes so (mtime_ns, size) must move
+        path.write_text(path.read_text() + " ")
+        registry.get("kw-a100")
+        assert registry.generation == before + 1
+
+    def test_removal_bumps_the_generation(self, own_models_dir):
+        registry = ModelRegistry(own_models_dir)
+        before = registry.generation
+        (own_models_dir / "kw-a100.json").unlink()
+        with pytest.raises(KeyError):
+            registry.get("kw-a100")
+        assert registry.generation == before + 1
+
+    def test_untouched_access_keeps_the_generation(self, own_models_dir):
+        registry = ModelRegistry(own_models_dir)
+        before = registry.generation
+        registry.get("kw-a100")
+        registry.scan()
+        assert registry.generation == before
+
+
+class TestSnapshot:
+    def test_mirrors_the_registry_surface(self, own_models_dir):
+        registry = ModelRegistry(own_models_dir)
+        snapshot = registry.snapshot()
+        assert isinstance(snapshot, RegistrySnapshot)
+        assert snapshot.generation == registry.generation
+        assert snapshot.names() == registry.names()
+        assert len(snapshot) == len(registry)
+        assert "kw-a100" in snapshot
+        assert "nope" not in snapshot
+        assert snapshot.describe() == registry.describe()
+        assert snapshot.reload_count() == registry.reload_count()
+        assert snapshot.errors == registry.errors
+        assert snapshot.first_of_kind("igkw").name == "igkw"
+        assert snapshot.first_of_kind("missing-kind") is None
+
+    def test_get_serves_the_same_entry(self, own_models_dir):
+        registry = ModelRegistry(own_models_dir)
+        snapshot = registry.snapshot()
+        assert snapshot.get("kw-a100") is registry.get("kw-a100")
+
+    def test_unknown_model_message_matches_the_registry(
+            self, own_models_dir):
+        registry = ModelRegistry(own_models_dir)
+        snapshot = registry.snapshot()
+        with pytest.raises(KeyError) as from_registry:
+            registry.get("nope")
+        with pytest.raises(KeyError) as from_snapshot:
+            snapshot.get("nope")
+        # workers answer 404s with exactly the in-process error text
+        assert str(from_snapshot.value) == str(from_registry.value)
+
+    def test_frozen_against_later_mutations(self, own_models_dir):
+        registry = ModelRegistry(own_models_dir)
+        snapshot = registry.snapshot()
+        generation = snapshot.generation
+        (own_models_dir / "kw-a100.json").unlink()
+        registry.scan()
+        # the live registry moved on; the snapshot did not
+        assert registry.generation > generation
+        assert snapshot.generation == generation
+        assert "kw-a100" in snapshot
+        assert "kw-a100" not in registry
+        assert snapshot.get("kw-a100").name == "kw-a100"

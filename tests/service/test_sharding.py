@@ -1,0 +1,113 @@
+"""Consistent-hash ring: determinism, balance, minimal movement."""
+
+import pytest
+
+from repro.service.sharding import DEFAULT_REPLICAS, HashRing, shard_key
+
+
+def _keys(count=400):
+    return [shard_key(f"model-{index % 5}", f"network-{index}")
+            for index in range(count)]
+
+
+class TestShardKey:
+    def test_separator_prevents_collisions(self):
+        # ("ab", "c") and ("a", "bc") must not share a shard key
+        assert shard_key("ab", "c") != shard_key("a", "bc")
+
+    def test_batch_size_not_part_of_the_key(self):
+        # affinity is per (model, network): every batch size of a pair
+        # lands on the same worker and shares its plan cache
+        assert shard_key("m", "n") == shard_key("m", "n")
+
+
+class TestDeterminism:
+    def test_lookup_stable_across_instances(self):
+        first = HashRing(range(4))
+        second = HashRing(range(4))
+        for key in _keys():
+            assert first.lookup(key) == second.lookup(key)
+
+    def test_lookup_independent_of_insertion_order(self):
+        forward = HashRing([0, 1, 2, 3])
+        backward = HashRing([3, 2, 1, 0])
+        for key in _keys():
+            assert forward.lookup(key) == backward.lookup(key)
+
+
+class TestBalance:
+    def test_every_slot_owns_a_fair_share(self):
+        ring = HashRing(range(4))
+        counts = {slot: 0 for slot in range(4)}
+        for key in _keys(2000):
+            counts[ring.lookup(key)] += 1
+        for slot, count in counts.items():
+            # 2000 keys over 4 slots: each should own a real share, not
+            # a sliver — virtual replicas keep the arcs comparable
+            assert count > 200, (slot, counts)
+
+
+class TestMinimalMovement:
+    def test_removing_a_slot_only_moves_its_keys(self):
+        full = HashRing(range(4))
+        reduced = HashRing(range(4))
+        reduced.remove(2)
+        for key in _keys(1000):
+            owner = full.lookup(key)
+            if owner != 2:
+                assert reduced.lookup(key) == owner
+            else:
+                assert reduced.lookup(key) != 2
+
+    def test_rejoin_restores_the_original_owner(self):
+        ring = HashRing(range(4))
+        before = {key: ring.lookup(key) for key in _keys()}
+        ring.remove(1)
+        ring.add(1)
+        assert {key: ring.lookup(key) for key in before} == before
+
+    def test_successors_start_at_the_owner(self):
+        ring = HashRing(range(4))
+        for key in _keys(50):
+            chain = list(ring.successors(key))
+            assert chain[0] == ring.lookup(key)
+            assert sorted(chain) == [0, 1, 2, 3]   # all distinct slots
+
+    def test_successor_is_the_failover_owner(self):
+        # the next live slot in successor order is exactly who inherits
+        # the key when the owner is removed from the ring
+        ring = HashRing(range(4))
+        for key in _keys(100):
+            owner, fallback = list(ring.successors(key))[:2]
+            reduced = HashRing(range(4))
+            reduced.remove(owner)
+            assert reduced.lookup(key) == fallback
+
+
+class TestEdgeCases:
+    def test_empty_ring_lookup_raises(self):
+        with pytest.raises(LookupError, match="no slots"):
+            HashRing().lookup("key")
+
+    def test_empty_ring_successors_is_empty(self):
+        assert list(HashRing().successors("key")) == []
+
+    def test_single_slot_owns_everything(self):
+        ring = HashRing([7])
+        assert all(ring.lookup(key) == 7 for key in _keys(50))
+
+    def test_add_and_remove_are_idempotent(self):
+        ring = HashRing([0, 1])
+        ring.add(0)
+        assert len(ring) == 2
+        ring.remove(5)
+        assert len(ring) == 2
+        assert 0 in ring and 5 not in ring
+        assert ring.slots() == [0, 1]
+
+    def test_replicas_must_be_positive(self):
+        with pytest.raises(ValueError, match="replicas"):
+            HashRing(replicas=0)
+
+    def test_default_replicas_is_plural(self):
+        assert DEFAULT_REPLICAS >= 8
