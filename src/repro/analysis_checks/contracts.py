@@ -42,6 +42,15 @@ cross-checks:
          (``repro.studies.fleet_study.STUDY_POLICIES``), and the study
          names no policy the registry lacks — registering a policy
          without studying it (or vice versa) is a silent coverage gap.
+- CT011  the plan optimizer and the AOT compile store
+         (:mod:`repro.core.planopt`) never change a number: a plan
+         round-tripped through a persisted bundle — line pool interning,
+         lowering-matrix adoption, fused fallback warm-up — evaluates
+         bit-exactly equal to the freshly compiled plan, a single-target
+         ``constant_fold`` replays ``bind``'s arithmetic, and a bundle
+         whose model file changed underneath is refused outright.
+         (Shares CT007's trained campaign, so it runs only on the full
+         sweep.)
 
 Failures are reported as :class:`~repro.analysis_checks.findings.Finding`
 records (all error severity), deduplicated per layer kind / kernel so a
@@ -68,6 +77,8 @@ CONTRACT_RULES: Dict[str, str] = {
     "CT008": "versioned documents keep lineage and sufficient stats",
     "CT009": "batch evaluate_many matches scalar evaluate bit-exactly",
     "CT010": "the fleet study exercises every registered policy",
+    "CT011": "optimized and AOT-loaded plans are bit-exact with the "
+             "unoptimized path",
 }
 
 #: finding rule id -> module whose contract it checks (finding path).
@@ -82,6 +93,7 @@ _LOCUS = {
     "CT008": "repro.calibration.store",
     "CT009": "repro.core.plan",
     "CT010": "repro.fleet.policies",
+    "CT011": "repro.core.planopt",
 }
 
 
@@ -299,6 +311,7 @@ def _check_plan_parity(networks: Dict[str, object], batch_size: int,
             return f"evaluate_many {batch!r} != scalar {scalar!r}"
         return None
 
+    fresh_plans: Dict[Tuple[str, str], object] = {}
     for name, network in networks.items():
         for kind in ("e2e", "lw", "kw", "igkw"):
             try:
@@ -310,6 +323,7 @@ def _check_plan_parity(networks: Dict[str, object], batch_size: int,
                 sink.record("CT007", f"{name}/{kind}",
                             f"prediction failed: {exc}")
                 continue
+            fresh_plans[(name, kind)] = plan
             # the contract IS exact equality: the plan must replay the
             # reference accumulation, not approximate it
             if compiled != reference:  # repro: noqa[FP001]
@@ -323,6 +337,90 @@ def _check_plan_parity(networks: Dict[str, object], batch_size: int,
                 continue
             if mismatch is not None:
                 sink.record("CT009", f"{name}/{kind}", mismatch)
+
+    _check_aot_parity(dict(models, igkw=igkw), networks, fresh_plans,
+                      batch_size, grid, sink)
+
+
+def _check_aot_parity(models: Dict[str, object],
+                      networks: Dict[str, object],
+                      fresh_plans: Dict[Tuple[str, str], object],
+                      batch_size: int, grid, sink: _Recorder) -> None:
+    """CT011: the optimizer and the compile store never change a number.
+
+    Persists CT007's trained models, AOT-compiles a bundle per model
+    over the same zoo networks, reloads the bundles (which installs the
+    persisted lowering matrices and fuses the fallback lines), and
+    compares every loaded plan's evaluation against the freshly
+    compiled plan with exact float equality. Also checks that a
+    single-target ``constant_fold`` replays ``bind``'s arithmetic and
+    that a bundle whose model bytes changed underneath is refused.
+    """
+    import json as json_mod
+    import tempfile
+    from pathlib import Path
+
+    from repro.core import planopt
+    from repro.core.persistence import save_model
+
+    try:
+        with tempfile.TemporaryDirectory() as scratch:
+            for kind, model in models.items():
+                path = Path(scratch) / f"{kind}.json"
+                save_model(model, path)
+                document = planopt.build_bundle(
+                    model, path, list(networks.values()), [batch_size])
+                planopt.save_bundle(document, path)
+                loaded = planopt.load_bundle(path, model)
+                for name in networks:
+                    plan = loaded.get((name, batch_size))
+                    fresh = fresh_plans.get((name, kind))
+                    if plan is None or fresh is None:
+                        sink.record("CT011", f"{name}/{kind}",
+                                    "bundle does not cover the network")
+                        continue
+                    if kind == "igkw":
+                        revived = plan.evaluate_grid(grid)
+                        expected = fresh.evaluate_grid(grid)
+                    else:
+                        revived = plan.evaluate()
+                        expected = fresh.evaluate()
+                    # the contract IS exact equality: the AOT plan must
+                    # replay the fresh arithmetic, not approximate it
+                    if revived != expected:  # repro: noqa[FP001]
+                        sink.record(
+                            "CT011", f"{name}/{kind}",
+                            f"AOT plan {revived!r} != fresh {expected!r}")
+            # constant_fold: one distinct target folds to bind(), which
+            # the plan contract already pins bit-exact to evaluate(gpu=)
+            point = grid[0]
+            for name in networks:
+                fresh = fresh_plans.get((name, "igkw"))
+                if fresh is None:
+                    continue
+                folded = planopt.constant_fold(fresh, [point, point])
+                value = folded.evaluate()
+                expected = fresh.evaluate(gpu=point)
+                if value != expected:  # repro: noqa[FP001]
+                    sink.record("CT011", f"{name}/igkw",
+                                f"constant_fold {value!r} != bind path "
+                                f"{expected!r}")
+            # provenance: flip one byte of a model file and the bundle
+            # must be refused, not served
+            path = Path(scratch) / "e2e.json"
+            document = json_mod.loads(path.read_text())
+            document["fit"]["intercept"] += 1.0
+            path.write_text(json_mod.dumps(document))
+            try:
+                planopt.load_bundle(path, models["e2e"])
+            except planopt.BundleMismatch:
+                pass
+            else:
+                sink.record("CT011", "provenance",
+                            "a bundle with stale provenance loaded "
+                            "instead of being refused")
+    except Exception as exc:  # repro: noqa[EX001] reported as finding
+        sink.record("CT011", "aot-store", f"AOT round-trip raised {exc!r}")
 
 
 def _check_versioned_store(sink: _Recorder) -> None:

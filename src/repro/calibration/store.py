@@ -193,7 +193,40 @@ class ModelStore:
         tmp = head.with_name(f".{head.name}.promote.tmp")
         tmp.write_bytes(payload)
         tmp.replace(head)
+        self._refresh_bundle(head)
         return head
+
+    @staticmethod
+    def _refresh_bundle(head: Path) -> None:
+        """Keep the head's AOT plan bundle in step with a promote.
+
+        A bundle records the SHA-256 of the model bytes it was compiled
+        from, so after the head flips the old bundle is provably stale
+        and loaders would refuse it anyway. Recompile it for the new
+        head over the same (network, batch) coverage; if anything goes
+        wrong, delete it — a missing bundle only costs lazy compilation,
+        a wrong one would cost correctness.
+        """
+        from repro import zoo
+        from repro.core import planopt
+        from repro.core.persistence import load_model
+
+        coverage = planopt.bundle_coverage(head)
+        if not coverage:
+            return
+        try:
+            model = load_model(head)
+            names = sorted({network for network, _ in coverage})
+            batches = sorted({batch for _, batch in coverage})
+            document = planopt.build_bundle(
+                model, head, [zoo.build(network) for network in names],
+                batches)
+            planopt.save_bundle(document, head)
+        except Exception:  # repro: noqa[EX001] never serve a stale bundle
+            try:
+                planopt.bundle_path_for(head).unlink()
+            except OSError:
+                pass
 
     def rollback(self, name: str) -> int:
         """Re-promote the live version's parent; returns its number."""

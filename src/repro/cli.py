@@ -246,6 +246,39 @@ def _add_fleet(subparsers) -> None:
                    help="also write the JSON report to this file")
 
 
+def _add_compile(subparsers) -> None:
+    p = subparsers.add_parser(
+        "compile",
+        help="ahead-of-time compile a model directory's prediction "
+             "plans into per-model bundles (plans/<name>.plan.json); "
+             "the server, calibrator and fleet then load matrices "
+             "instead of re-lowering on cold start")
+    p.add_argument("--models", default=None,
+                   help="directory of saved model JSONs (required "
+                        "unless --smoke, which trains its own)")
+    p.add_argument("--all", action="store_true",
+                   help="compile every hosted model")
+    p.add_argument("--model", action="append", dest="only_models",
+                   default=None,
+                   help="compile only this model (repeatable)")
+    p.add_argument("--network", action="append", dest="networks",
+                   default=None,
+                   help="cover only this network (repeatable; default: "
+                        "every named zoo network)")
+    p.add_argument("--batch-size", action="append", dest="batch_sizes",
+                   type=int, default=None,
+                   help="batch size to cover (repeatable; default: 1)")
+    p.add_argument("--verify", action="store_true",
+                   help="reload every written bundle and assert its "
+                        "plans evaluate bit-exactly equal to freshly "
+                        "lowered ones")
+    p.add_argument("--smoke", action="store_true",
+                   help="CI gate: train a small model set into a temp "
+                        "store, compile --all --verify over it, and "
+                        "assert the serving registry preloads the "
+                        "bundles")
+
+
 def _add_check(subparsers) -> None:
     p = subparsers.add_parser(
         "check",
@@ -320,6 +353,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_loadgen(subparsers)
     _add_calibrate(subparsers)
     _add_fleet(subparsers)
+    _add_compile(subparsers)
     _add_check(subparsers)
     _add_reproduce(subparsers)
     return parser
@@ -717,8 +751,15 @@ def _cmd_fleet(args) -> int:
             return 2
         networks = [zoo.build(name) for name in config.workload.networks]
         specs = [gpu(name) for name in config.gpu_types]
+        # a warm AOT store (repro compile) prices the fleet without
+        # re-lowering; load_plans degrades to {} when absent or stale
+        from repro.core.planopt import load_plans
+        plans = load_plans(args.model, model)
+        if plans:
+            print(f"(loaded {len(plans)} AOT plan(s) from "
+                  f"{args.model}'s bundle)")
         table = ExecTable.from_model(model, networks, specs,
-                                     config.max_batch)
+                                     config.max_batch, plans=plans)
     elif args.config is None:
         table = fleet_study.study_table(config.max_batch)
     else:
@@ -746,6 +787,78 @@ def _cmd_fleet(args) -> int:
             handle.write(report.to_json() + "\n")
         print(f"(JSON report written to {args.out})")
     return 0
+
+
+def _compile_smoke() -> int:
+    """Train a tiny model set, AOT-compile it, and serve from the store."""
+    import tempfile
+
+    from repro.core import planopt
+    from repro.core.e2e import EndToEndModel
+    from repro.core.kernelwise import KernelWiseModel
+    from repro.core.layerwise import LayerWiseModel
+    from repro.core.persistence import save_model
+    from repro.service import ModelRegistry, PredictionService
+
+    networks = ["resnet18", "mobilenet_v2"]
+    roster = [zoo.build(name) for name in networks]
+    specs = [gpu("A100"), gpu("TITAN RTX")]
+    data = dataset.build_dataset(roster, specs, batch_sizes=[64])
+    a100 = data.for_gpu("A100")
+    with tempfile.TemporaryDirectory() as scratch:
+        save_model(EndToEndModel().train(a100), f"{scratch}/e2e.json")
+        save_model(LayerWiseModel().train(a100), f"{scratch}/lw.json")
+        save_model(KernelWiseModel().train(a100), f"{scratch}/kw.json")
+        save_model(InterGPUKernelWiseModel().train(data, specs),
+                   f"{scratch}/igkw.json")
+        report = planopt.compile_store(scratch, network_names=networks,
+                                       batch_sizes=[1, 64], verify=True)
+        print(report.render())
+        if not report.ok:
+            return 1
+        # the serving registry must preload every bundle it just wrote
+        registry = ModelRegistry(scratch)
+        unloaded = [name for name in registry.names()
+                    if len(registry.get(name).plans) != 4]
+        if unloaded:
+            print(f"error: registry did not preload AOT plans for "
+                  f"{unloaded}", file=sys.stderr)
+            return 1
+        service = PredictionService(registry)
+        response = service.predict({"model": "igkw", "network": networks[0],
+                                    "batch_size": 64, "gpu": "V100"})
+        hits = service.metrics.counter("aot_plan_hits_total")
+        if response.get("cached") or not response.get("plan_cached") \
+                or hits != 1:
+            print("error: cold predict did not serve from the AOT store",
+                  file=sys.stderr)
+            return 1
+        print(f"compile smoke: {len(registry)} models preloaded, cold "
+              f"predict served from the store "
+              f"({response['predicted_us']:.1f} us on V100)")
+    return 0
+
+
+def _cmd_compile(args) -> int:
+    from repro.core import planopt
+
+    if args.smoke:
+        return _compile_smoke()
+    if args.models is None:
+        print("error: --models is required (only --smoke trains its "
+              "own model set)", file=sys.stderr)
+        return 2
+    if not args.all and not args.only_models:
+        print("error: pass --all or one or more --model names",
+              file=sys.stderr)
+        return 2
+    report = planopt.compile_store(
+        args.models, network_names=args.networks,
+        batch_sizes=args.batch_sizes or [1],
+        model_names=None if args.all else args.only_models,
+        verify=args.verify)
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 def _drop_superseded_rc001(findings, covered):
@@ -896,6 +1009,7 @@ _COMMANDS = {
     "loadgen": _cmd_loadgen,
     "calibrate": _cmd_calibrate,
     "fleet": _cmd_fleet,
+    "compile": _cmd_compile,
     "check": _cmd_check,
     "reproduce": _cmd_reproduce,
 }

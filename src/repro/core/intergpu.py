@@ -49,7 +49,18 @@ class KernelTransfer:
     gpu_bandwidths: Mapping[str, float]
 
     def line_for_bandwidth(self, bandwidth_gbs: float) -> LinearFit:
-        """Synthesise this kernel's line for a GPU with the given bandwidth."""
+        """Synthesise this kernel's line for a GPU with the given bandwidth.
+
+        ``bandwidth_gbs`` must be positive: both synthesis branches
+        divide by it, so a non-positive value is rejected up front with
+        one deterministic error instead of a branch-dependent
+        ``ZeroDivisionError`` (or, worse, a silent ``inf`` on the
+        vectorised path).
+        """
+        if bandwidth_gbs <= 0.0:
+            raise ValueError(
+                f"kernel {self.kernel_name!r}: bandwidth must be "
+                f"positive, got {bandwidth_gbs!r}")
         rate = self.rate_fit.predict(bandwidth_gbs)
         if rate <= 0.0:
             # extrapolation broke down: scale the nearest observed GPU's
@@ -74,14 +85,18 @@ class KernelTransfer:
         Bit-exact with the scalar method: the healthy-rate path is the
         same ``slope * x + intercept`` arithmetic elementwise in IEEE
         doubles, and any point whose extrapolated rate is non-positive
-        is delegated to the scalar ratio-scaling branch.
+        is delegated to the scalar ratio-scaling branch. Non-positive
+        bandwidths are masked out of the vectorised columns (they would
+        otherwise divide to a silent ``inf``) and delegated to the
+        scalar method, which raises the same ``ValueError`` for them —
+        a degenerate point never contaminates a healthy column.
         """
         bandwidths = np.asarray(bandwidths_gbs, dtype=np.float64)
         rates = (self.rate_fit.slope * bandwidths
                  + self.rate_fit.intercept)
         slopes = np.empty_like(bandwidths)
         intercepts = np.empty_like(bandwidths)
-        good = rates > 0.0
+        good = (rates > 0.0) & (bandwidths > 0.0)
         if good.any():
             slopes[good] = 1.0 / rates[good]
             intercepts[good] = np.maximum(

@@ -160,9 +160,29 @@ class KernelPlan(PredictionPlan):
         self.layers = tuple(layers)
         self.lw_model = lw_model
         self._coverage: Optional[CoverageReport] = None
+        self._stage_sums: Optional[Tuple[float, float]] = None
 
     def evaluate(self, gpu: Optional[GPUSpec] = None) -> float:
-        return sum(layer.evaluate() for layer in self.layers)
+        return self._sums()[0]
+
+    def _sums(self) -> Tuple[float, float]:
+        """Cached (total, fallback-stage total), one pass in layer order.
+
+        Accumulates the exact float sequences that ``coverage()``'s
+        ``total_us`` and fallback ``time_share`` numerator would sum, so
+        the serving tier reads totals off this cache instead of building
+        a :class:`CoverageReport` of per-layer records per first request.
+        """
+        if self._stage_sums is None:
+            total = 0.0
+            fallback = 0.0
+            for layer in self.layers:
+                time_us = layer.evaluate()
+                total += time_us
+                if layer.stage == FALLBACK:
+                    fallback += time_us
+            self._stage_sums = (total, fallback)
+        return self._stage_sums
 
     def evaluate_many(self, gpus: Sequence[Optional[GPUSpec]]
                       ) -> List[float]:
@@ -180,7 +200,10 @@ class KernelPlan(PredictionPlan):
 
     def fallback_time_share(self) -> float:
         """Fraction of the predicted time on the layer-wise fallback."""
-        return self.coverage().time_share(FALLBACK)
+        total, fallback = self._sums()
+        if total == 0:
+            return 0.0
+        return fallback / total
 
 
 class OverheadPlan(PredictionPlan):
@@ -272,6 +295,48 @@ class RetargetablePlan(PredictionPlan):
              for name, _ in layer.kernel_terms}))
         self._batch: Optional[_BatchLowering] = None
         self._fallback_fits: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+
+    @property
+    def used_kernels(self) -> Tuple[str, ...]:
+        """Every kernel name the mapped layers reference, sorted."""
+        return self._used_kernels
+
+    def lowering(self) -> _BatchLowering:
+        """The plan's batch lowering, built on first use and cached."""
+        return self._lowering()
+
+    def install_lowering(self, lowering: _BatchLowering) -> None:
+        """Adopt a precomputed batch lowering (the AOT store's matrices).
+
+        The optimizer persists lowered matrices so a cold service loads
+        them instead of rebuilding; the shape checks reject a lowering
+        that does not belong to this plan's structure.
+        """
+        if lowering.n_layers != len(self.layers):
+            raise ValueError(
+                f"lowering covers {lowering.n_layers} layers; this plan "
+                f"has {len(self.layers)}")
+        if lowering.term_kidx.size and \
+                int(lowering.term_kidx.max()) > len(self._used_kernels):
+            raise ValueError(
+                "lowering kernel indices exceed this plan's kernel set")
+        self._batch = lowering
+
+    def install_fallback_lines(self, lw, slopes: np.ndarray,
+                               intercepts: np.ndarray) -> None:
+        """Pre-warm one LayerWiseModel's fallback line vectors.
+
+        The optimizer fuses every plan's per-model fallback lines into
+        one shared matrix and installs each plan's gathered rows here;
+        the values are identical to what :meth:`_fallback_line_arrays`
+        would build, so evaluation stays bit-exact.
+        """
+        expected = (len(self._lowering().fallback_kinds),)
+        if slopes.shape != expected or intercepts.shape != expected:
+            raise ValueError(
+                f"fallback line vectors must have shape {expected}, got "
+                f"{slopes.shape} and {intercepts.shape}")
+        self._fallback_fits[id(lw)] = (slopes, intercepts)
 
     def bind(self, target: GPUSpec) -> KernelPlan:
         """Resolve this plan's lines for one target GPU."""

@@ -1,0 +1,674 @@
+"""Plan IR optimizer and the ahead-of-time compile store.
+
+The compile/evaluate split (:mod:`repro.core.plan`) pays the lowering
+cost — the graph walk, signature resolution, kernel-table lookups —
+once per process. This module moves that cost out of the process
+entirely:
+
+- **Optimizer passes** over compiled plans: identical regression lines
+  referenced by different layers and different networks are interned
+  into one :class:`LinePool` (the zoo's networks share most of their
+  kernels, so the pool is far smaller than the sum of term references);
+  a retargetable plan asked for exactly one target is constant-folded
+  into a fully-bound :class:`~repro.core.plan.KernelPlan`
+  (:func:`constant_fold`); and the per-plan, per-LayerWiseModel
+  fallback line caches are fused into one matrix per model from which
+  every plan gathers its rows (:class:`FallbackLinePool`).
+- **An AOT compile store**: :func:`compile_store` lowers every
+  (model, network, batch) combination once and persists the optimized
+  plans — including the retargetable plans' batch-lowering matrices —
+  next to the model files, in a ``plans/`` section the serving
+  registry's top-level glob never sees. A cold service, the calibration
+  promote path, and the fleet's
+  :meth:`~repro.fleet.exec_table.ExecTable.from_model` then *load*
+  matrices instead of re-lowering.
+
+Every optimized or AOT-loaded plan is **bit-exact** with the
+unoptimized path: interning and fusion only share value-identical
+floats, plan documents round-trip through JSON's shortest-round-trip
+float repr, and the accumulation order is untouched. ``repro check``
+enforces this as contract CT011.
+
+Bundles carry a provenance stamp — the model file's registry freshness
+stamp plus a SHA-256 digest of its bytes. A bundle whose digest no
+longer matches the model file is stale (the model was retrained or
+promoted underneath it) and is refused at load time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.e2e import EndToEndModel
+from repro.core.intergpu import InterGPUKernelWiseModel
+from repro.core.kernelwise import KernelTablePredictor
+from repro.core.layerwise import LayerWiseModel
+from repro.core.linreg import LinearFit
+from repro.core.persistence import (
+    FORMAT_VERSION,
+    load_document,
+    load_model,
+    save_document,
+)
+from repro.core.plan import (
+    FlopsPlan,
+    KernelPlan,
+    LayerSumPlan,
+    PlanLayer,
+    PredictionPlan,
+    RetargetableLayer,
+    RetargetablePlan,
+    _BatchLowering,
+)
+
+#: Schema version of the plan-bundle payload (independent of the model
+#: document's ``format_version``, which bundles also carry).
+PLAN_FORMAT_VERSION = 1
+
+#: Subdirectory of a model directory holding the AOT plan bundles. The
+#: serving registry globs ``*.json`` at the top level only, so bundles
+#: are invisible to it as models.
+PLANS_DIR = "plans"
+
+
+class BundleMismatch(ValueError):
+    """A plan bundle that does not belong to the model file next to it."""
+
+
+# -- line pool ----------------------------------------------------------------
+
+class LinePool:
+    """Interns :class:`~repro.core.linreg.LinearFit` values by identity
+    of their numbers: every distinct (slope, intercept, r2, n) tuple is
+    stored once, however many layers across however many networks
+    reference it.
+    """
+
+    def __init__(self) -> None:
+        self._fits: List[LinearFit] = []
+        self._index: Dict[Tuple[float, float, float, int], int] = {}
+        self.references = 0
+
+    def intern(self, fit: LinearFit) -> int:
+        """The pool index of this fit's value, adding it if new."""
+        self.references += 1
+        key = (fit.slope, fit.intercept, fit.r2, fit.n_samples)
+        found = self._index.get(key)
+        if found is None:
+            found = len(self._fits)
+            self._fits.append(fit)
+            self._index[key] = found
+        return found
+
+    def fit_at(self, index: int) -> LinearFit:
+        return self._fits[index]
+
+    def __len__(self) -> int:
+        return len(self._fits)
+
+    def to_list(self) -> List[Dict]:
+        return [{"slope": fit.slope, "intercept": fit.intercept,
+                 "r2": fit.r2, "n": fit.n_samples} for fit in self._fits]
+
+    @classmethod
+    def from_list(cls, data: Sequence[Dict]) -> "LinePool":
+        pool = cls()
+        for entry in data:
+            pool._fits.append(LinearFit(entry["slope"], entry["intercept"],
+                                        entry["r2"], entry["n"]))
+        return pool
+
+
+class LayerBodyPool:
+    """Interns layer *bodies* — everything about a plan layer except its
+    name. Deep networks repeat the same block shape dozens of times and
+    sibling networks (the densenet / resnet families) share shapes too,
+    so the bundle stores each distinct body once and every layer is just
+    ``[name, body_index]``. On revive, each body is rebuilt exactly once
+    and its (immutable) term tuples are shared by every referencing
+    layer — which is what makes loading a bundle much cheaper than
+    re-lowering.
+    """
+
+    def __init__(self) -> None:
+        self._bodies: List[Dict] = []
+        self._index: Dict[str, int] = {}
+        self._revived: Dict[Tuple[str, int], Tuple] = {}
+        self.references = 0
+
+    def intern(self, body: Dict) -> int:
+        """The pool index of this body, adding it if new."""
+        self.references += 1
+        key = json.dumps(body, sort_keys=True)
+        found = self._index.get(key)
+        if found is None:
+            found = len(self._bodies)
+            self._bodies.append(body)
+            self._index[key] = found
+        return found
+
+    def revive(self, plan_type: str, index: int, build) -> Tuple:
+        """The built form of one body, constructed at most once."""
+        key = (plan_type, index)
+        built = self._revived.get(key)
+        if built is None:
+            built = build(self._bodies[index])
+            self._revived[key] = built
+        return built
+
+    def __len__(self) -> int:
+        return len(self._bodies)
+
+    def to_list(self) -> List[Dict]:
+        return list(self._bodies)
+
+    @classmethod
+    def from_list(cls, data: Sequence[Dict]) -> "LayerBodyPool":
+        pool = cls()
+        pool._bodies = list(data)
+        return pool
+
+
+# -- optimizer passes ---------------------------------------------------------
+
+def constant_fold(plan: PredictionPlan, targets: Sequence) -> PredictionPlan:
+    """Fold a retargetable plan bound for exactly one known target.
+
+    When every target in ``targets`` is the same GPU, the per-call line
+    synthesis of ``evaluate(gpu=...)`` is constant — ``bind`` resolves
+    it once and the returned :class:`~repro.core.plan.KernelPlan`
+    evaluates the identical arithmetic with no per-call work. Plans
+    that are not retargetable, or target sets that are not singular,
+    are returned unchanged.
+    """
+    if not isinstance(plan, RetargetablePlan):
+        return plan
+    distinct = {(t.name, t.bandwidth_gbs) for t in targets}
+    if len(distinct) != 1:
+        return plan
+    return plan.bind(list(targets)[0])
+
+
+class FallbackLinePool:
+    """One fused fallback-line matrix per LayerWiseModel.
+
+    ``RetargetablePlan`` keeps a per-plan cache of (slope, intercept)
+    vectors per LayerWiseModel; across a model's plans those vectors
+    gather from the same few fits. This pool builds each model's full
+    (kinds + fallback) line matrix exactly once and installs every
+    plan's rows as gathered views of it — value-identical to what the
+    plan would lazily build, so evaluation stays bit-exact.
+    """
+
+    def __init__(self) -> None:
+        # id(lw) -> (kind -> row, slopes, intercepts); the fallback fit
+        # occupies the final row
+        self._matrices: Dict[int, Tuple[Dict[str, int], np.ndarray,
+                                        np.ndarray]] = {}
+        self.plans_warmed = 0
+        self.rows_gathered = 0
+
+    def _matrix_for(self, lw: LayerWiseModel):
+        cached = self._matrices.get(id(lw))
+        if cached is None:
+            kinds = sorted(lw.fits)
+            rows = {kind: i for i, kind in enumerate(kinds)}
+            fits = [lw.fits[kind] for kind in kinds] + [lw.fallback]
+            cached = (rows,
+                      np.asarray([fit.slope for fit in fits]),
+                      np.asarray([fit.intercept for fit in fits]))
+            self._matrices[id(lw)] = cached
+        return cached
+
+    def warm(self, plan: RetargetablePlan,
+             models: Sequence[LayerWiseModel]) -> None:
+        """Install every given LayerWiseModel's fused rows on the plan."""
+        lowering = plan.lowering()
+        for lw in models:
+            rows, slopes, intercepts = self._matrix_for(lw)
+            fallback_row = len(slopes) - 1
+            gather = np.asarray(
+                [rows.get(kind, fallback_row)
+                 for kind in lowering.fallback_kinds], dtype=np.intp)
+            plan.install_fallback_lines(lw, slopes[gather],
+                                        intercepts[gather])
+            self.rows_gathered += int(gather.size)
+        self.plans_warmed += 1
+
+    @property
+    def models_fused(self) -> int:
+        return len(self._matrices)
+
+
+def optimize_plans(plans: Sequence[PredictionPlan]) -> FallbackLinePool:
+    """Run the in-memory passes over a model's compiled plans.
+
+    Precomputes each retargetable plan's batch lowering and fuses the
+    fallback line caches across them; returns the pool for reporting.
+    """
+    pool = FallbackLinePool()
+    for plan in plans:
+        if not isinstance(plan, RetargetablePlan):
+            continue
+        plan.lowering()
+        models = [plan._nearest_lw(spec) for spec in plan._train_gpus]
+        pool.warm(plan, [lw for lw in dict.fromkeys(models)
+                         if lw is not None])
+    return pool
+
+
+# -- plan (de)serialisation ---------------------------------------------------
+
+def plan_to_dict(plan: PredictionPlan, pool: LinePool,
+                 bodies: LayerBodyPool) -> Dict:
+    """Lower one compiled plan to a JSON-compatible document.
+
+    Every regression line is stored as an index into ``pool`` and every
+    layer body (kind, signature, stage, terms — everything but the
+    unique layer name) as an index into ``bodies``; the retargetable
+    plan additionally ships its batch-lowering matrices so a loading
+    process adopts them instead of rebuilding.
+    """
+    base = {"network": plan.network_name, "batch_size": plan.batch_size,
+            "model_name": plan.model_name}
+    if isinstance(plan, FlopsPlan):
+        return dict(base, type="flops", total_flops=plan.total_flops,
+                    fit=pool.intern(plan.fit))
+    if isinstance(plan, LayerSumPlan):
+        return dict(base, type="layersum",
+                    terms=[[flops, pool.intern(fit)]
+                           for flops, fit in plan.terms])
+    if isinstance(plan, RetargetablePlan):
+        lowering = plan.lowering()
+        return dict(base, type="retargetable", layers=[
+            [layer.layer_name, bodies.intern(
+                {"kind": layer.kind, "signature": layer.signature,
+                 "stage": layer.stage,
+                 "terms": (None if layer.kernel_terms is None
+                           else [[name, value]
+                                 for name, value in layer.kernel_terms]),
+                 "flops": layer.flops})]
+            for layer in plan.layers],
+            used_kernels=list(plan.used_kernels),
+            lowering={
+                "mapped_idx": lowering.mapped_idx.tolist(),
+                "term_values": lowering.term_values.tolist(),
+                "term_kidx": lowering.term_kidx.tolist(),
+                "fallback_idx": lowering.fallback_idx.tolist(),
+                "fallback_kinds": list(lowering.fallback_kinds),
+                "fallback_flops": lowering.fallback_flops.tolist(),
+            })
+    if isinstance(plan, KernelPlan):
+        return dict(base, type="kernel", layers=[
+            [layer.layer_name, bodies.intern(
+                {"kind": layer.kind, "signature": layer.signature,
+                 "stage": layer.stage,
+                 "terms": [[value, pool.intern(fit)]
+                           for value, fit in layer.terms],
+                 "fallback": (None if layer.fallback is None
+                              else [layer.fallback[0],
+                                    pool.intern(layer.fallback[1])])})]
+            for layer in plan.layers])
+    raise TypeError(
+        f"cannot serialise a {type(plan).__name__}; supported plan "
+        "types: flops, layersum, kernel, retargetable")
+
+
+def _revive_layer(layer_type: type, layer_name: str, body: Dict):
+    """Build one plan layer from its shared body prototype.
+
+    Same construction pickle uses for frozen dataclasses without slots
+    (``object.__new__`` plus a ``__dict__`` fill): a plan's layers are
+    the bulk of a bundle load, and skipping the frozen ``__init__`` —
+    one guarded ``object.__setattr__`` per field — makes revival ~3x
+    faster. The classes have no ``__post_init__`` to skip.
+    """
+    layer = object.__new__(layer_type)
+    layer.__dict__.update(body, layer_name=layer_name)
+    return layer
+
+
+def plan_from_dict(data: Dict, pool: LinePool, bodies: LayerBodyPool,
+                   model) -> PredictionPlan:
+    """Revive one :func:`plan_to_dict` document against its live model.
+
+    Single-GPU plans are rebuilt purely from the document and the pools
+    (JSON floats round-trip exactly, so evaluation is bit-exact); the
+    retargetable plan reattaches to ``model``'s transfer tables and
+    layer-wise fallbacks and adopts the persisted lowering matrices.
+    Repeated layer bodies are built once and shared, which is most of
+    the loading speedup over re-lowering.
+    """
+    plan_type = data["type"]
+    name = data["model_name"]
+    network, batch_size = data["network"], data["batch_size"]
+    if plan_type == "flops":
+        return FlopsPlan(name, network, batch_size, data["total_flops"],
+                         pool.fit_at(data["fit"]))
+    if plan_type == "layersum":
+        return LayerSumPlan(name, network, batch_size,
+                            tuple((flops, pool.fit_at(index))
+                                  for flops, index in data["terms"]))
+    if plan_type == "kernel":
+        def kernel_body(body: Dict) -> Dict:
+            return {"kind": body["kind"], "signature": body["signature"],
+                    "stage": body["stage"],
+                    "terms": tuple((value, pool.fit_at(index))
+                                   for value, index in body["terms"]),
+                    "fallback": (None if body["fallback"] is None
+                                 else (body["fallback"][0],
+                                       pool.fit_at(body["fallback"][1])))}
+        layers = [_revive_layer(PlanLayer, layer_name,
+                                bodies.revive("kernel", index, kernel_body))
+                  for layer_name, index in data["layers"]]
+        return KernelPlan(name, network, batch_size, layers,
+                          lw_model=getattr(model, "lw_fallback", None))
+    if plan_type == "retargetable":
+        if not isinstance(model, InterGPUKernelWiseModel):
+            raise BundleMismatch(
+                "a retargetable plan needs an igkw model to reattach to, "
+                f"got {type(model).__name__}")
+        def retargetable_body(body: Dict) -> Dict:
+            return {"kind": body["kind"], "signature": body["signature"],
+                    "stage": body["stage"],
+                    "kernel_terms": (None if body["terms"] is None
+                                     else tuple((kernel, value)
+                                                for kernel, value
+                                                in body["terms"])),
+                    "flops": body["flops"]}
+        layers = [_revive_layer(RetargetableLayer, layer_name,
+                                bodies.revive("retargetable", index,
+                                              retargetable_body))
+                  for layer_name, index in data["layers"]]
+        plan = RetargetablePlan(name, network, batch_size, layers,
+                                model.transfers, model._metric,
+                                model._lw_by_gpu, model.train_gpus)
+        if list(plan.used_kernels) != data["used_kernels"]:
+            raise BundleMismatch(
+                f"bundle plan for {network!r} references kernels "
+                "the model no longer maps the same way")
+        low = data["lowering"]
+        n_mapped = len(low["mapped_idx"])
+        term_values = np.asarray(low["term_values"], dtype=np.float64)
+        term_kidx = np.asarray(low["term_kidx"], dtype=np.intp)
+        if term_values.ndim != 2:
+            # JSON can't tell (0, k) and (n, 0) matrices from flat [];
+            # a plan with no mapped layers has no term columns either
+            term_values = term_values.reshape(n_mapped, 0)
+            term_kidx = term_kidx.reshape(n_mapped, 0)
+        plan.install_lowering(_BatchLowering(
+            len(layers),
+            np.asarray(low["mapped_idx"], dtype=np.intp),
+            term_values, term_kidx,
+            np.asarray(low["fallback_idx"], dtype=np.intp),
+            tuple(low["fallback_kinds"]),
+            np.asarray(low["fallback_flops"], dtype=np.float64)))
+        return plan
+    raise BundleMismatch(f"unknown plan type {plan_type!r}")
+
+
+# -- bundles ------------------------------------------------------------------
+
+def bundle_path_for(model_path) -> Path:
+    """Where a model file's plan bundle lives: ``plans/<stem>.plan.json``."""
+    model_path = Path(model_path)
+    return model_path.parent / PLANS_DIR / f"{model_path.stem}.plan.json"
+
+
+def _model_digest(model_path: Path) -> Tuple[str, Tuple[int, int]]:
+    payload = model_path.read_bytes()
+    stat = model_path.stat()
+    return (hashlib.sha256(payload).hexdigest(),
+            (stat.st_mtime_ns, stat.st_size))
+
+
+def _model_kind(model) -> str:
+    if isinstance(model, InterGPUKernelWiseModel):
+        return "igkw"
+    if isinstance(model, KernelTablePredictor):
+        return "kw"
+    if isinstance(model, LayerWiseModel):
+        return "lw"
+    if isinstance(model, EndToEndModel):
+        return "e2e"
+    raise TypeError(f"unrecognised model type {type(model).__name__}")
+
+
+def build_bundle(model, model_path, networks: Sequence,
+                 batch_sizes: Sequence[int]) -> Dict:
+    """Compile every (network, batch) and lower the plans to one document.
+
+    ``networks`` holds built :class:`~repro.nn.graph.Network` objects;
+    the bundle records provenance against ``model_path`` so a loader
+    can refuse it once the model file changes underneath.
+    """
+    model_path = Path(model_path)
+    digest, stamp = _model_digest(model_path)
+    pool = LinePool()
+    bodies = LayerBodyPool()
+    plans = []
+    compiled = []
+    for network in networks:
+        for batch_size in batch_sizes:
+            plan = model.compile(network, int(batch_size))
+            compiled.append(plan)
+            plans.append(plan_to_dict(plan, pool, bodies))
+    optimize_plans(compiled)
+    return {
+        "format_version": FORMAT_VERSION,
+        "plan_format": PLAN_FORMAT_VERSION,
+        "model": model_path.stem,
+        "kind": _model_kind(model),
+        "provenance": {"sha256": digest, "stamp": list(stamp),
+                       "source": model_path.name},
+        "line_pool": pool.to_list(),
+        "line_references": pool.references,
+        "layer_bodies": bodies.to_list(),
+        "plans": plans,
+    }
+
+
+def save_bundle(document: Dict, model_path) -> Path:
+    """Atomically write a bundle next to its model; returns the path."""
+    return save_document(document, bundle_path_for(model_path))
+
+
+def load_bundle(model_path, model) -> Dict[Tuple[str, int], PredictionPlan]:
+    """Revive the AOT plans for one model file, keyed (network, batch).
+
+    Raises :class:`FileNotFoundError` when no bundle exists and
+    :class:`BundleMismatch` when the bundle is stale (its recorded
+    SHA-256 no longer matches the model file's bytes), of a foreign
+    schema version, or structurally inconsistent with ``model``. The
+    revived retargetable plans come pre-warmed: persisted lowering
+    matrices installed and fallback lines fused across plans.
+    """
+    model_path = Path(model_path)
+    path = bundle_path_for(model_path)
+    if not path.is_file():
+        raise FileNotFoundError(str(path))
+    document = load_document(path)
+    if document.get("plan_format") != PLAN_FORMAT_VERSION:
+        raise BundleMismatch(
+            f"unsupported plan format {document.get('plan_format')!r} "
+            f"(this build reads version {PLAN_FORMAT_VERSION})")
+    if document.get("kind") != _model_kind(model):
+        raise BundleMismatch(
+            f"bundle was compiled for a {document.get('kind')!r} model; "
+            f"the file now holds {_model_kind(model)!r}")
+    digest, _ = _model_digest(model_path)
+    recorded = (document.get("provenance") or {}).get("sha256")
+    if recorded != digest:
+        raise BundleMismatch(
+            f"bundle is stale: model digest {digest[:12]}... does not "
+            f"match recorded {str(recorded)[:12]}...")
+    pool = LinePool.from_list(document["line_pool"])
+    bodies = LayerBodyPool.from_list(document.get("layer_bodies", []))
+    plans: Dict[Tuple[str, int], PredictionPlan] = {}
+    for entry in document["plans"]:
+        plan = plan_from_dict(entry, pool, bodies, model)
+        plans[(plan.network_name, plan.batch_size)] = plan
+    optimize_plans(list(plans.values()))
+    return plans
+
+
+def load_plans(model_path, model) -> Dict[Tuple[str, int], PredictionPlan]:
+    """Best-effort :func:`load_bundle`: empty on missing/stale bundles.
+
+    The serving registry calls this on every model (re)load; a corrupt,
+    stale, or absent bundle must never take the model itself down, so
+    every failure degrades to "no preloaded plans".
+    """
+    try:
+        return load_bundle(model_path, model)
+    except Exception:  # repro: noqa[EX001] degrade to lazy compilation
+        return {}
+
+
+def bundle_coverage(model_path) -> List[Tuple[str, int]]:
+    """The (network, batch) keys a model's bundle covers, if any."""
+    path = bundle_path_for(model_path)
+    if not path.is_file():
+        return []
+    try:
+        document = load_document(path)
+        return [(entry["network"], int(entry["batch_size"]))
+                for entry in document.get("plans", [])]
+    except Exception:  # repro: noqa[EX001] unreadable bundle covers nothing
+        return []
+
+
+# -- the compile store --------------------------------------------------------
+
+@dataclass
+class BundleReport:
+    """What ``repro compile`` did for one model."""
+
+    model: str
+    kind: str
+    plans: int
+    pool_lines: int
+    line_references: int
+    verified: Optional[bool] = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and self.verified is not False
+
+
+@dataclass
+class CompileReport:
+    """Outcome of one :func:`compile_store` sweep."""
+
+    directory: str
+    networks: List[str] = field(default_factory=list)
+    batch_sizes: List[int] = field(default_factory=list)
+    bundles: List[BundleReport] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.bundles) and all(b.ok for b in self.bundles)
+
+    def render(self) -> str:
+        lines = [f"AOT compile store: {self.directory}",
+                 f"  networks: {len(self.networks)}  "
+                 f"batch sizes: {self.batch_sizes}"]
+        for bundle in self.bundles:
+            if bundle.error is not None:
+                lines.append(f"  {bundle.model:<16} {bundle.kind:<5} "
+                             f"FAILED: {bundle.error}")
+                continue
+            shared = bundle.line_references - bundle.pool_lines
+            verdict = {None: "", True: "  verified bit-exact",
+                       False: "  VERIFY FAILED"}[bundle.verified]
+            lines.append(
+                f"  {bundle.model:<16} {bundle.kind:<5} "
+                f"{bundle.plans:>3} plans  "
+                f"{bundle.pool_lines:>4} pooled lines "
+                f"({shared} deduped refs){verdict}")
+        status = "ok" if self.ok else "FAILED"
+        return "\n".join(lines + [f"  -> {status}"])
+
+
+def _verify_bundle(model, model_path, networks,
+                   batch_sizes: Sequence[int]) -> bool:
+    """Reload the bundle and compare against fresh lowering, bit-exactly."""
+    from repro.gpu.specs import gpu
+
+    loaded = load_bundle(model_path, model)
+    if isinstance(model, InterGPUKernelWiseModel):
+        targets = list(model.train_gpus)
+        if all(spec.name != "V100" for spec in targets):
+            targets.append(gpu("V100"))
+    else:
+        targets = []
+    for network in networks:
+        for batch_size in batch_sizes:
+            fresh = model.compile(network, int(batch_size))
+            plan = loaded[(network.name, int(batch_size))]
+            if targets:
+                grid, shares = plan.evaluate_grid(targets)
+                fresh_grid, fresh_shares = fresh.evaluate_grid(targets)
+                scalar = [fresh.evaluate(gpu=t) for t in targets]
+                # the contract IS exact equality: the AOT plan must
+                # replay the fresh plan's arithmetic, not approximate it
+                if grid != fresh_grid or grid != scalar \
+                        or shares != fresh_shares:  # repro: noqa[FP001]
+                    return False
+            else:
+                if plan.evaluate() != fresh.evaluate():  # repro: noqa[FP001]
+                    return False
+    return True
+
+
+def compile_store(models_dir, network_names: Optional[Sequence[str]] = None,
+                  batch_sizes: Sequence[int] = (1,),
+                  model_names: Optional[Sequence[str]] = None,
+                  verify: bool = False) -> CompileReport:
+    """AOT-compile every hosted model's plans and persist the bundles.
+
+    ``network_names`` defaults to every named zoo network; ``verify``
+    reloads each written bundle and asserts bit-exact evaluation parity
+    against freshly lowered plans (and, for retargetable models, a
+    target grid including an unseen GPU).
+    """
+    from repro import zoo
+
+    directory = Path(models_dir)
+    if not directory.is_dir():
+        raise FileNotFoundError(
+            f"model directory {str(directory)!r} does not exist")
+    batch_sizes = [int(b) for b in batch_sizes]
+    if not batch_sizes or any(b < 1 for b in batch_sizes):
+        raise ValueError("batch sizes must be positive integers")
+    names = list(network_names if network_names is not None
+                 else zoo.model_names())
+    networks = [zoo.build(name) for name in names]
+    report = CompileReport(str(directory), names, batch_sizes)
+    for model_path in sorted(directory.glob("*.json")):
+        if model_names is not None and model_path.stem not in model_names:
+            continue
+        try:
+            model = load_model(model_path)
+            document = build_bundle(model, model_path, networks,
+                                    batch_sizes)
+            save_bundle(document, model_path)
+            bundle = BundleReport(
+                model_path.stem, document["kind"],
+                len(document["plans"]), len(document["line_pool"]),
+                document["line_references"])
+            if verify:
+                bundle.verified = _verify_bundle(model, model_path,
+                                                 networks, batch_sizes)
+        except Exception as exc:  # repro: noqa[EX001] reported per model
+            bundle = BundleReport(model_path.stem, "?", 0, 0, 0,
+                                  error=f"{type(exc).__name__}: {exc}")
+        report.bundles.append(bundle)
+    return report

@@ -12,12 +12,13 @@ push millions of requests through thousands of simulated servers.
 
 from __future__ import annotations
 
-from typing import List, Mapping, Sequence, Tuple, Union
+from typing import List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.base import PerformanceModel
 from repro.core.intergpu import InterGPUKernelWiseModel
+from repro.core.planopt import constant_fold
 from repro.gpu.specs import GPUSpec
 from repro.nn.graph import Network
 
@@ -106,12 +107,18 @@ class ExecTable:
 
     @classmethod
     def from_model(cls, model: Predictor, networks: Sequence[Network],
-                   specs: Sequence[GPUSpec], max_batch: int) -> "ExecTable":
+                   specs: Sequence[GPUSpec], max_batch: int,
+                   plans: Optional[Mapping[Tuple[str, int], object]] = None
+                   ) -> "ExecTable":
         """Compile and price every (network, batch) once, ahead of time.
 
         A retargetable (IGKW) model prices all GPU types of one
         (network, batch) in a single ``evaluate_grid`` call; a mapping
         of per-GPU models evaluates one compiled plan per type.
+        ``plans`` (optional) supplies AOT-compiled plans keyed
+        ``(network name, batch)`` — combinations it covers skip the
+        lowering entirely (the bundle loader already verified they are
+        bit-exact with fresh compilation), the rest compile as before.
         """
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -119,6 +126,7 @@ class ExecTable:
             raise ValueError("need at least one network and one GPU spec")
         names = [spec.name for spec in specs]
         times = np.zeros((len(networks), len(specs), max_batch + 1))
+        preloaded = plans or {}
         if isinstance(model, Mapping):
             missing = [name for name in names if name not in model]
             if missing:
@@ -132,7 +140,16 @@ class ExecTable:
         else:
             for n, network in enumerate(networks):
                 for batch in range(1, max_batch + 1):
-                    plan = model.compile(network, batch)
-                    grid, _ = plan.evaluate_grid(specs)
-                    times[n, :, batch] = grid
+                    plan = preloaded.get((network.name, batch))
+                    if plan is None:
+                        plan = model.compile(network, batch)
+                    if len(specs) == 1:
+                        # single-type fleet: constant-fold the bind so
+                        # the grid machinery is skipped (bit-exact per
+                        # the bind/evaluate contract)
+                        times[n, 0, batch] = constant_fold(
+                            plan, specs).evaluate(gpu=specs[0])
+                    else:
+                        grid, _ = plan.evaluate_grid(specs)
+                        times[n, :, batch] = grid
         return cls([network.name for network in networks], names, times)

@@ -16,12 +16,16 @@ from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple
 def cache_key(model: str, network: str, batch_size: int,
               gpu: Optional[str] = None,
               bandwidth: Optional[float] = None,
-              version: Optional[float] = None) -> Tuple:
+              version: Optional[Tuple[int, int]] = None) -> Tuple:
     """Canonical cache key for one prediction request.
 
-    ``version`` is the hosting registry's model version stamp (file
-    mtime): bumping it on hot reload makes stale entries unreachable, and
-    the LRU evicts them naturally.
+    ``version`` is the hosting registry's *full* freshness stamp,
+    ``(st_mtime_ns, st_size)``: bumping it on hot reload makes stale
+    entries unreachable, and the LRU evicts them naturally. It must be
+    the stamp tuple, never a float mtime — two writes in one coarse
+    mtime tick collapse to the same float seconds (a nanosecond stamp
+    near 1.7e18 rounds to the same double as its neighbour 64 ns away),
+    and a float-keyed cache would serve the stale model forever.
     """
     return (model, network, int(batch_size), gpu, bandwidth, version)
 

@@ -54,6 +54,30 @@ class ServiceError(Exception):
         self.message = message
 
 
+class _LazyNetwork:
+    """A zoo network that is only built when something touches it.
+
+    A plan-cache or AOT-bundle hit answers the kw tier without the
+    layer graph ever being constructed; only the degradation tiers
+    (which re-walk the network) force construction. Unknown network
+    names still 404 eagerly: a plan miss calls :meth:`build` inside
+    ``_plan_for`` before anything is served.
+    """
+
+    def __init__(self, name: str, builder) -> None:
+        self._name = name
+        self._builder = builder
+        self._network = None
+
+    def build(self):
+        if self._network is None:
+            self._network = self._builder(self._name)
+        return self._network
+
+    def __getattr__(self, attribute):
+        return getattr(self.build(), attribute)
+
+
 def _require(payload: Dict, field: str, kind, explain: str):
     value = payload.get(field)
     if value is None:
@@ -130,17 +154,26 @@ class PredictionService:
             raise ServiceError(404, str(exc.args[0])) from None
 
     def _plan_for(self, entry, model_name: str, network_name: str,
-                  batch_size: int, network) -> Tuple:
+                  batch_size: int, network: _LazyNetwork) -> Tuple:
         # the compiled plan is GPU-independent, so repeat requests for
         # the same structure skip the graph walk even when the target
-        # GPU or bandwidth differs between them
+        # GPU or bandwidth differs between them. The key carries the
+        # full (st_mtime_ns, st_size) stamp, never a float mtime: two
+        # writes in one coarse mtime tick must not alias.
         plan_key = (model_name, network_name, batch_size, entry.stamp)
         plan = self.plans.get(plan_key)
-        plan_cached = plan is not None
-        if plan is None:
-            plan = entry.model.compile(network, batch_size)
+        if plan is not None:
+            return plan, True
+        # cold miss: the entry's AOT bundle (repro compile) may carry
+        # the plan pre-lowered, skipping both zoo.build and compile
+        plan = entry.plans.get((network_name, batch_size))
+        if plan is not None:
+            self.metrics.increment("aot_plan_hits_total")
             self.plans.put(plan_key, plan)
-        return plan, plan_cached
+            return plan, True
+        plan = entry.model.compile(network.build(), batch_size)
+        self.plans.put(plan_key, plan)
+        return plan, False
 
     def _resolve_igkw_target(self, model_name: str,
                              gpu_name: Optional[str],
@@ -201,7 +234,7 @@ class PredictionService:
             # a result hit answers without touching plans at all
             return dict(cached, cached=True, plan_cached=True)
 
-        network = self._build_network(network_name)
+        network = _LazyNetwork(network_name, self._build_network)
         plan, plan_cached = self._plan_for(entry, model_name, network_name,
                                            batch_size, network)
 
@@ -285,7 +318,7 @@ class PredictionService:
         _, first_request, entry, _ = group[0]
         model_name, network_name, batch_size = first_request[:3]
         try:
-            network = self._build_network(network_name)
+            network = _LazyNetwork(network_name, self._build_network)
             plan, plan_cached = self._plan_for(
                 entry, model_name, network_name, batch_size, network)
         # one bad group must not fail the batch: every failure mode

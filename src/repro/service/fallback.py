@@ -147,9 +147,9 @@ def _plan_kernel_tier(plan: KernelPlan,
             raise TierError(
                 f"{share:.0%} of the predicted time rests on unmapped "
                 f"kernels (threshold {coverage_threshold:.0%})")
-        # the plan's coverage already priced every layer: its total IS
-        # the prediction, so no pass over the network at all
-        return plan.coverage().total_us
+        # the plan already priced every layer at compile time: its total
+        # IS the prediction, so no pass over the network at all
+        return plan.evaluate()
     return predict
 
 

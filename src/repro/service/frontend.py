@@ -61,6 +61,14 @@ SLO_DEFAULTS_MS: Dict[str, float] = {
 MIN_RETRY_AFTER_S = 1
 MAX_RETRY_AFTER_S = 30
 
+#: Retry-After before the first completed request of an endpoint. With
+#: no EWMA observation yet the drain estimate has no data at all; the
+#: old code fed the formula a silent 0.0 and the clamp floor happened
+#: to become the answer. The cold default is now explicit (and
+#: deliberately equal to the floor — shed-before-first-completion
+#: should ask for the shortest backoff, not a guess).
+COLD_RETRY_AFTER_S = 1
+
 
 class ShedError(ServiceError):
     """A request refused at the front door: 429 plus Retry-After."""
@@ -88,10 +96,14 @@ class AdmissionController:
 
     def __init__(self, max_queue_depth: int = DEFAULT_QUEUE_DEPTH,
                  metrics: Optional[MetricsRegistry] = None,
-                 clock=time.monotonic) -> None:
+                 clock=time.monotonic,
+                 cold_retry_after_s: int = COLD_RETRY_AFTER_S) -> None:
         if max_queue_depth < 1:
             raise ValueError("max_queue_depth must be >= 1")
+        if cold_retry_after_s < 1:
+            raise ValueError("cold_retry_after_s must be >= 1")
         self.max_queue_depth = max_queue_depth
+        self.cold_retry_after_s = cold_retry_after_s
         self.metrics = metrics
         self._clock = clock
         self._lock = threading.Lock()
@@ -137,9 +149,18 @@ class AdmissionController:
                     previous + self.ALPHA * (latency_ms - previous))
 
     def retry_after_s(self, endpoint: str) -> int:
-        """Estimated full-queue drain time, clamped to [1, 30] seconds."""
+        """Estimated full-queue drain time, clamped to [1, 30] seconds.
+
+        Before the endpoint's first completed request there is no EWMA
+        to extrapolate from, so the explicit cold-start default answers
+        (clamped into the same window) — deterministic under any clock,
+        including the tests' fake one.
+        """
         with self._lock:
-            ewma_ms = self._ewma_ms.get(endpoint, 0.0)
+            ewma_ms = self._ewma_ms.get(endpoint)
+        if ewma_ms is None:
+            return max(MIN_RETRY_AFTER_S,
+                       min(MAX_RETRY_AFTER_S, self.cold_retry_after_s))
         drain_s = self.max_queue_depth * ewma_ms / 1e3
         return max(MIN_RETRY_AFTER_S,
                    min(MAX_RETRY_AFTER_S, math.ceil(drain_s)))
@@ -155,6 +176,7 @@ class AdmissionController:
                 else round(self._clock() - self._last_shed_at, 3))
             return {
                 "max_queue_depth": self.max_queue_depth,
+                "cold_retry_after_s": self.cold_retry_after_s,
                 "shed_total": self._shed_total,
                 "last_shed_age_s": last_shed_age_s,
                 "ewma_ms": {endpoint: round(value, 4) for endpoint, value

@@ -37,6 +37,7 @@ from repro.core.intergpu import InterGPUKernelWiseModel
 from repro.core.kernelwise import KernelTablePredictor, KernelWiseModel
 from repro.core.layerwise import LayerWiseModel
 from repro.core.persistence import load_model
+from repro.core.planopt import load_plans
 from repro.gpu.specs import gpu
 
 
@@ -95,6 +96,10 @@ class LoadedModel:
     stamp: Tuple[int, int]            # (st_mtime_ns, st_size) when loaded
     model: object
     reloads: int = 0
+    # AOT-compiled plans from the model's plan bundle, keyed by
+    # (network, batch_size); empty when no bundle exists. Rebuilt with
+    # the entry on reload, so a stale bundle can never outlive its model.
+    plans: Dict[Tuple[str, int], object] = field(default_factory=dict)
     # for_gpu materialisations, keyed by (gpu, bandwidth); cleared on reload
     _resolved: Dict[Tuple[str, Optional[float]], KernelTablePredictor] = \
         field(default_factory=dict)
@@ -111,6 +116,7 @@ class LoadedModel:
             "path": str(self.path),
             "mtime": self.mtime,
             "reloads": self.reloads,
+            "aot_plans": len(self.plans),
         }
 
 
@@ -180,8 +186,11 @@ class ModelRegistry:
     def _load(self, path: Path) -> LoadedModel:
         stamp = file_stamp(path.stat())
         model = load_model(path)
+        # best-effort AOT plan preload: load_plans degrades to {} on a
+        # missing, stale, or corrupt bundle, so the model always serves
         return LoadedModel(name=path.stem, path=path,
-                           kind=model_kind(model), stamp=stamp, model=model)
+                           kind=model_kind(model), stamp=stamp, model=model,
+                           plans=load_plans(path, model))
 
     def scan(self) -> List[str]:
         """(Re)discover models in the directory; returns hosted names."""

@@ -1,5 +1,6 @@
 """Tests for the Inter-GPU Kernel-Wise model."""
 
+import numpy as np
 import pytest
 
 from repro.core import (
@@ -86,3 +87,48 @@ class TestFallbacks:
         tiny = gpu("TITAN RTX").with_bandwidth(10)
         predicted = igkw.for_gpu(tiny).predict_network(small_roster[0], 64)
         assert predicted > 0
+
+
+class TestDegenerateBandwidths:
+    """Regression: zero/negative bandwidths used to fail branch-dependently.
+
+    The scalar path divided to ``ZeroDivisionError`` (or not, depending
+    on which synthesis branch the rate fit selected) while the vectorised
+    path silently produced ``inf`` columns. Both must now raise the same
+    ``ValueError`` up front — and a degenerate point in a vector must
+    never contaminate the healthy columns.
+    """
+
+    @pytest.fixture()
+    def transfer(self, igkw):
+        return next(iter(igkw.transfers.values()))
+
+    @pytest.mark.parametrize("bandwidth", [0.0, -1.0, -500.0])
+    def test_scalar_rejects_nonpositive_bandwidth(self, transfer,
+                                                  bandwidth):
+        with pytest.raises(ValueError, match="must be positive"):
+            transfer.line_for_bandwidth(bandwidth)
+
+    @pytest.mark.parametrize("bandwidth", [0.0, -1.0])
+    def test_vector_raises_the_same_error_as_scalar(self, transfer,
+                                                    bandwidth):
+        # one degenerate point among healthy ones: no silent inf column
+        with pytest.raises(ValueError, match="must be positive"):
+            transfer.lines_for_bandwidths(
+                np.array([800.0, bandwidth, 1200.0]))
+
+    def test_vector_matches_scalar_on_healthy_points(self, transfer):
+        bandwidths = np.array([10.0, 400.0, 800.0, 1555.0])
+        slopes, intercepts = transfer.lines_for_bandwidths(bandwidths)
+        for i, bandwidth in enumerate(bandwidths):
+            line = transfer.line_for_bandwidth(float(bandwidth))
+            assert slopes[i] == line.slope, bandwidth
+            assert intercepts[i] == line.intercept, bandwidth
+
+    def test_healthy_columns_are_position_independent(self, transfer):
+        # a point's synthesised line must not depend on its neighbours
+        # in the vector (10 GB/s forces the ratio-scaling branch)
+        alone = transfer.lines_for_bandwidths(np.array([800.0]))
+        mixed = transfer.lines_for_bandwidths(np.array([10.0, 800.0]))
+        assert mixed[0][1] == alone[0][0]
+        assert mixed[1][1] == alone[1][0]

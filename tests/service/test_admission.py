@@ -9,6 +9,7 @@ import urllib.request
 import pytest
 
 from repro.service.frontend import (
+    COLD_RETRY_AFTER_S,
     MAX_RETRY_AFTER_S,
     MIN_RETRY_AFTER_S,
     AdmissionController,
@@ -159,6 +160,97 @@ class TestRetryAfter:
     def test_bad_depth_rejected(self):
         with pytest.raises(ValueError, match="max_queue_depth"):
             AdmissionController(0)
+
+
+class TestColdStartRetryAfter:
+    """The estimate before the first completed request is explicit.
+
+    A cold controller has no EWMA; the Retry-After it advertises must be
+    the deterministic cold-start default, never an estimate derived from
+    a zero latency (which would always clamp to the minimum by accident
+    rather than by policy).
+    """
+
+    def test_very_first_shed_carries_the_cold_default(self):
+        handle = FakeHandle(capacity=1)
+        controller = _controller(depth=1)
+        controller.submit(handle, "predict", "predict", {})
+        with pytest.raises(ShedError) as excinfo:   # first shed ever
+            controller.submit(handle, "predict", "predict", {})
+        assert excinfo.value.retry_after_s == COLD_RETRY_AFTER_S
+
+    def test_custom_cold_default_until_first_observation(self):
+        controller = AdmissionController(
+            depth := 8, clock=FakeClock(), cold_retry_after_s=5)
+        assert controller.retry_after_s("predict") == 5
+        controller.observe("predict", 1000.0)       # first completion
+        # warmed: the drain estimate takes over (depth x 1s each)
+        assert controller.retry_after_s("predict") == depth
+
+    def test_cold_default_is_clamped_to_the_valid_range(self):
+        controller = AdmissionController(
+            4, clock=FakeClock(), cold_retry_after_s=10_000)
+        assert controller.retry_after_s("predict") == MAX_RETRY_AFTER_S
+        with pytest.raises(ValueError, match="cold_retry_after_s"):
+            AdmissionController(4, cold_retry_after_s=0)
+
+    def test_cold_default_is_per_endpoint(self):
+        controller = _controller(depth=8)
+        controller.observe("predict", 2000.0)
+        # /predict warmed; /predict_batch has never completed a request
+        assert controller.retry_after_s("predict") == 16
+        assert controller.retry_after_s("predict_batch") == \
+            COLD_RETRY_AFTER_S
+
+    def test_snapshot_reports_the_cold_default(self):
+        controller = AdmissionController(
+            4, clock=FakeClock(), cold_retry_after_s=3)
+        assert controller.snapshot()["cold_retry_after_s"] == 3
+
+
+class _ColdSheddingStub:
+    """Service surface whose /predict sheds through a real cold controller."""
+
+    def __init__(self):
+        self.metrics = MetricsRegistry()
+        self.controller = AdmissionController(1, clock=FakeClock())
+        self.handle = FakeHandle(capacity=1)
+        self.handle.submit_nowait("predict", {})     # already full
+
+    def predict(self, payload):
+        self.controller.submit(self.handle, "predict", "predict", payload)
+
+    predict_batch = predict
+    feedback = predict
+
+    def health(self):
+        return {"status": "ok"}
+
+
+class TestColdRetryAfterHeader:
+    def test_header_on_the_very_first_shed(self):
+        """End to end: a cold frontend's first 429 already has the header."""
+        server = make_server(_ColdSheddingStub(), port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        try:
+            request = urllib.request.Request(
+                f"http://{host}:{port}/predict", data=b"{}",
+                headers={"Content-Type": "application/json"},
+                method="POST")
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=5)
+            error = excinfo.value
+            assert error.code == 429
+            retry_after = error.headers["Retry-After"]
+            assert retry_after is not None
+            assert retry_after.isdigit()
+            assert int(retry_after) == COLD_RETRY_AFTER_S
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
 
 
 class _SheddingStub:

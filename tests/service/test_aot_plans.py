@@ -1,0 +1,147 @@
+"""AOT plan bundles in the serving path: preload, hit, degrade, reload."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import core
+from repro.core.planopt import bundle_path_for, compile_store
+from repro.gpu import gpu
+from repro.service import ModelRegistry, PredictionService
+from repro.service.core import ServiceError
+
+#: (network, batch) coverage the bundles are compiled with.
+COVERED = [("resnet18", 8), ("mobilenet_v2", 8)]
+
+
+@pytest.fixture(scope="module")
+def aot_dir(small_dataset, tmp_path_factory):
+    """Models WITH compiled plan bundles (unlike the shared models_dir)."""
+    directory = tmp_path_factory.mktemp("aot-models")
+    core.save_model(core.train_model(small_dataset, "kw", gpu="A100"),
+                    directory / "kw.json")
+    core.save_model(
+        core.train_inter_gpu_model(small_dataset,
+                                   [gpu("A100"), gpu("TITAN RTX")]),
+        directory / "igkw.json")
+    report = compile_store(
+        directory, network_names=sorted({n for n, _ in COVERED}),
+        batch_sizes=sorted({b for _, b in COVERED}), verify=True)
+    assert report.ok
+    return directory
+
+
+@pytest.fixture()
+def service(aot_dir):
+    return PredictionService(ModelRegistry(aot_dir))
+
+
+class TestRegistryPreload:
+    def test_entries_carry_their_bundle_plans(self, aot_dir):
+        registry = ModelRegistry(aot_dir)
+        for name in ("kw", "igkw"):
+            entry = registry.get(name)
+            assert set(entry.plans) == set(COVERED)
+            assert entry.describe()["aot_plans"] == len(COVERED)
+
+    def test_missing_bundle_means_empty_plans(self, small_dataset,
+                                              tmp_path):
+        core.save_model(core.train_model(small_dataset, "kw", gpu="A100"),
+                        tmp_path / "kw.json")
+        entry = ModelRegistry(tmp_path).get("kw")
+        assert entry.plans == {}
+        assert entry.describe()["aot_plans"] == 0
+
+
+class TestServingFromTheStore:
+    def test_cold_predict_hits_the_bundle(self, service):
+        response = service.predict({"model": "kw", "network": "resnet18",
+                                    "batch_size": 8})
+        assert response["cached"] is False
+        # no plan was ever compiled in this process, yet the plan path
+        # reports a hit: the bundle answered
+        assert response["plan_cached"] is True
+        assert service.metrics.counter("aot_plan_hits_total") == 1
+
+    def test_aot_served_value_matches_lazy_compilation(self, aot_dir,
+                                                       tmp_path):
+        body = {"model": "igkw", "network": "resnet18",
+                "batch_size": 8, "gpu": "V100"}
+        aot = PredictionService(ModelRegistry(aot_dir)).predict(body)
+        # same model file, no bundle: the plan is compiled from scratch
+        (tmp_path / "igkw.json").write_bytes(
+            (aot_dir / "igkw.json").read_bytes())
+        lazy = PredictionService(ModelRegistry(tmp_path)).predict(body)
+        assert lazy["plan_cached"] is False      # really compiled fresh
+        assert aot["predicted_us"] == lazy["predicted_us"]
+
+    def test_uncovered_combination_compiles_lazily(self, service):
+        response = service.predict({"model": "kw", "network": "resnet18",
+                                    "batch_size": 16})   # batch not in bundle
+        assert response["plan_cached"] is False
+        assert service.metrics.counter("aot_plan_hits_total") == 0
+
+    def test_unknown_network_still_404s(self, service):
+        with pytest.raises(ServiceError) as excinfo:
+            service.predict({"model": "kw", "network": "not_a_network",
+                             "batch_size": 8})
+        assert excinfo.value.status == 404
+
+    def test_second_request_is_a_result_cache_hit(self, service):
+        body = {"model": "kw", "network": "mobilenet_v2", "batch_size": 8}
+        first = service.predict(body)
+        second = service.predict(body)
+        assert first["cached"] is False
+        assert second["cached"] is True
+        assert second["predicted_us"] == first["predicted_us"]
+        # the bundle was consulted exactly once
+        assert service.metrics.counter("aot_plan_hits_total") == 1
+
+
+class TestStaleBundles:
+    def test_rewritten_model_drops_its_stale_bundle(self, small_dataset,
+                                                    tmp_path):
+        path = tmp_path / "kw.json"
+        core.save_model(core.train_model(small_dataset, "kw", gpu="A100"),
+                        path)
+        report = compile_store(tmp_path, network_names=["resnet18"],
+                               batch_sizes=[8])
+        assert report.ok
+        registry = ModelRegistry(tmp_path)
+        assert registry.get("kw").plans != {}
+        # retrain in place: the registry reload rebuilds the entry, and
+        # the bundle (compiled against the old bytes) must not survive
+        core.save_model(
+            core.train_model(small_dataset, "kw", gpu="TITAN RTX"), path)
+        entry = registry.get("kw")
+        assert entry.reloads == 1
+        assert entry.plans == {}
+        # the model itself still serves, just without AOT plans
+        response = PredictionService(registry).predict(
+            {"model": "kw", "network": "resnet18", "batch_size": 8})
+        assert response["plan_cached"] is False
+
+    def test_corrupt_bundle_never_takes_the_model_down(self, small_dataset,
+                                                       tmp_path):
+        path = tmp_path / "kw.json"
+        core.save_model(core.train_model(small_dataset, "kw", gpu="A100"),
+                        path)
+        bundle_path = bundle_path_for(path)
+        bundle_path.parent.mkdir()
+        bundle_path.write_text("{ not json")
+        registry = ModelRegistry(tmp_path)
+        assert registry.errors == {}
+        assert registry.get("kw").plans == {}
+
+    def test_bundle_edits_do_not_trigger_model_reload(self, aot_dir):
+        # bundles live under plans/, outside the registry's *.json glob
+        registry = ModelRegistry(aot_dir)
+        before = registry.get("kw").stamp
+        bundle_path = bundle_path_for(aot_dir / "kw.json")
+        document = json.loads(bundle_path.read_text())
+        bundle_path.write_text(json.dumps(document))
+        entry = registry.get("kw")
+        assert entry.stamp == before
+        assert entry.reloads == 0

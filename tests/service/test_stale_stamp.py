@@ -1,0 +1,82 @@
+"""Regression: result/plan cache keys must carry the full file stamp.
+
+A float mtime cannot key a cache safely: near-present nanosecond
+timestamps are ~1.7e18, where an IEEE double's spacing is ~238 ns —
+two writes 64 ns apart collapse to the *same* float seconds. The
+registry's stamp ``(st_mtime_ns, st_size)`` keeps them distinct; these
+tests pin the service to keying on the stamp tuple, never the float.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro import core, zoo
+from repro.service import ModelRegistry, PredictionService
+from repro.service.cache import cache_key
+
+#: Two nanosecond timestamps that round to the SAME double of seconds.
+T0_NS = 1_700_000_000_000_000_000
+T1_NS = T0_NS + 64
+
+REQUEST = {"model": "kw", "network": "resnet18", "batch_size": 8}
+
+
+def test_the_collision_is_real():
+    # the premise of the whole file: distinct ns, identical float seconds
+    assert T0_NS != T1_NS
+    assert T0_NS / 1e9 == T1_NS / 1e9
+
+
+def test_float_mtime_keys_collide_but_stamp_keys_do_not():
+    stamp_a, stamp_b = (T0_NS, 4096), (T1_NS, 4096)
+    floated = [cache_key("kw", "resnet18", 8, version=s[0] / 1e9)
+               for s in (stamp_a, stamp_b)]
+    stamped = [cache_key("kw", "resnet18", 8, version=s)
+               for s in (stamp_a, stamp_b)]
+    assert floated[0] == floated[1]      # the bug: stale entry reachable
+    assert stamped[0] != stamped[1]      # the fix: full stamp in the key
+
+
+def _write_model(path, model, length, ns):
+    """Persist a model padded to a fixed byte length and mtime."""
+    core.save_model(model, path)
+    payload = path.read_bytes()
+    assert len(payload) <= length
+    # trailing whitespace is valid JSON; equal sizes force the stamps
+    # to differ in st_mtime_ns alone — the hardest case for the key
+    path.write_bytes(payload.ljust(length, b" "))
+    os.utime(path, ns=(ns, ns))
+
+
+def test_rewrite_within_one_float_mtime_tick_serves_fresh(small_dataset,
+                                                          tmp_path):
+    model_a = core.train_model(small_dataset, "kw", gpu="A100")
+    model_b = core.train_model(small_dataset, "kw", gpu="TITAN RTX")
+    path = tmp_path / "kw.json"
+    core.save_model(model_a, path)
+    size_a = len(path.read_bytes())
+    core.save_model(model_b, path)
+    length = max(size_a, len(path.read_bytes())) + 1
+
+    _write_model(path, model_a, length, T0_NS)
+    registry = ModelRegistry(tmp_path)
+    service = PredictionService(registry)
+    stamp_a = registry.get("kw").stamp
+    first = service.predict(REQUEST)
+
+    _write_model(path, model_b, length, T1_NS)
+    stamp_b = registry.get("kw").stamp
+    # the rewrite is invisible to a float mtime and to the file size...
+    assert stamp_a[0] / 1e9 == stamp_b[0] / 1e9
+    assert stamp_a[1] == stamp_b[1]
+    # ...but not to the stamp
+    assert stamp_a != stamp_b
+
+    second = service.predict(REQUEST)
+    # stamp-keyed caches cannot alias the rewrite: nothing stale served
+    assert second["cached"] is False
+    assert second["plan_cached"] is False
+    assert second["predicted_us"] != first["predicted_us"]
+    expected = model_b.predict_network(zoo.build("resnet18"), 8)
+    assert second["predicted_us"] == expected
